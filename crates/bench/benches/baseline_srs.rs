@@ -1,0 +1,103 @@
+//! Ablation A2 — GAM join queries vs SRS-style link navigation.
+//!
+//! Paper §1 on SRS/DBGET: "join queries over multiple sources are not
+//! possible. Cross-references can be utilized for interactive navigation,
+//! but not for the generation and analysis of annotation profiles." The
+//! SRS user must emulate a join by navigating every entry's links; the
+//! bench measures that fan-out against GenerateView, across source sizes.
+
+use baselines::SrsStore;
+use bench::fixture;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use genmapper::{QuerySpec, TargetQuery};
+use sources::ecosystem::EcosystemParams;
+use sources::universe::UniverseParams;
+
+fn params(n_loci: usize) -> EcosystemParams {
+    EcosystemParams {
+        universe: UniverseParams {
+            seed: 51,
+            n_loci,
+            n_go_terms: (n_loci / 4).max(30),
+            n_enzymes: 25,
+            n_omim: 30,
+            n_interpro: 40,
+            probesets_per_locus: 1.3,
+            protein_fraction: 0.7,
+        },
+        n_satellites: 0,
+        satellite_objects: 0,
+        satellite_links: 0,
+        satellite_hubs: 1,
+        satellite_scored_fraction: 0.0,
+    }
+}
+
+fn bench_join_vs_navigation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("baseline_srs/join_query");
+    group.sample_size(10);
+    for &n in &[100usize, 400, 1600] {
+        let mut f = fixture(params(n));
+        let mut srs = SrsStore::new();
+        for dump in &f.eco.dumps {
+            srs.load(&dump.parse().unwrap());
+        }
+        let term = "GO:0009116";
+        // sanity: both systems answer identically (asserted once per size)
+        let spec = QuerySpec::source("Unigene")
+            .target_spec(TargetQuery::new("GO").accessions([term]))
+            .and();
+        let gam_answer: std::collections::BTreeSet<String> = f
+            .gm
+            .query(&spec)
+            .unwrap()
+            .rows
+            .iter()
+            .filter_map(|r| r.cell_text(0).map(str::to_owned))
+            .collect();
+        let srs_answer: std::collections::BTreeSet<String> = srs
+            .navigate_join("Unigene", &["LocusLink", "GO"], term)
+            .into_iter()
+            .collect();
+        assert_eq!(gam_answer, srs_answer, "systems disagree at n={n}");
+
+        group.bench_with_input(BenchmarkId::new("gam_generate_view", n), &n, |b, _| {
+            b.iter(|| f.gm.query(&spec).expect("view"))
+        });
+        group.bench_with_input(BenchmarkId::new("srs_navigation", n), &n, |b, _| {
+            b.iter(|| srs.navigate_join("Unigene", &["LocusLink", "GO"], term))
+        });
+    }
+    group.finish();
+}
+
+fn bench_what_srs_is_good_at(c: &mut Criterion) {
+    // single-entry lookup and one-hop navigation: SRS's home turf, where
+    // both systems should be fast (crossover context for A2)
+    let mut f = fixture(params(1600));
+    let mut srs = SrsStore::new();
+    for dump in &f.eco.dumps {
+        srs.load(&dump.parse().unwrap());
+    }
+    let mut group = c.benchmark_group("baseline_srs/point_lookup");
+    group.bench_function("srs_get", |b| {
+        b.iter(|| srs.get("LocusLink", "353").expect("entry"))
+    });
+    group.bench_function("srs_navigate_one_hop", |b| {
+        b.iter(|| srs.navigate("LocusLink", "353", "GO"))
+    });
+    let spec = QuerySpec::source("LocusLink").accessions(["353"]).target("GO");
+    group.bench_function("gam_point_view", |b| {
+        b.iter(|| f.gm.query(&spec).expect("view"))
+    });
+    group.finish();
+}
+
+criterion_group!{
+    name = benches;
+    config = Criterion::default()
+        .warm_up_time(std::time::Duration::from_millis(500))
+        .measurement_time(std::time::Duration::from_secs(2));
+    targets = bench_join_vs_navigation, bench_what_srs_is_good_at
+}
+criterion_main!(benches);

@@ -1,0 +1,86 @@
+//! Ablation A1 — generic GAM vs an application-specific star schema.
+//!
+//! The paper's §1 argument against conventional warehouses: "construction
+//! and maintenance of the global schema ... are highly difficult and do
+//! not scale well to many sources." Measured here as:
+//!
+//! * query latency on *anticipated* queries (where the star schema should
+//!   win — it has exactly the right indexes),
+//! * integration of an *unanticipated* source (where GAM wins — the star
+//!   schema needs a migration and only then can reload).
+
+use baselines::StarWarehouse;
+use bench::demo_fixture;
+use criterion::{criterion_group, criterion_main, Criterion};
+use genmapper::{QuerySpec, TargetQuery};
+
+fn bench_anticipated_queries(c: &mut Criterion) {
+    let mut f = demo_fixture(41);
+    let ll_batch = f.eco.dumps[0].parse().unwrap();
+    let mut star = StarWarehouse::new().unwrap();
+    star.integrate(&ll_batch).unwrap();
+    let location = f.eco.universe.locus_353().location.clone();
+
+    let mut group = c.benchmark_group("baseline_star/anticipated");
+    group.bench_function("location_lookup/star", |b| {
+        b.iter(|| star.loci_at_location(&location).expect("query"))
+    });
+    let spec = QuerySpec::source("LocusLink")
+        .target_spec(TargetQuery::new("Location").accessions([location.as_str()]))
+        .and();
+    group.bench_function("location_lookup/gam", |b| {
+        b.iter(|| f.gm.query(&spec).expect("view"))
+    });
+    group.bench_function("go_bridge/star", |b| {
+        b.iter(|| star.loci_with_go("GO:0009116").expect("query"))
+    });
+    let spec = QuerySpec::source("LocusLink")
+        .target_spec(TargetQuery::new("GO").accessions(["GO:0009116"]))
+        .and();
+    group.bench_function("go_bridge/gam", |b| {
+        b.iter(|| f.gm.query(&spec).expect("view"))
+    });
+    group.finish();
+}
+
+fn bench_new_source_integration(c: &mut Criterion) {
+    // integrating a source the schema did not anticipate: GAM imports it
+    // directly; the star schema must migrate (add a bridge) and re-run
+    // the LocusLink load to fill it.
+    let f = demo_fixture(42);
+    let ll_batch = f.eco.dumps[0].parse().unwrap();
+    let satellite = f.eco.dumps[10].parse().unwrap();
+
+    let mut group = c.benchmark_group("baseline_star/new_source");
+    group.sample_size(10);
+    group.bench_function("gam/import_satellite", |b| {
+        b.iter(|| {
+            let mut gm = genmapper::GenMapper::in_memory().unwrap();
+            gm.import_batch(&ll_batch).unwrap();
+            gm.import_batch(&satellite).unwrap()
+        })
+    });
+    group.bench_function("star/migrate_and_reload", |b| {
+        b.iter(|| {
+            let mut star = StarWarehouse::new().unwrap();
+            star.integrate(&ll_batch).unwrap();
+            // the migration: schema evolution + full reload to capture the
+            // annotations the old schema dropped
+            star.migrate_add_bridge("Enzyme").unwrap();
+            let mut rebuilt = StarWarehouse::new().unwrap();
+            rebuilt.migrate_add_bridge("Enzyme").unwrap();
+            rebuilt.integrate(&ll_batch).unwrap();
+            rebuilt
+        })
+    });
+    group.finish();
+}
+
+criterion_group!{
+    name = benches;
+    config = Criterion::default()
+        .warm_up_time(std::time::Duration::from_millis(500))
+        .measurement_time(std::time::Duration::from_secs(2));
+    targets = bench_anticipated_queries, bench_new_source_integration
+}
+criterion_main!(benches);

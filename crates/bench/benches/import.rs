@@ -1,0 +1,63 @@
+//! Experiments T1 + F2 — the two-phase integration pipeline.
+//!
+//! T1: per-dialect Parse throughput (the source-specific step whose
+//! simplicity the paper emphasizes; output is the Table 1 EAV format).
+//! F2: the full architecture of Figure 2 — parallel Parse + generic
+//! Import — measured end to end.
+
+use bench::fixture;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use genmapper::GenMapper;
+use sources::ecosystem::{Ecosystem, EcosystemParams};
+
+fn bench_parse_dialects(c: &mut Criterion) {
+    let eco = Ecosystem::generate(EcosystemParams::medium(3));
+    let mut group = c.benchmark_group("table1/parse");
+    for dump in eco.dumps.iter().take(10) {
+        group.throughput(Throughput::Bytes(dump.text.len() as u64));
+        group.bench_with_input(BenchmarkId::from_parameter(&dump.name), dump, |b, d| {
+            b.iter(|| d.parse().expect("parses"))
+        });
+    }
+    group.finish();
+}
+
+fn bench_import_pipeline(c: &mut Criterion) {
+    let eco = Ecosystem::generate(EcosystemParams::demo(4));
+    let mut group = c.benchmark_group("figure2/pipeline");
+    group.sample_size(10);
+    group.bench_function("end_to_end/demo", |b| {
+        b.iter(|| {
+            let mut gm = GenMapper::in_memory().unwrap();
+            gm.import_dumps(&eco.dumps).unwrap()
+        })
+    });
+    // parse-only, serial vs parallel
+    group.bench_function("parse_all/serial", |b| {
+        b.iter(|| import::pipeline::parse_dumps(&eco.dumps, 1).unwrap())
+    });
+    group.bench_function("parse_all/parallel4", |b| {
+        b.iter(|| import::pipeline::parse_dumps(&eco.dumps, 4).unwrap())
+    });
+    // incremental re-import of an identical release (dedup fast path)
+    let mut f = fixture(EcosystemParams::demo(4));
+    let batch = eco.dumps[0].parse().unwrap();
+    group.bench_function("reimport/skip_same_release", |b| {
+        let gm = &mut f.gm;
+        b.iter(|| {
+            let report = gm.import_batch(&batch).unwrap();
+            assert!(report.skipped);
+            report
+        });
+    });
+    group.finish();
+}
+
+criterion_group!{
+    name = benches;
+    config = Criterion::default()
+        .warm_up_time(std::time::Duration::from_millis(500))
+        .measurement_time(std::time::Duration::from_secs(2));
+    targets = bench_parse_dialects, bench_import_pipeline
+}
+criterion_main!(benches);

@@ -1,0 +1,60 @@
+//! Experiment T2 — the simple operations of paper Table 2.
+//!
+//! Measures `Map` (index-served retrieval from the GAM database) and the
+//! pure mapping operations `Domain`, `Range`, `RestrictDomain`,
+//! `RestrictRange` and `inverse` across mapping sizes. Regenerates the
+//! semantics examples of Table 2 in `bench/src/bin/experiments.rs`.
+
+use bench::{demo_fixture, synthetic_mapping};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use std::collections::BTreeSet;
+
+fn bench_pure_operations(c: &mut Criterion) {
+    let mut group = c.benchmark_group("table2/pure");
+    for &n in &[1_000usize, 10_000, 100_000] {
+        let mapping = synthetic_mapping(7, n, 4);
+        let domain = mapping.domain();
+        let half: BTreeSet<_> = domain.iter().copied().take(domain.len() / 2).collect();
+        group.throughput(Throughput::Elements(mapping.len() as u64));
+        group.bench_with_input(BenchmarkId::new("domain", n), &mapping, |b, m| {
+            b.iter(|| m.domain())
+        });
+        group.bench_with_input(BenchmarkId::new("range", n), &mapping, |b, m| {
+            b.iter(|| m.range())
+        });
+        group.bench_with_input(BenchmarkId::new("restrict_domain", n), &mapping, |b, m| {
+            b.iter(|| m.restrict_domain(&half))
+        });
+        group.bench_with_input(BenchmarkId::new("restrict_range", n), &mapping, |b, m| {
+            b.iter(|| m.restrict_range(&m.range()))
+        });
+        group.bench_with_input(BenchmarkId::new("inverse", n), &mapping, |b, m| {
+            b.iter(|| m.inverse())
+        });
+    }
+    group.finish();
+}
+
+fn bench_map_retrieval(c: &mut Criterion) {
+    let f = demo_fixture(21);
+    let mut group = c.benchmark_group("table2/map");
+    for (from, to) in [("LocusLink", "GO"), ("LocusLink", "Hugo"), ("NetAffx", "Unigene")] {
+        group.bench_function(format!("map/{from}->{to}"), |b| {
+            b.iter(|| f.gm.map(from, to).expect("mapping exists"))
+        });
+        // reversed orientation pays the inversion
+        group.bench_function(format!("map/{to}->{from}"), |b| {
+            b.iter(|| f.gm.map(to, from).expect("mapping exists"))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!{
+    name = benches;
+    config = Criterion::default()
+        .warm_up_time(std::time::Duration::from_millis(500))
+        .measurement_time(std::time::Duration::from_secs(2));
+    targets = bench_pure_operations, bench_map_retrieval
+}
+criterion_main!(benches);

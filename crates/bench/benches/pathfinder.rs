@@ -1,0 +1,91 @@
+//! Experiment S5-path — automatic mapping-path discovery (paper §5.1).
+//!
+//! Sweeps source-graph size (10–60 sources, toward the paper's 60+) and
+//! density, measuring BFS shortest path, quality-weighted Dijkstra,
+//! via-constrained search, and Yen's k-shortest paths.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use gam::model::RelType;
+use gam::SourceId;
+use pathfinder::{SourceGraph, WeightScheme};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// A random connected source graph of `n` nodes with extra density.
+fn random_graph(seed: u64, n: u32, extra_edges: u32) -> SourceGraph {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut g = SourceGraph::default();
+    // spanning tree keeps it connected
+    for i in 1..n {
+        let parent = rng.gen_range(0..i);
+        g.add_edge(SourceId(i), SourceId(parent), RelType::Fact);
+    }
+    for _ in 0..extra_edges {
+        let a = rng.gen_range(0..n);
+        let b = rng.gen_range(0..n);
+        if a != b {
+            let t = if rng.gen_bool(0.5) {
+                RelType::Fact
+            } else {
+                RelType::Similarity
+            };
+            g.add_edge(SourceId(a), SourceId(b), t);
+        }
+    }
+    g
+}
+
+fn bench_shortest_paths(c: &mut Criterion) {
+    let mut group = c.benchmark_group("pathfinder/shortest");
+    for &n in &[10u32, 30, 60] {
+        let g = random_graph(9, n, n * 2);
+        let from = SourceId(0);
+        let to = SourceId(n - 1);
+        group.bench_with_input(BenchmarkId::new("bfs", n), &g, |b, g| {
+            b.iter(|| g.shortest_path(from, to).expect("connected"))
+        });
+        group.bench_with_input(BenchmarkId::new("dijkstra_quality", n), &g, |b, g| {
+            b.iter(|| g.best_path(from, to, WeightScheme::Quality).expect("connected"))
+        });
+        group.bench_with_input(BenchmarkId::new("via", n), &g, |b, g| {
+            b.iter(|| g.path_via(from, SourceId(n / 2), to).expect("connected"))
+        });
+    }
+    group.finish();
+}
+
+fn bench_k_shortest(c: &mut Criterion) {
+    let mut group = c.benchmark_group("pathfinder/k_shortest");
+    group.sample_size(20);
+    let g = random_graph(10, 60, 180);
+    for &k in &[1usize, 4, 8] {
+        group.bench_with_input(BenchmarkId::from_parameter(k), &k, |b, &k| {
+            b.iter(|| g.k_shortest_paths(SourceId(0), SourceId(59), k))
+        });
+    }
+    group.finish();
+}
+
+fn bench_density_sweep(c: &mut Criterion) {
+    // "with a high degree of inter-connectivity between the sources, many
+    // paths may be possible" — density drives the path search cost
+    let mut group = c.benchmark_group("pathfinder/density");
+    for &extra in &[30u32, 120, 480] {
+        let g = random_graph(11, 60, extra);
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("edges{}", g.edge_count())),
+            &g,
+            |b, g| b.iter(|| g.k_shortest_paths(SourceId(0), SourceId(59), 4)),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!{
+    name = benches;
+    config = Criterion::default()
+        .warm_up_time(std::time::Duration::from_millis(500))
+        .measurement_time(std::time::Duration::from_secs(2));
+    targets = bench_shortest_paths, bench_k_shortest, bench_density_sweep
+}
+criterion_main!(benches);

@@ -1,0 +1,62 @@
+//! Experiment S5-profiling — the §5.2 functional-profiling pipeline.
+//!
+//! Measures the end-to-end profiling run (probe mapping through
+//! NetAffx→UniGene→LocusLink→GO plus Subsumed aggregation and
+//! hypergeometric enrichment) and its stages, at demo and medium scale.
+
+use bench::{demo_fixture, medium_fixture};
+use criterion::{criterion_group, criterion_main, Criterion};
+use profiling::{ExpressionParams, ExpressionStudy, FunctionalProfile};
+
+fn bench_pipeline(c: &mut Criterion) {
+    let mut group = c.benchmark_group("profiling/pipeline");
+    group.sample_size(10);
+    {
+        let f = demo_fixture(71);
+        let study = ExpressionStudy::simulate(&f.eco.universe, ExpressionParams::default());
+        let mut gm = f.gm;
+        group.bench_function("end_to_end/demo", |b| {
+            b.iter(|| FunctionalProfile::run(&mut gm, &study).expect("profiles"))
+        });
+    }
+    {
+        let f = medium_fixture(72);
+        let study = ExpressionStudy::simulate(&f.eco.universe, ExpressionParams::default());
+        let mut gm = f.gm;
+        group.bench_function("end_to_end/medium", |b| {
+            b.iter(|| FunctionalProfile::run(&mut gm, &study).expect("profiles"))
+        });
+    }
+    group.finish();
+}
+
+fn bench_stages(c: &mut Criterion) {
+    let f = medium_fixture(73);
+    let mut group = c.benchmark_group("profiling/stages");
+    group.bench_function("simulate_expression", |b| {
+        b.iter(|| ExpressionStudy::simulate(&f.eco.universe, ExpressionParams::default()))
+    });
+    let go = f.gm.source_id("GO").unwrap();
+    group.bench_function("subsumed_closure", |b| {
+        b.iter(|| operators::subsume(f.gm.store(), go).expect("closure"))
+    });
+    group.bench_function("enrichment_math", |b| {
+        b.iter(|| {
+            let mut acc = 0.0f64;
+            for k in 0..50 {
+                acc += profiling::stats::hypergeometric_sf(20_000, 400, 2_500, k);
+            }
+            acc
+        })
+    });
+    group.finish();
+}
+
+criterion_group!{
+    name = benches;
+    config = Criterion::default()
+        .warm_up_time(std::time::Duration::from_millis(500))
+        .measurement_time(std::time::Duration::from_secs(2));
+    targets = bench_pipeline, bench_stages
+}
+criterion_main!(benches);

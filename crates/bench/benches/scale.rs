@@ -1,0 +1,86 @@
+//! Experiment S5-scale — the §5 deployment numbers.
+//!
+//! "It currently contains approx. 2 million objects of over 60 data
+//! sources, and 5 million object associations organized in over 500
+//! different mappings."
+//!
+//! Sweeps the ecosystem scale factor, measuring end-to-end integration
+//! throughput and post-integration query latency (Map and a two-target
+//! view). The absolute paper-scale run (factor 20, ~2M objects) is gated
+//! behind `GENMAPPER_FULL_SCALE=1` — it takes minutes; the default sweep
+//! keeps the same shape at laptop-friendly sizes. The measured
+//! cardinalities per factor are printed once per run and recorded in
+//! EXPERIMENTS.md.
+
+use bench::{fixture, scaled_params};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use genmapper::{GenMapper, QuerySpec};
+use sources::ecosystem::Ecosystem;
+
+fn factors() -> Vec<f64> {
+    if std::env::var("GENMAPPER_FULL_SCALE").as_deref() == Ok("1") {
+        vec![0.25, 1.0, 4.0, 20.0]
+    } else {
+        vec![0.25, 1.0, 4.0]
+    }
+}
+
+fn bench_integration_scale(c: &mut Criterion) {
+    let mut group = c.benchmark_group("scale/integration");
+    group.sample_size(10);
+    for &factor in &factors() {
+        let params = scaled_params(13, factor);
+        let eco = Ecosystem::generate(params);
+        // print the cardinalities this factor reaches (recorded in
+        // EXPERIMENTS.md against the paper's 60 sources / 2M objects / 5M
+        // associations / 500 mappings)
+        {
+            let mut gm = GenMapper::in_memory().unwrap();
+            gm.import_dumps(&eco.dumps).unwrap();
+            eprintln!(
+                "[scale factor {factor}] dump bytes: {}, integrated: {}",
+                eco.dump_bytes(),
+                gm.cardinalities().unwrap()
+            );
+        }
+        group.throughput(Throughput::Bytes(eco.dump_bytes() as u64));
+        group.bench_with_input(BenchmarkId::from_parameter(factor), &eco, |b, eco| {
+            b.iter(|| {
+                let mut gm = GenMapper::in_memory().unwrap();
+                gm.import_dumps(&eco.dumps).unwrap();
+                gm
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_query_latency_at_scale(c: &mut Criterion) {
+    let mut group = c.benchmark_group("scale/query_latency");
+    group.sample_size(20);
+    for &factor in &factors() {
+        let mut f = fixture(scaled_params(14, factor));
+        group.bench_with_input(BenchmarkId::new("map", factor), &factor, |b, _| {
+            b.iter(|| f.gm.map("LocusLink", "GO").expect("mapping"))
+        });
+        let spec = QuerySpec::source("LocusLink").target("GO").target("Hugo").or();
+        group.bench_with_input(BenchmarkId::new("view_2targets", factor), &factor, |b, _| {
+            b.iter(|| f.gm.query(&spec).expect("view"))
+        });
+        // point query: one locus, one target (interactive usage)
+        let point = QuerySpec::source("LocusLink").accessions(["353"]).target("GO");
+        group.bench_with_input(BenchmarkId::new("point_view", factor), &factor, |b, _| {
+            b.iter(|| f.gm.query(&point).expect("view"))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!{
+    name = benches;
+    config = Criterion::default()
+        .warm_up_time(std::time::Duration::from_millis(500))
+        .measurement_time(std::time::Duration::from_secs(2));
+    targets = bench_integration_scale, bench_query_latency_at_scale
+}
+criterion_main!(benches);

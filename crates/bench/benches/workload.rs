@@ -1,0 +1,105 @@
+//! Mixed interactive workload — the usage profile of the deployed system
+//! (§5.1): many small lookups, some annotation views, occasional composed
+//! queries, all against one integrated database.
+//!
+//! The mix is 60% object-info lookups, 25% point views (one accession, one
+//! target), 10% two-target views, 5% composed-path views — a plausible
+//! interactive session distribution; the bench reports sustained
+//! queries/second at medium scale.
+
+use bench::medium_fixture;
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use genmapper::QuerySpec;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+fn bench_query_mix(c: &mut Criterion) {
+    let mut f = medium_fixture(81);
+    // pre-build the operation schedule so RNG cost is outside the loop
+    let accessions: Vec<String> = f
+        .eco
+        .universe
+        .loci
+        .iter()
+        .map(|l| l.id.to_string())
+        .collect();
+    let probes: Vec<String> = f
+        .eco
+        .universe
+        .probesets
+        .iter()
+        .map(|p| p.acc.clone())
+        .collect();
+    let mut rng = SmallRng::seed_from_u64(4242);
+    #[derive(Clone)]
+    enum Op {
+        Info(String),
+        PointView(String),
+        TwoTargetView(String),
+        ComposedView(String),
+    }
+    let schedule: Vec<Op> = (0..512)
+        .map(|_| {
+            let acc = accessions[rng.gen_range(0..accessions.len())].clone();
+            match rng.gen_range(0..100) {
+                0..=59 => Op::Info(acc),
+                60..=84 => Op::PointView(acc),
+                85..=94 => Op::TwoTargetView(acc),
+                _ => Op::ComposedView(probes[rng.gen_range(0..probes.len())].clone()),
+            }
+        })
+        .collect();
+
+    let mut group = c.benchmark_group("workload/interactive_mix");
+    group.sample_size(10);
+    group.throughput(Throughput::Elements(schedule.len() as u64));
+    group.bench_function("mixed_512_ops", |b| {
+        b.iter(|| {
+            let mut rows = 0usize;
+            for op in &schedule {
+                match op {
+                    Op::Info(acc) => {
+                        rows += f
+                            .gm
+                            .object_info("LocusLink", acc)
+                            .expect("info")
+                            .associations
+                            .len();
+                    }
+                    Op::PointView(acc) => {
+                        let spec = QuerySpec::source("LocusLink")
+                            .accessions([acc.as_str()])
+                            .target("GO");
+                        rows += f.gm.query(&spec).expect("view").len();
+                    }
+                    Op::TwoTargetView(acc) => {
+                        let spec = QuerySpec::source("LocusLink")
+                            .accessions([acc.as_str()])
+                            .target("GO")
+                            .target("OMIM")
+                            .or();
+                        rows += f.gm.query(&spec).expect("view").len();
+                    }
+                    Op::ComposedView(probe) => {
+                        let spec = QuerySpec::source("NetAffx")
+                            .accessions([probe.as_str()])
+                            .target("GO")
+                            .and();
+                        rows += f.gm.query(&spec).expect("view").len();
+                    }
+                }
+            }
+            rows
+        })
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .warm_up_time(std::time::Duration::from_millis(500))
+        .measurement_time(std::time::Duration::from_secs(3));
+    targets = bench_query_mix
+}
+criterion_main!(benches);

@@ -1,0 +1,259 @@
+//! Regenerate every paper artifact (tables, figures, deployment numbers)
+//! and print them in the paper's own shape. The output of this binary is
+//! what EXPERIMENTS.md records as "measured".
+//!
+//! Run with: `cargo run --release -p bench --bin experiments`
+//! Full §5 deployment scale: `GENMAPPER_FULL_SCALE=1 cargo run --release -p bench --bin experiments`
+
+use bench::scaled_params;
+use eav::EavRecord;
+use gam::mapping::Association;
+use gam::model::RelType;
+use gam::{Mapping, ObjectId, SourceId};
+use genmapper::{GenMapper, QuerySpec, TargetQuery};
+use profiling::{ExpressionParams, ExpressionStudy, FunctionalProfile};
+use sources::ecosystem::{Ecosystem, EcosystemParams};
+use std::time::Instant;
+
+fn heading(id: &str, title: &str) {
+    println!("\n================================================================");
+    println!("{id}: {title}");
+    println!("================================================================");
+}
+
+fn main() {
+    let full_scale = std::env::var("GENMAPPER_FULL_SCALE").as_deref() == Ok("1");
+
+    // ------------------------------------------------------------- T1/F1
+    heading("T1 / F1", "Parsed EAV rows for LocusLink locus 353 (paper Table 1)");
+    let eco = Ecosystem::generate(EcosystemParams::demo(7));
+    let batch = eco.dumps[0].parse().expect("LocusLink parses");
+    println!("{:<8} {:<10} {:<14} Text", "Locus", "Target", "Accession");
+    for r in &batch.records {
+        if let EavRecord::Annotation {
+            entity,
+            target,
+            accession,
+            text,
+            ..
+        } = r
+        {
+            if entity == "353" {
+                println!(
+                    "{:<8} {:<10} {:<14} {}",
+                    entity,
+                    target,
+                    accession,
+                    text.as_deref().unwrap_or("")
+                );
+            }
+        }
+    }
+
+    // ---------------------------------------------------------------- T2
+    heading("T2", "Simple operations on the paper's example mapping (paper Table 2)");
+    let map = Mapping {
+        from: SourceId(1),
+        to: SourceId(2),
+        rel_type: RelType::Fact,
+        pairs: vec![
+            Association::fact(ObjectId(1), ObjectId(11)),
+            Association::fact(ObjectId(2), ObjectId(12)),
+        ],
+    };
+    println!("map               = {{s1<->t1, s2<->t2}}");
+    println!("Domain(map)       = {:?}  (expected {{s1, s2}})", map.domain());
+    println!("Range(map)        = {:?}  (expected {{t1, t2}})", map.range());
+    println!(
+        "RestrictDomain(map, {{s1}}) = {:?}  (expected {{s1<->t1}})",
+        map.restrict_domain(&[ObjectId(1)].into()).pairs
+    );
+    println!(
+        "RestrictRange(map, {{t2}})  = {:?}  (expected {{s2<->t2}})",
+        map.restrict_range(&[ObjectId(12)].into()).pairs
+    );
+
+    // ---------------------------------------------------------------- F2
+    heading("F2", "Architecture end-to-end: import phase + view phase (paper Figure 2)");
+    let start = Instant::now();
+    let mut gm = GenMapper::in_memory().expect("store");
+    let reports = gm.import_dumps(&eco.dumps).expect("pipeline");
+    let import_time = start.elapsed();
+    println!(
+        "imported {} dumps ({} bytes of flat files) in {:.2?}",
+        reports.len(),
+        eco.dump_bytes(),
+        import_time
+    );
+    println!("{}", gm.cardinalities().expect("stats"));
+
+    // ---------------------------------------------------------------- F3
+    heading("F3", "Annotation view for LocusLink genes (paper Figure 3)");
+    let loci: Vec<String> = eco.universe.loci.iter().take(4).map(|l| l.id.to_string()).collect();
+    let spec = QuerySpec::source("LocusLink")
+        .accessions(loci.iter().map(String::as_str))
+        .target("Hugo")
+        .target("GO")
+        .target("Location")
+        .target("OMIM")
+        .or();
+    let view = gm.query(&spec).expect("view");
+    print!("{}", view.to_tsv());
+
+    // ---------------------------------------------------------------- F4
+    heading("F4", "The GAM data model (paper Figure 4): table schemas as installed");
+    for schema in gam::schema::all_schemas() {
+        let cols: Vec<String> = schema
+            .columns()
+            .iter()
+            .map(|c| format!("{}:{}{}", c.name, c.ty, if c.nullable { "?" } else { "" }))
+            .collect();
+        println!("{:<12} ({})", schema.name(), cols.join(", "));
+    }
+
+    // ---------------------------------------------------------------- F5
+    heading("F5", "GenerateView algorithm behaviour (paper Figure 5)");
+    let base = QuerySpec::source("LocusLink").target("GO").target("OMIM");
+    let or_view = gm.query(&base.clone().or()).expect("or view");
+    let and_view = gm.query(&base.clone().and()).expect("and view");
+    let not_view = gm
+        .query(
+            &QuerySpec::source("LocusLink")
+                .target("GO")
+                .target_spec(TargetQuery::new("OMIM").negated())
+                .and(),
+        )
+        .expect("not view");
+    let distinct = |v: &genmapper::ResolvedView| {
+        v.rows
+            .iter()
+            .filter_map(|r| r.cell_text(0).map(str::to_owned))
+            .collect::<std::collections::BTreeSet<_>>()
+            .len()
+    };
+    let n_loci = eco.universe.loci.len();
+    println!("source objects                         : {n_loci}");
+    println!(
+        "OR view   (GO, OMIM): {} rows, {} distinct loci (expected all {n_loci})",
+        or_view.len(),
+        distinct(&or_view)
+    );
+    println!(
+        "AND view  (GO, OMIM): {} rows, {} distinct loci (loci with both annotations)",
+        and_view.len(),
+        distinct(&and_view)
+    );
+    println!(
+        "AND + NOT OMIM      : {} rows, {} distinct loci (complement of OMIM side: {} + {} = {})",
+        not_view.len(),
+        distinct(&not_view),
+        distinct(&and_view),
+        distinct(&not_view),
+        distinct(&and_view) + distinct(&not_view),
+    );
+
+    // ---------------------------------------------------------------- F6
+    heading("F6", "Interactive workflow: path discovery + query + object info (paper Figure 6)");
+    let path = gm.find_path("NetAffx", "GO").expect("path");
+    println!("automatic mapping path NetAffx->GO : {}", path.join(" -> "));
+    let alternatives = gm.find_paths("NetAffx", "GO", 3).expect("paths");
+    println!("alternative paths found            : {}", alternatives.len());
+    let info = gm.object_info("LocusLink", "353").expect("info");
+    println!(
+        "object info 353: name={:?}, {} associations",
+        info.text,
+        info.associations.len()
+    );
+
+    // ---------------------------------------------------------- S5-scale
+    heading(
+        "S5-scale",
+        "Deployment cardinalities (paper §5: 60+ sources, ~2M objects, ~5M associations, 500+ mappings)",
+    );
+    let factors: &[f64] = if full_scale {
+        &[0.25, 1.0, 4.0, 20.0]
+    } else {
+        &[0.25, 1.0, 4.0]
+    };
+    println!(
+        "{:<8} {:>8} {:>10} {:>12} {:>10} {:>12} {:>10}",
+        "factor", "sources", "objects", "associations", "mappings", "dump bytes", "import"
+    );
+    for &factor in factors {
+        // the top factor runs the §5 deployment configuration (65 sources,
+        // multi-hub satellites); smaller factors scale the medium setup
+        let params = if factor >= 20.0 {
+            EcosystemParams::paper_scale(13)
+        } else {
+            scaled_params(13, factor)
+        };
+        let eco = Ecosystem::generate(params);
+        let start = Instant::now();
+        let mut gm = GenMapper::in_memory().expect("store");
+        gm.import_dumps(&eco.dumps).expect("pipeline");
+        // materialize the paper's flagship derived mappings so the mapping
+        // count reflects deployment practice
+        let _ = gm.materialize_composed(&["Unigene", "LocusLink", "GO"]);
+        let _ = gm.materialize_subsumed("GO");
+        let elapsed = start.elapsed();
+        let cards = gm.cardinalities().expect("stats");
+        println!(
+            "{:<8} {:>8} {:>10} {:>12} {:>10} {:>12} {:>10.2?}",
+            factor,
+            cards.sources,
+            cards.objects,
+            cards.associations,
+            cards.mappings,
+            eco.dump_bytes(),
+            elapsed
+        );
+        if !full_scale && factor >= 4.0 {
+            // relationship-type breakdown (paper §3's six-way classification)
+            print!("  by type:");
+            for (rel_type, mappings, _) in gm.store().mapping_type_counts().expect("stats") {
+                print!(" {rel_type}={mappings}");
+            }
+            println!();
+            println!("(run with GENMAPPER_FULL_SCALE=1 for the ~2M-object factor-20 row)");
+        }
+    }
+
+    // ------------------------------------------------------ S5-profiling
+    heading("S5-profiling", "Functional profiling pipeline (paper §5.2)");
+    let eco = Ecosystem::generate(EcosystemParams {
+        universe: sources::universe::UniverseParams {
+            seed: 2004,
+            n_loci: if full_scale { 40_000 } else { 4_000 },
+            n_go_terms: if full_scale { 12_000 } else { 1_200 },
+            ..sources::universe::UniverseParams::default()
+        },
+        n_satellites: 0,
+        satellite_objects: 0,
+        satellite_links: 0,
+        satellite_hubs: 1,
+        satellite_scored_fraction: 0.0,
+    });
+    let mut gm = GenMapper::in_memory().expect("store");
+    gm.import_dumps(&eco.dumps).expect("pipeline");
+    let study = ExpressionStudy::simulate(&eco.universe, ExpressionParams::default());
+    let (total, detected, differential) = study.counts();
+    println!("probe sets            : {total:>7}   (paper: ~40,000 genes)");
+    println!("detected              : {detected:>7}   (paper: ~20,000)");
+    println!("differential          : {differential:>7}   (paper: ~2,500)");
+    let start = Instant::now();
+    let report = FunctionalProfile::run(&mut gm, &study).expect("profiles");
+    println!("pipeline runtime      : {:.2?}", start.elapsed());
+    println!("study loci            : {:>7}", report.study_loci);
+    println!("background loci       : {:>7}", report.population_loci);
+    println!("GO terms profiled     : {:>7}", report.enrichment.len());
+    for (acc, name, n) in &report.namespace_breakdown {
+        println!("    {acc} {:<22} {n:>6} terms", name.as_deref().unwrap_or(""));
+    }
+    println!("top 5 enriched GO terms:");
+    for t in report.enrichment.iter().take(5) {
+        println!(
+            "  {:<14} study {:>4} / pop {:>5}  p={:.3e}",
+            t.accession, t.study_count, t.population_count, t.p_value
+        );
+    }
+}

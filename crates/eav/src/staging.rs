@@ -1,0 +1,296 @@
+//! Line-oriented staging files for parse output.
+//!
+//! GenMapper persists parse output in staging tables before the generic
+//! Import runs; here the equivalent artifact is a tab-separated text file:
+//!
+//! ```text
+//! #source LocusLink
+//! #release 2003-10
+//! #content Gene
+//! #structure Flat
+//! #partition <name>          (zero or more)
+//! O <accession> <text> <number>
+//! A <entity> <target> <accession> <text> <evidence>
+//! I <child> <parent>
+//! ```
+//!
+//! Empty optional fields are written as `-`. Tabs inside values are not
+//! supported (they do not occur in accessions or curated names).
+
+use crate::batch::{EavBatch, SourceMeta};
+use crate::record::EavRecord;
+use gam::model::{SourceContent, SourceStructure};
+use std::fmt::Write as _;
+use std::io::{BufRead, BufReader, Read};
+
+/// Errors from reading a staging file.
+#[derive(Debug)]
+pub enum StagingError {
+    Io(std::io::Error),
+    /// A malformed line, with its 1-based line number and reason.
+    Malformed { line: usize, reason: String },
+    /// The header block was incomplete.
+    MissingHeader(&'static str),
+}
+
+impl std::fmt::Display for StagingError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            StagingError::Io(e) => write!(f, "i/o error: {e}"),
+            StagingError::Malformed { line, reason } => {
+                write!(f, "malformed staging line {line}: {reason}")
+            }
+            StagingError::MissingHeader(what) => write!(f, "missing staging header: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for StagingError {}
+
+impl From<std::io::Error> for StagingError {
+    fn from(e: std::io::Error) -> Self {
+        StagingError::Io(e)
+    }
+}
+
+fn opt(s: &Option<String>) -> &str {
+    s.as_deref().unwrap_or("-")
+}
+
+fn parse_opt(s: &str) -> Option<String> {
+    if s == "-" || s.is_empty() {
+        None
+    } else {
+        Some(s.to_owned())
+    }
+}
+
+/// Serialize a batch to the staging text format.
+pub fn write_staging(batch: &EavBatch) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "#source\t{}", batch.meta.name);
+    let _ = writeln!(out, "#release\t{}", batch.meta.release);
+    let _ = writeln!(out, "#content\t{}", batch.meta.content);
+    let _ = writeln!(out, "#structure\t{}", batch.meta.structure);
+    for p in &batch.meta.partitions {
+        let _ = writeln!(out, "#partition\t{p}");
+    }
+    for r in &batch.records {
+        match r {
+            EavRecord::Object {
+                accession,
+                text,
+                number,
+            } => {
+                let num = number.map(|n| n.to_string());
+                let _ = writeln!(out, "O\t{accession}\t{}\t{}", opt(text), opt(&num));
+            }
+            EavRecord::Annotation {
+                entity,
+                target,
+                accession,
+                text,
+                evidence,
+            } => {
+                let ev = evidence.map(|e| e.to_string());
+                let _ = writeln!(
+                    out,
+                    "A\t{entity}\t{target}\t{accession}\t{}\t{}",
+                    opt(text),
+                    opt(&ev)
+                );
+            }
+            EavRecord::IsA { child, parent } => {
+                let _ = writeln!(out, "I\t{child}\t{parent}");
+            }
+        }
+    }
+    out
+}
+
+/// Parse a staging file back into a batch.
+pub fn read_staging<R: Read>(reader: R) -> Result<EavBatch, StagingError> {
+    let mut name = None;
+    let mut release = None;
+    let mut content = None;
+    let mut structure = None;
+    let mut partitions = Vec::new();
+    let mut records = Vec::new();
+
+    for (lineno, line) in BufReader::new(reader).lines().enumerate() {
+        let line = line?;
+        let lineno = lineno + 1;
+        if line.is_empty() {
+            continue;
+        }
+        let malformed = |reason: &str| StagingError::Malformed {
+            line: lineno,
+            reason: reason.to_owned(),
+        };
+        if let Some(header) = line.strip_prefix('#') {
+            let (key, value) = header
+                .split_once('\t')
+                .ok_or_else(|| malformed("header without value"))?;
+            match key {
+                "source" => name = Some(value.to_owned()),
+                "release" => release = Some(value.to_owned()),
+                "content" => {
+                    content = Some(match value {
+                        "Gene" => SourceContent::Gene,
+                        "Protein" => SourceContent::Protein,
+                        "Other" => SourceContent::Other,
+                        _ => return Err(malformed("unknown content class")),
+                    })
+                }
+                "structure" => {
+                    structure = Some(match value {
+                        "Flat" => SourceStructure::Flat,
+                        "Network" => SourceStructure::Network,
+                        _ => return Err(malformed("unknown structure class")),
+                    })
+                }
+                "partition" => partitions.push(value.to_owned()),
+                _ => return Err(malformed("unknown header key")),
+            }
+            continue;
+        }
+        let fields: Vec<&str> = line.split('\t').collect();
+        match fields[0] {
+            "O" => {
+                if fields.len() != 4 {
+                    return Err(malformed("O record needs 4 fields"));
+                }
+                let number = match parse_opt(fields[3]) {
+                    None => None,
+                    Some(s) => Some(
+                        s.parse::<f64>()
+                            .map_err(|_| malformed("bad number field"))?,
+                    ),
+                };
+                records.push(EavRecord::Object {
+                    accession: fields[1].to_owned(),
+                    text: parse_opt(fields[2]),
+                    number,
+                });
+            }
+            "A" => {
+                if fields.len() != 6 {
+                    return Err(malformed("A record needs 6 fields"));
+                }
+                let evidence = match parse_opt(fields[5]) {
+                    None => None,
+                    Some(s) => Some(
+                        s.parse::<f64>()
+                            .map_err(|_| malformed("bad evidence field"))?,
+                    ),
+                };
+                records.push(EavRecord::Annotation {
+                    entity: fields[1].to_owned(),
+                    target: fields[2].to_owned(),
+                    accession: fields[3].to_owned(),
+                    text: parse_opt(fields[4]),
+                    evidence,
+                });
+            }
+            "I" => {
+                if fields.len() != 3 {
+                    return Err(malformed("I record needs 3 fields"));
+                }
+                records.push(EavRecord::IsA {
+                    child: fields[1].to_owned(),
+                    parent: fields[2].to_owned(),
+                });
+            }
+            _ => return Err(malformed("unknown record tag")),
+        }
+    }
+
+    Ok(EavBatch {
+        meta: SourceMeta {
+            name: name.ok_or(StagingError::MissingHeader("source"))?,
+            release: release.ok_or(StagingError::MissingHeader("release"))?,
+            content: content.ok_or(StagingError::MissingHeader("content"))?,
+            structure: structure.ok_or(StagingError::MissingHeader("structure"))?,
+            partitions,
+        },
+        records,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn batch() -> EavBatch {
+        let mut meta = SourceMeta::network("GO", "2003-12", SourceContent::Other);
+        meta.partitions = vec!["BiologicalProcess".into(), "MolecularFunction".into()];
+        let mut b = EavBatch::new(meta);
+        b.push(EavRecord::named_object("GO:0009116", "nucleoside metabolism"));
+        b.push(EavRecord::Object {
+            accession: "GO:0008150".into(),
+            text: None,
+            number: Some(1.5),
+        });
+        b.push(EavRecord::is_a("GO:0009116", "GO:0008150"));
+        b.push(EavRecord::similarity("GO:0009116", "Enzyme", "2.4.2.7", 0.75));
+        b
+    }
+
+    #[test]
+    fn roundtrip() {
+        let b = batch();
+        let text = write_staging(&b);
+        let back = read_staging(text.as_bytes()).unwrap();
+        assert_eq!(back, b);
+    }
+
+    #[test]
+    fn table1_staging_shape() {
+        let mut b = EavBatch::new(SourceMeta::flat_gene("LocusLink", "2003-10"));
+        b.push(EavRecord::annotation_with_text(
+            "353",
+            "Hugo",
+            "APRT",
+            "adenine phosphoribosyltransferase",
+        ));
+        let text = write_staging(&b);
+        assert!(text.contains("A\t353\tHugo\tAPRT\tadenine phosphoribosyltransferase\t-"));
+    }
+
+    #[test]
+    fn malformed_lines_are_located() {
+        let text = "#source\tX\n#release\tr\n#content\tGene\n#structure\tFlat\nO\tonly-two\n";
+        let err = read_staging(text.as_bytes()).unwrap_err();
+        match err {
+            StagingError::Malformed { line, .. } => assert_eq!(line, 5),
+            other => panic!("unexpected error {other}"),
+        }
+    }
+
+    #[test]
+    fn missing_headers_detected() {
+        let text = "#source\tX\nO\ta\t-\t-\n";
+        let err = read_staging(text.as_bytes()).unwrap_err();
+        assert!(matches!(err, StagingError::MissingHeader("release")));
+    }
+
+    #[test]
+    fn bad_numbers_and_tags_rejected() {
+        let header = "#source\tX\n#release\tr\n#content\tGene\n#structure\tFlat\n";
+        let err = read_staging(format!("{header}O\ta\t-\tNaNoNum\n").as_bytes());
+        assert!(err.is_err());
+        let err = read_staging(format!("{header}Z\tx\n").as_bytes());
+        assert!(err.is_err());
+        let err = read_staging(format!("{header}A\te\tt\ta\t-\tbadev\n").as_bytes());
+        assert!(err.is_err());
+        let err = read_staging("#content\tMineral\n".as_bytes());
+        assert!(err.is_err());
+    }
+
+    #[test]
+    fn empty_lines_and_optional_fields() {
+        let text = "#source\tX\n#release\tr\n#content\tOther\n#structure\tNetwork\n\nO\tacc\t-\t-\n";
+        let b = read_staging(text.as_bytes()).unwrap();
+        assert_eq!(b.records, vec![EavRecord::object("acc")]);
+    }
+}

@@ -1,0 +1,85 @@
+//! Strongly-typed identifiers for the four GAM tables.
+//!
+//! All ids are plain integers in the database; the newtypes prevent a
+//! source id being passed where an object id is expected (the classic
+//! failure mode of a generic schema where everything is an integer).
+
+use std::fmt;
+
+macro_rules! id_type {
+    ($(#[$doc:meta])* $name:ident, $inner:ty) => {
+        $(#[$doc])*
+        #[derive(
+            Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash,
+            serde::Serialize, serde::Deserialize,
+        )]
+        pub struct $name(pub $inner);
+
+        impl $name {
+            /// The raw integer value.
+            pub fn raw(self) -> $inner {
+                self.0
+            }
+
+            /// The value as stored in a relstore `Value::Int` cell.
+            pub fn as_i64(self) -> i64 {
+                self.0 as i64
+            }
+
+            /// Reconstruct from a stored integer.
+            pub fn from_i64(v: i64) -> Self {
+                $name(v as $inner)
+            }
+        }
+
+        impl fmt::Display for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, concat!(stringify!($name), "({})"), self.0)
+            }
+        }
+    };
+}
+
+id_type!(
+    /// Identifier of a row in `SOURCE`.
+    SourceId,
+    u32
+);
+id_type!(
+    /// Identifier of a row in `OBJECT`.
+    ObjectId,
+    u64
+);
+id_type!(
+    /// Identifier of a row in `SOURCE_REL` (a mapping).
+    SourceRelId,
+    u32
+);
+id_type!(
+    /// Identifier of a row in `OBJECT_REL` (an association).
+    ObjectRelId,
+    u64
+);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_and_display() {
+        let s = SourceId(7);
+        assert_eq!(s.raw(), 7);
+        assert_eq!(SourceId::from_i64(s.as_i64()), s);
+        assert_eq!(s.to_string(), "SourceId(7)");
+        let o = ObjectId(u64::from(u32::MAX) + 10);
+        assert_eq!(ObjectId::from_i64(o.as_i64()), o);
+    }
+
+    #[test]
+    fn ids_are_ordered_and_hashable() {
+        use std::collections::BTreeSet;
+        let set: BTreeSet<ObjectId> = [ObjectId(3), ObjectId(1), ObjectId(2)].into();
+        let v: Vec<_> = set.into_iter().collect();
+        assert_eq!(v, vec![ObjectId(1), ObjectId(2), ObjectId(3)]);
+    }
+}

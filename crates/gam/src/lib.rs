@@ -1,0 +1,29 @@
+//! `gam` — the Generic Annotation Model (GAM) of GenMapper.
+//!
+//! The GAM (Do & Rahm, EDBT 2004, §3 and Figure 4) is a generic,
+//! EAV-descended relational model of four tables:
+//!
+//! | Table        | Contents |
+//! |--------------|----------|
+//! | `SOURCE`     | a predefined set of objects: a public collection of genes, an ontology, a database schema. Carries `content ∈ {Gene, Protein, Other}` and `structure ∈ {Flat, Network}` plus audit info (release). |
+//! | `OBJECT`     | one row per object: source-specific `accession`, optional `text` (e.g. a name), optional `number`. |
+//! | `SOURCE_REL` | relationships at source level ("mappings") with `type ∈ {Fact, Similarity, Contains, IsA, Composed, Subsumed}`. |
+//! | `OBJECT_REL` | relationships at object level ("associations"), each belonging to a source-level mapping, with an optional `evidence` value. |
+//!
+//! This crate defines the typed model ([`model`]), the relational schemas
+//! ([`schema`]), the [`Mapping`] currency exchanged by
+//! the high-level operators, and [`GamStore`] — a typed
+//! facade over a [`relstore::Database`] holding the four tables.
+
+pub mod error;
+pub mod ids;
+pub mod mapping;
+pub mod model;
+pub mod schema;
+pub mod store;
+
+pub use error::{GamError, GamResult};
+pub use ids::{ObjectId, ObjectRelId, SourceId, SourceRelId};
+pub use mapping::{Association, Mapping};
+pub use model::{GamObject, RelType, Source, SourceContent, SourceRel, SourceStructure};
+pub use store::GamStore;

@@ -1,0 +1,121 @@
+//! Relational schemas of the four GAM tables (paper Figure 4).
+
+use relstore::schema::{Column, Schema};
+use relstore::value::ValueType;
+
+/// Table name constants.
+pub mod tables {
+    pub const SOURCE: &str = "source";
+    pub const OBJECT: &str = "object";
+    pub const SOURCE_REL: &str = "source_rel";
+    pub const OBJECT_REL: &str = "object_rel";
+}
+
+/// `SOURCE(source_id, name, content, structure, release, imported_seq)`.
+pub fn source_schema() -> Schema {
+    Schema::builder(tables::SOURCE)
+        .column(Column::new("source_id", ValueType::Int))
+        .column(Column::new("name", ValueType::Text))
+        .column(Column::new("content", ValueType::Int))
+        .column(Column::new("structure", ValueType::Int))
+        .column(Column::nullable("release", ValueType::Text))
+        .column(Column::new("imported_seq", ValueType::Int))
+        .primary_key(&["source_id"])
+        .unique_index("by_name", &["name"])
+        .build()
+        .expect("static schema is valid")
+}
+
+/// `OBJECT(object_id, source_id, accession, text, number)`.
+pub fn object_schema() -> Schema {
+    Schema::builder(tables::OBJECT)
+        .column(Column::new("object_id", ValueType::Int))
+        .column(Column::new("source_id", ValueType::Int))
+        .column(Column::new("accession", ValueType::Text))
+        .column(Column::nullable("text", ValueType::Text))
+        .column(Column::nullable("number", ValueType::Float))
+        .primary_key(&["object_id"])
+        .unique_index("by_accession", &["source_id", "accession"])
+        .build()
+        .expect("static schema is valid")
+}
+
+/// `SOURCE_REL(source_rel_id, source1_id, source2_id, type, derivation)`.
+pub fn source_rel_schema() -> Schema {
+    Schema::builder(tables::SOURCE_REL)
+        .column(Column::new("source_rel_id", ValueType::Int))
+        .column(Column::new("source1_id", ValueType::Int))
+        .column(Column::new("source2_id", ValueType::Int))
+        .column(Column::new("type", ValueType::Int))
+        .column(Column::nullable("derivation", ValueType::Text))
+        .primary_key(&["source_rel_id"])
+        .index("by_pair", &["source1_id", "source2_id"])
+        .index("by_source2", &["source2_id"])
+        .build()
+        .expect("static schema is valid")
+}
+
+/// `OBJECT_REL(object_rel_id, source_rel_id, object1_id, object2_id,
+/// evidence)`.
+pub fn object_rel_schema() -> Schema {
+    Schema::builder(tables::OBJECT_REL)
+        .column(Column::new("object_rel_id", ValueType::Int))
+        .column(Column::new("source_rel_id", ValueType::Int))
+        .column(Column::new("object1_id", ValueType::Int))
+        .column(Column::new("object2_id", ValueType::Int))
+        .column(Column::nullable("evidence", ValueType::Float))
+        .primary_key(&["object_rel_id"])
+        .unique_index("by_pair", &["source_rel_id", "object1_id", "object2_id"])
+        .index("by_object1", &["object1_id"])
+        .index("by_object2", &["object2_id"])
+        .build()
+        .expect("static schema is valid")
+}
+
+/// All four schemas, in creation order.
+pub fn all_schemas() -> Vec<Schema> {
+    vec![
+        source_schema(),
+        object_schema(),
+        source_rel_schema(),
+        object_rel_schema(),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn schemas_build_and_have_expected_shape() {
+        let s = source_schema();
+        assert_eq!(s.arity(), 6);
+        assert!(s.index("by_name").unwrap().unique);
+
+        let o = object_schema();
+        assert_eq!(o.arity(), 5);
+        // the dedup index pins (source, accession)
+        let by_acc = o.index("by_accession").unwrap();
+        assert!(by_acc.unique);
+        assert_eq!(by_acc.columns.len(), 2);
+
+        let sr = source_rel_schema();
+        assert_eq!(sr.column_index("type").unwrap(), 3);
+
+        let or = object_rel_schema();
+        assert!(or.index("by_pair").unwrap().unique);
+        assert_eq!(all_schemas().len(), 4);
+    }
+
+    #[test]
+    fn schemas_install_into_a_database() {
+        let mut db = relstore::Database::in_memory();
+        for schema in all_schemas() {
+            db.create_table(schema).unwrap();
+        }
+        assert_eq!(
+            db.table_names(),
+            vec!["object", "object_rel", "source", "source_rel"]
+        );
+    }
+}

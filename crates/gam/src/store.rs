@@ -1,0 +1,1052 @@
+//! [`GamStore`] — a typed facade over a [`relstore::Database`] holding the
+//! four GAM tables.
+//!
+//! The store hands out application-level ids (`SourceId`, `ObjectId`, ...)
+//! allocated from in-memory counters that are re-seeded from the table
+//! contents on open, so ids remain stable across restarts.
+//!
+//! Write batching: single-row helpers (`create_object`, `add_association`)
+//! run one transaction each, which is fine in memory; bulk loaders
+//! (`add_objects_bulk`, `add_associations_bulk`) commit one transaction per
+//! batch so durable imports do one WAL sync per source rather than per row.
+
+use crate::error::{GamError, GamResult};
+use crate::ids::{ObjectId, ObjectRelId, SourceId, SourceRelId};
+use crate::mapping::{Association, Mapping};
+use crate::model::{GamObject, RelType, Source, SourceContent, SourceRel, SourceStructure};
+use crate::schema::{all_schemas, tables};
+use relstore::row::Row;
+use relstore::value::Value;
+use relstore::{Database, Predicate};
+use std::path::Path;
+
+/// Typed store over the GAM tables.
+pub struct GamStore {
+    db: Database,
+    next_source: u32,
+    next_object: u64,
+    next_source_rel: u32,
+    next_object_rel: u64,
+    import_seq: u64,
+}
+
+impl std::fmt::Debug for GamStore {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("GamStore")
+            .field("next_source", &self.next_source)
+            .field("next_object", &self.next_object)
+            .finish()
+    }
+}
+
+impl GamStore {
+    /// A fresh, volatile store.
+    pub fn in_memory() -> GamResult<Self> {
+        let mut db = Database::in_memory();
+        for schema in all_schemas() {
+            db.create_table(schema)?;
+        }
+        Ok(Self::wrap(db))
+    }
+
+    /// Open (or create) a durable store in `dir`.
+    pub fn open(dir: &Path) -> GamResult<Self> {
+        let mut db = Database::open(dir)?;
+        for schema in all_schemas() {
+            db.ensure_table(schema)?;
+        }
+        Ok(Self::wrap(db))
+    }
+
+    fn wrap(db: Database) -> Self {
+        let max_int = |table: &str, col: usize| -> i64 {
+            db.table(table)
+                .map(|t| {
+                    t.scan()
+                        .map(|(_, r)| r.get(col).as_int().unwrap_or(0))
+                        .max()
+                        .unwrap_or(0)
+                })
+                .unwrap_or(0)
+        };
+        let next_source = (max_int(tables::SOURCE, 0) + 1) as u32;
+        let next_object = (max_int(tables::OBJECT, 0) + 1) as u64;
+        let next_source_rel = (max_int(tables::SOURCE_REL, 0) + 1) as u32;
+        let next_object_rel = (max_int(tables::OBJECT_REL, 0) + 1) as u64;
+        let import_seq = db
+            .table(tables::SOURCE)
+            .map(|t| {
+                t.scan()
+                    .map(|(_, r)| r.get(5).as_int().unwrap_or(0) as u64)
+                    .max()
+                    .unwrap_or(0)
+            })
+            .unwrap_or(0);
+        GamStore {
+            db,
+            next_source,
+            next_object,
+            next_source_rel,
+            next_object_rel,
+            import_seq,
+        }
+    }
+
+    /// Write a snapshot and truncate the WAL (no-op for in-memory stores).
+    pub fn checkpoint(&mut self) -> GamResult<()> {
+        Ok(self.db.checkpoint()?)
+    }
+
+    /// Access the underlying database (read paths and statistics).
+    pub fn database(&self) -> &Database {
+        &self.db
+    }
+
+    // ------------------------------------------------------------------
+    // Row conversions
+    // ------------------------------------------------------------------
+
+    fn source_from_row(row: &Row) -> GamResult<Source> {
+        Ok(Source {
+            id: SourceId::from_i64(row.get(0).as_int().unwrap_or_default()),
+            name: row.get(1).as_text().unwrap_or_default().to_owned(),
+            content: SourceContent::from_code(row.get(2).as_int().unwrap_or(-1))?,
+            structure: SourceStructure::from_code(row.get(3).as_int().unwrap_or(-1))?,
+            release: row.get(4).as_text().map(str::to_owned),
+            imported_seq: row.get(5).as_int().unwrap_or(0) as u64,
+        })
+    }
+
+    fn object_from_row(row: &Row) -> GamObject {
+        GamObject {
+            id: ObjectId::from_i64(row.get(0).as_int().unwrap_or_default()),
+            source: SourceId::from_i64(row.get(1).as_int().unwrap_or_default()),
+            accession: row.get(2).as_text().unwrap_or_default().to_owned(),
+            text: row.get(3).as_text().map(str::to_owned),
+            number: row.get(4).as_float(),
+        }
+    }
+
+    fn source_rel_from_row(row: &Row) -> GamResult<SourceRel> {
+        Ok(SourceRel {
+            id: SourceRelId::from_i64(row.get(0).as_int().unwrap_or_default()),
+            source1: SourceId::from_i64(row.get(1).as_int().unwrap_or_default()),
+            source2: SourceId::from_i64(row.get(2).as_int().unwrap_or_default()),
+            rel_type: RelType::from_code(row.get(3).as_int().unwrap_or(-1))?,
+            derivation: row.get(4).as_text().map(str::to_owned),
+        })
+    }
+
+    // ------------------------------------------------------------------
+    // SOURCE
+    // ------------------------------------------------------------------
+
+    /// Register a new source. Fails if the name is taken.
+    pub fn create_source(
+        &mut self,
+        name: &str,
+        content: SourceContent,
+        structure: SourceStructure,
+        release: Option<&str>,
+    ) -> GamResult<Source> {
+        if name.is_empty() {
+            return Err(GamError::Invalid("source name is empty".into()));
+        }
+        let id = SourceId(self.next_source);
+        self.import_seq += 1;
+        let seq = self.import_seq;
+        let row = vec![
+            Value::Int(id.as_i64()),
+            Value::text(name),
+            Value::Int(content.code()),
+            Value::Int(structure.code()),
+            release.map(Value::text).unwrap_or(Value::Null),
+            Value::Int(seq as i64),
+        ];
+        self.db.with_txn(|txn| txn.insert(tables::SOURCE, row))?;
+        self.next_source += 1;
+        Ok(Source {
+            id,
+            name: name.to_owned(),
+            content,
+            structure,
+            release: release.map(str::to_owned),
+            imported_seq: seq,
+        })
+    }
+
+    /// Look up a source by name.
+    pub fn find_source(&self, name: &str) -> GamResult<Option<Source>> {
+        let hit = self
+            .db
+            .table(tables::SOURCE)?
+            .lookup_unique("by_name", &[Value::text(name)])?;
+        hit.map(Self::source_from_row).transpose()
+    }
+
+    /// Fetch a source by id.
+    pub fn get_source(&self, id: SourceId) -> GamResult<Source> {
+        let hit = self
+            .db
+            .table(tables::SOURCE)?
+            .lookup_unique("pk", &[Value::Int(id.as_i64())])?;
+        hit.map(Self::source_from_row)
+            .transpose()?
+            .ok_or(GamError::UnknownSource(id))
+    }
+
+    /// Update a source's content/structure classification. Used when a
+    /// stub source (created to hold annotation targets) is later filled by
+    /// its own authoritative dump.
+    pub fn update_source_meta(
+        &mut self,
+        id: SourceId,
+        content: SourceContent,
+        structure: SourceStructure,
+    ) -> GamResult<()> {
+        let (row_id, mut values) = {
+            let table = self.db.table(tables::SOURCE)?;
+            let hits = table.select_with_ids(&Predicate::eq("source_id", Value::Int(id.as_i64())))?;
+            let (row_id, row) = hits.into_iter().next().ok_or(GamError::UnknownSource(id))?;
+            (row_id, row.into_values())
+        };
+        values[2] = Value::Int(content.code());
+        values[3] = Value::Int(structure.code());
+        self.db
+            .with_txn(|txn| txn.update(tables::SOURCE, row_id, values))?;
+        Ok(())
+    }
+
+    /// Update a source's release tag (re-import bookkeeping).
+    pub fn set_source_release(&mut self, id: SourceId, release: &str) -> GamResult<()> {
+        let (row_id, mut values) = {
+            let table = self.db.table(tables::SOURCE)?;
+            let hits = table.select_with_ids(&Predicate::eq("source_id", Value::Int(id.as_i64())))?;
+            let (row_id, row) = hits.into_iter().next().ok_or(GamError::UnknownSource(id))?;
+            (row_id, row.into_values())
+        };
+        values[4] = Value::text(release);
+        self.import_seq += 1;
+        values[5] = Value::Int(self.import_seq as i64);
+        self.db
+            .with_txn(|txn| txn.update(tables::SOURCE, row_id, values))?;
+        Ok(())
+    }
+
+    /// All sources, ordered by id.
+    pub fn sources(&self) -> GamResult<Vec<Source>> {
+        let table = self.db.table(tables::SOURCE)?;
+        let mut out = Vec::with_capacity(table.len());
+        for (_, row) in table.scan() {
+            out.push(Self::source_from_row(row)?);
+        }
+        out.sort_by_key(|s| s.id);
+        Ok(out)
+    }
+
+    // ------------------------------------------------------------------
+    // OBJECT
+    // ------------------------------------------------------------------
+
+    /// Insert a new object. Fails on duplicate (source, accession).
+    pub fn create_object(
+        &mut self,
+        source: SourceId,
+        accession: &str,
+        text: Option<&str>,
+        number: Option<f64>,
+    ) -> GamResult<ObjectId> {
+        let id = ObjectId(self.next_object);
+        let obj = GamObject {
+            id,
+            source,
+            accession: accession.to_owned(),
+            text: text.map(str::to_owned),
+            number,
+        };
+        obj.validate()?;
+        let row = object_row(&obj);
+        self.db.with_txn(|txn| txn.insert(tables::OBJECT, row))?;
+        self.next_object += 1;
+        Ok(id)
+    }
+
+    /// Object-level duplicate elimination (paper §4.1: "at the object level
+    /// we compare object accessions"): return the existing object's id, or
+    /// insert and return the new id. The boolean reports whether an insert
+    /// happened.
+    pub fn ensure_object(
+        &mut self,
+        source: SourceId,
+        accession: &str,
+        text: Option<&str>,
+        number: Option<f64>,
+    ) -> GamResult<(ObjectId, bool)> {
+        if let Some(existing) = self.find_object(source, accession)? {
+            return Ok((existing.id, false));
+        }
+        Ok((self.create_object(source, accession, text, number)?, true))
+    }
+
+    /// Insert many objects in one transaction. Duplicates (by accession)
+    /// resolve to the existing id. Returns ids aligned with the input and
+    /// the number of fresh inserts.
+    pub fn add_objects_bulk(
+        &mut self,
+        source: SourceId,
+        objects: &[(String, Option<String>, Option<f64>)],
+    ) -> GamResult<(Vec<ObjectId>, usize)> {
+        let mut ids = Vec::with_capacity(objects.len());
+        let mut created = 0usize;
+        let mut next = self.next_object;
+        let src_i64 = source.as_i64();
+        {
+            let mut txn = self.db.begin();
+            for (accession, text, number) in objects {
+                if accession.is_empty() {
+                    return Err(GamError::Invalid("object accession is empty".into()));
+                }
+                // read-your-writes: sees objects inserted earlier in this txn
+                let existing = txn
+                    .table(tables::OBJECT)?
+                    .lookup_unique("by_accession", &[Value::Int(src_i64), Value::text(accession.as_str())])?
+                    .map(|r| ObjectId::from_i64(r.get(0).as_int().unwrap_or_default()));
+                if let Some(id) = existing {
+                    ids.push(id);
+                    continue;
+                }
+                let id = ObjectId(next);
+                next += 1;
+                created += 1;
+                txn.insert(
+                    tables::OBJECT,
+                    vec![
+                        Value::Int(id.as_i64()),
+                        Value::Int(src_i64),
+                        Value::text(accession.as_str()),
+                        text.as_deref().map(Value::text).unwrap_or(Value::Null),
+                        number.map(Value::Float).unwrap_or(Value::Null),
+                    ],
+                )?;
+                ids.push(id);
+            }
+            txn.commit()?;
+        }
+        self.next_object = next;
+        Ok((ids, created))
+    }
+
+    /// Find an object by (source, accession).
+    pub fn find_object(&self, source: SourceId, accession: &str) -> GamResult<Option<GamObject>> {
+        let hit = self.db.table(tables::OBJECT)?.lookup_unique(
+            "by_accession",
+            &[Value::Int(source.as_i64()), Value::text(accession)],
+        )?;
+        Ok(hit.map(Self::object_from_row))
+    }
+
+    /// Fetch an object by id.
+    pub fn get_object(&self, id: ObjectId) -> GamResult<GamObject> {
+        let hit = self
+            .db
+            .table(tables::OBJECT)?
+            .lookup_unique("pk", &[Value::Int(id.as_i64())])?;
+        hit.map(Self::object_from_row)
+            .ok_or(GamError::UnknownObject(id))
+    }
+
+    /// All objects of a source (accession order).
+    pub fn objects_of(&self, source: SourceId) -> GamResult<Vec<GamObject>> {
+        let rows = self
+            .db
+            .table(tables::OBJECT)?
+            .lookup_prefix("by_accession", &[Value::Int(source.as_i64())])?;
+        Ok(rows.into_iter().map(Self::object_from_row).collect())
+    }
+
+    /// Ids of all objects of a source.
+    pub fn object_ids_of(&self, source: SourceId) -> GamResult<Vec<ObjectId>> {
+        let rows = self
+            .db
+            .table(tables::OBJECT)?
+            .lookup_prefix("by_accession", &[Value::Int(source.as_i64())])?;
+        Ok(rows
+            .into_iter()
+            .map(|r| ObjectId::from_i64(r.get(0).as_int().unwrap_or_default()))
+            .collect())
+    }
+
+    /// Number of objects of a source.
+    pub fn object_count(&self, source: SourceId) -> GamResult<usize> {
+        Ok(self
+            .db
+            .table(tables::OBJECT)?
+            .lookup_prefix("by_accession", &[Value::Int(source.as_i64())])?
+            .len())
+    }
+
+    /// Case-insensitive substring search over object names within a
+    /// source (the interactive interface's keyword search). Results are
+    /// capped at `limit` and ordered by accession.
+    pub fn search_objects(
+        &self,
+        source: SourceId,
+        needle: &str,
+        limit: usize,
+    ) -> GamResult<Vec<GamObject>> {
+        let predicate = Predicate::eq("source_id", Value::Int(source.as_i64()))
+            .and(Predicate::text_contains("text", needle));
+        let rows = self.db.table(tables::OBJECT)?.select(&predicate)?;
+        let mut out: Vec<GamObject> = rows.iter().map(Self::object_from_row).collect();
+        out.sort_by(|a, b| a.accession.cmp(&b.accession));
+        out.truncate(limit);
+        Ok(out)
+    }
+
+    /// Objects of a source whose accession starts with `prefix` (e.g. all
+    /// `GO:00091…` terms), ordered by accession, capped at `limit`.
+    pub fn objects_with_accession_prefix(
+        &self,
+        source: SourceId,
+        prefix: &str,
+        limit: usize,
+    ) -> GamResult<Vec<GamObject>> {
+        let rows = self
+            .db
+            .table(tables::OBJECT)?
+            .lookup_prefix("by_accession", &[Value::Int(source.as_i64())])?;
+        Ok(rows
+            .into_iter()
+            .map(Self::object_from_row)
+            .filter(|o| o.accession.starts_with(prefix))
+            .take(limit)
+            .collect())
+    }
+
+    // ------------------------------------------------------------------
+    // SOURCE_REL
+    // ------------------------------------------------------------------
+
+    /// Register a mapping between two sources.
+    pub fn create_source_rel(
+        &mut self,
+        source1: SourceId,
+        source2: SourceId,
+        rel_type: RelType,
+        derivation: Option<&str>,
+    ) -> GamResult<SourceRelId> {
+        let id = SourceRelId(self.next_source_rel);
+        let rel = SourceRel {
+            id,
+            source1,
+            source2,
+            rel_type,
+            derivation: derivation.map(str::to_owned),
+        };
+        rel.validate()?;
+        // both endpoints must exist
+        self.get_source(source1)?;
+        self.get_source(source2)?;
+        let row = vec![
+            Value::Int(id.as_i64()),
+            Value::Int(source1.as_i64()),
+            Value::Int(source2.as_i64()),
+            Value::Int(rel_type.code()),
+            rel.derivation
+                .as_deref()
+                .map(Value::text)
+                .unwrap_or(Value::Null),
+        ];
+        self.db.with_txn(|txn| txn.insert(tables::SOURCE_REL, row))?;
+        self.next_source_rel += 1;
+        Ok(id)
+    }
+
+    /// Fetch a mapping's `SOURCE_REL` row.
+    pub fn get_source_rel(&self, id: SourceRelId) -> GamResult<SourceRel> {
+        let hit = self
+            .db
+            .table(tables::SOURCE_REL)?
+            .lookup_unique("pk", &[Value::Int(id.as_i64())])?;
+        hit.map(Self::source_rel_from_row)
+            .transpose()?
+            .ok_or(GamError::UnknownSourceRel(id))
+    }
+
+    /// All mappings declared from `source1` to `source2` (directed).
+    pub fn source_rels_between(
+        &self,
+        source1: SourceId,
+        source2: SourceId,
+    ) -> GamResult<Vec<SourceRel>> {
+        let rows = self.db.table(tables::SOURCE_REL)?.lookup(
+            "by_pair",
+            &[Value::Int(source1.as_i64()), Value::Int(source2.as_i64())],
+        )?;
+        rows.into_iter().map(Self::source_rel_from_row).collect()
+    }
+
+    /// Find one mapping of the given type between two sources, trying both
+    /// orientations. Returns the rel plus `true` if it runs
+    /// `source1 -> source2` in storage order (i.e. no inversion needed).
+    pub fn find_source_rel(
+        &self,
+        source1: SourceId,
+        source2: SourceId,
+        rel_type: Option<RelType>,
+    ) -> GamResult<Option<(SourceRel, bool)>> {
+        for rel in self.source_rels_between(source1, source2)? {
+            if rel_type.is_none_or(|t| rel.rel_type == t) {
+                return Ok(Some((rel, true)));
+            }
+        }
+        for rel in self.source_rels_between(source2, source1)? {
+            if rel_type.is_none_or(|t| rel.rel_type == t) {
+                return Ok(Some((rel, false)));
+            }
+        }
+        Ok(None)
+    }
+
+    /// All `SOURCE_REL` rows, ordered by id.
+    pub fn source_rels(&self) -> GamResult<Vec<SourceRel>> {
+        let table = self.db.table(tables::SOURCE_REL)?;
+        let mut out = Vec::with_capacity(table.len());
+        for (_, row) in table.scan() {
+            out.push(Self::source_rel_from_row(row)?);
+        }
+        out.sort_by_key(|r| r.id);
+        Ok(out)
+    }
+
+    /// Delete a mapping and all its associations (used when re-deriving a
+    /// materialized mapping).
+    pub fn delete_source_rel(&mut self, id: SourceRelId) -> GamResult<usize> {
+        // ensure it exists first
+        self.get_source_rel(id)?;
+        let assoc_ids: Vec<relstore::RowId> = {
+            let table = self.db.table(tables::OBJECT_REL)?;
+            table
+                .select_with_ids(&Predicate::eq("source_rel_id", Value::Int(id.as_i64())))?
+                .into_iter()
+                .map(|(rid, _)| rid)
+                .collect()
+        };
+        let rel_row: Vec<relstore::RowId> = {
+            let table = self.db.table(tables::SOURCE_REL)?;
+            table
+                .select_with_ids(&Predicate::eq("source_rel_id", Value::Int(id.as_i64())))?
+                .into_iter()
+                .map(|(rid, _)| rid)
+                .collect()
+        };
+        let removed = assoc_ids.len();
+        self.db.with_txn(|txn| {
+            for rid in assoc_ids {
+                txn.delete(tables::OBJECT_REL, rid)?;
+            }
+            for rid in rel_row {
+                txn.delete(tables::SOURCE_REL, rid)?;
+            }
+            Ok(())
+        })?;
+        Ok(removed)
+    }
+
+    // ------------------------------------------------------------------
+    // OBJECT_REL
+    // ------------------------------------------------------------------
+
+    /// Add one association to a mapping. Returns `false` (without error) if
+    /// the identical (mapping, object1, object2) pair already exists.
+    pub fn add_association(
+        &mut self,
+        source_rel: SourceRelId,
+        object1: ObjectId,
+        object2: ObjectId,
+        evidence: Option<f64>,
+    ) -> GamResult<bool> {
+        let mut added = 0;
+        self.add_associations_bulk(
+            source_rel,
+            std::iter::once(Association {
+                from: object1,
+                to: object2,
+                evidence,
+            }),
+            &mut added,
+        )?;
+        Ok(added == 1)
+    }
+
+    /// Add many associations to a mapping in one transaction, skipping
+    /// duplicates. `added` is incremented per fresh insert.
+    pub fn add_associations_bulk(
+        &mut self,
+        source_rel: SourceRelId,
+        associations: impl IntoIterator<Item = Association>,
+        added: &mut usize,
+    ) -> GamResult<()> {
+        let rel_i64 = source_rel.as_i64();
+        let mut next = self.next_object_rel;
+        {
+            let mut txn = self.db.begin();
+            for assoc in associations {
+                let rec = crate::model::ObjectRel {
+                    id: ObjectRelId(next),
+                    source_rel,
+                    object1: assoc.from,
+                    object2: assoc.to,
+                    evidence: assoc.evidence,
+                };
+                rec.validate()?;
+                let dup = txn
+                    .table(tables::OBJECT_REL)?
+                    .lookup_unique(
+                        "by_pair",
+                        &[
+                            Value::Int(rel_i64),
+                            Value::Int(assoc.from.as_i64()),
+                            Value::Int(assoc.to.as_i64()),
+                        ],
+                    )?
+                    .is_some();
+                if dup {
+                    continue;
+                }
+                txn.insert(
+                    tables::OBJECT_REL,
+                    vec![
+                        Value::Int(rec.id.as_i64()),
+                        Value::Int(rel_i64),
+                        Value::Int(assoc.from.as_i64()),
+                        Value::Int(assoc.to.as_i64()),
+                        assoc.evidence.map(Value::Float).unwrap_or(Value::Null),
+                    ],
+                )?;
+                next += 1;
+                *added += 1;
+            }
+            txn.commit()?;
+        }
+        self.next_object_rel = next;
+        Ok(())
+    }
+
+    /// Load a mapping's associations, oriented `source1 -> source2`.
+    pub fn load_mapping(&self, id: SourceRelId) -> GamResult<Mapping> {
+        let rel = self.get_source_rel(id)?;
+        let rows = self
+            .db
+            .table(tables::OBJECT_REL)?
+            .lookup_prefix("by_pair", &[Value::Int(id.as_i64())])?;
+        let mut pairs = Vec::with_capacity(rows.len());
+        for row in rows {
+            pairs.push(Association {
+                from: ObjectId::from_i64(row.get(2).as_int().unwrap_or_default()),
+                to: ObjectId::from_i64(row.get(3).as_int().unwrap_or_default()),
+                evidence: row.get(4).as_float(),
+            });
+        }
+        Ok(Mapping {
+            from: rel.source1,
+            to: rel.source2,
+            rel_type: rel.rel_type,
+            pairs,
+        })
+    }
+
+    /// Number of associations in a mapping.
+    pub fn association_count(&self, id: SourceRelId) -> GamResult<usize> {
+        Ok(self
+            .db
+            .table(tables::OBJECT_REL)?
+            .lookup_prefix("by_pair", &[Value::Int(id.as_i64())])?
+            .len())
+    }
+
+    /// All associations touching an object, in either role. Each entry is
+    /// (mapping id, association oriented so that `from` is the queried
+    /// object).
+    pub fn associations_of_object(
+        &self,
+        object: ObjectId,
+    ) -> GamResult<Vec<(SourceRelId, Association)>> {
+        let table = self.db.table(tables::OBJECT_REL)?;
+        let mut out = Vec::new();
+        for row in table.lookup("by_object1", &[Value::Int(object.as_i64())])? {
+            out.push((
+                SourceRelId::from_i64(row.get(1).as_int().unwrap_or_default()),
+                Association {
+                    from: object,
+                    to: ObjectId::from_i64(row.get(3).as_int().unwrap_or_default()),
+                    evidence: row.get(4).as_float(),
+                },
+            ));
+        }
+        for row in table.lookup("by_object2", &[Value::Int(object.as_i64())])? {
+            out.push((
+                SourceRelId::from_i64(row.get(1).as_int().unwrap_or_default()),
+                Association {
+                    from: object,
+                    to: ObjectId::from_i64(row.get(2).as_int().unwrap_or_default()),
+                    evidence: row.get(4).as_float(),
+                },
+            ));
+        }
+        Ok(out)
+    }
+
+    // ------------------------------------------------------------------
+    // Statistics (the paper's §5 deployment numbers)
+    // ------------------------------------------------------------------
+
+    /// Object counts per source, ordered by source id — the per-source
+    /// inventory the interactive source list shows.
+    pub fn object_counts_per_source(&self) -> GamResult<Vec<(SourceId, usize)>> {
+        Ok(self
+            .db
+            .table(tables::OBJECT)?
+            .group_count("source_id")?
+            .into_iter()
+            .map(|(v, n)| (SourceId::from_i64(v.as_int().unwrap_or_default()), n))
+            .collect())
+    }
+
+    /// Mapping and association counts broken down by relationship type —
+    /// the six-way classification of paper §3 (Fact/Similarity imported,
+    /// Contains/IS_A structural, Composed/Subsumed derived).
+    pub fn mapping_type_counts(&self) -> GamResult<Vec<(RelType, usize, usize)>> {
+        let mut per_type: std::collections::BTreeMap<i64, (usize, usize)> =
+            std::collections::BTreeMap::new();
+        for rel in self.source_rels()? {
+            let entry = per_type.entry(rel.rel_type.code()).or_default();
+            entry.0 += 1;
+            entry.1 += self.association_count(rel.id)?;
+        }
+        per_type
+            .into_iter()
+            .map(|(code, (mappings, associations))| {
+                Ok((RelType::from_code(code)?, mappings, associations))
+            })
+            .collect()
+    }
+
+    /// (sources, objects, mappings, associations) cardinalities.
+    pub fn cardinalities(&self) -> GamResult<GamCardinalities> {
+        Ok(GamCardinalities {
+            sources: self.db.table(tables::SOURCE)?.len(),
+            objects: self.db.table(tables::OBJECT)?.len(),
+            mappings: self.db.table(tables::SOURCE_REL)?.len(),
+            associations: self.db.table(tables::OBJECT_REL)?.len(),
+        })
+    }
+}
+
+/// The four headline cardinalities GenMapper reports in §5.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, serde::Serialize)]
+pub struct GamCardinalities {
+    pub sources: usize,
+    pub objects: usize,
+    pub mappings: usize,
+    pub associations: usize,
+}
+
+impl std::fmt::Display for GamCardinalities {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{} sources, {} objects, {} mappings, {} associations",
+            self.sources, self.objects, self.mappings, self.associations
+        )
+    }
+}
+
+fn object_row(obj: &GamObject) -> Vec<Value> {
+    vec![
+        Value::Int(obj.id.as_i64()),
+        Value::Int(obj.source.as_i64()),
+        Value::text(obj.accession.as_str()),
+        obj.text.as_deref().map(Value::text).unwrap_or(Value::Null),
+        obj.number.map(Value::Float).unwrap_or(Value::Null),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn store() -> GamStore {
+        GamStore::in_memory().unwrap()
+    }
+
+    fn gene_source(s: &mut GamStore, name: &str) -> Source {
+        s.create_source(name, SourceContent::Gene, SourceStructure::Flat, Some("r1"))
+            .unwrap()
+    }
+
+    #[test]
+    fn source_lifecycle() {
+        let mut s = store();
+        let ll = gene_source(&mut s, "LocusLink");
+        assert_eq!(ll.id, SourceId(1));
+        assert_eq!(s.find_source("LocusLink").unwrap().unwrap().id, ll.id);
+        assert!(s.find_source("GO").unwrap().is_none());
+        assert!(s.create_source("LocusLink", SourceContent::Gene, SourceStructure::Flat, None).is_err());
+        assert!(s.create_source("", SourceContent::Gene, SourceStructure::Flat, None).is_err());
+        let got = s.get_source(ll.id).unwrap();
+        assert_eq!(got.release.as_deref(), Some("r1"));
+        s.set_source_release(ll.id, "r2").unwrap();
+        let got = s.get_source(ll.id).unwrap();
+        assert_eq!(got.release.as_deref(), Some("r2"));
+        assert!(got.imported_seq > ll.imported_seq);
+        assert_eq!(s.sources().unwrap().len(), 1);
+        assert!(matches!(
+            s.get_source(SourceId(99)),
+            Err(GamError::UnknownSource(_))
+        ));
+    }
+
+    #[test]
+    fn object_dedup_by_accession() {
+        let mut s = store();
+        let ll = gene_source(&mut s, "LocusLink");
+        let (id1, created) = s.ensure_object(ll.id, "353", Some("APRT"), None).unwrap();
+        assert!(created);
+        let (id2, created) = s.ensure_object(ll.id, "353", None, None).unwrap();
+        assert!(!created);
+        assert_eq!(id1, id2);
+        // same accession in a different source is a different object
+        let ug = gene_source(&mut s, "Unigene");
+        let (id3, created) = s.ensure_object(ug.id, "353", None, None).unwrap();
+        assert!(created);
+        assert_ne!(id1, id3);
+        assert_eq!(s.object_count(ll.id).unwrap(), 1);
+        assert_eq!(s.cardinalities().unwrap().objects, 2);
+    }
+
+    #[test]
+    fn bulk_objects_dedup_within_and_across_batches() {
+        let mut s = store();
+        let ll = gene_source(&mut s, "LocusLink");
+        let batch: Vec<(String, Option<String>, Option<f64>)> = vec![
+            ("1".into(), Some("a".into()), None),
+            ("2".into(), None, Some(2.0)),
+            ("1".into(), None, None), // dup within batch
+        ];
+        let (ids, created) = s.add_objects_bulk(ll.id, &batch).unwrap();
+        assert_eq!(created, 2);
+        assert_eq!(ids[0], ids[2]);
+        // across batches
+        let (ids2, created) = s
+            .add_objects_bulk(ll.id, &[("2".into(), None, None), ("3".into(), None, None)])
+            .unwrap();
+        assert_eq!(created, 1);
+        assert_eq!(ids2[0], ids[1]);
+        assert_eq!(s.object_count(ll.id).unwrap(), 3);
+        // empty accession rejected, transaction rolled back
+        let err = s.add_objects_bulk(ll.id, &[("4".into(), None, None), ("".into(), None, None)]);
+        assert!(err.is_err());
+        assert_eq!(s.object_count(ll.id).unwrap(), 3, "failed batch fully rolled back");
+    }
+
+    #[test]
+    fn keyword_and_prefix_search() {
+        let mut s = store();
+        let ll = gene_source(&mut s, "LocusLink");
+        s.create_object(ll.id, "353", Some("adenine phosphoribosyltransferase"), None)
+            .unwrap();
+        s.create_object(ll.id, "354", Some("alcohol dehydrogenase"), None)
+            .unwrap();
+        s.create_object(ll.id, "999", None, None).unwrap();
+        let other = gene_source(&mut s, "Other");
+        s.create_object(other.id, "353", Some("adenine thing elsewhere"), None)
+            .unwrap();
+
+        // keyword search is per source and case-insensitive
+        let hits = s.search_objects(ll.id, "ADENINE", 10).unwrap();
+        assert_eq!(hits.len(), 1);
+        assert_eq!(hits[0].accession, "353");
+        let hits = s.search_objects(ll.id, "ase", 10).unwrap();
+        assert_eq!(hits.len(), 2, "matches both enzymes");
+        let hits = s.search_objects(ll.id, "ase", 1).unwrap();
+        assert_eq!(hits.len(), 1, "limit respected");
+        assert!(s.search_objects(ll.id, "zzz", 10).unwrap().is_empty());
+
+        // accession prefix search
+        let hits = s.objects_with_accession_prefix(ll.id, "35", 10).unwrap();
+        assert_eq!(hits.len(), 2);
+        assert_eq!(hits[0].accession, "353");
+        let hits = s.objects_with_accession_prefix(ll.id, "9", 10).unwrap();
+        assert_eq!(hits.len(), 1);
+    }
+
+    #[test]
+    fn mapping_roundtrip_and_orientation() {
+        let mut s = store();
+        let ll = gene_source(&mut s, "LocusLink");
+        let go = s
+            .create_source("GO", SourceContent::Other, SourceStructure::Network, None)
+            .unwrap();
+        let (l1, _) = s.ensure_object(ll.id, "353", None, None).unwrap();
+        let (g1, _) = s.ensure_object(go.id, "GO:0009116", None, None).unwrap();
+        let rel = s
+            .create_source_rel(ll.id, go.id, RelType::Fact, None)
+            .unwrap();
+        assert!(s.add_association(rel, l1, g1, None).unwrap());
+        assert!(!s.add_association(rel, l1, g1, None).unwrap(), "duplicate skipped");
+        let map = s.load_mapping(rel).unwrap();
+        assert_eq!(map.from, ll.id);
+        assert_eq!(map.to, go.id);
+        assert_eq!(map.len(), 1);
+        assert_eq!(map.pairs[0], Association::fact(l1, g1));
+        assert_eq!(s.association_count(rel).unwrap(), 1);
+
+        // find in both orientations
+        let (found, fwd) = s.find_source_rel(ll.id, go.id, None).unwrap().unwrap();
+        assert_eq!(found.id, rel);
+        assert!(fwd);
+        let (found, fwd) = s.find_source_rel(go.id, ll.id, None).unwrap().unwrap();
+        assert_eq!(found.id, rel);
+        assert!(!fwd);
+        assert!(s
+            .find_source_rel(ll.id, go.id, Some(RelType::Similarity))
+            .unwrap()
+            .is_none());
+    }
+
+    #[test]
+    fn source_rel_validation_and_missing_sources() {
+        let mut s = store();
+        let ll = gene_source(&mut s, "LocusLink");
+        // annotation self-mapping rejected
+        assert!(s
+            .create_source_rel(ll.id, ll.id, RelType::Fact, None)
+            .is_err());
+        // IS_A self-relation allowed
+        let isa = s.create_source_rel(ll.id, ll.id, RelType::IsA, None);
+        assert!(isa.is_ok());
+        // unknown endpoint rejected
+        assert!(s
+            .create_source_rel(ll.id, SourceId(42), RelType::Fact, None)
+            .is_err());
+    }
+
+    #[test]
+    fn associations_of_object_both_roles() {
+        let mut s = store();
+        let a = gene_source(&mut s, "A");
+        let b = gene_source(&mut s, "B");
+        let (ao, _) = s.ensure_object(a.id, "a1", None, None).unwrap();
+        let (bo, _) = s.ensure_object(b.id, "b1", None, None).unwrap();
+        let rel = s.create_source_rel(a.id, b.id, RelType::Fact, None).unwrap();
+        s.add_association(rel, ao, bo, Some(0.8)).unwrap();
+        let from_a = s.associations_of_object(ao).unwrap();
+        assert_eq!(from_a.len(), 1);
+        assert_eq!(from_a[0].1.to, bo);
+        let from_b = s.associations_of_object(bo).unwrap();
+        assert_eq!(from_b.len(), 1);
+        assert_eq!(from_b[0].1.to, ao, "reverse role is re-oriented");
+        assert_eq!(from_b[0].1.evidence, Some(0.8));
+    }
+
+    #[test]
+    fn delete_source_rel_cascades() {
+        let mut s = store();
+        let a = gene_source(&mut s, "A");
+        let b = gene_source(&mut s, "B");
+        let (ao, _) = s.ensure_object(a.id, "a1", None, None).unwrap();
+        let (bo, _) = s.ensure_object(b.id, "b1", None, None).unwrap();
+        let rel = s.create_source_rel(a.id, b.id, RelType::Composed, None).unwrap();
+        s.add_association(rel, ao, bo, Some(0.5)).unwrap();
+        let removed = s.delete_source_rel(rel).unwrap();
+        assert_eq!(removed, 1);
+        assert!(s.get_source_rel(rel).is_err());
+        assert_eq!(s.cardinalities().unwrap().associations, 0);
+    }
+
+    #[test]
+    fn per_source_object_counts() {
+        let mut s = store();
+        let a = gene_source(&mut s, "A");
+        let b = gene_source(&mut s, "B");
+        for i in 0..5 {
+            s.create_object(a.id, &format!("a{i}"), None, None).unwrap();
+        }
+        s.create_object(b.id, "b0", None, None).unwrap();
+        let counts = s.object_counts_per_source().unwrap();
+        assert_eq!(counts, vec![(a.id, 5), (b.id, 1)]);
+    }
+
+    #[test]
+    fn mapping_type_breakdown() {
+        let mut s = store();
+        let a = gene_source(&mut s, "A");
+        let b = gene_source(&mut s, "B");
+        let (ao, _) = s.ensure_object(a.id, "a1", None, None).unwrap();
+        let (bo, _) = s.ensure_object(b.id, "b1", None, None).unwrap();
+        let fact = s.create_source_rel(a.id, b.id, RelType::Fact, None).unwrap();
+        let sim = s.create_source_rel(a.id, b.id, RelType::Similarity, None).unwrap();
+        let isa = s.create_source_rel(a.id, a.id, RelType::IsA, None).unwrap();
+        s.add_association(fact, ao, bo, None).unwrap();
+        s.add_association(sim, ao, bo, Some(0.5)).unwrap();
+        let (a2, _) = s.ensure_object(a.id, "a2", None, None).unwrap();
+        s.add_association(isa, a2, ao, None).unwrap();
+        s.add_association(isa, ao, a2, None).unwrap();
+        let counts = s.mapping_type_counts().unwrap();
+        assert_eq!(
+            counts,
+            vec![
+                (RelType::Fact, 1, 1),
+                (RelType::Similarity, 1, 1),
+                (RelType::IsA, 1, 2),
+            ]
+        );
+    }
+
+    #[test]
+    fn evidence_validation() {
+        let mut s = store();
+        let a = gene_source(&mut s, "A");
+        let b = gene_source(&mut s, "B");
+        let (ao, _) = s.ensure_object(a.id, "a1", None, None).unwrap();
+        let (bo, _) = s.ensure_object(b.id, "b1", None, None).unwrap();
+        let rel = s.create_source_rel(a.id, b.id, RelType::Similarity, None).unwrap();
+        assert!(s.add_association(rel, ao, bo, Some(1.5)).is_err());
+        assert_eq!(s.cardinalities().unwrap().associations, 0);
+    }
+
+    #[test]
+    fn durable_store_preserves_ids_across_reopen() {
+        let dir = std::env::temp_dir().join("gam-store-tests").join("reopen");
+        let _ = std::fs::remove_dir_all(&dir);
+        let (src_id, obj_id, rel_id);
+        {
+            let mut s = GamStore::open(&dir).unwrap();
+            let src = gene_source(&mut s, "LocusLink");
+            src_id = src.id;
+            obj_id = s.create_object(src.id, "353", Some("APRT"), None).unwrap();
+            let go = s
+                .create_source("GO", SourceContent::Other, SourceStructure::Network, None)
+                .unwrap();
+            let g = s.create_object(go.id, "GO:1", None, None).unwrap();
+            rel_id = s.create_source_rel(src.id, go.id, RelType::Fact, None).unwrap();
+            s.add_association(rel_id, obj_id, g, None).unwrap();
+            s.checkpoint().unwrap();
+        }
+        {
+            let mut s = GamStore::open(&dir).unwrap();
+            // existing data visible
+            assert_eq!(s.find_source("LocusLink").unwrap().unwrap().id, src_id);
+            assert_eq!(s.load_mapping(rel_id).unwrap().len(), 1);
+            // id counters resume beyond existing data
+            let next = s
+                .create_source("New", SourceContent::Other, SourceStructure::Flat, None)
+                .unwrap();
+            assert!(next.id.raw() > 2);
+            let new_obj = s.create_object(next.id, "x", None, None).unwrap();
+            assert!(new_obj.raw() > obj_id.raw());
+        }
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

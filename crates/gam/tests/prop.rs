@@ -1,0 +1,198 @@
+//! Property tests for the GAM store: duplicate elimination, id stability,
+//! mapping round-trips, and cardinality accounting under random workloads.
+
+use gam::model::{RelType, SourceContent, SourceStructure};
+use gam::{Association, GamStore, ObjectId};
+use proptest::prelude::*;
+use std::collections::{BTreeMap, BTreeSet};
+
+fn arb_accession() -> impl Strategy<Value = String> {
+    "[A-Z]{1,2}[0-9]{1,4}"
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// ensure_object is idempotent per (source, accession): the number of
+    /// stored objects equals the number of distinct accessions, and ids
+    /// are stable across repeats.
+    #[test]
+    fn object_dedup_matches_distinct_accessions(
+        accessions in proptest::collection::vec(arb_accession(), 1..60),
+    ) {
+        let mut store = GamStore::in_memory().unwrap();
+        let src = store
+            .create_source("S", SourceContent::Gene, SourceStructure::Flat, None)
+            .unwrap()
+            .id;
+        let mut first_id: BTreeMap<&str, ObjectId> = BTreeMap::new();
+        for acc in &accessions {
+            let (id, created) = store.ensure_object(src, acc, None, None).unwrap();
+            match first_id.get(acc.as_str()) {
+                Some(&prev) => {
+                    prop_assert!(!created);
+                    prop_assert_eq!(prev, id, "id stable for {}", acc);
+                }
+                None => {
+                    prop_assert!(created);
+                    first_id.insert(acc, id);
+                }
+            }
+        }
+        let distinct: BTreeSet<&String> = accessions.iter().collect();
+        prop_assert_eq!(store.object_count(src).unwrap(), distinct.len());
+        prop_assert_eq!(store.cardinalities().unwrap().objects, distinct.len());
+    }
+
+    /// Bulk insert and per-row insert agree: same ids for same accessions,
+    /// same final count.
+    #[test]
+    fn bulk_and_single_inserts_agree(
+        accessions in proptest::collection::vec(arb_accession(), 1..50),
+    ) {
+        let rows: Vec<(String, Option<String>, Option<f64>)> = accessions
+            .iter()
+            .map(|a| (a.clone(), None, None))
+            .collect();
+
+        let mut bulk_store = GamStore::in_memory().unwrap();
+        let src_b = bulk_store
+            .create_source("S", SourceContent::Gene, SourceStructure::Flat, None)
+            .unwrap()
+            .id;
+        let (bulk_ids, _) = bulk_store.add_objects_bulk(src_b, &rows).unwrap();
+
+        let mut single_store = GamStore::in_memory().unwrap();
+        let src_s = single_store
+            .create_source("S", SourceContent::Gene, SourceStructure::Flat, None)
+            .unwrap()
+            .id;
+        let mut single_ids = Vec::new();
+        for acc in &accessions {
+            let (id, _) = single_store.ensure_object(src_s, acc, None, None).unwrap();
+            single_ids.push(id);
+        }
+        prop_assert_eq!(bulk_ids, single_ids);
+        prop_assert_eq!(
+            bulk_store.object_count(src_b).unwrap(),
+            single_store.object_count(src_s).unwrap()
+        );
+    }
+
+    /// Associations round-trip through load_mapping with exact pair
+    /// dedup: stored count equals distinct (from, to) pairs, and the
+    /// inverse orientation mirrors them.
+    #[test]
+    fn association_storage_roundtrip(
+        pairs in proptest::collection::vec((0u64..20, 0u64..20, proptest::option::of(0.0f64..=1.0)), 0..80),
+    ) {
+        let mut store = GamStore::in_memory().unwrap();
+        let a = store
+            .create_source("A", SourceContent::Gene, SourceStructure::Flat, None)
+            .unwrap()
+            .id;
+        let b = store
+            .create_source("B", SourceContent::Other, SourceStructure::Flat, None)
+            .unwrap()
+            .id;
+        let mut a_ids = Vec::new();
+        let mut b_ids = Vec::new();
+        for i in 0..20 {
+            a_ids.push(store.create_object(a, &format!("a{i}"), None, None).unwrap());
+            b_ids.push(store.create_object(b, &format!("b{i}"), None, None).unwrap());
+        }
+        let rel = store.create_source_rel(a, b, RelType::Fact, None).unwrap();
+        let assocs: Vec<Association> = pairs
+            .iter()
+            .map(|&(f, t, e)| Association {
+                from: a_ids[f as usize],
+                to: b_ids[t as usize],
+                evidence: e,
+            })
+            .collect();
+        let mut added = 0;
+        store
+            .add_associations_bulk(rel, assocs.iter().copied(), &mut added)
+            .unwrap();
+        let distinct: BTreeSet<(ObjectId, ObjectId)> =
+            assocs.iter().map(|x| (x.from, x.to)).collect();
+        prop_assert_eq!(added, distinct.len());
+        let mapping = store.load_mapping(rel).unwrap();
+        prop_assert_eq!(mapping.len(), distinct.len());
+        let loaded: BTreeSet<(ObjectId, ObjectId)> =
+            mapping.pairs.iter().map(|x| (x.from, x.to)).collect();
+        prop_assert_eq!(&loaded, &distinct);
+        // inverse mirrors
+        let inv = mapping.inverse();
+        let inv_pairs: BTreeSet<(ObjectId, ObjectId)> =
+            inv.pairs.iter().map(|x| (x.to, x.from)).collect();
+        prop_assert_eq!(&inv_pairs, &distinct);
+        // cardinality accounting
+        prop_assert_eq!(store.cardinalities().unwrap().associations, distinct.len());
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// A durable store reopened from disk answers identically to the
+    /// in-memory original, for random small contents.
+    #[test]
+    fn durable_reopen_equivalence(
+        accessions in proptest::collection::vec(arb_accession(), 1..25),
+        links in proptest::collection::vec((0usize..25, 0usize..25), 0..40),
+        case_id in 0u64..u64::MAX,
+    ) {
+        let dir = std::env::temp_dir()
+            .join("gam-prop")
+            .join(format!("{case_id:x}"));
+        let _ = std::fs::remove_dir_all(&dir);
+        let cards;
+        let rel;
+        {
+            let mut store = GamStore::open(&dir).unwrap();
+            let a = store
+                .create_source("A", SourceContent::Gene, SourceStructure::Flat, Some("r1"))
+                .unwrap()
+                .id;
+            let b = store
+                .create_source("B", SourceContent::Other, SourceStructure::Flat, None)
+                .unwrap()
+                .id;
+            let mut a_ids = Vec::new();
+            let mut b_ids = Vec::new();
+            for acc in &accessions {
+                let (id, _) = store.ensure_object(a, acc, None, None).unwrap();
+                a_ids.push(id);
+                let (id, _) = store
+                    .ensure_object(b, &format!("x{acc}"), None, None)
+                    .unwrap();
+                b_ids.push(id);
+            }
+            rel = store.create_source_rel(a, b, RelType::Fact, None).unwrap();
+            let mut added = 0;
+            store
+                .add_associations_bulk(
+                    rel,
+                    links.iter().map(|&(i, j)| {
+                        Association::fact(a_ids[i % a_ids.len()], b_ids[j % b_ids.len()])
+                    }),
+                    &mut added,
+                )
+                .unwrap();
+            store.checkpoint().unwrap();
+            cards = store.cardinalities().unwrap();
+        }
+        {
+            let store = GamStore::open(&dir).unwrap();
+            prop_assert_eq!(store.cardinalities().unwrap(), cards);
+            prop_assert_eq!(
+                store.load_mapping(rel).unwrap().len(),
+                cards.associations
+            );
+            let src = store.find_source("A").unwrap().unwrap();
+            prop_assert_eq!(src.release.as_deref(), Some("r1"));
+        }
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

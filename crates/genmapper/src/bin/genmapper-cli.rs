@@ -1,0 +1,39 @@
+//! The GenMapper interactive shell — stdin/stdout REPL over the command
+//! language in `genmapper::cli` (the paper's interactive access, §5.1).
+//!
+//! Run with: `cargo run -p genmapper --bin genmapper-cli`
+//! Then e.g.: `demo 7`, `sources`, `query LocusLink:353 or Hugo GO`, `quit`.
+
+use genmapper::cli::{CliOutcome, CliSession};
+use std::io::{BufRead, Write};
+
+fn main() {
+    let mut session = match CliSession::new() {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("failed to start: {e}");
+            std::process::exit(1);
+        }
+    };
+    let stdin = std::io::stdin();
+    let mut stdout = std::io::stdout();
+    println!("GenMapper shell — type 'help' for commands, 'demo 7' to load data");
+    loop {
+        print!("genmapper> ");
+        let _ = stdout.flush();
+        let mut line = String::new();
+        match stdin.lock().read_line(&mut line) {
+            Ok(0) => break, // EOF
+            Ok(_) => {}
+            Err(e) => {
+                eprintln!("read error: {e}");
+                break;
+            }
+        }
+        let (output, outcome) = session.execute_line(&line);
+        print!("{output}");
+        if outcome == CliOutcome::Quit {
+            break;
+        }
+    }
+}

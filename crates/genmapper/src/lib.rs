@@ -1,0 +1,48 @@
+//! `genmapper` — the public facade of the GenMapper reproduction.
+//!
+//! One handle, [`GenMapper`], wires together the whole system of Do & Rahm
+//! (EDBT 2004):
+//!
+//! * the GAM database ([`gam::GamStore`] over the embedded `relstore`
+//!   engine),
+//! * the two-phase import pipeline (`sources` parsers → `import`),
+//! * the high-level operators (`operators`: Map, Compose, Subsume,
+//!   GenerateView),
+//! * automatic mapping-path discovery (`pathfinder`), and
+//! * name/accession-level queries with exportable annotation views — the
+//!   workflow of the interactive interface in the paper's Figure 6.
+//!
+//! # Quickstart
+//!
+//! ```
+//! use genmapper::{GenMapper, QuerySpec};
+//! use sources::ecosystem::{Ecosystem, EcosystemParams};
+//!
+//! // generate and integrate a small synthetic source ecosystem
+//! let eco = Ecosystem::generate(EcosystemParams::demo(7));
+//! let mut gm = GenMapper::in_memory().unwrap();
+//! gm.import_dumps(&eco.dumps).unwrap();
+//!
+//! // the annotation view of paper Figure 3: LocusLink genes with their
+//! // Hugo symbols, GO functions, locations and OMIM diseases
+//! let spec = QuerySpec::source("LocusLink")
+//!     .accessions(["353"])
+//!     .target("Hugo")
+//!     .target("GO")
+//!     .target("Location")
+//!     .target("OMIM");
+//! let view = gm.query(&spec).unwrap();
+//! assert!(view.rows.iter().any(|r| r.cell_text(1) == Some("APRT")));
+//! ```
+
+pub mod cli;
+pub mod query;
+pub mod resolved;
+pub mod system;
+
+pub use query::{QuerySpec, TargetQuery};
+pub use resolved::{ObjectInfo, ResolvedRow, ResolvedView};
+pub use system::{GenMapper, PathResolver};
+
+pub use gam::{GamError, GamResult};
+pub use operators::Combine;

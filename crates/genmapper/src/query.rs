@@ -1,0 +1,163 @@
+//! Name-level query specifications, mirroring the interactive interface
+//! (paper Figure 6a): pick a source, paste accessions, pick targets,
+//! choose AND/OR and negations, optionally pin mapping paths.
+
+use operators::Combine;
+
+/// One requested target column.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TargetQuery {
+    /// Target source name.
+    pub source: String,
+    /// Relevant target accessions; empty means all objects.
+    pub accessions: Vec<String>,
+    /// Negate this target's mapping.
+    pub negated: bool,
+    /// Explicit mapping path (source names, from the view's source to this
+    /// target). `None` lets the path finder choose.
+    pub via: Option<Vec<String>>,
+    /// Minimum effective evidence for this target's associations.
+    pub min_evidence: Option<f64>,
+}
+
+impl TargetQuery {
+    /// A plain target over all its objects.
+    pub fn new(source: impl Into<String>) -> Self {
+        TargetQuery {
+            source: source.into(),
+            accessions: Vec::new(),
+            negated: false,
+            via: None,
+            min_evidence: None,
+        }
+    }
+
+    /// Restrict to specific target accessions.
+    pub fn accessions<I, S>(mut self, accs: I) -> Self
+    where
+        I: IntoIterator<Item = S>,
+        S: Into<String>,
+    {
+        self.accessions = accs.into_iter().map(Into::into).collect();
+        self
+    }
+
+    /// Negate the target.
+    pub fn negated(mut self) -> Self {
+        self.negated = true;
+        self
+    }
+
+    /// Pin the mapping path (names of intermediate sources, inclusive of
+    /// both endpoints).
+    pub fn via<I, S>(mut self, path: I) -> Self
+    where
+        I: IntoIterator<Item = S>,
+        S: Into<String>,
+    {
+        self.via = Some(path.into_iter().map(Into::into).collect());
+        self
+    }
+
+    /// Require a minimum effective evidence on this target's associations.
+    pub fn min_evidence(mut self, threshold: f64) -> Self {
+        self.min_evidence = Some(threshold);
+        self
+    }
+}
+
+/// A complete query: the Figure 6a form as a value.
+#[derive(Debug, Clone, PartialEq)]
+pub struct QuerySpec {
+    /// Source to annotate.
+    pub source: String,
+    /// Accessions of interest; empty means the entire source ("if no
+    /// accessions are specified, the entire source will be considered").
+    pub accessions: Vec<String>,
+    /// Target columns.
+    pub targets: Vec<TargetQuery>,
+    /// AND or OR combination of the target mappings.
+    pub combine: Combine,
+}
+
+impl QuerySpec {
+    /// Start a query over a source.
+    pub fn source(name: impl Into<String>) -> Self {
+        QuerySpec {
+            source: name.into(),
+            accessions: Vec::new(),
+            targets: Vec::new(),
+            combine: Combine::Or,
+        }
+    }
+
+    /// Restrict to specific source accessions.
+    pub fn accessions<I, S>(mut self, accs: I) -> Self
+    where
+        I: IntoIterator<Item = S>,
+        S: Into<String>,
+    {
+        self.accessions = accs.into_iter().map(Into::into).collect();
+        self
+    }
+
+    /// Add a plain target by name.
+    pub fn target(self, name: impl Into<String>) -> Self {
+        self.target_spec(TargetQuery::new(name))
+    }
+
+    /// Add a fully configured target.
+    pub fn target_spec(mut self, target: TargetQuery) -> Self {
+        self.targets.push(target);
+        self
+    }
+
+    /// Use AND combination.
+    pub fn and(mut self) -> Self {
+        self.combine = Combine::And;
+        self
+    }
+
+    /// Use OR combination.
+    pub fn or(mut self) -> Self {
+        self.combine = Combine::Or;
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_produces_figure6_shape() {
+        // "Given a set of LocusLink genes, identify those that are located
+        // at some given cytogenetic positions, and annotated with some
+        // given GO functions, but not associated with some given OMIM
+        // diseases" (paper §4.2)
+        let spec = QuerySpec::source("LocusLink")
+            .accessions(["353", "1234"])
+            .target_spec(TargetQuery::new("Location").accessions(["16q24"]))
+            .target_spec(TargetQuery::new("GO").accessions(["GO:0009116"]))
+            .target_spec(TargetQuery::new("OMIM").accessions(["102600"]).negated())
+            .and();
+        assert_eq!(spec.source, "LocusLink");
+        assert_eq!(spec.accessions.len(), 2);
+        assert_eq!(spec.targets.len(), 3);
+        assert!(spec.targets[2].negated);
+        assert_eq!(spec.combine, Combine::And);
+    }
+
+    #[test]
+    fn via_paths() {
+        let t = TargetQuery::new("GO").via(["NetAffx", "Unigene", "LocusLink", "GO"]);
+        assert_eq!(t.via.as_ref().unwrap().len(), 4);
+    }
+
+    #[test]
+    fn evidence_threshold_builder() {
+        let t = TargetQuery::new("Unigene").min_evidence(0.8);
+        assert_eq!(t.min_evidence, Some(0.8));
+        assert!(TargetQuery::new("GO").min_evidence.is_none());
+    }
+}

@@ -1,0 +1,248 @@
+//! Resolved annotation views: object ids mapped back to accessions and
+//! names, ready for display and export (paper Figure 6b/6c — "All results
+//! can be saved and downloaded in different formats for further analysis
+//! in external tools").
+
+use gam::ObjectId;
+use std::fmt::Write as _;
+
+/// One resolved cell: the object's accession and optional name.
+#[derive(Debug, Clone, PartialEq, Eq, serde::Serialize)]
+pub struct ResolvedCell {
+    pub accession: String,
+    #[serde(skip_serializing_if = "Option::is_none")]
+    pub text: Option<String>,
+}
+
+/// One view row; cells align with [`ResolvedView::header`]. `None` is a
+/// NULL (missing annotation).
+#[derive(Debug, Clone, PartialEq, Eq, serde::Serialize)]
+pub struct ResolvedRow {
+    pub cells: Vec<Option<ResolvedCell>>,
+}
+
+impl ResolvedRow {
+    /// Accession in column `i`, if present.
+    pub fn cell_text(&self, i: usize) -> Option<&str> {
+        self.cells.get(i)?.as_ref().map(|c| c.accession.as_str())
+    }
+
+    /// Object name in column `i`, if present.
+    pub fn cell_name(&self, i: usize) -> Option<&str> {
+        self.cells.get(i)?.as_ref()?.text.as_deref()
+    }
+}
+
+/// A fully resolved annotation view.
+#[derive(Debug, Clone, PartialEq, Eq, serde::Serialize)]
+pub struct ResolvedView {
+    /// Column names: the source, then each target (paper Figure 3 uses
+    /// the source names as column headers).
+    pub header: Vec<String>,
+    pub rows: Vec<ResolvedRow>,
+}
+
+impl ResolvedView {
+    /// Number of rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// True if the view has no rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Distinct accessions of a column.
+    pub fn column_accessions(&self, column: usize) -> Vec<&str> {
+        let mut out: Vec<&str> = self
+            .rows
+            .iter()
+            .filter_map(|r| r.cell_text(column))
+            .collect();
+        out.sort_unstable();
+        out.dedup();
+        out
+    }
+
+    /// Export as TSV (one header line; NULLs as empty cells).
+    pub fn to_tsv(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(out, "{}", self.header.join("\t"));
+        for row in &self.rows {
+            let cells: Vec<&str> = row
+                .cells
+                .iter()
+                .map(|c| c.as_ref().map(|c| c.accession.as_str()).unwrap_or(""))
+                .collect();
+            let _ = writeln!(out, "{}", cells.join("\t"));
+        }
+        out
+    }
+
+    /// Export as CSV with minimal quoting (fields containing commas or
+    /// quotes are quoted).
+    pub fn to_csv(&self) -> String {
+        fn field(s: &str) -> String {
+            if s.contains(',') || s.contains('"') || s.contains('\n') {
+                format!("\"{}\"", s.replace('"', "\"\""))
+            } else {
+                s.to_owned()
+            }
+        }
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "{}",
+            self.header.iter().map(|h| field(h)).collect::<Vec<_>>().join(",")
+        );
+        for row in &self.rows {
+            let cells: Vec<String> = row
+                .cells
+                .iter()
+                .map(|c| field(c.as_ref().map(|c| c.accession.as_str()).unwrap_or("")))
+                .collect();
+            let _ = writeln!(out, "{}", cells.join(","));
+        }
+        out
+    }
+
+    /// Export as a GitHub-flavored Markdown table (NULLs as empty cells) —
+    /// handy for pasting views into lab notebooks and issue trackers.
+    pub fn to_markdown(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(out, "| {} |", self.header.join(" | "));
+        let _ = writeln!(
+            out,
+            "|{}|",
+            self.header.iter().map(|_| "---").collect::<Vec<_>>().join("|")
+        );
+        for row in &self.rows {
+            let cells: Vec<&str> = row
+                .cells
+                .iter()
+                .map(|c| c.as_ref().map(|c| c.accession.as_str()).unwrap_or(""))
+                .collect();
+            let _ = writeln!(out, "| {} |", cells.join(" | "));
+        }
+        out
+    }
+
+    /// Export as JSON (array of objects keyed by header).
+    pub fn to_json(&self) -> String {
+        let objects: Vec<serde_json::Value> = self
+            .rows
+            .iter()
+            .map(|row| {
+                let mut obj = serde_json::Map::new();
+                for (h, cell) in self.header.iter().zip(&row.cells) {
+                    let value = match cell {
+                        Some(c) => serde_json::json!({
+                            "accession": c.accession,
+                            "text": c.text,
+                        }),
+                        None => serde_json::Value::Null,
+                    };
+                    obj.insert(h.clone(), value);
+                }
+                serde_json::Value::Object(obj)
+            })
+            .collect();
+        serde_json::to_string_pretty(&objects).expect("view serializes")
+    }
+}
+
+/// Full information about one object (paper Figure 6c: "the user can
+/// retrieve the names and other information of the corresponding
+/// objects").
+#[derive(Debug, Clone, PartialEq, serde::Serialize)]
+pub struct ObjectInfo {
+    pub id: ObjectId,
+    pub source: String,
+    pub accession: String,
+    pub text: Option<String>,
+    pub number: Option<f64>,
+    /// (mapping partner source, partner accession, evidence) of every
+    /// association touching the object.
+    pub associations: Vec<(String, String, Option<f64>)>,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn view() -> ResolvedView {
+        ResolvedView {
+            header: vec!["LocusLink".into(), "GO".into()],
+            rows: vec![
+                ResolvedRow {
+                    cells: vec![
+                        Some(ResolvedCell {
+                            accession: "353".into(),
+                            text: Some("adenine phosphoribosyltransferase".into()),
+                        }),
+                        Some(ResolvedCell {
+                            accession: "GO:0009116".into(),
+                            text: Some("nucleoside metabolism".into()),
+                        }),
+                    ],
+                },
+                ResolvedRow {
+                    cells: vec![
+                        Some(ResolvedCell {
+                            accession: "1234".into(),
+                            text: None,
+                        }),
+                        None,
+                    ],
+                },
+            ],
+        }
+    }
+
+    #[test]
+    fn accessors() {
+        let v = view();
+        assert_eq!(v.len(), 2);
+        assert_eq!(v.rows[0].cell_text(1), Some("GO:0009116"));
+        assert_eq!(v.rows[0].cell_name(1), Some("nucleoside metabolism"));
+        assert_eq!(v.rows[1].cell_text(1), None);
+        assert_eq!(v.column_accessions(0), vec!["1234", "353"]);
+    }
+
+    #[test]
+    fn tsv_export() {
+        let tsv = view().to_tsv();
+        let lines: Vec<&str> = tsv.lines().collect();
+        assert_eq!(lines[0], "LocusLink\tGO");
+        assert_eq!(lines[1], "353\tGO:0009116");
+        assert_eq!(lines[2], "1234\t");
+    }
+
+    #[test]
+    fn csv_export_quotes_when_needed() {
+        let mut v = view();
+        v.rows[0].cells[0].as_mut().unwrap().accession = "a,b".into();
+        let csv = v.to_csv();
+        assert!(csv.contains("\"a,b\""));
+        assert!(csv.starts_with("LocusLink,GO\n"));
+    }
+
+    #[test]
+    fn markdown_export() {
+        let md = view().to_markdown();
+        let lines: Vec<&str> = md.lines().collect();
+        assert_eq!(lines[0], "| LocusLink | GO |");
+        assert_eq!(lines[1], "|---|---|");
+        assert_eq!(lines[2], "| 353 | GO:0009116 |");
+        assert_eq!(lines[3], "| 1234 |  |");
+    }
+
+    #[test]
+    fn json_export() {
+        let json = view().to_json();
+        let parsed: serde_json::Value = serde_json::from_str(&json).unwrap();
+        assert_eq!(parsed[0]["GO"]["accession"], "GO:0009116");
+        assert!(parsed[1]["GO"].is_null());
+    }
+}

@@ -1,0 +1,493 @@
+//! The [`GenMapper`] system handle.
+
+use crate::query::QuerySpec;
+use crate::resolved::{ObjectInfo, ResolvedCell, ResolvedRow, ResolvedView};
+use gam::store::GamCardinalities;
+use gam::{GamError, GamResult, GamStore, Mapping, ObjectId, SourceId, SourceRelId};
+use import::{Importer, PipelineOptions};
+use operators::{generate_view, MappingResolver, TargetSpec, ViewQuery};
+use pathfinder::{SavedPaths, SourceGraph};
+use sources::ecosystem::SourceDump;
+use std::collections::BTreeSet;
+use std::path::Path;
+
+/// Mapping resolver that first tries a direct `Map` and otherwise searches
+/// the source graph for a shortest mapping path and composes along it —
+/// exactly how the interactive interface determines mappings (paper §5.1).
+pub struct PathResolver<'g> {
+    graph: &'g SourceGraph,
+}
+
+impl MappingResolver for PathResolver<'_> {
+    fn resolve(&self, store: &GamStore, from: SourceId, to: SourceId) -> GamResult<Mapping> {
+        match operators::map(store, from, to) {
+            Ok(m) => Ok(m),
+            Err(GamError::NoMapping { .. }) => {
+                let path = self
+                    .graph
+                    .shortest_path(from, to)
+                    .ok_or(GamError::NoMapping { from, to })?;
+                operators::compose_path(store, &path)
+            }
+            Err(e) => Err(e),
+        }
+    }
+}
+
+/// The assembled GenMapper system.
+pub struct GenMapper {
+    store: GamStore,
+    saved: SavedPaths,
+    /// Cached source graph; invalidated by imports and materializations.
+    graph: Option<SourceGraph>,
+}
+
+impl GenMapper {
+    /// A volatile instance.
+    pub fn in_memory() -> GamResult<Self> {
+        Ok(GenMapper {
+            store: GamStore::in_memory()?,
+            saved: SavedPaths::new(),
+            graph: None,
+        })
+    }
+
+    /// A durable instance rooted at `dir`.
+    pub fn open(dir: &Path) -> GamResult<Self> {
+        Ok(GenMapper {
+            store: GamStore::open(dir)?,
+            saved: SavedPaths::new(),
+            graph: None,
+        })
+    }
+
+    /// Snapshot + WAL truncation for durable instances.
+    pub fn checkpoint(&mut self) -> GamResult<()> {
+        self.store.checkpoint()
+    }
+
+    /// Direct access to the underlying store (operators, statistics).
+    pub fn store(&self) -> &GamStore {
+        &self.store
+    }
+
+    /// Mutable access to the underlying store. Invalidate the graph cache,
+    /// since callers may add mappings.
+    pub fn store_mut(&mut self) -> &mut GamStore {
+        self.graph = None;
+        &mut self.store
+    }
+
+    // ------------------------------------------------------------------
+    // Integration
+    // ------------------------------------------------------------------
+
+    /// Parse and import source dumps through the two-phase pipeline.
+    pub fn import_dumps(&mut self, dumps: &[SourceDump]) -> GamResult<Vec<import::ImportReport>> {
+        self.graph = None;
+        import::run_pipeline(&mut self.store, dumps, &PipelineOptions::default())
+    }
+
+    /// Import one pre-parsed EAV batch.
+    pub fn import_batch(&mut self, batch: &eav::EavBatch) -> GamResult<import::ImportReport> {
+        self.graph = None;
+        Importer::new(&mut self.store).import(batch)
+    }
+
+    // ------------------------------------------------------------------
+    // Catalog
+    // ------------------------------------------------------------------
+
+    /// Resolve a source name to its id.
+    pub fn source_id(&self, name: &str) -> GamResult<SourceId> {
+        self.store
+            .find_source(name)?
+            .map(|s| s.id)
+            .ok_or_else(|| GamError::UnknownSourceName(name.to_owned()))
+    }
+
+    /// All registered sources.
+    pub fn sources(&self) -> GamResult<Vec<gam::Source>> {
+        self.store.sources()
+    }
+
+    /// The §5 deployment cardinalities.
+    pub fn cardinalities(&self) -> GamResult<GamCardinalities> {
+        self.store.cardinalities()
+    }
+
+    // ------------------------------------------------------------------
+    // Paths
+    // ------------------------------------------------------------------
+
+    /// The (cached) source graph.
+    pub fn graph(&mut self) -> GamResult<&SourceGraph> {
+        if self.graph.is_none() {
+            self.graph = Some(SourceGraph::from_store(&self.store)?);
+        }
+        Ok(self.graph.as_ref().expect("just built"))
+    }
+
+    /// Automatically determined shortest mapping path between two sources,
+    /// as source names.
+    pub fn find_path(&mut self, from: &str, to: &str) -> GamResult<Vec<String>> {
+        let from_id = self.source_id(from)?;
+        let to_id = self.source_id(to)?;
+        let graph = self.graph()?;
+        let path = graph
+            .shortest_path(from_id, to_id)
+            .ok_or(GamError::NoMapping {
+                from: from_id,
+                to: to_id,
+            })?;
+        self.path_names(&path)
+    }
+
+    /// Up to `k` alternative mapping paths.
+    pub fn find_paths(&mut self, from: &str, to: &str, k: usize) -> GamResult<Vec<Vec<String>>> {
+        let from_id = self.source_id(from)?;
+        let to_id = self.source_id(to)?;
+        let graph = self.graph()?;
+        let paths = graph.k_shortest_paths(from_id, to_id, k);
+        paths.iter().map(|p| self.path_names(p)).collect()
+    }
+
+    /// Save a manually built path under a name (validated).
+    pub fn save_path(&mut self, name: &str, path: &[&str]) -> GamResult<()> {
+        let ids = self.path_ids(path)?;
+        let graph = SourceGraph::from_store(&self.store)?;
+        self.saved.save(name, ids, &graph)
+    }
+
+    /// A previously saved path, as names.
+    pub fn saved_path(&self, name: &str) -> Option<Vec<SourceId>> {
+        self.saved.get(name).map(<[SourceId]>::to_vec)
+    }
+
+    fn path_names(&self, path: &[SourceId]) -> GamResult<Vec<String>> {
+        path.iter()
+            .map(|&id| Ok(self.store.get_source(id)?.name))
+            .collect()
+    }
+
+    fn path_ids(&self, path: &[&str]) -> GamResult<Vec<SourceId>> {
+        path.iter().map(|n| self.source_id(n)).collect()
+    }
+
+    // ------------------------------------------------------------------
+    // Operators, by name
+    // ------------------------------------------------------------------
+
+    /// `Map(S, T)` by source names.
+    pub fn map(&self, from: &str, to: &str) -> GamResult<Mapping> {
+        operators::map(&self.store, self.source_id(from)?, self.source_id(to)?)
+    }
+
+    /// `Compose` along a path of source names.
+    pub fn compose(&self, path: &[&str]) -> GamResult<Mapping> {
+        let ids = self.path_ids(path)?;
+        operators::compose_path(&self.store, &ids)
+    }
+
+    /// Materialize the composition along a path of source names.
+    pub fn materialize_composed(&mut self, path: &[&str]) -> GamResult<(SourceRelId, usize)> {
+        let ids = self.path_ids(path)?;
+        self.graph = None;
+        operators::materialize::materialize_composed(&mut self.store, &ids)
+    }
+
+    /// Derive and materialize the Subsumed mapping of a taxonomy source.
+    pub fn materialize_subsumed(&mut self, source: &str) -> GamResult<(SourceRelId, usize)> {
+        let id = self.source_id(source)?;
+        self.graph = None;
+        operators::materialize::materialize_subsumed(&mut self.store, id)
+    }
+
+    // ------------------------------------------------------------------
+    // Queries (the Figure 6 workflow)
+    // ------------------------------------------------------------------
+
+    /// Resolve accessions to object ids; unknown accessions are an error
+    /// listing what is missing.
+    fn resolve_accessions(
+        &self,
+        source: SourceId,
+        accessions: &[String],
+    ) -> GamResult<BTreeSet<ObjectId>> {
+        let mut out = BTreeSet::new();
+        let mut missing = Vec::new();
+        for acc in accessions {
+            match self.store.find_object(source, acc)? {
+                Some(obj) => {
+                    out.insert(obj.id);
+                }
+                None => missing.push(acc.as_str()),
+            }
+        }
+        if !missing.is_empty() {
+            return Err(GamError::Invalid(format!(
+                "unknown accessions in source {source}: {}",
+                missing.join(", ")
+            )));
+        }
+        Ok(out)
+    }
+
+    /// Execute a [`QuerySpec`]: GenerateView with automatic path
+    /// discovery, then resolve ids back to accessions/names.
+    pub fn query(&mut self, spec: &QuerySpec) -> GamResult<ResolvedView> {
+        let source = self.source_id(&spec.source)?;
+        let mut vq = ViewQuery::new(source).combine(spec.combine);
+        if !spec.accessions.is_empty() {
+            vq = vq.objects(self.resolve_accessions(source, &spec.accessions)?);
+        }
+        let mut header = vec![spec.source.clone()];
+        for t in &spec.targets {
+            let target = self.source_id(&t.source)?;
+            let mut ts = TargetSpec::all(target);
+            if !t.accessions.is_empty() {
+                ts.objects = Some(self.resolve_accessions(target, &t.accessions)?);
+            }
+            ts.negated = t.negated;
+            ts.min_evidence = t.min_evidence;
+            if let Some(via) = &t.via {
+                let refs: Vec<&str> = via.iter().map(String::as_str).collect();
+                ts.path = Some(self.path_ids(&refs)?);
+            }
+            header.push(t.source.clone());
+            vq = vq.target(ts);
+        }
+        // build the graph cache before borrowing it for the resolver
+        self.graph()?;
+        let graph = self.graph.as_ref().expect("cache filled");
+        let resolver = PathResolver { graph };
+        let view = generate_view(&self.store, &vq, &resolver)?;
+
+        let mut rows = Vec::with_capacity(view.rows.len());
+        for row in &view.rows {
+            let mut cells = Vec::with_capacity(row.len());
+            for cell in row {
+                cells.push(match cell {
+                    Some(id) => {
+                        let obj = self.store.get_object(*id)?;
+                        Some(ResolvedCell {
+                            accession: obj.accession,
+                            text: obj.text,
+                        })
+                    }
+                    None => None,
+                });
+            }
+            rows.push(ResolvedRow { cells });
+        }
+        Ok(ResolvedView { header, rows })
+    }
+
+    /// Full information about one object (Figure 6c).
+    pub fn object_info(&self, source: &str, accession: &str) -> GamResult<ObjectInfo> {
+        let source_id = self.source_id(source)?;
+        let obj = self
+            .store
+            .find_object(source_id, accession)?
+            .ok_or_else(|| {
+                GamError::Invalid(format!("unknown accession {accession} in {source}"))
+            })?;
+        let mut associations = Vec::new();
+        for (_, assoc) in self.store.associations_of_object(obj.id)? {
+            let partner = self.store.get_object(assoc.to)?;
+            let partner_source = self.store.get_source(partner.source)?;
+            associations.push((partner_source.name, partner.accession, assoc.evidence));
+        }
+        associations.sort_by(|a, b| (&a.0, &a.1).cmp(&(&b.0, &b.1)));
+        Ok(ObjectInfo {
+            id: obj.id,
+            source: source.to_owned(),
+            accession: obj.accession,
+            text: obj.text,
+            number: obj.number,
+            associations,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::query::TargetQuery;
+    use sources::ecosystem::{Ecosystem, EcosystemParams};
+
+    fn system() -> GenMapper {
+        let eco = Ecosystem::generate(EcosystemParams::demo(7));
+        let mut gm = GenMapper::in_memory().unwrap();
+        let reports = gm.import_dumps(&eco.dumps).unwrap();
+        assert!(reports.iter().all(|r| !r.skipped));
+        gm
+    }
+
+    #[test]
+    fn figure3_view_for_locus_353() {
+        let mut gm = system();
+        let spec = QuerySpec::source("LocusLink")
+            .accessions(["353"])
+            .target("Hugo")
+            .target("GO")
+            .target("Location")
+            .target("OMIM");
+        let view = gm.query(&spec).unwrap();
+        assert_eq!(view.header, vec!["LocusLink", "Hugo", "GO", "Location", "OMIM"]);
+        assert!(!view.is_empty());
+        // every row anchors at locus 353
+        assert!(view.rows.iter().all(|r| r.cell_text(0) == Some("353")));
+        // APRT symbol, 16q24 location, GO:0009116, OMIM 102600 all present
+        assert!(view.rows.iter().any(|r| r.cell_text(1) == Some("APRT")));
+        assert!(view.rows.iter().any(|r| r.cell_text(3) == Some("16q24")));
+        assert!(view
+            .rows
+            .iter()
+            .any(|r| r.cell_text(2) == Some("GO:0009116")));
+        assert!(view.rows.iter().any(|r| r.cell_text(4) == Some("102600")));
+        // and the GO term resolves its name
+        assert!(view
+            .rows
+            .iter()
+            .any(|r| r.cell_name(2) == Some("nucleoside metabolism")));
+    }
+
+    #[test]
+    fn automatic_path_discovery_composes() {
+        let mut gm = system();
+        // NetAffx has no direct GO mapping; the resolver must route via
+        // Unigene/LocusLink
+        let path = gm.find_path("NetAffx", "GO").unwrap();
+        assert_eq!(path.first().map(String::as_str), Some("NetAffx"));
+        assert_eq!(path.last().map(String::as_str), Some("GO"));
+        assert!(path.len() >= 3);
+
+        let spec = QuerySpec::source("NetAffx").target("GO").and();
+        let view = gm.query(&spec).unwrap();
+        assert!(!view.is_empty(), "probe sets reach GO through composition");
+        // alternatives exist in a well-connected graph
+        let paths = gm.find_paths("NetAffx", "GO", 3).unwrap();
+        assert!(!paths.is_empty());
+    }
+
+    #[test]
+    fn negated_query_partitions() {
+        let mut gm = system();
+        let with = gm
+            .query(&QuerySpec::source("LocusLink").target("OMIM").and())
+            .unwrap();
+        let without = gm
+            .query(
+                &QuerySpec::source("LocusLink")
+                    .target_spec(TargetQuery::new("OMIM").negated())
+                    .and(),
+            )
+            .unwrap();
+        let all = gm.store().object_count(gm.source_id("LocusLink").unwrap()).unwrap();
+        let with_set: BTreeSet<&str> = with.rows.iter().filter_map(|r| r.cell_text(0)).collect();
+        let without_set: BTreeSet<&str> =
+            without.rows.iter().filter_map(|r| r.cell_text(0)).collect();
+        assert_eq!(with_set.len() + without_set.len(), all);
+        assert!(with_set.is_disjoint(&without_set));
+    }
+
+    #[test]
+    fn saved_paths_and_explicit_via() {
+        let mut gm = system();
+        gm.save_path("affy-go", &["NetAffx", "Unigene", "LocusLink", "GO"])
+            .unwrap();
+        assert!(gm.saved_path("affy-go").is_some());
+        // a query pinning the path produces the same columns
+        let spec = QuerySpec::source("NetAffx")
+            .target_spec(TargetQuery::new("GO").via(["NetAffx", "Unigene", "LocusLink", "GO"]))
+            .and();
+        let view = gm.query(&spec).unwrap();
+        assert!(!view.is_empty());
+        // invalid saved path is rejected
+        assert!(gm.save_path("bogus", &["NetAffx", "Enzyme"]).is_err());
+    }
+
+    #[test]
+    fn materialization_speeds_up_and_survives_reuse() {
+        let mut gm = system();
+        let composed = gm.compose(&["Unigene", "LocusLink", "GO"]).unwrap();
+        assert!(!composed.is_empty());
+        let (rel, n) = gm
+            .materialize_composed(&["Unigene", "LocusLink", "GO"])
+            .unwrap();
+        assert_eq!(n, composed.len());
+        // Map now finds the derived mapping directly
+        let direct = gm.map("Unigene", "GO").unwrap();
+        assert_eq!(direct.len(), composed.len());
+        let stored = gm.store().get_source_rel(rel).unwrap();
+        assert_eq!(stored.derivation.as_deref(), Some("Unigene-LocusLink-GO"));
+    }
+
+    #[test]
+    fn subsumed_materialization_via_names() {
+        let mut gm = system();
+        let (_, n) = gm.materialize_subsumed("GO").unwrap();
+        assert!(n > 0);
+        // subsumed pairs exceed direct IS_A edge count (transitivity)
+        let go = gm.source_id("GO").unwrap();
+        let (isa, _) = gm
+            .store()
+            .find_source_rel(go, go, Some(gam::model::RelType::IsA))
+            .unwrap()
+            .unwrap();
+        let isa_count = gm.store().association_count(isa.id).unwrap();
+        assert!(n >= isa_count);
+    }
+
+    #[test]
+    fn object_info_lists_partner_accessions() {
+        let gm = system();
+        let info = gm.object_info("LocusLink", "353").unwrap();
+        assert_eq!(info.accession, "353");
+        assert_eq!(
+            info.text.as_deref(),
+            Some("adenine phosphoribosyltransferase")
+        );
+        let partners: Vec<&str> = info.associations.iter().map(|(s, _, _)| s.as_str()).collect();
+        assert!(partners.contains(&"Hugo"));
+        assert!(partners.contains(&"GO"));
+        assert!(partners.contains(&"OMIM"));
+        // unknown accession errors
+        assert!(gm.object_info("LocusLink", "does-not-exist").is_err());
+    }
+
+    #[test]
+    fn unknown_names_are_reported() {
+        let mut gm = system();
+        assert!(matches!(
+            gm.query(&QuerySpec::source("Nope")),
+            Err(GamError::UnknownSourceName(_))
+        ));
+        let spec = QuerySpec::source("LocusLink").accessions(["no-such-locus"]);
+        let err = gm.query(&spec).unwrap_err();
+        assert!(err.to_string().contains("no-such-locus"));
+    }
+
+    #[test]
+    fn durable_roundtrip() {
+        let dir = std::env::temp_dir().join("genmapper-system-tests").join("roundtrip");
+        let _ = std::fs::remove_dir_all(&dir);
+        let eco = Ecosystem::generate(EcosystemParams::demo(9));
+        let cards = {
+            let mut gm = GenMapper::open(&dir).unwrap();
+            gm.import_dumps(&eco.dumps).unwrap();
+            gm.checkpoint().unwrap();
+            gm.cardinalities().unwrap()
+        };
+        {
+            let mut gm = GenMapper::open(&dir).unwrap();
+            assert_eq!(gm.cardinalities().unwrap(), cards);
+            let view = gm
+                .query(&QuerySpec::source("LocusLink").accessions(["353"]).target("Hugo"))
+                .unwrap();
+            assert!(view.rows.iter().any(|r| r.cell_text(1) == Some("APRT")));
+        }
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

@@ -1,0 +1,52 @@
+//! Drive the compiled `genmapper-cli` binary through a scripted stdin
+//! session — the closest offline equivalent of a user at the paper's
+//! interactive interface.
+
+use std::io::Write;
+use std::process::{Command, Stdio};
+
+fn run_script(script: &str) -> String {
+    let mut child = Command::new(env!("CARGO_BIN_EXE_genmapper-cli"))
+        .stdin(Stdio::piped())
+        .stdout(Stdio::piped())
+        .stderr(Stdio::piped())
+        .spawn()
+        .expect("binary starts");
+    child
+        .stdin
+        .as_mut()
+        .expect("stdin piped")
+        .write_all(script.as_bytes())
+        .expect("script written");
+    let output = child.wait_with_output().expect("binary exits");
+    assert!(output.status.success(), "cli exited with {:?}", output.status);
+    String::from_utf8(output.stdout).expect("utf-8 output")
+}
+
+#[test]
+fn scripted_session_through_the_binary() {
+    let out = run_script(
+        "demo 7\n\
+         stats\n\
+         search LocusLink adenine\n\
+         path NetAffx GO\n\
+         query LocusLink:353 or Hugo GO\n\
+         export csv\n\
+         quit\n",
+    );
+    assert!(out.contains("sources"), "stats shown");
+    assert!(out.contains("Fact"), "type breakdown shown");
+    assert!(out.contains("353"), "keyword search hit");
+    assert!(out.contains("NetAffx ->"), "path printed");
+    assert!(out.contains("APRT"), "query answered");
+    assert!(out.contains("LocusLink,Hugo,GO"), "csv export");
+}
+
+#[test]
+fn binary_survives_errors_and_eof() {
+    // unknown commands and runtime errors must not kill the process; EOF
+    // (no quit) must end it cleanly
+    let out = run_script("nonsense\ninfo Nowhere 1\nsources\n");
+    assert!(out.contains("parse error"));
+    assert!(out.contains("error:"));
+}

@@ -1,0 +1,492 @@
+//! The generic EAV→GAM importer.
+
+use crate::report::ImportReport;
+use eav::{EavBatch, EavRecord};
+use gam::mapping::Association;
+use gam::model::{RelType, SourceContent, SourceStructure};
+use gam::{GamResult, GamStore, SourceId};
+use std::collections::BTreeMap;
+
+/// Imports EAV batches into a [`GamStore`], applying source- and
+/// object-level duplicate elimination.
+pub struct Importer<'a> {
+    store: &'a mut GamStore,
+}
+
+impl<'a> Importer<'a> {
+    /// Wrap a store.
+    pub fn new(store: &'a mut GamStore) -> Self {
+        Importer { store }
+    }
+
+    /// Import one batch. The batch is sanitized (normalized, invalid
+    /// records dropped) before integration.
+    pub fn import(&mut self, batch: &EavBatch) -> GamResult<ImportReport> {
+        let mut batch = batch.clone();
+        let dropped = batch.sanitize();
+        let mut report = ImportReport {
+            source: batch.meta.name.clone(),
+            release: batch.meta.release.clone(),
+            records_dropped: dropped,
+            ..Default::default()
+        };
+
+        // ---- source-level duplicate elimination -----------------------
+        let source = match self.store.find_source(&batch.meta.name)? {
+            Some(existing) => {
+                if existing.release.as_deref() == Some(batch.meta.release.as_str()) {
+                    // Same name and audit info: the batch is already in.
+                    report.skipped = true;
+                    return Ok(report);
+                }
+                // Incremental re-import: refresh the audit info and relate
+                // new records against the existing objects. The source's
+                // own dump is authoritative for its classification, so a
+                // stub created from cross-references is upgraded here.
+                self.store
+                    .set_source_release(existing.id, &batch.meta.release)?;
+                if existing.content != batch.meta.content
+                    || existing.structure != batch.meta.structure
+                {
+                    self.store.update_source_meta(
+                        existing.id,
+                        batch.meta.content,
+                        batch.meta.structure,
+                    )?;
+                }
+                existing
+            }
+            None => {
+                report.source_created = true;
+                self.store.create_source(
+                    &batch.meta.name,
+                    batch.meta.content,
+                    batch.meta.structure,
+                    Some(&batch.meta.release),
+                )?
+            }
+        };
+
+        // ---- partitions (Contains relationships) ----------------------
+        for partition in &batch.meta.partitions {
+            let pname = format!("{}.{}", batch.meta.name, partition);
+            let pid = match self.store.find_source(&pname)? {
+                Some(s) => s.id,
+                None => {
+                    report.stub_sources_created.push(pname.clone());
+                    self.store
+                        .create_source(&pname, batch.meta.content, batch.meta.structure, None)?
+                        .id
+                }
+            };
+            if self
+                .store
+                .find_source_rel(source.id, pid, Some(RelType::Contains))?
+                .is_none()
+            {
+                self.store
+                    .create_source_rel(source.id, pid, RelType::Contains, None)?;
+                report.mappings_created += 1;
+            }
+        }
+
+        // ---- objects of the parsed source ------------------------------
+        // Merge Object records by accession (a dump may first declare the
+        // accession and later add its name), preferring non-empty fields.
+        let mut own_objects: BTreeMap<&str, (Option<&str>, Option<f64>)> = BTreeMap::new();
+        for record in &batch.records {
+            match record {
+                EavRecord::Object {
+                    accession,
+                    text,
+                    number,
+                } => {
+                    let entry = own_objects.entry(accession.as_str()).or_default();
+                    if let Some(t) = text.as_deref() {
+                        entry.0 = Some(t);
+                    }
+                    if let Some(n) = *number {
+                        entry.1 = Some(n);
+                    }
+                }
+                // entities referenced by annotations/edges belong to this
+                // source too, even if never declared explicitly
+                EavRecord::Annotation { entity, .. } => {
+                    own_objects.entry(entity.as_str()).or_default();
+                }
+                EavRecord::IsA { child, parent } => {
+                    own_objects.entry(child.as_str()).or_default();
+                    own_objects.entry(parent.as_str()).or_default();
+                }
+            }
+        }
+        let object_rows: Vec<(String, Option<String>, Option<f64>)> = own_objects
+            .iter()
+            .map(|(acc, (text, number))| {
+                ((*acc).to_owned(), text.map(str::to_owned), *number)
+            })
+            .collect();
+        let (_, created) = self.store.add_objects_bulk(source.id, &object_rows)?;
+        report.objects_created += created;
+        report.objects_deduped += object_rows.len() - created;
+
+        // ---- annotation relationships, grouped by (target, kind) ------
+        // Separate fact and similarity associations per target: they back
+        // distinct SOURCE_REL rows of different types.
+        type Key = (String, bool); // (target name, scored?)
+        type AnnotationRow<'r> = (&'r str, &'r str, Option<&'r str>, Option<f64>);
+        let mut groups: BTreeMap<Key, Vec<AnnotationRow<'_>>> = BTreeMap::new();
+        for record in &batch.records {
+            if let EavRecord::Annotation {
+                entity,
+                target,
+                accession,
+                text,
+                evidence,
+            } = record
+            {
+                groups
+                    .entry((target.clone(), evidence.is_some()))
+                    .or_default()
+                    .push((entity, accession, text.as_deref(), *evidence));
+            }
+        }
+        for ((target_name, scored), rows) in &groups {
+            let target = self.ensure_target(target_name, &batch, &mut report)?;
+            // objects on the target side (relate to existing data)
+            let target_objects: Vec<(String, Option<String>, Option<f64>)> = {
+                let mut merged: BTreeMap<&str, Option<&str>> = BTreeMap::new();
+                for (_, acc, text, _) in rows {
+                    let entry = merged.entry(acc).or_default();
+                    if text.is_some() {
+                        *entry = *text;
+                    }
+                }
+                merged
+                    .iter()
+                    .map(|(acc, text)| ((*acc).to_owned(), text.map(str::to_owned), None))
+                    .collect()
+            };
+            let (_, created) = self.store.add_objects_bulk(target.raw_id(), &target_objects)?;
+            report.objects_created += created;
+            report.objects_deduped += target_objects.len() - created;
+
+            let rel_type = if *scored {
+                RelType::Similarity
+            } else {
+                RelType::Fact
+            };
+            // Reuse an existing mapping in either orientation (the reverse
+            // direction exists when the target's own dump linked back to
+            // this source first); associations must follow the stored
+            // orientation.
+            let (rel, forward) = match self
+                .store
+                .find_source_rel(source.id, target.raw_id(), Some(rel_type))?
+            {
+                Some((rel, fwd)) => (rel.id, fwd),
+                None => {
+                    report.mappings_created += 1;
+                    (
+                        self.store
+                            .create_source_rel(source.id, target.raw_id(), rel_type, None)?,
+                        true,
+                    )
+                }
+            };
+            // resolve accessions to object ids and bulk-insert
+            let mut assocs = Vec::with_capacity(rows.len());
+            for (entity, acc, _, evidence) in rows {
+                let from = self
+                    .store
+                    .find_object(source.id, entity)?
+                    .expect("entity ensured above");
+                let to = self
+                    .store
+                    .find_object(target.raw_id(), acc)?
+                    .expect("target object ensured above");
+                let (o1, o2) = if forward {
+                    (from.id, to.id)
+                } else {
+                    (to.id, from.id)
+                };
+                assocs.push(Association {
+                    from: o1,
+                    to: o2,
+                    evidence: *evidence,
+                });
+            }
+            let mut added = 0;
+            let total = assocs.len();
+            self.store.add_associations_bulk(rel, assocs, &mut added)?;
+            report.associations_created += added;
+            report.associations_deduped += total - added;
+        }
+
+        // ---- structural IS_A relationships ----------------------------
+        let isa_edges: Vec<(&str, &str)> = batch
+            .records
+            .iter()
+            .filter_map(|r| match r {
+                EavRecord::IsA { child, parent } => Some((child.as_str(), parent.as_str())),
+                _ => None,
+            })
+            .collect();
+        if !isa_edges.is_empty() {
+            let rel = match self
+                .store
+                .find_source_rel(source.id, source.id, Some(RelType::IsA))?
+            {
+                Some((rel, _)) => rel.id,
+                None => {
+                    report.mappings_created += 1;
+                    self.store
+                        .create_source_rel(source.id, source.id, RelType::IsA, None)?
+                }
+            };
+            let mut assocs = Vec::with_capacity(isa_edges.len());
+            for (child, parent) in isa_edges {
+                let from = self
+                    .store
+                    .find_object(source.id, child)?
+                    .expect("ensured above");
+                let to = self
+                    .store
+                    .find_object(source.id, parent)?
+                    .expect("ensured above");
+                assocs.push(Association::fact(from.id, to.id));
+            }
+            let mut added = 0;
+            let total = assocs.len();
+            self.store.add_associations_bulk(rel, assocs, &mut added)?;
+            report.associations_created += added;
+            report.associations_deduped += total - added;
+        }
+
+        Ok(report)
+    }
+
+    /// Find an annotation target, creating a stub source if it is unknown.
+    /// Stubs are classified by the batch's own content as a neutral default
+    /// and `Flat` structure; when the target's own dump is imported later,
+    /// its metadata comes from that dump.
+    fn ensure_target(
+        &mut self,
+        name: &str,
+        batch: &EavBatch,
+        report: &mut ImportReport,
+    ) -> GamResult<TargetHandle> {
+        if let Some(existing) = self.store.find_source(name)? {
+            return Ok(TargetHandle { id: existing.id });
+        }
+        report.stub_sources_created.push(name.to_owned());
+        let source = self.store.create_source(
+            name,
+            stub_content(name, batch.meta.content),
+            SourceStructure::Flat,
+            None,
+        )?;
+        Ok(TargetHandle { id: source.id })
+    }
+}
+
+/// Lightweight wrapper so call sites read as target.raw_id().
+struct TargetHandle {
+    id: SourceId,
+}
+
+impl TargetHandle {
+    fn raw_id(&self) -> SourceId {
+        self.id
+    }
+}
+
+/// Heuristic content class for stub targets: gene-ish hubs are Gene,
+/// everything else inherits a neutral `Other`.
+fn stub_content(name: &str, _importing: SourceContent) -> SourceContent {
+    match name {
+        "LocusLink" | "Unigene" | "Hugo" => SourceContent::Gene,
+        "SwissProt" | "InterPro" => SourceContent::Protein,
+        _ => SourceContent::Other,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use eav::SourceMeta;
+
+    fn store() -> GamStore {
+        GamStore::in_memory().unwrap()
+    }
+
+    fn locuslink_batch() -> EavBatch {
+        let mut b = EavBatch::new(SourceMeta::flat_gene("LocusLink", "r1"));
+        b.push(EavRecord::object("353"));
+        b.push(EavRecord::named_object("353", "adenine phosphoribosyltransferase"));
+        b.push(EavRecord::annotation("353", "Hugo", "APRT"));
+        b.push(EavRecord::annotation("353", "Location", "16q24"));
+        b.push(EavRecord::annotation("353", "Enzyme", "2.4.2.7"));
+        b.push(EavRecord::annotation_with_text("353", "GO", "GO:0009116", "nucleoside metabolism"));
+        b.push(EavRecord::object("1234"));
+        b.push(EavRecord::annotation("1234", "GO", "GO:0009116"));
+        b
+    }
+
+    #[test]
+    fn basic_import_creates_everything() {
+        let mut s = store();
+        let report = Importer::new(&mut s).import(&locuslink_batch()).unwrap();
+        assert!(report.source_created);
+        assert!(!report.skipped);
+        // objects: 2 loci + APRT + 16q24 + 2.4.2.7 + GO:0009116
+        assert_eq!(report.objects_created, 6);
+        assert_eq!(report.associations_created, 5);
+        // one Fact mapping per target
+        assert_eq!(report.mappings_created, 4);
+        assert_eq!(
+            report.stub_sources_created,
+            vec!["Enzyme", "GO", "Hugo", "Location"]
+        );
+        // object text landed on both sides
+        let ll = s.find_source("LocusLink").unwrap().unwrap();
+        let locus = s.find_object(ll.id, "353").unwrap().unwrap();
+        assert_eq!(locus.text.as_deref(), Some("adenine phosphoribosyltransferase"));
+        let go = s.find_source("GO").unwrap().unwrap();
+        let term = s.find_object(go.id, "GO:0009116").unwrap().unwrap();
+        assert_eq!(term.text.as_deref(), Some("nucleoside metabolism"));
+    }
+
+    #[test]
+    fn same_release_is_skipped_entirely() {
+        let mut s = store();
+        Importer::new(&mut s).import(&locuslink_batch()).unwrap();
+        let before = s.cardinalities().unwrap();
+        let report = Importer::new(&mut s).import(&locuslink_batch()).unwrap();
+        assert!(report.skipped);
+        assert_eq!(s.cardinalities().unwrap(), before, "idempotent re-import");
+    }
+
+    #[test]
+    fn new_release_is_incremental() {
+        let mut s = store();
+        Importer::new(&mut s).import(&locuslink_batch()).unwrap();
+        let mut updated = locuslink_batch();
+        updated.meta.release = "r2".into();
+        updated.push(EavRecord::object("999"));
+        updated.push(EavRecord::annotation("999", "GO", "GO:0009116"));
+        let report = Importer::new(&mut s).import(&updated).unwrap();
+        assert!(!report.skipped);
+        assert!(!report.source_created);
+        // only the new locus is inserted; everything else dedups
+        assert_eq!(report.objects_created, 1);
+        assert_eq!(report.associations_created, 1);
+        assert_eq!(report.associations_deduped, 5);
+        assert!(report.stub_sources_created.is_empty());
+        assert_eq!(report.mappings_created, 0, "existing mappings reused");
+        let src = s.find_source("LocusLink").unwrap().unwrap();
+        assert_eq!(src.release.as_deref(), Some("r2"));
+    }
+
+    #[test]
+    fn relates_against_previously_imported_target() {
+        // paper: "if GO has already been integrated into GAM, re-importing
+        // LocusLink only requires to relate the new LocusLink objects with
+        // the existing GO terms"
+        let mut s = store();
+        let mut go = EavBatch::new(SourceMeta::network(
+            "GO",
+            "200312",
+            SourceContent::Other,
+        ));
+        go.meta.partitions = vec!["BiologicalProcess".into()];
+        go.push(EavRecord::named_object("GO:0008150", "biological_process"));
+        go.push(EavRecord::named_object("GO:0009116", "nucleoside metabolism"));
+        go.push(EavRecord::is_a("GO:0009116", "GO:0008150"));
+        let go_report = Importer::new(&mut s).import(&go).unwrap();
+        assert_eq!(go_report.objects_created, 2);
+        assert_eq!(go_report.mappings_created, 2); // Contains + IS_A
+        assert_eq!(go_report.stub_sources_created, vec!["GO.BiologicalProcess"]);
+
+        let ll_report = Importer::new(&mut s).import(&locuslink_batch()).unwrap();
+        // GO:0009116 already exists: no new GO object
+        assert!(!ll_report.stub_sources_created.contains(&"GO".to_owned()));
+        let go_src = s.find_source("GO").unwrap().unwrap();
+        assert_eq!(s.object_count(go_src.id).unwrap(), 2);
+        // GO source keeps its Network structure (not overwritten by stubs)
+        assert_eq!(go_src.structure, SourceStructure::Network);
+        // the LocusLink->GO mapping references the existing term
+        let ll = s.find_source("LocusLink").unwrap().unwrap();
+        let (rel, fwd) = s.find_source_rel(ll.id, go_src.id, Some(RelType::Fact)).unwrap().unwrap();
+        assert!(fwd);
+        let mapping = s.load_mapping(rel.id).unwrap();
+        assert_eq!(mapping.len(), 2);
+    }
+
+    #[test]
+    fn stub_filled_by_later_full_import() {
+        let mut s = store();
+        // LocusLink first: creates a GO stub holding GO:0009116
+        Importer::new(&mut s).import(&locuslink_batch()).unwrap();
+        // now the full GO arrives
+        let mut go = EavBatch::new(SourceMeta::network("GO", "200312", SourceContent::Other));
+        go.push(EavRecord::named_object("GO:0008150", "biological_process"));
+        go.push(EavRecord::named_object("GO:0009116", "nucleoside metabolism"));
+        go.push(EavRecord::is_a("GO:0009116", "GO:0008150"));
+        let report = Importer::new(&mut s).import(&go).unwrap();
+        assert!(!report.source_created, "stub reused");
+        assert_eq!(report.objects_created, 1, "only the root is new");
+        assert_eq!(report.objects_deduped, 1);
+        // the stub's release is now the real one
+        let go_src = s.find_source("GO").unwrap().unwrap();
+        assert_eq!(go_src.release.as_deref(), Some("200312"));
+    }
+
+    #[test]
+    fn similarity_and_fact_mappings_are_separate() {
+        let mut s = store();
+        let mut b = EavBatch::new(SourceMeta::flat_gene("NetAffx", "na34"));
+        b.push(EavRecord::object("1000_at"));
+        b.push(EavRecord::similarity("1000_at", "Unigene", "Hs.1", 0.9));
+        b.push(EavRecord::annotation("1000_at", "Unigene", "Hs.1"));
+        let report = Importer::new(&mut s).import(&b).unwrap();
+        assert_eq!(report.mappings_created, 2);
+        let na = s.find_source("NetAffx").unwrap().unwrap();
+        let ug = s.find_source("Unigene").unwrap().unwrap();
+        let fact = s.find_source_rel(na.id, ug.id, Some(RelType::Fact)).unwrap().unwrap();
+        let sim = s
+            .find_source_rel(na.id, ug.id, Some(RelType::Similarity))
+            .unwrap()
+            .unwrap();
+        assert_ne!(fact.0.id, sim.0.id);
+        let sim_map = s.load_mapping(sim.0.id).unwrap();
+        assert_eq!(sim_map.pairs[0].evidence, Some(0.9));
+    }
+
+    #[test]
+    fn isa_edges_build_intra_source_mapping() {
+        let mut s = store();
+        let mut b = EavBatch::new(SourceMeta::network("Enzyme", "33.0", SourceContent::Other));
+        b.push(EavRecord::is_a("2.4.2.7", "2.4.2"));
+        b.push(EavRecord::is_a("2.4.2", "2.4"));
+        let report = Importer::new(&mut s).import(&b).unwrap();
+        // implicit objects created from edge endpoints
+        assert_eq!(report.objects_created, 3);
+        let ez = s.find_source("Enzyme").unwrap().unwrap();
+        let (rel, _) = s.find_source_rel(ez.id, ez.id, Some(RelType::IsA)).unwrap().unwrap();
+        let map = s.load_mapping(rel.id).unwrap();
+        assert_eq!(map.len(), 2);
+    }
+
+    #[test]
+    fn dropped_records_are_counted() {
+        let mut s = store();
+        let mut b = EavBatch::new(SourceMeta::flat_gene("X", "r1"));
+        b.push(EavRecord::object("ok"));
+        b.push(EavRecord::object(""));
+        b.push(EavRecord::is_a("a", "a"));
+        let report = Importer::new(&mut s).import(&b).unwrap();
+        assert_eq!(report.records_dropped, 2);
+        assert_eq!(report.objects_created, 1);
+    }
+}

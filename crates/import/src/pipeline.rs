@@ -1,0 +1,209 @@
+//! The load pipeline: parallel Parse, serial Import.
+//!
+//! Parsing is pure, CPU-bound, per-source work — it fans out across
+//! crossbeam-scoped worker threads. Import mutates the central database
+//! and runs serially in dump order (GenMapper loads into one MySQL
+//! instance the same way). Batches are handed over through a bounded
+//! channel so memory stays proportional to the number of workers, not the
+//! number of dumps.
+
+use crate::importer::Importer;
+use crate::report::ImportReport;
+use gam::{GamError, GamResult, GamStore};
+use sources::ecosystem::SourceDump;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Pipeline configuration.
+#[derive(Debug, Clone)]
+pub struct PipelineOptions {
+    /// Parser worker threads. `1` parses inline without spawning.
+    pub parse_threads: usize,
+    /// Checkpoint the store after this many imported batches (durable
+    /// stores only). `None` disables intermediate checkpoints.
+    pub checkpoint_every: Option<usize>,
+    /// Persist every parse result as an EAV staging file in this
+    /// directory (named `<source>.eav`), mirroring GenMapper's staging
+    /// tables between Parse and Import. `None` keeps batches in memory
+    /// only.
+    pub staging_dir: Option<std::path::PathBuf>,
+}
+
+impl Default for PipelineOptions {
+    fn default() -> Self {
+        PipelineOptions {
+            parse_threads: std::thread::available_parallelism()
+                .map(|n| n.get().min(8))
+                .unwrap_or(4),
+            checkpoint_every: None,
+            staging_dir: None,
+        }
+    }
+}
+
+/// Parse all dumps (in parallel) and import them (serially, in dump
+/// order). Returns one report per dump. A parse failure aborts the run
+/// with an error naming the dump.
+pub fn run_pipeline(
+    store: &mut GamStore,
+    dumps: &[SourceDump],
+    options: &PipelineOptions,
+) -> GamResult<Vec<ImportReport>> {
+    let batches = parse_dumps(dumps, options.parse_threads)
+        .map_err(|e| GamError::Invalid(format!("parse failed: {e}")))?;
+    if let Some(dir) = &options.staging_dir {
+        std::fs::create_dir_all(dir)
+            .map_err(|e| GamError::Invalid(format!("staging dir: {e}")))?;
+        for batch in &batches {
+            let path = dir.join(format!("{}.eav", batch.meta.name));
+            std::fs::write(&path, eav::staging::write_staging(batch))
+                .map_err(|e| GamError::Invalid(format!("staging write: {e}")))?;
+        }
+    }
+    let mut reports = Vec::with_capacity(batches.len());
+    for (i, batch) in batches.iter().enumerate() {
+        let report = Importer::new(store).import(batch)?;
+        reports.push(report);
+        if let Some(every) = options.checkpoint_every {
+            if every > 0 && (i + 1) % every == 0 {
+                store.checkpoint()?;
+            }
+        }
+    }
+    Ok(reports)
+}
+
+/// Parse dumps on up to `threads` workers, preserving dump order in the
+/// result.
+pub fn parse_dumps(
+    dumps: &[SourceDump],
+    threads: usize,
+) -> Result<Vec<eav::EavBatch>, sources::ParseError> {
+    if threads <= 1 || dumps.len() <= 1 {
+        return dumps.iter().map(SourceDump::parse).collect();
+    }
+    let n = dumps.len();
+    let mut slots: Vec<Option<Result<eav::EavBatch, sources::ParseError>>> =
+        (0..n).map(|_| None).collect();
+    let cursor = AtomicUsize::new(0);
+    let slots_ptr = std::sync::Mutex::new(&mut slots);
+
+    crossbeam::scope(|scope| {
+        for _ in 0..threads.min(n) {
+            scope.spawn(|_| loop {
+                let i = cursor.fetch_add(1, Ordering::Relaxed);
+                if i >= n {
+                    return;
+                }
+                let result = dumps[i].parse();
+                let mut guard = slots_ptr.lock().unwrap();
+                guard[i] = Some(result);
+            });
+        }
+    })
+    .expect("parser worker panicked");
+
+    let mut out = Vec::with_capacity(n);
+    for slot in slots {
+        out.push(slot.expect("every slot filled")?);
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sources::ecosystem::{Ecosystem, EcosystemParams};
+
+    #[test]
+    fn pipeline_imports_demo_ecosystem() {
+        let eco = Ecosystem::generate(EcosystemParams::demo(31));
+        let mut store = GamStore::in_memory().unwrap();
+        let reports = run_pipeline(&mut store, &eco.dumps, &PipelineOptions::default()).unwrap();
+        assert_eq!(reports.len(), eco.dumps.len());
+        assert!(reports.iter().all(|r| !r.skipped));
+        let cards = store.cardinalities().unwrap();
+        // 10 core + 4 satellites + GO partitions + pseudo-target stubs
+        assert!(cards.sources >= 14, "got {} sources", cards.sources);
+        assert!(cards.objects > 500);
+        assert!(cards.associations > 500);
+        assert!(cards.mappings >= 15);
+        // re-running the pipeline is a no-op (source-level dedup)
+        let again = run_pipeline(&mut store, &eco.dumps, &PipelineOptions::default()).unwrap();
+        assert!(again.iter().all(|r| r.skipped));
+        assert_eq!(store.cardinalities().unwrap(), cards);
+    }
+
+    #[test]
+    fn parallel_parse_matches_serial_parse() {
+        let eco = Ecosystem::generate(EcosystemParams::demo(32));
+        let serial = parse_dumps(&eco.dumps, 1).unwrap();
+        let parallel = parse_dumps(&eco.dumps, 4).unwrap();
+        assert_eq!(serial.len(), parallel.len());
+        for (a, b) in serial.iter().zip(&parallel) {
+            assert_eq!(a, b);
+        }
+    }
+
+    #[test]
+    fn order_independence_of_import() {
+        // Importing sources in a different order yields the same
+        // cardinalities (ids differ, content does not).
+        let eco = Ecosystem::generate(EcosystemParams::demo(33));
+        let mut fwd = GamStore::in_memory().unwrap();
+        run_pipeline(&mut fwd, &eco.dumps, &PipelineOptions::default()).unwrap();
+        let mut rev_dumps = eco.dumps.clone();
+        rev_dumps.reverse();
+        let mut rev = GamStore::in_memory().unwrap();
+        run_pipeline(&mut rev, &rev_dumps, &PipelineOptions::default()).unwrap();
+        assert_eq!(
+            fwd.cardinalities().unwrap(),
+            rev.cardinalities().unwrap()
+        );
+    }
+
+    #[test]
+    fn staging_files_roundtrip_through_disk() {
+        let eco = Ecosystem::generate(EcosystemParams::demo(35));
+        let dir = std::env::temp_dir().join("genmapper-staging-test");
+        let _ = std::fs::remove_dir_all(&dir);
+        let mut store = GamStore::in_memory().unwrap();
+        let options = PipelineOptions {
+            staging_dir: Some(dir.clone()),
+            ..PipelineOptions::default()
+        };
+        run_pipeline(&mut store, &eco.dumps, &options).unwrap();
+        // every source left a staging file, and re-reading one yields the
+        // exact batch the parser produced
+        for dump in &eco.dumps {
+            let path = dir.join(format!("{}.eav", dump.name));
+            assert!(path.exists(), "staging file for {}", dump.name);
+            let text = std::fs::read_to_string(&path).unwrap();
+            let reread = eav::staging::read_staging(text.as_bytes()).unwrap();
+            let mut original = dump.parse().unwrap();
+            original.sanitize();
+            assert_eq!(reread, original, "staging roundtrip for {}", dump.name);
+        }
+        // importing the re-read staging files into a fresh store matches
+        let mut store2 = GamStore::in_memory().unwrap();
+        for dump in &eco.dumps {
+            let text =
+                std::fs::read_to_string(dir.join(format!("{}.eav", dump.name))).unwrap();
+            let batch = eav::staging::read_staging(text.as_bytes()).unwrap();
+            crate::Importer::new(&mut store2).import(&batch).unwrap();
+        }
+        assert_eq!(
+            store.cardinalities().unwrap(),
+            store2.cardinalities().unwrap()
+        );
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn parse_failure_is_reported_with_source() {
+        let mut eco = Ecosystem::generate(EcosystemParams::demo(34));
+        eco.dumps[2].text = "garbage that is not unigene".into();
+        let mut store = GamStore::in_memory().unwrap();
+        let err = run_pipeline(&mut store, &eco.dumps, &PipelineOptions::default()).unwrap_err();
+        assert!(err.to_string().contains("parse failed"));
+    }
+}

@@ -1,0 +1,294 @@
+//! The `Compose` operation: transitivity of associations.
+//!
+//! Paper §4.2: "Compose takes as input a so-called mapping path consisting
+//! of two or more mappings connecting two sources with each other ... it
+//! can use a relational join operation to combine map1: S1↔S2 and map2:
+//! S2↔S3, which share a common source S2, and produce as output a mapping
+//! between S1 and S3."
+//!
+//! Evidence combination: the composed association's evidence is the
+//! product of the constituents' effective evidence (facts count as 1.0),
+//! reflecting the paper's note that composition may weaken plausibility —
+//! "the use of mappings containing associations of reduced evidence is a
+//! promising subject for future research". Two all-fact inputs therefore
+//! compose into fact associations.
+
+use crate::simple::map;
+use gam::mapping::Association;
+use gam::model::RelType;
+use gam::{GamError, GamResult, GamStore, Mapping, SourceId};
+use std::collections::HashMap;
+
+/// Compose two in-memory mappings sharing a middle source
+/// (`left.to == right.from`). Output pairs are deduplicated keeping the
+/// strongest evidence.
+pub fn compose(left: &Mapping, right: &Mapping) -> GamResult<Mapping> {
+    if left.to != right.from {
+        return Err(GamError::Invalid(format!(
+            "compose: mappings do not share a source ({} vs {})",
+            left.to, right.from
+        )));
+    }
+    // hash join on the shared middle objects; build side = right
+    let mut by_mid: HashMap<gam::ObjectId, Vec<&Association>> =
+        HashMap::with_capacity(right.pairs.len());
+    for assoc in &right.pairs {
+        by_mid.entry(assoc.from).or_default().push(assoc);
+    }
+    let mut out = Mapping::empty(left.from, right.to, RelType::Composed);
+    for l in &left.pairs {
+        if let Some(matches) = by_mid.get(&l.to) {
+            for r in matches {
+                let evidence = match (l.evidence, r.evidence) {
+                    (None, None) => None, // fact ∘ fact = fact
+                    _ => Some(l.effective_evidence() * r.effective_evidence()),
+                };
+                out.pairs.push(Association {
+                    from: l.from,
+                    to: r.to,
+                    evidence,
+                });
+            }
+        }
+    }
+    out.dedup();
+    Ok(out)
+}
+
+/// Compose with an evidence floor: composed associations whose combined
+/// evidence falls below `min_evidence` are dropped. This implements the
+/// paper's future-work direction — "the use of mappings containing
+/// associations of reduced evidence is a promising subject for future
+/// research" — as the simplest sound policy: multiplication for
+/// combination, thresholding for acceptance. The threshold also bounds the
+/// paper's noted risk that "Compose may lead to wrong associations when
+/// the transitivity assumption does not hold": low-confidence chains are
+/// exactly where transitivity breaks.
+pub fn compose_with_threshold(
+    left: &Mapping,
+    right: &Mapping,
+    min_evidence: f64,
+) -> GamResult<Mapping> {
+    if !(0.0..=1.0).contains(&min_evidence) || min_evidence.is_nan() {
+        return Err(GamError::BadEvidence(min_evidence));
+    }
+    let mut out = compose(left, right)?;
+    out.pairs
+        .retain(|a| a.effective_evidence() >= min_evidence);
+    Ok(out)
+}
+
+/// Compose along a path with an evidence floor applied at every step, so
+/// implausible chains are pruned early instead of multiplying through.
+pub fn compose_path_with_threshold(
+    store: &GamStore,
+    path: &[SourceId],
+    min_evidence: f64,
+) -> GamResult<Mapping> {
+    if path.len() < 2 {
+        return Err(GamError::Invalid(
+            "compose path needs at least two sources".into(),
+        ));
+    }
+    let mut acc = map(store, path[0], path[1])?;
+    acc.pairs
+        .retain(|a| a.effective_evidence() >= min_evidence);
+    for window in path[1..].windows(2) {
+        let step = map(store, window[0], window[1])?;
+        acc = compose_with_threshold(&acc, &step, min_evidence)?;
+        if acc.is_empty() {
+            break;
+        }
+    }
+    acc.from = path[0];
+    acc.to = *path.last().expect("non-empty path");
+    if path.len() > 2 {
+        acc.rel_type = RelType::Composed;
+    }
+    Ok(acc)
+}
+
+/// Compose along a mapping path of sources, loading each step with `Map`.
+/// The path must name at least two sources; a two-source path degenerates
+/// to `Map` itself.
+pub fn compose_path(store: &GamStore, path: &[SourceId]) -> GamResult<Mapping> {
+    if path.len() < 2 {
+        return Err(GamError::Invalid(
+            "compose path needs at least two sources".into(),
+        ));
+    }
+    let mut acc = map(store, path[0], path[1])?;
+    for window in path[1..].windows(2) {
+        let step = map(store, window[0], window[1])?;
+        acc = compose(&acc, &step)?;
+        if acc.is_empty() {
+            // no surviving associations; keep going so the result has the
+            // right endpoints, but no further joins can add pairs
+            break;
+        }
+    }
+    acc.from = path[0];
+    acc.to = *path.last().expect("non-empty path");
+    if path.len() > 2 {
+        acc.rel_type = RelType::Composed;
+    }
+    Ok(acc)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gam::model::{SourceContent, SourceStructure};
+    use gam::ObjectId;
+
+    fn m(from: u32, to: u32, pairs: &[(u64, u64, Option<f64>)]) -> Mapping {
+        Mapping {
+            from: SourceId(from),
+            to: SourceId(to),
+            rel_type: RelType::Fact,
+            pairs: pairs
+                .iter()
+                .map(|&(f, t, e)| Association {
+                    from: ObjectId(f),
+                    to: ObjectId(t),
+                    evidence: e,
+                })
+                .collect(),
+        }
+    }
+
+    #[test]
+    fn paper_example_unigene_go_via_locuslink() {
+        // "the new mapping Unigene<->GO can be derived by combining two
+        // existing mappings, Unigene<->LocusLink and LocusLink<->GO"
+        let unigene_locuslink = m(1, 2, &[(10, 20, None), (11, 21, None)]);
+        let locuslink_go = m(2, 3, &[(20, 30, None), (20, 31, None), (22, 32, None)]);
+        let unigene_go = compose(&unigene_locuslink, &locuslink_go).unwrap();
+        assert_eq!(unigene_go.from, SourceId(1));
+        assert_eq!(unigene_go.to, SourceId(3));
+        assert_eq!(unigene_go.rel_type, RelType::Composed);
+        assert_eq!(unigene_go.len(), 2);
+        assert!(unigene_go.pairs.contains(&Association::fact(ObjectId(10), ObjectId(30))));
+        assert!(unigene_go.pairs.contains(&Association::fact(ObjectId(10), ObjectId(31))));
+    }
+
+    #[test]
+    fn evidence_multiplies() {
+        let ab = m(1, 2, &[(1, 2, Some(0.8))]);
+        let bc = m(2, 3, &[(2, 3, Some(0.5)), (2, 4, None)]);
+        let ac = compose(&ab, &bc).unwrap();
+        assert_eq!(ac.len(), 2);
+        let to3 = ac.pairs.iter().find(|p| p.to == ObjectId(3)).unwrap();
+        assert!((to3.evidence.unwrap() - 0.4).abs() < 1e-12);
+        // scored ∘ fact keeps the score
+        let to4 = ac.pairs.iter().find(|p| p.to == ObjectId(4)).unwrap();
+        assert!((to4.evidence.unwrap() - 0.8).abs() < 1e-12);
+    }
+
+    #[test]
+    fn fact_compose_fact_stays_fact() {
+        let ab = m(1, 2, &[(1, 2, None)]);
+        let bc = m(2, 3, &[(2, 3, None)]);
+        let ac = compose(&ab, &bc).unwrap();
+        assert_eq!(ac.pairs[0].evidence, None);
+    }
+
+    #[test]
+    fn duplicate_derivations_keep_best_evidence() {
+        // two middle objects both lead from 1 to 9 with different strengths
+        let ab = m(1, 2, &[(1, 2, Some(0.9)), (1, 3, Some(0.2))]);
+        let bc = m(2, 3, &[(2, 9, Some(0.9)), (3, 9, Some(0.9))]);
+        let ac = compose(&ab, &bc).unwrap();
+        assert_eq!(ac.len(), 1);
+        assert!((ac.pairs[0].evidence.unwrap() - 0.81).abs() < 1e-12);
+    }
+
+    #[test]
+    fn mismatched_sources_rejected() {
+        let ab = m(1, 2, &[]);
+        let cd = m(3, 4, &[]);
+        assert!(compose(&ab, &cd).is_err());
+    }
+
+    #[test]
+    fn compose_is_associative() {
+        let ab = m(1, 2, &[(1, 10, Some(0.5)), (2, 11, None)]);
+        let bc = m(2, 3, &[(10, 20, Some(0.8)), (11, 21, None)]);
+        let cd = m(3, 4, &[(20, 30, None), (21, 31, Some(0.5))]);
+        let left = compose(&compose(&ab, &bc).unwrap(), &cd).unwrap();
+        let right = compose(&ab, &compose(&bc, &cd).unwrap()).unwrap();
+        assert_eq!(left.pairs.len(), right.pairs.len());
+        for (l, r) in left.pairs.iter().zip(&right.pairs) {
+            assert_eq!((l.from, l.to), (r.from, r.to));
+            match (l.evidence, r.evidence) {
+                (Some(a), Some(b)) => assert!((a - b).abs() < 1e-12),
+                (a, b) => assert_eq!(a, b),
+            }
+        }
+    }
+
+    #[test]
+    fn threshold_prunes_weak_chains() {
+        let ab = m(1, 2, &[(1, 2, Some(0.9)), (5, 6, Some(0.3))]);
+        let bc = m(2, 3, &[(2, 3, Some(0.8)), (6, 7, Some(0.9))]);
+        // unthresholded: both chains survive (0.72 and 0.27)
+        let all = compose(&ab, &bc).unwrap();
+        assert_eq!(all.len(), 2);
+        // threshold 0.5 keeps only the strong chain
+        let strong = compose_with_threshold(&ab, &bc, 0.5).unwrap();
+        assert_eq!(strong.len(), 1);
+        assert_eq!(strong.pairs[0].from, ObjectId(1));
+        // threshold 0 is the identity policy
+        let same = compose_with_threshold(&ab, &bc, 0.0).unwrap();
+        assert_eq!(same.len(), all.len());
+        // facts (evidence 1.0) always survive
+        let facts = m(1, 2, &[(1, 2, None)]);
+        let more = m(2, 3, &[(2, 3, None)]);
+        assert_eq!(compose_with_threshold(&facts, &more, 0.99).unwrap().len(), 1);
+        // invalid thresholds rejected
+        assert!(compose_with_threshold(&ab, &bc, 1.5).is_err());
+        assert!(compose_with_threshold(&ab, &bc, f64::NAN).is_err());
+    }
+
+    #[test]
+    fn compose_path_in_store() {
+        let mut s = GamStore::in_memory().unwrap();
+        let ids: Vec<SourceId> = ["Affy", "Unigene", "LocusLink", "GO"]
+            .iter()
+            .map(|n| {
+                s.create_source(n, SourceContent::Gene, SourceStructure::Flat, None)
+                    .unwrap()
+                    .id
+            })
+            .collect();
+        let mut objs = Vec::new();
+        for (i, &src) in ids.iter().enumerate() {
+            objs.push(s.create_object(src, &format!("o{i}"), None, None).unwrap());
+        }
+        for w in ids.windows(2) {
+            let rel = s
+                .create_source_rel(w[0], w[1], RelType::Fact, None)
+                .unwrap();
+            let i = ids.iter().position(|x| *x == w[0]).unwrap();
+            s.add_association(rel, objs[i], objs[i + 1], None).unwrap();
+        }
+        let m = compose_path(&s, &ids).unwrap();
+        assert_eq!(m.from, ids[0]);
+        assert_eq!(m.to, ids[3]);
+        assert_eq!(m.rel_type, RelType::Composed);
+        assert_eq!(m.len(), 1);
+        assert_eq!(m.pairs[0].from, objs[0]);
+        assert_eq!(m.pairs[0].to, objs[3]);
+
+        // two-source path is just Map
+        let m2 = compose_path(&s, &ids[..2]).unwrap();
+        assert_eq!(m2.rel_type, RelType::Fact);
+        // degenerate path rejected
+        assert!(compose_path(&s, &ids[..1]).is_err());
+        // missing step mapping surfaces as NoMapping
+        assert!(matches!(
+            compose_path(&s, &[ids[0], ids[2]]),
+            Err(GamError::NoMapping { .. })
+        ));
+    }
+}

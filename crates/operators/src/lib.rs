@@ -1,0 +1,29 @@
+//! `operators` — GenMapper's high-level GAM-based operators (paper §4.2).
+//!
+//! | Paper operation      | Here |
+//! |----------------------|------|
+//! | `Map(S, T)`          | [`simple::map`] |
+//! | `Domain(map)`        | [`gam::Mapping::domain`] |
+//! | `Range(map)`         | [`gam::Mapping::range`] |
+//! | `RestrictDomain`     | [`gam::Mapping::restrict_domain`] |
+//! | `RestrictRange`      | [`gam::Mapping::restrict_range`] |
+//! | `Compose`            | [`compose::compose`] / [`compose::compose_path`] |
+//! | Subsumed derivation  | [`subsume::subsume`] |
+//! | `GenerateView`       | [`view::generate_view`] (Figure 5, verbatim) |
+//!
+//! Results of general interest — Composed mappings and Subsumed closures —
+//! can be [materialized](materialize) back into the central database, the
+//! paper's mechanism for supporting frequent queries.
+
+pub mod compose;
+pub mod materialize;
+pub mod setops;
+pub mod simple;
+pub mod subsume;
+pub mod view;
+
+pub use compose::{compose, compose_path, compose_path_with_threshold, compose_with_threshold};
+pub use setops::{difference, intersect, union};
+pub use simple::{map, map_or_compose, DirectResolver, MappingResolver};
+pub use subsume::subsume;
+pub use view::{generate_view, AnnotationView, Combine, TargetSpec, ViewQuery};

@@ -1,0 +1,168 @@
+//! Set operations on mappings.
+//!
+//! The paper's queries combine mappings with AND/OR/NOT inside
+//! `GenerateView`; the same logic is useful at the mapping level when
+//! curating derived mappings — e.g. intersecting a computed Similarity
+//! mapping with a curated Fact mapping to keep only confirmed links, or
+//! diffing two releases of the same cross-reference set.
+
+use gam::mapping::Association;
+use gam::{GamError, GamResult, Mapping};
+use std::collections::BTreeMap;
+
+fn check_compatible(a: &Mapping, b: &Mapping) -> GamResult<()> {
+    if a.from != b.from || a.to != b.to {
+        return Err(GamError::Invalid(format!(
+            "set operation on incompatible mappings ({}->{} vs {}->{})",
+            a.from, a.to, b.from, b.to
+        )));
+    }
+    Ok(())
+}
+
+fn pair_index(m: &Mapping) -> BTreeMap<(gam::ObjectId, gam::ObjectId), Option<f64>> {
+    m.pairs
+        .iter()
+        .map(|a| ((a.from, a.to), a.evidence))
+        .collect()
+}
+
+/// Union of two mappings between the same sources; duplicate pairs keep
+/// the stronger evidence. The result carries `a`'s relationship type.
+pub fn union(a: &Mapping, b: &Mapping) -> GamResult<Mapping> {
+    check_compatible(a, b)?;
+    let mut out = a.clone();
+    out.pairs.extend(b.pairs.iter().copied());
+    out.dedup();
+    Ok(out)
+}
+
+/// Intersection: pairs present in both mappings. Evidence is the *weaker*
+/// of the two (both observations must hold for the pair to hold).
+pub fn intersect(a: &Mapping, b: &Mapping) -> GamResult<Mapping> {
+    check_compatible(a, b)?;
+    let bi = pair_index(b);
+    let mut out = Mapping::empty(a.from, a.to, a.rel_type);
+    for assoc in &a.pairs {
+        if let Some(other_evidence) = bi.get(&(assoc.from, assoc.to)) {
+            let ea = assoc.evidence.unwrap_or(1.0);
+            let eb = other_evidence.unwrap_or(1.0);
+            let evidence = match (assoc.evidence, other_evidence) {
+                (None, None) => None,
+                _ => Some(ea.min(eb)),
+            };
+            out.pairs.push(Association {
+                from: assoc.from,
+                to: assoc.to,
+                evidence,
+            });
+        }
+    }
+    out.dedup();
+    Ok(out)
+}
+
+/// Difference: pairs of `a` absent from `b` (evidence ignored for
+/// membership). Useful for release diffing: `difference(new, old)` is the
+/// set of newly curated associations.
+pub fn difference(a: &Mapping, b: &Mapping) -> GamResult<Mapping> {
+    check_compatible(a, b)?;
+    let bi = pair_index(b);
+    let mut out = Mapping::empty(a.from, a.to, a.rel_type);
+    out.pairs = a
+        .pairs
+        .iter()
+        .filter(|assoc| !bi.contains_key(&(assoc.from, assoc.to)))
+        .copied()
+        .collect();
+    out.dedup();
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gam::model::RelType;
+    use gam::{ObjectId, SourceId};
+
+    fn m(pairs: &[(u64, u64, Option<f64>)]) -> Mapping {
+        Mapping {
+            from: SourceId(1),
+            to: SourceId(2),
+            rel_type: RelType::Fact,
+            pairs: pairs
+                .iter()
+                .map(|&(f, t, e)| Association {
+                    from: ObjectId(f),
+                    to: ObjectId(t),
+                    evidence: e,
+                })
+                .collect(),
+        }
+    }
+
+    #[test]
+    fn union_keeps_stronger_evidence() {
+        let a = m(&[(1, 10, Some(0.4)), (2, 20, None)]);
+        let b = m(&[(1, 10, Some(0.8)), (3, 30, Some(0.5))]);
+        let u = union(&a, &b).unwrap();
+        assert_eq!(u.len(), 3);
+        let p = u.pairs.iter().find(|p| p.from == ObjectId(1)).unwrap();
+        assert_eq!(p.evidence, Some(0.8));
+    }
+
+    #[test]
+    fn intersect_keeps_weaker_evidence() {
+        let a = m(&[(1, 10, Some(0.9)), (2, 20, None), (4, 40, Some(0.3))]);
+        let b = m(&[(1, 10, Some(0.6)), (2, 20, Some(0.7))]);
+        let i = intersect(&a, &b).unwrap();
+        assert_eq!(i.len(), 2);
+        let p1 = i.pairs.iter().find(|p| p.from == ObjectId(1)).unwrap();
+        assert_eq!(p1.evidence, Some(0.6));
+        // fact ∩ scored keeps the score (the weaker belief)
+        let p2 = i.pairs.iter().find(|p| p.from == ObjectId(2)).unwrap();
+        assert_eq!(p2.evidence, Some(0.7));
+        // fact ∩ fact stays fact
+        let a = m(&[(1, 10, None)]);
+        let b = m(&[(1, 10, None)]);
+        assert_eq!(intersect(&a, &b).unwrap().pairs[0].evidence, None);
+    }
+
+    #[test]
+    fn difference_is_release_diff() {
+        let new = m(&[(1, 10, None), (2, 20, None), (3, 30, None)]);
+        let old = m(&[(1, 10, None), (2, 20, None)]);
+        let added = difference(&new, &old).unwrap();
+        assert_eq!(added.len(), 1);
+        assert_eq!(added.pairs[0].from, ObjectId(3));
+        let removed = difference(&old, &new).unwrap();
+        assert!(removed.is_empty());
+    }
+
+    #[test]
+    fn algebraic_laws() {
+        let a = m(&[(1, 10, Some(0.5)), (2, 20, None)]);
+        let b = m(&[(2, 20, Some(0.9)), (3, 30, None)]);
+        // |a ∪ b| = |a| + |b| - |a ∩ b|
+        let u = union(&a, &b).unwrap();
+        let i = intersect(&a, &b).unwrap();
+        assert_eq!(u.len(), a.len() + b.len() - i.len());
+        // a \ b and a ∩ b partition a (by pair membership)
+        let d = difference(&a, &b).unwrap();
+        assert_eq!(d.len() + i.len(), a.len());
+        // idempotence
+        assert_eq!(union(&a, &a).unwrap().len(), a.len());
+        assert_eq!(intersect(&a, &a).unwrap().len(), a.len());
+        assert!(difference(&a, &a).unwrap().is_empty());
+    }
+
+    #[test]
+    fn incompatible_mappings_rejected() {
+        let a = m(&[]);
+        let mut b = m(&[]);
+        b.to = SourceId(9);
+        assert!(union(&a, &b).is_err());
+        assert!(intersect(&a, &b).is_err());
+        assert!(difference(&a, &b).is_err());
+    }
+}

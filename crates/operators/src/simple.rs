@@ -1,0 +1,178 @@
+//! The `Map` operation and the mapping-resolution abstraction.
+
+use gam::{GamError, GamResult, GamStore, Mapping, SourceId};
+
+/// The paper's `Map(S, T)`: "searches the database for an existing mapping
+/// between S and T and returns the corresponding object associations."
+///
+/// All stored mappings between the two sources (Fact, Similarity, and
+/// previously materialized Composed ones) are merged and oriented
+/// `from → to`; duplicate pairs keep their best evidence. Returns
+/// [`GamError::NoMapping`] when no mapping exists in either direction.
+pub fn map(store: &GamStore, from: SourceId, to: SourceId) -> GamResult<Mapping> {
+    let mut merged: Option<Mapping> = None;
+    for rel in store.source_rels_between(from, to)? {
+        if rel.rel_type.is_structural() {
+            continue;
+        }
+        let m = store.load_mapping(rel.id)?;
+        merged = Some(match merged {
+            None => m,
+            Some(mut acc) => {
+                acc.pairs.extend(m.pairs);
+                acc
+            }
+        });
+    }
+    for rel in store.source_rels_between(to, from)? {
+        if rel.rel_type.is_structural() || from == to {
+            continue;
+        }
+        let m = store.load_mapping(rel.id)?.inverse();
+        merged = Some(match merged {
+            None => m,
+            Some(mut acc) => {
+                acc.pairs.extend(m.pairs);
+                acc
+            }
+        });
+    }
+    match merged {
+        Some(mut m) => {
+            m.from = from;
+            m.to = to;
+            m.dedup();
+            Ok(m)
+        }
+        None => Err(GamError::NoMapping { from, to }),
+    }
+}
+
+/// How `GenerateView` obtains the mapping `Mi: S ↔ Ti` — "using either the
+/// Map or Compose operation" (Figure 5). Implementations may search the
+/// source graph for a mapping path; [`DirectResolver`] only uses `Map`.
+pub trait MappingResolver {
+    /// Produce a mapping oriented `from → to`.
+    fn resolve(&self, store: &GamStore, from: SourceId, to: SourceId) -> GamResult<Mapping>;
+}
+
+/// Resolver that only retrieves directly stored mappings.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct DirectResolver;
+
+impl MappingResolver for DirectResolver {
+    fn resolve(&self, store: &GamStore, from: SourceId, to: SourceId) -> GamResult<Mapping> {
+        map(store, from, to)
+    }
+}
+
+/// Try `Map` first; if no direct mapping exists, compose along the given
+/// path (which must start at `from` and end at `to`).
+pub fn map_or_compose(
+    store: &GamStore,
+    from: SourceId,
+    to: SourceId,
+    path: &[SourceId],
+) -> GamResult<Mapping> {
+    match map(store, from, to) {
+        Ok(m) => Ok(m),
+        Err(GamError::NoMapping { .. }) => crate::compose::compose_path(store, path),
+        Err(e) => Err(e),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gam::model::{RelType, SourceContent, SourceStructure};
+    use gam::ObjectId;
+
+    fn setup() -> (GamStore, SourceId, SourceId, Vec<ObjectId>, Vec<ObjectId>) {
+        let mut s = GamStore::in_memory().unwrap();
+        let a = s
+            .create_source("A", SourceContent::Gene, SourceStructure::Flat, None)
+            .unwrap()
+            .id;
+        let b = s
+            .create_source("B", SourceContent::Gene, SourceStructure::Flat, None)
+            .unwrap()
+            .id;
+        let ao: Vec<ObjectId> = (0..4)
+            .map(|i| s.create_object(a, &format!("a{i}"), None, None).unwrap())
+            .collect();
+        let bo: Vec<ObjectId> = (0..4)
+            .map(|i| s.create_object(b, &format!("b{i}"), None, None).unwrap())
+            .collect();
+        (s, a, b, ao, bo)
+    }
+
+    #[test]
+    fn map_returns_oriented_associations() {
+        let (mut s, a, b, ao, bo) = setup();
+        let rel = s.create_source_rel(a, b, RelType::Fact, None).unwrap();
+        s.add_association(rel, ao[0], bo[0], None).unwrap();
+        s.add_association(rel, ao[1], bo[1], None).unwrap();
+
+        let m = map(&s, a, b).unwrap();
+        assert_eq!(m.from, a);
+        assert_eq!(m.len(), 2);
+        // reversed orientation inverts pairs
+        let m = map(&s, b, a).unwrap();
+        assert_eq!(m.from, b);
+        assert!(m.pairs.iter().any(|p| p.from == bo[0] && p.to == ao[0]));
+    }
+
+    #[test]
+    fn map_merges_fact_and_similarity() {
+        let (mut s, a, b, ao, bo) = setup();
+        let fact = s.create_source_rel(a, b, RelType::Fact, None).unwrap();
+        let sim = s.create_source_rel(a, b, RelType::Similarity, None).unwrap();
+        s.add_association(fact, ao[0], bo[0], None).unwrap();
+        s.add_association(sim, ao[1], bo[1], Some(0.6)).unwrap();
+        // same pair in both: fact (evidence 1.0) wins
+        s.add_association(sim, ao[0], bo[0], Some(0.5)).unwrap();
+
+        let m = map(&s, a, b).unwrap();
+        assert_eq!(m.len(), 2);
+        let p00 = m.pairs.iter().find(|p| p.from == ao[0]).unwrap();
+        assert_eq!(p00.evidence, None, "fact association dominates");
+        let p11 = m.pairs.iter().find(|p| p.from == ao[1]).unwrap();
+        assert_eq!(p11.evidence, Some(0.6));
+    }
+
+    #[test]
+    fn map_skips_structural_relationships() {
+        let (mut s, a, _b, ao, _) = setup();
+        let isa = s.create_source_rel(a, a, RelType::IsA, None).unwrap();
+        s.add_association(isa, ao[0], ao[1], None).unwrap();
+        assert!(matches!(
+            map(&s, a, a),
+            Err(GamError::NoMapping { .. })
+        ));
+    }
+
+    #[test]
+    fn missing_mapping_is_an_error() {
+        let (s, a, b, _, _) = setup();
+        assert!(matches!(map(&s, a, b), Err(GamError::NoMapping { .. })));
+        assert!(DirectResolver.resolve(&s, a, b).is_err());
+    }
+
+    #[test]
+    fn map_or_compose_falls_back_to_path() {
+        let (mut s, a, b, ao, bo) = setup();
+        let c = s
+            .create_source("C", SourceContent::Gene, SourceStructure::Flat, None)
+            .unwrap()
+            .id;
+        let co = s.create_object(c, "c0", None, None).unwrap();
+        let r1 = s.create_source_rel(a, c, RelType::Fact, None).unwrap();
+        let r2 = s.create_source_rel(c, b, RelType::Fact, None).unwrap();
+        s.add_association(r1, ao[0], co, None).unwrap();
+        s.add_association(r2, co, bo[0], None).unwrap();
+        let m = map_or_compose(&s, a, b, &[a, c, b]).unwrap();
+        assert_eq!(m.len(), 1);
+        assert_eq!(m.pairs[0].from, ao[0]);
+        assert_eq!(m.pairs[0].to, bo[0]);
+    }
+}

@@ -1,0 +1,559 @@
+//! `GenerateView` — the paper's Figure 5 algorithm, verbatim.
+//!
+//! ```text
+//! GenerateView(S, s, T1, t1, ..., Tm, tm, [AND|OR], {negated})
+//!   V = s
+//!   For i = 1..m
+//!     Determine mapping Mi: S↔Ti           // Map or Compose
+//!     mi = RestrictDomain(Mi, s)
+//!     mi = RestrictRange(mi, ti)
+//!     If negated[Ti]
+//!       sî = s \ Domain(mi)
+//!       mî = RestrictDomain(Mi, sî)
+//!       mi = mî right outer join sî on S   // preserve objects without associations
+//!     End If
+//!     V = V inner join / left outer join mi on S   // AND / OR
+//!   End For
+//! ```
+//!
+//! The result is "a view of m+1 attributes, S, T1, ..., Tm, containing
+//! tuples of related objects from the corresponding sources".
+
+use crate::simple::MappingResolver;
+use gam::{GamResult, GamStore, ObjectId, SourceId};
+use std::collections::{BTreeSet, HashMap};
+
+/// How per-target sub-mappings are combined into the view (paper §4.2:
+/// "the mappings can be combined using the logical operators AND or OR").
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Combine {
+    /// Inner join: objects must relate to every target.
+    And,
+    /// Left outer join: objects keep NULL columns for missing targets.
+    Or,
+}
+
+/// One target column of the requested view.
+#[derive(Debug, Clone)]
+pub struct TargetSpec {
+    /// The target source `Ti`.
+    pub target: SourceId,
+    /// The relevant target objects `ti`; `None` covers all of `Ti`.
+    pub objects: Option<BTreeSet<ObjectId>>,
+    /// Whether this target's mapping is negated (`NOT`).
+    pub negated: bool,
+    /// Optional mapping path for Compose when no direct mapping exists.
+    /// Must start at the view's source and end at `target`.
+    pub path: Option<Vec<SourceId>>,
+    /// Minimum effective evidence for associations to count (facts count
+    /// as 1.0). Implements the paper's future-work direction of handling
+    /// "mappings containing associations of reduced evidence": weak links
+    /// neither produce rows nor block a negation.
+    pub min_evidence: Option<f64>,
+}
+
+impl TargetSpec {
+    /// A plain target covering all of its objects.
+    pub fn all(target: SourceId) -> Self {
+        TargetSpec {
+            target,
+            objects: None,
+            negated: false,
+            path: None,
+            min_evidence: None,
+        }
+    }
+
+    /// Restrict to a subset of target objects.
+    pub fn restricted(target: SourceId, objects: BTreeSet<ObjectId>) -> Self {
+        TargetSpec {
+            target,
+            objects: Some(objects),
+            negated: false,
+            path: None,
+            min_evidence: None,
+        }
+    }
+
+    /// Negate this target.
+    pub fn negated(mut self) -> Self {
+        self.negated = true;
+        self
+    }
+
+    /// Use an explicit mapping path.
+    pub fn via(mut self, path: Vec<SourceId>) -> Self {
+        self.path = Some(path);
+        self
+    }
+
+    /// Require a minimum effective evidence on this target's associations.
+    pub fn min_evidence(mut self, threshold: f64) -> Self {
+        self.min_evidence = Some(threshold);
+        self
+    }
+}
+
+/// A complete view request.
+#[derive(Debug, Clone)]
+pub struct ViewQuery {
+    /// The source `S` to be annotated.
+    pub source: SourceId,
+    /// The relevant source objects `s`; `None` covers all of `S`.
+    pub objects: Option<BTreeSet<ObjectId>>,
+    /// The targets `T1..Tm`.
+    pub targets: Vec<TargetSpec>,
+    /// AND or OR combination.
+    pub combine: Combine,
+}
+
+impl ViewQuery {
+    /// A query over all objects of `source`, OR-combined.
+    pub fn new(source: SourceId) -> Self {
+        ViewQuery {
+            source,
+            objects: None,
+            targets: Vec::new(),
+            combine: Combine::Or,
+        }
+    }
+
+    /// Add a target column.
+    pub fn target(mut self, spec: TargetSpec) -> Self {
+        self.targets.push(spec);
+        self
+    }
+
+    /// Set the combine mode.
+    pub fn combine(mut self, combine: Combine) -> Self {
+        self.combine = combine;
+        self
+    }
+
+    /// Restrict the source objects.
+    pub fn objects(mut self, objects: BTreeSet<ObjectId>) -> Self {
+        self.objects = Some(objects);
+        self
+    }
+}
+
+/// The materialized annotation view: one column for the source object and
+/// one per target; rows are tuples of related object ids, with `None` for
+/// missing (outer-joined or negated) annotations.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AnnotationView {
+    pub source: SourceId,
+    pub targets: Vec<SourceId>,
+    /// Rows of arity `1 + targets.len()`. Column 0 (the source object) is
+    /// always `Some`.
+    pub rows: Vec<Vec<Option<ObjectId>>>,
+}
+
+impl AnnotationView {
+    /// Number of rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// True if the view has no rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Distinct source objects appearing in the view.
+    pub fn source_objects(&self) -> BTreeSet<ObjectId> {
+        self.rows
+            .iter()
+            .filter_map(|r| r[0])
+            .collect()
+    }
+
+    /// Distinct values of a target column (ignoring NULLs). Column index 0
+    /// is the first target.
+    pub fn target_objects(&self, column: usize) -> BTreeSet<ObjectId> {
+        self.rows
+            .iter()
+            .filter_map(|r| r[column + 1])
+            .collect()
+    }
+
+    /// Sort rows for deterministic output.
+    pub fn sort(&mut self) {
+        self.rows.sort();
+    }
+}
+
+/// Execute `GenerateView` against a store, resolving mappings with
+/// `resolver` (falling back to each target's explicit path when given).
+pub fn generate_view(
+    store: &GamStore,
+    query: &ViewQuery,
+    resolver: &dyn MappingResolver,
+) -> GamResult<AnnotationView> {
+    // V = s — start with all given source objects.
+    let s: BTreeSet<ObjectId> = match &query.objects {
+        Some(set) => set.clone(),
+        None => store.object_ids_of(query.source)?.into_iter().collect(),
+    };
+    let mut rows: Vec<Vec<Option<ObjectId>>> = s.iter().map(|&o| vec![Some(o)]).collect();
+
+    for spec in &query.targets {
+        // Determine Mi: S↔Ti, using Map or Compose.
+        let mut mi_full = match &spec.path {
+            Some(path) => crate::simple::map_or_compose(store, query.source, spec.target, path)?,
+            None => resolver.resolve(store, query.source, spec.target)?,
+        };
+        if let Some(threshold) = spec.min_evidence {
+            if !(0.0..=1.0).contains(&threshold) || threshold.is_nan() {
+                return Err(gam::GamError::BadEvidence(threshold));
+            }
+            mi_full
+                .pairs
+                .retain(|a| a.effective_evidence() >= threshold);
+        }
+        // mi = RestrictRange(RestrictDomain(Mi, s), ti)
+        let mut mi = mi_full.restrict_domain(&s);
+        if let Some(ti) = &spec.objects {
+            mi = mi.restrict_range(ti);
+        }
+        // Negation: preserve exactly the objects without the annotation.
+        let pairs: HashMap<ObjectId, Vec<ObjectId>> = if spec.negated {
+            let covered = mi.domain();
+            let s_hat: BTreeSet<ObjectId> = s.difference(&covered).copied().collect();
+            let m_hat = mi_full.restrict_domain(&s_hat);
+            // right outer join with sî on S: every object of sî appears,
+            // with its other associations or NULL
+            let mut out: HashMap<ObjectId, Vec<ObjectId>> = HashMap::with_capacity(s_hat.len());
+            for assoc in &m_hat.pairs {
+                out.entry(assoc.from).or_default().push(assoc.to);
+            }
+            for &obj in &s_hat {
+                out.entry(obj).or_default();
+            }
+            out
+        } else {
+            let mut out: HashMap<ObjectId, Vec<ObjectId>> = HashMap::new();
+            for assoc in &mi.pairs {
+                out.entry(assoc.from).or_default().push(assoc.to);
+            }
+            out
+        };
+
+        // V = V inner join / left outer join mi on S.
+        let mut next = Vec::with_capacity(rows.len());
+        for row in rows {
+            let key = row[0].expect("source column is never NULL");
+            match pairs.get(&key) {
+                Some(values) if !values.is_empty() => {
+                    for &v in values {
+                        let mut extended = row.clone();
+                        extended.push(Some(v));
+                        next.push(extended);
+                    }
+                }
+                Some(_) => {
+                    // object present with no associations (negated targets)
+                    let mut extended = row;
+                    extended.push(None);
+                    next.push(extended);
+                }
+                None => match query.combine {
+                    Combine::And => {} // inner join drops the row
+                    Combine::Or => {
+                        let mut extended = row;
+                        extended.push(None);
+                        next.push(extended);
+                    }
+                },
+            }
+        }
+        rows = next;
+    }
+
+    let mut view = AnnotationView {
+        source: query.source,
+        targets: query.targets.iter().map(|t| t.target).collect(),
+        rows,
+    };
+    view.sort();
+    Ok(view)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::simple::DirectResolver;
+    use gam::model::{RelType, SourceContent, SourceStructure};
+
+    /// Fixture: loci annotated with GO terms and OMIM diseases.
+    /// locus l0: go g0, omim o0
+    /// locus l1: go g0, g1
+    /// locus l2: omim o1
+    /// locus l3: (nothing)
+    struct Fix {
+        store: GamStore,
+        s: SourceId,
+        go: SourceId,
+        omim: SourceId,
+        l: Vec<ObjectId>,
+        g: Vec<ObjectId>,
+        o: Vec<ObjectId>,
+    }
+
+    fn fix() -> Fix {
+        let mut store = GamStore::in_memory().unwrap();
+        let s = store
+            .create_source("LocusLink", SourceContent::Gene, SourceStructure::Flat, None)
+            .unwrap()
+            .id;
+        let go = store
+            .create_source("GO", SourceContent::Other, SourceStructure::Network, None)
+            .unwrap()
+            .id;
+        let omim = store
+            .create_source("OMIM", SourceContent::Other, SourceStructure::Flat, None)
+            .unwrap()
+            .id;
+        let l: Vec<ObjectId> = (0..4)
+            .map(|i| store.create_object(s, &format!("l{i}"), None, None).unwrap())
+            .collect();
+        let g: Vec<ObjectId> = (0..2)
+            .map(|i| store.create_object(go, &format!("g{i}"), None, None).unwrap())
+            .collect();
+        let o: Vec<ObjectId> = (0..2)
+            .map(|i| store.create_object(omim, &format!("o{i}"), None, None).unwrap())
+            .collect();
+        let rgo = store.create_source_rel(s, go, RelType::Fact, None).unwrap();
+        let rom = store.create_source_rel(s, omim, RelType::Fact, None).unwrap();
+        store.add_association(rgo, l[0], g[0], None).unwrap();
+        store.add_association(rgo, l[1], g[0], None).unwrap();
+        store.add_association(rgo, l[1], g[1], None).unwrap();
+        store.add_association(rom, l[0], o[0], None).unwrap();
+        store.add_association(rom, l[2], o[1], None).unwrap();
+        Fix {
+            store,
+            s,
+            go,
+            omim,
+            l,
+            g,
+            o,
+        }
+    }
+
+    #[test]
+    fn empty_target_list_returns_source_subset() {
+        let f = fix();
+        let view = generate_view(&f.store, &ViewQuery::new(f.s), &DirectResolver).unwrap();
+        assert_eq!(view.len(), 4);
+        assert_eq!(view.source_objects().len(), 4);
+        // restricted
+        let q = ViewQuery::new(f.s).objects([f.l[1], f.l[2]].into());
+        let view = generate_view(&f.store, &q, &DirectResolver).unwrap();
+        assert_eq!(view.source_objects(), [f.l[1], f.l[2]].into());
+    }
+
+    #[test]
+    fn or_view_pads_missing_annotations() {
+        let f = fix();
+        let q = ViewQuery::new(f.s)
+            .target(TargetSpec::all(f.go))
+            .combine(Combine::Or);
+        let view = generate_view(&f.store, &q, &DirectResolver).unwrap();
+        // l0: 1 row, l1: 2 rows, l2: NULL row, l3: NULL row
+        assert_eq!(view.len(), 5);
+        assert!(view.rows.contains(&vec![Some(f.l[2]), None]));
+        assert!(view.rows.contains(&vec![Some(f.l[3]), None]));
+        assert!(view.rows.contains(&vec![Some(f.l[1]), Some(f.g[1])]));
+        assert_eq!(view.source_objects().len(), 4, "OR preserves all objects");
+    }
+
+    #[test]
+    fn and_view_requires_all_targets() {
+        let f = fix();
+        let q = ViewQuery::new(f.s)
+            .target(TargetSpec::all(f.go))
+            .target(TargetSpec::all(f.omim))
+            .combine(Combine::And);
+        let view = generate_view(&f.store, &q, &DirectResolver).unwrap();
+        // only l0 has both GO and OMIM annotations
+        assert_eq!(view.source_objects(), [f.l[0]].into());
+        assert_eq!(view.rows, vec![vec![Some(f.l[0]), Some(f.g[0]), Some(f.o[0])]]);
+    }
+
+    #[test]
+    fn and_is_subset_of_or() {
+        let f = fix();
+        let base = ViewQuery::new(f.s)
+            .target(TargetSpec::all(f.go))
+            .target(TargetSpec::all(f.omim));
+        let and_view =
+            generate_view(&f.store, &base.clone().combine(Combine::And), &DirectResolver).unwrap();
+        let or_view = generate_view(&f.store, &base.combine(Combine::Or), &DirectResolver).unwrap();
+        for row in &and_view.rows {
+            assert!(or_view.rows.contains(row), "AND row {row:?} missing from OR");
+        }
+        assert!(or_view.source_objects().is_superset(&and_view.source_objects()));
+    }
+
+    #[test]
+    fn restricted_target_subset() {
+        let f = fix();
+        // only GO term g1 is of interest
+        let q = ViewQuery::new(f.s)
+            .target(TargetSpec::restricted(f.go, [f.g[1]].into()))
+            .combine(Combine::And);
+        let view = generate_view(&f.store, &q, &DirectResolver).unwrap();
+        assert_eq!(view.source_objects(), [f.l[1]].into());
+    }
+
+    #[test]
+    fn negation_partitions_the_source() {
+        let f = fix();
+        // the paper's canonical query shape: loci NOT associated with OMIM
+        let q = ViewQuery::new(f.s)
+            .target(TargetSpec::all(f.omim).negated())
+            .combine(Combine::And);
+        let negated = generate_view(&f.store, &q, &DirectResolver).unwrap();
+        assert_eq!(negated.source_objects(), [f.l[1], f.l[3]].into());
+        // all negated rows carry NULL in the OMIM column
+        assert!(negated.rows.iter().all(|r| r[1].is_none()));
+
+        // positive counterpart
+        let q = ViewQuery::new(f.s)
+            .target(TargetSpec::all(f.omim))
+            .combine(Combine::And);
+        let positive = generate_view(&f.store, &q, &DirectResolver).unwrap();
+        assert_eq!(positive.source_objects(), [f.l[0], f.l[2]].into());
+
+        // together they partition s
+        let union: BTreeSet<ObjectId> = negated
+            .source_objects()
+            .union(&positive.source_objects())
+            .copied()
+            .collect();
+        assert_eq!(union.len(), 4);
+        assert!(negated
+            .source_objects()
+            .is_disjoint(&positive.source_objects()));
+    }
+
+    #[test]
+    fn negated_subset_shows_other_annotations() {
+        let f = fix();
+        // negate only disease o0: objects lacking o0, with their other
+        // OMIM annotations preserved (the paper's right outer join)
+        let q = ViewQuery::new(f.s)
+            .target(TargetSpec::restricted(f.omim, [f.o[0]].into()).negated())
+            .combine(Combine::And);
+        let view = generate_view(&f.store, &q, &DirectResolver).unwrap();
+        assert_eq!(view.source_objects(), [f.l[1], f.l[2], f.l[3]].into());
+        // l2 lacks o0 but has o1, which the right outer join preserves
+        assert!(view.rows.contains(&vec![Some(f.l[2]), Some(f.o[1])]));
+        assert!(view.rows.contains(&vec![Some(f.l[1]), None]));
+    }
+
+    #[test]
+    fn figure3_shape_multiple_targets_or() {
+        // Figure 3 is an OR view over LocusLink with several annotation
+        // columns; objects with several GO terms repeat with one row each.
+        let f = fix();
+        let q = ViewQuery::new(f.s)
+            .objects([f.l[0], f.l[1]].into())
+            .target(TargetSpec::all(f.go))
+            .target(TargetSpec::all(f.omim))
+            .combine(Combine::Or);
+        let view = generate_view(&f.store, &q, &DirectResolver).unwrap();
+        assert_eq!(view.targets, vec![f.go, f.omim]);
+        // l0: (g0, o0); l1: (g0, NULL), (g1, NULL)
+        assert_eq!(view.len(), 3);
+        assert!(view.rows.iter().all(|r| r.len() == 3));
+        assert_eq!(view.target_objects(0), [f.g[0], f.g[1]].into());
+        assert_eq!(view.target_objects(1), [f.o[0]].into());
+    }
+
+    #[test]
+    fn missing_mapping_propagates() {
+        let mut f = fix();
+        let lonely = f
+            .store
+            .create_source("Lonely", SourceContent::Other, SourceStructure::Flat, None)
+            .unwrap()
+            .id;
+        let q = ViewQuery::new(f.s).target(TargetSpec::all(lonely));
+        assert!(generate_view(&f.store, &q, &DirectResolver).is_err());
+    }
+
+    #[test]
+    fn evidence_threshold_filters_weak_links() {
+        let mut f = fix();
+        // add a scored similarity mapping LocusLink -> GO with one weak
+        // and one strong association on locus l3 (otherwise unannotated)
+        let sim = f
+            .store
+            .create_source_rel(f.s, f.go, RelType::Similarity, None)
+            .unwrap();
+        f.store.add_association(sim, f.l[3], f.g[0], Some(0.2)).unwrap();
+        f.store.add_association(sim, f.l[3], f.g[1], Some(0.95)).unwrap();
+
+        // without a threshold, both similarity links surface
+        let q = ViewQuery::new(f.s)
+            .objects([f.l[3]].into())
+            .target(TargetSpec::all(f.go))
+            .combine(Combine::And);
+        let view = generate_view(&f.store, &q, &DirectResolver).unwrap();
+        assert_eq!(view.len(), 2);
+
+        // threshold 0.5 drops the weak link
+        let q = ViewQuery::new(f.s)
+            .objects([f.l[3]].into())
+            .target(TargetSpec::all(f.go).min_evidence(0.5))
+            .combine(Combine::And);
+        let view = generate_view(&f.store, &q, &DirectResolver).unwrap();
+        assert_eq!(view.rows, vec![vec![Some(f.l[3]), Some(f.g[1])]]);
+
+        // threshold above every link: the object no longer counts as
+        // annotated, so the negated query now includes it
+        let q = ViewQuery::new(f.s)
+            .objects([f.l[3]].into())
+            .target(TargetSpec::all(f.go).min_evidence(0.99).negated())
+            .combine(Combine::And);
+        let view = generate_view(&f.store, &q, &DirectResolver).unwrap();
+        assert_eq!(view.source_objects(), [f.l[3]].into());
+
+        // facts (evidence-free) always pass thresholds
+        let q = ViewQuery::new(f.s)
+            .objects([f.l[0]].into())
+            .target(TargetSpec::all(f.go).min_evidence(0.99))
+            .combine(Combine::And);
+        let view = generate_view(&f.store, &q, &DirectResolver).unwrap();
+        assert!(!view.is_empty());
+
+        // invalid threshold is an error
+        let q = ViewQuery::new(f.s).target(TargetSpec::all(f.go).min_evidence(1.5));
+        assert!(generate_view(&f.store, &q, &DirectResolver).is_err());
+    }
+
+    #[test]
+    fn explicit_path_compose_in_view() {
+        let mut f = fix();
+        // add a second hop: OMIM -> Disease registry; view LocusLink ->
+        // registry via the explicit path
+        let reg = f
+            .store
+            .create_source("Registry", SourceContent::Other, SourceStructure::Flat, None)
+            .unwrap()
+            .id;
+        let r0 = f.store.create_object(reg, "r0", None, None).unwrap();
+        let rel = f
+            .store
+            .create_source_rel(f.omim, reg, RelType::Fact, None)
+            .unwrap();
+        f.store.add_association(rel, f.o[0], r0, None).unwrap();
+        let q = ViewQuery::new(f.s)
+            .target(TargetSpec::all(reg).via(vec![f.s, f.omim, reg]))
+            .combine(Combine::And);
+        let view = generate_view(&f.store, &q, &DirectResolver).unwrap();
+        assert_eq!(view.rows, vec![vec![Some(f.l[0]), Some(r0)]]);
+    }
+}

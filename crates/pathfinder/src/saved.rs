@@ -1,0 +1,150 @@
+//! Saved mapping paths.
+//!
+//! Paper §5.1: "GenMapper also allows the user to manually build and save
+//! a path customized for specific analysis requirements." Saved paths are
+//! validated against the current source graph when stored, so a stale path
+//! (a mapping was dropped) is rejected rather than silently failing later.
+
+use crate::graph::SourceGraph;
+use gam::{GamError, GamResult, SourceId};
+use std::collections::BTreeMap;
+
+/// A registry of named mapping paths.
+#[derive(Debug, Clone, Default)]
+pub struct SavedPaths {
+    paths: BTreeMap<String, Vec<SourceId>>,
+}
+
+impl SavedPaths {
+    /// Empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Save a path under a name, validating every hop against the graph.
+    /// Replaces any previous path of the same name.
+    pub fn save(
+        &mut self,
+        name: &str,
+        path: Vec<SourceId>,
+        graph: &SourceGraph,
+    ) -> GamResult<()> {
+        if name.is_empty() {
+            return Err(GamError::Invalid("path name is empty".into()));
+        }
+        validate(&path, graph)?;
+        self.paths.insert(name.to_owned(), path);
+        Ok(())
+    }
+
+    /// Fetch a saved path.
+    pub fn get(&self, name: &str) -> Option<&[SourceId]> {
+        self.paths.get(name).map(Vec::as_slice)
+    }
+
+    /// Remove a saved path; true if it existed.
+    pub fn remove(&mut self, name: &str) -> bool {
+        self.paths.remove(name).is_some()
+    }
+
+    /// All saved names, sorted.
+    pub fn names(&self) -> Vec<&str> {
+        self.paths.keys().map(String::as_str).collect()
+    }
+
+    /// Re-validate all saved paths against a (possibly changed) graph,
+    /// dropping the ones that no longer resolve. Returns the dropped
+    /// names.
+    pub fn revalidate(&mut self, graph: &SourceGraph) -> Vec<String> {
+        let stale: Vec<String> = self
+            .paths
+            .iter()
+            .filter(|(_, p)| validate(p, graph).is_err())
+            .map(|(n, _)| n.clone())
+            .collect();
+        for name in &stale {
+            self.paths.remove(name);
+        }
+        stale
+    }
+}
+
+/// A path is valid if it has ≥ 2 sources, no repeated node, and every
+/// consecutive pair is connected by a traversable mapping.
+fn validate(path: &[SourceId], graph: &SourceGraph) -> GamResult<()> {
+    if path.len() < 2 {
+        return Err(GamError::Invalid("a mapping path needs at least two sources".into()));
+    }
+    for (i, node) in path.iter().enumerate() {
+        if path[..i].contains(node) {
+            return Err(GamError::Invalid(format!("path repeats source {node}")));
+        }
+    }
+    for window in path.windows(2) {
+        if !graph.neighbours(window[0]).iter().any(|e| e.to == window[1]) {
+            return Err(GamError::Invalid(format!(
+                "no mapping between {} and {}",
+                window[0], window[1]
+            )));
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gam::model::RelType;
+
+    fn s(i: u32) -> SourceId {
+        SourceId(i)
+    }
+
+    fn graph() -> SourceGraph {
+        let mut g = SourceGraph::default();
+        g.add_edge(s(1), s(2), RelType::Fact);
+        g.add_edge(s(2), s(3), RelType::Fact);
+        g
+    }
+
+    #[test]
+    fn save_get_remove() {
+        let g = graph();
+        let mut saved = SavedPaths::new();
+        saved.save("affy-to-go", vec![s(1), s(2), s(3)], &g).unwrap();
+        assert_eq!(saved.get("affy-to-go").unwrap(), &[s(1), s(2), s(3)]);
+        assert_eq!(saved.names(), vec!["affy-to-go"]);
+        assert!(saved.remove("affy-to-go"));
+        assert!(!saved.remove("affy-to-go"));
+        assert!(saved.get("affy-to-go").is_none());
+    }
+
+    #[test]
+    fn validation_rules() {
+        let g = graph();
+        let mut saved = SavedPaths::new();
+        // too short
+        assert!(saved.save("x", vec![s(1)], &g).is_err());
+        // disconnected hop
+        assert!(saved.save("x", vec![s(1), s(3)], &g).is_err());
+        // repeated node
+        assert!(saved.save("x", vec![s(1), s(2), s(1)], &g).is_err());
+        // empty name
+        assert!(saved.save("", vec![s(1), s(2)], &g).is_err());
+        assert!(saved.names().is_empty());
+    }
+
+    #[test]
+    fn revalidation_drops_stale_paths() {
+        let g = graph();
+        let mut saved = SavedPaths::new();
+        saved.save("ok", vec![s(1), s(2)], &g).unwrap();
+        saved.save("long", vec![s(1), s(2), s(3)], &g).unwrap();
+        // new graph lost the 2-3 mapping
+        let mut g2 = SourceGraph::default();
+        g2.add_edge(s(1), s(2), RelType::Fact);
+        let dropped = saved.revalidate(&g2);
+        assert_eq!(dropped, vec!["long".to_owned()]);
+        assert_eq!(saved.names(), vec!["ok"]);
+    }
+}

@@ -1,0 +1,152 @@
+//! Statistics for GO-term enrichment: log-factorials, the hypergeometric
+//! distribution, and Benjamini–Hochberg FDR control.
+
+/// Natural log of `n!`, computed once per process through a growing table
+/// (study sizes stay in the tens of thousands, so a table is exact and
+/// fast; no Stirling approximation error).
+pub fn ln_factorial(n: usize) -> f64 {
+    use std::sync::OnceLock;
+    use std::sync::RwLock;
+    static TABLE: OnceLock<RwLock<Vec<f64>>> = OnceLock::new();
+    let table = TABLE.get_or_init(|| RwLock::new(vec![0.0, 0.0]));
+    {
+        let read = table.read().expect("ln_factorial lock");
+        if let Some(&v) = read.get(n) {
+            return v;
+        }
+    }
+    let mut write = table.write().expect("ln_factorial lock");
+    while write.len() <= n {
+        let k = write.len() as f64;
+        let last = *write.last().expect("seeded");
+        write.push(last + k.ln());
+    }
+    write[n]
+}
+
+/// `ln C(n, k)`; `-inf` when `k > n` (an impossible draw).
+pub fn ln_choose(n: usize, k: usize) -> f64 {
+    if k > n {
+        return f64::NEG_INFINITY;
+    }
+    ln_factorial(n) - ln_factorial(k) - ln_factorial(n - k)
+}
+
+/// Hypergeometric PMF: probability of exactly `k` annotated genes in a
+/// sample of `n`, drawn from a population of `total` containing
+/// `annotated` annotated genes.
+pub fn hypergeometric_pmf(total: usize, annotated: usize, n: usize, k: usize) -> f64 {
+    if k > annotated || n > total || n.saturating_sub(k) > total - annotated {
+        return 0.0;
+    }
+    (ln_choose(annotated, k) + ln_choose(total - annotated, n - k) - ln_choose(total, n)).exp()
+}
+
+/// Upper-tail p-value `P[X >= k]` — the standard GO over-representation
+/// test (one-sided Fisher exact test).
+pub fn hypergeometric_sf(total: usize, annotated: usize, n: usize, k: usize) -> f64 {
+    if k == 0 {
+        return 1.0;
+    }
+    let upper = annotated.min(n);
+    let mut p = 0.0;
+    for i in k..=upper {
+        p += hypergeometric_pmf(total, annotated, n, i);
+    }
+    p.min(1.0)
+}
+
+/// Benjamini–Hochberg adjusted p-values, preserving input order.
+pub fn benjamini_hochberg(p_values: &[f64]) -> Vec<f64> {
+    let m = p_values.len();
+    if m == 0 {
+        return Vec::new();
+    }
+    let mut order: Vec<usize> = (0..m).collect();
+    order.sort_by(|&a, &b| p_values[a].total_cmp(&p_values[b]));
+    let mut adjusted = vec![0.0; m];
+    let mut running_min = 1.0f64;
+    for rank in (0..m).rev() {
+        let idx = order[rank];
+        let q = (p_values[idx] * m as f64 / (rank + 1) as f64).min(1.0);
+        running_min = running_min.min(q);
+        adjusted[idx] = running_min;
+    }
+    adjusted
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn close(a: f64, b: f64, tol: f64) -> bool {
+        (a - b).abs() < tol
+    }
+
+    #[test]
+    fn ln_factorial_exact_small_values() {
+        assert_eq!(ln_factorial(0), 0.0);
+        assert_eq!(ln_factorial(1), 0.0);
+        assert!(close(ln_factorial(5), 120f64.ln(), 1e-12));
+        assert!(close(ln_factorial(10), 3_628_800f64.ln(), 1e-9));
+        // table growth works across calls
+        assert!(ln_factorial(1000) > ln_factorial(999));
+    }
+
+    #[test]
+    fn ln_choose_values() {
+        assert!(close(ln_choose(5, 2).exp(), 10.0, 1e-9));
+        assert!(close(ln_choose(52, 5).exp(), 2_598_960.0, 1e-3));
+        assert_eq!(ln_choose(3, 5), f64::NEG_INFINITY);
+        assert!(close(ln_choose(7, 0).exp(), 1.0, 1e-12));
+    }
+
+    #[test]
+    fn hypergeometric_pmf_sums_to_one() {
+        let (total, annotated, n) = (50, 12, 10);
+        let sum: f64 = (0..=n).map(|k| hypergeometric_pmf(total, annotated, n, k)).sum();
+        assert!(close(sum, 1.0, 1e-9));
+    }
+
+    #[test]
+    fn hypergeometric_known_value() {
+        // P[X = 2] for total=10, annotated=4, n=3: C(4,2)*C(6,1)/C(10,3) = 36/120
+        assert!(close(hypergeometric_pmf(10, 4, 3, 2), 0.3, 1e-12));
+        // survival at 0 is 1
+        assert_eq!(hypergeometric_sf(10, 4, 3, 0), 1.0);
+        // P[X >= 1] = 1 - C(6,3)/C(10,3) = 1 - 20/120
+        assert!(close(hypergeometric_sf(10, 4, 3, 1), 1.0 - 20.0 / 120.0, 1e-12));
+        // impossible draw
+        assert_eq!(hypergeometric_pmf(10, 4, 3, 5), 0.0);
+    }
+
+    #[test]
+    fn enrichment_direction() {
+        // a term hit 8/10 times in the sample but covering 10% of the
+        // population is strongly enriched (tiny p)
+        let p_enriched = hypergeometric_sf(1000, 100, 10, 8);
+        assert!(p_enriched < 1e-5);
+        // a term hit proportionally is not
+        let p_neutral = hypergeometric_sf(1000, 100, 10, 1);
+        assert!(p_neutral > 0.2);
+        assert!(p_enriched < p_neutral);
+    }
+
+    #[test]
+    fn bh_adjustment_monotone_and_bounded() {
+        let p = vec![0.001, 0.02, 0.03, 0.8, 0.04];
+        let q = benjamini_hochberg(&p);
+        assert_eq!(q.len(), p.len());
+        for (pi, qi) in p.iter().zip(&q) {
+            assert!(qi >= pi, "adjusted >= raw");
+            assert!(*qi <= 1.0);
+        }
+        // order of significance preserved
+        assert!(q[0] <= q[1]);
+        assert!(q[3] >= q[2]);
+        assert!(benjamini_hochberg(&[]).is_empty());
+        // all-equal p-values adjust to the same value
+        let q = benjamini_hochberg(&[0.5, 0.5, 0.5]);
+        assert!(q.iter().all(|&v| close(v, 0.5, 1e-12)));
+    }
+}

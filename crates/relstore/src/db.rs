@@ -1,0 +1,572 @@
+//! The database: a catalog of tables with transactions and durability.
+//!
+//! * [`Database::in_memory`] gives a volatile database.
+//! * [`Database::open`] attaches a directory: state is the last
+//!   [checkpoint](Database::checkpoint) snapshot plus a replay of the
+//!   write-ahead log's committed transactions.
+//!
+//! Transactions are single-writer (the `&mut self` receiver enforces it at
+//! compile time). A [`Transaction`] applies changes eagerly — reads through
+//! the transaction see its own writes — while recording redo records for
+//! the WAL and undo records for rollback. Dropping a transaction without
+//! committing rolls it back.
+
+use crate::error::{StoreError, StoreResult};
+use crate::row::RowId;
+use crate::schema::Schema;
+use crate::stats::{DbStats, TableStats};
+use crate::table::Table;
+use crate::value::Value;
+use crate::wal::{read_wal, LogRecord, WalWriter};
+use std::collections::BTreeMap;
+use std::fs;
+use std::path::{Path, PathBuf};
+
+const SNAPSHOT_FILE: &str = "snapshot.bin";
+const WAL_FILE: &str = "wal.log";
+
+struct Durability {
+    dir: PathBuf,
+    wal: WalWriter,
+}
+
+/// An embedded relational database.
+pub struct Database {
+    tables: BTreeMap<String, Table>,
+    durability: Option<Durability>,
+    next_txid: u64,
+}
+
+impl std::fmt::Debug for Database {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Database")
+            .field("tables", &self.tables.keys().collect::<Vec<_>>())
+            .field("durable", &self.durability.is_some())
+            .finish()
+    }
+}
+
+impl Database {
+    /// A volatile in-memory database.
+    pub fn in_memory() -> Self {
+        Database {
+            tables: BTreeMap::new(),
+            durability: None,
+            next_txid: 1,
+        }
+    }
+
+    /// Open (or create) a durable database in `dir`: load the snapshot,
+    /// replay committed WAL records, and keep the WAL open for appends.
+    pub fn open(dir: &Path) -> StoreResult<Self> {
+        fs::create_dir_all(dir)?;
+        let tables = crate::snapshot::read_snapshot_file(&dir.join(SNAPSHOT_FILE))?;
+        let mut db = Database {
+            tables: tables.into_iter().map(|t| (t.name().to_owned(), t)).collect(),
+            durability: None,
+            next_txid: 1,
+        };
+        let recovery = read_wal(&dir.join(WAL_FILE))?;
+        for op in recovery.committed_ops {
+            db.apply_replayed(op)?;
+        }
+        db.next_txid = recovery.committed_txns + 1;
+        let wal = WalWriter::open(&dir.join(WAL_FILE))?;
+        db.durability = Some(Durability {
+            dir: dir.to_owned(),
+            wal,
+        });
+        Ok(db)
+    }
+
+    fn apply_replayed(&mut self, op: LogRecord) -> StoreResult<()> {
+        match op {
+            LogRecord::Insert {
+                table,
+                row_id,
+                values,
+            } => self.table_mut_internal(&table)?.insert_at(row_id, values),
+            LogRecord::Delete { table, row_id } => {
+                self.table_mut_internal(&table)?.delete(row_id).map(|_| ())
+            }
+            LogRecord::Update {
+                table,
+                row_id,
+                values,
+            } => self.table_mut_internal(&table)?.update(row_id, values),
+            LogRecord::Commit { .. } => Ok(()),
+        }
+    }
+
+    /// Create a table. Table creation is immediately durable (it is part of
+    /// the next snapshot; an empty table lost before a checkpoint is
+    /// recreated by the caller's schema setup, so it is not WAL-logged).
+    pub fn create_table(&mut self, schema: Schema) -> StoreResult<()> {
+        let name = schema.name().to_owned();
+        if self.tables.contains_key(&name) {
+            return Err(StoreError::TableExists(name));
+        }
+        self.tables.insert(name, Table::new(schema));
+        Ok(())
+    }
+
+    /// Create a table if it does not already exist. An existing table must
+    /// have an identical schema.
+    pub fn ensure_table(&mut self, schema: Schema) -> StoreResult<()> {
+        if let Some(existing) = self.tables.get(schema.name()) {
+            if existing.schema() != &schema {
+                return Err(StoreError::InvalidSchema(format!(
+                    "table {} exists with a different schema",
+                    schema.name()
+                )));
+            }
+            return Ok(());
+        }
+        self.create_table(schema)
+    }
+
+    /// Read access to a table.
+    pub fn table(&self, name: &str) -> StoreResult<&Table> {
+        self.tables
+            .get(name)
+            .ok_or_else(|| StoreError::NoSuchTable(name.to_owned()))
+    }
+
+    fn table_mut_internal(&mut self, name: &str) -> StoreResult<&mut Table> {
+        self.tables
+            .get_mut(name)
+            .ok_or_else(|| StoreError::NoSuchTable(name.to_owned()))
+    }
+
+    /// Names of all tables (sorted).
+    pub fn table_names(&self) -> Vec<&str> {
+        self.tables.keys().map(String::as_str).collect()
+    }
+
+    /// Begin a transaction. Only one can exist at a time (enforced by the
+    /// mutable borrow).
+    pub fn begin(&mut self) -> Transaction<'_> {
+        let txid = self.next_txid;
+        self.next_txid += 1;
+        Transaction {
+            db: self,
+            txid,
+            redo: Vec::new(),
+            undo: Vec::new(),
+            closed: false,
+        }
+    }
+
+    /// Convenience: run `f` inside a transaction and commit, rolling back on
+    /// error.
+    pub fn with_txn<T>(
+        &mut self,
+        f: impl FnOnce(&mut Transaction<'_>) -> StoreResult<T>,
+    ) -> StoreResult<T> {
+        let mut txn = self.begin();
+        match f(&mut txn) {
+            Ok(v) => {
+                txn.commit()?;
+                Ok(v)
+            }
+            Err(e) => {
+                txn.rollback()?;
+                Err(e)
+            }
+        }
+    }
+
+    /// Write a snapshot of the current state and truncate the WAL.
+    /// No-op (Ok) for in-memory databases.
+    pub fn checkpoint(&mut self) -> StoreResult<()> {
+        let Some(durability) = &mut self.durability else {
+            return Ok(());
+        };
+        crate::snapshot::write_snapshot_file(
+            &durability.dir.join(SNAPSHOT_FILE),
+            self.tables.values(),
+        )?;
+        durability.wal.reset()?;
+        Ok(())
+    }
+
+    /// Gather statistics.
+    pub fn stats(&self) -> DbStats {
+        DbStats {
+            tables: self
+                .tables
+                .values()
+                .map(|t| TableStats {
+                    name: t.name().to_owned(),
+                    rows: t.len(),
+                    indexes: t
+                        .schema()
+                        .indexes()
+                        .iter()
+                        .map(|d| (d.name.clone(), t.index_entries(&d.name).unwrap_or(0)))
+                        .collect(),
+                })
+                .collect(),
+            wal_bytes: self
+                .durability
+                .as_ref()
+                .map(|d| d.wal.bytes_written())
+                .unwrap_or(0),
+        }
+    }
+}
+
+/// Undo information for rollback.
+enum Undo {
+    Insert { table: String, row_id: RowId },
+    Delete { table: String, row_id: RowId, values: Vec<Value> },
+    Update { table: String, row_id: RowId, old: Vec<Value> },
+}
+
+/// An open transaction. Writes are applied eagerly (read-your-writes) and
+/// made durable on [`commit`](Transaction::commit);
+/// [`rollback`](Transaction::rollback) or drop undoes them.
+pub struct Transaction<'db> {
+    db: &'db mut Database,
+    txid: u64,
+    redo: Vec<LogRecord>,
+    undo: Vec<Undo>,
+    closed: bool,
+}
+
+impl<'db> Transaction<'db> {
+    fn check_open(&self) -> StoreResult<()> {
+        if self.closed {
+            Err(StoreError::TransactionClosed)
+        } else {
+            Ok(())
+        }
+    }
+
+    /// The transaction id (reflected in the WAL commit marker).
+    pub fn txid(&self) -> u64 {
+        self.txid
+    }
+
+    /// Read access to a table, seeing this transaction's own writes.
+    pub fn table(&self, name: &str) -> StoreResult<&Table> {
+        self.db.table(name)
+    }
+
+    /// Insert a row.
+    pub fn insert(&mut self, table: &str, values: Vec<Value>) -> StoreResult<RowId> {
+        self.check_open()?;
+        let t = self.db.table_mut_internal(table)?;
+        let row_id = t.insert(values.clone())?;
+        self.redo.push(LogRecord::Insert {
+            table: table.to_owned(),
+            row_id,
+            values,
+        });
+        self.undo.push(Undo::Insert {
+            table: table.to_owned(),
+            row_id,
+        });
+        Ok(row_id)
+    }
+
+    /// Delete a row by id.
+    pub fn delete(&mut self, table: &str, row_id: RowId) -> StoreResult<()> {
+        self.check_open()?;
+        let t = self.db.table_mut_internal(table)?;
+        let old = t.delete(row_id)?;
+        self.redo.push(LogRecord::Delete {
+            table: table.to_owned(),
+            row_id,
+        });
+        self.undo.push(Undo::Delete {
+            table: table.to_owned(),
+            row_id,
+            values: old.into_values(),
+        });
+        Ok(())
+    }
+
+    /// Update a row in place.
+    pub fn update(&mut self, table: &str, row_id: RowId, values: Vec<Value>) -> StoreResult<()> {
+        self.check_open()?;
+        let t = self.db.table_mut_internal(table)?;
+        let old = t.get(row_id)?.clone();
+        t.update(row_id, values.clone())?;
+        self.redo.push(LogRecord::Update {
+            table: table.to_owned(),
+            row_id,
+            values,
+        });
+        self.undo.push(Undo::Update {
+            table: table.to_owned(),
+            row_id,
+            old: old.into_values(),
+        });
+        Ok(())
+    }
+
+    /// Commit: append redo records and a commit marker to the WAL and sync.
+    pub fn commit(mut self) -> StoreResult<()> {
+        self.check_open()?;
+        self.closed = true;
+        if let Some(durability) = &mut self.db.durability {
+            for record in &self.redo {
+                durability.wal.append(record)?;
+            }
+            durability.wal.append(&LogRecord::Commit { txid: self.txid })?;
+            durability.wal.sync()?;
+        }
+        Ok(())
+    }
+
+    /// Roll back every applied change, in reverse order.
+    pub fn rollback(mut self) -> StoreResult<()> {
+        self.check_open()?;
+        self.rollback_inner()
+    }
+
+    fn rollback_inner(&mut self) -> StoreResult<()> {
+        self.closed = true;
+        while let Some(undo) = self.undo.pop() {
+            match undo {
+                Undo::Insert { table, row_id } => {
+                    self.db.table_mut_internal(&table)?.delete(row_id)?;
+                }
+                Undo::Delete {
+                    table,
+                    row_id,
+                    values,
+                } => {
+                    self.db.table_mut_internal(&table)?.restore(row_id, values)?;
+                }
+                Undo::Update {
+                    table,
+                    row_id,
+                    old,
+                } => {
+                    self.db.table_mut_internal(&table)?.update(row_id, old)?;
+                }
+            }
+        }
+        self.redo.clear();
+        Ok(())
+    }
+}
+
+impl Drop for Transaction<'_> {
+    fn drop(&mut self) {
+        if !self.closed {
+            // Best-effort rollback; failures here indicate internal
+            // inconsistency and surface in debug builds.
+            let result = self.rollback_inner();
+            debug_assert!(result.is_ok(), "rollback on drop failed: {result:?}");
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::predicate::Predicate;
+    use crate::schema::Column;
+    use crate::value::ValueType;
+
+    fn schema(name: &str) -> Schema {
+        Schema::builder(name)
+            .column(Column::new("id", ValueType::Int))
+            .column(Column::new("name", ValueType::Text))
+            .primary_key(&["id"])
+            .build()
+            .unwrap()
+    }
+
+    fn tmpdir(name: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join("relstore-db-tests").join(name);
+        let _ = fs::remove_dir_all(&dir);
+        dir
+    }
+
+    #[test]
+    fn create_and_catalog() {
+        let mut db = Database::in_memory();
+        db.create_table(schema("a")).unwrap();
+        db.create_table(schema("b")).unwrap();
+        assert!(matches!(
+            db.create_table(schema("a")),
+            Err(StoreError::TableExists(_))
+        ));
+        assert_eq!(db.table_names(), vec!["a", "b"]);
+        assert!(db.table("c").is_err());
+        // ensure_table tolerates identical schema, rejects different
+        db.ensure_table(schema("a")).unwrap();
+        let other = Schema::builder("a")
+            .column(Column::new("x", ValueType::Int))
+            .build()
+            .unwrap();
+        assert!(db.ensure_table(other).is_err());
+    }
+
+    #[test]
+    fn transaction_commit_and_read_your_writes() {
+        let mut db = Database::in_memory();
+        db.create_table(schema("t")).unwrap();
+        let mut txn = db.begin();
+        txn.insert("t", vec![Value::Int(1), Value::text("x")]).unwrap();
+        // read-your-writes
+        assert_eq!(txn.table("t").unwrap().len(), 1);
+        txn.commit().unwrap();
+        assert_eq!(db.table("t").unwrap().len(), 1);
+    }
+
+    #[test]
+    fn rollback_undoes_everything_in_order() {
+        let mut db = Database::in_memory();
+        db.create_table(schema("t")).unwrap();
+        db.with_txn(|txn| {
+            txn.insert("t", vec![Value::Int(1), Value::text("a")])?;
+            txn.insert("t", vec![Value::Int(2), Value::text("b")])?;
+            Ok(())
+        })
+        .unwrap();
+
+        let mut txn = db.begin();
+        let r3 = txn.insert("t", vec![Value::Int(3), Value::text("c")]).unwrap();
+        txn.update("t", RowId(0), vec![Value::Int(1), Value::text("a2")]).unwrap();
+        txn.delete("t", RowId(1)).unwrap();
+        assert_eq!(txn.table("t").unwrap().len(), 2);
+        let _ = r3;
+        txn.rollback().unwrap();
+
+        let t = db.table("t").unwrap();
+        assert_eq!(t.len(), 2);
+        assert_eq!(t.get(RowId(0)).unwrap().get(1), &Value::text("a"));
+        assert_eq!(t.get(RowId(1)).unwrap().get(1), &Value::text("b"));
+        assert!(t.get(RowId(2)).is_err());
+        // unique key of rolled-back insert is free again
+        db.with_txn(|txn| {
+            txn.insert("t", vec![Value::Int(3), Value::text("c")])?;
+            Ok(())
+        })
+        .unwrap();
+    }
+
+    #[test]
+    fn drop_without_commit_rolls_back() {
+        let mut db = Database::in_memory();
+        db.create_table(schema("t")).unwrap();
+        {
+            let mut txn = db.begin();
+            txn.insert("t", vec![Value::Int(1), Value::text("x")]).unwrap();
+            // dropped here
+        }
+        assert_eq!(db.table("t").unwrap().len(), 0);
+    }
+
+    #[test]
+    fn with_txn_rolls_back_on_error() {
+        let mut db = Database::in_memory();
+        db.create_table(schema("t")).unwrap();
+        let err = db.with_txn(|txn| {
+            txn.insert("t", vec![Value::Int(1), Value::text("x")])?;
+            txn.insert("t", vec![Value::Int(1), Value::text("dup")])?; // pk violation
+            Ok(())
+        });
+        assert!(err.is_err());
+        assert_eq!(db.table("t").unwrap().len(), 0);
+    }
+
+    #[test]
+    fn durable_roundtrip_via_wal_only() {
+        let dir = tmpdir("wal-only");
+        {
+            let mut db = Database::open(&dir).unwrap();
+            db.create_table(schema("t")).unwrap();
+            db.with_txn(|txn| {
+                txn.insert("t", vec![Value::Int(1), Value::text("x")])?;
+                txn.insert("t", vec![Value::Int(2), Value::text("y")])?;
+                Ok(())
+            })
+            .unwrap();
+        } // drop without checkpoint: state only in WAL
+        {
+            // table must be re-created before replay can apply ops
+            let err = Database::open(&dir);
+            assert!(err.is_err(), "replay without schema should fail");
+        }
+    }
+
+    #[test]
+    fn durable_roundtrip_with_checkpoint_then_wal() {
+        let dir = tmpdir("checkpoint-wal");
+        {
+            let mut db = Database::open(&dir).unwrap();
+            db.create_table(schema("t")).unwrap();
+            db.with_txn(|txn| {
+                txn.insert("t", vec![Value::Int(1), Value::text("x")])?;
+                Ok(())
+            })
+            .unwrap();
+            db.checkpoint().unwrap(); // snapshot captures schema + row 1
+            db.with_txn(|txn| {
+                txn.insert("t", vec![Value::Int(2), Value::text("y")])?;
+                txn.update("t", RowId(0), vec![Value::Int(1), Value::text("x2")])?;
+                Ok(())
+            })
+            .unwrap();
+            // no checkpoint: second txn lives only in the WAL
+        }
+        {
+            let db = Database::open(&dir).unwrap();
+            let t = db.table("t").unwrap();
+            assert_eq!(t.len(), 2);
+            assert_eq!(t.get(RowId(0)).unwrap().get(1), &Value::text("x2"));
+            assert_eq!(t.get(RowId(1)).unwrap().get(1), &Value::text("y"));
+        }
+    }
+
+    #[test]
+    fn uncommitted_txn_is_not_recovered() {
+        let dir = tmpdir("uncommitted");
+        {
+            let mut db = Database::open(&dir).unwrap();
+            db.create_table(schema("t")).unwrap();
+            db.checkpoint().unwrap();
+            db.with_txn(|txn| {
+                txn.insert("t", vec![Value::Int(1), Value::text("keep")])?;
+                Ok(())
+            })
+            .unwrap();
+            let mut txn = db.begin();
+            txn.insert("t", vec![Value::Int(2), Value::text("lost")]).unwrap();
+            // txn dropped without commit: rolled back locally, nothing in WAL
+        }
+        {
+            let db = Database::open(&dir).unwrap();
+            let t = db.table("t").unwrap();
+            assert_eq!(t.len(), 1);
+            let rows = t
+                .select(&Predicate::eq("name", Value::text("keep")))
+                .unwrap();
+            assert_eq!(rows.len(), 1);
+        }
+    }
+
+    #[test]
+    fn checkpoint_resets_wal_and_stats_report() {
+        let dir = tmpdir("stats");
+        let mut db = Database::open(&dir).unwrap();
+        db.create_table(schema("t")).unwrap();
+        db.with_txn(|txn| {
+            txn.insert("t", vec![Value::Int(1), Value::text("x")])?;
+            Ok(())
+        })
+        .unwrap();
+        assert!(db.stats().wal_bytes > 0);
+        db.checkpoint().unwrap();
+        assert_eq!(db.stats().wal_bytes, 0);
+        let stats = db.stats();
+        assert_eq!(stats.rows("t"), 1);
+        assert_eq!(stats.tables[0].indexes[0].0, "pk");
+    }
+}

@@ -1,0 +1,278 @@
+//! In-memory ordered indexes mapping composite keys to row ids.
+//!
+//! Indexes are B-tree-backed (`std::collections::BTreeMap`), giving ordered
+//! iteration and range scans. A unique index stores one [`RowId`] per key; a
+//! multi index stores a sorted vector of row ids (sorted so results are
+//! deterministic and range unions are mergeable).
+
+use crate::error::{StoreError, StoreResult};
+use crate::row::RowId;
+use crate::value::Value;
+use std::collections::BTreeMap;
+use std::ops::Bound;
+
+/// Composite index key: the indexed column values in key order.
+pub type IndexKey = Vec<Value>;
+
+/// A single index structure, unique or non-unique.
+#[derive(Debug, Clone)]
+pub enum IndexStore {
+    Unique(BTreeMap<IndexKey, RowId>),
+    Multi(BTreeMap<IndexKey, Vec<RowId>>),
+}
+
+impl IndexStore {
+    /// Fresh empty index.
+    pub fn new(unique: bool) -> Self {
+        if unique {
+            IndexStore::Unique(BTreeMap::new())
+        } else {
+            IndexStore::Multi(BTreeMap::new())
+        }
+    }
+
+    /// Whether this index enforces key uniqueness.
+    pub fn is_unique(&self) -> bool {
+        matches!(self, IndexStore::Unique(_))
+    }
+
+    /// Number of distinct keys.
+    pub fn key_count(&self) -> usize {
+        match self {
+            IndexStore::Unique(m) => m.len(),
+            IndexStore::Multi(m) => m.len(),
+        }
+    }
+
+    /// Number of (key, row) entries.
+    pub fn entry_count(&self) -> usize {
+        match self {
+            IndexStore::Unique(m) => m.len(),
+            IndexStore::Multi(m) => m.values().map(Vec::len).sum(),
+        }
+    }
+
+    /// True if inserting `key` would violate uniqueness.
+    pub fn would_conflict(&self, key: &IndexKey) -> bool {
+        match self {
+            IndexStore::Unique(m) => m.contains_key(key),
+            IndexStore::Multi(_) => false,
+        }
+    }
+
+    /// Insert an entry. For unique indexes the caller must have checked
+    /// [`would_conflict`](Self::would_conflict) first; a conflict here is
+    /// reported as an error carrying the offending key's display form.
+    pub fn insert(&mut self, key: IndexKey, row_id: RowId) -> StoreResult<()> {
+        match self {
+            IndexStore::Unique(m) => {
+                if m.contains_key(&key) {
+                    return Err(StoreError::UniqueViolation {
+                        table: String::new(),
+                        index: String::new(),
+                        key: format_key(&key),
+                    });
+                }
+                m.insert(key, row_id);
+            }
+            IndexStore::Multi(m) => {
+                let slot = m.entry(key).or_default();
+                match slot.binary_search(&row_id) {
+                    Ok(_) => {} // already present (idempotent)
+                    Err(pos) => slot.insert(pos, row_id),
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Remove the entry for (`key`, `row_id`). Missing entries are ignored.
+    pub fn remove(&mut self, key: &IndexKey, row_id: RowId) {
+        match self {
+            IndexStore::Unique(m) => {
+                if m.get(key) == Some(&row_id) {
+                    m.remove(key);
+                }
+            }
+            IndexStore::Multi(m) => {
+                if let Some(slot) = m.get_mut(key) {
+                    if let Ok(pos) = slot.binary_search(&row_id) {
+                        slot.remove(pos);
+                    }
+                    if slot.is_empty() {
+                        m.remove(key);
+                    }
+                }
+            }
+        }
+    }
+
+    /// Row ids for an exact key.
+    pub fn lookup(&self, key: &IndexKey) -> Vec<RowId> {
+        match self {
+            IndexStore::Unique(m) => m.get(key).map(|r| vec![*r]).unwrap_or_default(),
+            IndexStore::Multi(m) => m.get(key).cloned().unwrap_or_default(),
+        }
+    }
+
+    /// Row ids for keys within the given bounds.
+    pub fn range(&self, lo: Bound<&IndexKey>, hi: Bound<&IndexKey>) -> Vec<RowId> {
+        let bounds: (Bound<&IndexKey>, Bound<&IndexKey>) = (lo, hi);
+        match self {
+            IndexStore::Unique(m) => m
+                .range::<IndexKey, _>(bounds)
+                .map(|(_, r)| *r)
+                .collect(),
+            IndexStore::Multi(m) => m
+                .range::<IndexKey, _>(bounds)
+                .flat_map(|(_, rs)| rs.iter().copied())
+                .collect(),
+        }
+    }
+
+    /// Row ids for every key whose first component is `prefix` — used when a
+    /// query pins a prefix of a composite index.
+    pub fn prefix_lookup(&self, prefix: &[Value]) -> Vec<RowId> {
+        // Keys are compared lexicographically; every key with this prefix
+        // sorts at or after the prefix itself, so scan from the prefix and
+        // stop at the first key that no longer starts with it.
+        let lo: IndexKey = prefix.to_vec();
+        let bounds = (Bound::Included(lo), Bound::<IndexKey>::Unbounded);
+        match self {
+            IndexStore::Unique(m) => m
+                .range(bounds)
+                .take_while(|(k, _)| k.starts_with(prefix))
+                .map(|(_, r)| *r)
+                .collect(),
+            IndexStore::Multi(m) => m
+                .range(bounds)
+                .take_while(|(k, _)| k.starts_with(prefix))
+                .flat_map(|(_, rs)| rs.iter().copied())
+                .collect(),
+        }
+    }
+
+    /// Iterate all (key, row id) pairs in key order.
+    pub fn iter_entries(&self) -> Box<dyn Iterator<Item = (&IndexKey, RowId)> + '_> {
+        match self {
+            IndexStore::Unique(m) => Box::new(m.iter().map(|(k, r)| (k, *r))),
+            IndexStore::Multi(m) => Box::new(
+                m.iter()
+                    .flat_map(|(k, rs)| rs.iter().map(move |r| (k, *r))),
+            ),
+        }
+    }
+
+    /// Drop all entries.
+    pub fn clear(&mut self) {
+        match self {
+            IndexStore::Unique(m) => m.clear(),
+            IndexStore::Multi(m) => m.clear(),
+        }
+    }
+}
+
+/// Human-readable form of an index key, used in error messages.
+pub fn format_key(key: &[Value]) -> String {
+    let mut s = String::from("(");
+    for (i, v) in key.iter().enumerate() {
+        if i > 0 {
+            s.push_str(", ");
+        }
+        s.push_str(&v.to_string());
+    }
+    s.push(')');
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn k(vals: &[i64]) -> IndexKey {
+        vals.iter().map(|v| Value::Int(*v)).collect()
+    }
+
+    #[test]
+    fn unique_insert_lookup_remove() {
+        let mut ix = IndexStore::new(true);
+        ix.insert(k(&[1]), RowId(10)).unwrap();
+        ix.insert(k(&[2]), RowId(20)).unwrap();
+        assert_eq!(ix.lookup(&k(&[1])), vec![RowId(10)]);
+        assert!(ix.would_conflict(&k(&[1])));
+        assert!(ix.insert(k(&[1]), RowId(99)).is_err());
+        // removing with wrong row id is a no-op
+        ix.remove(&k(&[1]), RowId(99));
+        assert_eq!(ix.lookup(&k(&[1])), vec![RowId(10)]);
+        ix.remove(&k(&[1]), RowId(10));
+        assert!(ix.lookup(&k(&[1])).is_empty());
+        assert_eq!(ix.key_count(), 1);
+    }
+
+    #[test]
+    fn multi_insert_is_sorted_and_idempotent() {
+        let mut ix = IndexStore::new(false);
+        ix.insert(k(&[5]), RowId(3)).unwrap();
+        ix.insert(k(&[5]), RowId(1)).unwrap();
+        ix.insert(k(&[5]), RowId(2)).unwrap();
+        ix.insert(k(&[5]), RowId(2)).unwrap(); // duplicate
+        assert_eq!(ix.lookup(&k(&[5])), vec![RowId(1), RowId(2), RowId(3)]);
+        assert_eq!(ix.entry_count(), 3);
+        assert_eq!(ix.key_count(), 1);
+        ix.remove(&k(&[5]), RowId(2));
+        assert_eq!(ix.lookup(&k(&[5])), vec![RowId(1), RowId(3)]);
+        ix.remove(&k(&[5]), RowId(1));
+        ix.remove(&k(&[5]), RowId(3));
+        assert_eq!(ix.key_count(), 0);
+    }
+
+    #[test]
+    fn range_scan() {
+        let mut ix = IndexStore::new(true);
+        for i in 0..10 {
+            ix.insert(k(&[i]), RowId(i as u64)).unwrap();
+        }
+        let lo = k(&[3]);
+        let hi = k(&[6]);
+        let hits = ix.range(Bound::Included(&lo), Bound::Excluded(&hi));
+        assert_eq!(hits, vec![RowId(3), RowId(4), RowId(5)]);
+    }
+
+    #[test]
+    fn prefix_lookup_on_composite_key() {
+        let mut ix = IndexStore::new(false);
+        ix.insert(vec![Value::Int(1), Value::text("a")], RowId(1)).unwrap();
+        ix.insert(vec![Value::Int(1), Value::text("b")], RowId(2)).unwrap();
+        ix.insert(vec![Value::Int(2), Value::text("a")], RowId(3)).unwrap();
+        let hits = ix.prefix_lookup(&[Value::Int(1)]);
+        assert_eq!(hits, vec![RowId(1), RowId(2)]);
+        let hits = ix.prefix_lookup(&[Value::Int(2)]);
+        assert_eq!(hits, vec![RowId(3)]);
+        assert!(ix.prefix_lookup(&[Value::Int(3)]).is_empty());
+    }
+
+    #[test]
+    fn iter_entries_in_key_order() {
+        let mut ix = IndexStore::new(false);
+        ix.insert(k(&[2]), RowId(20)).unwrap();
+        ix.insert(k(&[1]), RowId(11)).unwrap();
+        ix.insert(k(&[1]), RowId(10)).unwrap();
+        let entries: Vec<_> = ix.iter_entries().map(|(k, r)| (k.clone(), r)).collect();
+        assert_eq!(
+            entries,
+            vec![
+                (k(&[1]), RowId(10)),
+                (k(&[1]), RowId(11)),
+                (k(&[2]), RowId(20)),
+            ]
+        );
+    }
+
+    #[test]
+    fn key_formatting() {
+        assert_eq!(
+            format_key(&[Value::Int(1), Value::text("GO")]),
+            "(1, GO)"
+        );
+    }
+}

@@ -1,0 +1,295 @@
+//! Join operators over materialized row sets.
+//!
+//! GenMapper's high-level operators (`Compose`, `GenerateView`) are joins
+//! over the `OBJECT_REL` table. This module provides the physical
+//! operators: equi hash join (inner and left outer) and sort-merge join.
+//! Inputs are row slices plus key ordinals; outputs are concatenated rows.
+//!
+//! NULL join keys never match (SQL semantics): rows with a NULL in any key
+//! column are skipped on the build side and treated as non-matching on the
+//! probe side (surviving only in outer joins).
+
+use crate::row::Row;
+use crate::value::Value;
+use std::collections::HashMap;
+
+/// Key extracted from a row for joining.
+fn key_of(row: &Row, ordinals: &[usize]) -> Option<Vec<Value>> {
+    let mut key = Vec::with_capacity(ordinals.len());
+    for &o in ordinals {
+        let v = row.get(o);
+        if v.is_null() {
+            return None;
+        }
+        key.push(v.clone());
+    }
+    Some(key)
+}
+
+fn concat(left: &Row, right: &Row) -> Row {
+    let mut vals = Vec::with_capacity(left.arity() + right.arity());
+    vals.extend_from_slice(left.values());
+    vals.extend_from_slice(right.values());
+    Row::new(vals)
+}
+
+fn concat_null_right(left: &Row, right_arity: usize) -> Row {
+    let mut vals = Vec::with_capacity(left.arity() + right_arity);
+    vals.extend_from_slice(left.values());
+    vals.extend(std::iter::repeat_n(Value::Null, right_arity));
+    Row::new(vals)
+}
+
+/// Inner equi hash join. Output rows are `left ++ right`. The smaller
+/// relation should be passed as `right` (the build side) for best memory
+/// use, but correctness does not depend on it.
+pub fn hash_join(
+    left: &[Row],
+    left_keys: &[usize],
+    right: &[Row],
+    right_keys: &[usize],
+) -> Vec<Row> {
+    assert_eq!(left_keys.len(), right_keys.len(), "join key arity mismatch");
+    let mut build: HashMap<Vec<Value>, Vec<&Row>> = HashMap::with_capacity(right.len());
+    for r in right {
+        if let Some(k) = key_of(r, right_keys) {
+            build.entry(k).or_default().push(r);
+        }
+    }
+    let mut out = Vec::new();
+    for l in left {
+        if let Some(k) = key_of(l, left_keys) {
+            if let Some(matches) = build.get(&k) {
+                for r in matches {
+                    out.push(concat(l, r));
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Left outer equi hash join: every left row appears at least once; rows
+/// without a match get NULLs in the right columns. `right_arity` is the
+/// column count of the right relation (needed when `right` is empty).
+pub fn left_outer_hash_join(
+    left: &[Row],
+    left_keys: &[usize],
+    right: &[Row],
+    right_keys: &[usize],
+    right_arity: usize,
+) -> Vec<Row> {
+    assert_eq!(left_keys.len(), right_keys.len(), "join key arity mismatch");
+    let mut build: HashMap<Vec<Value>, Vec<&Row>> = HashMap::with_capacity(right.len());
+    for r in right {
+        if let Some(k) = key_of(r, right_keys) {
+            build.entry(k).or_default().push(r);
+        }
+    }
+    let mut out = Vec::with_capacity(left.len());
+    for l in left {
+        let matches = key_of(l, left_keys).and_then(|k| build.get(&k));
+        match matches {
+            Some(ms) if !ms.is_empty() => {
+                for r in ms {
+                    out.push(concat(l, r));
+                }
+            }
+            _ => out.push(concat_null_right(l, right_arity)),
+        }
+    }
+    out
+}
+
+/// Sort-merge inner equi join. Sorts both inputs by key, then merges.
+/// Equivalent to [`hash_join`] up to output order; preferable when inputs
+/// are large and nearly sorted, and used by the equivalence tests as an
+/// independent oracle.
+pub fn merge_join(
+    left: &[Row],
+    left_keys: &[usize],
+    right: &[Row],
+    right_keys: &[usize],
+) -> Vec<Row> {
+    assert_eq!(left_keys.len(), right_keys.len(), "join key arity mismatch");
+    let mut ls: Vec<&Row> = left
+        .iter()
+        .filter(|r| key_of(r, left_keys).is_some())
+        .collect();
+    let mut rs: Vec<&Row> = right
+        .iter()
+        .filter(|r| key_of(r, right_keys).is_some())
+        .collect();
+    ls.sort_by_key(|r| r.project(left_keys));
+    rs.sort_by_key(|r| r.project(right_keys));
+
+    let mut out = Vec::new();
+    let (mut i, mut j) = (0usize, 0usize);
+    while i < ls.len() && j < rs.len() {
+        let ki = ls[i].project(left_keys);
+        let kj = rs[j].project(right_keys);
+        match ki.cmp(&kj) {
+            std::cmp::Ordering::Less => i += 1,
+            std::cmp::Ordering::Greater => j += 1,
+            std::cmp::Ordering::Equal => {
+                // find the extent of the equal group on both sides
+                let mut i_end = i + 1;
+                while i_end < ls.len() && ls[i_end].project(left_keys) == ki {
+                    i_end += 1;
+                }
+                let mut j_end = j + 1;
+                while j_end < rs.len() && rs[j_end].project(right_keys) == kj {
+                    j_end += 1;
+                }
+                for l in &ls[i..i_end] {
+                    for r in &rs[j..j_end] {
+                        out.push(concat(l, r));
+                    }
+                }
+                i = i_end;
+                j = j_end;
+            }
+        }
+    }
+    out
+}
+
+/// Semi join: left rows that have at least one match on the right.
+pub fn semi_join(
+    left: &[Row],
+    left_keys: &[usize],
+    right: &[Row],
+    right_keys: &[usize],
+) -> Vec<Row> {
+    let mut keys: std::collections::HashSet<Vec<Value>> =
+        std::collections::HashSet::with_capacity(right.len());
+    for r in right {
+        if let Some(k) = key_of(r, right_keys) {
+            keys.insert(k);
+        }
+    }
+    left.iter()
+        .filter(|l| key_of(l, left_keys).is_some_and(|k| keys.contains(&k)))
+        .cloned()
+        .collect()
+}
+
+/// Anti join: left rows with no match on the right.
+pub fn anti_join(
+    left: &[Row],
+    left_keys: &[usize],
+    right: &[Row],
+    right_keys: &[usize],
+) -> Vec<Row> {
+    let mut keys: std::collections::HashSet<Vec<Value>> =
+        std::collections::HashSet::with_capacity(right.len());
+    for r in right {
+        if let Some(k) = key_of(r, right_keys) {
+            keys.insert(k);
+        }
+    }
+    left.iter()
+        .filter(|l| match key_of(l, left_keys) {
+            Some(k) => !keys.contains(&k),
+            None => true, // NULL keys never match, so they survive anti join
+        })
+        .cloned()
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn r(vals: &[i64]) -> Row {
+        Row::new(vals.iter().map(|v| Value::Int(*v)).collect())
+    }
+
+    fn rn(vals: &[Option<i64>]) -> Row {
+        Row::new(
+            vals.iter()
+                .map(|v| v.map(Value::Int).unwrap_or(Value::Null))
+                .collect(),
+        )
+    }
+
+    #[test]
+    fn inner_join_basics() {
+        let left = vec![r(&[1, 10]), r(&[2, 20]), r(&[3, 30])];
+        let right = vec![r(&[10, 100]), r(&[10, 101]), r(&[30, 300])];
+        let out = hash_join(&left, &[1], &right, &[0]);
+        assert_eq!(out.len(), 3);
+        assert!(out.contains(&r(&[1, 10, 10, 100])));
+        assert!(out.contains(&r(&[1, 10, 10, 101])));
+        assert!(out.contains(&r(&[3, 30, 30, 300])));
+    }
+
+    #[test]
+    fn left_outer_preserves_unmatched() {
+        let left = vec![r(&[1, 10]), r(&[2, 20])];
+        let right = vec![r(&[10, 100])];
+        let out = left_outer_hash_join(&left, &[1], &right, &[0], 2);
+        assert_eq!(out.len(), 2);
+        assert!(out.contains(&r(&[1, 10, 10, 100])));
+        assert!(out.contains(&rn(&[Some(2), Some(20), None, None])));
+        // empty right side: all rows padded
+        let out = left_outer_hash_join(&left, &[1], &[], &[0], 2);
+        assert_eq!(out.len(), 2);
+        assert!(out.iter().all(|row| row.get(2).is_null()));
+    }
+
+    #[test]
+    fn null_keys_never_match() {
+        let left = vec![rn(&[Some(1), None])];
+        let right = vec![rn(&[None, Some(9)])];
+        assert!(hash_join(&left, &[1], &right, &[0]).is_empty());
+        let out = left_outer_hash_join(&left, &[1], &right, &[0], 2);
+        assert_eq!(out.len(), 1);
+        assert!(out[0].get(2).is_null());
+    }
+
+    #[test]
+    fn merge_join_matches_hash_join() {
+        let left: Vec<Row> = (0..50).map(|i| r(&[i, i % 7])).collect();
+        let right: Vec<Row> = (0..30).map(|i| r(&[i % 5, i])).collect();
+        let mut h = hash_join(&left, &[1], &right, &[0]);
+        let mut m = merge_join(&left, &[1], &right, &[0]);
+        h.sort_by_key(|row| row.values().to_vec());
+        m.sort_by_key(|row| row.values().to_vec());
+        assert_eq!(h, m);
+    }
+
+    #[test]
+    fn composite_keys() {
+        let left = vec![r(&[1, 2, 77])];
+        let right = vec![r(&[1, 2, 88]), r(&[1, 3, 99])];
+        let out = hash_join(&left, &[0, 1], &right, &[0, 1]);
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0], r(&[1, 2, 77, 1, 2, 88]));
+    }
+
+    #[test]
+    fn semi_and_anti_partition_left() {
+        let left = vec![r(&[1]), r(&[2]), r(&[3]), rn(&[None])];
+        let right = vec![r(&[2]), r(&[2]), r(&[4])];
+        let semi = semi_join(&left, &[0], &right, &[0]);
+        let anti = anti_join(&left, &[0], &right, &[0]);
+        assert_eq!(semi, vec![r(&[2])]);
+        assert_eq!(anti.len(), 3); // 1, 3, NULL
+        assert_eq!(semi.len() + anti.len(), left.len());
+    }
+
+    #[test]
+    fn empty_inputs() {
+        let rows = vec![r(&[1])];
+        assert!(hash_join(&[], &[0], &rows, &[0]).is_empty());
+        assert!(hash_join(&rows, &[0], &[], &[0]).is_empty());
+        assert!(merge_join(&[], &[0], &[], &[0]).is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "join key arity mismatch")]
+    fn key_arity_mismatch_panics() {
+        hash_join(&[r(&[1])], &[0], &[r(&[1])], &[]);
+    }
+}

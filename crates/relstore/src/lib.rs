@@ -1,0 +1,73 @@
+//! `relstore` — an embedded relational storage engine.
+//!
+//! This crate is the storage substrate of the GenMapper reproduction. The
+//! original system (Do & Rahm, EDBT 2004) hosted its generic annotation
+//! model (GAM) on MySQL; `relstore` provides the same capabilities as an
+//! embedded library:
+//!
+//! * typed rows over a declared [`Schema`],
+//! * heap [`Table`]s with slotted storage and a free list,
+//! * unique and non-unique secondary [indexes](index "index module") (B-tree ordered),
+//! * [`predicate`] scans with index selection,
+//! * [hash and merge joins](join "join module"),
+//! * durability via a [`snapshot`] file plus a [write-ahead log](wal
+//!   "wal module"), with crash recovery that replays the WAL over the
+//!   snapshot,
+//! * a [`Database`] catalog with single-writer transactions.
+//!
+//! The engine is deliberately general: nothing in this crate knows about
+//! annotations, sources, or mappings. The `gam` crate layers the four GAM
+//! tables on top of it.
+//!
+//! # Example
+//!
+//! ```
+//! use relstore::db::Database;
+//! use relstore::schema::{Column, Schema};
+//! use relstore::value::{Value, ValueType};
+//! use relstore::predicate::Predicate;
+//!
+//! let mut db = Database::in_memory();
+//! let schema = Schema::builder("gene")
+//!     .column(Column::new("id", ValueType::Int))
+//!     .column(Column::new("symbol", ValueType::Text))
+//!     .primary_key(&["id"])
+//!     .unique_index("by_symbol", &["symbol"])
+//!     .build()
+//!     .unwrap();
+//! db.create_table(schema).unwrap();
+//!
+//! let mut txn = db.begin();
+//! txn.insert("gene", vec![Value::Int(353), Value::text("APRT")]).unwrap();
+//! txn.commit().unwrap();
+//!
+//! let hits = db.table("gene").unwrap()
+//!     .select(&Predicate::eq("symbol", Value::text("APRT")))
+//!     .unwrap();
+//! assert_eq!(hits.len(), 1);
+//! assert_eq!(hits[0].get(0), &Value::Int(353));
+//! ```
+
+pub mod codec;
+pub mod db;
+pub mod error;
+pub mod index;
+pub mod join;
+pub mod predicate;
+pub mod row;
+pub mod schema;
+pub mod shared;
+pub mod snapshot;
+pub mod stats;
+pub mod table;
+pub mod value;
+pub mod wal;
+
+pub use db::Database;
+pub use error::{StoreError, StoreResult};
+pub use predicate::Predicate;
+pub use row::{Row, RowId};
+pub use schema::{Column, Schema};
+pub use shared::SharedDatabase;
+pub use table::Table;
+pub use value::{Value, ValueType};

@@ -1,0 +1,98 @@
+//! Rows and row identifiers.
+
+use crate::value::Value;
+use std::fmt;
+
+/// Identifier of a row slot within a table. Row ids are assigned
+/// monotonically per table and never reused, so they are stable handles for
+/// indexes and the write-ahead log.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, serde::Serialize, serde::Deserialize,
+)]
+pub struct RowId(pub u64);
+
+impl fmt::Display for RowId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "#{}", self.0)
+    }
+}
+
+/// An owned row: a boxed slice of cell values matching some table schema.
+#[derive(Debug, Clone, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub struct Row {
+    values: Box<[Value]>,
+}
+
+impl Row {
+    /// Build a row from values.
+    pub fn new(values: Vec<Value>) -> Self {
+        Row {
+            values: values.into_boxed_slice(),
+        }
+    }
+
+    /// Cell at ordinal `i`. Panics if out of range (callers obtain ordinals
+    /// from the schema, which bounds them).
+    pub fn get(&self, i: usize) -> &Value {
+        &self.values[i]
+    }
+
+    /// All cells.
+    pub fn values(&self) -> &[Value] {
+        &self.values
+    }
+
+    /// Number of cells.
+    pub fn arity(&self) -> usize {
+        self.values.len()
+    }
+
+    /// Project the row onto the given column ordinals (used to form index
+    /// keys and join keys).
+    pub fn project(&self, ordinals: &[usize]) -> Vec<Value> {
+        ordinals.iter().map(|&i| self.values[i].clone()).collect()
+    }
+
+    /// Consume the row, yielding its values.
+    pub fn into_values(self) -> Vec<Value> {
+        self.values.into_vec()
+    }
+}
+
+impl From<Vec<Value>> for Row {
+    fn from(values: Vec<Value>) -> Self {
+        Row::new(values)
+    }
+}
+
+impl fmt::Display for Row {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("(")?;
+        for (i, v) in self.values.iter().enumerate() {
+            if i > 0 {
+                f.write_str(", ")?;
+            }
+            write!(f, "{v}")?;
+        }
+        f.write_str(")")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn projection_and_access() {
+        let r = Row::new(vec![Value::Int(1), Value::text("GO"), Value::Null]);
+        assert_eq!(r.arity(), 3);
+        assert_eq!(r.get(1), &Value::text("GO"));
+        assert_eq!(r.project(&[2, 0]), vec![Value::Null, Value::Int(1)]);
+        assert_eq!(r.to_string(), "(1, GO, NULL)");
+    }
+
+    #[test]
+    fn row_id_display() {
+        assert_eq!(RowId(42).to_string(), "#42");
+    }
+}

@@ -1,0 +1,367 @@
+//! Table schemas: columns, primary keys, and index declarations.
+
+use crate::error::{StoreError, StoreResult};
+use crate::value::{Value, ValueType};
+
+/// A column declaration.
+#[derive(Debug, Clone, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub struct Column {
+    /// Column name, unique within the table.
+    pub name: String,
+    /// Declared type.
+    pub ty: ValueType,
+    /// Whether NULL is accepted. Defaults to `false`.
+    pub nullable: bool,
+}
+
+impl Column {
+    /// A non-nullable column.
+    pub fn new(name: impl Into<String>, ty: ValueType) -> Self {
+        Column {
+            name: name.into(),
+            ty,
+            nullable: false,
+        }
+    }
+
+    /// A nullable column.
+    pub fn nullable(name: impl Into<String>, ty: ValueType) -> Self {
+        Column {
+            name: name.into(),
+            ty,
+            nullable: true,
+        }
+    }
+}
+
+/// Declaration of a secondary index over one or more columns.
+#[derive(Debug, Clone, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub struct IndexDef {
+    /// Index name, unique within the table.
+    pub name: String,
+    /// Ordinals of the indexed columns (in key order).
+    pub columns: Vec<usize>,
+    /// Whether the key must be unique across live rows.
+    pub unique: bool,
+}
+
+/// A complete table schema.
+#[derive(Debug, Clone, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub struct Schema {
+    name: String,
+    columns: Vec<Column>,
+    /// Ordinals of the primary-key columns, if a primary key was declared.
+    /// The primary key is enforced as a unique index named `"pk"`.
+    primary_key: Vec<usize>,
+    indexes: Vec<IndexDef>,
+}
+
+impl Schema {
+    /// Start building a schema for the table `name`.
+    pub fn builder(name: impl Into<String>) -> SchemaBuilder {
+        SchemaBuilder {
+            name: name.into(),
+            columns: Vec::new(),
+            primary_key: Vec::new(),
+            indexes: Vec::new(),
+            error: None,
+        }
+    }
+
+    /// The table name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// All columns, in ordinal order.
+    pub fn columns(&self) -> &[Column] {
+        &self.columns
+    }
+
+    /// Number of columns.
+    pub fn arity(&self) -> usize {
+        self.columns.len()
+    }
+
+    /// Ordinal of a column by name.
+    pub fn column_index(&self, name: &str) -> StoreResult<usize> {
+        self.columns
+            .iter()
+            .position(|c| c.name == name)
+            .ok_or_else(|| StoreError::NoSuchColumn {
+                table: self.name.clone(),
+                column: name.to_owned(),
+            })
+    }
+
+    /// Primary-key column ordinals (empty if no primary key declared).
+    pub fn primary_key(&self) -> &[usize] {
+        &self.primary_key
+    }
+
+    /// Declared secondary indexes (the primary key appears as index `"pk"`).
+    pub fn indexes(&self) -> &[IndexDef] {
+        &self.indexes
+    }
+
+    /// Find an index declaration by name.
+    pub fn index(&self, name: &str) -> Option<&IndexDef> {
+        self.indexes.iter().find(|i| i.name == name)
+    }
+
+    /// Validate a row against this schema: arity, types, nullability.
+    pub fn check_row(&self, row: &[Value]) -> StoreResult<()> {
+        if row.len() != self.columns.len() {
+            return Err(StoreError::SchemaViolation(format!(
+                "table {}: expected {} columns, got {}",
+                self.name,
+                self.columns.len(),
+                row.len()
+            )));
+        }
+        for (col, val) in self.columns.iter().zip(row) {
+            if val.is_null() {
+                if !col.nullable {
+                    return Err(StoreError::SchemaViolation(format!(
+                        "table {}: column {} is not nullable",
+                        self.name, col.name
+                    )));
+                }
+            } else if !val.conforms_to(col.ty) {
+                return Err(StoreError::SchemaViolation(format!(
+                    "table {}: column {} expects {}, got {}",
+                    self.name, col.name, col.ty, val
+                )));
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Builder for [`Schema`]. Column/index name resolution errors are deferred
+/// to [`SchemaBuilder::build`] so declarations chain fluently.
+pub struct SchemaBuilder {
+    name: String,
+    columns: Vec<Column>,
+    primary_key: Vec<String>,
+    indexes: Vec<(String, Vec<String>, bool)>,
+    error: Option<String>,
+}
+
+impl SchemaBuilder {
+    /// Add a column.
+    pub fn column(mut self, column: Column) -> Self {
+        self.columns.push(column);
+        self
+    }
+
+    /// Declare the primary key over the named columns. Enforced as a unique
+    /// index named `"pk"`.
+    pub fn primary_key(mut self, columns: &[&str]) -> Self {
+        if !self.primary_key.is_empty() {
+            self.error = Some("primary key declared twice".into());
+        }
+        self.primary_key = columns.iter().map(|c| (*c).to_owned()).collect();
+        self
+    }
+
+    /// Declare a unique secondary index.
+    pub fn unique_index(mut self, name: &str, columns: &[&str]) -> Self {
+        self.indexes.push((
+            name.to_owned(),
+            columns.iter().map(|c| (*c).to_owned()).collect(),
+            true,
+        ));
+        self
+    }
+
+    /// Declare a non-unique secondary index.
+    pub fn index(mut self, name: &str, columns: &[&str]) -> Self {
+        self.indexes.push((
+            name.to_owned(),
+            columns.iter().map(|c| (*c).to_owned()).collect(),
+            false,
+        ));
+        self
+    }
+
+    /// Finish building, validating all names.
+    pub fn build(self) -> StoreResult<Schema> {
+        if let Some(msg) = self.error {
+            return Err(StoreError::InvalidSchema(msg));
+        }
+        if self.columns.is_empty() {
+            return Err(StoreError::InvalidSchema(format!(
+                "table {} has no columns",
+                self.name
+            )));
+        }
+        for (i, c) in self.columns.iter().enumerate() {
+            if self.columns[..i].iter().any(|p| p.name == c.name) {
+                return Err(StoreError::InvalidSchema(format!(
+                    "duplicate column {} in table {}",
+                    c.name, self.name
+                )));
+            }
+        }
+        let resolve = |names: &[String]| -> StoreResult<Vec<usize>> {
+            if names.is_empty() {
+                return Err(StoreError::InvalidSchema(format!(
+                    "empty column list in index on table {}",
+                    self.name
+                )));
+            }
+            names
+                .iter()
+                .map(|n| {
+                    self.columns
+                        .iter()
+                        .position(|c| &c.name == n)
+                        .ok_or_else(|| {
+                            StoreError::InvalidSchema(format!(
+                                "index on table {} names unknown column {}",
+                                self.name, n
+                            ))
+                        })
+                })
+                .collect()
+        };
+
+        let mut indexes = Vec::with_capacity(self.indexes.len() + 1);
+        let mut primary_key = Vec::new();
+        if !self.primary_key.is_empty() {
+            primary_key = resolve(&self.primary_key)?;
+            indexes.push(IndexDef {
+                name: "pk".to_owned(),
+                columns: primary_key.clone(),
+                unique: true,
+            });
+        }
+        for (name, cols, unique) in &self.indexes {
+            if name == "pk" {
+                return Err(StoreError::InvalidSchema(
+                    "index name pk is reserved for the primary key".into(),
+                ));
+            }
+            if indexes.iter().any(|i: &IndexDef| &i.name == name) {
+                return Err(StoreError::InvalidSchema(format!(
+                    "duplicate index {} on table {}",
+                    name, self.name
+                )));
+            }
+            indexes.push(IndexDef {
+                name: name.clone(),
+                columns: resolve(cols)?,
+                unique: *unique,
+            });
+        }
+        Ok(Schema {
+            name: self.name,
+            columns: self.columns,
+            primary_key,
+            indexes,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Schema {
+        Schema::builder("object")
+            .column(Column::new("object_id", ValueType::Int))
+            .column(Column::new("source_id", ValueType::Int))
+            .column(Column::new("accession", ValueType::Text))
+            .column(Column::nullable("text", ValueType::Text))
+            .column(Column::nullable("number", ValueType::Float))
+            .primary_key(&["object_id"])
+            .unique_index("by_acc", &["source_id", "accession"])
+            .index("by_source", &["source_id"])
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn builds_and_resolves() {
+        let s = sample();
+        assert_eq!(s.name(), "object");
+        assert_eq!(s.arity(), 5);
+        assert_eq!(s.column_index("accession").unwrap(), 2);
+        assert_eq!(s.primary_key(), &[0]);
+        assert_eq!(s.indexes().len(), 3);
+        assert_eq!(s.index("by_acc").unwrap().columns, vec![1, 2]);
+        assert!(s.index("by_acc").unwrap().unique);
+        assert!(!s.index("by_source").unwrap().unique);
+    }
+
+    #[test]
+    fn row_validation() {
+        let s = sample();
+        let ok = vec![
+            Value::Int(1),
+            Value::Int(2),
+            Value::text("GO:0001"),
+            Value::Null,
+            Value::Float(0.5),
+        ];
+        s.check_row(&ok).unwrap();
+
+        // wrong arity
+        assert!(s.check_row(&ok[..4]).is_err());
+        // type mismatch
+        let mut bad = ok.clone();
+        bad[0] = Value::text("x");
+        assert!(s.check_row(&bad).is_err());
+        // null in non-nullable
+        let mut bad = ok;
+        bad[2] = Value::Null;
+        assert!(s.check_row(&bad).is_err());
+    }
+
+    #[test]
+    fn rejects_bad_declarations() {
+        // duplicate column
+        assert!(Schema::builder("t")
+            .column(Column::new("a", ValueType::Int))
+            .column(Column::new("a", ValueType::Int))
+            .build()
+            .is_err());
+        // unknown index column
+        assert!(Schema::builder("t")
+            .column(Column::new("a", ValueType::Int))
+            .index("i", &["b"])
+            .build()
+            .is_err());
+        // empty
+        assert!(Schema::builder("t").build().is_err());
+        // reserved pk name
+        assert!(Schema::builder("t")
+            .column(Column::new("a", ValueType::Int))
+            .unique_index("pk", &["a"])
+            .build()
+            .is_err());
+        // duplicate index name
+        assert!(Schema::builder("t")
+            .column(Column::new("a", ValueType::Int))
+            .index("i", &["a"])
+            .index("i", &["a"])
+            .build()
+            .is_err());
+        // double primary key
+        assert!(Schema::builder("t")
+            .column(Column::new("a", ValueType::Int))
+            .primary_key(&["a"])
+            .primary_key(&["a"])
+            .build()
+            .is_err());
+        // unknown column message
+        let err = Schema::builder("t")
+            .column(Column::new("a", ValueType::Int))
+            .build()
+            .unwrap()
+            .column_index("zz")
+            .unwrap_err();
+        assert!(err.to_string().contains("zz"));
+    }
+}

@@ -1,0 +1,165 @@
+//! Concurrent access wrapper.
+//!
+//! GenMapper served many interactive users and analysis pipelines from one
+//! central database. [`SharedDatabase`] provides the equivalent embedding:
+//! a `parking_lot` read-write lock around a [`Database`], so any number of
+//! concurrent readers (view generation, Map, statistics) proceed in
+//! parallel while writers (imports, materializations) serialize.
+
+use crate::db::Database;
+use crate::error::StoreResult;
+use parking_lot::{RwLock, RwLockReadGuard};
+use std::sync::Arc;
+
+/// A thread-shareable database handle (cheaply cloneable).
+#[derive(Clone)]
+pub struct SharedDatabase {
+    inner: Arc<RwLock<Database>>,
+}
+
+impl SharedDatabase {
+    /// Wrap a database for shared use.
+    pub fn new(db: Database) -> Self {
+        SharedDatabase {
+            inner: Arc::new(RwLock::new(db)),
+        }
+    }
+
+    /// Run a read-only closure under the shared lock. Many readers may be
+    /// inside concurrently.
+    pub fn read<T>(&self, f: impl FnOnce(&Database) -> T) -> T {
+        f(&self.inner.read())
+    }
+
+    /// Acquire a read guard directly (for multi-statement reads).
+    pub fn read_guard(&self) -> RwLockReadGuard<'_, Database> {
+        self.inner.read()
+    }
+
+    /// Run a write closure under the exclusive lock.
+    pub fn write<T>(&self, f: impl FnOnce(&mut Database) -> T) -> T {
+        f(&mut self.inner.write())
+    }
+
+    /// Convenience: run a transaction under the exclusive lock.
+    pub fn with_txn<T>(
+        &self,
+        f: impl FnOnce(&mut crate::db::Transaction<'_>) -> StoreResult<T>,
+    ) -> StoreResult<T> {
+        self.write(|db| db.with_txn(f))
+    }
+}
+
+impl std::fmt::Debug for SharedDatabase {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("SharedDatabase")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::{Column, Schema};
+    use crate::value::{Value, ValueType};
+    use crate::Predicate;
+
+    fn shared() -> SharedDatabase {
+        let mut db = Database::in_memory();
+        db.create_table(
+            Schema::builder("t")
+                .column(Column::new("id", ValueType::Int))
+                .column(Column::new("grp", ValueType::Int))
+                .primary_key(&["id"])
+                .index("by_grp", &["grp"])
+                .build()
+                .unwrap(),
+        )
+        .unwrap();
+        SharedDatabase::new(db)
+    }
+
+    #[test]
+    fn concurrent_readers_with_interleaved_writers() {
+        let db = shared();
+        const WRITERS: i64 = 4;
+        const PER_WRITER: i64 = 250;
+        std::thread::scope(|scope| {
+            for w in 0..WRITERS {
+                let db = db.clone();
+                scope.spawn(move || {
+                    for i in 0..PER_WRITER {
+                        let id = w * PER_WRITER + i;
+                        db.with_txn(|txn| {
+                            txn.insert("t", vec![Value::Int(id), Value::Int(id % 10)])?;
+                            Ok(())
+                        })
+                        .unwrap();
+                    }
+                });
+            }
+            for _ in 0..4 {
+                let db = db.clone();
+                scope.spawn(move || {
+                    // readers observe consistent states: counts only grow,
+                    // and a group-select never exceeds the current total
+                    let mut last_total = 0;
+                    for _ in 0..200 {
+                        let (total, grp) = db.read(|db| {
+                            let t = db.table("t").unwrap();
+                            (
+                                t.len(),
+                                t.select(&Predicate::eq("grp", Value::Int(3))).unwrap().len(),
+                            )
+                        });
+                        assert!(total >= last_total, "row count is monotone");
+                        assert!(grp <= total);
+                        last_total = total;
+                    }
+                });
+            }
+        });
+        let final_count = db.read(|db| db.table("t").unwrap().len());
+        assert_eq!(final_count, (WRITERS * PER_WRITER) as usize);
+        // every group has exactly its share
+        let grp3 = db.read(|db| {
+            db.table("t")
+                .unwrap()
+                .select(&Predicate::eq("grp", Value::Int(3)))
+                .unwrap()
+                .len()
+        });
+        assert_eq!(grp3, (WRITERS * PER_WRITER / 10) as usize);
+    }
+
+    #[test]
+    fn failed_txn_rolls_back_under_lock() {
+        let db = shared();
+        db.with_txn(|txn| {
+            txn.insert("t", vec![Value::Int(1), Value::Int(0)])?;
+            Ok(())
+        })
+        .unwrap();
+        let err = db.with_txn(|txn| {
+            txn.insert("t", vec![Value::Int(2), Value::Int(0)])?;
+            txn.insert("t", vec![Value::Int(1), Value::Int(0)])?; // dup pk
+            Ok(())
+        });
+        assert!(err.is_err());
+        assert_eq!(db.read(|db| db.table("t").unwrap().len()), 1);
+    }
+
+    #[test]
+    fn read_guard_spans_multiple_statements() {
+        let db = shared();
+        db.with_txn(|txn| {
+            txn.insert("t", vec![Value::Int(1), Value::Int(5)])?;
+            Ok(())
+        })
+        .unwrap();
+        let guard = db.read_guard();
+        let t = guard.table("t").unwrap();
+        let a = t.len();
+        let b = t.select(&Predicate::True).unwrap().len();
+        assert_eq!(a, b, "both reads see the same state");
+    }
+}

@@ -1,0 +1,370 @@
+//! Full-database snapshots.
+//!
+//! A snapshot is a single self-contained file:
+//! `[magic "RSSN"][version u32][crc32 u32][body]`, where the body encodes
+//! every table (schema, high-water row id, live rows). The CRC covers the
+//! body, so partially-written snapshots are detected and rejected; callers
+//! write to a temp file and rename for atomicity (see
+//! [`Database::checkpoint`](crate::db::Database::checkpoint)).
+
+use crate::codec::{crc32, get_row, get_str, get_varint, put_row, put_str, put_varint};
+use crate::error::{StoreError, StoreResult};
+use crate::row::RowId;
+use crate::schema::{Column, Schema};
+use crate::table::Table;
+use crate::value::ValueType;
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+use std::fs;
+use std::io::Write;
+use std::path::Path;
+
+const MAGIC: &[u8; 4] = b"RSSN";
+const VERSION: u32 = 1;
+
+fn type_tag(ty: ValueType) -> u8 {
+    match ty {
+        ValueType::Int => 0,
+        ValueType::Float => 1,
+        ValueType::Text => 2,
+        ValueType::Bytes => 3,
+    }
+}
+
+fn type_from_tag(tag: u8) -> StoreResult<ValueType> {
+    Ok(match tag {
+        0 => ValueType::Int,
+        1 => ValueType::Float,
+        2 => ValueType::Text,
+        3 => ValueType::Bytes,
+        other => return Err(StoreError::Corrupt(format!("unknown type tag {other}"))),
+    })
+}
+
+fn put_schema(buf: &mut BytesMut, schema: &Schema) {
+    put_str(buf, schema.name());
+    put_varint(buf, schema.columns().len() as u64);
+    for c in schema.columns() {
+        put_str(buf, &c.name);
+        buf.put_u8(type_tag(c.ty));
+        buf.put_u8(u8::from(c.nullable));
+    }
+    put_varint(buf, schema.primary_key().len() as u64);
+    for &o in schema.primary_key() {
+        put_varint(buf, o as u64);
+    }
+    // secondary indexes (skip the synthesized "pk" entry)
+    let secondary: Vec<_> = schema.indexes().iter().filter(|i| i.name != "pk").collect();
+    put_varint(buf, secondary.len() as u64);
+    for ix in secondary {
+        put_str(buf, &ix.name);
+        buf.put_u8(u8::from(ix.unique));
+        put_varint(buf, ix.columns.len() as u64);
+        for &o in &ix.columns {
+            put_varint(buf, o as u64);
+        }
+    }
+}
+
+fn get_schema(buf: &mut Bytes) -> StoreResult<Schema> {
+    let name = get_str(buf)?;
+    let ncols = get_varint(buf)? as usize;
+    if ncols > 1 << 16 {
+        return Err(StoreError::Corrupt(format!("implausible column count {ncols}")));
+    }
+    let mut builder = Schema::builder(&name);
+    let mut col_names = Vec::with_capacity(ncols);
+    for _ in 0..ncols {
+        let cname = get_str(buf)?;
+        if !buf.has_remaining() {
+            return Err(StoreError::Corrupt("schema truncated".into()));
+        }
+        let ty = type_from_tag(buf.get_u8())?;
+        if !buf.has_remaining() {
+            return Err(StoreError::Corrupt("schema truncated".into()));
+        }
+        let nullable = buf.get_u8() != 0;
+        col_names.push(cname.clone());
+        builder = builder.column(if nullable {
+            Column::nullable(cname, ty)
+        } else {
+            Column::new(cname, ty)
+        });
+    }
+    let resolve = |buf: &mut Bytes, col_names: &[String]| -> StoreResult<Vec<String>> {
+        let n = get_varint(buf)? as usize;
+        let mut out = Vec::with_capacity(n);
+        for _ in 0..n {
+            let o = get_varint(buf)? as usize;
+            let name = col_names
+                .get(o)
+                .ok_or_else(|| StoreError::Corrupt(format!("ordinal {o} out of range")))?;
+            out.push(name.clone());
+        }
+        Ok(out)
+    };
+    let pk = resolve(buf, &col_names)?;
+    if !pk.is_empty() {
+        let refs: Vec<&str> = pk.iter().map(String::as_str).collect();
+        builder = builder.primary_key(&refs);
+    }
+    let nix = get_varint(buf)? as usize;
+    for _ in 0..nix {
+        let iname = get_str(buf)?;
+        if !buf.has_remaining() {
+            return Err(StoreError::Corrupt("schema truncated".into()));
+        }
+        let unique = buf.get_u8() != 0;
+        let cols = resolve(buf, &col_names)?;
+        let refs: Vec<&str> = cols.iter().map(String::as_str).collect();
+        builder = if unique {
+            builder.unique_index(&iname, &refs)
+        } else {
+            builder.index(&iname, &refs)
+        };
+    }
+    builder.build()
+}
+
+/// Encode tables into a snapshot byte buffer.
+pub fn encode_snapshot<'a>(tables: impl Iterator<Item = &'a Table>) -> Vec<u8> {
+    let mut body = BytesMut::new();
+    let tables: Vec<&Table> = tables.collect();
+    put_varint(&mut body, tables.len() as u64);
+    for t in tables {
+        put_schema(&mut body, t.schema());
+        put_varint(&mut body, t.next_row_id().0);
+        put_varint(&mut body, t.len() as u64);
+        for (row_id, row) in t.scan() {
+            put_varint(&mut body, row_id.0);
+            put_row(&mut body, row.values());
+        }
+    }
+    let mut out = Vec::with_capacity(body.len() + 12);
+    out.extend_from_slice(MAGIC);
+    out.extend_from_slice(&VERSION.to_le_bytes());
+    out.extend_from_slice(&crc32(&body).to_le_bytes());
+    out.extend_from_slice(&body);
+    out
+}
+
+/// Decode a snapshot byte buffer into fully-indexed tables.
+pub fn decode_snapshot(data: &[u8]) -> StoreResult<Vec<Table>> {
+    if data.len() < 12 {
+        return Err(StoreError::Corrupt("snapshot too short".into()));
+    }
+    if &data[0..4] != MAGIC {
+        return Err(StoreError::Corrupt("bad snapshot magic".into()));
+    }
+    let version = u32::from_le_bytes(data[4..8].try_into().unwrap());
+    if version != VERSION {
+        return Err(StoreError::Corrupt(format!(
+            "unsupported snapshot version {version}"
+        )));
+    }
+    let crc = u32::from_le_bytes(data[8..12].try_into().unwrap());
+    let body = &data[12..];
+    if crc32(body) != crc {
+        return Err(StoreError::Corrupt("snapshot checksum mismatch".into()));
+    }
+    let mut buf = Bytes::copy_from_slice(body);
+    let ntables = get_varint(&mut buf)? as usize;
+    if ntables > 1 << 16 {
+        return Err(StoreError::Corrupt(format!("implausible table count {ntables}")));
+    }
+    let mut tables = Vec::with_capacity(ntables);
+    for _ in 0..ntables {
+        let schema = get_schema(&mut buf)?;
+        let high_water = get_varint(&mut buf)?;
+        let nrows = get_varint(&mut buf)? as usize;
+        let mut table = Table::new(schema);
+        for _ in 0..nrows {
+            let row_id = RowId(get_varint(&mut buf)?);
+            let values = get_row(&mut buf)?;
+            table.insert_at(row_id, values)?;
+        }
+        if table.next_row_id().0 > high_water {
+            return Err(StoreError::Corrupt(
+                "snapshot rows exceed recorded high-water mark".into(),
+            ));
+        }
+        // Re-align the high-water mark for tables whose last rows were
+        // deleted before the snapshot.
+        while table.next_row_id().0 < high_water {
+            let filler = RowId(table.next_row_id().0);
+            // insert_at with an id just past the end, then delete, to bump
+            // the mark without leaving data. Build a minimal valid row.
+            let row: Vec<_> = table
+                .schema()
+                .columns()
+                .iter()
+                .map(|c| {
+                    if c.nullable {
+                        crate::value::Value::Null
+                    } else {
+                        match c.ty {
+                            ValueType::Int => crate::value::Value::Int(i64::MIN + filler.0 as i64),
+                            ValueType::Float => crate::value::Value::Float(f64::MIN),
+                            ValueType::Text => {
+                                crate::value::Value::Text(format!("\u{0}hw{}", filler.0))
+                            }
+                            ValueType::Bytes => {
+                                crate::value::Value::Bytes(filler.0.to_le_bytes().to_vec())
+                            }
+                        }
+                    }
+                })
+                .collect();
+            table.insert_at(filler, row)?;
+            table.delete(filler)?;
+        }
+        tables.push(table);
+    }
+    Ok(tables)
+}
+
+/// Write a snapshot atomically: temp file + fsync + rename.
+pub fn write_snapshot_file<'a>(
+    path: &Path,
+    tables: impl Iterator<Item = &'a Table>,
+) -> StoreResult<()> {
+    let data = encode_snapshot(tables);
+    let tmp = path.with_extension("tmp");
+    {
+        let mut f = fs::File::create(&tmp)?;
+        f.write_all(&data)?;
+        f.sync_data()?;
+    }
+    fs::rename(&tmp, path)?;
+    Ok(())
+}
+
+/// Read and decode a snapshot file. A missing file yields an empty catalog.
+pub fn read_snapshot_file(path: &Path) -> StoreResult<Vec<Table>> {
+    match fs::read(path) {
+        Ok(data) => decode_snapshot(&data),
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => Ok(Vec::new()),
+        Err(e) => Err(e.into()),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::predicate::Predicate;
+    use crate::value::Value;
+
+    fn sample_table() -> Table {
+        let schema = Schema::builder("object")
+            .column(Column::new("id", ValueType::Int))
+            .column(Column::new("acc", ValueType::Text))
+            .column(Column::nullable("score", ValueType::Float))
+            .primary_key(&["id"])
+            .unique_index("by_acc", &["acc"])
+            .index("by_score", &["score"])
+            .build()
+            .unwrap();
+        let mut t = Table::new(schema);
+        for i in 0..20 {
+            t.insert(vec![
+                Value::Int(i),
+                Value::text(format!("ACC{i}")),
+                if i % 3 == 0 { Value::Null } else { Value::Float(i as f64 / 2.0) },
+            ])
+            .unwrap();
+        }
+        // create holes
+        t.delete(RowId(5)).unwrap();
+        t.delete(RowId(19)).unwrap(); // tail deletion exercises high-water fixup
+        t
+    }
+
+    #[test]
+    fn roundtrip_preserves_rows_ids_and_indexes() {
+        let t = sample_table();
+        let data = encode_snapshot(std::iter::once(&t));
+        let tables = decode_snapshot(&data).unwrap();
+        assert_eq!(tables.len(), 1);
+        let back = &tables[0];
+        assert_eq!(back.len(), t.len());
+        assert_eq!(back.next_row_id(), t.next_row_id());
+        // same rows at same ids
+        for (id, row) in t.scan() {
+            assert_eq!(back.get(id).unwrap(), row);
+        }
+        // indexes functional
+        let hit = back
+            .lookup_unique("by_acc", &[Value::text("ACC7")])
+            .unwrap()
+            .unwrap();
+        assert_eq!(hit.get(0), &Value::Int(7));
+        // deleted row is gone
+        assert!(back.get(RowId(5)).is_err());
+        // select equivalence
+        let p = Predicate::eq("acc", Value::text("ACC3"));
+        assert_eq!(back.select(&p).unwrap(), t.select(&p).unwrap());
+    }
+
+    #[test]
+    fn high_water_mark_respected_after_restore() {
+        let t = sample_table();
+        let data = encode_snapshot(std::iter::once(&t));
+        let mut back = decode_snapshot(&data).unwrap().pop().unwrap();
+        // next insert must not collide with the deleted tail id 19
+        let id = back
+            .insert(vec![Value::Int(100), Value::text("NEW"), Value::Null])
+            .unwrap();
+        assert_eq!(id, RowId(20));
+    }
+
+    #[test]
+    fn corruption_detected() {
+        let t = sample_table();
+        let mut data = encode_snapshot(std::iter::once(&t));
+        // bad magic
+        let mut bad = data.clone();
+        bad[0] = b'X';
+        assert!(decode_snapshot(&bad).is_err());
+        // bad version
+        let mut bad = data.clone();
+        bad[4] = 99;
+        assert!(decode_snapshot(&bad).is_err());
+        // flipped body byte
+        let n = data.len();
+        data[n - 1] ^= 0xff;
+        assert!(decode_snapshot(&data).is_err());
+        // short file
+        assert!(decode_snapshot(&[1, 2, 3]).is_err());
+    }
+
+    #[test]
+    fn file_roundtrip_and_missing_file() {
+        let dir = std::env::temp_dir().join("relstore-snap-tests");
+        fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("snap.bin");
+        let t = sample_table();
+        write_snapshot_file(&path, std::iter::once(&t)).unwrap();
+        let tables = read_snapshot_file(&path).unwrap();
+        assert_eq!(tables.len(), 1);
+        assert_eq!(tables[0].len(), t.len());
+        let missing = read_snapshot_file(&dir.join("never.bin")).unwrap();
+        assert!(missing.is_empty());
+    }
+
+    #[test]
+    fn multiple_tables() {
+        let t1 = sample_table();
+        let schema2 = Schema::builder("source")
+            .column(Column::new("id", ValueType::Int))
+            .primary_key(&["id"])
+            .build()
+            .unwrap();
+        let mut t2 = Table::new(schema2);
+        t2.insert(vec![Value::Int(1)]).unwrap();
+        let data = encode_snapshot([&t1, &t2].into_iter());
+        let tables = decode_snapshot(&data).unwrap();
+        assert_eq!(tables.len(), 2);
+        assert_eq!(tables[0].name(), "object");
+        assert_eq!(tables[1].name(), "source");
+        assert_eq!(tables[1].len(), 1);
+    }
+}

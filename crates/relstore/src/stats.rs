@@ -1,0 +1,78 @@
+//! Database statistics, mirroring the deployment numbers GenMapper reports
+//! (§5: "2 million objects of over 60 data sources, and 5 million object
+//! associations organized in over 500 different mappings").
+
+use std::fmt;
+
+/// Per-table statistics.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TableStats {
+    pub name: String,
+    pub rows: usize,
+    /// (index name, entry count) pairs.
+    pub indexes: Vec<(String, usize)>,
+}
+
+/// Whole-database statistics.
+#[derive(Debug, Clone, Default)]
+pub struct DbStats {
+    pub tables: Vec<TableStats>,
+    /// Bytes appended to the WAL since open/last checkpoint.
+    pub wal_bytes: u64,
+}
+
+impl DbStats {
+    /// Row count for a table, 0 if absent.
+    pub fn rows(&self, table: &str) -> usize {
+        self.tables
+            .iter()
+            .find(|t| t.name == table)
+            .map(|t| t.rows)
+            .unwrap_or(0)
+    }
+
+    /// Total rows across all tables.
+    pub fn total_rows(&self) -> usize {
+        self.tables.iter().map(|t| t.rows).sum()
+    }
+}
+
+impl fmt::Display for DbStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "database: {} tables, {} rows", self.tables.len(), self.total_rows())?;
+        for t in &self.tables {
+            writeln!(f, "  {:<16} {:>10} rows, {} indexes", t.name, t.rows, t.indexes.len())?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accessors_and_display() {
+        let stats = DbStats {
+            tables: vec![
+                TableStats {
+                    name: "object".into(),
+                    rows: 100,
+                    indexes: vec![("pk".into(), 100)],
+                },
+                TableStats {
+                    name: "source".into(),
+                    rows: 5,
+                    indexes: vec![],
+                },
+            ],
+            wal_bytes: 0,
+        };
+        assert_eq!(stats.rows("object"), 100);
+        assert_eq!(stats.rows("missing"), 0);
+        assert_eq!(stats.total_rows(), 105);
+        let text = stats.to_string();
+        assert!(text.contains("2 tables"));
+        assert!(text.contains("object"));
+    }
+}

@@ -1,0 +1,723 @@
+//! Heap tables with slotted storage and index maintenance.
+//!
+//! A [`Table`] owns its rows in a slot vector addressed by [`RowId`]. Row
+//! ids are monotonically assigned and never reused; deleting a row tombstones
+//! its slot. Every declared index (including the primary key, named `"pk"`)
+//! is maintained on insert/update/delete.
+//!
+//! Reads go through [`Table::select`], which performs simple access-path
+//! selection: if the predicate's top-level conjunction pins every column of
+//! some index with equality, the index serves the lookup and the residual
+//! predicate filters the candidates; otherwise a full scan runs.
+
+use crate::error::{StoreError, StoreResult};
+use crate::index::{format_key, IndexStore};
+use crate::predicate::Predicate;
+use crate::row::{Row, RowId};
+use crate::schema::Schema;
+use crate::value::Value;
+
+/// A table: schema, row slots, and indexes.
+#[derive(Debug, Clone)]
+pub struct Table {
+    schema: Schema,
+    /// Slot vector; `slots[row_id]` is `None` for deleted rows.
+    slots: Vec<Option<Row>>,
+    live: usize,
+    indexes: Vec<IndexStore>,
+}
+
+impl Table {
+    /// Create an empty table for `schema`.
+    pub fn new(schema: Schema) -> Self {
+        let indexes = schema
+            .indexes()
+            .iter()
+            .map(|d| IndexStore::new(d.unique))
+            .collect();
+        Table {
+            schema,
+            slots: Vec::new(),
+            live: 0,
+            indexes,
+        }
+    }
+
+    /// The table's schema.
+    pub fn schema(&self) -> &Schema {
+        &self.schema
+    }
+
+    /// The table name (delegates to the schema).
+    pub fn name(&self) -> &str {
+        self.schema.name()
+    }
+
+    /// Number of live rows.
+    pub fn len(&self) -> usize {
+        self.live
+    }
+
+    /// True if the table holds no live rows.
+    pub fn is_empty(&self) -> bool {
+        self.live == 0
+    }
+
+    /// The row id the next insert will receive.
+    pub fn next_row_id(&self) -> RowId {
+        RowId(self.slots.len() as u64)
+    }
+
+    /// Insert a row, returning its new row id.
+    pub fn insert(&mut self, values: Vec<Value>) -> StoreResult<RowId> {
+        self.schema.check_row(&values)?;
+        let row = Row::new(values);
+        // Check unique constraints before mutating anything.
+        for (def, ix) in self.schema.indexes().iter().zip(&self.indexes) {
+            if def.unique {
+                let key = row.project(&def.columns);
+                if ix.would_conflict(&key) {
+                    return Err(StoreError::UniqueViolation {
+                        table: self.name().to_owned(),
+                        index: def.name.clone(),
+                        key: format_key(&key),
+                    });
+                }
+            }
+        }
+        let row_id = RowId(self.slots.len() as u64);
+        for (def, ix) in self.schema.indexes().iter().zip(self.indexes.iter_mut()) {
+            let key = row.project(&def.columns);
+            ix.insert(key, row_id)?;
+        }
+        self.slots.push(Some(row));
+        self.live += 1;
+        Ok(row_id)
+    }
+
+    /// Re-insert a row at a specific id, used by snapshot/WAL recovery. The
+    /// id must be at or beyond the current high-water mark; the gap (if any)
+    /// is filled with tombstones so later replayed ids stay aligned.
+    pub(crate) fn insert_at(&mut self, row_id: RowId, values: Vec<Value>) -> StoreResult<()> {
+        self.schema.check_row(&values)?;
+        let idx = row_id.0 as usize;
+        if idx < self.slots.len() {
+            return Err(StoreError::Corrupt(format!(
+                "replayed insert at {row_id} below high-water mark {}",
+                self.slots.len()
+            )));
+        }
+        self.slots.resize(idx, None);
+        let row = Row::new(values);
+        for (def, ix) in self.schema.indexes().iter().zip(self.indexes.iter_mut()) {
+            let key = row.project(&def.columns);
+            ix.insert(key, row_id).map_err(|e| match e {
+                StoreError::UniqueViolation { key, index, .. } => StoreError::UniqueViolation {
+                    table: self.schema.name().to_owned(),
+                    index,
+                    key,
+                },
+                e => e,
+            })?;
+        }
+        self.slots.push(Some(row));
+        self.live += 1;
+        Ok(())
+    }
+
+    /// Restore a previously-deleted row into its original (tombstoned)
+    /// slot, re-entering it into all indexes. Used by transaction rollback
+    /// to undo deletes.
+    pub(crate) fn restore(&mut self, row_id: RowId, values: Vec<Value>) -> StoreResult<()> {
+        self.schema.check_row(&values)?;
+        let idx = row_id.0 as usize;
+        match self.slots.get(idx) {
+            Some(None) => {}
+            _ => {
+                return Err(StoreError::Corrupt(format!(
+                    "restore target {row_id} is not a tombstone"
+                )))
+            }
+        }
+        let row = Row::new(values);
+        for (def, ix) in self.schema.indexes().iter().zip(&self.indexes) {
+            if def.unique {
+                let key = row.project(&def.columns);
+                if ix.would_conflict(&key) {
+                    return Err(StoreError::UniqueViolation {
+                        table: self.schema.name().to_owned(),
+                        index: def.name.clone(),
+                        key: format_key(&key),
+                    });
+                }
+            }
+        }
+        for (def, ix) in self.schema.indexes().iter().zip(self.indexes.iter_mut()) {
+            let key = row.project(&def.columns);
+            ix.insert(key, row_id)?;
+        }
+        self.slots[idx] = Some(row);
+        self.live += 1;
+        Ok(())
+    }
+
+    /// Fetch a live row by id.
+    pub fn get(&self, row_id: RowId) -> StoreResult<&Row> {
+        self.slots
+            .get(row_id.0 as usize)
+            .and_then(|s| s.as_ref())
+            .ok_or_else(|| StoreError::NoSuchRow {
+                table: self.name().to_owned(),
+                row_id: row_id.0,
+            })
+    }
+
+    /// Delete a row by id, returning the removed row.
+    pub fn delete(&mut self, row_id: RowId) -> StoreResult<Row> {
+        let slot = self
+            .slots
+            .get_mut(row_id.0 as usize)
+            .ok_or_else(|| StoreError::NoSuchRow {
+                table: self.schema.name().to_owned(),
+                row_id: row_id.0,
+            })?;
+        let row = slot.take().ok_or_else(|| StoreError::NoSuchRow {
+            table: self.schema.name().to_owned(),
+            row_id: row_id.0,
+        })?;
+        for (def, ix) in self.schema.indexes().iter().zip(self.indexes.iter_mut()) {
+            let key = row.project(&def.columns);
+            ix.remove(&key, row_id);
+        }
+        self.live -= 1;
+        Ok(row)
+    }
+
+    /// Replace the row at `row_id` with new values (index-maintained).
+    pub fn update(&mut self, row_id: RowId, values: Vec<Value>) -> StoreResult<()> {
+        self.schema.check_row(&values)?;
+        let old = self.get(row_id)?.clone();
+        let new = Row::new(values);
+        // unique pre-check, ignoring this row's own entries
+        for (def, ix) in self.schema.indexes().iter().zip(&self.indexes) {
+            if def.unique {
+                let new_key = new.project(&def.columns);
+                let old_key = old.project(&def.columns);
+                if new_key != old_key && ix.would_conflict(&new_key) {
+                    return Err(StoreError::UniqueViolation {
+                        table: self.name().to_owned(),
+                        index: def.name.clone(),
+                        key: format_key(&new_key),
+                    });
+                }
+            }
+        }
+        for (def, ix) in self.schema.indexes().iter().zip(self.indexes.iter_mut()) {
+            let old_key = old.project(&def.columns);
+            let new_key = new.project(&def.columns);
+            if old_key != new_key {
+                ix.remove(&old_key, row_id);
+                ix.insert(new_key, row_id)?;
+            }
+        }
+        self.slots[row_id.0 as usize] = Some(new);
+        Ok(())
+    }
+
+    /// Iterate live rows in row-id order.
+    pub fn scan(&self) -> impl Iterator<Item = (RowId, &Row)> + '_ {
+        self.slots
+            .iter()
+            .enumerate()
+            .filter_map(|(i, s)| s.as_ref().map(|r| (RowId(i as u64), r)))
+    }
+
+    /// Exact-key lookup on a named index.
+    pub fn lookup(&self, index: &str, key: &[Value]) -> StoreResult<Vec<&Row>> {
+        let pos = self.index_position(index)?;
+        let ids = self.indexes[pos].lookup(&key.to_vec());
+        Ok(ids
+            .into_iter()
+            .map(|id| self.slots[id.0 as usize].as_ref().expect("index points at live row"))
+            .collect())
+    }
+
+    /// Prefix lookup on a composite index (pins the first `prefix.len()`
+    /// key columns).
+    pub fn lookup_prefix(&self, index: &str, prefix: &[Value]) -> StoreResult<Vec<&Row>> {
+        let pos = self.index_position(index)?;
+        let ids = self.indexes[pos].prefix_lookup(prefix);
+        Ok(ids
+            .into_iter()
+            .map(|id| self.slots[id.0 as usize].as_ref().expect("index points at live row"))
+            .collect())
+    }
+
+    /// Unique-index point lookup returning at most one row.
+    pub fn lookup_unique(&self, index: &str, key: &[Value]) -> StoreResult<Option<&Row>> {
+        let mut rows = self.lookup(index, key)?;
+        Ok(if rows.is_empty() {
+            None
+        } else {
+            Some(rows.swap_remove(0))
+        })
+    }
+
+    /// Serve a range scan from an ordered single-column index when the
+    /// predicate carries range constraints on its key column. Returns the
+    /// candidate row ids or `None` if no index applies.
+    fn pick_range(&self, predicate: &Predicate) -> Option<Vec<RowId>> {
+        use std::ops::Bound;
+        let ranges = predicate.range_constraints();
+        if ranges.is_empty() {
+            return None;
+        }
+        for (pos, def) in self.schema.indexes().iter().enumerate() {
+            if def.columns.len() != 1 {
+                continue;
+            }
+            let key_col = &self.schema.columns()[def.columns[0]].name;
+            let mut lo: Bound<Vec<Value>> = Bound::Unbounded;
+            let mut hi: Bound<Vec<Value>> = Bound::Unbounded;
+            let mut applies = false;
+            for (col, op, value) in &ranges {
+                if col != key_col {
+                    continue;
+                }
+                applies = true;
+                let key = vec![(*value).clone()];
+                match op {
+                    crate::predicate::CmpOp::Gt => lo = tighten_lo(lo, Bound::Excluded(key)),
+                    crate::predicate::CmpOp::Ge => lo = tighten_lo(lo, Bound::Included(key)),
+                    crate::predicate::CmpOp::Lt => hi = tighten_hi(hi, Bound::Excluded(key)),
+                    crate::predicate::CmpOp::Le => hi = tighten_hi(hi, Bound::Included(key)),
+                    _ => unreachable!("range_constraints only yields range ops"),
+                }
+            }
+            if applies {
+                let lo_ref = match &lo {
+                    Bound::Included(k) => Bound::Included(k),
+                    Bound::Excluded(k) => Bound::Excluded(k),
+                    Bound::Unbounded => Bound::Unbounded,
+                };
+                let hi_ref = match &hi {
+                    Bound::Included(k) => Bound::Included(k),
+                    Bound::Excluded(k) => Bound::Excluded(k),
+                    Bound::Unbounded => Bound::Unbounded,
+                };
+                return Some(self.indexes[pos].range(lo_ref, hi_ref));
+            }
+        }
+        None
+    }
+
+    /// Select rows matching `predicate`, using an index when the predicate's
+    /// equality constraints cover one, otherwise a full scan.
+    pub fn select(&self, predicate: &Predicate) -> StoreResult<Vec<Row>> {
+        Ok(self
+            .select_with_ids(predicate)?
+            .into_iter()
+            .map(|(_, r)| r)
+            .collect())
+    }
+
+    /// Like [`select`](Self::select) but also yields row ids.
+    pub fn select_with_ids(&self, predicate: &Predicate) -> StoreResult<Vec<(RowId, Row)>> {
+        let bound = predicate.bind(&self.schema)?;
+        // Access-path selection: find an index fully pinned by equality
+        // constraints of the top-level conjunction.
+        if let Some((pos, key)) = self.pick_index(predicate) {
+            let ids = self.indexes[pos].lookup(&key);
+            let mut out = Vec::with_capacity(ids.len());
+            for id in ids {
+                let row = self.slots[id.0 as usize]
+                    .as_ref()
+                    .expect("index points at live row");
+                if bound.matches(row.values()) {
+                    out.push((id, row.clone()));
+                }
+            }
+            return Ok(out);
+        }
+        if let Some(ids) = self.pick_range(predicate) {
+            let mut out = Vec::with_capacity(ids.len());
+            for id in ids {
+                let row = self.slots[id.0 as usize]
+                    .as_ref()
+                    .expect("index points at live row");
+                if bound.matches(row.values()) {
+                    out.push((id, row.clone()));
+                }
+            }
+            // index range order is key order; normalize to row-id order to
+            // match the full-scan result exactly
+            out.sort_by_key(|(id, _)| *id);
+            return Ok(out);
+        }
+        let mut out = Vec::new();
+        for (id, row) in self.scan() {
+            if bound.matches(row.values()) {
+                out.push((id, row.clone()));
+            }
+        }
+        Ok(out)
+    }
+
+    /// Count rows matching a predicate (no materialization beyond the scan).
+    pub fn count(&self, predicate: &Predicate) -> StoreResult<usize> {
+        let bound = predicate.bind(&self.schema)?;
+        if let Some((pos, key)) = self.pick_index(predicate) {
+            let ids = self.indexes[pos].lookup(&key);
+            let mut n = 0;
+            for id in ids {
+                let row = self.slots[id.0 as usize]
+                    .as_ref()
+                    .expect("index points at live row");
+                if bound.matches(row.values()) {
+                    n += 1;
+                }
+            }
+            return Ok(n);
+        }
+        Ok(self.scan().filter(|(_, r)| bound.matches(r.values())).count())
+    }
+
+    /// Pick the first index whose every column is pinned by an equality
+    /// constraint; returns (index position, lookup key).
+    fn pick_index(&self, predicate: &Predicate) -> Option<(usize, Vec<Value>)> {
+        let constraints = predicate.equality_constraints();
+        if constraints.is_empty() {
+            return None;
+        }
+        'outer: for (pos, def) in self.schema.indexes().iter().enumerate() {
+            let mut key = Vec::with_capacity(def.columns.len());
+            for &col in &def.columns {
+                let name = &self.schema.columns()[col].name;
+                match constraints.iter().find(|(c, _)| c == name) {
+                    Some((_, v)) => key.push((*v).clone()),
+                    None => continue 'outer,
+                }
+            }
+            return Some((pos, key));
+        }
+        None
+    }
+
+    /// Position of a named index.
+    fn index_position(&self, name: &str) -> StoreResult<usize> {
+        self.schema
+            .indexes()
+            .iter()
+            .position(|d| d.name == name)
+            .ok_or_else(|| StoreError::NoSuchIndex {
+                table: self.name().to_owned(),
+                index: name.to_owned(),
+            })
+    }
+
+    /// Entry count of a named index (for stats).
+    pub fn index_entries(&self, name: &str) -> StoreResult<usize> {
+        Ok(self.indexes[self.index_position(name)?].entry_count())
+    }
+
+    /// `SELECT column, COUNT(*) GROUP BY column`: live-row counts per
+    /// distinct value of a column, in value order.
+    pub fn group_count(&self, column: &str) -> StoreResult<Vec<(Value, usize)>> {
+        let ordinal = self.schema.column_index(column)?;
+        let mut counts: std::collections::BTreeMap<Value, usize> =
+            std::collections::BTreeMap::new();
+        for (_, row) in self.scan() {
+            *counts.entry(row.get(ordinal).clone()).or_default() += 1;
+        }
+        Ok(counts.into_iter().collect())
+    }
+
+    /// `SELECT DISTINCT column`: distinct live values of a column, sorted.
+    pub fn distinct_values(&self, column: &str) -> StoreResult<Vec<Value>> {
+        Ok(self
+            .group_count(column)?
+            .into_iter()
+            .map(|(v, _)| v)
+            .collect())
+    }
+}
+
+/// Keep the tighter of two lower bounds.
+fn tighten_lo(
+    current: std::ops::Bound<Vec<Value>>,
+    candidate: std::ops::Bound<Vec<Value>>,
+) -> std::ops::Bound<Vec<Value>> {
+    use std::ops::Bound::*;
+    match (&current, &candidate) {
+        (Unbounded, _) => candidate,
+        (_, Unbounded) => current,
+        (Included(a) | Excluded(a), Included(b) | Excluded(b)) => {
+            if b > a {
+                candidate
+            } else if a > b {
+                current
+            } else {
+                // equal keys: Excluded is tighter
+                if matches!(current, Excluded(_)) {
+                    current
+                } else {
+                    candidate
+                }
+            }
+        }
+    }
+}
+
+/// Keep the tighter of two upper bounds.
+fn tighten_hi(
+    current: std::ops::Bound<Vec<Value>>,
+    candidate: std::ops::Bound<Vec<Value>>,
+) -> std::ops::Bound<Vec<Value>> {
+    use std::ops::Bound::*;
+    match (&current, &candidate) {
+        (Unbounded, _) => candidate,
+        (_, Unbounded) => current,
+        (Included(a) | Excluded(a), Included(b) | Excluded(b)) => {
+            if b < a {
+                candidate
+            } else if a < b {
+                current
+            } else {
+                if matches!(current, Excluded(_)) {
+                    current
+                } else {
+                    candidate
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::predicate::CmpOp;
+    use crate::schema::Column;
+    use crate::value::ValueType;
+
+    fn object_table() -> Table {
+        Table::new(
+            Schema::builder("object")
+                .column(Column::new("object_id", ValueType::Int))
+                .column(Column::new("source_id", ValueType::Int))
+                .column(Column::new("accession", ValueType::Text))
+                .column(Column::nullable("text", ValueType::Text))
+                .primary_key(&["object_id"])
+                .unique_index("by_acc", &["source_id", "accession"])
+                .index("by_source", &["source_id"])
+                .build()
+                .unwrap(),
+        )
+    }
+
+    fn obj(id: i64, src: i64, acc: &str) -> Vec<Value> {
+        vec![
+            Value::Int(id),
+            Value::Int(src),
+            Value::text(acc),
+            Value::Null,
+        ]
+    }
+
+    #[test]
+    fn insert_get_scan() {
+        let mut t = object_table();
+        let r0 = t.insert(obj(1, 10, "A")).unwrap();
+        let r1 = t.insert(obj(2, 10, "B")).unwrap();
+        assert_eq!(r0, RowId(0));
+        assert_eq!(r1, RowId(1));
+        assert_eq!(t.len(), 2);
+        assert_eq!(t.get(r1).unwrap().get(2), &Value::text("B"));
+        let all: Vec<_> = t.scan().map(|(id, _)| id).collect();
+        assert_eq!(all, vec![RowId(0), RowId(1)]);
+    }
+
+    #[test]
+    fn unique_constraints_enforced_atomically() {
+        let mut t = object_table();
+        t.insert(obj(1, 10, "A")).unwrap();
+        // duplicate pk
+        let err = t.insert(obj(1, 11, "B")).unwrap_err();
+        assert!(matches!(err, StoreError::UniqueViolation { ref index, .. } if index == "pk"));
+        // duplicate composite unique key
+        let err = t.insert(obj(2, 10, "A")).unwrap_err();
+        assert!(matches!(err, StoreError::UniqueViolation { ref index, .. } if index == "by_acc"));
+        // failed inserts must not have touched any index
+        assert_eq!(t.len(), 1);
+        t.insert(obj(2, 10, "B")).unwrap();
+        assert_eq!(t.len(), 2);
+    }
+
+    #[test]
+    fn delete_frees_keys_but_not_ids() {
+        let mut t = object_table();
+        let r = t.insert(obj(1, 10, "A")).unwrap();
+        t.delete(r).unwrap();
+        assert_eq!(t.len(), 0);
+        assert!(t.get(r).is_err());
+        assert!(t.delete(r).is_err());
+        // key is reusable, id is not
+        let r2 = t.insert(obj(1, 10, "A")).unwrap();
+        assert_eq!(r2, RowId(1));
+    }
+
+    #[test]
+    fn update_maintains_indexes() {
+        let mut t = object_table();
+        let r = t.insert(obj(1, 10, "A")).unwrap();
+        t.insert(obj(2, 10, "B")).unwrap();
+        t.update(r, obj(1, 11, "C")).unwrap();
+        assert!(t.lookup("by_acc", &[Value::Int(10), Value::text("A")]).unwrap().is_empty());
+        assert_eq!(
+            t.lookup("by_acc", &[Value::Int(11), Value::text("C")]).unwrap().len(),
+            1
+        );
+        // update into an existing unique key fails and leaves state intact
+        let err = t.update(r, obj(1, 10, "B")).unwrap_err();
+        assert!(matches!(err, StoreError::UniqueViolation { .. }));
+        assert_eq!(t.get(r).unwrap().get(2), &Value::text("C"));
+    }
+
+    #[test]
+    fn select_uses_index_and_residual_filter() {
+        let mut t = object_table();
+        for i in 0..100 {
+            t.insert(obj(i, i % 5, &format!("ACC{i}"))).unwrap();
+        }
+        // fully pinned secondary index
+        let hits = t
+            .select(&Predicate::eq("source_id", Value::Int(3)))
+            .unwrap();
+        assert_eq!(hits.len(), 20);
+        assert!(hits.iter().all(|r| r.get(1) == &Value::Int(3)));
+        // index lookup + residual range filter
+        let p = Predicate::eq("source_id", Value::Int(3))
+            .and(Predicate::cmp("object_id", CmpOp::Lt, Value::Int(50)));
+        let hits = t.select(&p).unwrap();
+        assert_eq!(hits.len(), 10);
+        assert_eq!(t.count(&p).unwrap(), 10);
+        // no usable index: full scan
+        let hits = t
+            .select(&Predicate::cmp("object_id", CmpOp::Ge, Value::Int(90)))
+            .unwrap();
+        assert_eq!(hits.len(), 10);
+    }
+
+    #[test]
+    fn select_equals_scan_semantics() {
+        let mut t = object_table();
+        for i in 0..50 {
+            t.insert(obj(i, i % 7, &format!("A{i}"))).unwrap();
+        }
+        let p = Predicate::eq("source_id", Value::Int(2));
+        let via_index = t.select(&p).unwrap();
+        let bound = p.bind(t.schema()).unwrap();
+        let via_scan: Vec<Row> = t
+            .scan()
+            .filter(|(_, r)| bound.matches(r.values()))
+            .map(|(_, r)| r.clone())
+            .collect();
+        assert_eq!(via_index, via_scan);
+    }
+
+    #[test]
+    fn prefix_lookup() {
+        let mut t = object_table();
+        t.insert(obj(1, 10, "A")).unwrap();
+        t.insert(obj(2, 10, "B")).unwrap();
+        t.insert(obj(3, 11, "A")).unwrap();
+        let hits = t.lookup_prefix("by_acc", &[Value::Int(10)]).unwrap();
+        assert_eq!(hits.len(), 2);
+    }
+
+    #[test]
+    fn insert_at_replay_semantics() {
+        let mut t = object_table();
+        t.insert_at(RowId(3), obj(1, 10, "A")).unwrap();
+        assert_eq!(t.len(), 1);
+        assert_eq!(t.next_row_id(), RowId(4));
+        // below high-water mark is corrupt
+        assert!(t.insert_at(RowId(2), obj(2, 10, "B")).is_err());
+        // normal insert continues above
+        assert_eq!(t.insert(obj(2, 10, "B")).unwrap(), RowId(4));
+    }
+
+    #[test]
+    fn range_scan_served_by_index_matches_full_scan() {
+        let mut t = Table::new(
+            Schema::builder("pos")
+                .column(Column::new("id", ValueType::Int))
+                .column(Column::new("start", ValueType::Float))
+                .primary_key(&["id"])
+                .index("by_start", &["start"])
+                .build()
+                .unwrap(),
+        );
+        for i in 0..200i64 {
+            t.insert(vec![Value::Int(i), Value::Float((i * 7 % 199) as f64)])
+                .unwrap();
+        }
+        let p = Predicate::cmp("start", CmpOp::Ge, Value::Float(50.0))
+            .and(Predicate::cmp("start", CmpOp::Lt, Value::Float(100.0)));
+        // the planner must produce exactly what a full scan produces
+        let via_index = t.select_with_ids(&p).unwrap();
+        let bound = p.bind(t.schema()).unwrap();
+        let via_scan: Vec<(RowId, Row)> = t
+            .scan()
+            .filter(|(_, r)| bound.matches(r.values()))
+            .map(|(id, r)| (id, r.clone()))
+            .collect();
+        assert_eq!(via_index, via_scan);
+        assert_eq!(via_index.len(), 50);
+        // open-ended ranges too
+        let p = Predicate::cmp("start", CmpOp::Gt, Value::Float(190.0));
+        assert_eq!(t.select(&p).unwrap().len(), 8);
+        // residues 0..=3, with 0 occurring twice (i = 0 and i = 199)
+        let p = Predicate::cmp("start", CmpOp::Le, Value::Float(3.0));
+        assert_eq!(t.select(&p).unwrap().len(), 5);
+    }
+
+    #[test]
+    fn group_count_and_distinct() {
+        let mut t = object_table();
+        for i in 0..10 {
+            t.insert(obj(i, i % 3, &format!("A{i}"))).unwrap();
+        }
+        t.delete(RowId(0)).unwrap(); // deleted rows excluded
+        let counts = t.group_count("source_id").unwrap();
+        assert_eq!(
+            counts,
+            vec![
+                (Value::Int(0), 3), // 0,3,6,9 minus deleted row 0
+                (Value::Int(1), 3),
+                (Value::Int(2), 3),
+            ]
+        );
+        assert_eq!(
+            t.distinct_values("source_id").unwrap(),
+            vec![Value::Int(0), Value::Int(1), Value::Int(2)]
+        );
+        assert!(t.group_count("nope").is_err());
+    }
+
+    #[test]
+    fn lookup_unique_and_missing_index() {
+        let mut t = object_table();
+        t.insert(obj(1, 10, "A")).unwrap();
+        let hit = t
+            .lookup_unique("pk", &[Value::Int(1)])
+            .unwrap()
+            .expect("row exists");
+        assert_eq!(hit.get(2), &Value::text("A"));
+        assert!(t.lookup_unique("pk", &[Value::Int(9)]).unwrap().is_none());
+        assert!(matches!(
+            t.lookup("nope", &[Value::Int(1)]),
+            Err(StoreError::NoSuchIndex { .. })
+        ));
+    }
+}

@@ -1,0 +1,106 @@
+//! GeneMap dialect — genome positions in a GFF-like table, standing in for
+//! the genome-mapping sources of the paper's §1 (Ensembl, UCSC Human
+//! Genome Browser): "a few sources focus on sequence-based objects and
+//! uniformly map them onto the genome".
+//!
+//! `chromosome <TAB> start <TAB> end <TAB> locuslink`. Each row defines a
+//! position object (accession `chr:start-end`, numeric component = start)
+//! and a fact link to the locus it places.
+
+use crate::dialects::names;
+use crate::universe::Universe;
+use crate::ParseError;
+use eav::{EavBatch, EavRecord, SourceMeta};
+use gam::model::SourceContent;
+use std::fmt::Write as _;
+
+/// Release tag (genome assembly).
+pub const RELEASE: &str = "hg16";
+
+/// Render the GeneMap table.
+pub fn generate(u: &Universe) -> String {
+    let mut out = String::new();
+    for locus in &u.loci {
+        let start = locus.position;
+        let end = start + 3_000 + u64::from(locus.id % 50_000);
+        let _ = writeln!(
+            out,
+            "chr{}\t{start}\t{end}\t{}",
+            locus.chromosome, locus.id
+        );
+    }
+    out
+}
+
+/// Parse a GeneMap table into EAV staging records.
+pub fn parse(text: &str) -> Result<EavBatch, ParseError> {
+    const D: &str = "GeneMap";
+    let mut batch = EavBatch::new(SourceMeta {
+        name: names::GENEMAP.to_owned(),
+        release: RELEASE.to_owned(),
+        content: SourceContent::Other,
+        structure: gam::model::SourceStructure::Flat,
+        partitions: Vec::new(),
+    });
+    for (lineno, line) in text.lines().enumerate() {
+        let lineno = lineno + 1;
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let fields: Vec<&str> = line.split('\t').collect();
+        if fields.len() != 4 {
+            return Err(ParseError::at(D, lineno, "expected 4 TSV fields"));
+        }
+        let (chrom, start, end, locus) = (fields[0], fields[1], fields[2], fields[3]);
+        let start_n: u64 = start
+            .parse()
+            .map_err(|_| ParseError::at(D, lineno, "bad start coordinate"))?;
+        let end_n: u64 = end
+            .parse()
+            .map_err(|_| ParseError::at(D, lineno, "bad end coordinate"))?;
+        if end_n <= start_n {
+            return Err(ParseError::at(D, lineno, "empty or inverted interval"));
+        }
+        if locus.is_empty() {
+            return Err(ParseError::at(D, lineno, "empty locus"));
+        }
+        let acc = format!("{chrom}:{start}-{end}");
+        batch.push(EavRecord::Object {
+            accession: acc.clone(),
+            text: None,
+            number: Some(start_n as f64),
+        });
+        batch.push(EavRecord::annotation(&acc, names::LOCUSLINK, locus));
+    }
+    batch.sanitize();
+    Ok(batch)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::universe::UniverseParams;
+
+    #[test]
+    fn roundtrip() {
+        let u = Universe::generate(UniverseParams::tiny(12));
+        let batch = parse(&generate(&u)).unwrap();
+        let (objects, annotations, _) = batch.counts();
+        assert_eq!(objects, u.loci.len());
+        assert_eq!(annotations, u.loci.len());
+        // position objects carry their start coordinate as number
+        let has_number = batch.records.iter().any(|r| {
+            matches!(r, EavRecord::Object { number: Some(n), .. } if *n > 0.0)
+        });
+        assert!(has_number);
+    }
+
+    #[test]
+    fn malformed() {
+        assert!(parse("chr1\t10\n").is_err());
+        assert!(parse("chr1\tten\t20\t353\n").is_err());
+        assert!(parse("chr1\t10\t5\t353\n").is_err(), "inverted interval");
+        assert!(parse("chr1\t10\t20\t\n").is_err());
+        assert!(parse("# comment\n").unwrap().records.is_empty());
+    }
+}

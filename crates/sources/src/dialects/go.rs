@@ -1,0 +1,170 @@
+//! GeneOntology dialect — an OBO-style stanza format.
+//!
+//! GO is the paper's flagship *Network* source: a taxonomy in three
+//! sub-divisions (Biological Process, Molecular Function, Cellular
+//! Component) related to the GO source by `Contains`, with `IS_A` edges
+//! between terms (paper §3, "Structural relationships").
+
+use crate::dialects::names;
+use crate::universe::{Universe, GO_NAMESPACES, GO_PARTITIONS};
+use crate::ParseError;
+use eav::{EavBatch, EavRecord, SourceMeta};
+use gam::model::SourceContent;
+use std::fmt::Write as _;
+
+/// Release tag of the generated ontology.
+pub const RELEASE: &str = "200312";
+
+/// Render the GO term stanzas.
+pub fn generate(u: &Universe) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "format-version: 1.0");
+    let _ = writeln!(out, "date: {RELEASE}");
+    for term in &u.go_terms {
+        let _ = writeln!(out);
+        let _ = writeln!(out, "[Term]");
+        let _ = writeln!(out, "id: {}", term.acc);
+        let _ = writeln!(out, "name: {}", term.name);
+        let _ = writeln!(out, "namespace: {}", GO_NAMESPACES[term.namespace]);
+        for &p in &term.parents {
+            let parent = &u.go_terms[p];
+            let _ = writeln!(out, "is_a: {} ! {}", parent.acc, parent.name);
+        }
+    }
+    out
+}
+
+/// Parse a GO dump into EAV staging records. Emits one `Object` per term
+/// and one `IsA` edge per `is_a:` line. Partition names are derived from
+/// the namespaces seen.
+pub fn parse(text: &str) -> Result<EavBatch, ParseError> {
+    const D: &str = "GO";
+    let mut meta = SourceMeta::network(names::GO, RELEASE, SourceContent::Other);
+    let mut records = Vec::new();
+    let mut seen_namespaces = [false; 3];
+
+    let mut in_term = false;
+    let mut id: Option<String> = None;
+    let mut name: Option<String> = None;
+    let mut parents: Vec<String> = Vec::new();
+
+    let flush = |id: &mut Option<String>,
+                     name: &mut Option<String>,
+                     parents: &mut Vec<String>,
+                     records: &mut Vec<EavRecord>|
+     -> Result<(), ParseError> {
+        if let Some(acc) = id.take() {
+            match name.take() {
+                Some(n) => records.push(EavRecord::named_object(&acc, n)),
+                None => records.push(EavRecord::object(&acc)),
+            }
+            for p in parents.drain(..) {
+                records.push(EavRecord::is_a(&acc, p));
+            }
+        } else if name.is_some() || !parents.is_empty() {
+            return Err(ParseError::general(D, "term stanza without id"));
+        }
+        Ok(())
+    };
+
+    for (lineno, line) in text.lines().enumerate() {
+        let lineno = lineno + 1;
+        let line = line.trim();
+        if line == "[Term]" {
+            flush(&mut id, &mut name, &mut parents, &mut records)?;
+            in_term = true;
+            continue;
+        }
+        if line.is_empty() || line.starts_with("format-version:") || line.starts_with("date:") {
+            continue;
+        }
+        if !in_term {
+            return Err(ParseError::at(D, lineno, "field outside [Term] stanza"));
+        }
+        let (key, value) = line
+            .split_once(':')
+            .ok_or_else(|| ParseError::at(D, lineno, "field without colon"))?;
+        let value = value.trim();
+        match key {
+            "id" => id = Some(value.to_owned()),
+            "name" => name = Some(value.to_owned()),
+            "namespace" => {
+                let ns = GO_NAMESPACES
+                    .iter()
+                    .position(|n| *n == value)
+                    .ok_or_else(|| ParseError::at(D, lineno, "unknown namespace"))?;
+                seen_namespaces[ns] = true;
+            }
+            "is_a" => {
+                // strip the trailing "! parent name" comment
+                let acc = value.split('!').next().unwrap_or("").trim();
+                if acc.is_empty() {
+                    return Err(ParseError::at(D, lineno, "empty is_a target"));
+                }
+                parents.push(acc.to_owned());
+            }
+            other => return Err(ParseError::at(D, lineno, format!("unknown field {other}"))),
+        }
+    }
+    flush(&mut id, &mut name, &mut parents, &mut records)?;
+
+    for (ns, seen) in seen_namespaces.iter().enumerate() {
+        if *seen {
+            meta.partitions.push(GO_PARTITIONS[ns].to_owned());
+        }
+    }
+    let mut batch = EavBatch { meta, records };
+    batch.sanitize();
+    Ok(batch)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::universe::UniverseParams;
+
+    #[test]
+    fn roundtrip_structure() {
+        let u = Universe::generate(UniverseParams::tiny(3));
+        let batch = parse(&generate(&u)).unwrap();
+        let (objects, annotations, isa) = batch.counts();
+        assert_eq!(objects, u.go_terms.len());
+        assert_eq!(annotations, 0);
+        let expected_edges: usize = u.go_terms.iter().map(|t| t.parents.len()).sum();
+        assert_eq!(isa, expected_edges);
+        assert_eq!(
+            batch.meta.partitions,
+            vec!["BiologicalProcess", "MolecularFunction", "CellularComponent"]
+        );
+        assert!(batch
+            .records
+            .contains(&EavRecord::named_object("GO:0009116", "nucleoside metabolism")));
+        assert!(batch
+            .records
+            .contains(&EavRecord::is_a("GO:0009116", "GO:0008150")));
+    }
+
+    #[test]
+    fn is_a_comment_stripping() {
+        let text = "[Term]\nid: GO:1\nname: x\nnamespace: biological_process\nis_a: GO:2 ! parent thing\n";
+        let batch = parse(text).unwrap();
+        assert!(batch.records.contains(&EavRecord::is_a("GO:1", "GO:2")));
+        assert_eq!(batch.meta.partitions, vec!["BiologicalProcess"]);
+    }
+
+    #[test]
+    fn malformed_stanzas_rejected() {
+        assert!(parse("id: GO:1\n").is_err(), "field outside stanza");
+        assert!(parse("[Term]\nname: orphan\n").is_err(), "stanza without id");
+        assert!(parse("[Term]\nid: GO:1\nnamespace: bogus\n").is_err());
+        assert!(parse("[Term]\nid: GO:1\nwhatever: x\n").is_err());
+        assert!(parse("[Term]\nid: GO:1\nis_a: !\n").is_err());
+        assert!(parse("[Term]\nid: GO:1\nnocolonhere\n").is_err());
+    }
+
+    #[test]
+    fn header_lines_ignored() {
+        let batch = parse("format-version: 1.0\ndate: 200312\n").unwrap();
+        assert!(batch.records.is_empty());
+    }
+}

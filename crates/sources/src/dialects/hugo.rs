@@ -1,0 +1,82 @@
+//! Hugo dialect — the official gene nomenclature as a CSV table.
+//!
+//! `symbol,name,locuslink`. Hugo provides "official gene symbols" (paper
+//! §2); each symbol is an object whose name is the approved gene name, with
+//! a fact link back to LocusLink.
+
+use crate::dialects::names;
+use crate::universe::Universe;
+use crate::ParseError;
+use eav::{EavBatch, EavRecord, SourceMeta};
+use std::fmt::Write as _;
+
+/// Release tag.
+pub const RELEASE: &str = "2003-11";
+
+/// Render the Hugo CSV.
+pub fn generate(u: &Universe) -> String {
+    let mut out = String::from("symbol,name,locuslink\n");
+    for locus in &u.loci {
+        let _ = writeln!(out, "{},{},{}", locus.symbol, locus.name, locus.id);
+    }
+    out
+}
+
+/// Parse a Hugo CSV into EAV staging records.
+pub fn parse(text: &str) -> Result<EavBatch, ParseError> {
+    const D: &str = "Hugo";
+    let mut lines = text.lines().enumerate();
+    match lines.next() {
+        Some((_, "symbol,name,locuslink")) => {}
+        _ => return Err(ParseError::general(D, "missing or bad CSV header")),
+    }
+    let mut batch = EavBatch::new(SourceMeta::flat_gene(names::HUGO, RELEASE));
+    for (lineno, line) in lines {
+        let lineno = lineno + 1;
+        if line.is_empty() {
+            continue;
+        }
+        let fields: Vec<&str> = line.split(',').collect();
+        if fields.len() != 3 {
+            return Err(ParseError::at(D, lineno, "expected 3 CSV fields"));
+        }
+        let (symbol, name, locus) = (fields[0], fields[1], fields[2]);
+        if symbol.is_empty() || locus.is_empty() {
+            return Err(ParseError::at(D, lineno, "empty key field"));
+        }
+        batch.push(EavRecord::named_object(symbol, name));
+        batch.push(EavRecord::annotation(symbol, names::LOCUSLINK, locus));
+    }
+    batch.sanitize();
+    Ok(batch)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::universe::UniverseParams;
+
+    #[test]
+    fn roundtrip() {
+        let u = Universe::generate(UniverseParams::tiny(6));
+        let batch = parse(&generate(&u)).unwrap();
+        let (objects, annotations, _) = batch.counts();
+        assert_eq!(objects, u.loci.len());
+        assert_eq!(annotations, u.loci.len());
+        assert!(batch.records.contains(&EavRecord::named_object(
+            "APRT",
+            "adenine phosphoribosyltransferase"
+        )));
+        assert!(batch
+            .records
+            .contains(&EavRecord::annotation("APRT", "LocusLink", "353")));
+    }
+
+    #[test]
+    fn malformed() {
+        assert!(parse("").is_err(), "missing header");
+        assert!(parse("wrong,header,here\n").is_err());
+        assert!(parse("symbol,name,locuslink\na,b\n").is_err());
+        assert!(parse("symbol,name,locuslink\n,name,1\n").is_err());
+    }
+}

@@ -1,0 +1,84 @@
+//! InterPro dialect — protein domain/family entries as a TSV listing with
+//! an explicit parent column (InterPro maintains a parent/child tree, so
+//! the source is imported as a `Network` source with IS_A edges).
+
+use crate::dialects::names;
+use crate::universe::Universe;
+use crate::ParseError;
+use eav::{EavBatch, EavRecord, SourceMeta};
+use gam::model::SourceContent;
+use std::fmt::Write as _;
+
+/// Release tag.
+pub const RELEASE: &str = "7.1";
+
+/// Render the InterPro TSV.
+pub fn generate(u: &Universe) -> String {
+    let mut out = String::from("accession\tname\tparent\n");
+    for d in &u.interpro {
+        let parent = d
+            .parent
+            .map(|p| u.interpro[p].acc.clone())
+            .unwrap_or_else(|| "-".to_owned());
+        let _ = writeln!(out, "{}\t{}\t{parent}", d.acc, d.name);
+    }
+    out
+}
+
+/// Parse an InterPro TSV into EAV staging records.
+pub fn parse(text: &str) -> Result<EavBatch, ParseError> {
+    const D: &str = "InterPro";
+    let mut lines = text.lines().enumerate();
+    match lines.next() {
+        Some((_, "accession\tname\tparent")) => {}
+        _ => return Err(ParseError::general(D, "missing or bad TSV header")),
+    }
+    let mut batch = EavBatch::new(SourceMeta::network(
+        names::INTERPRO,
+        RELEASE,
+        SourceContent::Protein,
+    ));
+    for (lineno, line) in lines {
+        let lineno = lineno + 1;
+        if line.is_empty() {
+            continue;
+        }
+        let fields: Vec<&str> = line.split('\t').collect();
+        if fields.len() != 3 {
+            return Err(ParseError::at(D, lineno, "expected 3 TSV fields"));
+        }
+        let (acc, name, parent) = (fields[0], fields[1], fields[2]);
+        if acc.is_empty() {
+            return Err(ParseError::at(D, lineno, "empty accession"));
+        }
+        batch.push(EavRecord::named_object(acc, name));
+        if parent != "-" {
+            batch.push(EavRecord::is_a(acc, parent));
+        }
+    }
+    batch.sanitize();
+    Ok(batch)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::universe::UniverseParams;
+
+    #[test]
+    fn roundtrip() {
+        let u = Universe::generate(UniverseParams::tiny(11));
+        let batch = parse(&generate(&u)).unwrap();
+        let (objects, _, isa) = batch.counts();
+        assert_eq!(objects, u.interpro.len());
+        let expected = u.interpro.iter().filter(|d| d.parent.is_some()).count();
+        assert_eq!(isa, expected);
+    }
+
+    #[test]
+    fn malformed() {
+        assert!(parse("").is_err());
+        assert!(parse("accession\tname\tparent\na\tb\n").is_err());
+        assert!(parse("accession\tname\tparent\n\tname\t-\n").is_err());
+    }
+}

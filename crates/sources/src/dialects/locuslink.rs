@@ -1,0 +1,159 @@
+//! LocusLink dialect — the hub gene source (paper Figure 1).
+//!
+//! Format: one record per locus, started by `>>accession`, followed by
+//! `KEY: value` lines. The record carries the cross-references shown in the
+//! paper's Figure 1: Hugo symbol, alias, chromosome, cytogenetic location,
+//! OMIM, Enzyme, GO, and UniGene.
+
+use crate::dialects::names;
+use crate::universe::Universe;
+use crate::ParseError;
+use eav::{EavBatch, EavRecord, SourceMeta};
+use std::fmt::Write as _;
+
+/// Release tag rendered into dumps and used for source-level dedup.
+pub const RELEASE: &str = "2003-10";
+
+/// Render the LocusLink dump.
+pub fn generate(u: &Universe) -> String {
+    let mut out = String::new();
+    for locus in &u.loci {
+        let _ = writeln!(out, ">>{}", locus.id);
+        let _ = writeln!(out, "SYMBOL: {}", locus.symbol);
+        let _ = writeln!(out, "NAME: {}", locus.name);
+        let _ = writeln!(out, "CHR: {}", locus.chromosome);
+        let _ = writeln!(out, "MAP: {}", locus.location);
+        if let Some(e) = locus.enzyme {
+            let _ = writeln!(out, "EC: {}", u.enzymes[e].ec);
+        }
+        for &g in &locus.go_terms {
+            let t = &u.go_terms[g];
+            let _ = writeln!(out, "GO: {}|{}", t.acc, t.name);
+        }
+        for &o in &locus.omim {
+            let _ = writeln!(out, "OMIM: {}", u.omim[o].id);
+        }
+        let _ = writeln!(out, "UNIGENE: {}", u.unigene[locus.unigene].acc);
+    }
+    out
+}
+
+/// Parse a LocusLink dump into EAV staging records.
+pub fn parse(text: &str) -> Result<EavBatch, ParseError> {
+    const D: &str = "LocusLink";
+    let mut batch = EavBatch::new(SourceMeta::flat_gene(names::LOCUSLINK, RELEASE));
+    let mut current: Option<String> = None;
+    for (lineno, line) in text.lines().enumerate() {
+        let lineno = lineno + 1;
+        let line = line.trim_end();
+        if line.is_empty() {
+            continue;
+        }
+        if let Some(acc) = line.strip_prefix(">>") {
+            let acc = acc.trim();
+            if acc.is_empty() {
+                return Err(ParseError::at(D, lineno, "empty locus accession"));
+            }
+            batch.push(EavRecord::object(acc));
+            current = Some(acc.to_owned());
+            continue;
+        }
+        let entity = current
+            .as_deref()
+            .ok_or_else(|| ParseError::at(D, lineno, "field before first record"))?
+            .to_owned();
+        let (key, value) = line
+            .split_once(':')
+            .ok_or_else(|| ParseError::at(D, lineno, "field without colon"))?;
+        let value = value.trim();
+        if value.is_empty() {
+            return Err(ParseError::at(D, lineno, "empty field value"));
+        }
+        match key.trim() {
+            "SYMBOL" => batch.push(EavRecord::annotation(&entity, names::HUGO, value)),
+            // NAME is the locus's own textual component; attach it to the
+            // object record via a refreshed Object entry.
+            "NAME" => batch.push(EavRecord::named_object(&entity, value)),
+            "CHR" => batch.push(EavRecord::annotation(&entity, names::CHROMOSOME, value)),
+            "MAP" => batch.push(EavRecord::annotation(&entity, names::LOCATION, value)),
+            "EC" => batch.push(EavRecord::annotation(&entity, names::ENZYME, value)),
+            "GO" => {
+                let (acc, name) = value
+                    .split_once('|')
+                    .ok_or_else(|| ParseError::at(D, lineno, "GO field needs acc|name"))?;
+                batch.push(EavRecord::annotation_with_text(&entity, names::GO, acc, name));
+            }
+            "OMIM" => batch.push(EavRecord::annotation(&entity, names::OMIM, value)),
+            "UNIGENE" => batch.push(EavRecord::annotation(&entity, names::UNIGENE, value)),
+            other => {
+                return Err(ParseError::at(D, lineno, format!("unknown field {other}")));
+            }
+        }
+    }
+    batch.sanitize();
+    Ok(batch)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::universe::UniverseParams;
+
+    #[test]
+    fn generates_paper_figure1_record() {
+        let u = Universe::generate(UniverseParams::tiny(1));
+        let dump = generate(&u);
+        assert!(dump.contains(">>353"));
+        assert!(dump.contains("SYMBOL: APRT"));
+        assert!(dump.contains("MAP: 16q24"));
+        assert!(dump.contains("EC: 2.4.2.7"));
+        assert!(dump.contains("GO: GO:0009116|nucleoside metabolism"));
+        assert!(dump.contains("OMIM: 102600"));
+    }
+
+    #[test]
+    fn parse_emits_table1_quadruples() {
+        let u = Universe::generate(UniverseParams::tiny(1));
+        let batch = parse(&generate(&u)).unwrap();
+        assert_eq!(batch.meta.name, "LocusLink");
+        // the Table 1 rows for locus 353
+        assert!(batch
+            .records
+            .contains(&EavRecord::annotation("353", "Hugo", "APRT")));
+        assert!(batch
+            .records
+            .contains(&EavRecord::annotation("353", "Location", "16q24")));
+        assert!(batch
+            .records
+            .contains(&EavRecord::annotation("353", "Enzyme", "2.4.2.7")));
+        assert!(batch.records.contains(&EavRecord::annotation_with_text(
+            "353",
+            "GO",
+            "GO:0009116",
+            "nucleoside metabolism"
+        )));
+        // every locus appears as an object
+        let (objects, annotations, isa) = batch.counts();
+        assert!(objects >= u.loci.len(), "one O record per locus + NAME updates");
+        assert!(annotations > objects);
+        assert_eq!(isa, 0);
+        assert!(batch.referenced_targets().contains(&"Unigene"));
+    }
+
+    #[test]
+    fn parse_errors_are_located() {
+        assert!(parse("SYMBOL: X\n").is_err(), "field before record");
+        assert!(parse(">>1\nNOCOLON\n").is_err());
+        assert!(parse(">>1\nBOGUS: x\n").is_err());
+        assert!(parse(">>1\nGO: missingpipe\n").is_err());
+        assert!(parse(">>\n").is_err());
+        let err = parse(">>1\nSYMBOL:\n").unwrap_err();
+        assert_eq!(err.line, Some(2));
+    }
+
+    #[test]
+    fn empty_dump_is_empty_batch() {
+        let batch = parse("").unwrap();
+        assert_eq!(batch.records.len(), 0);
+    }
+}

@@ -1,0 +1,37 @@
+//! Source dialects: one module per synthetic public source.
+//!
+//! Each module provides `generate(&Universe) -> String` (render the shared
+//! ground truth into the source's native flat-file format) and
+//! `parse(&str) -> Result<EavBatch, ParseError>` (the paper's
+//! source-specific Parse step). Parsers never consult the universe — they
+//! see only the flat file, like real parsers see only the downloaded dump.
+
+pub mod enzyme;
+pub mod genemap;
+pub mod go;
+pub mod hugo;
+pub mod interpro;
+pub mod locuslink;
+pub mod netaffx;
+pub mod omim;
+pub mod satellite;
+pub mod swissprot;
+pub mod unigene;
+
+/// Canonical source names, as registered in GAM.
+pub mod names {
+    pub const LOCUSLINK: &str = "LocusLink";
+    pub const GO: &str = "GO";
+    pub const UNIGENE: &str = "Unigene";
+    pub const ENZYME: &str = "Enzyme";
+    pub const HUGO: &str = "Hugo";
+    pub const OMIM: &str = "OMIM";
+    pub const NETAFFX: &str = "NetAffx";
+    pub const SWISSPROT: &str = "SwissProt";
+    pub const INTERPRO: &str = "InterPro";
+    pub const GENEMAP: &str = "GeneMap";
+    /// Pseudo-targets carried inside LocusLink records (paper Figure 1
+    /// shows Location and Chr as annotation columns in their own right).
+    pub const LOCATION: &str = "Location";
+    pub const CHROMOSOME: &str = "Chr";
+}

@@ -1,0 +1,148 @@
+//! OMIM dialect — disease catalogue in `*FIELD*` stanza format.
+//!
+//! Each entry:
+//!
+//! ```text
+//! *RECORD*
+//! *FIELD* NO
+//! 102600
+//! *FIELD* TI
+//! APRT DEFICIENCY
+//! *FIELD* LL
+//! 353
+//! ```
+//!
+//! OMIM supplies the "disease information" annotations of Figure 1.
+
+use crate::dialects::names;
+use crate::universe::Universe;
+use crate::ParseError;
+use eav::{EavBatch, EavRecord, SourceMeta};
+use gam::model::SourceContent;
+use std::fmt::Write as _;
+
+/// Release tag.
+pub const RELEASE: &str = "2003-12-15";
+
+/// Render the OMIM dump.
+pub fn generate(u: &Universe) -> String {
+    let mut out = String::new();
+    for entry in &u.omim {
+        let _ = writeln!(out, "*RECORD*");
+        let _ = writeln!(out, "*FIELD* NO");
+        let _ = writeln!(out, "{}", entry.id);
+        let _ = writeln!(out, "*FIELD* TI");
+        let _ = writeln!(out, "{}", entry.title);
+        let _ = writeln!(out, "*FIELD* LL");
+        for &l in &entry.loci {
+            let _ = writeln!(out, "{}", u.loci[l].id);
+        }
+    }
+    out
+}
+
+/// Parse an OMIM dump into EAV staging records.
+pub fn parse(text: &str) -> Result<EavBatch, ParseError> {
+    const D: &str = "OMIM";
+    let mut batch = EavBatch::new(SourceMeta {
+        name: names::OMIM.to_owned(),
+        release: RELEASE.to_owned(),
+        content: SourceContent::Other,
+        structure: gam::model::SourceStructure::Flat,
+        partitions: Vec::new(),
+    });
+    #[derive(PartialEq, Clone, Copy)]
+    enum Field {
+        None,
+        No,
+        Ti,
+        Ll,
+    }
+    let mut field = Field::None;
+    let mut no: Option<String> = None;
+    let mut ti: Option<String> = None;
+    let mut lls: Vec<String> = Vec::new();
+
+    let flush = |no: &mut Option<String>,
+                     ti: &mut Option<String>,
+                     lls: &mut Vec<String>,
+                     batch: &mut EavBatch|
+     -> Result<(), ParseError> {
+        if let Some(id) = no.take() {
+            match ti.take() {
+                Some(title) => batch.push(EavRecord::named_object(&id, title)),
+                None => batch.push(EavRecord::object(&id)),
+            }
+            for ll in lls.drain(..) {
+                batch.push(EavRecord::annotation(&id, names::LOCUSLINK, ll));
+            }
+        } else if ti.is_some() || !lls.is_empty() {
+            return Err(ParseError::general(D, "record without *FIELD* NO"));
+        }
+        Ok(())
+    };
+
+    for (lineno, line) in text.lines().enumerate() {
+        let lineno = lineno + 1;
+        let line = line.trim_end();
+        if line.is_empty() {
+            continue;
+        }
+        if line == "*RECORD*" {
+            flush(&mut no, &mut ti, &mut lls, &mut batch)?;
+            field = Field::None;
+            continue;
+        }
+        if let Some(tag) = line.strip_prefix("*FIELD* ") {
+            field = match tag {
+                "NO" => Field::No,
+                "TI" => Field::Ti,
+                "LL" => Field::Ll,
+                other => return Err(ParseError::at(D, lineno, format!("unknown field {other}"))),
+            };
+            continue;
+        }
+        match field {
+            Field::No => no = Some(line.to_owned()),
+            Field::Ti => ti = Some(line.to_owned()),
+            Field::Ll => lls.push(line.to_owned()),
+            Field::None => return Err(ParseError::at(D, lineno, "data outside a field")),
+        }
+    }
+    flush(&mut no, &mut ti, &mut lls, &mut batch)?;
+    batch.sanitize();
+    Ok(batch)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::universe::UniverseParams;
+
+    #[test]
+    fn roundtrip() {
+        let u = Universe::generate(UniverseParams::tiny(8));
+        let batch = parse(&generate(&u)).unwrap();
+        let (objects, annotations, _) = batch.counts();
+        assert_eq!(objects, u.omim.len());
+        let expected_links: usize = u.omim.iter().map(|e| e.loci.len()).sum();
+        assert_eq!(annotations, expected_links);
+        // the pinned APRT-deficiency entry links to locus 353
+        assert!(batch
+            .records
+            .contains(&EavRecord::annotation("102600", "LocusLink", "353")));
+    }
+
+    #[test]
+    fn malformed() {
+        assert!(parse("data first\n").is_err());
+        assert!(parse("*RECORD*\n*FIELD* XX\n").is_err());
+        assert!(parse("*RECORD*\n*FIELD* TI\ntitle only\n").is_err(), "record missing NO");
+    }
+
+    #[test]
+    fn entry_without_title_is_kept() {
+        let batch = parse("*RECORD*\n*FIELD* NO\n999999\n").unwrap();
+        assert_eq!(batch.records, vec![EavRecord::object("999999")]);
+    }
+}

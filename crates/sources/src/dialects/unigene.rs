@@ -1,0 +1,89 @@
+//! UniGene dialect — a pipe-separated cluster table.
+//!
+//! One line per cluster: `ID|TITLE|LOCUSLINK[,LOCUSLINK...]`. UniGene is
+//! the "generally accepted gene representation" the paper's profiling
+//! pipeline maps Affymetrix probes onto (§5.2).
+
+use crate::dialects::names;
+use crate::universe::Universe;
+use crate::ParseError;
+use eav::{EavBatch, EavRecord, SourceMeta};
+use std::fmt::Write as _;
+
+/// Release tag (UniGene "build" number).
+pub const RELEASE: &str = "Hs.build171";
+
+/// Render the UniGene cluster table.
+pub fn generate(u: &Universe) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "# UniGene build {RELEASE}");
+    for cluster in &u.unigene {
+        let loci: Vec<String> = cluster
+            .loci
+            .iter()
+            .map(|&l| u.loci[l].id.to_string())
+            .collect();
+        let _ = writeln!(out, "{}|{}|{}", cluster.acc, cluster.title, loci.join(","));
+    }
+    out
+}
+
+/// Parse a UniGene table into EAV staging records.
+pub fn parse(text: &str) -> Result<EavBatch, ParseError> {
+    const D: &str = "Unigene";
+    let mut batch = EavBatch::new(SourceMeta::flat_gene(names::UNIGENE, RELEASE));
+    for (lineno, line) in text.lines().enumerate() {
+        let lineno = lineno + 1;
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let fields: Vec<&str> = line.split('|').collect();
+        if fields.len() != 3 {
+            return Err(ParseError::at(D, lineno, "expected ID|TITLE|LOCI"));
+        }
+        let (acc, title, loci) = (fields[0], fields[1], fields[2]);
+        if acc.is_empty() {
+            return Err(ParseError::at(D, lineno, "empty cluster id"));
+        }
+        batch.push(EavRecord::named_object(acc, title));
+        for locus in loci.split(',').filter(|s| !s.is_empty()) {
+            batch.push(EavRecord::annotation(acc, names::LOCUSLINK, locus));
+        }
+    }
+    batch.sanitize();
+    Ok(batch)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::universe::UniverseParams;
+
+    #[test]
+    fn roundtrip_counts() {
+        let u = Universe::generate(UniverseParams::tiny(4));
+        let batch = parse(&generate(&u)).unwrap();
+        let (objects, annotations, _) = batch.counts();
+        assert_eq!(objects, u.unigene.len());
+        assert_eq!(annotations, u.loci.len(), "one link per member locus");
+        assert_eq!(batch.referenced_targets(), vec!["LocusLink"]);
+    }
+
+    #[test]
+    fn cluster_links_back_to_locus_353() {
+        let u = Universe::generate(UniverseParams::tiny(4));
+        let batch = parse(&generate(&u)).unwrap();
+        let cluster = &u.unigene[u.locus_353().unigene];
+        assert!(batch
+            .records
+            .contains(&EavRecord::annotation(&cluster.acc, "LocusLink", "353")));
+    }
+
+    #[test]
+    fn malformed_lines() {
+        assert!(parse("only|two\n").is_err());
+        assert!(parse("|title|1\n").is_err());
+        // comments and blanks are fine
+        assert!(parse("# header\n\n").unwrap().records.is_empty());
+    }
+}

@@ -1,0 +1,242 @@
+//! The full source ecosystem at a chosen scale.
+//!
+//! [`Ecosystem::generate`] renders every core dialect from one shared
+//! [`Universe`] plus a configurable number of satellite sources, yielding
+//! the flat-file dumps. [`Ecosystem::parse_all`] runs every parser — the
+//! paper's per-source `Parse` step — producing the EAV batches the generic
+//! Import consumes.
+//!
+//! [`EcosystemParams::paper_scale`] reproduces the §5 deployment numbers
+//! (60+ sources, ~2 M objects, ~5 M associations, 500+ mappings after
+//! derived mappings are materialized).
+
+use crate::dialects::satellite::{Hub, SatelliteSpec};
+use crate::dialects::{self, names};
+use crate::universe::{Universe, UniverseParams};
+use crate::ParseError;
+use eav::EavBatch;
+
+/// Which dialect a dump is written in (decides which parser reads it).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Dialect {
+    LocusLink,
+    Go,
+    Unigene,
+    Enzyme,
+    Hugo,
+    Omim,
+    NetAffx,
+    SwissProt,
+    InterPro,
+    GeneMap,
+    Satellite,
+}
+
+/// One generated source dump.
+#[derive(Debug, Clone)]
+pub struct SourceDump {
+    /// Source name (matches the name inside the dump).
+    pub name: String,
+    pub dialect: Dialect,
+    /// The flat-file text.
+    pub text: String,
+}
+
+impl SourceDump {
+    /// Run the dialect's parser over this dump.
+    pub fn parse(&self) -> Result<EavBatch, ParseError> {
+        match self.dialect {
+            Dialect::LocusLink => dialects::locuslink::parse(&self.text),
+            Dialect::Go => dialects::go::parse(&self.text),
+            Dialect::Unigene => dialects::unigene::parse(&self.text),
+            Dialect::Enzyme => dialects::enzyme::parse(&self.text),
+            Dialect::Hugo => dialects::hugo::parse(&self.text),
+            Dialect::Omim => dialects::omim::parse(&self.text),
+            Dialect::NetAffx => dialects::netaffx::parse(&self.text),
+            Dialect::SwissProt => dialects::swissprot::parse(&self.text),
+            Dialect::InterPro => dialects::interpro::parse(&self.text),
+            Dialect::GeneMap => dialects::genemap::parse(&self.text),
+            Dialect::Satellite => dialects::satellite::parse(&self.text),
+        }
+    }
+}
+
+/// Scale parameters of the ecosystem.
+#[derive(Debug, Clone)]
+pub struct EcosystemParams {
+    pub universe: UniverseParams,
+    /// Number of satellite sources beyond the ten core dialects.
+    pub n_satellites: usize,
+    /// Objects per satellite source.
+    pub satellite_objects: usize,
+    /// Links per satellite object (distributed over the satellite's hubs).
+    pub satellite_links: usize,
+    /// Hubs per satellite (1–4). Paper-scale uses all four, which drives
+    /// the mapping count toward the deployment's 500+ (each hub yields a
+    /// Fact and a Similarity mapping).
+    pub satellite_hubs: usize,
+    /// Fraction of satellite links carrying a computed confidence.
+    pub satellite_scored_fraction: f64,
+}
+
+impl EcosystemParams {
+    /// Small setup for tests and examples: 10 core sources + a few
+    /// satellites.
+    pub fn demo(seed: u64) -> Self {
+        EcosystemParams {
+            universe: UniverseParams::tiny(seed),
+            n_satellites: 4,
+            satellite_objects: 40,
+            satellite_links: 3,
+            satellite_hubs: 2,
+            satellite_scored_fraction: 0.3,
+        }
+    }
+
+    /// Mid-size setup (default universe) used by most benches.
+    pub fn medium(seed: u64) -> Self {
+        EcosystemParams {
+            universe: UniverseParams {
+                seed,
+                ..UniverseParams::default()
+            },
+            n_satellites: 12,
+            satellite_objects: 400,
+            satellite_links: 3,
+            satellite_hubs: 2,
+            satellite_scored_fraction: 0.3,
+        }
+    }
+
+    /// The paper's §5 deployment scale: the run registers 60+ sources and
+    /// reaches ~2 M objects / ~5 M associations. Heavy: ~GBs of dump text.
+    pub fn paper_scale(seed: u64) -> Self {
+        EcosystemParams {
+            universe: UniverseParams {
+                seed,
+                n_loci: 40_000, // the paper's microarrays cover ~40k genes
+                n_go_terms: 12_000,
+                n_enzymes: 4_000,
+                n_omim: 6_000,
+                n_interpro: 8_000,
+                probesets_per_locus: 1.4,
+                protein_fraction: 0.7,
+            },
+            n_satellites: 55, // + 10 core dialects = 65 sources
+            satellite_objects: 30_000,
+            satellite_links: 3,
+            satellite_hubs: 4, // 2 mapping types x 4 hubs x 55 satellites -> 400+ mappings
+            satellite_scored_fraction: 0.4,
+        }
+    }
+}
+
+/// The generated ecosystem: universe plus rendered dumps.
+#[derive(Debug)]
+pub struct Ecosystem {
+    pub universe: Universe,
+    pub dumps: Vec<SourceDump>,
+}
+
+impl Ecosystem {
+    /// Generate the universe and render every source dump.
+    pub fn generate(params: EcosystemParams) -> Ecosystem {
+        let universe = Universe::generate(params.universe.clone());
+        let mut dumps = Vec::with_capacity(10 + params.n_satellites);
+        type Generator = fn(&Universe) -> String;
+        let core: [(&str, Dialect, Generator); 10] = [
+            (names::LOCUSLINK, Dialect::LocusLink, dialects::locuslink::generate),
+            (names::GO, Dialect::Go, dialects::go::generate),
+            (names::UNIGENE, Dialect::Unigene, dialects::unigene::generate),
+            (names::ENZYME, Dialect::Enzyme, dialects::enzyme::generate),
+            (names::HUGO, Dialect::Hugo, dialects::hugo::generate),
+            (names::OMIM, Dialect::Omim, dialects::omim::generate),
+            (names::NETAFFX, Dialect::NetAffx, dialects::netaffx::generate),
+            (names::SWISSPROT, Dialect::SwissProt, dialects::swissprot::generate),
+            (names::INTERPRO, Dialect::InterPro, dialects::interpro::generate),
+            (names::GENEMAP, Dialect::GeneMap, dialects::genemap::generate),
+        ];
+        for (name, dialect, gen) in core {
+            dumps.push(SourceDump {
+                name: name.to_owned(),
+                dialect,
+                text: gen(&universe),
+            });
+        }
+        let families = ["PathwayDB", "MarkerSet", "CloneLib", "ExprStudy"];
+        let n_hubs = params.satellite_hubs.clamp(1, 4);
+        for i in 0..params.n_satellites {
+            // rotate the hub window so satellites differ in their hub mix
+            let hubs: Vec<Hub> = (0..n_hubs).map(|j| Hub::all()[(i + j) % 4]).collect();
+            let family = families[i % families.len()];
+            let spec = SatelliteSpec {
+                name: format!("{family}{:02}", i + 1),
+                hubs,
+                n_objects: params.satellite_objects,
+                links_per_object: params.satellite_links,
+                scored_fraction: params.satellite_scored_fraction,
+                seed: params.universe.seed ^ (0x5A7E_0000 + i as u64),
+            };
+            dumps.push(SourceDump {
+                name: spec.name.clone(),
+                dialect: Dialect::Satellite,
+                text: dialects::satellite::generate(&universe, &spec),
+            });
+        }
+        Ecosystem { universe, dumps }
+    }
+
+    /// Parse every dump (the per-source `Parse` step), in dump order.
+    pub fn parse_all(&self) -> Result<Vec<EavBatch>, ParseError> {
+        self.dumps.iter().map(SourceDump::parse).collect()
+    }
+
+    /// Total bytes of generated dump text.
+    pub fn dump_bytes(&self) -> usize {
+        self.dumps.iter().map(|d| d.text.len()).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn demo_ecosystem_generates_and_parses() {
+        let eco = Ecosystem::generate(EcosystemParams::demo(21));
+        assert_eq!(eco.dumps.len(), 14);
+        let batches = eco.parse_all().unwrap();
+        assert_eq!(batches.len(), 14);
+        // dump names match batch names
+        for (dump, batch) in eco.dumps.iter().zip(&batches) {
+            assert_eq!(dump.name, batch.meta.name);
+        }
+        // satellites rotate through 2-hub windows over the 4 hubs
+        let sat_targets: Vec<Vec<&str>> = batches[10..]
+            .iter()
+            .map(|b| b.referenced_targets())
+            .collect();
+        assert_eq!(sat_targets[0], vec!["LocusLink", "Unigene"]);
+        assert_eq!(sat_targets[1], vec!["SwissProt", "Unigene"]);
+        assert_eq!(sat_targets[2], vec!["GO", "SwissProt"]);
+        assert_eq!(sat_targets[3], vec!["GO", "LocusLink"]);
+        assert!(eco.dump_bytes() > 10_000);
+    }
+
+    #[test]
+    fn ecosystem_is_deterministic() {
+        let a = Ecosystem::generate(EcosystemParams::demo(5));
+        let b = Ecosystem::generate(EcosystemParams::demo(5));
+        assert_eq!(a.universe, b.universe);
+        for (da, db) in a.dumps.iter().zip(&b.dumps) {
+            assert_eq!(da.text, db.text);
+        }
+    }
+
+    #[test]
+    fn paper_scale_params_reach_sixty_sources() {
+        let p = EcosystemParams::paper_scale(1);
+        assert!(p.n_satellites + 10 >= 60);
+        assert_eq!(p.universe.n_loci, 40_000);
+    }
+}

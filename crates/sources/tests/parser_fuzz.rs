@@ -1,0 +1,103 @@
+//! Robustness: no parser may panic on arbitrary input — real dumps arrive
+//! truncated, mis-encoded, or simply wrong, and the pipeline must fail
+//! with a located error, never abort.
+
+use proptest::prelude::*;
+use sources::dialects;
+
+/// All parsers under test.
+type Parser = fn(&str) -> Result<eav::EavBatch, sources::ParseError>;
+
+fn parsers() -> Vec<(&'static str, Parser)> {
+    vec![
+        ("locuslink", dialects::locuslink::parse),
+        ("go", dialects::go::parse),
+        ("unigene", dialects::unigene::parse),
+        ("enzyme", dialects::enzyme::parse),
+        ("hugo", dialects::hugo::parse),
+        ("omim", dialects::omim::parse),
+        ("netaffx", dialects::netaffx::parse),
+        ("swissprot", dialects::swissprot::parse),
+        ("interpro", dialects::interpro::parse),
+        ("genemap", dialects::genemap::parse),
+        ("satellite", dialects::satellite::parse),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Arbitrary garbage: every parser returns Ok or a ParseError.
+    #[test]
+    fn parsers_never_panic_on_garbage(input in "\\PC*") {
+        for (name, parse) in parsers() {
+            let result = std::panic::catch_unwind(|| parse(&input));
+            prop_assert!(result.is_ok(), "{name} panicked on {input:?}");
+        }
+    }
+
+    /// Line-structured garbage that resembles the dialects more closely
+    /// (tags, separators, numbers) to reach deeper parse paths.
+    #[test]
+    fn parsers_never_panic_on_structured_noise(
+        lines in proptest::collection::vec(
+            prop_oneof![
+                "[A-Z]{2}   [a-z0-9 .;~|=,-]{0,30}",
+                ">>[0-9]{0,8}",
+                "#[a-z]+\\t[A-Za-z0-9 ]{0,10}",
+                "\\[Term\\]",
+                "[a-z_]+: [A-Za-z0-9:. !]{0,20}",
+                "[A-Za-z0-9.]{0,12}\\|[a-z ]{0,12}\\|[0-9,]{0,8}",
+                "[A-Za-z0-9]{0,8},[a-z ]{0,10},[A-Za-z0-9;~.=|]{0,20}",
+                "[A-Za-z0-9]{0,6}\\t[0-9]{0,6}\\t[0-9]{0,6}\\t[0-9]{0,6}",
+                Just("//".to_owned()),
+                Just("*RECORD*".to_owned()),
+                Just("*FIELD* NO".to_owned()),
+            ],
+            0..30,
+        )
+    ) {
+        let input = lines.join("\n");
+        for (name, parse) in parsers() {
+            let result = std::panic::catch_unwind(|| parse(&input));
+            prop_assert!(result.is_ok(), "{name} panicked on {input:?}");
+        }
+    }
+
+    /// Truncating a valid dump at any byte never panics any parser, and
+    /// staging files survive the same treatment.
+    #[test]
+    fn truncated_valid_dumps_never_panic(cut in 0usize..2_000, seed in 1u64..20) {
+        let eco = sources::ecosystem::Ecosystem::generate(
+            sources::ecosystem::EcosystemParams::demo(seed),
+        );
+        for dump in &eco.dumps {
+            let cut = cut.min(dump.text.len());
+            // cut on a char boundary
+            let mut boundary = cut;
+            while !dump.text.is_char_boundary(boundary) {
+                boundary -= 1;
+            }
+            let truncated = &dump.text[..boundary];
+            let clipped = sources::ecosystem::SourceDump {
+                name: dump.name.clone(),
+                dialect: dump.dialect,
+                text: truncated.to_owned(),
+            };
+            let result = std::panic::catch_unwind(|| clipped.parse());
+            prop_assert!(result.is_ok(), "{} panicked at cut {boundary}", dump.name);
+        }
+        // staging reader too
+        let batch = eco.dumps[0].parse().unwrap();
+        let staged = eav::staging::write_staging(&batch);
+        let cut = cut.min(staged.len());
+        let mut boundary = cut;
+        while !staged.is_char_boundary(boundary) {
+            boundary -= 1;
+        }
+        let result = std::panic::catch_unwind(|| {
+            let _ = eav::staging::read_staging(&staged.as_bytes()[..boundary]);
+        });
+        prop_assert!(result.is_ok(), "staging reader panicked");
+    }
+}

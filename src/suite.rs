@@ -1,0 +1,1 @@
+//! Umbrella crate hosting workspace-level examples and integration tests.
