@@ -7,6 +7,7 @@
 
 use bench::{composable_mappings, demo_fixture};
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use operators::ExecConfig;
 
 fn bench_pure_compose(c: &mut Criterion) {
     let mut group = c.benchmark_group("compose/pure");
@@ -22,6 +23,24 @@ fn bench_pure_compose(c: &mut Criterion) {
     group.finish();
 }
 
+fn bench_parallel_compose(c: &mut Criterion) {
+    // the partitioned parallel probe across worker counts, on a join large
+    // enough for the partitioning to pay off
+    let (left, right) = composable_mappings(5, 200_000);
+    let mut group = c.benchmark_group("compose/parallel");
+    group.throughput(Throughput::Elements((left.len() + right.len()) as u64));
+    for &jobs in &[1usize, 2, 4, 8] {
+        let cfg = ExecConfig {
+            jobs,
+            parallel_threshold: 0,
+        };
+        group.bench_with_input(BenchmarkId::new("jobs", jobs), &cfg, |b, cfg| {
+            b.iter(|| operators::compose_par(&left, &right, cfg).expect("composes"))
+        });
+    }
+    group.finish();
+}
+
 fn bench_store_paths(c: &mut Criterion) {
     let f = demo_fixture(6);
     let mut group = c.benchmark_group("compose/path_length");
@@ -31,10 +50,21 @@ fn bench_store_paths(c: &mut Criterion) {
         ("3hop_protein", vec!["InterPro", "SwissProt", "LocusLink", "GO"]),
     ];
     for (label, path) in &paths {
+        // bypass the system-level mapping cache: measure the actual join
+        // work, not a cache hit
+        let ids: Vec<_> = path
+            .iter()
+            .map(|n| f.gm.source_id(n).expect("source exists"))
+            .collect();
         group.bench_function(*label, |b| {
-            b.iter(|| f.gm.compose(path).expect("path composes"))
+            b.iter(|| operators::compose_path(f.gm.store(), &ids).expect("path composes"))
         });
     }
+    // the same derivation served by the versioned mapping cache (first
+    // iteration builds, the rest are hits)
+    group.bench_function("2hop_cached", |b| {
+        b.iter(|| f.gm.compose(&["Unigene", "LocusLink", "GO"]).expect("path composes"))
+    });
     group.finish();
 }
 
@@ -58,6 +88,6 @@ criterion_group!{
     config = Criterion::default()
         .warm_up_time(std::time::Duration::from_millis(500))
         .measurement_time(std::time::Duration::from_secs(2));
-    targets = bench_pure_compose, bench_store_paths, bench_subsume
+    targets = bench_pure_compose, bench_parallel_compose, bench_store_paths, bench_subsume
 }
 criterion_main!(benches);

@@ -39,14 +39,22 @@ fn bench_map_retrieval(c: &mut Criterion) {
     let f = demo_fixture(21);
     let mut group = c.benchmark_group("table2/map");
     for (from, to) in [("LocusLink", "GO"), ("LocusLink", "Hugo"), ("NetAffx", "Unigene")] {
+        // store-level Map, bypassing the facade's mapping cache: this
+        // group measures retrieval, not cache hits
+        let from_id = f.gm.source_id(from).unwrap();
+        let to_id = f.gm.source_id(to).unwrap();
         group.bench_function(format!("map/{from}->{to}"), |b| {
-            b.iter(|| f.gm.map(from, to).expect("mapping exists"))
+            b.iter(|| operators::map(f.gm.store(), from_id, to_id).expect("mapping exists"))
         });
         // reversed orientation pays the inversion
         group.bench_function(format!("map/{to}->{from}"), |b| {
-            b.iter(|| f.gm.map(to, from).expect("mapping exists"))
+            b.iter(|| operators::map(f.gm.store(), to_id, from_id).expect("mapping exists"))
         });
     }
+    // the facade path with the versioned cache warm, for contrast
+    group.bench_function("map/LocusLink->GO_cached", |b| {
+        b.iter(|| f.gm.map("LocusLink", "GO").expect("mapping exists"))
+    });
     group.finish();
 }
 

@@ -5,12 +5,12 @@
 //! Run with: `cargo run --release -p bench --bin experiments`
 //! Full §5 deployment scale: `GENMAPPER_FULL_SCALE=1 cargo run --release -p bench --bin experiments`
 
-use bench::scaled_params;
+use bench::{composable_mappings, medium_fixture, scaled_params};
 use eav::EavRecord;
 use gam::mapping::Association;
 use gam::model::RelType;
 use gam::{Mapping, ObjectId, SourceId};
-use genmapper::{GenMapper, QuerySpec, TargetQuery};
+use genmapper::{ExecConfig, GenMapper, QuerySpec, TargetQuery};
 use profiling::{ExpressionParams, ExpressionStudy, FunctionalProfile};
 use sources::ecosystem::{Ecosystem, EcosystemParams};
 use std::time::Instant;
@@ -256,4 +256,117 @@ fn main() {
             t.accession, t.study_count, t.population_count, t.p_value
         );
     }
+
+    // ----------------------------------------------------------- parallel
+    heading(
+        "P-parallel",
+        "Partitioned parallel Compose / GenerateView + versioned mapping cache",
+    );
+    let available = std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(1);
+    println!("worker threads available: {available}");
+
+    // pure Compose across worker counts (best of 5, after warm-up)
+    let (left, right) = composable_mappings(5, 200_000);
+    let join_pairs = left.len() + right.len();
+    let time_compose = |jobs: usize| -> f64 {
+        let cfg = ExecConfig {
+            jobs,
+            parallel_threshold: 0,
+        };
+        let _ = operators::compose_par(&left, &right, &cfg).expect("composes");
+        (0..5)
+            .map(|_| {
+                let t = Instant::now();
+                let _ = operators::compose_par(&left, &right, &cfg).expect("composes");
+                t.elapsed().as_secs_f64()
+            })
+            .fold(f64::INFINITY, f64::min)
+    };
+    let job_counts = [1usize, 2, 4, 8];
+    let compose_secs: Vec<f64> = job_counts.iter().map(|&j| time_compose(j)).collect();
+    println!("\nCompose, {join_pairs} input pairs:");
+    println!("{:<6} {:>12} {:>10}", "jobs", "seconds", "speedup");
+    for (&jobs, &secs) in job_counts.iter().zip(&compose_secs) {
+        println!("{jobs:<6} {secs:>12.6} {:>9.2}x", compose_secs[0] / secs);
+    }
+
+    // GenerateView across worker counts (cache dropped before every run)
+    let mut f = medium_fixture(36);
+    let spec = QuerySpec::source("LocusLink")
+        .target("Hugo")
+        .target("GO")
+        .target("Location")
+        .target("OMIM")
+        .or();
+    let mut time_view = |jobs: usize| -> f64 {
+        f.gm.set_exec_config(ExecConfig {
+            jobs,
+            parallel_threshold: 0,
+        });
+        let _ = f.gm.store_mut();
+        let _ = f.gm.query(&spec).expect("view");
+        (0..3)
+            .map(|_| {
+                let _ = f.gm.store_mut(); // invalidate the mapping cache
+                let t = Instant::now();
+                let _ = f.gm.query(&spec).expect("view");
+                t.elapsed().as_secs_f64()
+            })
+            .fold(f64::INFINITY, f64::min)
+    };
+    let view_secs: Vec<f64> = job_counts.iter().map(|&j| time_view(j)).collect();
+    println!("\nGenerateView, 4 target columns (uncached):");
+    println!("{:<6} {:>12} {:>10}", "jobs", "seconds", "speedup");
+    for (&jobs, &secs) in job_counts.iter().zip(&view_secs) {
+        println!("{jobs:<6} {secs:>12.6} {:>9.2}x", view_secs[0] / secs);
+    }
+
+    // versioned mapping cache: cold vs warm repeat of the same query
+    f.gm.set_exec_config(ExecConfig::sequential());
+    let miss = (0..3)
+        .map(|_| {
+            let _ = f.gm.store_mut();
+            let t = Instant::now();
+            let _ = f.gm.query(&spec).expect("view");
+            t.elapsed().as_secs_f64()
+        })
+        .fold(f64::INFINITY, f64::min);
+    let _ = f.gm.query(&spec).expect("warm-up");
+    let hit = (0..3)
+        .map(|_| {
+            let t = Instant::now();
+            let _ = f.gm.query(&spec).expect("view");
+            t.elapsed().as_secs_f64()
+        })
+        .fold(f64::INFINITY, f64::min);
+    println!("\nMapping cache (same query, cold vs warm):");
+    println!("miss: {miss:.6}s   hit: {hit:.6}s   speedup: {:.2}x", miss / hit);
+
+    // machine-readable record for EXPERIMENTS.md
+    let row = |jobs: usize, secs: f64, base: f64| {
+        format!(
+            "{{\"jobs\": {jobs}, \"seconds\": {secs:.6}, \"speedup\": {:.3}}}",
+            base / secs
+        )
+    };
+    let compose_json: Vec<String> = job_counts
+        .iter()
+        .zip(&compose_secs)
+        .map(|(&j, &s)| row(j, s, compose_secs[0]))
+        .collect();
+    let view_json: Vec<String> = job_counts
+        .iter()
+        .zip(&view_secs)
+        .map(|(&j, &s)| row(j, s, view_secs[0]))
+        .collect();
+    let json = format!(
+        "{{\n  \"workers_available\": {available},\n  \"compose\": {{\n    \"input_pairs\": {join_pairs},\n    \"runs\": [\n      {}\n    ]\n  }},\n  \"generate_view\": {{\n    \"targets\": 4,\n    \"runs\": [\n      {}\n    ]\n  }},\n  \"mapping_cache\": {{\"miss_seconds\": {miss:.6}, \"hit_seconds\": {hit:.6}, \"speedup\": {:.3}}}\n}}\n",
+        compose_json.join(",\n      "),
+        view_json.join(",\n      "),
+        miss / hit,
+    );
+    std::fs::write("BENCH_parallel.json", &json).expect("write BENCH_parallel.json");
+    println!("\nwrote BENCH_parallel.json");
 }

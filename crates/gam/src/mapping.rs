@@ -153,6 +153,34 @@ impl Mapping {
         self.pairs
             .sort_by_key(|a| (a.from, a.to));
     }
+
+    /// Assemble a mapping from per-partition association buffers, then
+    /// dedup. The buffers are concatenated **in the order given**, so a
+    /// partitioned producer that splits its input into contiguous in-order
+    /// chunks reconstructs exactly the association sequence a sequential
+    /// pass would have built — and since [`Mapping::dedup`] is a stable
+    /// total order over that sequence, the final mapping is bit-identical
+    /// to the sequential result regardless of how many partitions ran.
+    pub fn from_parts(
+        from: SourceId,
+        to: SourceId,
+        rel_type: RelType,
+        parts: Vec<Vec<Association>>,
+    ) -> Mapping {
+        let total: usize = parts.iter().map(Vec::len).sum();
+        let mut pairs = Vec::with_capacity(total);
+        for part in parts {
+            pairs.extend(part);
+        }
+        let mut m = Mapping {
+            from,
+            to,
+            rel_type,
+            pairs,
+        };
+        m.dedup();
+        m
+    }
 }
 
 #[cfg(test)]
@@ -236,6 +264,30 @@ mod tests {
         assert_eq!(map.pairs[0].evidence, Some(0.9));
         // fact (1.0) beats 0.99
         assert_eq!(map.pairs[1].evidence, None);
+    }
+
+    #[test]
+    fn from_parts_equals_sequential_build() {
+        let all = vec![
+            Association::scored(ObjectId(1), ObjectId(10), 0.4),
+            Association::fact(ObjectId(2), ObjectId(20)),
+            Association::scored(ObjectId(1), ObjectId(10), 0.9),
+            Association::scored(ObjectId(2), ObjectId(20), 0.99),
+            Association::fact(ObjectId(3), ObjectId(30)),
+        ];
+        let mut seq = Mapping {
+            from: SourceId(1),
+            to: SourceId(2),
+            rel_type: RelType::Composed,
+            pairs: all.clone(),
+        };
+        seq.dedup();
+        // any contiguous in-order split reconstructs the same mapping
+        for split in 0..=all.len() {
+            let parts = vec![all[..split].to_vec(), all[split..].to_vec()];
+            let par = Mapping::from_parts(SourceId(1), SourceId(2), RelType::Composed, parts);
+            assert_eq!(par, seq, "split at {split}");
+        }
     }
 
     #[test]

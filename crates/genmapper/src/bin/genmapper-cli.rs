@@ -1,13 +1,51 @@
 //! The GenMapper interactive shell — stdin/stdout REPL over the command
 //! language in `genmapper::cli` (the paper's interactive access, §5.1).
 //!
-//! Run with: `cargo run -p genmapper --bin genmapper-cli`
+//! Run with: `cargo run -p genmapper --bin genmapper-cli [-- --jobs N]`
 //! Then e.g.: `demo 7`, `sources`, `query LocusLink:353 or Hugo GO`, `quit`.
+//!
+//! `--jobs N` caps the worker threads used by the parallel Compose /
+//! GenerateView executor (default: all available cores; `--jobs 1` forces
+//! sequential execution). The cap can also be changed at runtime with the
+//! `jobs` command.
 
 use genmapper::cli::{CliOutcome, CliSession};
 use std::io::{BufRead, Write};
 
+fn parse_args() -> Result<Option<usize>, String> {
+    let mut jobs = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        if arg == "--jobs" {
+            let value = args
+                .next()
+                .ok_or_else(|| "--jobs requires a count".to_owned())?;
+            jobs = Some(
+                value
+                    .parse()
+                    .map_err(|_| format!("invalid --jobs value {value:?}"))?,
+            );
+        } else if let Some(value) = arg.strip_prefix("--jobs=") {
+            jobs = Some(
+                value
+                    .parse()
+                    .map_err(|_| format!("invalid --jobs value {value:?}"))?,
+            );
+        } else {
+            return Err(format!("unknown argument {arg:?}; usage: genmapper-cli [--jobs N]"));
+        }
+    }
+    Ok(jobs)
+}
+
 fn main() {
+    let jobs = match parse_args() {
+        Ok(j) => j,
+        Err(e) => {
+            eprintln!("{e}");
+            std::process::exit(2);
+        }
+    };
     let mut session = match CliSession::new() {
         Ok(s) => s,
         Err(e) => {
@@ -15,6 +53,9 @@ fn main() {
             std::process::exit(1);
         }
     };
+    if let Some(jobs) = jobs {
+        session.system().set_jobs(jobs);
+    }
     let stdin = std::io::stdin();
     let mut stdout = std::io::stdout();
     println!("GenMapper shell — type 'help' for commands, 'demo 7' to load data");

@@ -19,6 +19,7 @@
 //! query <source>[:a1,a2] <and|or> <spec> [<spec> ...]
 //!        spec = [!]Target[=a1,a2][@0.5]  (! negates; @t sets min evidence)
 //! export <tsv|csv|json|md>        export the last query's view
+//! jobs [<n>]                      show/set the parallel worker cap
 //! help / quit
 //! ```
 
@@ -48,6 +49,7 @@ pub enum Command {
     MaterializeSubsumed { source: String },
     Query(QuerySpec),
     Export { format: ExportFormat },
+    Jobs { jobs: Option<usize> },
 }
 
 /// Export formats for the last view.
@@ -162,6 +164,13 @@ pub fn parse_command(line: &str) -> Result<Option<Command>, CliParseError> {
             }
         },
         "query" => Command::Query(parse_query(&rest)?),
+        "jobs" => match rest.as_slice() {
+            [] => Command::Jobs { jobs: None },
+            [n] => Command::Jobs {
+                jobs: Some(n.parse().map_err(|_| err("jobs takes a numeric count"))?),
+            },
+            _ => return Err(err("usage: jobs [<n>]")),
+        },
         "export" => match rest.as_slice() {
             ["tsv"] => Command::Export {
                 format: ExportFormat::Tsv,
@@ -297,7 +306,7 @@ impl CliSession {
             Command::Help => {
                 let _ = writeln!(
                     out,
-                    "commands: demo sources stats search prefix info path paths map compose materialize query export quit"
+                    "commands: demo sources stats search prefix info path paths map compose materialize query export jobs quit"
                 );
             }
             Command::Quit => return Ok(CliOutcome::Quit),
@@ -430,6 +439,17 @@ impl CliSession {
                 let _ = writeln!(out, "({} rows)", view.len());
                 self.last_view = Some(view);
             }
+            Command::Jobs { jobs } => {
+                if let Some(n) = jobs {
+                    self.gm.set_jobs(n);
+                }
+                let cfg = self.gm.exec_config();
+                let _ = writeln!(
+                    out,
+                    "jobs = {} (parallel threshold {} associations)",
+                    cfg.jobs, cfg.parallel_threshold
+                );
+            }
             Command::Export { format } => match &self.last_view {
                 None => {
                     let _ = writeln!(out, "no view yet; run a query first");
@@ -479,6 +499,23 @@ mod tests {
         assert!(parse_command("demo notanumber").is_err());
         assert!(parse_command("path onlyone").is_err());
         assert!(parse_command("export xml").is_err());
+        assert_eq!(parse_command("jobs").unwrap(), Some(Command::Jobs { jobs: None }));
+        assert_eq!(
+            parse_command("jobs 4").unwrap(),
+            Some(Command::Jobs { jobs: Some(4) })
+        );
+        assert!(parse_command("jobs many").is_err());
+        assert!(parse_command("jobs 1 2").is_err());
+    }
+
+    #[test]
+    fn jobs_command_sets_worker_cap() {
+        let mut session = CliSession::new().unwrap();
+        let (out, _) = session.execute_line("jobs 3");
+        assert!(out.starts_with("jobs = 3"), "output: {out}");
+        assert_eq!(session.system().exec_config().jobs, 3);
+        let (out, _) = session.execute_line("jobs");
+        assert!(out.starts_with("jobs = 3"), "unchanged: {out}");
     }
 
     #[test]

@@ -45,4 +45,4 @@ pub use resolved::{ObjectInfo, ResolvedRow, ResolvedView};
 pub use system::{GenMapper, PathResolver};
 
 pub use gam::{GamError, GamResult};
-pub use operators::Combine;
+pub use operators::{Combine, ExecConfig};

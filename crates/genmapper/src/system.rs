@@ -5,17 +5,26 @@ use crate::resolved::{ObjectInfo, ResolvedCell, ResolvedRow, ResolvedView};
 use gam::store::GamCardinalities;
 use gam::{GamError, GamResult, GamStore, Mapping, ObjectId, SourceId, SourceRelId};
 use import::{Importer, PipelineOptions};
-use operators::{generate_view, MappingResolver, TargetSpec, ViewQuery};
+use operators::{generate_view_par, ExecConfig, MappingResolver, TargetSpec, ViewQuery};
+use parking_lot::RwLock;
 use pathfinder::{SavedPaths, SourceGraph};
 use sources::ecosystem::SourceDump;
-use std::collections::BTreeSet;
+use std::collections::{BTreeSet, HashMap};
 use std::path::Path;
+use std::sync::Arc;
 
 /// Mapping resolver that first tries a direct `Map` and otherwise searches
 /// the source graph for a shortest mapping path and composes along it —
 /// exactly how the interactive interface determines mappings (paper §5.1).
 pub struct PathResolver<'g> {
     graph: &'g SourceGraph,
+}
+
+impl<'g> PathResolver<'g> {
+    /// A resolver over a prebuilt source graph.
+    pub fn new(graph: &'g SourceGraph) -> Self {
+        PathResolver { graph }
+    }
 }
 
 impl MappingResolver for PathResolver<'_> {
@@ -34,12 +43,105 @@ impl MappingResolver for PathResolver<'_> {
     }
 }
 
+/// [`PathResolver`] backed by the system's versioned mapping cache: a
+/// resolved `(from, to)` mapping is computed once per store version and
+/// then served as a shared `Arc` clone. Safe to call from the parallel
+/// per-target workers of `generate_view_par` (the cache is behind a
+/// `RwLock`, and the store version cannot move while `&GenMapper` borrows
+/// are live).
+struct CachingPathResolver<'a> {
+    gm: &'a GenMapper,
+    graph: &'a SourceGraph,
+    /// Config for compose joins performed *inside* a resolution — kept
+    /// sequential when the caller already parallelizes across targets.
+    compose_exec: ExecConfig,
+}
+
+impl MappingResolver for CachingPathResolver<'_> {
+    fn resolve(&self, store: &GamStore, from: SourceId, to: SourceId) -> GamResult<Mapping> {
+        let arc = self
+            .gm
+            .cached_mapping(MappingKey::direct(from, to), || {
+                match operators::map(store, from, to) {
+                    Ok(m) => Ok(m),
+                    Err(GamError::NoMapping { .. }) => {
+                        let path = self
+                            .graph
+                            .shortest_path(from, to)
+                            .ok_or(GamError::NoMapping { from, to })?;
+                        operators::compose_path_par(store, &path, &self.compose_exec)
+                    }
+                    Err(e) => Err(e),
+                }
+            })?;
+        Ok((*arc).clone())
+    }
+}
+
+/// Cache key for one resolved mapping: endpoints, the explicit compose
+/// path (if any), and the evidence floor (as its bit pattern — `f64` is
+/// neither `Eq` nor `Hash`).
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+struct MappingKey {
+    from: SourceId,
+    to: SourceId,
+    path: Option<Vec<SourceId>>,
+    min_evidence_bits: Option<u64>,
+}
+
+impl MappingKey {
+    fn direct(from: SourceId, to: SourceId) -> Self {
+        MappingKey {
+            from,
+            to,
+            path: None,
+            min_evidence_bits: None,
+        }
+    }
+
+    fn composed(path: &[SourceId]) -> Self {
+        MappingKey {
+            from: path[0],
+            to: *path.last().expect("non-empty path"),
+            path: Some(path.to_vec()),
+            min_evidence_bits: None,
+        }
+    }
+
+    fn with_min_evidence(mut self, threshold: f64) -> Self {
+        self.min_evidence_bits = Some(threshold.to_bits());
+        self
+    }
+}
+
+/// The versioned mapping cache. Entries are tagged with the store mutation
+/// counter they were built against; the first access after any mutation
+/// sees the version mismatch and discards everything. This generalizes the
+/// pattern of the `graph` cache (drop on mutation) to a keyed map that can
+/// be consulted from `&self` (hence the `RwLock`) and shared with the
+/// parallel view executor.
+#[derive(Default)]
+struct CacheInner {
+    /// Store mutation counter the entries were built against.
+    version: u64,
+    mappings: HashMap<MappingKey, Arc<Mapping>>,
+    /// Per-source object-id sets for whole-source views, so repeated
+    /// queries over one source don't rescan the object table.
+    source_objects: HashMap<SourceId, Arc<BTreeSet<ObjectId>>>,
+}
+
 /// The assembled GenMapper system.
 pub struct GenMapper {
     store: GamStore,
     saved: SavedPaths,
     /// Cached source graph; invalidated by imports and materializations.
     graph: Option<SourceGraph>,
+    /// Parallel execution tunables for Compose / GenerateView.
+    exec: ExecConfig,
+    /// Store mutation counter; bumped by every mutating entry point.
+    version: u64,
+    /// Versioned mapping + source-object cache (see [`CacheInner`]).
+    cache: RwLock<CacheInner>,
 }
 
 impl GenMapper {
@@ -49,6 +151,9 @@ impl GenMapper {
             store: GamStore::in_memory()?,
             saved: SavedPaths::new(),
             graph: None,
+            exec: ExecConfig::default(),
+            version: 0,
+            cache: RwLock::new(CacheInner::default()),
         })
     }
 
@@ -58,6 +163,9 @@ impl GenMapper {
             store: GamStore::open(dir)?,
             saved: SavedPaths::new(),
             graph: None,
+            exec: ExecConfig::default(),
+            version: 0,
+            cache: RwLock::new(CacheInner::default()),
         })
     }
 
@@ -66,15 +174,108 @@ impl GenMapper {
         self.store.checkpoint()
     }
 
+    // ------------------------------------------------------------------
+    // Execution configuration
+    // ------------------------------------------------------------------
+
+    /// The current parallel execution configuration.
+    pub fn exec_config(&self) -> &ExecConfig {
+        &self.exec
+    }
+
+    /// Replace the parallel execution configuration.
+    pub fn set_exec_config(&mut self, exec: ExecConfig) {
+        self.exec = exec;
+    }
+
+    /// Set the worker-thread cap (`0`/`1` = sequential), keeping the
+    /// parallel threshold.
+    pub fn set_jobs(&mut self, jobs: usize) {
+        self.exec.jobs = jobs;
+    }
+
+    // ------------------------------------------------------------------
+    // Cache plumbing
+    // ------------------------------------------------------------------
+
+    /// Invalidate every derived cache: the source graph and all versioned
+    /// mapping/object entries. Called by every mutating entry point.
+    fn invalidate_caches(&mut self) {
+        self.graph = None;
+        self.version += 1;
+    }
+
+    /// Look `key` up in the mapping cache, building and inserting it on a
+    /// miss. Entries from before the current store version are discarded.
+    /// Correctness note: the builder reads the store at `self.version`, and
+    /// the version can only move under `&mut self`, so an entry can never
+    /// be inserted against a newer store state than it was built from.
+    fn cached_mapping(
+        &self,
+        key: MappingKey,
+        build: impl FnOnce() -> GamResult<Mapping>,
+    ) -> GamResult<Arc<Mapping>> {
+        {
+            let inner = self.cache.read();
+            if inner.version == self.version {
+                if let Some(hit) = inner.mappings.get(&key) {
+                    return Ok(hit.clone());
+                }
+            }
+        }
+        let built = Arc::new(build()?);
+        let mut inner = self.cache.write();
+        if inner.version != self.version {
+            inner.mappings.clear();
+            inner.source_objects.clear();
+            inner.version = self.version;
+        }
+        inner.mappings.insert(key, built.clone());
+        Ok(built)
+    }
+
+    /// The cached set of all object ids of `source` (same invalidation
+    /// protocol as the mapping entries).
+    fn cached_source_objects(&self, source: SourceId) -> GamResult<Arc<BTreeSet<ObjectId>>> {
+        {
+            let inner = self.cache.read();
+            if inner.version == self.version {
+                if let Some(hit) = inner.source_objects.get(&source) {
+                    return Ok(hit.clone());
+                }
+            }
+        }
+        let built: Arc<BTreeSet<ObjectId>> =
+            Arc::new(self.store.object_ids_of(source)?.into_iter().collect());
+        let mut inner = self.cache.write();
+        if inner.version != self.version {
+            inner.mappings.clear();
+            inner.source_objects.clear();
+            inner.version = self.version;
+        }
+        inner.source_objects.insert(source, built.clone());
+        Ok(built)
+    }
+
+    /// Number of live entries in the mapping cache (diagnostics, tests).
+    pub fn mapping_cache_len(&self) -> usize {
+        let inner = self.cache.read();
+        if inner.version == self.version {
+            inner.mappings.len() + inner.source_objects.len()
+        } else {
+            0
+        }
+    }
+
     /// Direct access to the underlying store (operators, statistics).
     pub fn store(&self) -> &GamStore {
         &self.store
     }
 
-    /// Mutable access to the underlying store. Invalidate the graph cache,
-    /// since callers may add mappings.
+    /// Mutable access to the underlying store. Invalidates the graph and
+    /// mapping caches, since callers may add mappings.
     pub fn store_mut(&mut self) -> &mut GamStore {
-        self.graph = None;
+        self.invalidate_caches();
         &mut self.store
     }
 
@@ -84,13 +285,13 @@ impl GenMapper {
 
     /// Parse and import source dumps through the two-phase pipeline.
     pub fn import_dumps(&mut self, dumps: &[SourceDump]) -> GamResult<Vec<import::ImportReport>> {
-        self.graph = None;
+        self.invalidate_caches();
         import::run_pipeline(&mut self.store, dumps, &PipelineOptions::default())
     }
 
     /// Import one pre-parsed EAV batch.
     pub fn import_batch(&mut self, batch: &eav::EavBatch) -> GamResult<import::ImportReport> {
-        self.graph = None;
+        self.invalidate_caches();
         Importer::new(&mut self.store).import(batch)
     }
 
@@ -178,28 +379,73 @@ impl GenMapper {
     // Operators, by name
     // ------------------------------------------------------------------
 
-    /// `Map(S, T)` by source names.
+    /// `Map(S, T)` by source names. Served from the versioned mapping
+    /// cache when warm; see [`GenMapper::map_shared`] for the clone-free
+    /// variant.
     pub fn map(&self, from: &str, to: &str) -> GamResult<Mapping> {
-        operators::map(&self.store, self.source_id(from)?, self.source_id(to)?)
+        Ok((*self.map_shared(from, to)?).clone())
     }
 
-    /// `Compose` along a path of source names.
+    /// `Map(S, T)` by source names, as a shared handle into the versioned
+    /// mapping cache (no clone of the association vector).
+    pub fn map_shared(&self, from: &str, to: &str) -> GamResult<Arc<Mapping>> {
+        let from = self.source_id(from)?;
+        let to = self.source_id(to)?;
+        self.cached_mapping(MappingKey::direct(from, to), || {
+            operators::map(&self.store, from, to)
+        })
+    }
+
+    /// `Compose` along a path of source names. Served from the versioned
+    /// mapping cache when warm; joins run under the system's
+    /// [`ExecConfig`].
     pub fn compose(&self, path: &[&str]) -> GamResult<Mapping> {
+        Ok((*self.compose_shared(path)?).clone())
+    }
+
+    /// `Compose` along a path of source names, as a shared cache handle.
+    pub fn compose_shared(&self, path: &[&str]) -> GamResult<Arc<Mapping>> {
         let ids = self.path_ids(path)?;
-        operators::compose_path(&self.store, &ids)
+        if ids.len() < 2 {
+            return Err(GamError::Invalid(
+                "compose path needs at least two sources".into(),
+            ));
+        }
+        self.cached_mapping(MappingKey::composed(&ids), || {
+            operators::compose_path_par(&self.store, &ids, &self.exec)
+        })
+    }
+
+    /// `Compose` along a path with an evidence floor applied at every join
+    /// step (cached under the `(path, min_evidence)` key).
+    pub fn compose_with_threshold(
+        &self,
+        path: &[&str],
+        min_evidence: f64,
+    ) -> GamResult<Arc<Mapping>> {
+        let ids = self.path_ids(path)?;
+        if ids.len() < 2 {
+            return Err(GamError::Invalid(
+                "compose path needs at least two sources".into(),
+            ));
+        }
+        self.cached_mapping(
+            MappingKey::composed(&ids).with_min_evidence(min_evidence),
+            || operators::compose_path_with_threshold_par(&self.store, &ids, min_evidence, &self.exec),
+        )
     }
 
     /// Materialize the composition along a path of source names.
     pub fn materialize_composed(&mut self, path: &[&str]) -> GamResult<(SourceRelId, usize)> {
         let ids = self.path_ids(path)?;
-        self.graph = None;
+        self.invalidate_caches();
         operators::materialize::materialize_composed(&mut self.store, &ids)
     }
 
     /// Derive and materialize the Subsumed mapping of a taxonomy source.
     pub fn materialize_subsumed(&mut self, source: &str) -> GamResult<(SourceRelId, usize)> {
         let id = self.source_id(source)?;
-        self.graph = None;
+        self.invalidate_caches();
         operators::materialize::materialize_subsumed(&mut self.store, id)
     }
 
@@ -234,11 +480,18 @@ impl GenMapper {
     }
 
     /// Execute a [`QuerySpec`]: GenerateView with automatic path
-    /// discovery, then resolve ids back to accessions/names.
+    /// discovery, then resolve ids back to accessions/names. Target
+    /// columns are resolved in parallel under the system's [`ExecConfig`],
+    /// and every resolved mapping (and the whole-source object set) is
+    /// served from the versioned cache on repeat queries.
     pub fn query(&mut self, spec: &QuerySpec) -> GamResult<ResolvedView> {
         let source = self.source_id(&spec.source)?;
         let mut vq = ViewQuery::new(source).combine(spec.combine);
-        if !spec.accessions.is_empty() {
+        if spec.accessions.is_empty() {
+            // whole-source query: reuse the cached object-id set instead of
+            // rescanning the object table inside generate_view
+            vq = vq.objects((*self.cached_source_objects(source)?).clone());
+        } else {
             vq = vq.objects(self.resolve_accessions(source, &spec.accessions)?);
         }
         let mut header = vec![spec.source.clone()];
@@ -259,9 +512,21 @@ impl GenMapper {
         }
         // build the graph cache before borrowing it for the resolver
         self.graph()?;
+        let exec = self.exec;
+        // when several targets resolve concurrently, keep their inner
+        // compose joins sequential so the thread count stays ≤ exec.jobs
+        let compose_exec = if exec.jobs > 1 && vq.targets.len() > 1 {
+            ExecConfig::sequential()
+        } else {
+            exec
+        };
         let graph = self.graph.as_ref().expect("cache filled");
-        let resolver = PathResolver { graph };
-        let view = generate_view(&self.store, &vq, &resolver)?;
+        let resolver = CachingPathResolver {
+            gm: self,
+            graph,
+            compose_exec,
+        };
+        let view = generate_view_par(&self.store, &vq, &resolver, &exec)?;
 
         let mut rows = Vec::with_capacity(view.rows.len());
         for row in &view.rows {
@@ -438,6 +703,138 @@ mod tests {
             .unwrap();
         let isa_count = gm.store().association_count(isa.id).unwrap();
         assert!(n >= isa_count);
+    }
+
+    #[test]
+    fn mapping_cache_serves_repeats_and_invalidates_on_mutation() {
+        let mut gm = system();
+        assert_eq!(gm.mapping_cache_len(), 0);
+        let first = gm.map("LocusLink", "GO").unwrap();
+        assert!(gm.mapping_cache_len() > 0, "miss populated the cache");
+        // repeat hit: same Arc, no rebuild
+        let a1 = gm.map_shared("LocusLink", "GO").unwrap();
+        let a2 = gm.map_shared("LocusLink", "GO").unwrap();
+        assert!(Arc::ptr_eq(&a1, &a2), "repeat query hits the same entry");
+        assert_eq!(*a1, first);
+
+        // a whole-source query also caches the source object set
+        let before = gm.mapping_cache_len();
+        let spec = crate::query::QuerySpec::source("LocusLink").target("GO");
+        gm.query(&spec).unwrap();
+        assert!(gm.mapping_cache_len() > before);
+
+        // any store mutation invalidates everything
+        let ll = gm.source_id("LocusLink").unwrap();
+        let go = gm.source_id("GO").unwrap();
+        let (rel, forward) = gm
+            .store()
+            .find_source_rel(ll, go, Some(gam::model::RelType::Fact))
+            .unwrap()
+            .expect("demo ecosystem has a LocusLink<->GO fact mapping");
+        let obj_ll = gm.store().object_ids_of(ll).unwrap()[0];
+        let obj_go = gm.store().object_ids_of(go).unwrap()[0];
+        let (o1, o2) = if forward { (obj_ll, obj_go) } else { (obj_go, obj_ll) };
+        gm.store_mut()
+            .add_association(rel.id, o1, o2, Some(0.42))
+            .unwrap();
+        assert_eq!(gm.mapping_cache_len(), 0, "mutation dropped the cache");
+        // and the rebuilt mapping matches a direct, cache-free computation
+        let rebuilt = gm.map("LocusLink", "GO").unwrap();
+        let direct = operators::map(gm.store(), ll, go).unwrap();
+        assert_eq!(rebuilt, direct);
+    }
+
+    #[test]
+    fn cache_invalidated_by_every_mutating_entry_point() {
+        use sources::ecosystem::{Ecosystem, EcosystemParams};
+        let eco = Ecosystem::generate(EcosystemParams::demo(7));
+
+        // import_dumps
+        let mut gm = GenMapper::in_memory().unwrap();
+        gm.import_dumps(&eco.dumps).unwrap();
+        gm.map("LocusLink", "GO").unwrap();
+        assert!(gm.mapping_cache_len() > 0);
+        gm.import_dumps(&eco.dumps).unwrap(); // idempotent, still invalidates
+        assert_eq!(gm.mapping_cache_len(), 0);
+
+        // import_batch
+        gm.map("LocusLink", "GO").unwrap();
+        let batch = eco.dumps[0].parse().unwrap();
+        gm.import_batch(&batch).unwrap();
+        assert_eq!(gm.mapping_cache_len(), 0);
+
+        // materialize_composed
+        gm.map("LocusLink", "GO").unwrap();
+        gm.materialize_composed(&["Unigene", "LocusLink", "GO"]).unwrap();
+        assert_eq!(gm.mapping_cache_len(), 0);
+
+        // materialize_subsumed
+        gm.map("LocusLink", "GO").unwrap();
+        gm.materialize_subsumed("GO").unwrap();
+        assert_eq!(gm.mapping_cache_len(), 0);
+
+        // store_mut (even without an actual write)
+        gm.map("LocusLink", "GO").unwrap();
+        let _ = gm.store_mut();
+        assert_eq!(gm.mapping_cache_len(), 0);
+    }
+
+    #[test]
+    fn parallel_query_matches_sequential() {
+        let mut seq_gm = system();
+        seq_gm.set_exec_config(ExecConfig::sequential());
+        let mut par_gm = system();
+        par_gm.set_exec_config(ExecConfig {
+            jobs: 4,
+            parallel_threshold: 0,
+        });
+        let specs = [
+            QuerySpec::source("LocusLink")
+                .target("Hugo")
+                .target("GO")
+                .target("Location")
+                .target("OMIM")
+                .or(),
+            QuerySpec::source("LocusLink")
+                .target("GO")
+                .target("OMIM")
+                .and(),
+            QuerySpec::source("NetAffx").target("GO").and(),
+            QuerySpec::source("LocusLink")
+                .target("GO")
+                .target_spec(crate::query::TargetQuery::new("OMIM").negated())
+                .and(),
+        ];
+        for (i, spec) in specs.iter().enumerate() {
+            let seq = seq_gm.query(spec).unwrap();
+            let par = par_gm.query(spec).unwrap();
+            assert_eq!(par, seq, "spec {i}");
+            // and a second (cache-hit) run is still identical
+            let hit = par_gm.query(spec).unwrap();
+            assert_eq!(hit, seq, "spec {i} cache hit");
+        }
+    }
+
+    #[test]
+    fn compose_with_threshold_cached_per_floor() {
+        let gm = system();
+        let lax = gm
+            .compose_with_threshold(&["Unigene", "LocusLink", "GO"], 0.0)
+            .unwrap();
+        let strict = gm
+            .compose_with_threshold(&["Unigene", "LocusLink", "GO"], 0.9)
+            .unwrap();
+        assert!(strict.len() <= lax.len());
+        // distinct floors are distinct cache entries
+        let lax2 = gm
+            .compose_with_threshold(&["Unigene", "LocusLink", "GO"], 0.0)
+            .unwrap();
+        assert!(Arc::ptr_eq(&lax, &lax2));
+        assert!(!Arc::ptr_eq(&lax, &strict));
+        // invalid floor still rejected
+        assert!(gm
+            .compose_with_threshold(&["Unigene", "LocusLink", "GO"], f64::NAN)
+            .is_err());
     }
 
     #[test]

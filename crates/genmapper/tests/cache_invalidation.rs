@@ -1,0 +1,109 @@
+//! Property test for the versioned mapping cache: no matter how cache
+//! warm-ups are interleaved with store mutations (direct writes, repeated
+//! imports, materializations), the cached `GenMapper::map` / `compose`
+//! results must always equal a fresh, cache-free computation with the
+//! low-level operators. A single stale read fails the property.
+
+use genmapper::GenMapper;
+use proptest::prelude::*;
+use sources::ecosystem::{Ecosystem, EcosystemParams};
+use std::sync::Arc;
+
+/// One step of an interleaved workload.
+#[derive(Debug, Clone)]
+enum Op {
+    /// Warm / read the cache for Map(LocusLink, GO) and check it against
+    /// the uncached operator result.
+    CheckMap,
+    /// Same for Compose(Unigene, LocusLink, GO).
+    CheckCompose,
+    /// Mutate through `store_mut`: add one scored association to the
+    /// LocusLink<->GO mapping (millis scales the evidence).
+    AddAssociation(u32),
+    /// Re-import the full ecosystem dumps (idempotent on objects, but a
+    /// mutating entry point all the same).
+    Reimport,
+    /// Materialize the composed Unigene->GO mapping, which *changes* what
+    /// Map(Unigene, GO) returns afterwards.
+    MaterializeComposed,
+}
+
+fn arb_op() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        3 => Just(Op::CheckMap),
+        3 => Just(Op::CheckCompose),
+        3 => (0u32..=1000).prop_map(Op::AddAssociation),
+        1 => Just(Op::Reimport),
+        1 => Just(Op::MaterializeComposed),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn cached_results_never_go_stale(ops in prop::collection::vec(arb_op(), 1..14)) {
+        let eco = Ecosystem::generate(EcosystemParams::demo(7));
+        let mut gm = GenMapper::in_memory().unwrap();
+        gm.import_dumps(&eco.dumps).unwrap();
+
+        let ll = gm.source_id("LocusLink").unwrap();
+        let go = gm.source_id("GO").unwrap();
+        let ug = gm.source_id("Unigene").unwrap();
+        let (rel, forward) = gm
+            .store()
+            .find_source_rel(ll, go, Some(gam::model::RelType::Fact))
+            .unwrap()
+            .expect("demo ecosystem maps LocusLink to GO");
+        let ll_objs = gm.store().object_ids_of(ll).unwrap();
+        let go_objs = gm.store().object_ids_of(go).unwrap();
+
+        let mut next_pair = 0usize;
+        for op in &ops {
+            match op {
+                Op::CheckMap => {
+                    let cached = gm.map("LocusLink", "GO").unwrap();
+                    let fresh = operators::map(gm.store(), ll, go).unwrap();
+                    prop_assert_eq!(cached, fresh);
+                }
+                Op::CheckCompose => {
+                    let cached = gm.compose(&["Unigene", "LocusLink", "GO"]).unwrap();
+                    let fresh =
+                        operators::compose_path(gm.store(), &[ug, ll, go]).unwrap();
+                    prop_assert_eq!(cached, fresh);
+                }
+                Op::AddAssociation(millis) => {
+                    let o_ll = ll_objs[next_pair % ll_objs.len()];
+                    let o_go = go_objs[next_pair % go_objs.len()];
+                    next_pair += 1;
+                    let (o1, o2) = if forward { (o_ll, o_go) } else { (o_go, o_ll) };
+                    gm.store_mut()
+                        .add_association(rel.id, o1, o2, Some(f64::from(*millis) / 1000.0))
+                        .unwrap();
+                    prop_assert_eq!(gm.mapping_cache_len(), 0, "mutation must drop the cache");
+                }
+                Op::Reimport => {
+                    gm.import_dumps(&eco.dumps).unwrap();
+                    prop_assert_eq!(gm.mapping_cache_len(), 0, "reimport must drop the cache");
+                }
+                Op::MaterializeComposed => {
+                    gm.materialize_composed(&["Unigene", "LocusLink", "GO"]).unwrap();
+                    prop_assert_eq!(
+                        gm.mapping_cache_len(), 0,
+                        "materialization must drop the cache"
+                    );
+                    // the new derived mapping must be visible immediately
+                    let cached = gm.map("Unigene", "GO").unwrap();
+                    let fresh = operators::map(gm.store(), ug, go).unwrap();
+                    prop_assert_eq!(cached, fresh);
+                }
+            }
+        }
+
+        // after the dust settles: repeated reads hit one shared entry
+        let a = gm.map_shared("LocusLink", "GO").unwrap();
+        let b = gm.map_shared("LocusLink", "GO").unwrap();
+        prop_assert!(Arc::ptr_eq(&a, &b));
+        prop_assert_eq!((*a).clone(), operators::map(gm.store(), ll, go).unwrap());
+    }
+}

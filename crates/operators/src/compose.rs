@@ -13,37 +13,38 @@
 //! promising subject for future research". Two all-fact inputs therefore
 //! compose into fact associations.
 
+use crate::exec::{partitioned, ExecConfig};
 use crate::simple::map;
 use gam::mapping::Association;
 use gam::model::RelType;
-use gam::{GamError, GamResult, GamStore, Mapping, SourceId};
+use gam::{GamError, GamResult, GamStore, Mapping, ObjectId, SourceId};
 use std::collections::HashMap;
 
-/// Compose two in-memory mappings sharing a middle source
-/// (`left.to == right.from`). Output pairs are deduplicated keeping the
-/// strongest evidence.
-pub fn compose(left: &Mapping, right: &Mapping) -> GamResult<Mapping> {
-    if left.to != right.from {
-        return Err(GamError::Invalid(format!(
-            "compose: mappings do not share a source ({} vs {})",
-            left.to, right.from
-        )));
-    }
-    // hash join on the shared middle objects; build side = right
-    let mut by_mid: HashMap<gam::ObjectId, Vec<&Association>> =
-        HashMap::with_capacity(right.pairs.len());
-    for assoc in &right.pairs {
-        by_mid.entry(assoc.from).or_default().push(assoc);
-    }
-    let mut out = Mapping::empty(left.from, right.to, RelType::Composed);
-    for l in &left.pairs {
+/// Probe one contiguous chunk of the left mapping against the shared
+/// build-side index. `min_evidence` is applied **during** the probe, so
+/// pairs below the floor are never allocated; this is exactly equivalent to
+/// composing fully and filtering afterwards because duplicates are later
+/// deduped to their maximum evidence, and the maximum survives the floor
+/// iff any duplicate does.
+fn probe_chunk(
+    chunk: &[Association],
+    by_mid: &HashMap<ObjectId, Vec<&Association>>,
+    min_evidence: Option<f64>,
+) -> Vec<Association> {
+    let mut out = Vec::new();
+    for l in chunk {
         if let Some(matches) = by_mid.get(&l.to) {
             for r in matches {
                 let evidence = match (l.evidence, r.evidence) {
                     (None, None) => None, // fact ∘ fact = fact
                     _ => Some(l.effective_evidence() * r.effective_evidence()),
                 };
-                out.pairs.push(Association {
+                if let Some(floor) = min_evidence {
+                    if evidence.unwrap_or(1.0) < floor {
+                        continue;
+                    }
+                }
+                out.push(Association {
                     from: l.from,
                     to: r.to,
                     evidence,
@@ -51,8 +52,58 @@ pub fn compose(left: &Mapping, right: &Mapping) -> GamResult<Mapping> {
             }
         }
     }
-    out.dedup();
-    Ok(out)
+    out
+}
+
+/// The shared join core: build an index over the right mapping's middle
+/// objects, probe the left side (chunked across `cfg`'s worker pool when
+/// large enough), and merge the per-worker buffers in partition order.
+fn compose_inner(
+    left: &Mapping,
+    right: &Mapping,
+    min_evidence: Option<f64>,
+    cfg: &ExecConfig,
+) -> GamResult<Mapping> {
+    if left.to != right.from {
+        return Err(GamError::Invalid(format!(
+            "compose: mappings do not share a source ({} vs {})",
+            left.to, right.from
+        )));
+    }
+    // hash join on the shared middle objects; build side = right
+    let mut by_mid: HashMap<ObjectId, Vec<&Association>> =
+        HashMap::with_capacity(right.pairs.len());
+    for assoc in &right.pairs {
+        by_mid.entry(assoc.from).or_default().push(assoc);
+    }
+    let jobs = cfg.effective_jobs(left.pairs.len());
+    let parts = partitioned(&left.pairs, jobs, |chunk| {
+        probe_chunk(chunk, &by_mid, min_evidence)
+    });
+    Ok(Mapping::from_parts(
+        left.from,
+        right.to,
+        RelType::Composed,
+        parts,
+    ))
+}
+
+/// Compose two in-memory mappings sharing a middle source
+/// (`left.to == right.from`). Output pairs are deduplicated keeping the
+/// strongest evidence. Runs sequentially; see [`compose_par`] for the
+/// partitioned parallel variant (bit-identical output).
+pub fn compose(left: &Mapping, right: &Mapping) -> GamResult<Mapping> {
+    compose_inner(left, right, None, &ExecConfig::sequential())
+}
+
+/// [`compose`] with a partitioned parallel probe: the build-side index is
+/// shared, the left (probe) side is split into contiguous chunks across
+/// `cfg.jobs` scoped threads, and per-worker outputs are merged back in
+/// chunk order before the deterministic dedup — so the result is
+/// bit-identical to [`compose`]. Inputs below `cfg.parallel_threshold`
+/// fall back to the sequential path.
+pub fn compose_par(left: &Mapping, right: &Mapping, cfg: &ExecConfig) -> GamResult<Mapping> {
+    compose_inner(left, right, None, cfg)
 }
 
 /// Compose with an evidence floor: composed associations whose combined
@@ -64,18 +115,28 @@ pub fn compose(left: &Mapping, right: &Mapping) -> GamResult<Mapping> {
 /// paper's noted risk that "Compose may lead to wrong associations when
 /// the transitivity assumption does not hold": low-confidence chains are
 /// exactly where transitivity breaks.
+///
+/// The floor is applied inside the probe loop, so rejected pairs are never
+/// materialized.
 pub fn compose_with_threshold(
     left: &Mapping,
     right: &Mapping,
     min_evidence: f64,
 ) -> GamResult<Mapping> {
+    compose_with_threshold_par(left, right, min_evidence, &ExecConfig::sequential())
+}
+
+/// [`compose_with_threshold`] with the partitioned parallel probe.
+pub fn compose_with_threshold_par(
+    left: &Mapping,
+    right: &Mapping,
+    min_evidence: f64,
+    cfg: &ExecConfig,
+) -> GamResult<Mapping> {
     if !(0.0..=1.0).contains(&min_evidence) || min_evidence.is_nan() {
         return Err(GamError::BadEvidence(min_evidence));
     }
-    let mut out = compose(left, right)?;
-    out.pairs
-        .retain(|a| a.effective_evidence() >= min_evidence);
-    Ok(out)
+    compose_inner(left, right, Some(min_evidence), cfg)
 }
 
 /// Compose along a path with an evidence floor applied at every step, so
@@ -85,6 +146,20 @@ pub fn compose_path_with_threshold(
     path: &[SourceId],
     min_evidence: f64,
 ) -> GamResult<Mapping> {
+    compose_path_with_threshold_par(store, path, min_evidence, &ExecConfig::sequential())
+}
+
+/// [`compose_path_with_threshold`] with the partitioned parallel probe at
+/// every join step.
+pub fn compose_path_with_threshold_par(
+    store: &GamStore,
+    path: &[SourceId],
+    min_evidence: f64,
+    cfg: &ExecConfig,
+) -> GamResult<Mapping> {
+    if !(0.0..=1.0).contains(&min_evidence) || min_evidence.is_nan() {
+        return Err(GamError::BadEvidence(min_evidence));
+    }
     if path.len() < 2 {
         return Err(GamError::Invalid(
             "compose path needs at least two sources".into(),
@@ -95,7 +170,7 @@ pub fn compose_path_with_threshold(
         .retain(|a| a.effective_evidence() >= min_evidence);
     for window in path[1..].windows(2) {
         let step = map(store, window[0], window[1])?;
-        acc = compose_with_threshold(&acc, &step, min_evidence)?;
+        acc = compose_with_threshold_par(&acc, &step, min_evidence, cfg)?;
         if acc.is_empty() {
             break;
         }
@@ -112,6 +187,15 @@ pub fn compose_path_with_threshold(
 /// The path must name at least two sources; a two-source path degenerates
 /// to `Map` itself.
 pub fn compose_path(store: &GamStore, path: &[SourceId]) -> GamResult<Mapping> {
+    compose_path_par(store, path, &ExecConfig::sequential())
+}
+
+/// [`compose_path`] with the partitioned parallel probe at every join step.
+pub fn compose_path_par(
+    store: &GamStore,
+    path: &[SourceId],
+    cfg: &ExecConfig,
+) -> GamResult<Mapping> {
     if path.len() < 2 {
         return Err(GamError::Invalid(
             "compose path needs at least two sources".into(),
@@ -120,7 +204,7 @@ pub fn compose_path(store: &GamStore, path: &[SourceId]) -> GamResult<Mapping> {
     let mut acc = map(store, path[0], path[1])?;
     for window in path[1..].windows(2) {
         let step = map(store, window[0], window[1])?;
-        acc = compose(&acc, &step)?;
+        acc = compose_par(&acc, &step, cfg)?;
         if acc.is_empty() {
             // no surviving associations; keep going so the result has the
             // right endpoints, but no further joins can add pairs
@@ -248,6 +332,79 @@ mod tests {
         // invalid thresholds rejected
         assert!(compose_with_threshold(&ab, &bc, 1.5).is_err());
         assert!(compose_with_threshold(&ab, &bc, f64::NAN).is_err());
+    }
+
+    #[test]
+    fn parallel_compose_is_bit_identical() {
+        // deterministic pseudo-random mapping large enough to exercise
+        // several partitions, with duplicate pairs and mixed evidence
+        let mut state = 0x9e3779b97f4a7c15u64;
+        let mut next = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state
+        };
+        let mut left = m(1, 2, &[]);
+        let mut right = m(2, 3, &[]);
+        for _ in 0..5_000 {
+            let e = match next() % 3 {
+                0 => None,
+                _ => Some((next() % 1000) as f64 / 1000.0),
+            };
+            left.pairs.push(Association {
+                from: ObjectId(next() % 200),
+                to: ObjectId(next() % 150),
+                evidence: e,
+            });
+            right.pairs.push(Association {
+                from: ObjectId(next() % 150),
+                to: ObjectId(next() % 200),
+                evidence: e.map(|v| 1.0 - v),
+            });
+        }
+        let seq = compose(&left, &right).unwrap();
+        for jobs in [2, 3, 4, 8] {
+            let cfg = ExecConfig {
+                jobs,
+                parallel_threshold: 0,
+            };
+            let par = compose_par(&left, &right, &cfg).unwrap();
+            assert_eq!(par, seq, "jobs={jobs}");
+            let seq_t = compose_with_threshold(&left, &right, 0.25).unwrap();
+            let par_t = compose_with_threshold_par(&left, &right, 0.25, &cfg).unwrap();
+            assert_eq!(par_t, seq_t, "threshold jobs={jobs}");
+        }
+    }
+
+    #[test]
+    fn threshold_in_probe_equals_filter_after() {
+        // the probe-time floor must match the old compose-then-retain
+        // semantics, including on duplicate pairs with mixed evidence
+        let left = m(
+            1,
+            2,
+            &[(1, 10, Some(0.9)), (1, 10, Some(0.3)), (2, 11, None), (3, 10, Some(0.4))],
+        );
+        let right = m(2, 3, &[(10, 20, Some(0.7)), (10, 21, None), (11, 22, Some(0.2))]);
+        let mut reference = compose(&left, &right).unwrap();
+        reference.pairs.retain(|a| a.effective_evidence() >= 0.5);
+        let filtered = compose_with_threshold(&left, &right, 0.5).unwrap();
+        assert_eq!(filtered, reference);
+    }
+
+    #[test]
+    fn below_threshold_inputs_stay_sequential() {
+        // tiny input + huge threshold: effective_jobs must be 1, and the
+        // result identical either way
+        let left = m(1, 2, &[(1, 10, None)]);
+        let right = m(2, 3, &[(10, 20, None)]);
+        let cfg = ExecConfig::with_jobs(8);
+        assert_eq!(cfg.effective_jobs(left.pairs.len()), 1);
+        assert_eq!(
+            compose_par(&left, &right, &cfg).unwrap(),
+            compose(&left, &right).unwrap()
+        );
     }
 
     #[test]

@@ -1,0 +1,148 @@
+//! Execution configuration and the scoped-thread partitioning primitive
+//! shared by the parallel operators.
+//!
+//! The mapping algebra parallelizes along two independent axes:
+//!
+//! * **within one join** — `Compose` chunks its probe side across a worker
+//!   pool over a shared build-side index ([`crate::compose::compose_par`]);
+//! * **across view columns** — `GenerateView` resolves each target's
+//!   Map/Compose + restrict pipeline concurrently and only folds the final
+//!   AND/OR join sequentially ([`crate::view::generate_view_par`]).
+//!
+//! Both axes preserve bit-identical output: partitions are contiguous
+//! in-order slices of the probe side, per-worker buffers are merged back in
+//! partition order, and the final `Mapping::dedup` / row sort are the same
+//! total orders the sequential path applies. Determinism therefore does not
+//! depend on thread scheduling.
+//!
+//! Workers are plain `std::thread::scope` threads; small inputs fall back
+//! to the sequential code below [`ExecConfig::parallel_threshold`], where
+//! thread spawn overhead would dominate the join itself.
+
+/// Tunables for parallel operator execution.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ExecConfig {
+    /// Maximum number of worker threads per operation. `0` and `1` both
+    /// mean fully sequential execution.
+    pub jobs: usize,
+    /// Probe-side size (in associations) below which a join runs
+    /// sequentially even when `jobs > 1`.
+    pub parallel_threshold: usize,
+}
+
+/// Default probe-side size under which parallelism is not worth the spawn
+/// cost (a worker must amortize ~tens of microseconds of thread startup).
+pub const DEFAULT_PARALLEL_THRESHOLD: usize = 8_192;
+
+impl Default for ExecConfig {
+    fn default() -> Self {
+        ExecConfig {
+            jobs: std::thread::available_parallelism()
+                .map(std::num::NonZeroUsize::get)
+                .unwrap_or(1),
+            parallel_threshold: DEFAULT_PARALLEL_THRESHOLD,
+        }
+    }
+}
+
+impl ExecConfig {
+    /// Fully sequential execution (the seed behaviour).
+    pub fn sequential() -> Self {
+        ExecConfig {
+            jobs: 1,
+            parallel_threshold: DEFAULT_PARALLEL_THRESHOLD,
+        }
+    }
+
+    /// A config with an explicit worker count and the default threshold.
+    pub fn with_jobs(jobs: usize) -> Self {
+        ExecConfig {
+            jobs,
+            parallel_threshold: DEFAULT_PARALLEL_THRESHOLD,
+        }
+    }
+
+    /// Worker count actually used for a probe side of `work` items.
+    pub fn effective_jobs(&self, work: usize) -> usize {
+        if self.jobs <= 1 || work < self.parallel_threshold {
+            1
+        } else {
+            self.jobs.min(work)
+        }
+    }
+}
+
+/// Split `items` into at most `jobs` contiguous chunks, run `f` on each
+/// chunk on its own scoped thread, and return the per-chunk results **in
+/// chunk order** — the caller can concatenate them and obtain exactly the
+/// sequence a sequential left-to-right pass would have produced.
+pub fn partitioned<T, R, F>(items: &[T], jobs: usize, f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&[T]) -> R + Sync,
+{
+    if jobs <= 1 || items.len() <= 1 {
+        return vec![f(items)];
+    }
+    let chunk_size = items.len().div_ceil(jobs.min(items.len()));
+    let f = &f;
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = items
+            .chunks(chunk_size)
+            .map(|chunk| scope.spawn(move || f(chunk)))
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("partitioned worker panicked"))
+            .collect()
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn effective_jobs_respects_threshold() {
+        let cfg = ExecConfig {
+            jobs: 8,
+            parallel_threshold: 100,
+        };
+        assert_eq!(cfg.effective_jobs(99), 1);
+        assert_eq!(cfg.effective_jobs(100), 8);
+        assert_eq!(cfg.effective_jobs(1_000_000), 8);
+        assert_eq!(ExecConfig::sequential().effective_jobs(1_000_000), 1);
+        // never more workers than items
+        let tiny = ExecConfig {
+            jobs: 8,
+            parallel_threshold: 0,
+        };
+        assert_eq!(tiny.effective_jobs(3), 3);
+        // jobs = 0 behaves like 1
+        assert_eq!(ExecConfig { jobs: 0, parallel_threshold: 0 }.effective_jobs(10), 1);
+    }
+
+    #[test]
+    fn partitioned_preserves_order() {
+        let items: Vec<u64> = (0..10_000).collect();
+        for jobs in [1, 2, 3, 7, 16] {
+            let parts = partitioned(&items, jobs, |chunk| {
+                chunk.iter().map(|x| x * 2).collect::<Vec<_>>()
+            });
+            let flat: Vec<u64> = parts.into_iter().flatten().collect();
+            let seq: Vec<u64> = items.iter().map(|x| x * 2).collect();
+            assert_eq!(flat, seq, "jobs={jobs}");
+        }
+    }
+
+    #[test]
+    fn partitioned_handles_empty_and_single() {
+        let empty: Vec<u64> = Vec::new();
+        let parts = partitioned(&empty, 4, |c| c.len());
+        assert_eq!(parts, vec![0]);
+        let one = [42u64];
+        let parts = partitioned(&one, 4, |c| c.to_vec());
+        assert_eq!(parts.concat(), vec![42]);
+    }
+}

@@ -14,16 +14,27 @@
 //! Results of general interest — Composed mappings and Subsumed closures —
 //! can be [materialized](materialize) back into the central database, the
 //! paper's mechanism for supporting frequent queries.
+//!
+//! `Compose` and `GenerateView` additionally come in `_par` variants
+//! ([`compose_par`], [`generate_view_par`]) that execute the join probe and
+//! the per-target resolution pipelines on a scoped-thread worker pool
+//! configured by [`exec::ExecConfig`] — with output bit-identical to the
+//! sequential operators (see [`exec`] for the determinism argument).
 
 pub mod compose;
+pub mod exec;
 pub mod materialize;
 pub mod setops;
 pub mod simple;
 pub mod subsume;
 pub mod view;
 
-pub use compose::{compose, compose_path, compose_path_with_threshold, compose_with_threshold};
+pub use compose::{
+    compose, compose_par, compose_path, compose_path_par, compose_path_with_threshold,
+    compose_path_with_threshold_par, compose_with_threshold, compose_with_threshold_par,
+};
+pub use exec::ExecConfig;
 pub use setops::{difference, intersect, union};
-pub use simple::{map, map_or_compose, DirectResolver, MappingResolver};
+pub use simple::{map, map_or_compose, map_or_compose_par, DirectResolver, MappingResolver};
 pub use subsume::subsume;
-pub use view::{generate_view, AnnotationView, Combine, TargetSpec, ViewQuery};
+pub use view::{generate_view, generate_view_par, AnnotationView, Combine, TargetSpec, ViewQuery};

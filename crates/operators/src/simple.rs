@@ -51,7 +51,10 @@ pub fn map(store: &GamStore, from: SourceId, to: SourceId) -> GamResult<Mapping>
 /// How `GenerateView` obtains the mapping `Mi: S ↔ Ti` — "using either the
 /// Map or Compose operation" (Figure 5). Implementations may search the
 /// source graph for a mapping path; [`DirectResolver`] only uses `Map`.
-pub trait MappingResolver {
+///
+/// `Sync` is required so one resolver can serve the concurrent per-target
+/// resolution of [`crate::view::generate_view_par`].
+pub trait MappingResolver: Sync {
     /// Produce a mapping oriented `from → to`.
     fn resolve(&self, store: &GamStore, from: SourceId, to: SourceId) -> GamResult<Mapping>;
 }
@@ -74,9 +77,21 @@ pub fn map_or_compose(
     to: SourceId,
     path: &[SourceId],
 ) -> GamResult<Mapping> {
+    map_or_compose_par(store, from, to, path, &crate::exec::ExecConfig::sequential())
+}
+
+/// [`map_or_compose`] with the partitioned parallel probe for the Compose
+/// fallback.
+pub fn map_or_compose_par(
+    store: &GamStore,
+    from: SourceId,
+    to: SourceId,
+    path: &[SourceId],
+    cfg: &crate::exec::ExecConfig,
+) -> GamResult<Mapping> {
     match map(store, from, to) {
         Ok(m) => Ok(m),
-        Err(GamError::NoMapping { .. }) => crate::compose::compose_path(store, path),
+        Err(GamError::NoMapping { .. }) => crate::compose::compose_path_par(store, path, cfg),
         Err(e) => Err(e),
     }
 }

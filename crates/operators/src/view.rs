@@ -19,6 +19,7 @@
 //! The result is "a view of m+1 attributes, S, T1, ..., Tm, containing
 //! tuples of related objects from the corresponding sources".
 
+use crate::exec::ExecConfig;
 use crate::simple::MappingResolver;
 use gam::{GamResult, GamStore, ObjectId, SourceId};
 use std::collections::{BTreeSet, HashMap};
@@ -183,62 +184,127 @@ impl AnnotationView {
     }
 }
 
+/// Resolve one target column: determine `Mi` (Map or Compose along the
+/// explicit path), apply the evidence floor, restrict to `s` and `ti`, and
+/// handle negation — everything in Figure 5 up to, but excluding, the
+/// AND/OR join fold. The result maps each surviving source object to its
+/// annotation values (empty = object present with NULL, e.g. negation).
+fn resolve_target(
+    store: &GamStore,
+    query: &ViewQuery,
+    spec: &TargetSpec,
+    s: &BTreeSet<ObjectId>,
+    resolver: &dyn MappingResolver,
+    cfg: &ExecConfig,
+) -> GamResult<HashMap<ObjectId, Vec<ObjectId>>> {
+    // Determine Mi: S↔Ti, using Map or Compose.
+    let mut mi_full = match &spec.path {
+        Some(path) => {
+            crate::simple::map_or_compose_par(store, query.source, spec.target, path, cfg)?
+        }
+        None => resolver.resolve(store, query.source, spec.target)?,
+    };
+    if let Some(threshold) = spec.min_evidence {
+        if !(0.0..=1.0).contains(&threshold) || threshold.is_nan() {
+            return Err(gam::GamError::BadEvidence(threshold));
+        }
+        mi_full
+            .pairs
+            .retain(|a| a.effective_evidence() >= threshold);
+    }
+    // mi = RestrictRange(RestrictDomain(Mi, s), ti)
+    let mut mi = mi_full.restrict_domain(s);
+    if let Some(ti) = &spec.objects {
+        mi = mi.restrict_range(ti);
+    }
+    // Negation: preserve exactly the objects without the annotation.
+    if spec.negated {
+        let covered = mi.domain();
+        let s_hat: BTreeSet<ObjectId> = s.difference(&covered).copied().collect();
+        let m_hat = mi_full.restrict_domain(&s_hat);
+        // right outer join with sî on S: every object of sî appears,
+        // with its other associations or NULL
+        let mut out: HashMap<ObjectId, Vec<ObjectId>> = HashMap::with_capacity(s_hat.len());
+        for assoc in &m_hat.pairs {
+            out.entry(assoc.from).or_default().push(assoc.to);
+        }
+        for &obj in &s_hat {
+            out.entry(obj).or_default();
+        }
+        Ok(out)
+    } else {
+        let mut out: HashMap<ObjectId, Vec<ObjectId>> = HashMap::new();
+        for assoc in &mi.pairs {
+            out.entry(assoc.from).or_default().push(assoc.to);
+        }
+        Ok(out)
+    }
+}
+
 /// Execute `GenerateView` against a store, resolving mappings with
 /// `resolver` (falling back to each target's explicit path when given).
+/// Runs sequentially; see [`generate_view_par`].
 pub fn generate_view(
     store: &GamStore,
     query: &ViewQuery,
     resolver: &dyn MappingResolver,
+) -> GamResult<AnnotationView> {
+    generate_view_par(store, query, resolver, &ExecConfig::sequential())
+}
+
+/// [`generate_view`] with parallel per-target resolution: each
+/// `TargetSpec`'s Map/Compose + restrict pipeline is independent of the
+/// others, so all target columns are resolved concurrently on scoped
+/// threads; only the final AND/OR join fold runs sequentially in target
+/// order, preserving row semantics. Each per-target pipeline is itself the
+/// sequential code, so the folded rows — and after the final sort, the
+/// whole view — are bit-identical to the sequential result. Errors
+/// surface in target order, matching the sequential path.
+pub fn generate_view_par(
+    store: &GamStore,
+    query: &ViewQuery,
+    resolver: &dyn MappingResolver,
+    cfg: &ExecConfig,
 ) -> GamResult<AnnotationView> {
     // V = s — start with all given source objects.
     let s: BTreeSet<ObjectId> = match &query.objects {
         Some(set) => set.clone(),
         None => store.object_ids_of(query.source)?.into_iter().collect(),
     };
+
+    let target_jobs = if cfg.jobs > 1 { cfg.jobs.min(query.targets.len()) } else { 1 };
+    let resolved: Vec<GamResult<HashMap<ObjectId, Vec<ObjectId>>>> = if target_jobs > 1 {
+        // one worker per target (capped at cfg.jobs); the per-target
+        // pipelines run their inner joins sequentially to keep the total
+        // thread count bounded by cfg.jobs
+        let inner = ExecConfig::sequential();
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = query
+                .targets
+                .iter()
+                .map(|spec| {
+                    let s = &s;
+                    let inner = &inner;
+                    scope.spawn(move || resolve_target(store, query, spec, s, resolver, inner))
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("target resolution worker panicked"))
+                .collect()
+        })
+    } else {
+        query
+            .targets
+            .iter()
+            .map(|spec| resolve_target(store, query, spec, &s, resolver, cfg))
+            .collect()
+    };
+
+    // Fold sequentially, in target order (AND/OR join semantics).
     let mut rows: Vec<Vec<Option<ObjectId>>> = s.iter().map(|&o| vec![Some(o)]).collect();
-
-    for spec in &query.targets {
-        // Determine Mi: S↔Ti, using Map or Compose.
-        let mut mi_full = match &spec.path {
-            Some(path) => crate::simple::map_or_compose(store, query.source, spec.target, path)?,
-            None => resolver.resolve(store, query.source, spec.target)?,
-        };
-        if let Some(threshold) = spec.min_evidence {
-            if !(0.0..=1.0).contains(&threshold) || threshold.is_nan() {
-                return Err(gam::GamError::BadEvidence(threshold));
-            }
-            mi_full
-                .pairs
-                .retain(|a| a.effective_evidence() >= threshold);
-        }
-        // mi = RestrictRange(RestrictDomain(Mi, s), ti)
-        let mut mi = mi_full.restrict_domain(&s);
-        if let Some(ti) = &spec.objects {
-            mi = mi.restrict_range(ti);
-        }
-        // Negation: preserve exactly the objects without the annotation.
-        let pairs: HashMap<ObjectId, Vec<ObjectId>> = if spec.negated {
-            let covered = mi.domain();
-            let s_hat: BTreeSet<ObjectId> = s.difference(&covered).copied().collect();
-            let m_hat = mi_full.restrict_domain(&s_hat);
-            // right outer join with sî on S: every object of sî appears,
-            // with its other associations or NULL
-            let mut out: HashMap<ObjectId, Vec<ObjectId>> = HashMap::with_capacity(s_hat.len());
-            for assoc in &m_hat.pairs {
-                out.entry(assoc.from).or_default().push(assoc.to);
-            }
-            for &obj in &s_hat {
-                out.entry(obj).or_default();
-            }
-            out
-        } else {
-            let mut out: HashMap<ObjectId, Vec<ObjectId>> = HashMap::new();
-            for assoc in &mi.pairs {
-                out.entry(assoc.from).or_default().push(assoc.to);
-            }
-            out
-        };
-
+    for pairs in resolved {
+        let pairs = pairs?;
         // V = V inner join / left outer join mi on S.
         let mut next = Vec::with_capacity(rows.len());
         for row in rows {
@@ -532,6 +598,64 @@ mod tests {
         // invalid threshold is an error
         let q = ViewQuery::new(f.s).target(TargetSpec::all(f.go).min_evidence(1.5));
         assert!(generate_view(&f.store, &q, &DirectResolver).is_err());
+    }
+
+    #[test]
+    fn parallel_view_is_bit_identical() {
+        let f = fix();
+        let queries = [
+            ViewQuery::new(f.s)
+                .target(TargetSpec::all(f.go))
+                .target(TargetSpec::all(f.omim))
+                .combine(Combine::Or),
+            ViewQuery::new(f.s)
+                .target(TargetSpec::all(f.go))
+                .target(TargetSpec::all(f.omim))
+                .combine(Combine::And),
+            ViewQuery::new(f.s)
+                .target(TargetSpec::all(f.go))
+                .target(TargetSpec::all(f.omim).negated())
+                .combine(Combine::And),
+            ViewQuery::new(f.s)
+                .objects([f.l[0], f.l[1], f.l[2]].into())
+                .target(TargetSpec::restricted(f.go, [f.g[1]].into()))
+                .target(TargetSpec::all(f.omim))
+                .combine(Combine::Or),
+        ];
+        for (i, q) in queries.iter().enumerate() {
+            let seq = generate_view(&f.store, q, &DirectResolver).unwrap();
+            for jobs in [2, 4, 8] {
+                let cfg = ExecConfig {
+                    jobs,
+                    parallel_threshold: 0,
+                };
+                let par = generate_view_par(&f.store, q, &DirectResolver, &cfg).unwrap();
+                assert_eq!(par, seq, "query {i} jobs={jobs}");
+            }
+        }
+    }
+
+    #[test]
+    fn parallel_view_propagates_first_error_in_target_order() {
+        let mut f = fix();
+        let lonely = f
+            .store
+            .create_source("Lonely", SourceContent::Other, SourceStructure::Flat, None)
+            .unwrap()
+            .id;
+        // two failing targets: the reported error must name the first one
+        // (an invalid threshold on GO), matching the sequential path
+        let q = ViewQuery::new(f.s)
+            .target(TargetSpec::all(f.go).min_evidence(7.0))
+            .target(TargetSpec::all(lonely));
+        let cfg = ExecConfig {
+            jobs: 4,
+            parallel_threshold: 0,
+        };
+        let seq_err = generate_view(&f.store, &q, &DirectResolver).unwrap_err();
+        let par_err = generate_view_par(&f.store, &q, &DirectResolver, &cfg).unwrap_err();
+        assert_eq!(par_err.to_string(), seq_err.to_string());
+        assert!(matches!(par_err, gam::GamError::BadEvidence(_)));
     }
 
     #[test]

@@ -1,0 +1,163 @@
+//! Property tests for the parallel mapping algebra: on arbitrary random
+//! mappings, the partitioned parallel `Compose` / `GenerateView` must be
+//! **bit-identical** to the sequential implementations — same pairs, same
+//! evidence after dedup, same rows. This is the determinism contract the
+//! parallel executor documents in `operators::exec`.
+
+use gam::mapping::{Association, Mapping};
+use gam::model::{RelType, SourceContent, SourceStructure};
+use gam::{GamStore, ObjectId, SourceId};
+use operators::{
+    compose, compose_par, compose_with_threshold, compose_with_threshold_par, generate_view,
+    generate_view_par, Combine, DirectResolver, ExecConfig, TargetSpec, ViewQuery,
+};
+use proptest::prelude::*;
+
+/// An arbitrary association list over small id spaces, so duplicates and
+/// high fan-out (the hard cases for dedup determinism) are common.
+fn arb_pairs(max_len: usize) -> impl Strategy<Value = Vec<(u64, u64, Option<u32>)>> {
+    prop::collection::vec(
+        (0u64..64, 0u64..48, prop::option::of(0u32..=1000)),
+        0..max_len,
+    )
+}
+
+fn mapping(from: u32, to: u32, pairs: &[(u64, u64, Option<u32>)]) -> Mapping {
+    Mapping {
+        from: SourceId(from),
+        to: SourceId(to),
+        rel_type: RelType::Fact,
+        pairs: pairs
+            .iter()
+            .map(|&(f, t, e)| Association {
+                from: ObjectId(f),
+                to: ObjectId(t),
+                evidence: e.map(|m| f64::from(m) / 1000.0),
+            })
+            .collect(),
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// parallel compose ≡ sequential compose, for any worker count.
+    #[test]
+    fn parallel_compose_equals_sequential(
+        left in arb_pairs(400),
+        right in arb_pairs(400),
+        jobs in 2usize..9,
+    ) {
+        let l = mapping(1, 2, &left);
+        let r = mapping(2, 3, &right);
+        let seq = compose(&l, &r).unwrap();
+        let cfg = ExecConfig { jobs, parallel_threshold: 0 };
+        let par = compose_par(&l, &r, &cfg).unwrap();
+        // bit-identical: same pairs in the same order, evidence compared
+        // by bit pattern rather than float tolerance
+        prop_assert_eq!(par.pairs.len(), seq.pairs.len());
+        for (p, s) in par.pairs.iter().zip(&seq.pairs) {
+            prop_assert_eq!((p.from, p.to), (s.from, s.to));
+            prop_assert_eq!(
+                p.evidence.map(f64::to_bits),
+                s.evidence.map(f64::to_bits)
+            );
+        }
+        prop_assert_eq!(par, seq);
+    }
+
+    /// the probe-time evidence floor ≡ compose-then-retain, sequential and
+    /// parallel alike.
+    #[test]
+    fn threshold_in_probe_equals_retain(
+        left in arb_pairs(300),
+        right in arb_pairs(300),
+        floor_millis in 0u32..=1000,
+        jobs in 1usize..9,
+    ) {
+        let l = mapping(1, 2, &left);
+        let r = mapping(2, 3, &right);
+        let floor = f64::from(floor_millis) / 1000.0;
+        let mut reference = compose(&l, &r).unwrap();
+        reference.pairs.retain(|a| a.effective_evidence() >= floor);
+        let cfg = ExecConfig { jobs, parallel_threshold: 0 };
+        let seq = compose_with_threshold(&l, &r, floor).unwrap();
+        let par = compose_with_threshold_par(&l, &r, floor, &cfg).unwrap();
+        prop_assert_eq!(&seq, &reference);
+        prop_assert_eq!(&par, &reference);
+    }
+
+    /// parallel generate_view ≡ sequential generate_view over random
+    /// stores and query shapes (AND/OR, negation, restriction, floors).
+    #[test]
+    fn parallel_view_equals_sequential(
+        go_pairs in arb_pairs(150),
+        omim_pairs in arb_pairs(150),
+        and_mode in any::<bool>(),
+        negate_second in any::<bool>(),
+        floor_millis in prop::option::of(0u32..=1000),
+        jobs in 2usize..9,
+    ) {
+        let mut store = GamStore::in_memory().unwrap();
+        let s = store
+            .create_source("S", SourceContent::Gene, SourceStructure::Flat, None)
+            .unwrap()
+            .id;
+        let go = store
+            .create_source("GO", SourceContent::Other, SourceStructure::Network, None)
+            .unwrap()
+            .id;
+        let omim = store
+            .create_source("OMIM", SourceContent::Other, SourceStructure::Flat, None)
+            .unwrap()
+            .id;
+        let src_objs: Vec<ObjectId> = (0..64)
+            .map(|i| store.create_object(s, &format!("s{i}"), None, None).unwrap())
+            .collect();
+        let go_objs: Vec<ObjectId> = (0..48)
+            .map(|i| store.create_object(go, &format!("g{i}"), None, None).unwrap())
+            .collect();
+        let omim_objs: Vec<ObjectId> = (0..48)
+            .map(|i| store.create_object(omim, &format!("o{i}"), None, None).unwrap())
+            .collect();
+        let rel_go = store.create_source_rel(s, go, RelType::Similarity, None).unwrap();
+        let rel_omim = store.create_source_rel(s, omim, RelType::Similarity, None).unwrap();
+        for &(f, t, e) in &go_pairs {
+            let _ = store.add_association(
+                rel_go,
+                src_objs[(f % 64) as usize],
+                go_objs[(t % 48) as usize],
+                e.map(|m| f64::from(m) / 1000.0),
+            );
+        }
+        for &(f, t, e) in &omim_pairs {
+            let _ = store.add_association(
+                rel_omim,
+                src_objs[(f % 64) as usize],
+                omim_objs[(t % 48) as usize],
+                e.map(|m| f64::from(m) / 1000.0),
+            );
+        }
+
+        let mut first = TargetSpec::all(go);
+        if let Some(m) = floor_millis {
+            first = first.min_evidence(f64::from(m) / 1000.0);
+        }
+        let mut second = TargetSpec::restricted(
+            omim,
+            omim_objs.iter().take(20).copied().collect(),
+        );
+        if negate_second {
+            second = second.negated();
+        }
+        let query = ViewQuery::new(s)
+            .target(first)
+            .target(second)
+            .combine(if and_mode { Combine::And } else { Combine::Or });
+
+        let seq = generate_view(&store, &query, &DirectResolver).unwrap();
+        let cfg = ExecConfig { jobs, parallel_threshold: 0 };
+        let par = generate_view_par(&store, &query, &DirectResolver, &cfg).unwrap();
+        prop_assert_eq!(par, seq);
+    }
+}

@@ -1,0 +1,233 @@
+//! Standalone, dependency-free replica of the partitioned parallel Compose
+//! join (`operators::exec::partitioned` + `compose::probe_chunk` +
+//! `Mapping::dedup`), for environments where the full workspace cannot be
+//! built (no crates.io access). It
+//!
+//! 1. verifies that the parallel probe is bit-identical to the sequential
+//!    one for several worker counts and evidence floors, and
+//! 2. measures jobs ∈ {1, 2, 4, 8} timings and writes them to
+//!    `BENCH_parallel.json` in the current directory.
+//!
+//! Build & run:  rustc -O scripts/parallel_harness.rs -o /tmp/parallel_harness && /tmp/parallel_harness
+//!
+//! The logic below must stay in sync with `crates/operators/src/exec.rs`,
+//! `crates/operators/src/compose.rs` and `crates/gam/src/mapping.rs`; it is
+//! a measurement stand-in, not the implementation of record. Prefer
+//! `cargo run --release -p bench --bin experiments` whenever the workspace
+//! builds.
+
+use std::collections::HashMap;
+use std::time::Instant;
+
+#[derive(Debug, Clone, Copy, PartialEq)]
+struct Association {
+    from: u64,
+    to: u64,
+    evidence: Option<f64>,
+}
+
+impl Association {
+    fn effective_evidence(&self) -> f64 {
+        self.evidence.unwrap_or(1.0)
+    }
+}
+
+/// `Mapping::dedup`: stable sort by (from, to) then descending effective
+/// evidence; keep the first (strongest) of each (from, to) group.
+fn dedup(pairs: &mut Vec<Association>) {
+    pairs.sort_by(|a, b| {
+        (a.from, a.to)
+            .cmp(&(b.from, b.to))
+            .then_with(|| b.effective_evidence().total_cmp(&a.effective_evidence()))
+    });
+    pairs.dedup_by_key(|a| (a.from, a.to));
+}
+
+/// `exec::partitioned`: contiguous in-order chunks on scoped threads,
+/// results merged in chunk order.
+fn partitioned<R: Send>(
+    items: &[Association],
+    jobs: usize,
+    f: impl Fn(&[Association]) -> R + Sync,
+) -> Vec<R> {
+    if jobs <= 1 || items.len() <= 1 {
+        return vec![f(items)];
+    }
+    let jobs = jobs.min(items.len());
+    let chunk_size = items.len().div_ceil(jobs);
+    let f = &f;
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = items
+            .chunks(chunk_size)
+            .map(|chunk| scope.spawn(move || f(chunk)))
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("partition worker panicked"))
+            .collect()
+    })
+}
+
+/// `compose::probe_chunk`: probe one chunk of the left mapping against the
+/// shared build-side index, applying the evidence floor during the probe.
+fn probe_chunk(
+    chunk: &[Association],
+    by_mid: &HashMap<u64, Vec<&Association>>,
+    min_evidence: Option<f64>,
+) -> Vec<Association> {
+    let mut out = Vec::new();
+    for l in chunk {
+        if let Some(matches) = by_mid.get(&l.to) {
+            for r in matches {
+                let evidence = match (l.evidence, r.evidence) {
+                    (None, None) => None,
+                    _ => Some(l.effective_evidence() * r.effective_evidence()),
+                };
+                if let Some(floor) = min_evidence {
+                    if evidence.unwrap_or(1.0) < floor {
+                        continue;
+                    }
+                }
+                out.push(Association {
+                    from: l.from,
+                    to: r.to,
+                    evidence,
+                });
+            }
+        }
+    }
+    out
+}
+
+fn compose(
+    left: &[Association],
+    right: &[Association],
+    min_evidence: Option<f64>,
+    jobs: usize,
+) -> Vec<Association> {
+    let mut by_mid: HashMap<u64, Vec<&Association>> = HashMap::with_capacity(right.len());
+    for assoc in right {
+        by_mid.entry(assoc.from).or_default().push(assoc);
+    }
+    let parts = partitioned(left, jobs, |chunk| probe_chunk(chunk, &by_mid, min_evidence));
+    let mut pairs: Vec<Association> = Vec::with_capacity(parts.iter().map(Vec::len).sum());
+    for part in parts {
+        pairs.extend(part);
+    }
+    dedup(&mut pairs);
+    pairs
+}
+
+struct XorShift(u64);
+
+impl XorShift {
+    fn next(&mut self) -> u64 {
+        self.0 ^= self.0 << 13;
+        self.0 ^= self.0 >> 7;
+        self.0 ^= self.0 << 17;
+        self.0
+    }
+}
+
+fn generate(n: usize, seed: u64) -> (Vec<Association>, Vec<Association>) {
+    let mut rng = XorShift(seed);
+    let mid = (n / 2).max(1) as u64;
+    let mut left = Vec::with_capacity(n);
+    let mut right = Vec::with_capacity(n);
+    for i in 0..n {
+        let e = match rng.next() % 3 {
+            0 => None,
+            _ => Some((rng.next() % 1000) as f64 / 1000.0),
+        };
+        left.push(Association {
+            from: i as u64,
+            to: 1_000_000 + rng.next() % mid,
+            evidence: e,
+        });
+        right.push(Association {
+            from: 1_000_000 + rng.next() % mid,
+            to: 2_000_000 + i as u64,
+            evidence: e.map(|v| 1.0 - v),
+        });
+    }
+    dedup(&mut left);
+    dedup(&mut right);
+    (left, right)
+}
+
+fn assert_bit_identical(a: &[Association], b: &[Association], label: &str) {
+    assert_eq!(a.len(), b.len(), "{label}: length mismatch");
+    for (x, y) in a.iter().zip(b) {
+        assert_eq!((x.from, x.to), (y.from, y.to), "{label}: pair mismatch");
+        assert_eq!(
+            x.evidence.map(f64::to_bits),
+            y.evidence.map(f64::to_bits),
+            "{label}: evidence bits mismatch"
+        );
+    }
+}
+
+fn main() {
+    // -------------------------------------------------- determinism check
+    for &n in &[1_000usize, 50_000] {
+        let (left, right) = generate(n, 0x9e3779b97f4a7c15);
+        for floor in [None, Some(0.25), Some(0.9)] {
+            let seq = compose(&left, &right, floor, 1);
+            for jobs in [2usize, 3, 4, 8] {
+                let par = compose(&left, &right, floor, jobs);
+                assert_bit_identical(&seq, &par, &format!("n={n} floor={floor:?} jobs={jobs}"));
+            }
+            // probe-time floor == compose-then-retain
+            if let Some(t) = floor {
+                let mut reference = compose(&left, &right, None, 1);
+                reference.retain(|a| a.effective_evidence() >= t);
+                assert_bit_identical(&seq, &reference, &format!("n={n} floor-vs-retain"));
+            }
+        }
+    }
+    println!("determinism: parallel output bit-identical to sequential (OK)");
+
+    // --------------------------------------------------------- timings
+    let workers = std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(1);
+    let (left, right) = generate(200_000, 0x9e3779b97f4a7c15);
+    let join_pairs = left.len() + right.len();
+    let job_counts = [1usize, 2, 4, 8];
+    let mut secs = Vec::new();
+    for &jobs in &job_counts {
+        let _ = compose(&left, &right, None, jobs); // warm-up
+        let best = (0..5)
+            .map(|_| {
+                let t = Instant::now();
+                let out = compose(&left, &right, None, jobs);
+                let dt = t.elapsed().as_secs_f64();
+                std::hint::black_box(out.len());
+                dt
+            })
+            .fold(f64::INFINITY, f64::min);
+        secs.push(best);
+    }
+    println!("\ncompose, {join_pairs} input pairs, {workers} worker(s) available:");
+    println!("{:<6} {:>12} {:>10}", "jobs", "seconds", "speedup");
+    for (&jobs, &s) in job_counts.iter().zip(&secs) {
+        println!("{jobs:<6} {s:>12.6} {:>9.2}x", secs[0] / s);
+    }
+
+    let runs: Vec<String> = job_counts
+        .iter()
+        .zip(&secs)
+        .map(|(&jobs, &s)| {
+            format!(
+                "{{\"jobs\": {jobs}, \"seconds\": {s:.6}, \"speedup\": {:.3}}}",
+                secs[0] / s
+            )
+        })
+        .collect();
+    let json = format!(
+        "{{\n  \"generator\": \"scripts/parallel_harness.rs (standalone replica; regenerate with `cargo run --release -p bench --bin experiments` on a workspace-buildable host)\",\n  \"workers_available\": {workers},\n  \"compose\": {{\n    \"input_pairs\": {join_pairs},\n    \"runs\": [\n      {}\n    ]\n  }},\n  \"note\": \"speedup scales with physical cores; on a single-core host jobs>1 measures partitioning overhead only\"\n}}\n",
+        runs.join(",\n      ")
+    );
+    std::fs::write("BENCH_parallel.json", &json).expect("write BENCH_parallel.json");
+    println!("\nwrote BENCH_parallel.json");
+}
