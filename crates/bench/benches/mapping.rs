@@ -1,0 +1,150 @@
+//! Micro-bench for the allocation-lean `Mapping::dedup` / `from_parts`
+//! rewrite and the CSR `MappingIndex` build.
+//!
+//! The rewrite replaced a stable sort (which allocates a temporary buffer
+//! of half the input) with an in-place unstable sort under a canonical
+//! total order, and `from_parts` lost its intermediate per-pair map. The
+//! old shapes are replicated here so the win stays measurable.
+
+use bench::synthetic_mapping;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use gam::mapping::Association;
+use gam::{Mapping, MappingIndex, ObjectId};
+use std::collections::BTreeMap;
+
+/// The pre-rewrite dedup: stable sort + adjacent dedup. The comparator is
+/// the old one (pair key, then descending effective evidence) — stability
+/// is what made its tie handling order-dependent, and the temp buffer is
+/// what the unstable rewrite saves.
+fn dedup_stable_sort(pairs: &mut Vec<Association>) {
+    pairs.sort_by(|a, b| {
+        (a.from, a.to)
+            .cmp(&(b.from, b.to))
+            .then_with(|| b.effective_evidence().total_cmp(&a.effective_evidence()))
+    });
+    pairs.dedup_by_key(|a| (a.from, a.to));
+}
+
+/// The pre-rewrite `from_parts` shape: merge partitions through a
+/// node-per-pair map keeping the best evidence.
+fn from_parts_btree_map(parts: Vec<Vec<Association>>) -> Vec<Association> {
+    let mut best: BTreeMap<(ObjectId, ObjectId), Association> = BTreeMap::new();
+    for part in parts {
+        for a in part {
+            best.entry((a.from, a.to))
+                .and_modify(|cur| {
+                    if a.effective_evidence() > cur.effective_evidence() {
+                        *cur = a;
+                    }
+                })
+                .or_insert(a);
+        }
+    }
+    best.into_values().collect()
+}
+
+fn bench_dedup(c: &mut Criterion) {
+    let mut group = c.benchmark_group("mapping/dedup");
+    for &n in &[10_000usize, 100_000, 1_000_000] {
+        // fan_out 4 → ~25% duplicates, a composition-like duplicate rate
+        let base = synthetic_mapping(17, n, 4);
+        let mut raw = base.pairs.clone();
+        raw.extend(base.pairs.iter().take(n / 4).copied());
+        group.throughput(Throughput::Elements(raw.len() as u64));
+        group.bench_with_input(BenchmarkId::new("unstable_in_place", n), &raw, |b, raw| {
+            b.iter_batched(
+                || base.clone_with(raw.clone()),
+                |mut m| {
+                    m.dedup();
+                    m
+                },
+                criterion::BatchSize::LargeInput,
+            )
+        });
+        group.bench_with_input(BenchmarkId::new("stable_sort_old", n), &raw, |b, raw| {
+            b.iter_batched(
+                || raw.clone(),
+                |mut pairs| {
+                    dedup_stable_sort(&mut pairs);
+                    pairs
+                },
+                criterion::BatchSize::LargeInput,
+            )
+        });
+    }
+    group.finish();
+}
+
+fn bench_from_parts(c: &mut Criterion) {
+    let mut group = c.benchmark_group("mapping/from_parts");
+    for &n in &[100_000usize, 400_000] {
+        let base = synthetic_mapping(19, n, 4);
+        let parts: Vec<Vec<Association>> = base.pairs.chunks(n / 8 + 1).map(<[_]>::to_vec).collect();
+        group.throughput(Throughput::Elements(base.len() as u64));
+        group.bench_with_input(
+            BenchmarkId::new("concat_dedup", n),
+            &parts,
+            |b, parts| {
+                b.iter_batched(
+                    || parts.clone(),
+                    |parts| Mapping::from_parts(base.from, base.to, base.rel_type, parts),
+                    criterion::BatchSize::LargeInput,
+                )
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("btree_map_old", n),
+            &parts,
+            |b, parts| {
+                b.iter_batched(
+                    || parts.clone(),
+                    from_parts_btree_map,
+                    criterion::BatchSize::LargeInput,
+                )
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_index_build(c: &mut Criterion) {
+    let mut group = c.benchmark_group("mapping/index_build");
+    for &n in &[100_000usize, 400_000] {
+        let base = synthetic_mapping(23, n, 4);
+        group.throughput(Throughput::Elements(base.len() as u64));
+        group.bench_with_input(BenchmarkId::from_parameter(n), &base, |b, base| {
+            b.iter_batched(
+                || base.clone(),
+                MappingIndex::build,
+                criterion::BatchSize::LargeInput,
+            )
+        });
+    }
+    group.finish();
+}
+
+/// Helper: rebuild a mapping with replaced pairs (keeps the bench honest —
+/// dedup mutates, so every iteration needs a fresh copy).
+trait CloneWith {
+    fn clone_with(&self, pairs: Vec<Association>) -> Mapping;
+}
+
+impl CloneWith for Mapping {
+    fn clone_with(&self, pairs: Vec<Association>) -> Mapping {
+        Mapping {
+            from: self.from,
+            to: self.to,
+            rel_type: self.rel_type,
+            pairs,
+        }
+    }
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .warm_up_time(std::time::Duration::from_millis(500))
+        .measurement_time(std::time::Duration::from_secs(2));
+    targets = bench_dedup, bench_from_parts, bench_index_build
+}
+criterion_main!(benches);

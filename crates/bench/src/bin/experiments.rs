@@ -9,7 +9,7 @@ use bench::{composable_mappings, medium_fixture, scaled_params};
 use eav::EavRecord;
 use gam::mapping::Association;
 use gam::model::RelType;
-use gam::{Mapping, ObjectId, SourceId};
+use gam::{Mapping, MappingIndex, ObjectId, SourceId};
 use genmapper::{ExecConfig, GenMapper, QuerySpec, TargetQuery};
 use profiling::{ExpressionParams, ExpressionStudy, FunctionalProfile};
 use sources::ecosystem::{Ecosystem, EcosystemParams};
@@ -369,4 +369,90 @@ fn main() {
     );
     std::fs::write("BENCH_parallel.json", &json).expect("write BENCH_parallel.json");
     println!("\nwrote BENCH_parallel.json");
+
+    // --------------------------------------------------------------- CSR
+    heading(
+        "P-csr",
+        "CSR MappingIndex: indexed OBJECT_REL load + merge-join Compose (scale factors 1/4/16)",
+    );
+    let best_of = |runs: usize, f: &mut dyn FnMut()| -> f64 {
+        f(); // warm-up
+        (0..runs)
+            .map(|_| {
+                let t = Instant::now();
+                f();
+                t.elapsed().as_secs_f64()
+            })
+            .fold(f64::INFINITY, f64::min)
+    };
+    let mut load_rows: Vec<String> = Vec::new();
+    let mut compose_rows: Vec<String> = Vec::new();
+    println!(
+        "{:<7} {:>9} {:>11} {:>11} {:>8} {:>11} {:>11} {:>8}",
+        "factor", "pairs", "flat load", "idx load", "speedup", "hash join", "merge join", "speedup"
+    );
+    for &factor in &[1.0f64, 4.0, 16.0] {
+        // indexed load: the largest mapping of a generated ecosystem,
+        // flat-scan load_mapping vs the by_pair prefix-scan CSR load
+        let eco = Ecosystem::generate(scaled_params(29, factor));
+        let mut gm = GenMapper::in_memory().expect("store");
+        gm.import_dumps(&eco.dumps).expect("pipeline");
+        let store = gm.store();
+        let rel = store
+            .source_rels()
+            .expect("rels")
+            .into_iter()
+            .filter(|r| !r.rel_type.is_structural())
+            .max_by_key(|r| store.association_count(r.id).unwrap_or(0))
+            .expect("ecosystem has at least one mapping");
+        let pairs = store.association_count(rel.id).expect("count");
+        let flat = best_of(5, &mut || {
+            let _ = store.load_mapping(rel.id).expect("flat load");
+        });
+        let indexed = best_of(5, &mut || {
+            let _ = store.load_mapping_index(rel.id).expect("indexed load");
+        });
+
+        // pure Compose at the same scale: Vec-based hash join vs the CSR
+        // sorted merge join, both sequential (this measures the join
+        // strategy, not parallelism — BENCH_parallel.json covers that)
+        let n = (25_000.0 * factor) as usize;
+        let (left, right) = composable_mappings(31, n);
+        let li = MappingIndex::build(left.clone());
+        let ri = MappingIndex::build(right.clone());
+        let seq = ExecConfig::sequential();
+        let hash = best_of(5, &mut || {
+            let _ = operators::compose(&left, &right).expect("hash join");
+        });
+        let merge = best_of(5, &mut || {
+            let _ = operators::compose_idx(&li, &ri, &seq).expect("merge join");
+        });
+        println!(
+            "{:<7} {:>9} {:>11.6} {:>11.6} {:>7.2}x {:>11.6} {:>11.6} {:>7.2}x",
+            factor,
+            pairs,
+            flat,
+            indexed,
+            flat / indexed,
+            hash,
+            merge,
+            hash / merge
+        );
+        load_rows.push(format!(
+            "{{\"factor\": {factor}, \"pairs\": {pairs}, \"flat_seconds\": {flat:.6}, \"indexed_seconds\": {indexed:.6}, \"speedup\": {:.3}}}",
+            flat / indexed
+        ));
+        compose_rows.push(format!(
+            "{{\"factor\": {factor}, \"input_pairs\": {}, \"hash_seconds\": {hash:.6}, \"merge_seconds\": {merge:.6}, \"speedup\": {:.3}}}",
+            left.len() + right.len(),
+            hash / merge
+        ));
+    }
+    let csr_json = format!(
+        "{{\n  \"generator\": \"cargo run --release -p bench --bin experiments\",\n  \"load_mapping\": [\n    {}\n  ],\n  \"compose\": [\n    {}\n  ]\n}}\n",
+        load_rows.join(",\n    "),
+        compose_rows.join(",\n    ")
+    );
+    std::fs::write("BENCH_csr.json", &csr_json).expect("write BENCH_csr.json");
+    println!("\nwrote BENCH_csr.json");
 }

@@ -17,6 +17,7 @@
 
 pub mod error;
 pub mod ids;
+pub mod index;
 pub mod mapping;
 pub mod model;
 pub mod schema;
@@ -24,6 +25,7 @@ pub mod store;
 
 pub use error::{GamError, GamResult};
 pub use ids::{ObjectId, ObjectRelId, SourceId, SourceRelId};
+pub use index::{MappingIndex, MappingIndexBuilder};
 pub use mapping::{Association, Mapping};
 pub use model::{GamObject, RelType, Source, SourceContent, SourceRel, SourceStructure};
 pub use store::GamStore;

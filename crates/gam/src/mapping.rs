@@ -138,12 +138,20 @@ impl Mapping {
     }
 
     /// Remove duplicate (from, to) pairs, keeping the highest evidence
-    /// (facts, counting as 1.0, dominate scored associations).
+    /// (facts, counting as 1.0, dominate scored associations; a fact also
+    /// beats an explicit `Some(1.0)` score, so ties cannot depend on input
+    /// order). The comparator is a total order under which tied elements
+    /// are bit-identical, which makes the result a pure function of the
+    /// pair *multiset* — any producer emitting the same pairs in any order
+    /// (hash join, merge join, partitioned workers) dedups to the same
+    /// mapping — and lets the sort run unstable and in place, without the
+    /// temporary buffer a stable sort allocates.
     pub fn dedup(&mut self) {
-        self.pairs.sort_by(|a, b| {
+        self.pairs.sort_unstable_by(|a, b| {
             (a.from, a.to)
                 .cmp(&(b.from, b.to))
                 .then_with(|| b.effective_evidence().total_cmp(&a.effective_evidence()))
+                .then_with(|| a.evidence.is_some().cmp(&b.evidence.is_some()))
         });
         self.pairs.dedup_by_key(|a| (a.from, a.to));
     }
@@ -155,12 +163,12 @@ impl Mapping {
     }
 
     /// Assemble a mapping from per-partition association buffers, then
-    /// dedup. The buffers are concatenated **in the order given**, so a
-    /// partitioned producer that splits its input into contiguous in-order
-    /// chunks reconstructs exactly the association sequence a sequential
-    /// pass would have built — and since [`Mapping::dedup`] is a stable
-    /// total order over that sequence, the final mapping is bit-identical
-    /// to the sequential result regardless of how many partitions ran.
+    /// dedup. [`Mapping::dedup`] is a pure function of the association
+    /// multiset (its tie-break makes tied elements bit-identical), so the
+    /// final mapping is bit-identical to the sequential result regardless
+    /// of how many partitions ran or how their buffers interleave. The
+    /// buffers are still concatenated in the order given, without any
+    /// intermediate per-pair maps.
     pub fn from_parts(
         from: SourceId,
         to: SourceId,
@@ -264,6 +272,32 @@ mod tests {
         assert_eq!(map.pairs[0].evidence, Some(0.9));
         // fact (1.0) beats 0.99
         assert_eq!(map.pairs[1].evidence, None);
+    }
+
+    #[test]
+    fn dedup_is_order_independent_even_on_ties() {
+        // fact and scored(1.0) tie on effective evidence; the canonical
+        // tie-break must pick the fact regardless of input order
+        for pairs in [
+            vec![
+                Association::fact(ObjectId(1), ObjectId(10)),
+                Association::scored(ObjectId(1), ObjectId(10), 1.0),
+            ],
+            vec![
+                Association::scored(ObjectId(1), ObjectId(10), 1.0),
+                Association::fact(ObjectId(1), ObjectId(10)),
+            ],
+        ] {
+            let mut map = Mapping {
+                from: SourceId(1),
+                to: SourceId(2),
+                rel_type: RelType::Similarity,
+                pairs,
+            };
+            map.dedup();
+            assert_eq!(map.len(), 1);
+            assert_eq!(map.pairs[0].evidence, None);
+        }
     }
 
     #[test]

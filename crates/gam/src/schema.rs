@@ -66,6 +66,7 @@ pub fn object_rel_schema() -> Schema {
         .column(Column::nullable("evidence", ValueType::Float))
         .primary_key(&["object_rel_id"])
         .unique_index("by_pair", &["source_rel_id", "object1_id", "object2_id"])
+        .index("by_source_rel", &["source_rel_id"])
         .index("by_object1", &["object1_id"])
         .index("by_object2", &["object2_id"])
         .build()
@@ -104,6 +105,10 @@ mod tests {
 
         let or = object_rel_schema();
         assert!(or.index("by_pair").unwrap().unique);
+        // the per-mapping access path used by load/count/delete
+        let by_rel = or.index("by_source_rel").unwrap();
+        assert!(!by_rel.unique);
+        assert_eq!(by_rel.columns, vec![1]);
         assert_eq!(all_schemas().len(), 4);
     }
 

@@ -12,6 +12,7 @@
 
 use crate::error::{GamError, GamResult};
 use crate::ids::{ObjectId, ObjectRelId, SourceId, SourceRelId};
+use crate::index::{MappingIndex, MappingIndexBuilder};
 use crate::mapping::{Association, Mapping};
 use crate::model::{GamObject, RelType, Source, SourceContent, SourceRel, SourceStructure};
 use crate::schema::{all_schemas, tables};
@@ -524,22 +525,16 @@ impl GamStore {
     pub fn delete_source_rel(&mut self, id: SourceRelId) -> GamResult<usize> {
         // ensure it exists first
         self.get_source_rel(id)?;
-        let assoc_ids: Vec<relstore::RowId> = {
-            let table = self.db.table(tables::OBJECT_REL)?;
-            table
-                .select_with_ids(&Predicate::eq("source_rel_id", Value::Int(id.as_i64())))?
-                .into_iter()
-                .map(|(rid, _)| rid)
-                .collect()
-        };
-        let rel_row: Vec<relstore::RowId> = {
-            let table = self.db.table(tables::SOURCE_REL)?;
-            table
-                .select_with_ids(&Predicate::eq("source_rel_id", Value::Int(id.as_i64())))?
-                .into_iter()
-                .map(|(rid, _)| rid)
-                .collect()
-        };
+        // both sides come straight from indexes: the association row ids
+        // from OBJECT_REL(by_source_rel), the rel row from its primary key
+        let assoc_ids: Vec<relstore::RowId> = self
+            .db
+            .table(tables::OBJECT_REL)?
+            .lookup_row_ids("by_source_rel", &[Value::Int(id.as_i64())])?;
+        let rel_row: Vec<relstore::RowId> = self
+            .db
+            .table(tables::SOURCE_REL)?
+            .lookup_row_ids("pk", &[Value::Int(id.as_i64())])?;
         let removed = assoc_ids.len();
         self.db.with_txn(|txn| {
             for rid in assoc_ids {
@@ -656,13 +651,41 @@ impl GamStore {
         })
     }
 
-    /// Number of associations in a mapping.
+    /// Load a mapping directly into CSR form, oriented
+    /// `source1 -> source2`. The `by_pair` index delivers rows in
+    /// `(object1, object2)` order with one row per pair, so the forward
+    /// arrays build in a single pass with no sort or dedup, and the batched
+    /// columnar scan decodes only the three needed columns block-by-block
+    /// instead of materializing per-row references.
+    pub fn load_mapping_index(&self, id: SourceRelId) -> GamResult<MappingIndex> {
+        let rel = self.get_source_rel(id)?;
+        let mut b = MappingIndexBuilder::new(rel.source1, rel.source2, rel.rel_type);
+        self.db.table(tables::OBJECT_REL)?.scan_prefix_columnar(
+            "by_pair",
+            &[Value::Int(id.as_i64())],
+            &["object1_id", "object2_id"],
+            &["evidence"],
+            4096,
+            |block| {
+                for i in 0..block.len() {
+                    b.push(
+                        ObjectId::from_i64(block.ints[0][i]),
+                        ObjectId::from_i64(block.ints[1][i]),
+                        block.floats[0][i],
+                    );
+                }
+            },
+        )?;
+        Ok(b.finish())
+    }
+
+    /// Number of associations in a mapping, answered from the
+    /// `by_source_rel` index without materializing any rows.
     pub fn association_count(&self, id: SourceRelId) -> GamResult<usize> {
         Ok(self
             .db
             .table(tables::OBJECT_REL)?
-            .lookup_prefix("by_pair", &[Value::Int(id.as_i64())])?
-            .len())
+            .index_lookup_count("by_source_rel", &[Value::Int(id.as_i64())])?)
     }
 
     /// All associations touching an object, in either role. Each entry is
@@ -673,8 +696,14 @@ impl GamStore {
         object: ObjectId,
     ) -> GamResult<Vec<(SourceRelId, Association)>> {
         let table = self.db.table(tables::OBJECT_REL)?;
-        let mut out = Vec::new();
-        for row in table.lookup("by_object1", &[Value::Int(object.as_i64())])? {
+        let key = [Value::Int(object.as_i64())];
+        let mut out = Vec::with_capacity(
+            table.index_lookup_count("by_object1", &key)?
+                + table.index_lookup_count("by_object2", &key)?,
+        );
+        // stream rows straight off the indexes: no intermediate `Vec<&Row>`
+        // is materialized before the oriented pairs are built
+        table.for_each_lookup("by_object1", &key, |row| {
             out.push((
                 SourceRelId::from_i64(row.get(1).as_int().unwrap_or_default()),
                 Association {
@@ -683,8 +712,8 @@ impl GamStore {
                     evidence: row.get(4).as_float(),
                 },
             ));
-        }
-        for row in table.lookup("by_object2", &[Value::Int(object.as_i64())])? {
+        })?;
+        table.for_each_lookup("by_object2", &key, |row| {
             out.push((
                 SourceRelId::from_i64(row.get(1).as_int().unwrap_or_default()),
                 Association {
@@ -693,7 +722,7 @@ impl GamStore {
                     evidence: row.get(4).as_float(),
                 },
             ));
-        }
+        })?;
         Ok(out)
     }
 
@@ -948,6 +977,41 @@ mod tests {
         assert_eq!(from_b.len(), 1);
         assert_eq!(from_b[0].1.to, ao, "reverse role is re-oriented");
         assert_eq!(from_b[0].1.evidence, Some(0.8));
+    }
+
+    #[test]
+    fn load_mapping_index_equals_load_mapping() {
+        let mut s = store();
+        let a = gene_source(&mut s, "A");
+        let b = gene_source(&mut s, "B");
+        let rel = s.create_source_rel(a.id, b.id, RelType::Similarity, None).unwrap();
+        let mut objs_a = Vec::new();
+        let mut objs_b = Vec::new();
+        for i in 0..40 {
+            objs_a.push(s.ensure_object(a.id, &format!("a{i}"), None, None).unwrap().0);
+            objs_b.push(s.ensure_object(b.id, &format!("b{i}"), None, None).unwrap().0);
+        }
+        // skewed fan-out with a mix of facts and scores, inserted unsorted
+        let mut added = 0;
+        let mut assocs = Vec::new();
+        for i in (0..40).rev() {
+            let ev = if i % 3 == 0 { None } else { Some(i as f64 / 40.0) };
+            assocs.push(Association { from: objs_a[i % 7], to: objs_b[i], evidence: ev });
+        }
+        s.add_associations_bulk(rel, assocs, &mut added).unwrap();
+        let via_rows = s.load_mapping(rel).unwrap();
+        let idx = s.load_mapping_index(rel).unwrap();
+        assert_eq!(idx.from, via_rows.from);
+        assert_eq!(idx.to, via_rows.to);
+        assert_eq!(idx.rel_type, via_rows.rel_type);
+        // by_pair order is already canonical, so no dedup is needed to match
+        let roundtrip = idx.to_mapping();
+        assert_eq!(roundtrip.pairs.len(), via_rows.pairs.len());
+        for (x, y) in roundtrip.pairs.iter().zip(&via_rows.pairs) {
+            assert_eq!((x.from, x.to), (y.from, y.to));
+            assert_eq!(x.evidence.map(f64::to_bits), y.evidence.map(f64::to_bits));
+        }
+        assert!(s.load_mapping_index(SourceRelId(99)).is_err());
     }
 
     #[test]

@@ -3,9 +3,11 @@
 use crate::query::QuerySpec;
 use crate::resolved::{ObjectInfo, ResolvedCell, ResolvedRow, ResolvedView};
 use gam::store::GamCardinalities;
-use gam::{GamError, GamResult, GamStore, Mapping, ObjectId, SourceId, SourceRelId};
+use gam::{GamError, GamResult, GamStore, Mapping, MappingIndex, ObjectId, SourceId, SourceRelId};
 use import::{Importer, PipelineOptions};
-use operators::{generate_view_par, ExecConfig, MappingResolver, TargetSpec, ViewQuery};
+use operators::{
+    generate_view_idx, ExecConfig, IndexResolver, MappingResolver, TargetSpec, ViewQuery,
+};
 use parking_lot::RwLock;
 use pathfinder::{SavedPaths, SourceGraph};
 use sources::ecosystem::SourceDump;
@@ -44,11 +46,12 @@ impl MappingResolver for PathResolver<'_> {
 }
 
 /// [`PathResolver`] backed by the system's versioned mapping cache: a
-/// resolved `(from, to)` mapping is computed once per store version and
-/// then served as a shared `Arc` clone. Safe to call from the parallel
-/// per-target workers of `generate_view_par` (the cache is behind a
-/// `RwLock`, and the store version cannot move while `&GenMapper` borrows
-/// are live).
+/// resolved `(from, to)` mapping is indexed once per store version and
+/// then served as a shared CSR [`MappingIndex`] behind an `Arc` — the view
+/// executor probes the cached index directly, cloning nothing. Safe to
+/// call from the parallel per-target workers of `generate_view_idx` (the
+/// cache is behind a `RwLock`, and the store version cannot move while
+/// `&GenMapper` borrows are live).
 struct CachingPathResolver<'a> {
     gm: &'a GenMapper,
     graph: &'a SourceGraph,
@@ -57,24 +60,26 @@ struct CachingPathResolver<'a> {
     compose_exec: ExecConfig,
 }
 
-impl MappingResolver for CachingPathResolver<'_> {
-    fn resolve(&self, store: &GamStore, from: SourceId, to: SourceId) -> GamResult<Mapping> {
-        let arc = self
-            .gm
-            .cached_mapping(MappingKey::direct(from, to), || {
-                match operators::map(store, from, to) {
-                    Ok(m) => Ok(m),
-                    Err(GamError::NoMapping { .. }) => {
-                        let path = self
-                            .graph
-                            .shortest_path(from, to)
-                            .ok_or(GamError::NoMapping { from, to })?;
-                        operators::compose_path_par(store, &path, &self.compose_exec)
-                    }
-                    Err(e) => Err(e),
+impl IndexResolver for CachingPathResolver<'_> {
+    fn resolve_index(
+        &self,
+        store: &GamStore,
+        from: SourceId,
+        to: SourceId,
+    ) -> GamResult<Arc<MappingIndex>> {
+        self.gm.cached_mapping(MappingKey::direct(from, to), || {
+            match operators::map_index(store, from, to) {
+                Ok(m) => Ok(m),
+                Err(GamError::NoMapping { .. }) => {
+                    let path = self
+                        .graph
+                        .shortest_path(from, to)
+                        .ok_or(GamError::NoMapping { from, to })?;
+                    operators::compose_path_idx(store, &path, &self.compose_exec)
                 }
-            })?;
-        Ok((*arc).clone())
+                Err(e) => Err(e),
+            }
+        })
     }
 }
 
@@ -124,7 +129,10 @@ impl MappingKey {
 struct CacheInner {
     /// Store mutation counter the entries were built against.
     version: u64,
-    mappings: HashMap<MappingKey, Arc<Mapping>>,
+    /// Cached mappings in CSR form — the unit the system caches and joins.
+    /// Consumers probe the shared index (restrictions, view folds, merge
+    /// joins) and only materialize a `Mapping` at the public facade.
+    mappings: HashMap<MappingKey, Arc<MappingIndex>>,
     /// Per-source object-id sets for whole-source views, so repeated
     /// queries over one source don't rescan the object table.
     source_objects: HashMap<SourceId, Arc<BTreeSet<ObjectId>>>,
@@ -213,8 +221,8 @@ impl GenMapper {
     fn cached_mapping(
         &self,
         key: MappingKey,
-        build: impl FnOnce() -> GamResult<Mapping>,
-    ) -> GamResult<Arc<Mapping>> {
+        build: impl FnOnce() -> GamResult<MappingIndex>,
+    ) -> GamResult<Arc<MappingIndex>> {
         {
             let inner = self.cache.read();
             if inner.version == self.version {
@@ -381,18 +389,19 @@ impl GenMapper {
 
     /// `Map(S, T)` by source names. Served from the versioned mapping
     /// cache when warm; see [`GenMapper::map_shared`] for the clone-free
-    /// variant.
+    /// CSR handle.
     pub fn map(&self, from: &str, to: &str) -> GamResult<Mapping> {
-        Ok((*self.map_shared(from, to)?).clone())
+        Ok(self.map_shared(from, to)?.to_mapping())
     }
 
-    /// `Map(S, T)` by source names, as a shared handle into the versioned
-    /// mapping cache (no clone of the association vector).
-    pub fn map_shared(&self, from: &str, to: &str) -> GamResult<Arc<Mapping>> {
+    /// `Map(S, T)` by source names, as a shared CSR index handle into the
+    /// versioned mapping cache (no clone of the association data; the
+    /// index loads through the batched `OBJECT_REL` scan on a cold miss).
+    pub fn map_shared(&self, from: &str, to: &str) -> GamResult<Arc<MappingIndex>> {
         let from = self.source_id(from)?;
         let to = self.source_id(to)?;
         self.cached_mapping(MappingKey::direct(from, to), || {
-            operators::map(&self.store, from, to)
+            operators::map_index(&self.store, from, to)
         })
     }
 
@@ -400,11 +409,14 @@ impl GenMapper {
     /// mapping cache when warm; joins run under the system's
     /// [`ExecConfig`].
     pub fn compose(&self, path: &[&str]) -> GamResult<Mapping> {
-        Ok((*self.compose_shared(path)?).clone())
+        Ok(self.compose_shared(path)?.to_mapping())
     }
 
-    /// `Compose` along a path of source names, as a shared cache handle.
-    pub fn compose_shared(&self, path: &[&str]) -> GamResult<Arc<Mapping>> {
+    /// `Compose` along a path of source names, as a shared CSR cache
+    /// handle. Sequential joins run as sorted merge joins over the step
+    /// indexes; above the parallel threshold they fall back to the
+    /// partitioned hash probe — bit-identical either way.
+    pub fn compose_shared(&self, path: &[&str]) -> GamResult<Arc<MappingIndex>> {
         let ids = self.path_ids(path)?;
         if ids.len() < 2 {
             return Err(GamError::Invalid(
@@ -412,7 +424,7 @@ impl GenMapper {
             ));
         }
         self.cached_mapping(MappingKey::composed(&ids), || {
-            operators::compose_path_par(&self.store, &ids, &self.exec)
+            operators::compose_path_idx(&self.store, &ids, &self.exec)
         })
     }
 
@@ -422,7 +434,7 @@ impl GenMapper {
         &self,
         path: &[&str],
         min_evidence: f64,
-    ) -> GamResult<Arc<Mapping>> {
+    ) -> GamResult<Arc<MappingIndex>> {
         let ids = self.path_ids(path)?;
         if ids.len() < 2 {
             return Err(GamError::Invalid(
@@ -431,7 +443,7 @@ impl GenMapper {
         }
         self.cached_mapping(
             MappingKey::composed(&ids).with_min_evidence(min_evidence),
-            || operators::compose_path_with_threshold_par(&self.store, &ids, min_evidence, &self.exec),
+            || operators::compose_path_idx_with_threshold(&self.store, &ids, min_evidence, &self.exec),
         )
     }
 
@@ -526,7 +538,7 @@ impl GenMapper {
             graph,
             compose_exec,
         };
-        let view = generate_view_par(&self.store, &vq, &resolver, &exec)?;
+        let view = generate_view_idx(&self.store, &vq, &resolver, &exec)?;
 
         let mut rows = Vec::with_capacity(view.rows.len());
         for row in &view.rows {
@@ -715,7 +727,7 @@ mod tests {
         let a1 = gm.map_shared("LocusLink", "GO").unwrap();
         let a2 = gm.map_shared("LocusLink", "GO").unwrap();
         assert!(Arc::ptr_eq(&a1, &a2), "repeat query hits the same entry");
-        assert_eq!(*a1, first);
+        assert_eq!(a1.to_mapping(), first);
 
         // a whole-source query also caches the source object set
         let before = gm.mapping_cache_len();

@@ -104,6 +104,6 @@ proptest! {
         let a = gm.map_shared("LocusLink", "GO").unwrap();
         let b = gm.map_shared("LocusLink", "GO").unwrap();
         prop_assert!(Arc::ptr_eq(&a, &b));
-        prop_assert_eq!((*a).clone(), operators::map(gm.store(), ll, go).unwrap());
+        prop_assert_eq!(a.to_mapping(), operators::map(gm.store(), ll, go).unwrap());
     }
 }

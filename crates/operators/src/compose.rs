@@ -14,11 +14,15 @@
 //! compose into fact associations.
 
 use crate::exec::{partitioned, ExecConfig};
-use crate::simple::map;
+use crate::simple::{map, map_index};
 use gam::mapping::Association;
 use gam::model::RelType;
-use gam::{GamError, GamResult, GamStore, Mapping, ObjectId, SourceId};
+use gam::{GamError, GamResult, GamStore, Mapping, MappingIndex, ObjectId, SourceId};
 use std::collections::HashMap;
+
+/// Key-count ratio above which the merge join gallops over the longer key
+/// array instead of stepping linearly (cost heuristic on domain sizes).
+const GALLOP_RATIO: usize = 16;
 
 /// Probe one contiguous chunk of the left mapping against the shared
 /// build-side index. `min_evidence` is applied **during** the probe, so
@@ -208,6 +212,248 @@ pub fn compose_path_par(
         if acc.is_empty() {
             // no surviving associations; keep going so the result has the
             // right endpoints, but no further joins can add pairs
+            break;
+        }
+    }
+    acc.from = path[0];
+    acc.to = *path.last().expect("non-empty path");
+    if path.len() > 2 {
+        acc.rel_type = RelType::Composed;
+    }
+    Ok(acc)
+}
+
+/// First index `>= start` whose key is `>= target`, found by exponential
+/// (galloping) search: a jump of distance `d` costs `O(log d)`, so merging
+/// a small key array against a huge one costs the small side's length
+/// times a logarithm rather than a linear walk over the huge side.
+fn gallop(keys: &[ObjectId], start: usize, target: ObjectId) -> usize {
+    let mut step = 1;
+    while start + step < keys.len() && keys[start + step] < target {
+        step <<= 1;
+    }
+    let lo = start + (step >> 1);
+    let hi = (start + step).min(keys.len());
+    lo + keys[lo..hi].partition_point(|&k| k < target)
+}
+
+/// Emit one matched middle object: every left association arriving at the
+/// middle (via the inverse view) joins every right association leaving it.
+/// Evidence combines exactly as in [`probe_chunk`], floor included.
+#[inline]
+fn emit_match(
+    left: &MappingIndex,
+    right: &MappingIndex,
+    i: usize,
+    j: usize,
+    min_evidence: Option<f64>,
+    out: &mut Vec<Association>,
+) {
+    for p in left.inv_range(i) {
+        let lpos = left.inv_fwd_pos(p);
+        let l_from = left.inv_from_at(p);
+        let l_ev = left.evidence_at(lpos);
+        for q in right.fwd_range(j) {
+            let evidence = match (l_ev, right.evidence_at(q)) {
+                (None, None) => None, // fact ∘ fact = fact
+                _ => Some(left.effective_evidence_at(lpos) * right.effective_evidence_at(q)),
+            };
+            if let Some(floor) = min_evidence {
+                if evidence.unwrap_or(1.0) < floor {
+                    continue;
+                }
+            }
+            out.push(Association {
+                from: l_from,
+                to: right.to_at(q),
+                evidence,
+            });
+        }
+    }
+}
+
+/// Sorted merge join over the left index's range keys and the right
+/// index's domain keys — both already sorted and distinct, so the join
+/// needs no hash table at all. When one key array dwarfs the other
+/// ([`GALLOP_RATIO`]), the cursor on the long side gallops.
+fn merge_join_idx(
+    left: &MappingIndex,
+    right: &MappingIndex,
+    min_evidence: Option<f64>,
+) -> Vec<Association> {
+    let lk = left.range_keys();
+    let rk = right.domain_keys();
+    let gallop_left = lk.len() > rk.len().saturating_mul(GALLOP_RATIO);
+    let gallop_right = rk.len() > lk.len().saturating_mul(GALLOP_RATIO);
+    let mut out = Vec::new();
+    let (mut i, mut j) = (0usize, 0usize);
+    while i < lk.len() && j < rk.len() {
+        if lk[i] < rk[j] {
+            i = if gallop_left { gallop(lk, i, rk[j]) } else { i + 1 };
+        } else if rk[j] < lk[i] {
+            j = if gallop_right { gallop(rk, j, lk[i]) } else { j + 1 };
+        } else {
+            emit_match(left, right, i, j, min_evidence, &mut out);
+            i += 1;
+            j += 1;
+        }
+    }
+    out
+}
+
+/// Partitioned hash probe over the left index's domain buckets: the build
+/// side maps each of the right index's domain keys to its bucket, and
+/// contiguous chunks of left buckets probe it concurrently. Used above the
+/// parallel threshold; output feeds the same canonical dedup as the merge
+/// join, so the two strategies produce bit-identical mappings.
+fn hash_join_idx(
+    left: &MappingIndex,
+    right: &MappingIndex,
+    min_evidence: Option<f64>,
+    jobs: usize,
+) -> Vec<Vec<Association>> {
+    let by_mid: HashMap<ObjectId, usize> = right
+        .domain_keys()
+        .iter()
+        .enumerate()
+        .map(|(j, &k)| (k, j))
+        .collect();
+    let buckets: Vec<usize> = (0..left.domain_keys().len()).collect();
+    partitioned(&buckets, jobs, |chunk| {
+        let mut out = Vec::new();
+        for &i in chunk {
+            let l_from = left.domain_keys()[i];
+            for p in left.fwd_range(i) {
+                if let Some(&j) = by_mid.get(&left.to_at(p)) {
+                    let l_ev = left.evidence_at(p);
+                    for q in right.fwd_range(j) {
+                        let evidence = match (l_ev, right.evidence_at(q)) {
+                            (None, None) => None,
+                            _ => Some(
+                                left.effective_evidence_at(p) * right.effective_evidence_at(q),
+                            ),
+                        };
+                        if let Some(floor) = min_evidence {
+                            if evidence.unwrap_or(1.0) < floor {
+                                continue;
+                            }
+                        }
+                        out.push(Association {
+                            from: l_from,
+                            to: right.to_at(q),
+                            evidence,
+                        });
+                    }
+                }
+            }
+        }
+        out
+    })
+}
+
+/// The CSR join core: pick merge join (sequential) or the partitioned hash
+/// probe (above the parallel threshold) by [`ExecConfig::effective_jobs`],
+/// then run the canonical dedup. Both strategies emit the same association
+/// multiset, and the dedup is a pure function of that multiset, so the
+/// resulting index is bit-identical either way — and bit-identical to
+/// composing the equivalent `Vec`-based mappings with [`compose`].
+fn compose_idx_inner(
+    left: &MappingIndex,
+    right: &MappingIndex,
+    min_evidence: Option<f64>,
+    cfg: &ExecConfig,
+) -> GamResult<MappingIndex> {
+    if left.to != right.from {
+        return Err(GamError::Invalid(format!(
+            "compose: mappings do not share a source ({} vs {})",
+            left.to, right.from
+        )));
+    }
+    let jobs = cfg.effective_jobs(left.len());
+    let parts = if jobs > 1 {
+        hash_join_idx(left, right, min_evidence, jobs)
+    } else {
+        vec![merge_join_idx(left, right, min_evidence)]
+    };
+    let merged = Mapping::from_parts(left.from, right.to, RelType::Composed, parts);
+    // from_parts leaves the mapping canonical, so build skips the sort
+    Ok(MappingIndex::build(merged))
+}
+
+/// [`compose`] over CSR indexes: a sorted merge join when sequential, the
+/// partitioned hash probe above `cfg`'s parallel threshold. The result is
+/// bit-identical to `compose(left.to_mapping(), right.to_mapping())`.
+pub fn compose_idx(
+    left: &MappingIndex,
+    right: &MappingIndex,
+    cfg: &ExecConfig,
+) -> GamResult<MappingIndex> {
+    compose_idx_inner(left, right, None, cfg)
+}
+
+/// [`compose_with_threshold`] over CSR indexes; the floor is applied
+/// during the join, exactly as in the `Vec`-based probe.
+pub fn compose_idx_with_threshold(
+    left: &MappingIndex,
+    right: &MappingIndex,
+    min_evidence: f64,
+    cfg: &ExecConfig,
+) -> GamResult<MappingIndex> {
+    if !(0.0..=1.0).contains(&min_evidence) || min_evidence.is_nan() {
+        return Err(GamError::BadEvidence(min_evidence));
+    }
+    compose_idx_inner(left, right, Some(min_evidence), cfg)
+}
+
+/// [`compose_path`] over CSR indexes: each step is loaded with
+/// [`map_index`] (the batched `OBJECT_REL` scan when a single stored
+/// mapping backs the step) and joined with [`compose_idx`].
+pub fn compose_path_idx(
+    store: &GamStore,
+    path: &[SourceId],
+    cfg: &ExecConfig,
+) -> GamResult<MappingIndex> {
+    if path.len() < 2 {
+        return Err(GamError::Invalid(
+            "compose path needs at least two sources".into(),
+        ));
+    }
+    let mut acc = map_index(store, path[0], path[1])?;
+    for window in path[1..].windows(2) {
+        let step = map_index(store, window[0], window[1])?;
+        acc = compose_idx(&acc, &step, cfg)?;
+        if acc.is_empty() {
+            break;
+        }
+    }
+    acc.from = path[0];
+    acc.to = *path.last().expect("non-empty path");
+    if path.len() > 2 {
+        acc.rel_type = RelType::Composed;
+    }
+    Ok(acc)
+}
+
+/// [`compose_path_with_threshold`] over CSR indexes.
+pub fn compose_path_idx_with_threshold(
+    store: &GamStore,
+    path: &[SourceId],
+    min_evidence: f64,
+    cfg: &ExecConfig,
+) -> GamResult<MappingIndex> {
+    if !(0.0..=1.0).contains(&min_evidence) || min_evidence.is_nan() {
+        return Err(GamError::BadEvidence(min_evidence));
+    }
+    if path.len() < 2 {
+        return Err(GamError::Invalid(
+            "compose path needs at least two sources".into(),
+        ));
+    }
+    let mut acc = map_index(store, path[0], path[1])?.filter_evidence(min_evidence);
+    for window in path[1..].windows(2) {
+        let step = map_index(store, window[0], window[1])?;
+        acc = compose_idx_with_threshold(&acc, &step, min_evidence, cfg)?;
+        if acc.is_empty() {
             break;
         }
     }
@@ -447,5 +693,146 @@ mod tests {
             compose_path(&s, &[ids[0], ids[2]]),
             Err(GamError::NoMapping { .. })
         ));
+    }
+
+    fn bits(m: &Mapping) -> Vec<(ObjectId, ObjectId, Option<u64>)> {
+        m.pairs
+            .iter()
+            .map(|a| (a.from, a.to, a.evidence.map(f64::to_bits)))
+            .collect()
+    }
+
+    /// Deterministic pseudo-random mapping pair sharing a middle source.
+    fn random_pair(seed: u64, n: usize, left_dom: u64, mid: u64, right_dom: u64) -> (Mapping, Mapping) {
+        let mut state = seed;
+        let mut next = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state
+        };
+        let mut left = m(1, 2, &[]);
+        let mut right = m(2, 3, &[]);
+        for _ in 0..n {
+            let e = match next() % 3 {
+                0 => None,
+                _ => Some((next() % 1000) as f64 / 1000.0),
+            };
+            left.pairs.push(Association {
+                from: ObjectId(next() % left_dom),
+                to: ObjectId(next() % mid),
+                evidence: e,
+            });
+            right.pairs.push(Association {
+                from: ObjectId(next() % mid),
+                to: ObjectId(next() % right_dom),
+                evidence: e.map(|v| 1.0 - v),
+            });
+        }
+        (left, right)
+    }
+
+    #[test]
+    fn csr_compose_is_bit_identical_to_vec_compose() {
+        // several shapes: balanced, left-skewed and right-skewed key
+        // counts (exercising both gallop directions), empty sides
+        let shapes = [
+            random_pair(0x9e3779b97f4a7c15, 4_000, 200, 150, 200),
+            random_pair(7, 2_000, 3_000, 2_000, 8),
+            random_pair(11, 2_000, 8, 40, 3_000),
+            random_pair(13, 0, 10, 10, 10),
+        ];
+        for (k, (left, right)) in shapes.iter().enumerate() {
+            let reference = compose(left, right).unwrap();
+            let li = MappingIndex::build(left.clone());
+            let ri = MappingIndex::build(right.clone());
+            // compose() dedups its inputs implicitly through from_parts
+            // only on the *output*; the CSR build canonicalizes the
+            // inputs, so compare against composing the canonical inputs
+            let reference_canon = compose(&li.to_mapping(), &ri.to_mapping()).unwrap();
+            assert_eq!(bits(&reference_canon), bits(&reference), "shape {k}: input dedup changes nothing");
+            for jobs in [1, 2, 3, 8] {
+                let cfg = ExecConfig {
+                    jobs,
+                    parallel_threshold: 0,
+                };
+                let idx = compose_idx(&li, &ri, &cfg).unwrap();
+                assert_eq!(bits(&idx.to_mapping()), bits(&reference), "shape {k} jobs={jobs}");
+                assert_eq!(idx.from, reference.from);
+                assert_eq!(idx.to, reference.to);
+                assert_eq!(idx.rel_type, RelType::Composed);
+                let t = compose_with_threshold(left, right, 0.25).unwrap();
+                let ti = compose_idx_with_threshold(&li, &ri, 0.25, &cfg).unwrap();
+                assert_eq!(bits(&ti.to_mapping()), bits(&t), "threshold shape {k} jobs={jobs}");
+            }
+        }
+    }
+
+    #[test]
+    fn csr_compose_rejects_bad_inputs() {
+        let ab = MappingIndex::build(m(1, 2, &[]));
+        let cd = MappingIndex::build(m(3, 4, &[]));
+        let cfg = ExecConfig::sequential();
+        assert!(compose_idx(&ab, &cd, &cfg).is_err());
+        let bc = MappingIndex::build(m(2, 3, &[]));
+        assert!(compose_idx_with_threshold(&ab, &bc, 1.5, &cfg).is_err());
+        assert!(compose_idx_with_threshold(&ab, &bc, f64::NAN, &cfg).is_err());
+    }
+
+    #[test]
+    fn gallop_finds_lower_bound() {
+        let keys: Vec<ObjectId> = (0..100).map(|i| ObjectId(i * 2)).collect();
+        for start in [0, 3, 50, 99] {
+            for target in [0u64, 1, 7, 120, 198, 199, 500] {
+                let got = gallop(&keys, start, ObjectId(target));
+                let want = start
+                    + keys[start..].partition_point(|&k| k < ObjectId(target));
+                assert_eq!(got, want, "start={start} target={target}");
+            }
+        }
+    }
+
+    #[test]
+    fn csr_compose_path_matches_vec_path() {
+        let mut s = GamStore::in_memory().unwrap();
+        let ids: Vec<SourceId> = ["A", "B", "C"]
+            .iter()
+            .map(|n| {
+                s.create_source(n, SourceContent::Gene, SourceStructure::Flat, None)
+                    .unwrap()
+                    .id
+            })
+            .collect();
+        let mut objs = vec![Vec::new(), Vec::new(), Vec::new()];
+        for (i, &src) in ids.iter().enumerate() {
+            for j in 0..6 {
+                objs[i].push(s.create_object(src, &format!("o{i}_{j}"), None, None).unwrap());
+            }
+        }
+        for w in 0..2 {
+            let rel = s
+                .create_source_rel(ids[w], ids[w + 1], RelType::Similarity, None)
+                .unwrap();
+            for j in 0..6 {
+                for k in 0..3 {
+                    s.add_association(rel, objs[w][j], objs[w + 1][(j + k) % 6], Some(0.5 + 0.08 * k as f64))
+                        .unwrap();
+                }
+            }
+        }
+        let cfg = ExecConfig::sequential();
+        let vec_path = compose_path(&s, &ids).unwrap();
+        let idx_path = compose_path_idx(&s, &ids, &cfg).unwrap();
+        assert_eq!(bits(&idx_path.to_mapping()), bits(&vec_path));
+        assert_eq!((idx_path.from, idx_path.to, idx_path.rel_type), (vec_path.from, vec_path.to, vec_path.rel_type));
+
+        let vec_t = compose_path_with_threshold(&s, &ids, 0.3).unwrap();
+        let idx_t = compose_path_idx_with_threshold(&s, &ids, 0.3, &cfg).unwrap();
+        assert_eq!(bits(&idx_t.to_mapping()), bits(&vec_t));
+
+        // degenerate paths rejected identically
+        assert!(compose_path_idx(&s, &ids[..1], &cfg).is_err());
+        assert!(compose_path_idx_with_threshold(&s, &ids[..1], 0.5, &cfg).is_err());
+        assert!(compose_path_idx_with_threshold(&s, &ids, 2.0, &cfg).is_err());
     }
 }

@@ -20,6 +20,16 @@
 //! the per-target resolution pipelines on a scoped-thread worker pool
 //! configured by [`exec::ExecConfig`] — with output bit-identical to the
 //! sequential operators (see [`exec`] for the determinism argument).
+//!
+//! The `_idx` variants ([`compose_idx`], [`compose_path_idx`],
+//! [`map_index`], [`generate_view_idx`]) operate on the CSR
+//! [`gam::MappingIndex`] — the representation the GenMapper system caches.
+//! Sequential `compose_idx` is a sorted merge join over the two indexes'
+//! key arrays (galloping on heavy size skew); above the parallel threshold
+//! it falls back to the partitioned hash probe. Restrictions and
+//! `GenerateView` probes become binary searches over the offset arrays.
+//! Every `_idx` operator is pinned bit-identical to its `Vec`-based
+//! counterpart by `tests/csr_prop.rs`.
 
 pub mod compose;
 pub mod exec;
@@ -30,11 +40,19 @@ pub mod subsume;
 pub mod view;
 
 pub use compose::{
-    compose, compose_par, compose_path, compose_path_par, compose_path_with_threshold,
-    compose_path_with_threshold_par, compose_with_threshold, compose_with_threshold_par,
+    compose, compose_idx, compose_idx_with_threshold, compose_par, compose_path,
+    compose_path_idx, compose_path_idx_with_threshold, compose_path_par,
+    compose_path_with_threshold, compose_path_with_threshold_par, compose_with_threshold,
+    compose_with_threshold_par,
 };
 pub use exec::ExecConfig;
 pub use setops::{difference, intersect, union};
-pub use simple::{map, map_or_compose, map_or_compose_par, DirectResolver, MappingResolver};
+pub use simple::{
+    map, map_index, map_or_compose, map_or_compose_idx, map_or_compose_par, DirectResolver,
+    MappingResolver,
+};
 pub use subsume::subsume;
-pub use view::{generate_view, generate_view_par, AnnotationView, Combine, TargetSpec, ViewQuery};
+pub use view::{
+    generate_view, generate_view_idx, generate_view_par, AnnotationView, BuildIndexResolver,
+    Combine, IndexResolver, TargetSpec, ViewQuery,
+};

@@ -7,8 +7,7 @@
 //! diffing two releases of the same cross-reference set.
 
 use gam::mapping::Association;
-use gam::{GamError, GamResult, Mapping};
-use std::collections::BTreeMap;
+use gam::{GamError, GamResult, Mapping, ObjectId};
 
 fn check_compatible(a: &Mapping, b: &Mapping) -> GamResult<()> {
     if a.from != b.from || a.to != b.to {
@@ -20,11 +19,40 @@ fn check_compatible(a: &Mapping, b: &Mapping) -> GamResult<()> {
     Ok(())
 }
 
-fn pair_index(m: &Mapping) -> BTreeMap<(gam::ObjectId, gam::ObjectId), Option<f64>> {
-    m.pairs
+/// Sorted lookup array over a mapping's pairs: one flat allocation with
+/// binary-search probes, instead of a node-per-pair `BTreeMap`. Duplicate
+/// pairs keep the *last* occurrence, matching the overwrite semantics of
+/// the map-insertion index it replaces.
+fn pair_index(m: &Mapping) -> Vec<((ObjectId, ObjectId), Option<f64>)> {
+    let mut index: Vec<((ObjectId, ObjectId), Option<f64>)> = m
+        .pairs
         .iter()
         .map(|a| ((a.from, a.to), a.evidence))
-        .collect()
+        .collect();
+    // stable sort preserves input order among duplicates, so keeping the
+    // later of two adjacent equal keys keeps the last occurrence overall
+    index.sort_by_key(|&(key, _)| key);
+    let mut len = 0;
+    for i in 0..index.len() {
+        if len > 0 && index[len - 1].0 == index[i].0 {
+            index[len - 1] = index[i];
+        } else {
+            index[len] = index[i];
+            len += 1;
+        }
+    }
+    index.truncate(len);
+    index
+}
+
+fn pair_lookup(
+    index: &[((ObjectId, ObjectId), Option<f64>)],
+    key: (ObjectId, ObjectId),
+) -> Option<Option<f64>> {
+    index
+        .binary_search_by_key(&key, |&(k, _)| k)
+        .ok()
+        .map(|i| index[i].1)
 }
 
 /// Union of two mappings between the same sources; duplicate pairs keep
@@ -44,7 +72,7 @@ pub fn intersect(a: &Mapping, b: &Mapping) -> GamResult<Mapping> {
     let bi = pair_index(b);
     let mut out = Mapping::empty(a.from, a.to, a.rel_type);
     for assoc in &a.pairs {
-        if let Some(other_evidence) = bi.get(&(assoc.from, assoc.to)) {
+        if let Some(other_evidence) = pair_lookup(&bi, (assoc.from, assoc.to)) {
             let ea = assoc.evidence.unwrap_or(1.0);
             let eb = other_evidence.unwrap_or(1.0);
             let evidence = match (assoc.evidence, other_evidence) {
@@ -72,7 +100,7 @@ pub fn difference(a: &Mapping, b: &Mapping) -> GamResult<Mapping> {
     out.pairs = a
         .pairs
         .iter()
-        .filter(|assoc| !bi.contains_key(&(assoc.from, assoc.to)))
+        .filter(|assoc| pair_lookup(&bi, (assoc.from, assoc.to)).is_none())
         .copied()
         .collect();
     out.dedup();
@@ -154,6 +182,23 @@ mod tests {
         assert_eq!(union(&a, &a).unwrap().len(), a.len());
         assert_eq!(intersect(&a, &a).unwrap().len(), a.len());
         assert!(difference(&a, &a).unwrap().is_empty());
+    }
+
+    #[test]
+    fn pair_index_keeps_last_duplicate() {
+        // non-deduplicated inputs: the lookup side keeps the *last*
+        // occurrence of a pair, matching the former map-insertion index
+        let a = m(&[(1, 10, Some(0.9))]);
+        let b = m(&[(1, 10, Some(0.2)), (2, 20, None), (1, 10, Some(0.6))]);
+        let idx = pair_index(&b);
+        assert_eq!(idx.len(), 2);
+        assert_eq!(
+            pair_lookup(&idx, (ObjectId(1), ObjectId(10))),
+            Some(Some(0.6))
+        );
+        assert_eq!(pair_lookup(&idx, (ObjectId(9), ObjectId(9))), None);
+        let i = intersect(&a, &b).unwrap();
+        assert_eq!(i.pairs[0].evidence, Some(0.6));
     }
 
     #[test]

@@ -1,6 +1,6 @@
 //! The `Map` operation and the mapping-resolution abstraction.
 
-use gam::{GamError, GamResult, GamStore, Mapping, SourceId};
+use gam::{GamError, GamResult, GamStore, Mapping, MappingIndex, SourceId};
 
 /// The paper's `Map(S, T)`: "searches the database for an existing mapping
 /// between S and T and returns the corresponding object associations."
@@ -45,6 +45,45 @@ pub fn map(store: &GamStore, from: SourceId, to: SourceId) -> GamResult<Mapping>
             Ok(m)
         }
         None => Err(GamError::NoMapping { from, to }),
+    }
+}
+
+/// [`map`] in CSR form. When a single stored, non-structural mapping backs
+/// the pair — by far the common case — the index streams straight out of
+/// the store's batched `OBJECT_REL` scan ([`GamStore::load_mapping_index`])
+/// with no per-row allocation, no sort and no dedup; otherwise it
+/// canonicalizes the merged [`map`] result. Either way the index holds
+/// exactly `map(store, from, to)` in canonical form.
+pub fn map_index(store: &GamStore, from: SourceId, to: SourceId) -> GamResult<MappingIndex> {
+    let forward: Vec<_> = store
+        .source_rels_between(from, to)?
+        .into_iter()
+        .filter(|r| !r.rel_type.is_structural())
+        .collect();
+    let has_inverse = from != to
+        && store
+            .source_rels_between(to, from)?
+            .iter()
+            .any(|r| !r.rel_type.is_structural());
+    if forward.len() == 1 && !has_inverse {
+        return store.load_mapping_index(forward[0].id);
+    }
+    Ok(MappingIndex::build(map(store, from, to)?))
+}
+
+/// [`map_or_compose`] in CSR form: try [`map_index`] first, fall back to
+/// the merge-join [`crate::compose::compose_path_idx`] along the path.
+pub fn map_or_compose_idx(
+    store: &GamStore,
+    from: SourceId,
+    to: SourceId,
+    path: &[SourceId],
+    cfg: &crate::exec::ExecConfig,
+) -> GamResult<MappingIndex> {
+    match map_index(store, from, to) {
+        Ok(m) => Ok(m),
+        Err(GamError::NoMapping { .. }) => crate::compose::compose_path_idx(store, path, cfg),
+        Err(e) => Err(e),
     }
 }
 
@@ -189,5 +228,44 @@ mod tests {
         assert_eq!(m.len(), 1);
         assert_eq!(m.pairs[0].from, ao[0]);
         assert_eq!(m.pairs[0].to, bo[0]);
+    }
+
+    #[test]
+    fn map_index_equals_map_in_all_shapes() {
+        let bits = |m: &Mapping| -> Vec<(ObjectId, ObjectId, Option<u64>)> {
+            m.pairs
+                .iter()
+                .map(|a| (a.from, a.to, a.evidence.map(f64::to_bits)))
+                .collect()
+        };
+        // single forward rel: the batched fast path
+        let (mut s, a, b, ao, bo) = setup();
+        let rel = s.create_source_rel(a, b, RelType::Fact, None).unwrap();
+        s.add_association(rel, ao[0], bo[0], None).unwrap();
+        s.add_association(rel, ao[1], bo[1], Some(0.5)).unwrap();
+        let idx = map_index(&s, a, b).unwrap();
+        let reference = map(&s, a, b).unwrap();
+        assert_eq!(bits(&idx.to_mapping()), bits(&reference));
+        assert_eq!((idx.from, idx.to, idx.rel_type), (reference.from, reference.to, reference.rel_type));
+
+        // reversed orientation has no forward rel: merged/inverted path
+        let idx = map_index(&s, b, a).unwrap();
+        let reference = map(&s, b, a).unwrap();
+        assert_eq!(bits(&idx.to_mapping()), bits(&reference));
+
+        // a second (similarity) rel with an overlapping pair: merged path
+        let sim = s.create_source_rel(a, b, RelType::Similarity, None).unwrap();
+        s.add_association(sim, ao[0], bo[0], Some(0.4)).unwrap();
+        s.add_association(sim, ao[2], bo[2], Some(0.8)).unwrap();
+        let idx = map_index(&s, a, b).unwrap();
+        let reference = map(&s, a, b).unwrap();
+        assert_eq!(bits(&idx.to_mapping()), bits(&reference));
+
+        // no mapping at all: same error
+        let c = s
+            .create_source("Cx", SourceContent::Gene, SourceStructure::Flat, None)
+            .unwrap()
+            .id;
+        assert!(matches!(map_index(&s, a, c), Err(GamError::NoMapping { .. })));
     }
 }

@@ -21,8 +21,9 @@
 
 use crate::exec::ExecConfig;
 use crate::simple::MappingResolver;
-use gam::{GamResult, GamStore, ObjectId, SourceId};
+use gam::{GamResult, GamStore, MappingIndex, ObjectId, SourceId};
 use std::collections::{BTreeSet, HashMap};
+use std::sync::Arc;
 
 /// How per-target sub-mappings are combined into the view (paper §4.2:
 /// "the mappings can be combined using the logical operators AND or OR").
@@ -241,6 +242,147 @@ fn resolve_target(
     }
 }
 
+/// How [`generate_view_idx`] obtains the CSR index of `Mi: S ↔ Ti`.
+/// Implementations can hand out shared, pre-built indexes behind an
+/// [`Arc`] — the GenMapper system's versioned cache does exactly that, so
+/// repeated views probe one immutable index instead of rebuilding per-call
+/// hash maps.
+pub trait IndexResolver: Sync {
+    /// Produce the canonical index of the mapping oriented `from → to`.
+    fn resolve_index(
+        &self,
+        store: &GamStore,
+        from: SourceId,
+        to: SourceId,
+    ) -> GamResult<Arc<MappingIndex>>;
+}
+
+/// Adapter building a fresh [`MappingIndex`] from whatever a plain
+/// [`MappingResolver`] returns. Deliberately a wrapper rather than a
+/// blanket impl, so resolvers holding pre-built indexes (e.g. a cache)
+/// implement [`IndexResolver`] directly and skip the rebuild.
+pub struct BuildIndexResolver<'a>(pub &'a dyn MappingResolver);
+
+impl IndexResolver for BuildIndexResolver<'_> {
+    fn resolve_index(
+        &self,
+        store: &GamStore,
+        from: SourceId,
+        to: SourceId,
+    ) -> GamResult<Arc<MappingIndex>> {
+        Ok(Arc::new(MappingIndex::build(self.0.resolve(store, from, to)?)))
+    }
+}
+
+/// One resolved target column in mini-CSR form: `keys` are the surviving
+/// source objects (ascending), `offsets[i]..offsets[i + 1]` delimits key
+/// `i`'s annotation values. A key with an empty bucket is an object
+/// present with NULL (negation semantics) — distinct from an absent key,
+/// which the AND fold drops.
+struct TargetColumn {
+    keys: Vec<ObjectId>,
+    offsets: Vec<u32>,
+    values: Vec<ObjectId>,
+}
+
+impl TargetColumn {
+    fn get(&self, obj: ObjectId) -> Option<&[ObjectId]> {
+        let i = self.keys.binary_search(&obj).ok()?;
+        Some(&self.values[self.offsets[i] as usize..self.offsets[i + 1] as usize])
+    }
+}
+
+/// [`resolve_target`] over a shared CSR index: the same Figure 5 steps,
+/// but restriction and negation run as offset-array probes on the
+/// immutable index — no per-call `HashMap` is built over `Mi`, and the
+/// evidence floor is tested per position during the probe instead of
+/// materializing a filtered copy of the mapping.
+fn resolve_target_idx(
+    store: &GamStore,
+    query: &ViewQuery,
+    spec: &TargetSpec,
+    s: &BTreeSet<ObjectId>,
+    resolver: &dyn IndexResolver,
+    cfg: &ExecConfig,
+) -> GamResult<TargetColumn> {
+    // Determine Mi: S↔Ti, using Map or Compose.
+    let mi: Arc<MappingIndex> = match &spec.path {
+        Some(path) => Arc::new(crate::simple::map_or_compose_idx(
+            store,
+            query.source,
+            spec.target,
+            path,
+            cfg,
+        )?),
+        None => resolver.resolve_index(store, query.source, spec.target)?,
+    };
+    if let Some(threshold) = spec.min_evidence {
+        if !(0.0..=1.0).contains(&threshold) || threshold.is_nan() {
+            return Err(gam::GamError::BadEvidence(threshold));
+        }
+    }
+    // keep iff effective evidence clears the floor — identical to the
+    // `retain` the Vec-based path performs up front
+    let keep = |pos: usize| match spec.min_evidence {
+        Some(floor) => mi.effective_evidence_at(pos) >= floor,
+        None => true,
+    };
+    let ti = spec.objects.as_ref();
+    let mut keys = Vec::new();
+    let mut offsets: Vec<u32> = Vec::new();
+    let mut values: Vec<ObjectId> = Vec::new();
+    if spec.negated {
+        // sî = s \ Domain(RestrictRange(RestrictDomain(Mi, s), ti)); each
+        // object of sî appears with its other (un-restricted) annotations
+        // or an empty bucket (→ NULL row)
+        for &obj in s {
+            let start = values.len() as u32;
+            let mut covered = false;
+            if let Some(i) = mi.domain_bucket(obj) {
+                covered = mi.fwd_range(i).any(|pos| {
+                    keep(pos) && ti.is_none_or(|t| t.contains(&mi.to_at(pos)))
+                });
+                if !covered {
+                    for pos in mi.fwd_range(i) {
+                        if keep(pos) {
+                            values.push(mi.to_at(pos));
+                        }
+                    }
+                }
+            }
+            if !covered {
+                keys.push(obj);
+                offsets.push(start);
+            }
+        }
+    } else {
+        // mi = RestrictRange(RestrictDomain(Mi, s), ti)
+        for &obj in s {
+            if let Some(i) = mi.domain_bucket(obj) {
+                let start = values.len() as u32;
+                for pos in mi.fwd_range(i) {
+                    if keep(pos) {
+                        let to = mi.to_at(pos);
+                        if ti.is_none_or(|t| t.contains(&to)) {
+                            values.push(to);
+                        }
+                    }
+                }
+                if values.len() as u32 > start {
+                    keys.push(obj);
+                    offsets.push(start);
+                }
+            }
+        }
+    }
+    offsets.push(values.len() as u32);
+    Ok(TargetColumn {
+        keys,
+        offsets,
+        values,
+    })
+}
+
 /// Execute `GenerateView` against a store, resolving mappings with
 /// `resolver` (falling back to each target's explicit path when given).
 /// Runs sequentially; see [`generate_view_par`].
@@ -310,6 +452,93 @@ pub fn generate_view_par(
         for row in rows {
             let key = row[0].expect("source column is never NULL");
             match pairs.get(&key) {
+                Some(values) if !values.is_empty() => {
+                    for &v in values {
+                        let mut extended = row.clone();
+                        extended.push(Some(v));
+                        next.push(extended);
+                    }
+                }
+                Some(_) => {
+                    // object present with no associations (negated targets)
+                    let mut extended = row;
+                    extended.push(None);
+                    next.push(extended);
+                }
+                None => match query.combine {
+                    Combine::And => {} // inner join drops the row
+                    Combine::Or => {
+                        let mut extended = row;
+                        extended.push(None);
+                        next.push(extended);
+                    }
+                },
+            }
+        }
+        rows = next;
+    }
+
+    let mut view = AnnotationView {
+        source: query.source,
+        targets: query.targets.iter().map(|t| t.target).collect(),
+        rows,
+    };
+    view.sort();
+    Ok(view)
+}
+
+/// `GenerateView` over CSR indexes: per-target resolution probes shared
+/// [`MappingIndex`]es (via `resolver`) instead of rebuilding a `HashMap`
+/// per call, with the same parallel per-target scaffolding as
+/// [`generate_view_par`]. Output is bit-identical to
+/// [`generate_view`]/[`generate_view_par`] with an equivalent resolver,
+/// and errors surface in target order exactly like the sequential path.
+pub fn generate_view_idx(
+    store: &GamStore,
+    query: &ViewQuery,
+    resolver: &dyn IndexResolver,
+    cfg: &ExecConfig,
+) -> GamResult<AnnotationView> {
+    // V = s — start with all given source objects.
+    let s: BTreeSet<ObjectId> = match &query.objects {
+        Some(set) => set.clone(),
+        None => store.object_ids_of(query.source)?.into_iter().collect(),
+    };
+
+    let target_jobs = if cfg.jobs > 1 { cfg.jobs.min(query.targets.len()) } else { 1 };
+    let resolved: Vec<GamResult<TargetColumn>> = if target_jobs > 1 {
+        let inner = ExecConfig::sequential();
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = query
+                .targets
+                .iter()
+                .map(|spec| {
+                    let s = &s;
+                    let inner = &inner;
+                    scope.spawn(move || resolve_target_idx(store, query, spec, s, resolver, inner))
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("target resolution worker panicked"))
+                .collect()
+        })
+    } else {
+        query
+            .targets
+            .iter()
+            .map(|spec| resolve_target_idx(store, query, spec, &s, resolver, cfg))
+            .collect()
+    };
+
+    // Fold sequentially, in target order (AND/OR join semantics).
+    let mut rows: Vec<Vec<Option<ObjectId>>> = s.iter().map(|&o| vec![Some(o)]).collect();
+    for column in resolved {
+        let column = column?;
+        let mut next = Vec::with_capacity(rows.len());
+        for row in rows {
+            let key = row[0].expect("source column is never NULL");
+            match column.get(key) {
                 Some(values) if !values.is_empty() => {
                     for &v in values {
                         let mut extended = row.clone();
@@ -679,5 +908,90 @@ mod tests {
             .combine(Combine::And);
         let view = generate_view(&f.store, &q, &DirectResolver).unwrap();
         assert_eq!(view.rows, vec![vec![Some(f.l[0]), Some(r0)]]);
+
+        // the CSR path composes along the same explicit path
+        let idx_view =
+            generate_view_idx(&f.store, &q, &BuildIndexResolver(&DirectResolver), &ExecConfig::sequential())
+                .unwrap();
+        assert_eq!(idx_view, view);
+    }
+
+    #[test]
+    fn csr_view_is_bit_identical_to_reference() {
+        let mut f = fix();
+        // add a scored mapping so evidence floors have something to cut
+        let sim = f
+            .store
+            .create_source_rel(f.s, f.go, RelType::Similarity, None)
+            .unwrap();
+        f.store.add_association(sim, f.l[3], f.g[0], Some(0.2)).unwrap();
+        f.store.add_association(sim, f.l[3], f.g[1], Some(0.95)).unwrap();
+        let queries = [
+            ViewQuery::new(f.s)
+                .target(TargetSpec::all(f.go))
+                .target(TargetSpec::all(f.omim))
+                .combine(Combine::Or),
+            ViewQuery::new(f.s)
+                .target(TargetSpec::all(f.go))
+                .target(TargetSpec::all(f.omim))
+                .combine(Combine::And),
+            ViewQuery::new(f.s)
+                .target(TargetSpec::all(f.go))
+                .target(TargetSpec::all(f.omim).negated())
+                .combine(Combine::And),
+            ViewQuery::new(f.s)
+                .objects([f.l[0], f.l[1], f.l[2]].into())
+                .target(TargetSpec::restricted(f.go, [f.g[1]].into()))
+                .target(TargetSpec::all(f.omim))
+                .combine(Combine::Or),
+            ViewQuery::new(f.s)
+                .target(TargetSpec::all(f.go).min_evidence(0.5))
+                .combine(Combine::And),
+            ViewQuery::new(f.s)
+                .target(TargetSpec::all(f.go).min_evidence(0.99).negated())
+                .combine(Combine::And),
+            ViewQuery::new(f.s)
+                .target(TargetSpec::restricted(f.omim, [f.o[0]].into()).negated())
+                .combine(Combine::And),
+            ViewQuery::new(f.s).combine(Combine::And),
+        ];
+        let resolver = BuildIndexResolver(&DirectResolver);
+        for (i, q) in queries.iter().enumerate() {
+            let reference = generate_view(&f.store, q, &DirectResolver).unwrap();
+            let seq = generate_view_idx(&f.store, q, &resolver, &ExecConfig::sequential()).unwrap();
+            assert_eq!(seq, reference, "query {i} sequential");
+            for jobs in [2, 4, 8] {
+                let cfg = ExecConfig {
+                    jobs,
+                    parallel_threshold: 0,
+                };
+                let par = generate_view_idx(&f.store, q, &resolver, &cfg).unwrap();
+                assert_eq!(par, reference, "query {i} jobs={jobs}");
+            }
+        }
+    }
+
+    #[test]
+    fn csr_view_propagates_errors_in_target_order() {
+        let mut f = fix();
+        let lonely = f
+            .store
+            .create_source("Lonely", SourceContent::Other, SourceStructure::Flat, None)
+            .unwrap()
+            .id;
+        let q = ViewQuery::new(f.s)
+            .target(TargetSpec::all(f.go).min_evidence(7.0))
+            .target(TargetSpec::all(lonely));
+        let resolver = BuildIndexResolver(&DirectResolver);
+        let reference = generate_view(&f.store, &q, &DirectResolver).unwrap_err();
+        for jobs in [1, 4] {
+            let cfg = ExecConfig {
+                jobs,
+                parallel_threshold: 0,
+            };
+            let err = generate_view_idx(&f.store, &q, &resolver, &cfg).unwrap_err();
+            assert_eq!(err.to_string(), reference.to_string(), "jobs={jobs}");
+            assert!(matches!(err, gam::GamError::BadEvidence(_)));
+        }
     }
 }

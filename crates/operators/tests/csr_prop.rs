@@ -1,0 +1,247 @@
+//! Property tests pinning every CSR operator bit-identical to the
+//! `Vec<Association>`-based reference implementations, across random
+//! mapping shapes (empty, 1:1, skewed N:M) and all worker counts.
+//!
+//! "Bit-identical" is literal: evidence values are compared via
+//! `f64::to_bits`, so even a sign-of-zero or NaN-payload divergence — or a
+//! fact (`None`) silently becoming an explicit `Some(1.0)` — fails.
+
+use gam::model::{RelType, SourceContent, SourceStructure};
+use gam::{Association, GamStore, Mapping, MappingIndex, ObjectId, SourceId};
+use operators::{
+    compose, compose_idx, compose_idx_with_threshold, compose_with_threshold, generate_view,
+    generate_view_idx, BuildIndexResolver, Combine, DirectResolver, ExecConfig, TargetSpec,
+    ViewQuery,
+};
+use proptest::prelude::*;
+use std::collections::BTreeSet;
+
+fn bits(m: &Mapping) -> Vec<(ObjectId, ObjectId, Option<u64>)> {
+    m.pairs
+        .iter()
+        .map(|a| (a.from, a.to, a.evidence.map(f64::to_bits)))
+        .collect()
+}
+
+fn arb_evidence() -> impl Strategy<Value = Option<f64>> {
+    prop_oneof![
+        2 => Just(None),
+        1 => Just(Some(1.0)), // collides with a fact's effective evidence
+        4 => (0u32..=1000).prop_map(|m| Some(f64::from(m) / 1000.0)),
+    ]
+}
+
+/// Mapping shapes: (domain size, range size) pairs covering empty, 1:1 and
+/// skewed N:M fan-outs in both directions.
+fn arb_shape() -> impl Strategy<Value = (u64, u64)> {
+    prop_oneof![
+        Just((1, 1)),
+        Just((40, 40)),
+        Just((3, 120)),
+        Just((120, 3)),
+        Just((200, 8)),
+    ]
+}
+
+fn arb_mapping(
+    from: u32,
+    to: u32,
+    max_len: usize,
+) -> impl Strategy<Value = Mapping> {
+    arb_shape().prop_flat_map(move |(dom, rng)| {
+        prop::collection::vec(((0..dom), (0..rng), arb_evidence()), 0..max_len).prop_map(
+            move |raw| Mapping {
+                from: SourceId(from),
+                to: SourceId(to),
+                rel_type: RelType::Similarity,
+                pairs: raw
+                    .into_iter()
+                    .map(|(f, t, e)| Association {
+                        from: ObjectId(f),
+                        to: ObjectId(t),
+                        evidence: e,
+                    })
+                    .collect(),
+            },
+        )
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Merge-join (sequential) and partitioned hash-join (parallel)
+    /// Compose over CSR indexes reproduce the Vec-based hash join bit for
+    /// bit, with and without an evidence floor.
+    #[test]
+    fn csr_compose_matches_vec_reference(
+        left in arb_mapping(1, 2, 300),
+        right in arb_mapping(2, 3, 300),
+        floor in prop_oneof![Just(None), (0u32..=1000).prop_map(|m| Some(f64::from(m) / 1000.0))],
+    ) {
+        let li = MappingIndex::build(left.clone());
+        let ri = MappingIndex::build(right.clone());
+        // the CSR build canonicalizes its input, so the reference composes
+        // the same canonical mappings
+        let (lc, rc) = (li.to_mapping(), ri.to_mapping());
+        for jobs in [1usize, 2, 3, 8] {
+            let cfg = ExecConfig { jobs, parallel_threshold: 0 };
+            match floor {
+                None => {
+                    let reference = compose(&lc, &rc).unwrap();
+                    let idx = compose_idx(&li, &ri, &cfg).unwrap();
+                    prop_assert_eq!(bits(&idx.to_mapping()), bits(&reference), "jobs={}", jobs);
+                    prop_assert_eq!(
+                        (idx.from, idx.to, idx.rel_type),
+                        (reference.from, reference.to, reference.rel_type)
+                    );
+                }
+                Some(f) => {
+                    let reference = compose_with_threshold(&lc, &rc, f).unwrap();
+                    let idx = compose_idx_with_threshold(&li, &ri, f, &cfg).unwrap();
+                    prop_assert_eq!(bits(&idx.to_mapping()), bits(&reference), "floor={} jobs={}", f, jobs);
+                }
+            }
+        }
+    }
+
+    /// Domain/Range and the restrict operators as binary searches over the
+    /// CSR offset arrays equal the Vec filters, in order and bit for bit.
+    #[test]
+    fn csr_restricts_match_vec_reference(
+        mapping in arb_mapping(1, 2, 300),
+        picks in prop::collection::vec(0u64..240, 0..40),
+        floor in 0u32..=1000,
+    ) {
+        let idx = MappingIndex::build(mapping.clone());
+        let canonical = idx.to_mapping();
+        prop_assert_eq!(idx.domain(), canonical.domain());
+        prop_assert_eq!(idx.range(), canonical.range());
+        prop_assert_eq!(idx.len(), canonical.len());
+
+        let subset: BTreeSet<ObjectId> = picks.iter().map(|&p| ObjectId(p)).collect();
+        prop_assert_eq!(
+            bits(&idx.restrict_domain(&subset)),
+            bits(&canonical.restrict_domain(&subset))
+        );
+        prop_assert_eq!(
+            bits(&idx.restrict_range(&subset)),
+            bits(&canonical.restrict_range(&subset))
+        );
+        // full-domain restriction is identity
+        prop_assert_eq!(
+            bits(&idx.restrict_domain(&canonical.domain())),
+            bits(&canonical)
+        );
+
+        let f = f64::from(floor) / 1000.0;
+        let mut retained = canonical.clone();
+        retained.pairs.retain(|a| a.effective_evidence() >= f);
+        prop_assert_eq!(bits(&idx.filter_evidence(f).to_mapping()), bits(&retained));
+
+        // round trip through the index is lossless
+        prop_assert_eq!(bits(&MappingIndex::build(mapping).to_mapping()), bits(&canonical));
+    }
+}
+
+/// One randomly-annotated two-target store for the view property.
+fn view_store(
+    edges_go: &[(usize, usize, Option<f64>)],
+    edges_om: &[(usize, usize, Option<f64>)],
+) -> (GamStore, SourceId, SourceId, SourceId, Vec<ObjectId>, Vec<ObjectId>, Vec<ObjectId>) {
+    let mut store = GamStore::in_memory().unwrap();
+    let s = store
+        .create_source("S", SourceContent::Gene, SourceStructure::Flat, None)
+        .unwrap()
+        .id;
+    let go = store
+        .create_source("GO", SourceContent::Other, SourceStructure::Network, None)
+        .unwrap()
+        .id;
+    let om = store
+        .create_source("OMIM", SourceContent::Other, SourceStructure::Flat, None)
+        .unwrap()
+        .id;
+    let so: Vec<ObjectId> = (0..8)
+        .map(|i| store.create_object(s, &format!("s{i}"), None, None).unwrap())
+        .collect();
+    let go_o: Vec<ObjectId> = (0..6)
+        .map(|i| store.create_object(go, &format!("g{i}"), None, None).unwrap())
+        .collect();
+    let om_o: Vec<ObjectId> = (0..6)
+        .map(|i| store.create_object(om, &format!("o{i}"), None, None).unwrap())
+        .collect();
+    let rgo = store
+        .create_source_rel(s, go, RelType::Similarity, None)
+        .unwrap();
+    let rom = store
+        .create_source_rel(s, om, RelType::Similarity, None)
+        .unwrap();
+    let mut seen = BTreeSet::new();
+    for &(i, j, e) in edges_go {
+        if seen.insert((0, i % 8, j % 6)) {
+            store
+                .add_association(rgo, so[i % 8], go_o[j % 6], e)
+                .unwrap();
+        }
+    }
+    for &(i, j, e) in edges_om {
+        if seen.insert((1, i % 8, j % 6)) {
+            store
+                .add_association(rom, so[i % 8], om_o[j % 6], e)
+                .unwrap();
+        }
+    }
+    (store, s, go, om, so, go_o, om_o)
+}
+
+fn arb_edges() -> impl Strategy<Value = Vec<(usize, usize, Option<f64>)>> {
+    prop::collection::vec((0usize..8, 0usize..6, arb_evidence()), 0..24)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// `GenerateView` probing per-target CSR indexes equals the Figure 5
+    /// reference over per-call hash maps — across AND/OR, negation,
+    /// target-object restriction, evidence floors, and all worker counts.
+    #[test]
+    fn csr_view_matches_vec_reference(
+        edges_go in arb_edges(),
+        edges_om in arb_edges(),
+        negate_first in any::<bool>(),
+        negate_second in any::<bool>(),
+        and_combine in any::<bool>(),
+        restrict_om in any::<bool>(),
+        floor in prop_oneof![Just(None), (0u32..=1000).prop_map(|m| Some(f64::from(m) / 1000.0))],
+    ) {
+        let (store, s, go, om, _so, _go_o, om_o) = view_store(&edges_go, &edges_om);
+        let mut t1 = TargetSpec::all(go);
+        if negate_first {
+            t1 = t1.negated();
+        }
+        if let Some(f) = floor {
+            t1 = t1.min_evidence(f);
+        }
+        let mut t2 = if restrict_om {
+            TargetSpec::restricted(om, [om_o[0], om_o[2], om_o[4]].into())
+        } else {
+            TargetSpec::all(om)
+        };
+        if negate_second {
+            t2 = t2.negated();
+        }
+        let q = ViewQuery::new(s)
+            .target(t1)
+            .target(t2)
+            .combine(if and_combine { Combine::And } else { Combine::Or });
+
+        let reference = generate_view(&store, &q, &DirectResolver).unwrap();
+        let resolver = BuildIndexResolver(&DirectResolver);
+        for jobs in [1usize, 2, 4] {
+            let cfg = ExecConfig { jobs, parallel_threshold: 0 };
+            let idx_view = generate_view_idx(&store, &q, &resolver, &cfg).unwrap();
+            prop_assert_eq!(&idx_view, &reference, "jobs={}", jobs);
+        }
+    }
+}

@@ -111,16 +111,24 @@ impl Database {
     }
 
     /// Create a table if it does not already exist. An existing table must
-    /// have an identical schema.
+    /// have identical columns and primary key; a difference confined to the
+    /// secondary-index list is reconciled in place (missing indexes are
+    /// built from the live rows, extra ones dropped), so adding an index to
+    /// a schema does not invalidate previously-persisted databases.
     pub fn ensure_table(&mut self, schema: Schema) -> StoreResult<()> {
-        if let Some(existing) = self.tables.get(schema.name()) {
-            if existing.schema() != &schema {
-                return Err(StoreError::InvalidSchema(format!(
-                    "table {} exists with a different schema",
-                    schema.name()
-                )));
+        if let Some(existing) = self.tables.get_mut(schema.name()) {
+            if existing.schema() == &schema {
+                return Ok(());
             }
-            return Ok(());
+            let same_core = existing.schema().columns() == schema.columns()
+                && existing.schema().primary_key() == schema.primary_key();
+            if same_core {
+                return existing.reconcile_indexes(schema);
+            }
+            return Err(StoreError::InvalidSchema(format!(
+                "table {} exists with a different schema",
+                schema.name()
+            )));
         }
         self.create_table(schema)
     }
@@ -405,6 +413,60 @@ mod tests {
             .build()
             .unwrap();
         assert!(db.ensure_table(other).is_err());
+    }
+
+    #[test]
+    fn ensure_table_reconciles_index_only_differences() {
+        let dir = tmpdir("index-evolution");
+        let with_index = || {
+            Schema::builder("t")
+                .column(Column::new("id", ValueType::Int))
+                .column(Column::new("name", ValueType::Text))
+                .primary_key(&["id"])
+                .index("by_name", &["name"])
+                .build()
+                .unwrap()
+        };
+        {
+            // v1 of the schema: no secondary index
+            let mut db = Database::open(&dir).unwrap();
+            db.ensure_table(schema("t")).unwrap();
+            db.with_txn(|txn| {
+                txn.insert("t", vec![Value::Int(1), Value::text("x")])?;
+                txn.insert("t", vec![Value::Int(2), Value::text("x")])?;
+                Ok(())
+            })
+            .unwrap();
+            db.checkpoint().unwrap(); // snapshot persists the v1 schema
+        }
+        {
+            // v2 adds by_name: reopen must backfill it from existing rows
+            let mut db = Database::open(&dir).unwrap();
+            db.ensure_table(with_index()).unwrap();
+            let t = db.table("t").unwrap();
+            assert_eq!(t.lookup("by_name", &[Value::text("x")]).unwrap().len(), 2);
+            // maintenance continues through transactions
+            db.with_txn(|txn| {
+                txn.insert("t", vec![Value::Int(3), Value::text("x")])?;
+                Ok(())
+            })
+            .unwrap();
+            assert_eq!(
+                db.table("t").unwrap().lookup("by_name", &[Value::text("x")]).unwrap().len(),
+                3
+            );
+        }
+        // column differences are still rejected
+        let mut db = Database::in_memory();
+        db.ensure_table(schema("t")).unwrap();
+        let other = Schema::builder("t")
+            .column(Column::new("x", ValueType::Int))
+            .build()
+            .unwrap();
+        assert!(matches!(
+            db.ensure_table(other),
+            Err(StoreError::InvalidSchema(_))
+        ));
     }
 
     #[test]

@@ -152,6 +152,65 @@ impl IndexStore {
         }
     }
 
+    /// Stream row ids for an exact key without materializing a vector.
+    pub fn for_each(&self, key: &IndexKey, mut f: impl FnMut(RowId)) {
+        match self {
+            IndexStore::Unique(m) => {
+                if let Some(r) = m.get(key) {
+                    f(*r);
+                }
+            }
+            IndexStore::Multi(m) => {
+                if let Some(rs) = m.get(key) {
+                    rs.iter().copied().for_each(f);
+                }
+            }
+        }
+    }
+
+    /// Number of rows under an exact key (no row-id materialization).
+    pub fn lookup_count(&self, key: &IndexKey) -> usize {
+        match self {
+            IndexStore::Unique(m) => usize::from(m.contains_key(key)),
+            IndexStore::Multi(m) => m.get(key).map(Vec::len).unwrap_or(0),
+        }
+    }
+
+    /// Stream row ids for every key starting with `prefix`, in key order,
+    /// without materializing a vector — the backbone of the batched
+    /// columnar scan ([`crate::table::Table::scan_prefix_columnar`]).
+    pub fn prefix_for_each(&self, prefix: &[Value], mut f: impl FnMut(RowId)) {
+        let lo: IndexKey = prefix.to_vec();
+        let bounds = (Bound::Included(lo), Bound::<IndexKey>::Unbounded);
+        match self {
+            IndexStore::Unique(m) => m
+                .range(bounds)
+                .take_while(|(k, _)| k.starts_with(prefix))
+                .for_each(|(_, r)| f(*r)),
+            IndexStore::Multi(m) => m
+                .range(bounds)
+                .take_while(|(k, _)| k.starts_with(prefix))
+                .for_each(|(_, rs)| rs.iter().copied().for_each(&mut f)),
+        }
+    }
+
+    /// Number of rows under all keys starting with `prefix`.
+    pub fn prefix_count(&self, prefix: &[Value]) -> usize {
+        let lo: IndexKey = prefix.to_vec();
+        let bounds = (Bound::Included(lo), Bound::<IndexKey>::Unbounded);
+        match self {
+            IndexStore::Unique(m) => m
+                .range(bounds)
+                .take_while(|(k, _)| k.starts_with(prefix))
+                .count(),
+            IndexStore::Multi(m) => m
+                .range(bounds)
+                .take_while(|(k, _)| k.starts_with(prefix))
+                .map(|(_, rs)| rs.len())
+                .sum(),
+        }
+    }
+
     /// Iterate all (key, row id) pairs in key order.
     pub fn iter_entries(&self) -> Box<dyn Iterator<Item = (&IndexKey, RowId)> + '_> {
         match self {

@@ -69,5 +69,5 @@ pub use predicate::Predicate;
 pub use row::{Row, RowId};
 pub use schema::{Column, Schema};
 pub use shared::SharedDatabase;
-pub use table::Table;
+pub use table::{ColumnarBlock, Table};
 pub use value::{Value, ValueType};

@@ -17,6 +17,31 @@ use crate::row::{Row, RowId};
 use crate::schema::Schema;
 use crate::value::Value;
 
+/// One block of a batched columnar scan
+/// ([`Table::scan_prefix_columnar`]): the requested columns decoded into
+/// parallel buffers for `len` rows. Buffers are reused across blocks — a
+/// sink must not hold on to them past its call.
+#[derive(Debug)]
+pub struct ColumnarBlock {
+    len: usize,
+    /// One buffer per requested int column, in request order.
+    pub ints: Vec<Vec<i64>>,
+    /// One buffer per requested float column, in request order.
+    pub floats: Vec<Vec<Option<f64>>>,
+}
+
+impl ColumnarBlock {
+    /// Rows in this block.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True if the block holds no rows.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+}
+
 /// A table: schema, row slots, and indexes.
 #[derive(Debug, Clone)]
 pub struct Table {
@@ -261,6 +286,156 @@ impl Table {
         } else {
             Some(rows.swap_remove(0))
         })
+    }
+
+    /// Exact-key lookup streamed row by row, without materializing a
+    /// `Vec<&Row>` of candidates first.
+    pub fn for_each_lookup(
+        &self,
+        index: &str,
+        key: &[Value],
+        mut f: impl FnMut(&Row),
+    ) -> StoreResult<()> {
+        let pos = self.index_position(index)?;
+        self.indexes[pos].for_each(&key.to_vec(), |id| {
+            f(self.slots[id.0 as usize]
+                .as_ref()
+                .expect("index points at live row"));
+        });
+        Ok(())
+    }
+
+    /// Row ids under an exact key of a named index, in key/row order.
+    pub fn lookup_row_ids(&self, index: &str, key: &[Value]) -> StoreResult<Vec<RowId>> {
+        let pos = self.index_position(index)?;
+        Ok(self.indexes[pos].lookup(&key.to_vec()))
+    }
+
+    /// Number of rows under an exact key (no row materialization at all).
+    pub fn index_lookup_count(&self, index: &str, key: &[Value]) -> StoreResult<usize> {
+        let pos = self.index_position(index)?;
+        Ok(self.indexes[pos].lookup_count(&key.to_vec()))
+    }
+
+    /// Number of rows under a key prefix of a composite index.
+    pub fn index_prefix_count(&self, index: &str, prefix: &[Value]) -> StoreResult<usize> {
+        let pos = self.index_position(index)?;
+        Ok(self.indexes[pos].prefix_count(prefix))
+    }
+
+    /// Batched columnar scan over an index prefix: rows are visited in index
+    /// key order and decoded straight into per-column buffers that are
+    /// handed to `sink` one block at a time. Compared to
+    /// [`lookup_prefix`](Self::lookup_prefix) this never materializes the
+    /// candidate row-id/`&Row` vectors and touches only the requested
+    /// columns, which is what bulk loaders (e.g. mapping-index construction
+    /// over `OBJECT_REL`) want. Returns the total number of rows visited.
+    ///
+    /// `int_cols` decode with [`Value::as_int`] semantics (non-int values
+    /// become 0); `float_cols` decode with [`Value::as_float`] semantics
+    /// (NULL and non-float values become `None`).
+    pub fn scan_prefix_columnar(
+        &self,
+        index: &str,
+        prefix: &[Value],
+        int_cols: &[&str],
+        float_cols: &[&str],
+        block_rows: usize,
+        mut sink: impl FnMut(&ColumnarBlock),
+    ) -> StoreResult<usize> {
+        let pos = self.index_position(index)?;
+        let int_ords: Vec<usize> = int_cols
+            .iter()
+            .map(|c| self.schema.column_index(c))
+            .collect::<StoreResult<_>>()?;
+        let float_ords: Vec<usize> = float_cols
+            .iter()
+            .map(|c| self.schema.column_index(c))
+            .collect::<StoreResult<_>>()?;
+        let block_rows = block_rows.max(1);
+        let mut block = ColumnarBlock {
+            len: 0,
+            ints: vec![Vec::with_capacity(block_rows); int_ords.len()],
+            floats: vec![Vec::with_capacity(block_rows); float_ords.len()],
+        };
+        let mut total = 0usize;
+        self.indexes[pos].prefix_for_each(prefix, |id| {
+            let row = self.slots[id.0 as usize]
+                .as_ref()
+                .expect("index points at live row");
+            for (buf, &ord) in block.ints.iter_mut().zip(&int_ords) {
+                buf.push(row.get(ord).as_int().unwrap_or(0));
+            }
+            for (buf, &ord) in block.floats.iter_mut().zip(&float_ords) {
+                buf.push(row.get(ord).as_float());
+            }
+            block.len += 1;
+            total += 1;
+            if block.len == block_rows {
+                sink(&block);
+                block.len = 0;
+                block.ints.iter_mut().for_each(Vec::clear);
+                block.floats.iter_mut().for_each(Vec::clear);
+            }
+        });
+        if block.len > 0 {
+            sink(&block);
+        }
+        Ok(total)
+    }
+
+    /// Adopt `schema`'s index list, keeping the table's columns and primary
+    /// key as they are. The caller (`Database::ensure_table`) has already
+    /// verified that name, columns and primary key match; this method builds
+    /// any indexes present only in the new schema from the live rows, drops
+    /// indexes no longer declared, and reuses unchanged ones. All new
+    /// structures are built before anything is swapped, so a failure (e.g. a
+    /// unique violation surfaced by existing data) leaves the table intact.
+    pub(crate) fn reconcile_indexes(&mut self, schema: Schema) -> StoreResult<()> {
+        let mut built: Vec<Option<IndexStore>> = Vec::with_capacity(schema.indexes().len());
+        for def in schema.indexes() {
+            let reusable = self
+                .schema
+                .indexes()
+                .iter()
+                .any(|old| old.name == def.name && old == def);
+            if reusable {
+                built.push(None);
+                continue;
+            }
+            let mut ix = IndexStore::new(def.unique);
+            for (id, row) in self.scan() {
+                ix.insert(row.project(&def.columns), id)
+                    .map_err(|e| match e {
+                        StoreError::UniqueViolation { key, .. } => StoreError::UniqueViolation {
+                            table: schema.name().to_owned(),
+                            index: def.name.clone(),
+                            key,
+                        },
+                        e => e,
+                    })?;
+            }
+            built.push(Some(ix));
+        }
+        let old_defs: Vec<String> =
+            self.schema.indexes().iter().map(|d| d.name.clone()).collect();
+        let mut new_indexes = Vec::with_capacity(built.len());
+        for (def, b) in schema.indexes().iter().zip(built) {
+            match b {
+                Some(ix) => new_indexes.push(ix),
+                None => {
+                    let pos = old_defs
+                        .iter()
+                        .position(|n| *n == def.name)
+                        .expect("reused index exists in old schema");
+                    new_indexes
+                        .push(std::mem::replace(&mut self.indexes[pos], IndexStore::new(false)));
+                }
+            }
+        }
+        self.indexes = new_indexes;
+        self.schema = schema;
+        Ok(())
     }
 
     /// Serve a range scan from an ordered single-column index when the
@@ -703,6 +878,153 @@ mod tests {
             vec![Value::Int(0), Value::Int(1), Value::Int(2)]
         );
         assert!(t.group_count("nope").is_err());
+    }
+
+    #[test]
+    fn columnar_prefix_scan_matches_row_lookup() {
+        let mut t = Table::new(
+            Schema::builder("obj_rel")
+                .column(Column::new("id", ValueType::Int))
+                .column(Column::new("rel", ValueType::Int))
+                .column(Column::new("o1", ValueType::Int))
+                .column(Column::new("o2", ValueType::Int))
+                .column(Column::nullable("evidence", ValueType::Float))
+                .primary_key(&["id"])
+                .unique_index("by_pair", &["rel", "o1", "o2"])
+                .build()
+                .unwrap(),
+        );
+        for i in 0..100i64 {
+            let ev = if i % 3 == 0 {
+                Value::Null
+            } else {
+                Value::Float(i as f64 / 100.0)
+            };
+            t.insert(vec![
+                Value::Int(i),
+                Value::Int(i % 2),
+                Value::Int(i / 2),
+                Value::Int(1000 + i),
+                ev,
+            ])
+            .unwrap();
+        }
+        // reference: row-at-a-time decode through lookup_prefix
+        let reference: Vec<(i64, i64, Option<f64>)> = t
+            .lookup_prefix("by_pair", &[Value::Int(1)])
+            .unwrap()
+            .into_iter()
+            .map(|r| {
+                (
+                    r.get(2).as_int().unwrap(),
+                    r.get(3).as_int().unwrap(),
+                    r.get(4).as_float(),
+                )
+            })
+            .collect();
+        // columnar scan with a small block size to exercise block reuse
+        let mut got = Vec::new();
+        let visited = t
+            .scan_prefix_columnar(
+                "by_pair",
+                &[Value::Int(1)],
+                &["o1", "o2"],
+                &["evidence"],
+                7,
+                |block| {
+                    for i in 0..block.len() {
+                        got.push((block.ints[0][i], block.ints[1][i], block.floats[0][i]));
+                    }
+                },
+            )
+            .unwrap();
+        assert_eq!(visited, 50);
+        assert_eq!(got, reference);
+        assert_eq!(t.index_prefix_count("by_pair", &[Value::Int(1)]).unwrap(), 50);
+        assert_eq!(t.index_prefix_count("by_pair", &[Value::Int(9)]).unwrap(), 0);
+        assert!(t
+            .scan_prefix_columnar("by_pair", &[], &["nope"], &[], 8, |_| {})
+            .is_err());
+    }
+
+    #[test]
+    fn streaming_lookup_and_counts_match_lookup() {
+        let mut t = object_table();
+        for i in 0..30 {
+            t.insert(obj(i, i % 3, &format!("A{i}"))).unwrap();
+        }
+        let key = [Value::Int(2)];
+        let reference: Vec<Row> = t
+            .lookup("by_source", &key)
+            .unwrap()
+            .into_iter()
+            .cloned()
+            .collect();
+        let mut streamed = Vec::new();
+        t.for_each_lookup("by_source", &key, |r| streamed.push(r.clone()))
+            .unwrap();
+        assert_eq!(streamed, reference);
+        assert_eq!(t.index_lookup_count("by_source", &key).unwrap(), reference.len());
+        assert_eq!(
+            t.lookup_row_ids("by_source", &key).unwrap().len(),
+            reference.len()
+        );
+        assert_eq!(t.index_lookup_count("by_source", &[Value::Int(99)]).unwrap(), 0);
+    }
+
+    #[test]
+    fn reconcile_indexes_builds_and_drops() {
+        let mut t = object_table();
+        for i in 0..20 {
+            t.insert(obj(i, i % 4, &format!("A{i}"))).unwrap();
+        }
+        // new schema: same columns/pk, one extra index, one dropped
+        let schema2 = Schema::builder("object")
+            .column(Column::new("object_id", ValueType::Int))
+            .column(Column::new("source_id", ValueType::Int))
+            .column(Column::new("accession", ValueType::Text))
+            .column(Column::nullable("text", ValueType::Text))
+            .primary_key(&["object_id"])
+            .unique_index("by_acc", &["source_id", "accession"])
+            .index("by_accession", &["accession"])
+            .build()
+            .unwrap();
+        t.reconcile_indexes(schema2).unwrap();
+        // the new index serves lookups over pre-existing rows
+        assert_eq!(
+            t.lookup("by_accession", &[Value::text("A7")]).unwrap().len(),
+            1
+        );
+        // the dropped index is gone, reused ones still work
+        assert!(t.lookup("by_source", &[Value::Int(1)]).is_err());
+        assert_eq!(
+            t.lookup("by_acc", &[Value::Int(1), Value::text("A5")]).unwrap().len(),
+            1
+        );
+        // index maintenance continues on the reconciled set
+        t.insert(obj(100, 9, "Z")).unwrap();
+        assert_eq!(t.lookup("by_accession", &[Value::text("Z")]).unwrap().len(), 1);
+    }
+
+    #[test]
+    fn reconcile_unique_violation_leaves_table_intact() {
+        let mut t = object_table();
+        t.insert(obj(1, 10, "A")).unwrap();
+        t.insert(obj(2, 11, "A")).unwrap(); // same accession, different source
+        let bad = Schema::builder("object")
+            .column(Column::new("object_id", ValueType::Int))
+            .column(Column::new("source_id", ValueType::Int))
+            .column(Column::new("accession", ValueType::Text))
+            .column(Column::nullable("text", ValueType::Text))
+            .primary_key(&["object_id"])
+            .unique_index("by_acc", &["source_id", "accession"])
+            .unique_index("uniq_accession", &["accession"])
+            .build()
+            .unwrap();
+        let err = t.reconcile_indexes(bad).unwrap_err();
+        assert!(matches!(err, StoreError::UniqueViolation { ref index, .. } if index == "uniq_accession"));
+        // old index set still live and consistent
+        assert_eq!(t.lookup("by_source", &[Value::Int(10)]).unwrap().len(), 1);
     }
 
     #[test]

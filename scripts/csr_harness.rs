@@ -1,0 +1,661 @@
+//! Standalone, dependency-free replica of the CSR `MappingIndex` pipeline
+//! (`gam::index`, `compose::merge_join_idx` / the partitioned hash probe,
+//! and `relstore`'s batched OBJECT_REL load), for environments where the
+//! full workspace cannot be built (no crates.io access). It
+//!
+//! 1. verifies that the sorted merge join over CSR indexes (with galloping
+//!    on size skew) is bit-identical to the hash join for several shapes,
+//!    floors and worker counts — including fact vs `Some(1.0)` ties,
+//! 2. verifies CSR restrict/domain/range against the Vec filters and that
+//!    the canonical dedup is order-independent,
+//! 3. verifies the prefix-indexed block load against the flat table scan,
+//! 4. measures flat vs indexed load and hash- vs merge-join Compose at
+//!    scale factors {1, 4, 16} and writes `BENCH_csr.json`.
+//!
+//! Build & run:  rustc -O scripts/csr_harness.rs -o /tmp/csr_harness && /tmp/csr_harness
+//!
+//! The logic below must stay in sync with `crates/gam/src/index.rs`,
+//! `crates/operators/src/compose.rs` and `crates/gam/src/store.rs`; it is a
+//! measurement stand-in, not the implementation of record. Prefer
+//! `cargo run --release -p bench --bin experiments` whenever the workspace
+//! builds.
+
+use std::collections::HashMap;
+use std::time::Instant;
+
+#[derive(Debug, Clone, Copy, PartialEq)]
+struct Association {
+    from: u64,
+    to: u64,
+    evidence: Option<f64>,
+}
+
+impl Association {
+    fn effective_evidence(&self) -> f64 {
+        self.evidence.unwrap_or(1.0)
+    }
+}
+
+/// `Mapping::dedup`: canonical unstable sort (pair key, descending
+/// effective evidence, facts before explicit scores) + adjacent dedup.
+fn dedup(pairs: &mut Vec<Association>) {
+    pairs.sort_unstable_by(|a, b| {
+        (a.from, a.to)
+            .cmp(&(b.from, b.to))
+            .then_with(|| b.effective_evidence().total_cmp(&a.effective_evidence()))
+            .then_with(|| a.evidence.is_some().cmp(&b.evidence.is_some()))
+    });
+    pairs.dedup_by_key(|a| (a.from, a.to));
+}
+
+/// The old (pre-rewrite) dedup: stable sort, allocating a temp buffer.
+fn dedup_stable_old(pairs: &mut Vec<Association>) {
+    pairs.sort_by(|a, b| {
+        (a.from, a.to)
+            .cmp(&(b.from, b.to))
+            .then_with(|| b.effective_evidence().total_cmp(&a.effective_evidence()))
+    });
+    pairs.dedup_by_key(|a| (a.from, a.to));
+}
+
+// ------------------------------------------------------------------ CSR
+
+/// Replica of `gam::MappingIndex`: forward and inverse CSR over the
+/// canonical pair order, evidence stored columnar with a fact bitmask.
+struct MappingIndex {
+    fwd_keys: Vec<u64>,
+    fwd_offsets: Vec<u32>,
+    fwd_to: Vec<u64>,
+    inv_keys: Vec<u64>,
+    inv_offsets: Vec<u32>,
+    inv_from: Vec<u64>,
+    inv_pos: Vec<u32>,
+    evidence: Vec<f64>,
+    fact_mask: Vec<u64>,
+}
+
+impl MappingIndex {
+    fn build(mut pairs: Vec<Association>) -> Self {
+        dedup(&mut pairs);
+        Self::from_canonical(&pairs)
+    }
+
+    /// Build from pairs already in canonical order with unique (from, to).
+    fn from_canonical(pairs: &[Association]) -> Self {
+        let n = pairs.len();
+        let mut fwd_keys = Vec::new();
+        let mut fwd_offsets = vec![0u32];
+        let mut fwd_to = Vec::with_capacity(n);
+        let mut evidence = Vec::with_capacity(n);
+        let mut fact_mask = vec![0u64; n.div_ceil(64)];
+        for (i, a) in pairs.iter().enumerate() {
+            if fwd_keys.last() != Some(&a.from) {
+                if !fwd_keys.is_empty() {
+                    fwd_offsets.push(fwd_to.len() as u32);
+                }
+                fwd_keys.push(a.from);
+            }
+            fwd_to.push(a.to);
+            evidence.push(a.effective_evidence());
+            if a.evidence.is_none() {
+                fact_mask[i / 64] |= 1 << (i % 64);
+            }
+        }
+        fwd_offsets.push(fwd_to.len() as u32);
+        if fwd_keys.is_empty() {
+            fwd_offsets = vec![0, 0];
+            fwd_keys = Vec::new();
+        }
+
+        let mut by_to: Vec<(u64, u32)> = fwd_to
+            .iter()
+            .enumerate()
+            .map(|(p, &t)| (t, p as u32))
+            .collect();
+        by_to.sort_unstable();
+        let mut inv_keys = Vec::new();
+        let mut inv_offsets = vec![0u32];
+        let mut inv_from = Vec::with_capacity(n);
+        let mut inv_pos = Vec::with_capacity(n);
+        for &(t, p) in &by_to {
+            if inv_keys.last() != Some(&t) {
+                if !inv_keys.is_empty() {
+                    inv_offsets.push(inv_from.len() as u32);
+                }
+                inv_keys.push(t);
+            }
+            inv_from.push(pairs[p as usize].from);
+            inv_pos.push(p);
+        }
+        inv_offsets.push(inv_from.len() as u32);
+
+        MappingIndex {
+            fwd_keys,
+            fwd_offsets,
+            fwd_to,
+            inv_keys,
+            inv_offsets,
+            inv_from,
+            inv_pos,
+            evidence,
+            fact_mask,
+        }
+    }
+
+    fn evidence_at(&self, p: usize) -> Option<f64> {
+        if self.fact_mask[p / 64] & (1 << (p % 64)) != 0 {
+            None
+        } else {
+            Some(self.evidence[p])
+        }
+    }
+
+    fn fwd_range(&self, i: usize) -> std::ops::Range<usize> {
+        self.fwd_offsets[i] as usize..self.fwd_offsets[i + 1] as usize
+    }
+
+    fn inv_range(&self, i: usize) -> std::ops::Range<usize> {
+        self.inv_offsets[i] as usize..self.inv_offsets[i + 1] as usize
+    }
+
+    fn to_pairs(&self) -> Vec<Association> {
+        let mut out = Vec::with_capacity(self.fwd_to.len());
+        for i in 0..self.fwd_keys.len() {
+            for p in self.fwd_range(i) {
+                out.push(Association {
+                    from: self.fwd_keys[i],
+                    to: self.fwd_to[p],
+                    evidence: self.evidence_at(p),
+                });
+            }
+        }
+        out
+    }
+
+    /// `restrict_domain` as binary searches over `fwd_keys`.
+    fn restrict_domain(&self, objects: &[u64]) -> Vec<Association> {
+        let mut out = Vec::new();
+        for &obj in objects {
+            if let Ok(i) = self.fwd_keys.binary_search(&obj) {
+                for p in self.fwd_range(i) {
+                    out.push(Association {
+                        from: obj,
+                        to: self.fwd_to[p],
+                        evidence: self.evidence_at(p),
+                    });
+                }
+            }
+        }
+        out.sort_unstable_by_key(|a| (a.from, a.to));
+        out
+    }
+
+    /// `restrict_range` via the inverse offsets, mapped back to forward
+    /// positions so output order matches the Vec filter.
+    fn restrict_range(&self, objects: &[u64]) -> Vec<Association> {
+        let mut keep: Vec<u32> = Vec::new();
+        for &obj in objects {
+            if let Ok(i) = self.inv_keys.binary_search(&obj) {
+                keep.extend(self.inv_range(i).map(|p| self.inv_pos[p]));
+            }
+        }
+        keep.sort_unstable();
+        let mut key_of = vec![0u64; self.fwd_to.len()];
+        for i in 0..self.fwd_keys.len() {
+            for p in self.fwd_range(i) {
+                key_of[p] = self.fwd_keys[i];
+            }
+        }
+        keep.iter()
+            .map(|&p| Association {
+                from: key_of[p as usize],
+                to: self.fwd_to[p as usize],
+                evidence: self.evidence_at(p as usize),
+            })
+            .collect()
+    }
+}
+
+// ------------------------------------------------------------- joins
+
+const GALLOP_RATIO: usize = 16;
+
+/// Exponential (galloping) lower-bound search, as in `compose::gallop`.
+fn gallop(keys: &[u64], start: usize, target: u64) -> usize {
+    let mut step = 1usize;
+    while start + step < keys.len() && keys[start + step] < target {
+        step <<= 1;
+    }
+    let lo = start + (step >> 1);
+    let hi = (start + step).min(keys.len());
+    lo + keys[lo..hi].partition_point(|&k| k < target)
+}
+
+fn emit_match(
+    left: &MappingIndex,
+    right: &MappingIndex,
+    i: usize,
+    j: usize,
+    min_evidence: Option<f64>,
+    out: &mut Vec<Association>,
+) {
+    for p in left.inv_range(i) {
+        let lpos = left.inv_pos[p] as usize;
+        let l_from = left.inv_from[p];
+        let l_ev = left.evidence_at(lpos);
+        for q in right.fwd_range(j) {
+            let evidence = match (l_ev, right.evidence_at(q)) {
+                (None, None) => None,
+                _ => Some(left.evidence[lpos] * right.evidence[q]),
+            };
+            if let Some(floor) = min_evidence {
+                if evidence.unwrap_or(1.0) < floor {
+                    continue;
+                }
+            }
+            out.push(Association {
+                from: l_from,
+                to: right.fwd_to[q],
+                evidence,
+            });
+        }
+    }
+}
+
+/// Sorted merge join over `left.inv_keys` × `right.fwd_keys`, galloping
+/// when one side is much larger — replica of `compose::merge_join_idx`.
+fn merge_join(
+    left: &MappingIndex,
+    right: &MappingIndex,
+    min_evidence: Option<f64>,
+) -> Vec<Association> {
+    let lk = &left.inv_keys;
+    let rk = &right.fwd_keys;
+    let gallop_left = lk.len() > rk.len().saturating_mul(GALLOP_RATIO);
+    let gallop_right = rk.len() > lk.len().saturating_mul(GALLOP_RATIO);
+    let mut out = Vec::new();
+    let (mut i, mut j) = (0usize, 0usize);
+    while i < lk.len() && j < rk.len() {
+        if lk[i] < rk[j] {
+            i = if gallop_left { gallop(lk, i, rk[j]) } else { i + 1 };
+        } else if lk[i] > rk[j] {
+            j = if gallop_right { gallop(rk, j, lk[i]) } else { j + 1 };
+        } else {
+            emit_match(left, right, i, j, min_evidence, &mut out);
+            i += 1;
+            j += 1;
+        }
+    }
+    dedup(&mut out);
+    out
+}
+
+/// The Vec-based hash join (`compose::probe_chunk` over partitions).
+fn hash_join(
+    left: &[Association],
+    right: &[Association],
+    min_evidence: Option<f64>,
+    jobs: usize,
+) -> Vec<Association> {
+    let mut by_mid: HashMap<u64, Vec<&Association>> = HashMap::with_capacity(right.len());
+    for assoc in right {
+        by_mid.entry(assoc.from).or_default().push(assoc);
+    }
+    let probe = |chunk: &[Association]| {
+        let mut out = Vec::new();
+        for l in chunk {
+            if let Some(matches) = by_mid.get(&l.to) {
+                for r in matches {
+                    let evidence = match (l.evidence, r.evidence) {
+                        (None, None) => None,
+                        _ => Some(l.effective_evidence() * r.effective_evidence()),
+                    };
+                    if let Some(floor) = min_evidence {
+                        if evidence.unwrap_or(1.0) < floor {
+                            continue;
+                        }
+                    }
+                    out.push(Association {
+                        from: l.from,
+                        to: r.to,
+                        evidence,
+                    });
+                }
+            }
+        }
+        out
+    };
+    let parts: Vec<Vec<Association>> = if jobs <= 1 || left.len() <= 1 {
+        vec![probe(left)]
+    } else {
+        let chunk_size = left.len().div_ceil(jobs.min(left.len()));
+        std::thread::scope(|scope| {
+            let probe = &probe;
+            let handles: Vec<_> = left
+                .chunks(chunk_size)
+                .map(|chunk| scope.spawn(move || probe(chunk)))
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).collect()
+        })
+    };
+    let mut pairs: Vec<Association> = Vec::with_capacity(parts.iter().map(Vec::len).sum());
+    for part in parts {
+        pairs.extend(part);
+    }
+    dedup(&mut pairs);
+    pairs
+}
+
+// ---------------------------------------------------- OBJECT_REL replica
+
+/// One OBJECT_REL row: (source_rel_id, object1, object2, evidence).
+#[derive(Clone, Copy)]
+struct RelRow {
+    rel: i64,
+    o1: i64,
+    o2: i64,
+    evidence: Option<f64>,
+}
+
+/// The per-row `Value` a generic relational scan materializes.
+#[allow(dead_code)]
+enum Value {
+    Int(i64),
+    Float(Option<f64>),
+}
+
+/// Flat `load_mapping`: full-table scan, one `Row` (boxed value vector)
+/// allocated per row as the generic scan API does, then filter + dedup.
+fn flat_load(table: &[RelRow], rel: i64) -> Vec<Association> {
+    let mut out = Vec::new();
+    for r in table {
+        let row: Vec<Value> = vec![
+            Value::Int(r.rel),
+            Value::Int(r.o1),
+            Value::Int(r.o2),
+            Value::Float(r.evidence),
+        ];
+        let row = std::hint::black_box(row);
+        let keep = matches!(row[0], Value::Int(x) if x == rel);
+        if keep {
+            out.push(Association {
+                from: r.o1 as u64,
+                to: r.o2 as u64,
+                evidence: r.evidence,
+            });
+        }
+    }
+    dedup(&mut out);
+    out
+}
+
+/// Indexed `load_mapping_index`: binary-search the (rel, o1, o2) index for
+/// the rel prefix, decode the range in 4096-row columnar blocks (no
+/// per-row allocation), and build the CSR directly — the prefix order
+/// already is the canonical pair order.
+fn indexed_load(
+    table: &[RelRow],
+    index: &[(i64, i64, i64, u32)],
+    rel: i64,
+) -> MappingIndex {
+    let lo = index.partition_point(|&(r, _, _, _)| r < rel);
+    let hi = index.partition_point(|&(r, _, _, _)| r <= rel);
+    let mut pairs = Vec::with_capacity(hi - lo);
+    for block in index[lo..hi].chunks(4096) {
+        let mut o1s = Vec::with_capacity(block.len());
+        let mut o2s = Vec::with_capacity(block.len());
+        let mut evs = Vec::with_capacity(block.len());
+        for &(_, _, _, row_id) in block {
+            let r = table[row_id as usize];
+            o1s.push(r.o1);
+            o2s.push(r.o2);
+            evs.push(r.evidence);
+        }
+        for k in 0..block.len() {
+            pairs.push(Association {
+                from: o1s[k] as u64,
+                to: o2s[k] as u64,
+                evidence: evs[k],
+            });
+        }
+    }
+    MappingIndex::from_canonical(&pairs)
+}
+
+// -------------------------------------------------------------- helpers
+
+struct XorShift(u64);
+
+impl XorShift {
+    fn next(&mut self) -> u64 {
+        self.0 ^= self.0 << 13;
+        self.0 ^= self.0 >> 7;
+        self.0 ^= self.0 << 17;
+        self.0
+    }
+}
+
+fn arb_evidence(rng: &mut XorShift) -> Option<f64> {
+    match rng.next() % 7 {
+        0 | 1 => None,
+        2 => Some(1.0), // collides with a fact's effective evidence
+        _ => Some((rng.next() % 1000) as f64 / 1000.0),
+    }
+}
+
+/// Random mapping with `n` raw pairs over the given domain/range widths.
+fn gen_mapping(seed: u64, n: usize, dom: u64, rng_w: u64, base: u64) -> Vec<Association> {
+    let mut rng = XorShift(seed);
+    let mut pairs = Vec::with_capacity(n);
+    for _ in 0..n {
+        pairs.push(Association {
+            from: rng.next() % dom.max(1),
+            to: base + rng.next() % rng_w.max(1),
+            evidence: arb_evidence(&mut rng),
+        });
+    }
+    pairs
+}
+
+fn assert_bit_identical(a: &[Association], b: &[Association], label: &str) {
+    assert_eq!(a.len(), b.len(), "{label}: length mismatch");
+    for (x, y) in a.iter().zip(b) {
+        assert_eq!((x.from, x.to), (y.from, y.to), "{label}: pair mismatch");
+        assert_eq!(
+            x.evidence.map(f64::to_bits),
+            y.evidence.map(f64::to_bits),
+            "{label}: evidence bits mismatch"
+        );
+    }
+}
+
+fn best_of(runs: usize, mut f: impl FnMut() -> usize) -> f64 {
+    std::hint::black_box(f()); // warm-up
+    (0..runs)
+        .map(|_| {
+            let t = Instant::now();
+            std::hint::black_box(f());
+            t.elapsed().as_secs_f64()
+        })
+        .fold(f64::INFINITY, f64::min)
+}
+
+fn main() {
+    // ------------------------------------------- merge ≡ hash equivalence
+    // shapes: 1:1, dense N:M, skew left-heavy, skew right-heavy (gallops),
+    // and empty-vs-nonempty
+    let shapes: [(usize, u64, u64, usize, u64); 5] = [
+        (1_000, 800, 500, 1_000, 900),
+        (20_000, 400, 50, 20_000, 600),
+        (30_000, 5_000, 3_000, 600, 40), // right tiny → gallop left
+        (600, 50, 3_000, 30_000, 5_000), // left tiny → gallop right
+        (0, 1, 1, 1_000, 100),
+    ];
+    for (k, &(nl, dom_l, mid, nr, rng_r)) in shapes.iter().enumerate() {
+        let left = gen_mapping(0x9e37 + k as u64, nl, dom_l, mid, 1_000_000);
+        let mut right = gen_mapping(0x79b9 + k as u64, nr, mid, rng_r, 2_000_000);
+        for r in &mut right {
+            r.from += 1_000_000; // share the middle id space with left.to
+        }
+        let li = MappingIndex::build(left.clone());
+        let ri = MappingIndex::build(right.clone());
+        let (lc, rc) = (li.to_pairs(), ri.to_pairs());
+        for floor in [None, Some(0.25), Some(0.9)] {
+            let merged = merge_join(&li, &ri, floor);
+            for jobs in [1usize, 2, 4, 8] {
+                let hashed = hash_join(&lc, &rc, floor, jobs);
+                assert_bit_identical(
+                    &merged,
+                    &hashed,
+                    &format!("shape={k} floor={floor:?} jobs={jobs}"),
+                );
+            }
+        }
+    }
+    println!("compose: CSR merge join bit-identical to hash join across shapes/floors/jobs (OK)");
+
+    // ----------------------------------- dedup canonicalization + restricts
+    let raw = gen_mapping(0xfeed, 40_000, 300, 200, 0);
+    let mut shuffled = raw.clone();
+    let mut rng = XorShift(0xabcdef);
+    for i in (1..shuffled.len()).rev() {
+        shuffled.swap(i, (rng.next() % (i as u64 + 1)) as usize);
+    }
+    let (mut a, mut b) = (raw.clone(), shuffled);
+    dedup(&mut a);
+    dedup(&mut b);
+    assert_bit_identical(&a, &b, "dedup order-independence");
+
+    let idx = MappingIndex::build(raw.clone());
+    assert_bit_identical(&idx.to_pairs(), &a, "CSR round trip");
+    let subset: Vec<u64> = (0..300).filter(|k| k % 3 == 0).collect();
+    let vec_rd: Vec<Association> = a
+        .iter()
+        .filter(|p| p.from % 3 == 0)
+        .copied()
+        .collect();
+    assert_bit_identical(&idx.restrict_domain(&subset), &vec_rd, "restrict_domain");
+    let rsubset: Vec<u64> = (0..200).filter(|k| k % 5 == 0).collect();
+    let vec_rr: Vec<Association> = a
+        .iter()
+        .filter(|p| p.to % 5 == 0)
+        .copied()
+        .collect();
+    assert_bit_identical(&idx.restrict_range(&rsubset), &vec_rr, "restrict_range");
+    println!("dedup canonical + CSR restricts match Vec filters (OK)");
+
+    // ---------------------------------------------- load path equivalence
+    let build_table = |n_rows: usize, n_rels: i64, seed: u64| -> (Vec<RelRow>, Vec<(i64, i64, i64, u32)>) {
+        let mut rng = XorShift(seed);
+        let mut rows: Vec<RelRow> = Vec::with_capacity(n_rows);
+        let mut seen: Vec<(i64, i64, i64)> = Vec::with_capacity(n_rows);
+        for _ in 0..n_rows {
+            let rel = (rng.next() % n_rels as u64) as i64;
+            let o1 = (rng.next() % (n_rows as u64 / 8).max(1)) as i64;
+            let o2 = 1_000_000 + (rng.next() % (n_rows as u64 / 8).max(1)) as i64;
+            seen.push((rel, o1, o2));
+            rows.push(RelRow {
+                rel,
+                o1,
+                o2,
+                evidence: arb_evidence(&mut rng),
+            });
+        }
+        // enforce the by_pair unique constraint: first writer wins
+        let mut order: Vec<u32> = (0..rows.len() as u32).collect();
+        order.sort_unstable_by_key(|&i| (seen[i as usize], i));
+        order.dedup_by_key(|i| seen[*i as usize]);
+        let rows: Vec<RelRow> = {
+            let mut keep: Vec<u32> = order.clone();
+            keep.sort_unstable();
+            keep.iter().map(|&i| rows[i as usize]).collect()
+        };
+        let mut index: Vec<(i64, i64, i64, u32)> = rows
+            .iter()
+            .enumerate()
+            .map(|(i, r)| (r.rel, r.o1, r.o2, i as u32))
+            .collect();
+        index.sort_unstable();
+        (rows, index)
+    };
+    let (table, index) = build_table(60_000, 12, 0x5eed);
+    for rel in [0i64, 5, 11] {
+        let flat = flat_load(&table, rel);
+        let idx = indexed_load(&table, &index, rel);
+        assert_bit_identical(&idx.to_pairs(), &flat, &format!("load rel={rel}"));
+    }
+    println!("load: indexed prefix-block load bit-identical to flat scan (OK)");
+
+    // -------------------------------------------------- dedup micro timing
+    let raw = gen_mapping(0xd00d, 1_000_000, 60_000, 40_000, 0);
+    let t_new = best_of(5, || {
+        let mut p = raw.clone();
+        dedup(&mut p);
+        p.len()
+    });
+    let t_old = best_of(5, || {
+        let mut p = raw.clone();
+        dedup_stable_old(&mut p);
+        p.len()
+    });
+    println!(
+        "\ndedup, 1M raw pairs: unstable in-place {t_new:.6}s  vs  stable old {t_old:.6}s  ({:.2}x)",
+        t_old / t_new
+    );
+
+    // --------------------------------------------------------- timings
+    let workers = std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(1);
+    let mut load_rows: Vec<String> = Vec::new();
+    let mut compose_rows: Vec<String> = Vec::new();
+    println!("\n{:<7} {:>9} {:>11} {:>11} {:>8} {:>11} {:>11} {:>8}",
+        "factor", "pairs", "flat load", "idx load", "speedup", "hash join", "merge join", "speedup");
+    for factor in [1usize, 4, 16] {
+        // load: one rel out of 30 in a table scaled like the ecosystem
+        let n_rows = 150_000 * factor;
+        let (table, index) = build_table(n_rows, 30, 0x5eed + factor as u64);
+        let rel = 7i64;
+        let pairs = index.partition_point(|&(r, _, _, _)| r <= rel)
+            - index.partition_point(|&(r, _, _, _)| r < rel);
+        let flat = best_of(5, || flat_load(&table, rel).len());
+        let indexed = best_of(5, || indexed_load(&table, &index, rel).fwd_to.len());
+
+        // compose: same scale, sequential merge join on prebuilt (cached)
+        // CSR indexes vs the Vec hash join that rebuilds its probe map
+        let n = 25_000 * factor;
+        let left = gen_mapping(0x1111 + factor as u64, n, n as u64 / 2, n as u64 / 2, 1_000_000);
+        let mut right = gen_mapping(0x2222 + factor as u64, n, n as u64 / 2, n as u64, 2_000_000);
+        for r in &mut right {
+            r.from += 1_000_000;
+        }
+        let li = MappingIndex::build(left.clone());
+        let ri = MappingIndex::build(right.clone());
+        let (lc, rc) = (li.to_pairs(), ri.to_pairs());
+        let input_pairs = lc.len() + rc.len();
+        let hash = best_of(5, || hash_join(&lc, &rc, None, 1).len());
+        let merge = best_of(5, || merge_join(&li, &ri, None).len());
+
+        println!(
+            "{factor:<7} {pairs:>9} {flat:>11.6} {indexed:>11.6} {:>7.2}x {hash:>11.6} {merge:>11.6} {:>7.2}x",
+            flat / indexed,
+            hash / merge
+        );
+        load_rows.push(format!(
+            "{{\"factor\": {factor}, \"pairs\": {pairs}, \"flat_seconds\": {flat:.6}, \"indexed_seconds\": {indexed:.6}, \"speedup\": {:.3}}}",
+            flat / indexed
+        ));
+        compose_rows.push(format!(
+            "{{\"factor\": {factor}, \"input_pairs\": {input_pairs}, \"hash_seconds\": {hash:.6}, \"merge_seconds\": {merge:.6}, \"speedup\": {:.3}}}",
+            hash / merge
+        ));
+    }
+
+    let json = format!(
+        "{{\n  \"generator\": \"scripts/csr_harness.rs (standalone replica; regenerate with `cargo run --release -p bench --bin experiments` on a workspace-buildable host)\",\n  \"workers_available\": {workers},\n  \"load_mapping\": [\n    {}\n  ],\n  \"compose\": [\n    {}\n  ],\n  \"note\": \"merge join runs on prebuilt (cached) CSR indexes, matching the system's Arc<MappingIndex> cache; hash join rebuilds its probe map per call, matching the Vec path. Flat load materializes one Row per scanned table row, matching the generic scan API.\"\n}}\n",
+        load_rows.join(",\n    "),
+        compose_rows.join(",\n    ")
+    );
+    std::fs::write("BENCH_csr.json", &json).expect("write BENCH_csr.json");
+    println!("\nwrote BENCH_csr.json");
+}

@@ -32,13 +32,16 @@ impl Association {
     }
 }
 
-/// `Mapping::dedup`: stable sort by (from, to) then descending effective
-/// evidence; keep the first (strongest) of each (from, to) group.
+/// `Mapping::dedup`: canonical unstable sort by (from, to), then descending
+/// effective evidence, then facts before explicit scores; keep the first
+/// (strongest) of each (from, to) group. Tied elements are bit-identical,
+/// so the result is a pure function of the pair multiset.
 fn dedup(pairs: &mut Vec<Association>) {
-    pairs.sort_by(|a, b| {
+    pairs.sort_unstable_by(|a, b| {
         (a.from, a.to)
             .cmp(&(b.from, b.to))
             .then_with(|| b.effective_evidence().total_cmp(&a.effective_evidence()))
+            .then_with(|| a.evidence.is_some().cmp(&b.evidence.is_some()))
     });
     pairs.dedup_by_key(|a| (a.from, a.to));
 }
