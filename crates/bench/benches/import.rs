@@ -39,6 +39,27 @@ fn bench_import_pipeline(c: &mut Criterion) {
     group.bench_function("parse_all/parallel4", |b| {
         b.iter(|| import::pipeline::parse_dumps(&eco.dumps, 4).unwrap())
     });
+    // bulk fast path vs the per-row reference on pre-parsed batches
+    // (batched accession resolution + batch inserts vs per-row probes)
+    let batches: Vec<eav::EavBatch> = eco.dumps.iter().map(|d| d.parse().unwrap()).collect();
+    group.bench_function("import_all/bulk", |b| {
+        b.iter(|| {
+            let mut store = gam::GamStore::in_memory().unwrap();
+            for batch in &batches {
+                import::Importer::new(&mut store).import(batch).unwrap();
+            }
+            store
+        })
+    });
+    group.bench_function("import_all/per_row", |b| {
+        b.iter(|| {
+            let mut store = gam::GamStore::in_memory().unwrap();
+            for batch in &batches {
+                import::Importer::new(&mut store).import_per_row(batch).unwrap();
+            }
+            store
+        })
+    });
     // incremental re-import of an identical release (dedup fast path)
     let mut f = fixture(EcosystemParams::demo(4));
     let batch = eco.dumps[0].parse().unwrap();

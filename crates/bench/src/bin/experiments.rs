@@ -455,4 +455,79 @@ fn main() {
     );
     std::fs::write("BENCH_csr.json", &csr_json).expect("write BENCH_csr.json");
     println!("\nwrote BENCH_csr.json");
+
+    // ------------------------------------------------------------ import
+    heading(
+        "P-import",
+        "Bulk-import fast path: parallel parse + batched resolution + WAL group commit (scale 1/4/16)",
+    );
+    // Durable stores so the WAL fsync behaviour is part of the measurement:
+    // the per-row baseline pays one fsync per logical commit, the bulk path
+    // one per dump batch.
+    let bench_dir = std::env::temp_dir().join("genmapper-bench-import");
+    let _ = std::fs::remove_dir_all(&bench_dir);
+    println!(
+        "{:<7} {:>9} {:>11} {:>11} {:>8}   per-phase (bulk)",
+        "factor", "records", "per-row", "bulk", "speedup"
+    );
+    let mut import_json_rows: Vec<String> = Vec::new();
+    for &factor in &[1.0f64, 4.0, 16.0] {
+        let eco = Ecosystem::generate(scaled_params(41, factor));
+        let records: usize = import::pipeline::parse_dumps(&eco.dumps, 1)
+            .expect("parse")
+            .iter()
+            .map(|b| b.records.len())
+            .sum();
+        // baseline: serial parse, per-row probes, sync-on-commit WAL
+        let per_row = best_of(3, &mut || {
+            let dir = bench_dir.join("per-row");
+            let _ = std::fs::remove_dir_all(&dir);
+            let mut store = gam::GamStore::open(&dir).expect("store");
+            let batches =
+                import::pipeline::parse_dumps(&eco.dumps, 1).expect("parse");
+            for batch in &batches {
+                import::Importer::new(&mut store)
+                    .import_per_row(batch)
+                    .expect("import");
+            }
+        });
+        // fast path: parallel parse, batched resolution, one fsync per batch
+        let mut phases = import::ImportTimings::default();
+        let options = import::PipelineOptions::default();
+        let bulk = best_of(3, &mut || {
+            let dir = bench_dir.join("bulk");
+            let _ = std::fs::remove_dir_all(&dir);
+            let mut store = gam::GamStore::open(&dir).expect("store");
+            let (_, t) =
+                import::run_pipeline_timed(&mut store, &eco.dumps, &options).expect("pipeline");
+            phases = t;
+        });
+        println!(
+            "{:<7} {:>9} {:>11.6} {:>11.6} {:>7.2}x   parse {:.4?} resolve {:.4?} insert {:.4?} wal {:.4?}",
+            factor,
+            records,
+            per_row,
+            bulk,
+            per_row / bulk,
+            phases.parse,
+            phases.resolve,
+            phases.insert,
+            phases.wal,
+        );
+        import_json_rows.push(format!(
+            "{{\"factor\": {factor}, \"records\": {records}, \"per_row_seconds\": {per_row:.6}, \"bulk_seconds\": {bulk:.6}, \"speedup\": {:.3}, \"phases\": {{\"parse\": {:.6}, \"resolve\": {:.6}, \"insert\": {:.6}, \"wal\": {:.6}}}}}",
+            per_row / bulk,
+            phases.parse.as_secs_f64(),
+            phases.resolve.as_secs_f64(),
+            phases.insert.as_secs_f64(),
+            phases.wal.as_secs_f64(),
+        ));
+    }
+    let _ = std::fs::remove_dir_all(&bench_dir);
+    let import_json = format!(
+        "{{\n  \"generator\": \"cargo run --release -p bench --bin experiments\",\n  \"import\": [\n    {}\n  ]\n}}\n",
+        import_json_rows.join(",\n    ")
+    );
+    std::fs::write("BENCH_import.json", &import_json).expect("write BENCH_import.json");
+    println!("\nwrote BENCH_import.json");
 }

@@ -81,6 +81,13 @@ impl EavBatch {
         before - self.records.len()
     }
 
+    /// True if [`sanitize`](Self::sanitize) would be a no-op: every record
+    /// is already normalized and valid. The importer uses this to avoid
+    /// cloning clean batches.
+    pub fn is_clean(&self) -> bool {
+        self.records.iter().all(|r| r.is_normalized() && r.is_valid())
+    }
+
     /// Count records by kind: (objects, annotations, is_a edges).
     pub fn counts(&self) -> (usize, usize, usize) {
         let mut objects = 0;
@@ -142,6 +149,18 @@ mod tests {
         let dropped = b.sanitize();
         assert_eq!(dropped, 3);
         assert_eq!(b.records.len(), 4);
+    }
+
+    #[test]
+    fn clean_batches_are_detected() {
+        let mut b = batch();
+        assert!(b.is_clean());
+        b.push(EavRecord::object(" padded "));
+        assert!(!b.is_clean());
+        b.sanitize();
+        assert!(b.is_clean());
+        b.push(EavRecord::is_a("x", "x")); // normalized but invalid
+        assert!(!b.is_clean());
     }
 
     #[test]

@@ -158,6 +158,29 @@ impl EavRecord {
         }
     }
 
+    /// True if [`normalize`](Self::normalize) would leave the record
+    /// unchanged: no stray padding, no blank-but-present text. Lets the
+    /// importer skip cloning batches that are already clean.
+    pub fn is_normalized(&self) -> bool {
+        fn clean(s: &str) -> bool {
+            s.trim().len() == s.len()
+        }
+        fn clean_opt(s: &Option<String>) -> bool {
+            s.as_deref().is_none_or(|t| !t.trim().is_empty() && clean(t))
+        }
+        match self {
+            EavRecord::Object { accession, text, .. } => clean(accession) && clean_opt(text),
+            EavRecord::Annotation {
+                entity,
+                target,
+                accession,
+                text,
+                ..
+            } => clean(entity) && clean(target) && clean(accession) && clean_opt(text),
+            EavRecord::IsA { child, parent } => clean(child) && clean(parent),
+        }
+    }
+
     /// True if the record is structurally valid: non-empty keys, evidence
     /// (when present) within `[0, 1]`.
     pub fn is_valid(&self) -> bool {
@@ -257,6 +280,23 @@ mod tests {
         assert!(EavRecord::similarity("a", "b", "c", 0.7).is_valid());
         assert!(!EavRecord::is_a("x", "x").is_valid(), "self IS_A rejected");
         assert!(EavRecord::is_a("x", "y").is_valid());
+    }
+
+    #[test]
+    fn is_normalized_agrees_with_normalize() {
+        let dirty = [
+            EavRecord::object(" 353"),
+            EavRecord::named_object("353", "  "),
+            EavRecord::annotation("353", "GO ", "x"),
+            EavRecord::is_a("a ", "b"),
+        ];
+        for r in dirty {
+            assert!(!r.is_normalized(), "{r} should read as dirty");
+            let mut n = r.clone();
+            n.normalize();
+            assert!(n.is_normalized(), "{n} should be clean after normalize");
+        }
+        assert!(EavRecord::named_object("353", "APRT").is_normalized());
     }
 
     #[test]

@@ -103,6 +103,24 @@ impl GamStore {
         &self.db
     }
 
+    /// Start a WAL group-commit window: transactions committed until
+    /// [`end_group_commit`](Self::end_group_commit) append their redo
+    /// records to the log but defer the fsync. Atomicity is unaffected
+    /// (a crash can only lose a suffix of whole commits, never a partial
+    /// transaction); the importer uses this to pay one fsync per dump
+    /// batch instead of one per logical step.
+    pub fn begin_group_commit(&mut self) {
+        self.db.set_sync_on_commit(false);
+    }
+
+    /// Close a group-commit window: restore sync-on-commit and fsync the
+    /// WAL once, making everything committed inside the window durable.
+    pub fn end_group_commit(&mut self) -> GamResult<()> {
+        self.db.set_sync_on_commit(true);
+        self.db.sync_wal()?;
+        Ok(())
+    }
+
     // ------------------------------------------------------------------
     // Row conversions
     // ------------------------------------------------------------------
@@ -183,6 +201,46 @@ impl GamStore {
             .table(tables::SOURCE)?
             .lookup_unique("by_name", &[Value::text(name)])?;
         hit.map(Self::source_from_row).transpose()
+    }
+
+    /// Look up many sources by name in one pass: the probe names are
+    /// sort-deduped once and merged against a single ordered scan of the
+    /// `by_name` index, instead of one point lookup per name. Results align
+    /// with the input. The importer uses this to resolve every annotation
+    /// target and partition of a batch up front.
+    pub fn find_sources(&self, names: &[&str]) -> GamResult<Vec<Option<Source>>> {
+        if names.is_empty() {
+            return Ok(Vec::new());
+        }
+        let mut sorted: Vec<&str> = names.to_vec();
+        sorted.sort_unstable();
+        sorted.dedup();
+        let mut hits: Vec<Option<Source>> = vec![None; sorted.len()];
+        let lo = [Value::text(sorted[0])];
+        let hi = [Value::text(sorted[sorted.len() - 1])];
+        let mut decode_err = None;
+        let mut p = 0usize;
+        self.db
+            .table(tables::SOURCE)?
+            .for_each_index_range("by_name", &lo, &hi, |key, row| {
+                let Some(name) = key[0].as_text() else { return };
+                while p < sorted.len() && sorted[p] < name {
+                    p += 1;
+                }
+                if p < sorted.len() && sorted[p] == name {
+                    match Self::source_from_row(row) {
+                        Ok(s) => hits[p] = Some(s),
+                        Err(e) => decode_err = Some(e),
+                    }
+                }
+            })?;
+        if let Some(e) = decode_err {
+            return Err(e);
+        }
+        Ok(names
+            .iter()
+            .map(|n| hits[sorted.binary_search(n).expect("probe key present")].clone())
+            .collect())
     }
 
     /// Fetch a source by id.
@@ -297,44 +355,120 @@ impl GamStore {
         source: SourceId,
         objects: &[(String, Option<String>, Option<f64>)],
     ) -> GamResult<(Vec<ObjectId>, usize)> {
-        let mut ids = Vec::with_capacity(objects.len());
-        let mut created = 0usize;
-        let mut next = self.next_object;
-        let src_i64 = source.as_i64();
-        {
-            let mut txn = self.db.begin();
-            for (accession, text, number) in objects {
-                if accession.is_empty() {
-                    return Err(GamError::Invalid("object accession is empty".into()));
-                }
-                // read-your-writes: sees objects inserted earlier in this txn
-                let existing = txn
-                    .table(tables::OBJECT)?
-                    .lookup_unique("by_accession", &[Value::Int(src_i64), Value::text(accession.as_str())])?
-                    .map(|r| ObjectId::from_i64(r.get(0).as_int().unwrap_or_default()));
-                if let Some(id) = existing {
-                    ids.push(id);
-                    continue;
-                }
-                let id = ObjectId(next);
-                next += 1;
-                created += 1;
-                txn.insert(
-                    tables::OBJECT,
-                    vec![
-                        Value::Int(id.as_i64()),
-                        Value::Int(src_i64),
-                        Value::text(accession.as_str()),
-                        text.as_deref().map(Value::text).unwrap_or(Value::Null),
-                        number.map(Value::Float).unwrap_or(Value::Null),
-                    ],
-                )?;
-                ids.push(id);
+        let refs: Vec<(&str, Option<&str>, Option<f64>)> = objects
+            .iter()
+            .map(|(a, t, n)| (a.as_str(), t.as_deref(), *n))
+            .collect();
+        self.add_objects_bulk_ref(source, &refs)
+    }
+
+    /// Borrowed-key variant of [`add_objects_bulk`](Self::add_objects_bulk):
+    /// the importer passes accessions interned from the batch arena, so no
+    /// owned `String`s are built on the hot path. Dedup decisions, id
+    /// assignment order and store contents are identical to a per-row
+    /// `ensure_object` loop: the whole batch is resolved against the
+    /// `by_accession` index first ([`resolve_accessions`]
+    /// (Self::resolve_accessions)), then the fresh rows — first occurrence
+    /// wins within the batch — are inserted in input order via one batch
+    /// insert with bulk index maintenance.
+    pub fn add_objects_bulk_ref(
+        &mut self,
+        source: SourceId,
+        objects: &[(&str, Option<&str>, Option<f64>)],
+    ) -> GamResult<(Vec<ObjectId>, usize)> {
+        for (accession, _, _) in objects {
+            if accession.is_empty() {
+                return Err(GamError::Invalid("object accession is empty".into()));
             }
-            txn.commit()?;
+        }
+        let keys: Vec<&str> = objects.iter().map(|(a, _, _)| *a).collect();
+        let existing = self.resolve_accessions(source, &keys)?;
+        let src_i64 = source.as_i64();
+        let mut ids = Vec::with_capacity(objects.len());
+        let mut rows: Vec<Vec<Value>> = Vec::new();
+        let mut seen: std::collections::BTreeMap<&str, ObjectId> = std::collections::BTreeMap::new();
+        let mut next = self.next_object;
+        for (i, (accession, text, number)) in objects.iter().enumerate() {
+            if let Some(id) = existing[i] {
+                ids.push(id);
+                continue;
+            }
+            if let Some(id) = seen.get(accession) {
+                ids.push(*id);
+                continue;
+            }
+            let id = ObjectId(next);
+            next += 1;
+            rows.push(vec![
+                Value::Int(id.as_i64()),
+                Value::Int(src_i64),
+                Value::text(*accession),
+                text.map(Value::text).unwrap_or(Value::Null),
+                number.map(Value::Float).unwrap_or(Value::Null),
+            ]);
+            seen.insert(accession, id);
+            ids.push(id);
+        }
+        let created = rows.len();
+        if created > 0 {
+            self.db.with_txn(|txn| {
+                txn.insert_batch(tables::OBJECT, rows)?;
+                Ok(())
+            })?;
         }
         self.next_object = next;
         Ok((ids, created))
+    }
+
+    /// Batched accession resolution (the importer's replacement for per-row
+    /// [`find_object`](Self::find_object) calls): sort-dedup the probe
+    /// accessions once, then resolve them in a single ordered merge pass
+    /// against the `by_accession` index. Results align with the input;
+    /// unknown accessions yield `None`.
+    ///
+    /// When the probe set is sparse relative to the source's key span
+    /// (fewer than 1/16 of its keys), point lookups are cheaper than
+    /// walking the span and the resolver switches to them — the answer is
+    /// identical either way.
+    pub fn resolve_accessions(
+        &self,
+        source: SourceId,
+        accessions: &[&str],
+    ) -> GamResult<Vec<Option<ObjectId>>> {
+        if accessions.is_empty() {
+            return Ok(Vec::new());
+        }
+        let mut sorted: Vec<&str> = accessions.to_vec();
+        sorted.sort_unstable();
+        sorted.dedup();
+        let table = self.db.table(tables::OBJECT)?;
+        let src = Value::Int(source.as_i64());
+        let mut hits: Vec<Option<ObjectId>> = vec![None; sorted.len()];
+        let span = table.index_prefix_count("by_accession", std::slice::from_ref(&src))?;
+        if sorted.len() * 16 < span {
+            for (i, acc) in sorted.iter().enumerate() {
+                hits[i] = table
+                    .lookup_unique("by_accession", &[src.clone(), Value::text(*acc)])?
+                    .map(|r| ObjectId::from_i64(r.get(0).as_int().unwrap_or_default()));
+            }
+        } else {
+            let lo = [src.clone(), Value::text(sorted[0])];
+            let hi = [src.clone(), Value::text(sorted[sorted.len() - 1])];
+            let mut p = 0usize;
+            table.for_each_index_range("by_accession", &lo, &hi, |key, row| {
+                let Some(acc) = key[1].as_text() else { return };
+                while p < sorted.len() && sorted[p] < acc {
+                    p += 1;
+                }
+                if p < sorted.len() && sorted[p] == acc {
+                    hits[p] = Some(ObjectId::from_i64(row.get(0).as_int().unwrap_or_default()));
+                }
+            })?;
+        }
+        Ok(accessions
+            .iter()
+            .map(|acc| hits[sorted.binary_search(acc).expect("probe key present")])
+            .collect())
     }
 
     /// Find an object by (source, accession).
@@ -576,6 +710,12 @@ impl GamStore {
 
     /// Add many associations to a mapping in one transaction, skipping
     /// duplicates. `added` is incremented per fresh insert.
+    ///
+    /// Duplicate elimination is sort-based: the distinct `(object1, object2)`
+    /// pairs of the batch are resolved against the `by_pair` index in one
+    /// ordered merge pass, then fresh pairs (first occurrence wins within the
+    /// batch) are inserted in input order with contiguous ids — the same
+    /// decisions and id sequence a per-row probe loop produces.
     pub fn add_associations_bulk(
         &mut self,
         source_rel: SourceRelId,
@@ -583,46 +723,71 @@ impl GamStore {
         added: &mut usize,
     ) -> GamResult<()> {
         let rel_i64 = source_rel.as_i64();
-        let mut next = self.next_object_rel;
+        let assocs: Vec<Association> = associations.into_iter().collect();
+        if assocs.is_empty() {
+            return Ok(());
+        }
+        for assoc in &assocs {
+            let rec = crate::model::ObjectRel {
+                id: ObjectRelId(self.next_object_rel),
+                source_rel,
+                object1: assoc.from,
+                object2: assoc.to,
+                evidence: assoc.evidence,
+            };
+            rec.validate()?;
+        }
+        let mut pairs: Vec<(i64, i64)> = assocs
+            .iter()
+            .map(|a| (a.from.as_i64(), a.to.as_i64()))
+            .collect();
+        pairs.sort_unstable();
+        pairs.dedup();
+        let mut exists = vec![false; pairs.len()];
         {
-            let mut txn = self.db.begin();
-            for assoc in associations {
-                let rec = crate::model::ObjectRel {
-                    id: ObjectRelId(next),
-                    source_rel,
-                    object1: assoc.from,
-                    object2: assoc.to,
-                    evidence: assoc.evidence,
+            let table = self.db.table(tables::OBJECT_REL)?;
+            let (lo_from, lo_to) = pairs[0];
+            let (hi_from, hi_to) = pairs[pairs.len() - 1];
+            let lo = [Value::Int(rel_i64), Value::Int(lo_from), Value::Int(lo_to)];
+            let hi = [Value::Int(rel_i64), Value::Int(hi_from), Value::Int(hi_to)];
+            let mut p = 0usize;
+            table.for_each_index_range("by_pair", &lo, &hi, |key, _row| {
+                let (Some(from), Some(to)) = (key[1].as_int(), key[2].as_int()) else {
+                    return;
                 };
-                rec.validate()?;
-                let dup = txn
-                    .table(tables::OBJECT_REL)?
-                    .lookup_unique(
-                        "by_pair",
-                        &[
-                            Value::Int(rel_i64),
-                            Value::Int(assoc.from.as_i64()),
-                            Value::Int(assoc.to.as_i64()),
-                        ],
-                    )?
-                    .is_some();
-                if dup {
-                    continue;
+                while p < pairs.len() && pairs[p] < (from, to) {
+                    p += 1;
                 }
-                txn.insert(
-                    tables::OBJECT_REL,
-                    vec![
-                        Value::Int(rec.id.as_i64()),
-                        Value::Int(rel_i64),
-                        Value::Int(assoc.from.as_i64()),
-                        Value::Int(assoc.to.as_i64()),
-                        assoc.evidence.map(Value::Float).unwrap_or(Value::Null),
-                    ],
-                )?;
-                next += 1;
-                *added += 1;
+                if p < pairs.len() && pairs[p] == (from, to) {
+                    exists[p] = true;
+                }
+            })?;
+        }
+        let mut next = self.next_object_rel;
+        let mut rows: Vec<Vec<Value>> = Vec::new();
+        let mut seen = vec![false; pairs.len()];
+        for assoc in &assocs {
+            let pair = (assoc.from.as_i64(), assoc.to.as_i64());
+            let slot = pairs.binary_search(&pair).expect("probe pair present");
+            if exists[slot] || seen[slot] {
+                continue;
             }
-            txn.commit()?;
+            seen[slot] = true;
+            rows.push(vec![
+                Value::Int(next as i64),
+                Value::Int(rel_i64),
+                Value::Int(pair.0),
+                Value::Int(pair.1),
+                assoc.evidence.map(Value::Float).unwrap_or(Value::Null),
+            ]);
+            next += 1;
+            *added += 1;
+        }
+        if !rows.is_empty() {
+            self.db.with_txn(|txn| {
+                txn.insert_batch(tables::OBJECT_REL, rows)?;
+                Ok(())
+            })?;
         }
         self.next_object_rel = next;
         Ok(())
@@ -1078,6 +1243,127 @@ mod tests {
         let rel = s.create_source_rel(a.id, b.id, RelType::Similarity, None).unwrap();
         assert!(s.add_association(rel, ao, bo, Some(1.5)).is_err());
         assert_eq!(s.cardinalities().unwrap().associations, 0);
+    }
+
+    #[test]
+    fn find_sources_aligns_hits_with_probe_order() {
+        let mut s = store();
+        let a = gene_source(&mut s, "A");
+        let c = gene_source(&mut s, "C");
+        let hits = s.find_sources(&["C", "missing", "A", "C"]).unwrap();
+        assert_eq!(hits.len(), 4);
+        assert_eq!(hits[0].as_ref().unwrap().id, c.id);
+        assert!(hits[1].is_none());
+        assert_eq!(hits[2].as_ref().unwrap().id, a.id);
+        assert_eq!(hits[3].as_ref().unwrap().id, c.id);
+        assert!(s.find_sources(&[]).unwrap().is_empty());
+    }
+
+    #[test]
+    fn resolve_accessions_merge_and_point_paths_agree() {
+        let mut s = store();
+        let ll = gene_source(&mut s, "LocusLink");
+        for i in 0..200 {
+            s.create_object(ll.id, &format!("acc{i:03}"), None, None).unwrap();
+        }
+        // dense probe set -> merge pass
+        let dense: Vec<String> = (0..150).map(|i| format!("acc{i:03}")).collect();
+        let mut dense_refs: Vec<&str> = dense.iter().map(String::as_str).collect();
+        dense_refs.push("nope");
+        let hits = s.resolve_accessions(ll.id, &dense_refs).unwrap();
+        assert!(hits[..150].iter().all(Option::is_some));
+        assert!(hits[150].is_none());
+        // sparse probe set -> point lookups; answers must match find_object
+        let sparse = ["acc000", "acc199", "zzz", "acc007"];
+        let hits = s.resolve_accessions(ll.id, &sparse).unwrap();
+        for (acc, hit) in sparse.iter().zip(&hits) {
+            let expect = s.find_object(ll.id, acc).unwrap().map(|o| o.id);
+            assert_eq!(*hit, expect, "mismatch for {acc}");
+        }
+        // duplicate probes align to the same id
+        let hits = s.resolve_accessions(ll.id, &["acc005", "acc005"]).unwrap();
+        assert_eq!(hits[0], hits[1]);
+        assert!(hits[0].is_some());
+    }
+
+    #[test]
+    fn bulk_ref_matches_per_row_ensure_object() {
+        let mut a = store();
+        let mut b = store();
+        let sa = gene_source(&mut a, "S");
+        let sb = gene_source(&mut b, "S");
+        // pre-populate both stores identically so the batch hits existing rows
+        a.create_object(sa.id, "pre", Some("t"), None).unwrap();
+        b.create_object(sb.id, "pre", Some("t"), None).unwrap();
+        let batch: Vec<(&str, Option<&str>, Option<f64>)> = vec![
+            ("x", Some("first"), None),
+            ("pre", None, None),
+            ("y", None, Some(1.0)),
+            ("x", Some("second wins? no: first"), None),
+        ];
+        let (ids, created) = a.add_objects_bulk_ref(sa.id, &batch).unwrap();
+        let mut expect_ids = Vec::new();
+        let mut expect_created = 0;
+        for (acc, text, num) in &batch {
+            let (id, fresh) = b.ensure_object(sb.id, acc, *text, *num).unwrap();
+            expect_ids.push(id);
+            if fresh {
+                expect_created += 1;
+            }
+        }
+        assert_eq!(ids, expect_ids);
+        assert_eq!(created, expect_created);
+        let mut objs_a = a.objects_of(sa.id).unwrap();
+        let mut objs_b = b.objects_of(sb.id).unwrap();
+        objs_a.sort_by_key(|o| o.id);
+        objs_b.sort_by_key(|o| o.id);
+        assert_eq!(objs_a, objs_b);
+    }
+
+    #[test]
+    fn group_commit_window_survives_reopen() {
+        let dir = std::env::temp_dir().join("gam-store-tests").join("group-commit");
+        let _ = std::fs::remove_dir_all(&dir);
+        let (src_id, rel_id);
+        {
+            let mut s = GamStore::open(&dir).unwrap();
+            // snapshot the empty schema so reopen can replay the WAL
+            // (relstore recovery needs tables from a snapshot); the whole
+            // batch below then lives only in group-committed WAL frames
+            s.checkpoint().unwrap();
+            s.begin_group_commit();
+            let src = gene_source(&mut s, "A");
+            let go = s
+                .create_source("GO", SourceContent::Other, SourceStructure::Network, None)
+                .unwrap();
+            src_id = src.id;
+            let (ids, created) = s
+                .add_objects_bulk_ref(src.id, &[("a1", None, None), ("a2", None, None)])
+                .unwrap();
+            assert_eq!(created, 2);
+            let (g, _) = s.ensure_object(go.id, "GO:1", None, None).unwrap();
+            rel_id = s.create_source_rel(src.id, go.id, RelType::Fact, None).unwrap();
+            let mut added = 0;
+            s.add_associations_bulk(
+                rel_id,
+                vec![
+                    Association::fact(ids[0], g),
+                    Association::fact(ids[1], g),
+                    Association::fact(ids[0], g), // dup within batch
+                ],
+                &mut added,
+            )
+            .unwrap();
+            assert_eq!(added, 2);
+            s.end_group_commit().unwrap();
+        }
+        {
+            let s = GamStore::open(&dir).unwrap();
+            assert_eq!(s.find_source("A").unwrap().unwrap().id, src_id);
+            assert_eq!(s.object_count(src_id).unwrap(), 2);
+            assert_eq!(s.association_count(rel_id).unwrap(), 2);
+        }
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

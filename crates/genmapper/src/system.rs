@@ -294,7 +294,13 @@ impl GenMapper {
     /// Parse and import source dumps through the two-phase pipeline.
     pub fn import_dumps(&mut self, dumps: &[SourceDump]) -> GamResult<Vec<import::ImportReport>> {
         self.invalidate_caches();
-        import::run_pipeline(&mut self.store, dumps, &PipelineOptions::default())
+        // parse fan-out follows the system's execution config, like
+        // Compose/GenerateView do
+        let options = PipelineOptions {
+            parse_threads: self.exec.jobs.max(1),
+            ..PipelineOptions::default()
+        };
+        import::run_pipeline(&mut self.store, dumps, &options)
     }
 
     /// Import one pre-parsed EAV batch.

@@ -8,10 +8,11 @@
 //! number of dumps.
 
 use crate::importer::Importer;
-use crate::report::ImportReport;
+use crate::report::{ImportReport, ImportTimings};
 use gam::{GamError, GamResult, GamStore};
 use sources::ecosystem::SourceDump;
 use std::sync::atomic::{AtomicUsize, Ordering};
+use std::time::Instant;
 
 /// Pipeline configuration.
 #[derive(Debug, Clone)]
@@ -48,8 +49,21 @@ pub fn run_pipeline(
     dumps: &[SourceDump],
     options: &PipelineOptions,
 ) -> GamResult<Vec<ImportReport>> {
+    run_pipeline_timed(store, dumps, options).map(|(reports, _)| reports)
+}
+
+/// [`run_pipeline`] plus per-phase wall-clock timings (parse / resolve /
+/// insert / wal), accumulated across all batches.
+pub fn run_pipeline_timed(
+    store: &mut GamStore,
+    dumps: &[SourceDump],
+    options: &PipelineOptions,
+) -> GamResult<(Vec<ImportReport>, ImportTimings)> {
+    let mut timings = ImportTimings::default();
+    let parse_start = Instant::now();
     let batches = parse_dumps(dumps, options.parse_threads)
         .map_err(|e| GamError::Invalid(format!("parse failed: {e}")))?;
+    timings.parse += parse_start.elapsed();
     if let Some(dir) = &options.staging_dir {
         std::fs::create_dir_all(dir)
             .map_err(|e| GamError::Invalid(format!("staging dir: {e}")))?;
@@ -60,8 +74,10 @@ pub fn run_pipeline(
         }
     }
     let mut reports = Vec::with_capacity(batches.len());
-    for (i, batch) in batches.iter().enumerate() {
-        let report = Importer::new(store).import(batch)?;
+    for (i, batch) in batches.into_iter().enumerate() {
+        let mut importer = Importer::new(store);
+        let report = importer.import_owned(batch)?;
+        timings.absorb(&importer.timings());
         reports.push(report);
         if let Some(every) = options.checkpoint_every {
             if every > 0 && (i + 1) % every == 0 {
@@ -69,7 +85,7 @@ pub fn run_pipeline(
             }
         }
     }
-    Ok(reports)
+    Ok((reports, timings))
 }
 
 /// Parse dumps on up to `threads` workers, preserving dump order in the
@@ -131,6 +147,17 @@ mod tests {
         let again = run_pipeline(&mut store, &eco.dumps, &PipelineOptions::default()).unwrap();
         assert!(again.iter().all(|r| r.skipped));
         assert_eq!(store.cardinalities().unwrap(), cards);
+    }
+
+    #[test]
+    fn timed_pipeline_reports_phase_durations() {
+        let eco = Ecosystem::generate(EcosystemParams::demo(36));
+        let mut store = GamStore::in_memory().unwrap();
+        let (reports, timings) =
+            run_pipeline_timed(&mut store, &eco.dumps, &PipelineOptions::default()).unwrap();
+        assert_eq!(reports.len(), eco.dumps.len());
+        assert!(timings.parse > std::time::Duration::ZERO);
+        assert!(timings.total() >= timings.parse + timings.insert);
     }
 
     #[test]

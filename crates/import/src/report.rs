@@ -1,6 +1,38 @@
 //! Import reports: what one batch did to the database.
 
 use std::fmt;
+use std::time::Duration;
+
+/// Wall-clock spent per import phase, accumulated across batches. The
+/// import benchmark harness serializes these into `BENCH_import.json`.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct ImportTimings {
+    /// Parsing dumps into EAV batches (filled in by the pipeline; a bare
+    /// [`Importer`](crate::Importer) never parses).
+    pub parse: Duration,
+    /// Resolution and grouping: sanitize, annotation grouping, batched
+    /// source lookups, symbol-map construction.
+    pub resolve: Duration,
+    /// Store mutations: bulk object and association inserts.
+    pub insert: Duration,
+    /// WAL group-commit fsync at the end of each batch.
+    pub wal: Duration,
+}
+
+impl ImportTimings {
+    /// Fold another sample into this one.
+    pub fn absorb(&mut self, other: &ImportTimings) {
+        self.parse += other.parse;
+        self.resolve += other.resolve;
+        self.insert += other.insert;
+        self.wal += other.wal;
+    }
+
+    /// Total across all phases.
+    pub fn total(&self) -> Duration {
+        self.parse + self.resolve + self.insert + self.wal
+    }
+}
 
 /// Outcome of importing one EAV batch.
 #[derive(Debug, Clone, Default, PartialEq, Eq)]

@@ -803,7 +803,7 @@ mod tests {
                     .id
             })
             .collect();
-        let mut objs = vec![Vec::new(), Vec::new(), Vec::new()];
+        let mut objs = [Vec::new(), Vec::new(), Vec::new()];
         for (i, &src) in ids.iter().enumerate() {
             for j in 0..6 {
                 objs[i].push(s.create_object(src, &format!("o{i}_{j}"), None, None).unwrap());

@@ -35,6 +35,11 @@ pub struct Database {
     tables: BTreeMap<String, Table>,
     durability: Option<Durability>,
     next_txid: u64,
+    /// When `true` (the default) every commit fsyncs the WAL. Group commit
+    /// ([`set_sync_on_commit`](Self::set_sync_on_commit)) turns this off so
+    /// a bulk loader can commit many transactions and pay one
+    /// [`sync_wal`](Self::sync_wal) at the end of the batch.
+    sync_on_commit: bool,
 }
 
 impl std::fmt::Debug for Database {
@@ -53,6 +58,7 @@ impl Database {
             tables: BTreeMap::new(),
             durability: None,
             next_txid: 1,
+            sync_on_commit: true,
         }
     }
 
@@ -65,6 +71,7 @@ impl Database {
             tables: tables.into_iter().map(|t| (t.name().to_owned(), t)).collect(),
             durability: None,
             next_txid: 1,
+            sync_on_commit: true,
         };
         let recovery = read_wal(&dir.join(WAL_FILE))?;
         for op in recovery.committed_ops {
@@ -184,6 +191,31 @@ impl Database {
         }
     }
 
+    /// Toggle per-commit WAL fsync (group commit). With syncing off,
+    /// committed transactions are appended to the WAL (buffered) but only
+    /// become durable at the next [`sync_wal`](Self::sync_wal) /
+    /// [`checkpoint`](Self::checkpoint) or when syncing is re-enabled and a
+    /// commit runs. Atomicity is unaffected: commit markers still delimit
+    /// transactions, so a crash loses at most the unsynced *suffix* of
+    /// commits, never a partial transaction.
+    pub fn set_sync_on_commit(&mut self, sync: bool) {
+        self.sync_on_commit = sync;
+    }
+
+    /// Whether commits currently fsync the WAL.
+    pub fn sync_on_commit(&self) -> bool {
+        self.sync_on_commit
+    }
+
+    /// Flush and fsync the WAL, making every committed transaction durable.
+    /// No-op (Ok) for in-memory databases.
+    pub fn sync_wal(&mut self) -> StoreResult<()> {
+        if let Some(durability) = &mut self.durability {
+            durability.wal.sync()?;
+        }
+        Ok(())
+    }
+
     /// Write a snapshot of the current state and truncate the WAL.
     /// No-op (Ok) for in-memory databases.
     pub fn checkpoint(&mut self) -> StoreResult<()> {
@@ -278,6 +310,37 @@ impl<'db> Transaction<'db> {
         Ok(row_id)
     }
 
+    /// Insert many rows at once. Unique constraints are pre-checked for the
+    /// whole batch (against existing rows and within the batch), rows land
+    /// in contiguous slots, and each secondary index is rebuilt bulk from
+    /// the key-sorted batch instead of being maintained per row. On error
+    /// nothing is inserted. Semantically identical to a loop of
+    /// [`insert`](Self::insert) calls that all succeed.
+    pub fn insert_batch(
+        &mut self,
+        table: &str,
+        rows: Vec<Vec<Value>>,
+    ) -> StoreResult<Vec<RowId>> {
+        self.check_open()?;
+        let t = self.db.table_mut_internal(table)?;
+        let redo_rows = rows.clone();
+        let row_ids = t.insert_batch(rows)?;
+        self.redo.reserve(row_ids.len());
+        self.undo.reserve(row_ids.len());
+        for (row_id, values) in row_ids.iter().zip(redo_rows) {
+            self.redo.push(LogRecord::Insert {
+                table: table.to_owned(),
+                row_id: *row_id,
+                values,
+            });
+            self.undo.push(Undo::Insert {
+                table: table.to_owned(),
+                row_id: *row_id,
+            });
+        }
+        Ok(row_ids)
+    }
+
     /// Delete a row by id.
     pub fn delete(&mut self, table: &str, row_id: RowId) -> StoreResult<()> {
         self.check_open()?;
@@ -314,16 +377,18 @@ impl<'db> Transaction<'db> {
         Ok(())
     }
 
-    /// Commit: append redo records and a commit marker to the WAL and sync.
+    /// Commit: append redo records and a commit marker to the WAL in one
+    /// buffered write, then sync — unless the database is in group-commit
+    /// mode ([`Database::set_sync_on_commit`]), where the sync is deferred.
     pub fn commit(mut self) -> StoreResult<()> {
         self.check_open()?;
         self.closed = true;
         if let Some(durability) = &mut self.db.durability {
-            for record in &self.redo {
-                durability.wal.append(record)?;
+            self.redo.push(LogRecord::Commit { txid: self.txid });
+            durability.wal.append_batch(&self.redo)?;
+            if self.db.sync_on_commit {
+                durability.wal.sync()?;
             }
-            durability.wal.append(&LogRecord::Commit { txid: self.txid })?;
-            durability.wal.sync()?;
         }
         Ok(())
     }
@@ -584,6 +649,66 @@ mod tests {
             assert_eq!(t.len(), 2);
             assert_eq!(t.get(RowId(0)).unwrap().get(1), &Value::text("x2"));
             assert_eq!(t.get(RowId(1)).unwrap().get(1), &Value::text("y"));
+        }
+    }
+
+    #[test]
+    fn group_commit_defers_sync_but_preserves_commits() {
+        let dir = tmpdir("group-commit");
+        {
+            let mut db = Database::open(&dir).unwrap();
+            db.create_table(schema("t")).unwrap();
+            db.checkpoint().unwrap();
+            db.set_sync_on_commit(false);
+            assert!(!db.sync_on_commit());
+            for i in 0..3 {
+                db.with_txn(|txn| {
+                    txn.insert("t", vec![Value::Int(i), Value::text("x")])?;
+                    Ok(())
+                })
+                .unwrap();
+            }
+            db.sync_wal().unwrap();
+            db.set_sync_on_commit(true);
+        }
+        {
+            let db = Database::open(&dir).unwrap();
+            assert_eq!(db.table("t").unwrap().len(), 3);
+        }
+    }
+
+    #[test]
+    fn insert_batch_commits_and_rolls_back_like_per_row_inserts() {
+        let dir = tmpdir("insert-batch");
+        {
+            let mut db = Database::open(&dir).unwrap();
+            db.create_table(schema("t")).unwrap();
+            db.checkpoint().unwrap();
+            db.with_txn(|txn| {
+                let ids = txn.insert_batch(
+                    "t",
+                    vec![
+                        vec![Value::Int(1), Value::text("a")],
+                        vec![Value::Int(2), Value::text("b")],
+                    ],
+                )?;
+                assert_eq!(ids, vec![RowId(0), RowId(1)]);
+                Ok(())
+            })
+            .unwrap();
+            // rollback undoes a batch insert row by row
+            let mut txn = db.begin();
+            txn.insert_batch("t", vec![vec![Value::Int(3), Value::text("c")]])
+                .unwrap();
+            txn.rollback().unwrap();
+            assert_eq!(db.table("t").unwrap().len(), 2);
+        }
+        {
+            // WAL replay restores the batch rows (redo records are per row)
+            let db = Database::open(&dir).unwrap();
+            let t = db.table("t").unwrap();
+            assert_eq!(t.len(), 2);
+            assert_eq!(t.get(RowId(1)).unwrap().get(1), &Value::text("b"));
         }
     }
 

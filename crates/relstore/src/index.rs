@@ -211,6 +211,27 @@ impl IndexStore {
         }
     }
 
+    /// Stream (key, row id) entries whose key lies in `[lo, hi]`
+    /// (inclusive), in key order. The backbone of batched key resolution:
+    /// a sorted probe list is merged against one ordered pass over this
+    /// range instead of issuing one point lookup per probe.
+    pub fn range_entries_for_each(
+        &self,
+        lo: &IndexKey,
+        hi: &IndexKey,
+        mut f: impl FnMut(&IndexKey, RowId),
+    ) {
+        let bounds = (Bound::Included(lo), Bound::Included(hi));
+        match self {
+            IndexStore::Unique(m) => m
+                .range::<IndexKey, _>(bounds)
+                .for_each(|(k, r)| f(k, *r)),
+            IndexStore::Multi(m) => m
+                .range::<IndexKey, _>(bounds)
+                .for_each(|(k, rs)| rs.iter().copied().for_each(|r| f(k, r))),
+        }
+    }
+
     /// Iterate all (key, row id) pairs in key order.
     pub fn iter_entries(&self) -> Box<dyn Iterator<Item = (&IndexKey, RowId)> + '_> {
         match self {

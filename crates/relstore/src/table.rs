@@ -11,7 +11,7 @@
 //! predicate filters the candidates; otherwise a full scan runs.
 
 use crate::error::{StoreError, StoreResult};
-use crate::index::{format_key, IndexStore};
+use crate::index::{format_key, IndexKey, IndexStore};
 use crate::predicate::Predicate;
 use crate::row::{Row, RowId};
 use crate::schema::Schema;
@@ -118,6 +118,73 @@ impl Table {
         self.slots.push(Some(row));
         self.live += 1;
         Ok(row_id)
+    }
+
+    /// Insert many rows at once, returning their new ids in input order.
+    ///
+    /// All-or-nothing: every row is schema-checked and every unique index is
+    /// probed — against existing keys *and* for duplicates within the batch
+    /// — before anything mutates, so an error leaves the table untouched.
+    /// Rows then land in contiguous slots and each index is extended bulk
+    /// from a key-sorted run of the batch (ascending-key B-tree inserts)
+    /// rather than maintained per row.
+    pub fn insert_batch(&mut self, rows: Vec<Vec<Value>>) -> StoreResult<Vec<RowId>> {
+        if rows.len() <= 1 {
+            // trivial batch: the per-row path is already optimal
+            return rows.into_iter().map(|r| self.insert(r)).collect();
+        }
+        let new_rows: Vec<Row> = rows
+            .into_iter()
+            .map(|values| {
+                self.schema.check_row(&values)?;
+                Ok(Row::new(values))
+            })
+            .collect::<StoreResult<_>>()?;
+        // Unique pre-checks for the whole batch before any mutation.
+        for (def, ix) in self.schema.indexes().iter().zip(&self.indexes) {
+            if !def.unique {
+                continue;
+            }
+            let mut keys: Vec<IndexKey> =
+                new_rows.iter().map(|row| row.project(&def.columns)).collect();
+            keys.sort_unstable();
+            for pair in keys.windows(2) {
+                if pair[0] == pair[1] {
+                    return Err(StoreError::UniqueViolation {
+                        table: self.name().to_owned(),
+                        index: def.name.clone(),
+                        key: format_key(&pair[0]),
+                    });
+                }
+            }
+            for key in &keys {
+                if ix.would_conflict(key) {
+                    return Err(StoreError::UniqueViolation {
+                        table: self.name().to_owned(),
+                        index: def.name.clone(),
+                        key: format_key(key),
+                    });
+                }
+            }
+        }
+        let first = self.slots.len() as u64;
+        let row_ids: Vec<RowId> = (0..new_rows.len() as u64).map(|i| RowId(first + i)).collect();
+        // Bulk index build: one key-sorted run per index, inserted in
+        // ascending key order.
+        for (def, ix) in self.schema.indexes().iter().zip(self.indexes.iter_mut()) {
+            let mut entries: Vec<(IndexKey, RowId)> = new_rows
+                .iter()
+                .zip(&row_ids)
+                .map(|(row, id)| (row.project(&def.columns), *id))
+                .collect();
+            entries.sort_unstable();
+            for (key, id) in entries {
+                ix.insert(key, id)?;
+            }
+        }
+        self.slots.extend(new_rows.into_iter().map(Some));
+        self.live += row_ids.len();
+        Ok(row_ids)
     }
 
     /// Re-insert a row at a specific id, used by snapshot/WAL recovery. The
@@ -301,6 +368,30 @@ impl Table {
             f(self.slots[id.0 as usize]
                 .as_ref()
                 .expect("index points at live row"));
+        });
+        Ok(())
+    }
+
+    /// Stream `(index key, row)` entries of a named index whose key lies in
+    /// `[lo, hi]` (inclusive), in key order. This is the substrate for
+    /// batched key resolution: the caller merges its sorted probe keys
+    /// against this single ordered pass instead of issuing one
+    /// [`lookup_unique`](Self::lookup_unique) per probe.
+    pub fn for_each_index_range(
+        &self,
+        index: &str,
+        lo: &[Value],
+        hi: &[Value],
+        mut f: impl FnMut(&[Value], &Row),
+    ) -> StoreResult<()> {
+        let pos = self.index_position(index)?;
+        self.indexes[pos].range_entries_for_each(&lo.to_vec(), &hi.to_vec(), |key, id| {
+            f(
+                key,
+                self.slots[id.0 as usize]
+                    .as_ref()
+                    .expect("index points at live row"),
+            );
         });
         Ok(())
     }
@@ -710,6 +801,69 @@ mod tests {
         assert_eq!(t.get(r1).unwrap().get(2), &Value::text("B"));
         let all: Vec<_> = t.scan().map(|(id, _)| id).collect();
         assert_eq!(all, vec![RowId(0), RowId(1)]);
+    }
+
+    #[test]
+    fn insert_batch_matches_per_row_inserts() {
+        let mut a = object_table();
+        let mut b = object_table();
+        let rows: Vec<Vec<Value>> = vec![
+            obj(3, 1, "zz"),
+            obj(1, 1, "aa"),
+            obj(2, 2, "aa"),
+            obj(4, 1, "mm"),
+        ];
+        let batch_ids = a.insert_batch(rows.clone()).unwrap();
+        let row_ids: Vec<RowId> = rows.into_iter().map(|r| b.insert(r).unwrap()).collect();
+        assert_eq!(batch_ids, row_ids);
+        assert_eq!(a.len(), b.len());
+        for id in &batch_ids {
+            assert_eq!(a.get(*id).unwrap(), b.get(*id).unwrap());
+        }
+        // indexes answer identically
+        for key in [&[Value::Int(1)][..], &[Value::Int(2)][..]] {
+            assert_eq!(
+                a.lookup_prefix("by_acc", key).unwrap(),
+                b.lookup_prefix("by_acc", key).unwrap()
+            );
+        }
+    }
+
+    #[test]
+    fn insert_batch_rejects_conflicts_without_mutating() {
+        let mut t = object_table();
+        t.insert(obj(1, 1, "aa")).unwrap();
+        // conflict against existing rows
+        let err = t.insert_batch(vec![obj(2, 1, "bb"), obj(3, 1, "aa")]);
+        assert!(matches!(err, Err(StoreError::UniqueViolation { .. })));
+        assert_eq!(t.len(), 1, "nothing inserted on conflict");
+        // duplicate within the batch itself
+        let err = t.insert_batch(vec![obj(2, 1, "bb"), obj(3, 1, "bb")]);
+        assert!(matches!(err, Err(StoreError::UniqueViolation { .. })));
+        assert_eq!(t.len(), 1);
+        // a clean batch still works afterwards
+        let ids = t.insert_batch(vec![obj(2, 1, "bb"), obj(3, 1, "cc")]).unwrap();
+        assert_eq!(ids, vec![RowId(1), RowId(2)]);
+    }
+
+    #[test]
+    fn index_range_streams_entries_in_key_order() {
+        let mut t = object_table();
+        for (id, acc) in [(1, "b"), (2, "d"), (3, "a"), (4, "f")] {
+            t.insert(obj(id, 1, acc)).unwrap();
+        }
+        t.insert(obj(5, 2, "c")).unwrap();
+        let lo = [Value::Int(1), Value::text("b")];
+        let hi = [Value::Int(1), Value::text("e")];
+        let mut seen = Vec::new();
+        t.for_each_index_range("by_acc", &lo, &hi, |key, row| {
+            seen.push((
+                key[1].as_text().unwrap().to_owned(),
+                row.get(0).as_int().unwrap(),
+            ));
+        })
+        .unwrap();
+        assert_eq!(seen, vec![("b".to_owned(), 1), ("d".to_owned(), 2)]);
     }
 
     #[test]

@@ -129,14 +129,26 @@ impl WalWriter {
     /// Append one record (buffered; call [`sync`](Self::sync) to make it
     /// durable).
     pub fn append(&mut self, record: &LogRecord) -> StoreResult<()> {
+        self.append_batch(std::slice::from_ref(record))
+    }
+
+    /// Append many records as one buffered write. Framing is identical to
+    /// per-record [`append`](Self::append) — the batch is an encoding
+    /// convenience, not a recovery unit — so readers cannot tell the two
+    /// apart. Durability still requires [`sync`](Self::sync); group commit
+    /// appends every transaction of an import batch and syncs once.
+    pub fn append_batch(&mut self, records: &[LogRecord]) -> StoreResult<()> {
         let mut payload = BytesMut::with_capacity(64);
-        record.encode(&mut payload);
-        let mut frame = BytesMut::with_capacity(payload.len() + 8);
-        frame.put_u32_le(payload.len() as u32);
-        frame.put_u32_le(crc32(&payload));
-        frame.extend_from_slice(&payload);
-        self.writer.write_all(&frame)?;
-        self.bytes_written += frame.len() as u64;
+        let mut frames = BytesMut::with_capacity(records.len() * 72);
+        for record in records {
+            payload.clear();
+            record.encode(&mut payload);
+            frames.put_u32_le(payload.len() as u32);
+            frames.put_u32_le(crc32(&payload));
+            frames.extend_from_slice(&payload);
+        }
+        self.writer.write_all(&frames)?;
+        self.bytes_written += frames.len() as u64;
         Ok(())
     }
 
@@ -275,6 +287,32 @@ mod tests {
         assert_eq!(r.discarded_ops, 0);
         assert!(r.torn_at.is_none());
         assert_eq!(r.committed_ops[0], ins("t", 0, 1));
+    }
+
+    #[test]
+    fn append_batch_is_frame_identical_to_per_record_appends() {
+        let one = tmp("batch-one.wal");
+        let many = tmp("batch-many.wal");
+        let records = vec![
+            ins("t", 0, 1),
+            ins("t", 1, 2),
+            LogRecord::Commit { txid: 1 },
+            ins("t", 2, 3),
+            LogRecord::Commit { txid: 2 },
+        ];
+        let mut w1 = WalWriter::open(&one).unwrap();
+        for r in &records {
+            w1.append(r).unwrap();
+        }
+        w1.sync().unwrap();
+        let mut w2 = WalWriter::open(&many).unwrap();
+        w2.append_batch(&records).unwrap();
+        w2.sync().unwrap();
+        assert_eq!(w1.bytes_written(), w2.bytes_written());
+        assert_eq!(fs::read(&one).unwrap(), fs::read(&many).unwrap());
+        let r = read_wal(&many).unwrap();
+        assert_eq!(r.committed_txns, 2);
+        assert_eq!(r.committed_ops.len(), 3);
     }
 
     #[test]

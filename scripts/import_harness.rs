@@ -1,0 +1,652 @@
+//! Standalone, dependency-free replica of the bulk-import fast path
+//! (`import::Importer` + `gam::store`'s batched accession resolution +
+//! `relstore`'s WAL group commit), for environments where the full
+//! workspace cannot be built (no crates.io access). It
+//!
+//! 1. verifies that the bulk path (sort-dedup merge resolution, batch
+//!    inserts, one fsync per dump) is bit-identical to the per-row
+//!    reference (per-key probes, one fsync per commit) for random dump
+//!    shapes — same ids, rows, association pairs and report counters,
+//! 2. verifies that re-importing an identical release dedups everything
+//!    (zero creates, stable store) on both paths,
+//! 3. measures per-row vs bulk end-to-end import at scale factors
+//!    {1, 4, 16} with per-phase timings (parse / resolve / insert / wal)
+//!    against a real WAL file with real `fdatasync`s, and writes
+//!    `BENCH_import.json`.
+//!
+//! Build & run:  rustc -O scripts/import_harness.rs -o /tmp/import_harness && /tmp/import_harness
+//!
+//! The logic below must stay in sync with `crates/import/src/importer.rs`,
+//! `crates/gam/src/store.rs` (resolve_accessions / add_objects_bulk_ref /
+//! add_associations_bulk) and `crates/relstore/src/wal.rs`; it is a
+//! measurement stand-in, not the implementation of record. Prefer
+//! `cargo run --release -p bench --bin experiments` whenever the
+//! workspace builds.
+
+use std::collections::BTreeMap;
+use std::fs::{File, OpenOptions};
+use std::io::Write;
+use std::time::{Duration, Instant};
+
+// ---------------------------------------------------------------- rng --
+
+struct XorShift(u64);
+
+impl XorShift {
+    fn new(seed: u64) -> Self {
+        XorShift(seed.max(1))
+    }
+    fn next(&mut self) -> u64 {
+        let mut x = self.0;
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        self.0 = x;
+        x
+    }
+    fn below(&mut self, n: u64) -> u64 {
+        self.next() % n.max(1)
+    }
+}
+
+// ------------------------------------------------------------- dumps --
+
+/// One line-oriented dump, mirroring `sources::ecosystem::SourceDump`:
+/// `O<TAB>acc<TAB>text`, `A<TAB>entity<TAB>target<TAB>acc<TAB>ev`,
+/// `I<TAB>child<TAB>parent`.
+struct Dump {
+    name: String,
+    text: String,
+}
+
+#[derive(Debug, Clone, PartialEq)]
+enum Rec {
+    Object { acc: String, text: String },
+    Ann { entity: String, target: String, acc: String, ev: Option<f64> },
+    IsA { child: String, parent: String },
+}
+
+fn make_dumps(sources: usize, records_per: usize, seed: u64) -> Vec<Dump> {
+    let mut rng = XorShift::new(seed);
+    let names: Vec<String> = (0..sources).map(|i| format!("Src{i}")).collect();
+    let mut dumps = Vec::with_capacity(sources);
+    for (s, name) in names.iter().enumerate() {
+        let mut text = String::new();
+        let pool = (records_per / 2).max(8) as u64; // dense: in-batch dups common
+        for _ in 0..records_per {
+            match rng.below(10) {
+                0..=3 => {
+                    let acc = rng.below(pool);
+                    text.push_str(&format!("O\t{name}:{acc}\tdesc{}\n", rng.below(50)));
+                }
+                4..=8 => {
+                    // annotations target another source (never self: a Fact
+                    // self-mapping is rejected by the store on both paths)
+                    let t = (s + 1 + rng.below((sources - 1) as u64) as usize) % sources;
+                    let target = &names[t];
+                    let ev = if rng.below(3) == 0 {
+                        format!("{:.3}", (rng.below(1000) as f64) / 1000.0)
+                    } else {
+                        String::new()
+                    };
+                    text.push_str(&format!(
+                        "A\t{name}:{}\t{target}\t{target}:{}\t{ev}\n",
+                        rng.below(pool),
+                        rng.below(pool)
+                    ));
+                }
+                _ => {
+                    text.push_str(&format!(
+                        "I\t{name}:{}\t{name}:{}\n",
+                        rng.below(pool),
+                        rng.below(pool)
+                    ));
+                }
+            }
+        }
+        dumps.push(Dump { name: name.clone(), text });
+    }
+    dumps
+}
+
+/// Parse one dump text into records — the pure, CPU-bound phase.
+fn parse(text: &str) -> Vec<Rec> {
+    let mut out = Vec::new();
+    for line in text.lines() {
+        let mut f = line.split('\t');
+        match f.next() {
+            Some("O") => out.push(Rec::Object {
+                acc: f.next().unwrap_or("").trim().to_owned(),
+                text: f.next().unwrap_or("").trim().to_owned(),
+            }),
+            Some("A") => out.push(Rec::Ann {
+                entity: f.next().unwrap_or("").trim().to_owned(),
+                target: f.next().unwrap_or("").trim().to_owned(),
+                acc: f.next().unwrap_or("").trim().to_owned(),
+                ev: f.next().and_then(|s| s.trim().parse::<f64>().ok()),
+            }),
+            Some("I") => out.push(Rec::IsA {
+                child: f.next().unwrap_or("").trim().to_owned(),
+                parent: f.next().unwrap_or("").trim().to_owned(),
+            }),
+            _ => {}
+        }
+    }
+    out
+}
+
+// --------------------------------------------------------------- wal --
+
+/// Replica of `relstore::Wal` commit behaviour: every commit appends one
+/// length-prefixed frame; `sync_on_commit` decides whether it fdatasyncs
+/// immediately (per-row path) or defers to one `sync()` per batch (group
+/// commit).
+struct Wal {
+    file: File,
+    sync_on_commit: bool,
+}
+
+impl Wal {
+    fn create(path: &std::path::Path) -> Wal {
+        let file = OpenOptions::new()
+            .create(true)
+            .write(true)
+            .truncate(true)
+            .open(path)
+            .expect("open wal");
+        Wal { file, sync_on_commit: true }
+    }
+    fn commit(&mut self, payload: &[u8]) {
+        let len = (payload.len() as u32).to_le_bytes();
+        self.file.write_all(&len).expect("wal write");
+        self.file.write_all(payload).expect("wal write");
+        if self.sync_on_commit {
+            self.file.sync_data().expect("wal sync");
+        }
+    }
+    fn sync(&mut self) {
+        self.file.sync_data().expect("wal sync");
+    }
+}
+
+// ------------------------------------------------------------- store --
+
+/// Minimal GAM store replica: SOURCE, OBJECT (+ by_accession index),
+/// SOURCE_REL, OBJECT_REL (+ by_pair index), all WAL-backed.
+struct Store {
+    wal: Wal,
+    sources: Vec<String>,
+    source_ids: BTreeMap<String, u32>,
+    objects: Vec<(u32, String, String)>, // (source, accession, text)
+    by_accession: BTreeMap<(u32, String), u64>,
+    rels: Vec<(u32, u32)>,
+    rel_ids: BTreeMap<(u32, u32), u32>,
+    assocs: Vec<(u32, u64, u64, Option<u64>)>, // (rel, from, to, ev bits)
+    by_pair: BTreeMap<(u32, u64, u64), ()>,
+}
+
+#[derive(Debug, Default, PartialEq, Eq)]
+struct Report {
+    objects_created: usize,
+    objects_deduped: usize,
+    assocs_created: usize,
+    assocs_deduped: usize,
+    stubs: usize,
+}
+
+impl Store {
+    fn create(path: &std::path::Path) -> Store {
+        Store {
+            wal: Wal::create(path),
+            sources: Vec::new(),
+            source_ids: BTreeMap::new(),
+            objects: Vec::new(),
+            by_accession: BTreeMap::new(),
+            rels: Vec::new(),
+            rel_ids: BTreeMap::new(),
+            assocs: Vec::new(),
+            by_pair: BTreeMap::new(),
+        }
+    }
+
+    fn ensure_source(&mut self, name: &str) -> (u32, bool) {
+        if let Some(&id) = self.source_ids.get(name) {
+            return (id, false);
+        }
+        let id = self.sources.len() as u32;
+        self.sources.push(name.to_owned());
+        self.source_ids.insert(name.to_owned(), id);
+        self.wal.commit(format!("S {name}").as_bytes());
+        (id, true)
+    }
+
+    fn ensure_rel(&mut self, a: u32, b: u32) -> u32 {
+        if let Some(&id) = self.rel_ids.get(&(a, b)) {
+            return id;
+        }
+        let id = self.rels.len() as u32;
+        self.rels.push((a, b));
+        self.rel_ids.insert((a, b), id);
+        self.wal.commit(format!("R {a} {b}").as_bytes());
+        id
+    }
+
+    /// Per-row `ensure_object`: one owned-key probe, one commit (and, with
+    /// `sync_on_commit`, one fdatasync) per fresh row.
+    fn ensure_object(&mut self, src: u32, acc: &str, text: &str) -> (u64, bool) {
+        if let Some(&id) = self.by_accession.get(&(src, acc.to_owned())) {
+            return (id, false);
+        }
+        let id = self.objects.len() as u64;
+        self.objects.push((src, acc.to_owned(), text.to_owned()));
+        self.by_accession.insert((src, acc.to_owned()), id);
+        self.wal.commit(format!("O {src} {acc} {text}").as_bytes());
+        (id, true)
+    }
+
+    /// Per-row `add_association`: one index probe, one commit per fresh pair.
+    fn add_association(&mut self, rel: u32, from: u64, to: u64, ev: Option<f64>) -> bool {
+        if self.by_pair.contains_key(&(rel, from, to)) {
+            return false;
+        }
+        self.by_pair.insert((rel, from, to), ());
+        self.assocs.push((rel, from, to, ev.map(f64::to_bits)));
+        self.wal.commit(format!("A {rel} {from} {to}").as_bytes());
+        true
+    }
+
+    /// `resolve_accessions`: sort-dedup the probe keys once and resolve
+    /// them in a single merge pass against the `by_accession` range for
+    /// `src`, exactly like `gam::store::GamStore::resolve_accessions`.
+    fn resolve_accessions(&self, src: u32, accs: &[&str]) -> Vec<Option<u64>> {
+        if accs.is_empty() {
+            return Vec::new();
+        }
+        let mut sorted: Vec<&str> = accs.to_vec();
+        sorted.sort_unstable();
+        sorted.dedup();
+        let lo = (src, sorted[0].to_owned());
+        let hi = (src, sorted[sorted.len() - 1].to_owned());
+        let mut found: Vec<Option<u64>> = vec![None; sorted.len()];
+        let mut p = 0usize;
+        for ((_, acc), &id) in self.by_accession.range(lo..=hi) {
+            while p < sorted.len() && sorted[p].as_bytes() < acc.as_bytes() {
+                p += 1;
+            }
+            if p == sorted.len() {
+                break;
+            }
+            if sorted[p] == acc.as_str() {
+                found[p] = Some(id);
+            }
+        }
+        accs.iter()
+            .map(|a| found[sorted.binary_search(a).expect("probe key present")])
+            .collect()
+    }
+
+    /// `add_objects_bulk_ref`: batched resolve + in-batch first-wins dedup
+    /// + one contiguous batch insert + one WAL frame batch.
+    fn add_objects_bulk(&mut self, src: u32, rows: &[(&str, &str)]) -> (Vec<u64>, usize) {
+        let accs: Vec<&str> = rows.iter().map(|(a, _)| *a).collect();
+        let existing = self.resolve_accessions(src, &accs);
+        let mut ids = Vec::with_capacity(rows.len());
+        let mut seen: BTreeMap<&str, u64> = BTreeMap::new();
+        let mut frame = Vec::new();
+        let mut created = 0usize;
+        for ((acc, text), found) in rows.iter().zip(existing) {
+            if let Some(id) = found {
+                ids.push(id);
+                continue;
+            }
+            if let Some(&id) = seen.get(acc) {
+                ids.push(id);
+                continue;
+            }
+            let id = self.objects.len() as u64;
+            self.objects.push((src, (*acc).to_owned(), (*text).to_owned()));
+            self.by_accession.insert((src, (*acc).to_owned()), id);
+            seen.insert(acc, id);
+            frame.extend_from_slice(format!("O {src} {acc} {text}\n").as_bytes());
+            created += 1;
+            ids.push(id);
+        }
+        if created > 0 {
+            self.wal.commit(&frame);
+        }
+        (ids, created)
+    }
+
+    /// `add_associations_bulk`: one sorted `by_pair` range merge for the
+    /// whole batch, in-batch first-wins dedup, one batch insert.
+    fn add_associations_bulk(&mut self, rel: u32, items: &[(u64, u64, Option<f64>)]) -> usize {
+        if items.is_empty() {
+            return 0;
+        }
+        let mut pairs: Vec<(u64, u64)> = items.iter().map(|&(f, t, _)| (f, t)).collect();
+        pairs.sort_unstable();
+        pairs.dedup();
+        let mut exists = vec![false; pairs.len()];
+        let lo = (rel, pairs[0].0, pairs[0].1);
+        let hi = (rel, pairs[pairs.len() - 1].0, pairs[pairs.len() - 1].1);
+        let mut p = 0usize;
+        for (&(_, f, t), _) in self.by_pair.range(lo..=hi) {
+            while p < pairs.len() && pairs[p] < (f, t) {
+                p += 1;
+            }
+            if p == pairs.len() {
+                break;
+            }
+            if pairs[p] == (f, t) {
+                exists[p] = true;
+            }
+        }
+        let mut seen = vec![false; pairs.len()];
+        let mut frame = Vec::new();
+        let mut created = 0usize;
+        for &(from, to, ev) in items {
+            let slot = pairs.binary_search(&(from, to)).expect("pair present");
+            if exists[slot] || seen[slot] {
+                continue;
+            }
+            seen[slot] = true;
+            self.by_pair.insert((rel, from, to), ());
+            self.assocs.push((rel, from, to, ev.map(f64::to_bits)));
+            frame.extend_from_slice(format!("A {rel} {from} {to}\n").as_bytes());
+            created += 1;
+        }
+        if created > 0 {
+            self.wal.commit(&frame);
+        }
+        created
+    }
+}
+
+// ----------------------------------------------------------- imports --
+
+/// The per-row reference path: clones the batch (the old `batch.clone()`
+/// sanitize step), probes and commits row by row, fdatasyncs per commit.
+fn import_per_row(store: &mut Store, name: &str, recs: &[Rec]) -> Report {
+    let recs = recs.to_vec(); // models the pre-refactor whole-batch clone
+    let mut report = Report::default();
+    let (src, _) = store.ensure_source(name);
+    // own objects first (Object rows, annotation entities, IsA endpoints)
+    for rec in &recs {
+        match rec {
+            Rec::Object { acc, text } => {
+                let (_, fresh) = store.ensure_object(src, acc, text);
+                if fresh { report.objects_created += 1 } else { report.objects_deduped += 1 }
+            }
+            Rec::Ann { entity, .. } => {
+                let (_, fresh) = store.ensure_object(src, entity, "");
+                if fresh { report.objects_created += 1 } else { report.objects_deduped += 1 }
+            }
+            Rec::IsA { child, parent } => {
+                for end in [child, parent] {
+                    let (_, fresh) = store.ensure_object(src, end, "");
+                    if fresh { report.objects_created += 1 } else { report.objects_deduped += 1 }
+                }
+            }
+        }
+    }
+    // annotation groups in target order, per-row find_source + find_object
+    let mut groups: BTreeMap<&str, Vec<(&str, &str, Option<f64>)>> = BTreeMap::new();
+    for rec in &recs {
+        if let Rec::Ann { entity, target, acc, ev } = rec {
+            groups.entry(target).or_default().push((entity, acc, *ev));
+        }
+    }
+    for (target, anns) in &groups {
+        let (tgt, fresh) = store.ensure_source(target);
+        if fresh {
+            report.stubs += 1;
+        }
+        let rel = store.ensure_rel(src, tgt);
+        for &(entity, acc, ev) in anns {
+            let (to, fresh) = store.ensure_object(tgt, acc, "");
+            if fresh { report.objects_created += 1 } else { report.objects_deduped += 1 }
+            let from = store.by_accession[&(src, entity.to_owned())];
+            if store.add_association(rel, from, to, ev) {
+                report.assocs_created += 1;
+            } else {
+                report.assocs_deduped += 1;
+            }
+        }
+    }
+    // IsA structural rels within the source
+    let isa_rel = store.ensure_rel(src, src);
+    for rec in &recs {
+        if let Rec::IsA { child, parent } = rec {
+            let from = store.by_accession[&(src, child.to_owned())];
+            let to = store.by_accession[&(src, parent.to_owned())];
+            if store.add_association(isa_rel, from, to, None) {
+                report.assocs_created += 1;
+            } else {
+                report.assocs_deduped += 1;
+            }
+        }
+    }
+    report
+}
+
+/// The bulk fast path: no clone, batched resolution, batch inserts, WAL
+/// group commit (one fdatasync per dump). Returns the report plus the
+/// resolve / insert / wal phase durations.
+fn import_bulk(store: &mut Store, name: &str, recs: &[Rec]) -> (Report, [Duration; 3]) {
+    let start = Instant::now();
+    let mut report = Report::default();
+    let mut insert = Duration::ZERO;
+    store.wal.sync_on_commit = false; // begin_group_commit
+    let (src, _) = store.ensure_source(name);
+    // own objects, first occurrence wins, in input order
+    let mut own_rows: Vec<(&str, &str)> = Vec::new();
+    for rec in recs {
+        match rec {
+            Rec::Object { acc, text } => own_rows.push((acc, text)),
+            Rec::Ann { entity, .. } => own_rows.push((entity, "")),
+            Rec::IsA { child, parent } => {
+                own_rows.push((child, ""));
+                own_rows.push((parent, ""));
+            }
+        }
+    }
+    // first-wins on text: keep only the first row per accession, like the
+    // importer's own_objects BTreeMap merge
+    let mut first: BTreeMap<&str, usize> = BTreeMap::new();
+    let mut merged: Vec<(&str, &str)> = Vec::new();
+    let mut dedup_hits = 0usize;
+    for (acc, text) in own_rows {
+        if first.contains_key(acc) {
+            dedup_hits += 1;
+            continue;
+        }
+        first.insert(acc, merged.len());
+        merged.push((acc, text));
+    }
+    let t = Instant::now();
+    let (own_ids, created) = store.add_objects_bulk(src, &merged);
+    insert += t.elapsed();
+    report.objects_created += created;
+    report.objects_deduped += merged.len() - created + dedup_hits;
+    let own_id_of: BTreeMap<&str, u64> =
+        merged.iter().map(|(a, _)| *a).zip(own_ids.iter().copied()).collect();
+    // annotation groups: batched target-object insert + batched assocs
+    let mut groups: BTreeMap<&str, Vec<(&str, &str, Option<f64>)>> = BTreeMap::new();
+    for rec in recs {
+        if let Rec::Ann { entity, target, acc, ev } = rec {
+            groups.entry(target).or_default().push((entity, acc, *ev));
+        }
+    }
+    for (target, anns) in &groups {
+        let (tgt, fresh) = store.ensure_source(target);
+        if fresh {
+            report.stubs += 1;
+        }
+        let rel = store.ensure_rel(src, tgt);
+        let mut tfirst: BTreeMap<&str, ()> = BTreeMap::new();
+        let mut trows: Vec<(&str, &str)> = Vec::new();
+        let mut tdups = 0usize;
+        for &(_, acc, _) in anns.iter() {
+            if tfirst.contains_key(acc) {
+                tdups += 1;
+                continue;
+            }
+            tfirst.insert(acc, ());
+            trows.push((acc, ""));
+        }
+        let t = Instant::now();
+        let (tids, created) = store.add_objects_bulk(tgt, &trows);
+        insert += t.elapsed();
+        report.objects_created += created;
+        report.objects_deduped += trows.len() - created + tdups;
+        let tid_of: BTreeMap<&str, u64> =
+            trows.iter().map(|(a, _)| *a).zip(tids.iter().copied()).collect();
+        let items: Vec<(u64, u64, Option<f64>)> = anns
+            .iter()
+            .map(|&(entity, acc, ev)| (own_id_of[entity], tid_of[acc], ev))
+            .collect();
+        let t = Instant::now();
+        let created = store.add_associations_bulk(rel, &items);
+        insert += t.elapsed();
+        report.assocs_created += created;
+        report.assocs_deduped += items.len() - created;
+    }
+    // IsA batch
+    let isa_rel = store.ensure_rel(src, src);
+    let items: Vec<(u64, u64, Option<f64>)> = recs
+        .iter()
+        .filter_map(|rec| match rec {
+            Rec::IsA { child, parent } => {
+                Some((own_id_of[child.as_str()], own_id_of[parent.as_str()], None))
+            }
+            _ => None,
+        })
+        .collect();
+    let t = Instant::now();
+    let created = store.add_associations_bulk(isa_rel, &items);
+    insert += t.elapsed();
+    report.assocs_created += created;
+    report.assocs_deduped += items.len() - created;
+    // end_group_commit: restore the flag, one fdatasync for the batch
+    let wal_start = Instant::now();
+    store.wal.sync_on_commit = true;
+    store.wal.sync();
+    let wal = wal_start.elapsed();
+    let resolve = start.elapsed().saturating_sub(insert + wal);
+    (report, [resolve, insert, wal])
+}
+
+// ------------------------------------------------------- equivalence --
+
+fn assert_same_stores(a: &Store, b: &Store, label: &str) {
+    assert_eq!(a.sources, b.sources, "{label}: sources diverge");
+    assert_eq!(a.objects, b.objects, "{label}: objects diverge");
+    assert_eq!(a.rels, b.rels, "{label}: source rels diverge");
+    assert_eq!(a.assocs, b.assocs, "{label}: associations diverge");
+}
+
+fn check_equivalence(dir: &std::path::Path) {
+    for seed in [7u64, 19, 101] {
+        let dumps = make_dumps(4, 400, seed);
+        let batches: Vec<(String, Vec<Rec>)> =
+            dumps.iter().map(|d| (d.name.clone(), parse(&d.text))).collect();
+        let mut per_row = Store::create(&dir.join("eq_per_row.wal"));
+        let mut bulk = Store::create(&dir.join("eq_bulk.wal"));
+        for (name, recs) in &batches {
+            let ra = import_per_row(&mut per_row, name, recs);
+            let (rb, _) = import_bulk(&mut bulk, name, recs);
+            assert_eq!(ra, rb, "seed {seed}: reports diverge for {name}");
+        }
+        assert_same_stores(&per_row, &bulk, &format!("seed {seed}"));
+        // re-import: everything dedups, stores stay bit-identical
+        let objects = bulk.objects.len();
+        let assocs = bulk.assocs.len();
+        for (name, recs) in &batches {
+            let (r, _) = import_bulk(&mut bulk, name, recs);
+            assert_eq!(r.objects_created, 0, "seed {seed}: re-import created objects");
+            assert_eq!(r.assocs_created, 0, "seed {seed}: re-import created assocs");
+        }
+        assert_eq!(bulk.objects.len(), objects);
+        assert_eq!(bulk.assocs.len(), assocs);
+    }
+    println!("equivalence: bulk == per-row on 3 random ecosystems, re-import is a no-op (OK)");
+}
+
+// ----------------------------------------------------------- timings --
+
+fn best_of(runs: usize, mut f: impl FnMut() -> usize) -> (f64, usize) {
+    let mut sink = f(); // warm-up
+    let mut best = f64::INFINITY;
+    for _ in 0..runs {
+        let t = Instant::now();
+        sink = sink.wrapping_add(f());
+        let dt = t.elapsed().as_secs_f64();
+        if dt < best {
+            best = dt;
+        }
+    }
+    std::hint::black_box(sink);
+    (best, sink)
+}
+
+fn main() {
+    let dir = std::path::PathBuf::from(".import_harness_tmp");
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("tmp dir");
+
+    check_equivalence(&dir);
+
+    println!("\n{:>6} {:>9} {:>13} {:>11} {:>9}", "factor", "records", "per_row_s", "bulk_s", "speedup");
+    let mut rows = Vec::new();
+    for factor in [1usize, 4, 16] {
+        let dumps = make_dumps(6, 450 * factor, 41);
+        let records: usize = dumps.iter().map(|d| d.text.lines().count()).sum();
+        let (per_row_s, _) = best_of(2, || {
+            let mut store = Store::create(&dir.join("per_row.wal"));
+            let batches: Vec<(String, Vec<Rec>)> =
+                dumps.iter().map(|d| (d.name.clone(), parse(&d.text))).collect();
+            for (name, recs) in &batches {
+                import_per_row(&mut store, name, recs);
+            }
+            store.objects.len() + store.assocs.len()
+        });
+        let mut phases = [Duration::ZERO; 4]; // parse, resolve, insert, wal
+        let (bulk_s, _) = best_of(2, || {
+            let mut store = Store::create(&dir.join("bulk.wal"));
+            let t = Instant::now();
+            let batches: Vec<(String, Vec<Rec>)> =
+                dumps.iter().map(|d| (d.name.clone(), parse(&d.text))).collect();
+            let parse_d = t.elapsed();
+            let mut p = [parse_d, Duration::ZERO, Duration::ZERO, Duration::ZERO];
+            for (name, recs) in &batches {
+                let (_, [r, i, w]) = import_bulk(&mut store, name, recs);
+                p[1] += r;
+                p[2] += i;
+                p[3] += w;
+            }
+            phases = p;
+            store.objects.len() + store.assocs.len()
+        });
+        let speedup = per_row_s / bulk_s;
+        println!("{factor:>6} {records:>9} {per_row_s:>13.4} {bulk_s:>11.4} {speedup:>8.2}x");
+        println!(
+            "        phases: parse {:.4?}  resolve {:.4?}  insert {:.4?}  wal {:.4?}",
+            phases[0], phases[1], phases[2], phases[3]
+        );
+        rows.push(format!(
+            "{{\"factor\": {factor}, \"records\": {records}, \"per_row_seconds\": {per_row_s:.6}, \"bulk_seconds\": {bulk_s:.6}, \"speedup\": {speedup:.2}, \"phases\": {{\"parse\": {:.6}, \"resolve\": {:.6}, \"insert\": {:.6}, \"wal\": {:.6}}}}}",
+            phases[0].as_secs_f64(),
+            phases[1].as_secs_f64(),
+            phases[2].as_secs_f64(),
+            phases[3].as_secs_f64()
+        ));
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+
+    let json = format!(
+        "{{\n  \"generator\": \"scripts/import_harness.rs (standalone replica; regenerate with `cargo run --release -p bench --bin experiments` on a workspace-buildable host)\",\n  \"import\": [\n    {}\n  ],\n  \"note\": \"per_row is the per-key-probe reference: whole-batch clone, one owned-String index probe and one WAL commit (fdatasync) per fresh row. bulk is the fast path: no clone, sort-dedup merge resolution over the by_accession range, batch inserts, and WAL group commit with one fdatasync per dump. Measured against a real WAL file on disk; single-core host, so the parallel-parse fan-out contributes nothing here and the speedup is all resolution + insert batching + group commit.\"\n}}\n",
+        rows.join(",\n    ")
+    );
+    std::fs::write("BENCH_import.json", &json).expect("write BENCH_import.json");
+    println!("\nwrote BENCH_import.json");
+}

@@ -5,4 +5,6 @@ cd "$(dirname "$0")/.."
 
 cargo build --release
 cargo test -q
+# bulk-import equivalence proptests (bit-identical fast path), explicitly:
+cargo test -q -p import --test bulk_prop
 cargo clippy --all-targets -- -D warnings
