@@ -238,8 +238,8 @@ impl StarWarehouse {
     }
 
     /// Total rows across fact and bridge tables.
-    pub fn row_count(&self) -> usize {
-        self.db.stats().total_rows()
+    pub fn row_count(&self) -> Result<usize, StarError> {
+        Ok(self.db.stats()?.total_rows())
     }
 }
 
@@ -288,7 +288,7 @@ mod tests {
         let mut w = StarWarehouse::new().unwrap();
         w.integrate(&locuslink_batch()).unwrap();
         // Enzyme annotation silently dropped — schema has no bridge
-        assert_eq!(w.row_count(), 3);
+        assert_eq!(w.row_count().unwrap(), 3);
 
         // after migration + re-integration, the data lands
         let mut w2 = StarWarehouse::new().unwrap();

@@ -117,7 +117,7 @@ fn bench_durability(c: &mut Criterion) {
     // snapshot write cost for a 100k-row table
     group.bench_function("snapshot_100k_rows", |b| {
         let t = table_with(100_000);
-        b.iter(|| relstore::snapshot::encode_snapshot(std::iter::once(&t)))
+        b.iter(|| relstore::snapshot::encode_snapshot(std::iter::once(&t), 0))
     });
     let _ = std::fs::remove_dir_all(&dir);
     group.finish();

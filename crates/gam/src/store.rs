@@ -52,11 +52,86 @@ impl GamStore {
 
     /// Open (or create) a durable store in `dir`.
     pub fn open(dir: &Path) -> GamResult<Self> {
-        let mut db = Database::open(dir)?;
+        Self::open_with_vfs(std::sync::Arc::new(relstore::vfs::RealVfs), dir)
+    }
+
+    /// [`open`](Self::open) against an explicit I/O backend. Crash tests
+    /// pass a [`FaultVfs`](relstore::vfs::FaultVfs) to exercise recovery.
+    pub fn open_with_vfs(vfs: std::sync::Arc<dyn relstore::vfs::Vfs>, dir: &Path) -> GamResult<Self> {
+        let mut db = Database::open_with_vfs(vfs, dir)?;
         for schema in all_schemas() {
             db.ensure_table(schema)?;
         }
         Ok(Self::wrap(db))
+    }
+
+    /// What recovery found when this store was opened (`None` for
+    /// in-memory stores).
+    pub fn recovery_report(&self) -> Option<&relstore::RecoveryReport> {
+        self.db.recovery_report()
+    }
+
+    /// Check referential integrity across the four GAM tables: every
+    /// OBJECT belongs to an existing SOURCE, every SOURCE_REL connects two
+    /// existing SOURCEs, and every OBJECT_REL references an existing
+    /// SOURCE_REL and two existing OBJECTs. Returns the list of violations
+    /// (empty when the store is consistent).
+    ///
+    /// Crash recovery must never break these invariants: transactions are
+    /// atomic, and the importer orders its writes so every committed
+    /// prefix is closed under the references above.
+    pub fn verify_integrity(&self) -> GamResult<Vec<String>> {
+        use std::collections::HashSet;
+        let ids_of = |table: &str| -> GamResult<HashSet<i64>> {
+            Ok(self
+                .db
+                .table(table)?
+                .scan()
+                .filter_map(|(_, r)| r.get(0).as_int())
+                .collect())
+        };
+        let source_ids = ids_of(tables::SOURCE)?;
+        let object_ids = ids_of(tables::OBJECT)?;
+        let source_rel_ids = ids_of(tables::SOURCE_REL)?;
+        let mut violations = Vec::new();
+        for (_, row) in self.db.table(tables::OBJECT)?.scan() {
+            let sid = row.get(1).as_int().unwrap_or(-1);
+            if !source_ids.contains(&sid) {
+                violations.push(format!(
+                    "OBJECT {} references missing SOURCE {sid}",
+                    row.get(0).as_int().unwrap_or(-1)
+                ));
+            }
+        }
+        for (_, row) in self.db.table(tables::SOURCE_REL)?.scan() {
+            let id = row.get(0).as_int().unwrap_or(-1);
+            for col in [1, 2] {
+                let sid = row.get(col).as_int().unwrap_or(-1);
+                if !source_ids.contains(&sid) {
+                    violations.push(format!(
+                        "SOURCE_REL {id} references missing SOURCE {sid}"
+                    ));
+                }
+            }
+        }
+        for (_, row) in self.db.table(tables::OBJECT_REL)?.scan() {
+            let id = row.get(0).as_int().unwrap_or(-1);
+            let srel = row.get(1).as_int().unwrap_or(-1);
+            if !source_rel_ids.contains(&srel) {
+                violations.push(format!(
+                    "OBJECT_REL {id} references missing SOURCE_REL {srel}"
+                ));
+            }
+            for col in [2, 3] {
+                let oid = row.get(col).as_int().unwrap_or(-1);
+                if !object_ids.contains(&oid) {
+                    violations.push(format!(
+                        "OBJECT_REL {id} references missing OBJECT {oid}"
+                    ));
+                }
+            }
+        }
+        Ok(violations)
     }
 
     fn wrap(db: Database) -> Self {

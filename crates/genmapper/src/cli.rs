@@ -20,6 +20,7 @@
 //!        spec = [!]Target[=a1,a2][@0.5]  (! negates; @t sets min evidence)
 //! export <tsv|csv|json|md>        export the last query's view
 //! jobs [<n>]                      show/set the parallel worker cap
+//! budget [<n>]                    show/set the per-dump import error budget
 //! help / quit
 //! ```
 
@@ -50,6 +51,7 @@ pub enum Command {
     Query(QuerySpec),
     Export { format: ExportFormat },
     Jobs { jobs: Option<usize> },
+    Budget { budget: Option<usize> },
 }
 
 /// Export formats for the last view.
@@ -170,6 +172,13 @@ pub fn parse_command(line: &str) -> Result<Option<Command>, CliParseError> {
                 jobs: Some(n.parse().map_err(|_| err("jobs takes a numeric count"))?),
             },
             _ => return Err(err("usage: jobs [<n>]")),
+        },
+        "budget" => match rest.as_slice() {
+            [] => Command::Budget { budget: None },
+            [n] => Command::Budget {
+                budget: Some(n.parse().map_err(|_| err("budget takes a numeric count"))?),
+            },
+            _ => return Err(err("usage: budget [<n>]")),
         },
         "export" => match rest.as_slice() {
             ["tsv"] => Command::Export {
@@ -306,7 +315,7 @@ impl CliSession {
             Command::Help => {
                 let _ = writeln!(
                     out,
-                    "commands: demo sources stats search prefix info path paths map compose materialize query export jobs quit"
+                    "commands: demo sources stats search prefix info path paths map compose materialize query export jobs budget quit"
                 );
             }
             Command::Quit => return Ok(CliOutcome::Quit),
@@ -319,6 +328,7 @@ impl CliSession {
                     reports.len(),
                     self.gm.cardinalities()?
                 );
+                write_quarantine_summary(out, &reports);
             }
             Command::Sources => {
                 let counts: std::collections::BTreeMap<_, _> = self
@@ -450,6 +460,17 @@ impl CliSession {
                     cfg.jobs, cfg.parallel_threshold
                 );
             }
+            Command::Budget { budget } => {
+                if let Some(n) = budget {
+                    self.gm.set_error_budget(n);
+                }
+                let b = self.gm.error_budget();
+                if b == 0 {
+                    let _ = writeln!(out, "budget = 0 (strict: any malformed line fails a dump)");
+                } else {
+                    let _ = writeln!(out, "budget = {b} quarantined lines per dump");
+                }
+            }
             Command::Export { format } => match &self.last_view {
                 None => {
                     let _ = writeln!(out, "no view yet; run a query first");
@@ -469,6 +490,24 @@ impl CliSession {
             },
         }
         Ok(CliOutcome::Continue)
+    }
+}
+
+/// Append a per-source summary of quarantined dump lines, if any.
+fn write_quarantine_summary(out: &mut String, reports: &[import::ImportReport]) {
+    for report in reports {
+        if report.quarantined.is_empty() {
+            continue;
+        }
+        let _ = writeln!(
+            out,
+            "{}: quarantined {} malformed line(s):",
+            report.source,
+            report.quarantined.len()
+        );
+        for q in &report.quarantined {
+            let _ = writeln!(out, "  line {}: {} ({})", q.line, q.snippet, q.reason);
+        }
     }
 }
 
@@ -506,6 +545,16 @@ mod tests {
         );
         assert!(parse_command("jobs many").is_err());
         assert!(parse_command("jobs 1 2").is_err());
+        assert_eq!(
+            parse_command("budget").unwrap(),
+            Some(Command::Budget { budget: None })
+        );
+        assert_eq!(
+            parse_command("budget 5").unwrap(),
+            Some(Command::Budget { budget: Some(5) })
+        );
+        assert!(parse_command("budget lots").is_err());
+        assert!(parse_command("budget 1 2").is_err());
     }
 
     #[test]
@@ -516,6 +565,16 @@ mod tests {
         assert_eq!(session.system().exec_config().jobs, 3);
         let (out, _) = session.execute_line("jobs");
         assert!(out.starts_with("jobs = 3"), "unchanged: {out}");
+    }
+
+    #[test]
+    fn budget_command_sets_error_budget() {
+        let mut session = CliSession::new().unwrap();
+        let (out, _) = session.execute_line("budget");
+        assert!(out.starts_with("budget = 0 (strict"), "output: {out}");
+        let (out, _) = session.execute_line("budget 4");
+        assert!(out.starts_with("budget = 4"), "output: {out}");
+        assert_eq!(session.system().error_budget(), 4);
     }
 
     #[test]

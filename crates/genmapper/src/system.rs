@@ -146,6 +146,9 @@ pub struct GenMapper {
     graph: Option<SourceGraph>,
     /// Parallel execution tunables for Compose / GenerateView.
     exec: ExecConfig,
+    /// Per-dump quarantine budget for lenient parsing during imports
+    /// (`0` = strict, the default).
+    error_budget: usize,
     /// Store mutation counter; bumped by every mutating entry point.
     version: u64,
     /// Versioned mapping + source-object cache (see [`CacheInner`]).
@@ -160,6 +163,7 @@ impl GenMapper {
             saved: SavedPaths::new(),
             graph: None,
             exec: ExecConfig::default(),
+            error_budget: 0,
             version: 0,
             cache: RwLock::new(CacheInner::default()),
         })
@@ -172,6 +176,7 @@ impl GenMapper {
             saved: SavedPaths::new(),
             graph: None,
             exec: ExecConfig::default(),
+            error_budget: 0,
             version: 0,
             cache: RwLock::new(CacheInner::default()),
         })
@@ -200,6 +205,18 @@ impl GenMapper {
     /// parallel threshold.
     pub fn set_jobs(&mut self, jobs: usize) {
         self.exec.jobs = jobs;
+    }
+
+    /// The current per-dump quarantine budget for imports.
+    pub fn error_budget(&self) -> usize {
+        self.error_budget
+    }
+
+    /// Allow up to `budget` malformed lines per dump to be quarantined
+    /// (reported, not imported) instead of failing the run. `0` restores
+    /// strict parsing.
+    pub fn set_error_budget(&mut self, budget: usize) {
+        self.error_budget = budget;
     }
 
     // ------------------------------------------------------------------
@@ -298,6 +315,7 @@ impl GenMapper {
         // Compose/GenerateView do
         let options = PipelineOptions {
             parse_threads: self.exec.jobs.max(1),
+            error_budget: self.error_budget,
             ..PipelineOptions::default()
         };
         import::run_pipeline(&mut self.store, dumps, &options)

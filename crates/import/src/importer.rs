@@ -105,12 +105,10 @@ impl<'a> Importer<'a> {
     ) -> GamResult<()> {
         let source = match existing {
             Some(existing) => {
-                // Incremental re-import: refresh the audit info and relate
-                // new records against the existing objects. The source's
-                // own dump is authoritative for its classification, so a
-                // stub created from cross-references is upgraded here.
-                self.store
-                    .set_source_release(existing.id, &batch.meta.release)?;
+                // Incremental re-import: relate new records against the
+                // existing objects. The source's own dump is authoritative
+                // for its classification, so a stub created from
+                // cross-references is upgraded here.
                 if existing.content != batch.meta.content
                     || existing.structure != batch.meta.structure
                 {
@@ -128,7 +126,7 @@ impl<'a> Importer<'a> {
                     &batch.meta.name,
                     batch.meta.content,
                     batch.meta.structure,
-                    Some(&batch.meta.release),
+                    None,
                 )?
             }
         };
@@ -389,6 +387,14 @@ impl<'a> Importer<'a> {
             report.associations_deduped += total - added;
         }
 
+        // The release tag is written *last*: the source-level dedup check
+        // skips a dump whose recorded release already matches, so stamping
+        // it only after every record landed means a crash mid-import leaves
+        // the source without the new release and the re-import runs again
+        // instead of being silently skipped against a half-loaded store.
+        self.store
+            .set_source_release(source.id, &batch.meta.release)?;
+
         Ok(())
     }
 
@@ -414,8 +420,6 @@ impl<'a> Importer<'a> {
                     report.skipped = true;
                     return Ok(report);
                 }
-                self.store
-                    .set_source_release(existing.id, &batch.meta.release)?;
                 if existing.content != batch.meta.content
                     || existing.structure != batch.meta.structure
                 {
@@ -433,7 +437,7 @@ impl<'a> Importer<'a> {
                     &batch.meta.name,
                     batch.meta.content,
                     batch.meta.structure,
-                    Some(&batch.meta.release),
+                    None,
                 )?
             }
         };
@@ -620,6 +624,10 @@ impl<'a> Importer<'a> {
                 }
             }
         }
+
+        // Release written last — see `import_body` for the crash rationale.
+        self.store
+            .set_source_release(source.id, &batch.meta.release)?;
 
         Ok(report)
     }

@@ -30,5 +30,5 @@ pub mod pipeline;
 pub mod report;
 
 pub use importer::Importer;
-pub use pipeline::{run_pipeline, run_pipeline_timed, PipelineOptions};
+pub use pipeline::{parse_dumps_lenient, run_pipeline, run_pipeline_timed, PipelineOptions};
 pub use report::{ImportReport, ImportTimings};

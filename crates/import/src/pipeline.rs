@@ -27,6 +27,10 @@ pub struct PipelineOptions {
     /// tables between Parse and Import. `None` keeps batches in memory
     /// only.
     pub staging_dir: Option<std::path::PathBuf>,
+    /// Per-dump error budget for lenient parsing: up to this many
+    /// malformed lines are quarantined (reported, not imported) before a
+    /// dump fails the run. `0` keeps the historical strict behaviour.
+    pub error_budget: usize,
 }
 
 impl Default for PipelineOptions {
@@ -37,6 +41,7 @@ impl Default for PipelineOptions {
                 .unwrap_or(4),
             checkpoint_every: None,
             staging_dir: None,
+            error_budget: 0,
         }
     }
 }
@@ -61,22 +66,23 @@ pub fn run_pipeline_timed(
 ) -> GamResult<(Vec<ImportReport>, ImportTimings)> {
     let mut timings = ImportTimings::default();
     let parse_start = Instant::now();
-    let batches = parse_dumps(dumps, options.parse_threads)
+    let parsed = parse_dumps_lenient(dumps, options.parse_threads, options.error_budget)
         .map_err(|e| GamError::Invalid(format!("parse failed: {e}")))?;
     timings.parse += parse_start.elapsed();
     if let Some(dir) = &options.staging_dir {
         std::fs::create_dir_all(dir)
             .map_err(|e| GamError::Invalid(format!("staging dir: {e}")))?;
-        for batch in &batches {
-            let path = dir.join(format!("{}.eav", batch.meta.name));
-            std::fs::write(&path, eav::staging::write_staging(batch))
+        for lp in &parsed {
+            let path = dir.join(format!("{}.eav", lp.batch.meta.name));
+            std::fs::write(&path, eav::staging::write_staging(&lp.batch))
                 .map_err(|e| GamError::Invalid(format!("staging write: {e}")))?;
         }
     }
-    let mut reports = Vec::with_capacity(batches.len());
-    for (i, batch) in batches.into_iter().enumerate() {
+    let mut reports = Vec::with_capacity(parsed.len());
+    for (i, lp) in parsed.into_iter().enumerate() {
         let mut importer = Importer::new(store);
-        let report = importer.import_owned(batch)?;
+        let mut report = importer.import_owned(lp.batch)?;
+        report.quarantined = lp.quarantined;
         timings.absorb(&importer.timings());
         reports.push(report);
         if let Some(every) = options.checkpoint_every {
@@ -94,11 +100,25 @@ pub fn parse_dumps(
     dumps: &[SourceDump],
     threads: usize,
 ) -> Result<Vec<eav::EavBatch>, sources::ParseError> {
+    Ok(parse_dumps_lenient(dumps, threads, 0)?
+        .into_iter()
+        .map(|lp| lp.batch)
+        .collect())
+}
+
+/// [`parse_dumps`] with a per-dump quarantine budget: malformed lines are
+/// removed and reported instead of failing the dump, up to `budget` lines
+/// each. `budget == 0` is exactly the strict behaviour.
+pub fn parse_dumps_lenient(
+    dumps: &[SourceDump],
+    threads: usize,
+    budget: usize,
+) -> Result<Vec<sources::LenientParse>, sources::ParseError> {
     if threads <= 1 || dumps.len() <= 1 {
-        return dumps.iter().map(SourceDump::parse).collect();
+        return dumps.iter().map(|d| d.parse_lenient(budget)).collect();
     }
     let n = dumps.len();
-    let mut slots: Vec<Option<Result<eav::EavBatch, sources::ParseError>>> =
+    let mut slots: Vec<Option<Result<sources::LenientParse, sources::ParseError>>> =
         (0..n).map(|_| None).collect();
     let cursor = AtomicUsize::new(0);
     let slots_ptr = std::sync::Mutex::new(&mut slots);
@@ -110,7 +130,7 @@ pub fn parse_dumps(
                 if i >= n {
                     return;
                 }
-                let result = dumps[i].parse();
+                let result = dumps[i].parse_lenient(budget);
                 let mut guard = slots_ptr.lock().unwrap();
                 guard[i] = Some(result);
             });
@@ -232,5 +252,43 @@ mod tests {
         let mut store = GamStore::in_memory().unwrap();
         let err = run_pipeline(&mut store, &eco.dumps, &PipelineOptions::default()).unwrap_err();
         assert!(err.to_string().contains("parse failed"));
+    }
+
+    #[test]
+    fn error_budget_imports_clean_records_and_reports_quarantine() {
+        // Corrupt one LocusLink field line; with a budget the run succeeds,
+        // loads everything else, and reports the quarantined line.
+        let mut eco = Ecosystem::generate(EcosystemParams::demo(34));
+        let clean_cards = {
+            let mut store = GamStore::in_memory().unwrap();
+            run_pipeline(&mut store, &eco.dumps, &PipelineOptions::default()).unwrap();
+            store.cardinalities().unwrap()
+        };
+        let mut lines: Vec<String> = eco.dumps[0].text.lines().map(str::to_owned).collect();
+        let bad = lines.iter().position(|l| l.starts_with("CHR:")).unwrap();
+        lines[bad] = "CHR:".to_owned(); // empty field value -> parse error
+        eco.dumps[0].text = lines.join("\n") + "\n";
+
+        // Strict (default) run still fails fast.
+        let mut strict = GamStore::in_memory().unwrap();
+        let err =
+            run_pipeline(&mut strict, &eco.dumps, &PipelineOptions::default()).unwrap_err();
+        assert!(err.to_string().contains("parse failed"));
+
+        let options = PipelineOptions {
+            error_budget: 3,
+            ..PipelineOptions::default()
+        };
+        let mut store = GamStore::in_memory().unwrap();
+        let reports = run_pipeline(&mut store, &eco.dumps, &options).unwrap();
+        let q: Vec<_> = reports.iter().flat_map(|r| &r.quarantined).collect();
+        assert_eq!(q.len(), 1);
+        assert_eq!(q[0].line, bad + 1);
+        assert!(reports[0].to_string().contains("1 quarantined"));
+        // exactly one annotation record was lost relative to the clean run
+        let cards = store.cardinalities().unwrap();
+        assert_eq!(cards.sources, clean_cards.sources);
+        assert_eq!(cards.objects, clean_cards.objects);
+        assert_eq!(cards.associations, clean_cards.associations - 1);
     }
 }

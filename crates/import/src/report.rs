@@ -62,6 +62,9 @@ pub struct ImportReport {
     pub associations_deduped: usize,
     /// Malformed records dropped during sanitization.
     pub records_dropped: usize,
+    /// Dump lines quarantined by lenient parsing (empty unless the
+    /// pipeline ran with a non-zero error budget and the dump needed it).
+    pub quarantined: Vec<sources::QuarantinedLine>,
 }
 
 impl ImportReport {
@@ -94,6 +97,9 @@ impl fmt::Display for ImportReport {
         )?;
         if !self.stub_sources_created.is_empty() {
             write!(f, ", stubs: {}", self.stub_sources_created.join(", "))?;
+        }
+        if !self.quarantined.is_empty() {
+            write!(f, ", {} quarantined", self.quarantined.len())?;
         }
         Ok(())
     }

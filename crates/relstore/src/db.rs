@@ -17,17 +17,59 @@ use crate::schema::Schema;
 use crate::stats::{DbStats, TableStats};
 use crate::table::Table;
 use crate::value::Value;
+use crate::vfs::{RealVfs, Vfs};
 use crate::wal::{read_wal, LogRecord, WalWriter};
 use std::collections::BTreeMap;
-use std::fs;
 use std::path::{Path, PathBuf};
+use std::sync::Arc;
 
-const SNAPSHOT_FILE: &str = "snapshot.bin";
-const WAL_FILE: &str = "wal.log";
+/// Primary snapshot file name inside a database directory.
+pub const SNAPSHOT_FILE: &str = "snapshot.bin";
+/// Previous snapshot, kept as a fallback until the next checkpoint.
+pub const SNAPSHOT_PREV_FILE: &str = "snapshot.prev";
+/// Write-ahead log file name.
+pub const WAL_FILE: &str = "wal.log";
 
 struct Durability {
     dir: PathBuf,
+    vfs: Arc<dyn Vfs>,
     wal: WalWriter,
+    /// Epoch of the snapshot the current WAL extends.
+    epoch: u64,
+}
+
+/// Which snapshot file recovery loaded.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SnapshotSource {
+    /// `snapshot.bin` was present and valid.
+    Primary,
+    /// `snapshot.bin` was missing or corrupt; `snapshot.prev` was used.
+    Fallback,
+    /// No valid snapshot existed (fresh database, or both copies bad).
+    None,
+}
+
+/// What [`Database::open`] found and did. Recovery *degrades* instead of
+/// failing: a corrupt primary snapshot falls back to the previous one, a
+/// stale WAL (epoch mismatch after an interrupted checkpoint) is
+/// discarded, a torn WAL tail is truncated. This report makes those
+/// decisions observable so callers can log them.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RecoveryReport {
+    /// Which snapshot file was loaded.
+    pub snapshot: SnapshotSource,
+    /// Epoch of the recovered state.
+    pub epoch: u64,
+    /// Committed transactions replayed from the WAL.
+    pub wal_txns: u64,
+    /// WAL operations discarded for lack of a commit marker.
+    pub wal_discarded_ops: usize,
+    /// Byte offset of a torn WAL tail, if one was truncated away.
+    pub wal_torn_at: Option<u64>,
+    /// True if the whole WAL was discarded because its epoch did not match
+    /// the snapshot (a checkpoint was interrupted between the snapshot
+    /// rename and the log reset; the log's contents live in the snapshot).
+    pub wal_stale: bool,
 }
 
 /// An embedded relational database.
@@ -40,6 +82,8 @@ pub struct Database {
     /// a bulk loader can commit many transactions and pay one
     /// [`sync_wal`](Self::sync_wal) at the end of the batch.
     sync_on_commit: bool,
+    /// What recovery found when this database was opened (durable only).
+    recovery: Option<RecoveryReport>,
 }
 
 impl std::fmt::Debug for Database {
@@ -59,31 +103,107 @@ impl Database {
             durability: None,
             next_txid: 1,
             sync_on_commit: true,
+            recovery: None,
         }
     }
 
     /// Open (or create) a durable database in `dir`: load the snapshot,
     /// replay committed WAL records, and keep the WAL open for appends.
     pub fn open(dir: &Path) -> StoreResult<Self> {
-        fs::create_dir_all(dir)?;
-        let tables = crate::snapshot::read_snapshot_file(&dir.join(SNAPSHOT_FILE))?;
+        Self::open_with_vfs(Arc::new(RealVfs), dir)
+    }
+
+    /// [`open`](Self::open) against an explicit I/O backend (crash tests
+    /// substitute [`FaultVfs`](crate::vfs::FaultVfs)).
+    ///
+    /// Recovery degrades rather than errors on storage-level damage:
+    ///
+    /// 1. Load `snapshot.bin`; if missing or corrupt, fall back to
+    ///    `snapshot.prev`; if neither is valid, start from an empty
+    ///    catalog. (A crash can only corrupt the snapshot *being written*,
+    ///    which the checkpoint protocol keeps separate from the last good
+    ///    one, so the fallback is always at most one checkpoint old.)
+    /// 2. Read the WAL. Replay its committed transactions only if its
+    ///    epoch matches the snapshot's; a mismatch means the WAL is stale
+    ///    (interrupted checkpoint) and it is discarded — its effects are
+    ///    already inside the newer snapshot.
+    /// 3. Truncate any torn WAL tail and, if the WAL was stale, reset it
+    ///    to the snapshot's epoch, completing the interrupted checkpoint.
+    ///
+    /// What recovery did is available from
+    /// [`recovery_report`](Self::recovery_report).
+    pub fn open_with_vfs(vfs: Arc<dyn Vfs>, dir: &Path) -> StoreResult<Self> {
+        vfs.create_dir_all(dir)?;
+        let primary = dir.join(SNAPSHOT_FILE);
+        let fallback = dir.join(SNAPSHOT_PREV_FILE);
+        let (tables, epoch, source) =
+            match crate::snapshot::read_snapshot_file(vfs.as_ref(), &primary) {
+                Ok(Some((tables, epoch))) => (tables, epoch, SnapshotSource::Primary),
+                Ok(None) | Err(StoreError::Corrupt(_)) => {
+                    match crate::snapshot::read_snapshot_file(vfs.as_ref(), &fallback) {
+                        Ok(Some((tables, epoch))) => (tables, epoch, SnapshotSource::Fallback),
+                        Ok(None) | Err(StoreError::Corrupt(_)) => {
+                            (Vec::new(), 0, SnapshotSource::None)
+                        }
+                        Err(e) => return Err(e),
+                    }
+                }
+                Err(e) => return Err(e),
+            };
         let mut db = Database {
             tables: tables.into_iter().map(|t| (t.name().to_owned(), t)).collect(),
             durability: None,
             next_txid: 1,
             sync_on_commit: true,
+            recovery: None,
         };
-        let recovery = read_wal(&dir.join(WAL_FILE))?;
-        for op in recovery.committed_ops {
-            db.apply_replayed(op)?;
+        let wal_path = dir.join(WAL_FILE);
+        let recovery = read_wal(vfs.as_ref(), &wal_path)?;
+        let wal_epoch = recovery.epoch.unwrap_or(0);
+        let wal_has_content = recovery.committed_txns > 0
+            || recovery.discarded_ops > 0
+            || recovery.epoch.is_some()
+            || !recovery.committed_ops.is_empty();
+        let stale = wal_has_content && wal_epoch != epoch;
+        let mut report = RecoveryReport {
+            snapshot: source,
+            epoch,
+            wal_txns: 0,
+            wal_discarded_ops: 0,
+            wal_torn_at: recovery.torn_at,
+            wal_stale: stale,
+        };
+        if !stale {
+            report.wal_txns = recovery.committed_txns;
+            report.wal_discarded_ops = recovery.discarded_ops;
+            for op in recovery.committed_ops {
+                db.apply_replayed(op)?;
+            }
+            db.next_txid = recovery.committed_txns + 1;
         }
-        db.next_txid = recovery.committed_txns + 1;
-        let wal = WalWriter::open(&dir.join(WAL_FILE))?;
+        let mut wal = WalWriter::open(vfs.clone(), &wal_path)?;
+        if stale {
+            // Complete the interrupted checkpoint: the snapshot already
+            // holds this WAL's effects, so clear it and stamp the epoch.
+            wal.reset(epoch)?;
+        }
+        // The WAL file (and the directory itself) may have just been
+        // created; sync the directory so the entries survive a power cut.
+        vfs.sync_dir(dir)?;
         db.durability = Some(Durability {
             dir: dir.to_owned(),
+            vfs,
             wal,
+            epoch,
         });
+        db.recovery = Some(report);
         Ok(db)
+    }
+
+    /// What recovery found when this database was opened (`None` for
+    /// in-memory databases).
+    pub fn recovery_report(&self) -> Option<&RecoveryReport> {
+        self.recovery.as_ref()
     }
 
     fn apply_replayed(&mut self, op: LogRecord) -> StoreResult<()> {
@@ -101,17 +221,32 @@ impl Database {
                 row_id,
                 values,
             } => self.table_mut_internal(&table)?.update(row_id, values),
-            LogRecord::Commit { .. } => Ok(()),
+            LogRecord::Commit { .. } | LogRecord::Epoch { .. } => Ok(()),
+            LogRecord::CreateTable { schema } => {
+                // The snapshot may already contain the table if the WAL
+                // predates it (it cannot on the normal checkpoint path, but
+                // degraded recovery tolerates it); the snapshot wins.
+                if !self.tables.contains_key(schema.name()) {
+                    self.tables.insert(schema.name().to_owned(), Table::new(schema));
+                }
+                Ok(())
+            }
         }
     }
 
-    /// Create a table. Table creation is immediately durable (it is part of
-    /// the next snapshot; an empty table lost before a checkpoint is
-    /// recreated by the caller's schema setup, so it is not WAL-logged).
+    /// Create a table. On durable databases the schema is WAL-logged and
+    /// synced immediately: committed rows may land in this table before the
+    /// next checkpoint, and replaying them requires the table to exist.
     pub fn create_table(&mut self, schema: Schema) -> StoreResult<()> {
         let name = schema.name().to_owned();
         if self.tables.contains_key(&name) {
             return Err(StoreError::TableExists(name));
+        }
+        if let Some(durability) = &mut self.durability {
+            durability.wal.append(&LogRecord::CreateTable {
+                schema: schema.clone(),
+            })?;
+            durability.wal.sync()?;
         }
         self.tables.insert(name, Table::new(schema));
         Ok(())
@@ -218,41 +353,65 @@ impl Database {
 
     /// Write a snapshot of the current state and truncate the WAL.
     /// No-op (Ok) for in-memory databases.
+    ///
+    /// The sequence is crash-safe at every step:
+    ///
+    /// 1. write + fsync the new snapshot (epoch N+1) to a temp file,
+    /// 2. rename the current snapshot to `snapshot.prev`,
+    /// 3. rename the temp file to `snapshot.bin`,
+    /// 4. fsync the directory (the renames are not durable before this),
+    /// 5. reset the WAL, stamping it with epoch N+1.
+    ///
+    /// A crash before step 4 recovers from the old snapshot + old WAL
+    /// (possibly via `snapshot.prev`); a crash after it recovers from the
+    /// new snapshot, discarding the now-stale WAL by its epoch mismatch.
     pub fn checkpoint(&mut self) -> StoreResult<()> {
         let Some(durability) = &mut self.durability else {
             return Ok(());
         };
-        crate::snapshot::write_snapshot_file(
-            &durability.dir.join(SNAPSHOT_FILE),
-            self.tables.values(),
-        )?;
-        durability.wal.reset()?;
+        let new_epoch = durability.epoch + 1;
+        let vfs = durability.vfs.as_ref();
+        let primary = durability.dir.join(SNAPSHOT_FILE);
+        let tmp = primary.with_extension("tmp");
+        {
+            let data = crate::snapshot::encode_snapshot(self.tables.values(), new_epoch);
+            let mut f = vfs.create(&tmp)?;
+            f.write_all(&data)?;
+            f.sync()?;
+        }
+        if vfs.exists(&primary) {
+            vfs.rename(&primary, &durability.dir.join(SNAPSHOT_PREV_FILE))?;
+        }
+        vfs.rename(&tmp, &primary)?;
+        vfs.sync_dir(&durability.dir)?;
+        durability.wal.reset(new_epoch)?;
+        durability.epoch = new_epoch;
         Ok(())
     }
 
-    /// Gather statistics.
-    pub fn stats(&self) -> DbStats {
-        DbStats {
-            tables: self
-                .tables
-                .values()
-                .map(|t| TableStats {
-                    name: t.name().to_owned(),
-                    rows: t.len(),
-                    indexes: t
-                        .schema()
-                        .indexes()
-                        .iter()
-                        .map(|d| (d.name.clone(), t.index_entries(&d.name).unwrap_or(0)))
-                        .collect(),
-                })
-                .collect(),
+    /// Gather statistics. Fails if an index lookup fails — silently
+    /// reporting zero would mask a corrupted catalog.
+    pub fn stats(&self) -> StoreResult<DbStats> {
+        let mut tables = Vec::with_capacity(self.tables.len());
+        for t in self.tables.values() {
+            let mut indexes = Vec::new();
+            for d in t.schema().indexes() {
+                indexes.push((d.name.clone(), t.index_entries(&d.name)?));
+            }
+            tables.push(TableStats {
+                name: t.name().to_owned(),
+                rows: t.len(),
+                indexes,
+            });
+        }
+        Ok(DbStats {
+            tables,
             wal_bytes: self
                 .durability
                 .as_ref()
                 .map(|d| d.wal.bytes_written())
                 .unwrap_or(0),
-        }
+        })
     }
 }
 
@@ -454,6 +613,8 @@ mod tests {
             .unwrap()
     }
 
+    use std::fs;
+
     fn tmpdir(name: &str) -> PathBuf {
         let dir = std::env::temp_dir().join("relstore-db-tests").join(name);
         let _ = fs::remove_dir_all(&dir);
@@ -617,9 +778,15 @@ mod tests {
             .unwrap();
         } // drop without checkpoint: state only in WAL
         {
-            // table must be re-created before replay can apply ops
-            let err = Database::open(&dir);
-            assert!(err.is_err(), "replay without schema should fail");
+            // the WAL-logged CreateTable record lets replay rebuild the
+            // table even though no snapshot was ever written
+            let db = Database::open(&dir).unwrap();
+            let t = db.table("t").unwrap();
+            assert_eq!(t.len(), 2);
+            assert_eq!(
+                t.lookup_unique("pk", &[Value::Int(2)]).unwrap().unwrap().get(1),
+                &Value::text("y")
+            );
         }
     }
 
@@ -749,11 +916,77 @@ mod tests {
             Ok(())
         })
         .unwrap();
-        assert!(db.stats().wal_bytes > 0);
+        assert!(db.stats().unwrap().wal_bytes > 0);
         db.checkpoint().unwrap();
-        assert_eq!(db.stats().wal_bytes, 0);
-        let stats = db.stats();
+        assert_eq!(db.stats().unwrap().wal_bytes, 0);
+        let stats = db.stats().unwrap();
         assert_eq!(stats.rows("t"), 1);
         assert_eq!(stats.tables[0].indexes[0].0, "pk");
+    }
+
+    #[test]
+    fn recovery_report_reflects_clean_and_replayed_opens() {
+        let dir = tmpdir("recovery-report");
+        {
+            let mut db = Database::open(&dir).unwrap();
+            let report = db.recovery_report().unwrap();
+            assert_eq!(report.snapshot, SnapshotSource::None);
+            assert_eq!(report.epoch, 0);
+            assert_eq!(report.wal_txns, 0);
+            db.create_table(schema("t")).unwrap();
+            db.checkpoint().unwrap();
+            db.with_txn(|txn| {
+                txn.insert("t", vec![Value::Int(1), Value::text("x")])?;
+                Ok(())
+            })
+            .unwrap();
+        }
+        {
+            let db = Database::open(&dir).unwrap();
+            let report = db.recovery_report().unwrap();
+            assert_eq!(report.snapshot, SnapshotSource::Primary);
+            assert_eq!(report.epoch, 1);
+            assert_eq!(report.wal_txns, 1);
+            assert!(!report.wal_stale);
+            assert!(report.wal_torn_at.is_none());
+        }
+        assert!(Database::in_memory().recovery_report().is_none());
+    }
+
+    #[test]
+    fn crash_between_snapshot_rename_and_wal_reset_discards_stale_wal() {
+        // Simulate the checkpoint protocol interrupted after step 4: the
+        // new snapshot is in place but the WAL still holds the pre-
+        // checkpoint transactions. Replaying them would double-apply.
+        let dir = tmpdir("stale-wal");
+        let wal_backup;
+        {
+            let mut db = Database::open(&dir).unwrap();
+            db.create_table(schema("t")).unwrap();
+            db.checkpoint().unwrap();
+            db.with_txn(|txn| {
+                txn.insert("t", vec![Value::Int(1), Value::text("x")])?;
+                Ok(())
+            })
+            .unwrap();
+            wal_backup = fs::read(dir.join(WAL_FILE)).unwrap();
+            db.checkpoint().unwrap(); // epoch 2, WAL reset
+        }
+        // put the stale (epoch 1) WAL back, as if the reset never ran
+        fs::write(dir.join(WAL_FILE), &wal_backup).unwrap();
+        {
+            let db = Database::open(&dir).unwrap();
+            let report = db.recovery_report().unwrap();
+            assert!(report.wal_stale, "stale WAL must be detected");
+            assert_eq!(report.epoch, 2);
+            // the row exists exactly once (from the snapshot, not replay)
+            assert_eq!(db.table("t").unwrap().len(), 1);
+        }
+        // the stale WAL was reset on open: reopening is clean
+        {
+            let db = Database::open(&dir).unwrap();
+            assert!(!db.recovery_report().unwrap().wal_stale);
+            assert_eq!(db.table("t").unwrap().len(), 1);
+        }
     }
 }

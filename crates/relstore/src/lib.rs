@@ -48,6 +48,11 @@
 //! assert_eq!(hits[0].get(0), &Value::Int(353));
 //! ```
 
+// Non-test code must handle errors, not unwrap them: a storage engine that
+// panics on I/O trouble cannot honor its recovery contract. Tests are
+// exempt (the attribute is compiled out under cfg(test)).
+#![cfg_attr(not(test), deny(clippy::unwrap_used))]
+
 pub mod codec;
 pub mod db;
 pub mod error;
@@ -61,9 +66,10 @@ pub mod snapshot;
 pub mod stats;
 pub mod table;
 pub mod value;
+pub mod vfs;
 pub mod wal;
 
-pub use db::Database;
+pub use db::{Database, RecoveryReport, SnapshotSource};
 pub use error::{StoreError, StoreResult};
 pub use predicate::Predicate;
 pub use row::{Row, RowId};

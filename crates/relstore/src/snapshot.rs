@@ -1,11 +1,15 @@
 //! Full-database snapshots.
 //!
 //! A snapshot is a single self-contained file:
-//! `[magic "RSSN"][version u32][crc32 u32][body]`, where the body encodes
-//! every table (schema, high-water row id, live rows). The CRC covers the
-//! body, so partially-written snapshots are detected and rejected; callers
-//! write to a temp file and rename for atomicity (see
-//! [`Database::checkpoint`](crate::db::Database::checkpoint)).
+//! `[magic "RSSN"][version u32][crc32 u32][body]`, where the body starts
+//! with the checkpoint *epoch* (version ≥ 2) and then encodes every table
+//! (schema, high-water row id, live rows). The CRC covers the body, so
+//! partially-written snapshots are detected and rejected; callers write to
+//! a temp file, rename, and sync the directory for atomicity (see
+//! [`Database::checkpoint`](crate::db::Database::checkpoint)). The epoch
+//! ties a snapshot to the write-ahead log that extends it: recovery replays
+//! a log only when the epochs match. Version-1 snapshots (no epoch field)
+//! decode as epoch 0.
 
 use crate::codec::{crc32, get_row, get_str, get_varint, put_row, put_str, put_varint};
 use crate::error::{StoreError, StoreResult};
@@ -13,13 +17,12 @@ use crate::row::RowId;
 use crate::schema::{Column, Schema};
 use crate::table::Table;
 use crate::value::ValueType;
+use crate::vfs::Vfs;
 use bytes::{Buf, BufMut, Bytes, BytesMut};
-use std::fs;
-use std::io::Write;
 use std::path::Path;
 
 const MAGIC: &[u8; 4] = b"RSSN";
-const VERSION: u32 = 1;
+const VERSION: u32 = 2;
 
 fn type_tag(ty: ValueType) -> u8 {
     match ty {
@@ -40,7 +43,7 @@ fn type_from_tag(tag: u8) -> StoreResult<ValueType> {
     })
 }
 
-fn put_schema(buf: &mut BytesMut, schema: &Schema) {
+pub(crate) fn put_schema(buf: &mut BytesMut, schema: &Schema) {
     put_str(buf, schema.name());
     put_varint(buf, schema.columns().len() as u64);
     for c in schema.columns() {
@@ -65,7 +68,7 @@ fn put_schema(buf: &mut BytesMut, schema: &Schema) {
     }
 }
 
-fn get_schema(buf: &mut Bytes) -> StoreResult<Schema> {
+pub(crate) fn get_schema(buf: &mut Bytes) -> StoreResult<Schema> {
     let name = get_str(buf)?;
     let ncols = get_varint(buf)? as usize;
     if ncols > 1 << 16 {
@@ -125,9 +128,10 @@ fn get_schema(buf: &mut Bytes) -> StoreResult<Schema> {
     builder.build()
 }
 
-/// Encode tables into a snapshot byte buffer.
-pub fn encode_snapshot<'a>(tables: impl Iterator<Item = &'a Table>) -> Vec<u8> {
+/// Encode tables into a snapshot byte buffer stamped with `epoch`.
+pub fn encode_snapshot<'a>(tables: impl Iterator<Item = &'a Table>, epoch: u64) -> Vec<u8> {
     let mut body = BytesMut::new();
+    put_varint(&mut body, epoch);
     let tables: Vec<&Table> = tables.collect();
     put_varint(&mut body, tables.len() as u64);
     for t in tables {
@@ -147,26 +151,28 @@ pub fn encode_snapshot<'a>(tables: impl Iterator<Item = &'a Table>) -> Vec<u8> {
     out
 }
 
-/// Decode a snapshot byte buffer into fully-indexed tables.
-pub fn decode_snapshot(data: &[u8]) -> StoreResult<Vec<Table>> {
+/// Decode a snapshot byte buffer into fully-indexed tables plus the epoch
+/// it was written at (0 for version-1 files).
+pub fn decode_snapshot(data: &[u8]) -> StoreResult<(Vec<Table>, u64)> {
     if data.len() < 12 {
         return Err(StoreError::Corrupt("snapshot too short".into()));
     }
     if &data[0..4] != MAGIC {
         return Err(StoreError::Corrupt("bad snapshot magic".into()));
     }
-    let version = u32::from_le_bytes(data[4..8].try_into().unwrap());
-    if version != VERSION {
+    let version = u32::from_le_bytes([data[4], data[5], data[6], data[7]]);
+    if version == 0 || version > VERSION {
         return Err(StoreError::Corrupt(format!(
             "unsupported snapshot version {version}"
         )));
     }
-    let crc = u32::from_le_bytes(data[8..12].try_into().unwrap());
+    let crc = u32::from_le_bytes([data[8], data[9], data[10], data[11]]);
     let body = &data[12..];
     if crc32(body) != crc {
         return Err(StoreError::Corrupt("snapshot checksum mismatch".into()));
     }
     let mut buf = Bytes::copy_from_slice(body);
+    let epoch = if version >= 2 { get_varint(&mut buf)? } else { 0 };
     let ntables = get_varint(&mut buf)? as usize;
     if ntables > 1 << 16 {
         return Err(StoreError::Corrupt(format!("implausible table count {ntables}")));
@@ -219,31 +225,38 @@ pub fn decode_snapshot(data: &[u8]) -> StoreResult<Vec<Table>> {
         }
         tables.push(table);
     }
-    Ok(tables)
+    Ok((tables, epoch))
 }
 
-/// Write a snapshot atomically: temp file + fsync + rename.
+/// Write a snapshot atomically: temp file + fsync + rename + directory
+/// sync. Without the final directory sync a power cut can silently undo
+/// the rename itself.
 pub fn write_snapshot_file<'a>(
+    vfs: &dyn Vfs,
     path: &Path,
     tables: impl Iterator<Item = &'a Table>,
+    epoch: u64,
 ) -> StoreResult<()> {
-    let data = encode_snapshot(tables);
+    let data = encode_snapshot(tables, epoch);
     let tmp = path.with_extension("tmp");
     {
-        let mut f = fs::File::create(&tmp)?;
+        let mut f = vfs.create(&tmp)?;
         f.write_all(&data)?;
-        f.sync_data()?;
+        f.sync()?;
     }
-    fs::rename(&tmp, path)?;
+    vfs.rename(&tmp, path)?;
+    if let Some(parent) = path.parent() {
+        vfs.sync_dir(parent)?;
+    }
     Ok(())
 }
 
-/// Read and decode a snapshot file. A missing file yields an empty catalog.
-pub fn read_snapshot_file(path: &Path) -> StoreResult<Vec<Table>> {
-    match fs::read(path) {
-        Ok(data) => decode_snapshot(&data),
-        Err(e) if e.kind() == std::io::ErrorKind::NotFound => Ok(Vec::new()),
-        Err(e) => Err(e.into()),
+/// Read and decode a snapshot file. `None` if the file does not exist (a
+/// corrupt file is an error, so callers can fall back to an older copy).
+pub fn read_snapshot_file(vfs: &dyn Vfs, path: &Path) -> StoreResult<Option<(Vec<Table>, u64)>> {
+    match vfs.read(path)? {
+        Some(data) => decode_snapshot(&data).map(Some),
+        None => Ok(None),
     }
 }
 
@@ -281,8 +294,9 @@ mod tests {
     #[test]
     fn roundtrip_preserves_rows_ids_and_indexes() {
         let t = sample_table();
-        let data = encode_snapshot(std::iter::once(&t));
-        let tables = decode_snapshot(&data).unwrap();
+        let data = encode_snapshot(std::iter::once(&t), 3);
+        let (tables, epoch) = decode_snapshot(&data).unwrap();
+        assert_eq!(epoch, 3);
         assert_eq!(tables.len(), 1);
         let back = &tables[0];
         assert_eq!(back.len(), t.len());
@@ -307,8 +321,8 @@ mod tests {
     #[test]
     fn high_water_mark_respected_after_restore() {
         let t = sample_table();
-        let data = encode_snapshot(std::iter::once(&t));
-        let mut back = decode_snapshot(&data).unwrap().pop().unwrap();
+        let data = encode_snapshot(std::iter::once(&t), 0);
+        let mut back = decode_snapshot(&data).unwrap().0.pop().unwrap();
         // next insert must not collide with the deleted tail id 19
         let id = back
             .insert(vec![Value::Int(100), Value::text("NEW"), Value::Null])
@@ -319,7 +333,7 @@ mod tests {
     #[test]
     fn corruption_detected() {
         let t = sample_table();
-        let mut data = encode_snapshot(std::iter::once(&t));
+        let mut data = encode_snapshot(std::iter::once(&t), 1);
         // bad magic
         let mut bad = data.clone();
         bad[0] = b'X';
@@ -327,6 +341,9 @@ mod tests {
         // bad version
         let mut bad = data.clone();
         bad[4] = 99;
+        assert!(decode_snapshot(&bad).is_err());
+        let mut bad = data.clone();
+        bad[4] = 0;
         assert!(decode_snapshot(&bad).is_err());
         // flipped body byte
         let n = data.len();
@@ -338,16 +355,35 @@ mod tests {
 
     #[test]
     fn file_roundtrip_and_missing_file() {
+        let vfs = crate::vfs::RealVfs;
         let dir = std::env::temp_dir().join("relstore-snap-tests");
-        fs::create_dir_all(&dir).unwrap();
+        std::fs::create_dir_all(&dir).unwrap();
         let path = dir.join("snap.bin");
         let t = sample_table();
-        write_snapshot_file(&path, std::iter::once(&t)).unwrap();
-        let tables = read_snapshot_file(&path).unwrap();
+        write_snapshot_file(&vfs, &path, std::iter::once(&t), 5).unwrap();
+        let (tables, epoch) = read_snapshot_file(&vfs, &path).unwrap().unwrap();
+        assert_eq!(epoch, 5);
         assert_eq!(tables.len(), 1);
         assert_eq!(tables[0].len(), t.len());
-        let missing = read_snapshot_file(&dir.join("never.bin")).unwrap();
-        assert!(missing.is_empty());
+        let missing = read_snapshot_file(&vfs, &dir.join("never.bin")).unwrap();
+        assert!(missing.is_none());
+    }
+
+    #[test]
+    fn version1_snapshot_decodes_as_epoch_zero() {
+        // Hand-build a version-1 image: same body, no leading epoch varint.
+        let t = sample_table();
+        let v2 = encode_snapshot(std::iter::once(&t), 0);
+        let body = &v2[13..]; // epoch 0 encodes as one varint byte
+        let mut v1 = Vec::new();
+        v1.extend_from_slice(MAGIC);
+        v1.extend_from_slice(&1u32.to_le_bytes());
+        v1.extend_from_slice(&crc32(body).to_le_bytes());
+        v1.extend_from_slice(body);
+        let (tables, epoch) = decode_snapshot(&v1).unwrap();
+        assert_eq!(epoch, 0);
+        assert_eq!(tables.len(), 1);
+        assert_eq!(tables[0].len(), t.len());
     }
 
     #[test]
@@ -360,8 +396,8 @@ mod tests {
             .unwrap();
         let mut t2 = Table::new(schema2);
         t2.insert(vec![Value::Int(1)]).unwrap();
-        let data = encode_snapshot([&t1, &t2].into_iter());
-        let tables = decode_snapshot(&data).unwrap();
+        let data = encode_snapshot([&t1, &t2].into_iter(), 0);
+        let (tables, _) = decode_snapshot(&data).unwrap();
         assert_eq!(tables.len(), 2);
         assert_eq!(tables[0].name(), "object");
         assert_eq!(tables[1].name(), "source");

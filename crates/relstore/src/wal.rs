@@ -6,20 +6,37 @@
 //! tail from a crash), and recovery ignores everything after it. Operations
 //! whose commit marker is missing (the transaction was mid-commit at crash
 //! time) are likewise discarded, giving atomic, durable transactions.
+//!
+//! After a checkpoint the log is reset and stamped with an *epoch* record
+//! matching the snapshot it now extends. Recovery replays a log only onto
+//! the snapshot of the same epoch; a mismatch means a crash interrupted the
+//! snapshot-rename/log-reset sequence, and the stale log is discarded (its
+//! contents are already folded into the newer snapshot). Logs from before
+//! epochs were introduced carry no epoch record and replay as epoch 0.
+//!
+//! All I/O goes through a [`Vfs`] backend so crash tests can substitute the
+//! fault-injecting simulator in [`crate::vfs`].
 
 use crate::codec::{crc32, get_row, get_str, get_varint, put_row, put_str, put_varint};
 use crate::error::{StoreError, StoreResult};
 use crate::row::RowId;
 use crate::value::Value;
+use crate::vfs::{Vfs, VfsFile};
 use bytes::{Buf, BufMut, Bytes, BytesMut};
-use std::fs::{File, OpenOptions};
-use std::io::{BufWriter, Read, Write};
 use std::path::{Path, PathBuf};
+use std::sync::Arc;
 
 const OP_INSERT: u8 = 1;
 const OP_DELETE: u8 = 2;
 const OP_UPDATE: u8 = 3;
 const OP_COMMIT: u8 = 4;
+const OP_EPOCH: u8 = 5;
+const OP_CREATE: u8 = 6;
+
+/// Flush the in-process buffer to the backend once it grows past this, so
+/// large group-commit batches reach the page cache incrementally (as the
+/// old `BufWriter` did) instead of accumulating unboundedly.
+const FLUSH_THRESHOLD: usize = 64 * 1024;
 
 /// A single log record.
 #[derive(Debug, Clone, PartialEq)]
@@ -41,6 +58,13 @@ pub enum LogRecord {
     /// Commit marker for transaction `txid`; makes all preceding records of
     /// that transaction durable.
     Commit { txid: u64 },
+    /// Written as the first record after a reset: this log extends the
+    /// snapshot of the given epoch and must not be replayed onto any other.
+    Epoch { epoch: u64 },
+    /// A table created since the last checkpoint. Logged outside any
+    /// transaction and immediately durable — without it, committed row
+    /// operations on a never-checkpointed table would be unreplayable.
+    CreateTable { schema: crate::schema::Schema },
 }
 
 impl LogRecord {
@@ -75,6 +99,14 @@ impl LogRecord {
                 buf.put_u8(OP_COMMIT);
                 put_varint(buf, *txid);
             }
+            LogRecord::Epoch { epoch } => {
+                buf.put_u8(OP_EPOCH);
+                put_varint(buf, *epoch);
+            }
+            LogRecord::CreateTable { schema } => {
+                buf.put_u8(OP_CREATE);
+                crate::snapshot::put_schema(buf, schema);
+            }
         }
     }
 
@@ -101,27 +133,67 @@ impl LogRecord {
             OP_COMMIT => LogRecord::Commit {
                 txid: get_varint(buf)?,
             },
+            OP_EPOCH => LogRecord::Epoch {
+                epoch: get_varint(buf)?,
+            },
+            OP_CREATE => LogRecord::CreateTable {
+                schema: crate::snapshot::get_schema(buf)?,
+            },
             other => return Err(StoreError::Corrupt(format!("unknown log tag {other}"))),
         })
     }
 }
 
+fn encode_frames(records: &[LogRecord], frames: &mut Vec<u8>) {
+    let mut payload = BytesMut::with_capacity(64);
+    for record in records {
+        payload.clear();
+        record.encode(&mut payload);
+        frames.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+        frames.extend_from_slice(&crc32(&payload).to_le_bytes());
+        frames.extend_from_slice(&payload);
+    }
+}
+
 /// Appender over a WAL file.
-#[derive(Debug)]
 pub struct WalWriter {
     path: PathBuf,
-    writer: BufWriter<File>,
+    vfs: Arc<dyn Vfs>,
+    file: Box<dyn VfsFile>,
+    /// Frames appended but not yet handed to the backend.
+    buf: Vec<u8>,
     /// Bytes appended since opening (for stats).
     bytes_written: u64,
 }
 
+impl std::fmt::Debug for WalWriter {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("WalWriter")
+            .field("path", &self.path)
+            .field("bytes_written", &self.bytes_written)
+            .finish()
+    }
+}
+
 impl WalWriter {
-    /// Open (creating if absent) a WAL for appending.
-    pub fn open(path: &Path) -> StoreResult<Self> {
-        let file = OpenOptions::new().create(true).append(true).open(path)?;
+    /// Open (creating if absent) a WAL for appending. The file is first
+    /// truncated back to its last commit (or epoch) marker: appending
+    /// behind a torn frame would hide every later record from recovery,
+    /// and appending behind the trailing ops of a never-committed
+    /// transaction would let the *next* commit marker wrongly adopt them.
+    pub fn open(vfs: Arc<dyn Vfs>, path: &Path) -> StoreResult<Self> {
+        if let Some(data) = vfs.read(path)? {
+            let recovery = scan_wal(&data);
+            if recovery.committed_bytes < data.len() as u64 {
+                vfs.truncate(path, recovery.committed_bytes)?;
+            }
+        }
+        let file = vfs.open_append(path)?;
         Ok(WalWriter {
             path: path.to_owned(),
-            writer: BufWriter::new(file),
+            vfs,
+            file,
+            buf: Vec::new(),
             bytes_written: 0,
         })
     }
@@ -138,36 +210,45 @@ impl WalWriter {
     /// apart. Durability still requires [`sync`](Self::sync); group commit
     /// appends every transaction of an import batch and syncs once.
     pub fn append_batch(&mut self, records: &[LogRecord]) -> StoreResult<()> {
-        let mut payload = BytesMut::with_capacity(64);
-        let mut frames = BytesMut::with_capacity(records.len() * 72);
-        for record in records {
-            payload.clear();
-            record.encode(&mut payload);
-            frames.put_u32_le(payload.len() as u32);
-            frames.put_u32_le(crc32(&payload));
-            frames.extend_from_slice(&payload);
+        let before = self.buf.len();
+        encode_frames(records, &mut self.buf);
+        self.bytes_written += (self.buf.len() - before) as u64;
+        if self.buf.len() >= FLUSH_THRESHOLD {
+            self.flush()?;
         }
-        self.writer.write_all(&frames)?;
-        self.bytes_written += frames.len() as u64;
+        Ok(())
+    }
+
+    fn flush(&mut self) -> StoreResult<()> {
+        if !self.buf.is_empty() {
+            self.file.write_all(&self.buf)?;
+            self.buf.clear();
+        }
         Ok(())
     }
 
     /// Flush buffers and fsync the file.
     pub fn sync(&mut self) -> StoreResult<()> {
-        self.writer.flush()?;
-        self.writer.get_ref().sync_data()?;
-        Ok(())
+        self.flush()?;
+        self.file.sync()
     }
 
-    /// Truncate the log to zero length (after a snapshot makes it obsolete).
-    pub fn reset(&mut self) -> StoreResult<()> {
-        self.writer.flush()?;
-        let file = OpenOptions::new().write(true).open(&self.path)?;
-        file.set_len(0)?;
-        file.sync_data()?;
-        // Reopen in append mode so subsequent writes start at offset 0.
-        let file = OpenOptions::new().append(true).open(&self.path)?;
-        self.writer = BufWriter::new(file);
+    /// Truncate the log to zero length (after a snapshot makes it obsolete)
+    /// and stamp it with the epoch of that snapshot. The new epoch record
+    /// is synced, and so is the parent directory, before returning.
+    pub fn reset(&mut self, epoch: u64) -> StoreResult<()> {
+        self.buf.clear();
+        self.vfs.truncate(&self.path, 0)?;
+        self.file = self.vfs.open_append(&self.path)?;
+        let mut frame = Vec::new();
+        encode_frames(std::slice::from_ref(&LogRecord::Epoch { epoch }), &mut frame);
+        self.file.write_all(&frame)?;
+        self.file.sync()?;
+        if let Some(parent) = self.path.parent() {
+            self.vfs.sync_dir(parent)?;
+        }
+        // The epoch stamp is bookkeeping, not payload: report zero so
+        // "bytes since reset" keeps meaning what callers expect.
         self.bytes_written = 0;
         Ok(())
     }
@@ -191,20 +272,21 @@ pub struct WalRecovery {
     /// If the file ended with a torn/corrupt record, the byte offset of the
     /// valid prefix.
     pub torn_at: Option<u64>,
+    /// Length of the valid frame prefix (the whole file when nothing is
+    /// torn).
+    pub valid_bytes: u64,
+    /// Length of the prefix recovery actually keeps: up to and including
+    /// the last commit (or epoch) marker. Trailing ops without a marker
+    /// and any torn tail lie beyond this.
+    pub committed_bytes: u64,
+    /// Epoch stamped into the log, if any. Pre-epoch logs report `None`
+    /// and are treated as epoch 0.
+    pub epoch: Option<u64>,
 }
 
-/// Read a WAL file and classify its records.
-pub fn read_wal(path: &Path) -> StoreResult<WalRecovery> {
+/// Scan an in-memory WAL image and classify its records.
+pub fn scan_wal(data: &[u8]) -> WalRecovery {
     let mut recovery = WalRecovery::default();
-    let mut data = Vec::new();
-    match File::open(path) {
-        Ok(mut f) => {
-            f.read_to_end(&mut data)?;
-        }
-        Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(recovery),
-        Err(e) => return Err(e.into()),
-    }
-
     let mut offset = 0usize;
     let mut pending: Vec<LogRecord> = Vec::new();
     while offset < data.len() {
@@ -212,8 +294,18 @@ pub fn read_wal(path: &Path) -> StoreResult<WalRecovery> {
             recovery.torn_at = Some(offset as u64);
             break;
         }
-        let len = u32::from_le_bytes(data[offset..offset + 4].try_into().unwrap()) as usize;
-        let crc = u32::from_le_bytes(data[offset + 4..offset + 8].try_into().unwrap());
+        let len = u32::from_le_bytes([
+            data[offset],
+            data[offset + 1],
+            data[offset + 2],
+            data[offset + 3],
+        ]) as usize;
+        let crc = u32::from_le_bytes([
+            data[offset + 4],
+            data[offset + 5],
+            data[offset + 6],
+            data[offset + 7],
+        ]);
         let body_start = offset + 8;
         if data.len() - body_start < len {
             recovery.torn_at = Some(offset as u64);
@@ -237,18 +329,44 @@ pub fn read_wal(path: &Path) -> StoreResult<WalRecovery> {
             LogRecord::Commit { .. } => {
                 recovery.committed_txns += 1;
                 recovery.committed_ops.append(&mut pending);
+                recovery.committed_bytes = offset as u64;
+            }
+            LogRecord::Epoch { epoch } => {
+                recovery.epoch = Some(epoch);
+                recovery.committed_bytes = offset as u64;
+            }
+            // Table creation is logged outside any transaction (the
+            // single-writer API cannot interleave it with one), so it is
+            // committed the moment it is durable.
+            create @ LogRecord::CreateTable { .. } => {
+                recovery.committed_ops.push(create);
+                recovery.committed_bytes = offset as u64;
             }
             op => pending.push(op),
         }
     }
+    recovery.valid_bytes = recovery.torn_at.unwrap_or(data.len() as u64);
     recovery.discarded_ops = pending.len();
-    Ok(recovery)
+    recovery
+}
+
+/// Read a WAL file and classify its records.
+pub fn read_wal(vfs: &dyn Vfs, path: &Path) -> StoreResult<WalRecovery> {
+    match vfs.read(path)? {
+        Some(data) => Ok(scan_wal(&data)),
+        None => Ok(WalRecovery::default()),
+    }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::vfs::RealVfs;
     use std::fs;
+
+    fn vfs() -> Arc<dyn Vfs> {
+        Arc::new(RealVfs)
+    }
 
     fn tmp(name: &str) -> PathBuf {
         let dir = std::env::temp_dir().join("relstore-wal-tests");
@@ -269,7 +387,7 @@ mod tests {
     #[test]
     fn roundtrip_committed_transactions() {
         let path = tmp("roundtrip.wal");
-        let mut w = WalWriter::open(&path).unwrap();
+        let mut w = WalWriter::open(vfs(), &path).unwrap();
         w.append(&ins("t", 0, 1)).unwrap();
         w.append(&ins("t", 1, 2)).unwrap();
         w.append(&LogRecord::Commit { txid: 1 }).unwrap();
@@ -281,11 +399,12 @@ mod tests {
         w.append(&LogRecord::Commit { txid: 2 }).unwrap();
         w.sync().unwrap();
 
-        let r = read_wal(&path).unwrap();
+        let r = read_wal(&RealVfs, &path).unwrap();
         assert_eq!(r.committed_txns, 2);
         assert_eq!(r.committed_ops.len(), 3);
         assert_eq!(r.discarded_ops, 0);
         assert!(r.torn_at.is_none());
+        assert_eq!(r.valid_bytes, fs::metadata(&path).unwrap().len());
         assert_eq!(r.committed_ops[0], ins("t", 0, 1));
     }
 
@@ -300,17 +419,17 @@ mod tests {
             ins("t", 2, 3),
             LogRecord::Commit { txid: 2 },
         ];
-        let mut w1 = WalWriter::open(&one).unwrap();
+        let mut w1 = WalWriter::open(vfs(), &one).unwrap();
         for r in &records {
             w1.append(r).unwrap();
         }
         w1.sync().unwrap();
-        let mut w2 = WalWriter::open(&many).unwrap();
+        let mut w2 = WalWriter::open(vfs(), &many).unwrap();
         w2.append_batch(&records).unwrap();
         w2.sync().unwrap();
         assert_eq!(w1.bytes_written(), w2.bytes_written());
         assert_eq!(fs::read(&one).unwrap(), fs::read(&many).unwrap());
-        let r = read_wal(&many).unwrap();
+        let r = read_wal(&RealVfs, &many).unwrap();
         assert_eq!(r.committed_txns, 2);
         assert_eq!(r.committed_ops.len(), 3);
     }
@@ -318,13 +437,13 @@ mod tests {
     #[test]
     fn uncommitted_tail_is_discarded() {
         let path = tmp("uncommitted.wal");
-        let mut w = WalWriter::open(&path).unwrap();
+        let mut w = WalWriter::open(vfs(), &path).unwrap();
         w.append(&ins("t", 0, 1)).unwrap();
         w.append(&LogRecord::Commit { txid: 1 }).unwrap();
         w.append(&ins("t", 1, 2)).unwrap(); // never committed
         w.sync().unwrap();
 
-        let r = read_wal(&path).unwrap();
+        let r = read_wal(&RealVfs, &path).unwrap();
         assert_eq!(r.committed_ops.len(), 1);
         assert_eq!(r.discarded_ops, 1);
     }
@@ -332,7 +451,7 @@ mod tests {
     #[test]
     fn torn_record_ends_recovery() {
         let path = tmp("torn.wal");
-        let mut w = WalWriter::open(&path).unwrap();
+        let mut w = WalWriter::open(vfs(), &path).unwrap();
         w.append(&ins("t", 0, 1)).unwrap();
         w.append(&LogRecord::Commit { txid: 1 }).unwrap();
         w.append(&ins("t", 1, 2)).unwrap();
@@ -343,18 +462,47 @@ mod tests {
         let data = fs::read(&path).unwrap();
         fs::write(&path, &data[..data.len() - 3]).unwrap();
 
-        let r = read_wal(&path).unwrap();
+        let r = read_wal(&RealVfs, &path).unwrap();
         assert_eq!(r.committed_txns, 1);
         assert_eq!(r.committed_ops.len(), 1);
         assert!(r.torn_at.is_some());
+        assert_eq!(r.valid_bytes, r.torn_at.unwrap());
         // the torn tail contained the second txn's op, now discarded
         assert_eq!(r.discarded_ops, 1);
     }
 
     #[test]
+    fn reopen_truncates_torn_tail_so_new_records_are_recoverable() {
+        // Regression: append-after-torn-tail used to bury every later
+        // record behind the corrupt frame, where recovery never looks.
+        let path = tmp("reopen-torn.wal");
+        let mut w = WalWriter::open(vfs(), &path).unwrap();
+        w.append(&ins("t", 0, 1)).unwrap();
+        w.append(&LogRecord::Commit { txid: 1 }).unwrap();
+        w.append(&ins("t", 1, 2)).unwrap();
+        w.append(&LogRecord::Commit { txid: 2 }).unwrap();
+        w.sync().unwrap();
+        drop(w);
+        let data = fs::read(&path).unwrap();
+        fs::write(&path, &data[..data.len() - 3]).unwrap();
+
+        let mut w = WalWriter::open(vfs(), &path).unwrap();
+        w.append(&ins("t", 2, 9)).unwrap();
+        w.append(&LogRecord::Commit { txid: 3 }).unwrap();
+        w.sync().unwrap();
+
+        let r = read_wal(&RealVfs, &path).unwrap();
+        assert!(r.torn_at.is_none(), "torn tail must be gone after reopen");
+        assert_eq!(r.committed_txns, 2);
+        assert_eq!(r.committed_ops.len(), 2);
+        assert_eq!(r.committed_ops[1], ins("t", 2, 9));
+        assert_eq!(r.discarded_ops, 0);
+    }
+
+    #[test]
     fn corrupted_crc_ends_recovery() {
         let path = tmp("badcrc.wal");
-        let mut w = WalWriter::open(&path).unwrap();
+        let mut w = WalWriter::open(vfs(), &path).unwrap();
         w.append(&ins("t", 0, 1)).unwrap();
         w.append(&LogRecord::Commit { txid: 1 }).unwrap();
         w.sync().unwrap();
@@ -364,33 +512,63 @@ mod tests {
         data[victim] ^= 0xff;
         fs::write(&path, &data).unwrap();
 
-        let r = read_wal(&path).unwrap();
+        let r = read_wal(&RealVfs, &path).unwrap();
         assert_eq!(r.committed_txns, 0);
         assert_eq!(r.torn_at, Some(0));
     }
 
     #[test]
     fn missing_file_is_empty_recovery() {
-        let r = read_wal(Path::new("/nonexistent/dir/never.wal")).unwrap();
+        let r = read_wal(&RealVfs, Path::new("/nonexistent/dir/never.wal")).unwrap();
         assert_eq!(r.committed_ops.len(), 0);
         assert!(r.torn_at.is_none());
+        assert!(r.epoch.is_none());
     }
 
     #[test]
-    fn reset_truncates() {
+    fn reset_truncates_and_stamps_epoch() {
         let path = tmp("reset.wal");
-        let mut w = WalWriter::open(&path).unwrap();
+        let mut w = WalWriter::open(vfs(), &path).unwrap();
         w.append(&ins("t", 0, 1)).unwrap();
         w.append(&LogRecord::Commit { txid: 1 }).unwrap();
         w.sync().unwrap();
-        w.reset().unwrap();
-        assert_eq!(fs::metadata(&path).unwrap().len(), 0);
+        w.reset(7).unwrap();
+        assert_eq!(w.bytes_written(), 0);
         // writer still usable after reset
         w.append(&ins("t", 0, 9)).unwrap();
         w.append(&LogRecord::Commit { txid: 2 }).unwrap();
         w.sync().unwrap();
-        let r = read_wal(&path).unwrap();
+        let r = read_wal(&RealVfs, &path).unwrap();
+        assert_eq!(r.epoch, Some(7));
         assert_eq!(r.committed_ops.len(), 1);
         assert_eq!(r.committed_ops[0], ins("t", 0, 9));
+    }
+
+    #[test]
+    fn pre_epoch_logs_report_no_epoch() {
+        let path = tmp("no-epoch.wal");
+        let mut w = WalWriter::open(vfs(), &path).unwrap();
+        w.append(&ins("t", 0, 1)).unwrap();
+        w.append(&LogRecord::Commit { txid: 1 }).unwrap();
+        w.sync().unwrap();
+        let r = read_wal(&RealVfs, &path).unwrap();
+        assert!(r.epoch.is_none());
+        assert_eq!(r.committed_txns, 1);
+    }
+
+    #[test]
+    fn large_batch_spills_before_sync() {
+        // More than FLUSH_THRESHOLD of frames must not accumulate in the
+        // writer; spilled bytes appear in the file even before sync.
+        let path = tmp("spill.wal");
+        let mut w = WalWriter::open(vfs(), &path).unwrap();
+        let big: Vec<LogRecord> = (0..4096).map(|i| ins("table_name", i, i as i64)).collect();
+        w.append_batch(&big).unwrap();
+        assert!(w.bytes_written() as usize > FLUSH_THRESHOLD);
+        assert!(fs::metadata(&path).unwrap().len() > 0);
+        w.append(&LogRecord::Commit { txid: 1 }).unwrap();
+        w.sync().unwrap();
+        let r = read_wal(&RealVfs, &path).unwrap();
+        assert_eq!(r.committed_ops.len(), 4096);
     }
 }

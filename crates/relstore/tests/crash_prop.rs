@@ -1,0 +1,198 @@
+//! Property-based crash testing: arbitrary workload shapes (batch sizes,
+//! checkpoint cadence, group commit) crossed with arbitrary power-cut
+//! points must always recover to a consistent committed prefix and
+//! converge on resume.
+
+use proptest::prelude::*;
+use relstore::schema::{Column, Schema};
+use relstore::value::{Value, ValueType};
+use relstore::vfs::{FaultPlan, FaultVfs, Vfs};
+use relstore::Database;
+use std::path::Path;
+use std::sync::Arc;
+
+fn schema() -> Schema {
+    Schema::builder("t")
+        .column(Column::new("id", ValueType::Int))
+        .primary_key(&["id"])
+        .build()
+        .unwrap()
+}
+
+fn open(vfs: &FaultVfs) -> relstore::error::StoreResult<Database> {
+    let arc: Arc<dyn Vfs> = Arc::new(vfs.clone());
+    let mut db = Database::open_with_vfs(arc, Path::new("/db"))?;
+    db.ensure_table(schema())?;
+    Ok(db)
+}
+
+/// Run the workload described by `batches` (sizes of consecutive committed
+/// transactions over ids 0..sum) from wherever the store currently is,
+/// checkpointing after every `ckpt_every`-th batch.
+fn run(
+    db: &mut Database,
+    batches: &[usize],
+    ckpt_every: usize,
+    group_commit: bool,
+) -> relstore::error::StoreResult<()> {
+    db.set_sync_on_commit(!group_commit);
+    let mut next = db.table("t")?.len() as i64;
+    let boundaries = prefix_sums(batches);
+    for i in 0..batches.len() {
+        let end = boundaries[i + 1] as i64;
+        if next >= end {
+            continue; // batch already recovered
+        }
+        db.with_txn(|txn| {
+            for id in next..end {
+                txn.insert("t", vec![Value::Int(id)])?;
+            }
+            Ok(())
+        })?;
+        next = end;
+        if group_commit {
+            db.sync_wal()?;
+        }
+        if (i + 1) % ckpt_every == 0 {
+            db.checkpoint()?;
+        }
+    }
+    db.checkpoint()?;
+    Ok(())
+}
+
+fn prefix_sums(batches: &[usize]) -> Vec<usize> {
+    let mut out = Vec::with_capacity(batches.len() + 1);
+    let mut acc = 0;
+    out.push(0);
+    for &b in batches {
+        acc += b;
+        out.push(acc);
+    }
+    out
+}
+
+fn sorted_ids(db: &Database) -> Vec<i64> {
+    let mut out: Vec<i64> = db
+        .table("t")
+        .unwrap()
+        .scan()
+        .map(|(_, row)| match row.get(0) {
+            Value::Int(i) => *i,
+            other => panic!("unexpected value {other:?}"),
+        })
+        .collect();
+    out.sort_unstable();
+    out
+}
+
+/// Deterministic spot-check of the same property over a fixed grid, so the
+/// invariant is exercised even where proptest shrinks its case count.
+#[test]
+fn fixed_grid_crash_points_recover_and_converge() {
+    let configs: &[(&[usize], usize, bool)] = &[
+        (&[3, 1, 5, 2], 2, false),
+        (&[1, 1, 1, 1, 1, 1], 3, true),
+        (&[7, 2], 1, true),
+        (&[4], 4, false),
+    ];
+    for &(batches, ckpt_every, group_commit) in configs {
+        let reference = FaultVfs::new();
+        {
+            let mut db = open(&reference).unwrap();
+            run(&mut db, batches, ckpt_every, group_commit).unwrap();
+        }
+        let total_ops = reference.op_count();
+        let expected: Vec<i64> =
+            (0..*prefix_sums(batches).last().unwrap() as i64).collect();
+        for crash_at in (1..=total_ops).step_by(2) {
+            let vfs = FaultVfs::new();
+            vfs.set_plan(FaultPlan {
+                crash_at: Some(crash_at),
+                fail_at: None,
+                torn_seed: crash_at ^ 0xdead_beef,
+            });
+            let outcome =
+                open(&vfs).and_then(|mut db| run(&mut db, batches, ckpt_every, group_commit));
+            assert!(outcome.is_err(), "crash_at {crash_at} did not fire");
+            vfs.reboot();
+
+            let db = open(&vfs).unwrap();
+            let got = sorted_ids(&db);
+            assert_eq!(got, (0..got.len() as i64).collect::<Vec<_>>());
+            if !group_commit {
+                assert!(
+                    prefix_sums(batches).contains(&got.len()),
+                    "crash_at {crash_at}: {} rows is not a batch boundary of {batches:?}",
+                    got.len()
+                );
+            }
+            drop(db);
+
+            let mut db = open(&vfs).unwrap();
+            run(&mut db, batches, ckpt_every, group_commit).unwrap();
+            drop(db);
+            let db = open(&vfs).unwrap();
+            assert_eq!(sorted_ids(&db), expected, "crash_at {crash_at}");
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn random_crash_points_recover_and_converge(
+        batches in proptest::collection::vec(1usize..8, 1..10),
+        ckpt_every in 1usize..5,
+        group_commit in any::<bool>(),
+        crash_frac in 0.0f64..1.0,
+        torn_seed in any::<u64>(),
+    ) {
+        // Fault-free run to learn the op count and reference state.
+        let reference = FaultVfs::new();
+        {
+            let mut db = open(&reference).unwrap();
+            run(&mut db, &batches, ckpt_every, group_commit).unwrap();
+        }
+        let total_ops = reference.op_count();
+        let expected: Vec<i64> =
+            (0..*prefix_sums(&batches).last().unwrap() as i64).collect();
+
+        // Map the fraction onto a concrete op index.
+        let crash_at = 1 + (crash_frac * (total_ops - 1) as f64) as u64;
+        let vfs = FaultVfs::new();
+        vfs.set_plan(FaultPlan {
+            crash_at: Some(crash_at),
+            fail_at: None,
+            torn_seed,
+        });
+        let outcome = open(&vfs).and_then(|mut db| run(&mut db, &batches, ckpt_every, group_commit));
+        prop_assert!(outcome.is_err());
+        vfs.reboot();
+
+        // Committed prefix: whatever survived is ids 0..n where n is a
+        // batch boundary (with per-commit sync) or at most the full set
+        // (group commit may persist several batches per sync).
+        let db = open(&vfs).unwrap();
+        let got = sorted_ids(&db);
+        prop_assert_eq!(&got, &(0..got.len() as i64).collect::<Vec<_>>());
+        let boundaries = prefix_sums(&batches);
+        if !group_commit {
+            prop_assert!(
+                boundaries.contains(&got.len()),
+                "{} rows is not a batch boundary of {:?}", got.len(), batches
+            );
+        } else {
+            prop_assert!(got.len() <= *boundaries.last().unwrap());
+        }
+        drop(db);
+
+        // Convergence: resume and compare against the fault-free state.
+        let mut db = open(&vfs).unwrap();
+        run(&mut db, &batches, ckpt_every, group_commit).unwrap();
+        drop(db);
+        let db = open(&vfs).unwrap();
+        prop_assert_eq!(sorted_ids(&db), expected);
+    }
+}

@@ -202,8 +202,8 @@ proptest! {
                 }
             }
         }
-        let data = relstore::snapshot::encode_snapshot(std::iter::once(&table));
-        let back = relstore::snapshot::decode_snapshot(&data).unwrap().pop().unwrap();
+        let data = relstore::snapshot::encode_snapshot(std::iter::once(&table), 0);
+        let back = relstore::snapshot::decode_snapshot(&data).unwrap().0.pop().unwrap();
         prop_assert_eq!(back.len(), table.len());
         prop_assert_eq!(back.next_row_id(), table.next_row_id());
         for (rid, row) in table.scan() {

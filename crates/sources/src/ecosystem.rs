@@ -13,7 +13,7 @@
 use crate::dialects::satellite::{Hub, SatelliteSpec};
 use crate::dialects::{self, names};
 use crate::universe::{Universe, UniverseParams};
-use crate::ParseError;
+use crate::{ParseError, QuarantinedLine};
 use eav::EavBatch;
 
 /// Which dialect a dump is written in (decides which parser reads it).
@@ -42,22 +42,87 @@ pub struct SourceDump {
     pub text: String,
 }
 
+/// Result of a lenient parse: the batch built from the surviving lines
+/// plus the lines that were removed to get there.
+#[derive(Debug, Clone)]
+pub struct LenientParse {
+    pub batch: EavBatch,
+    pub quarantined: Vec<QuarantinedLine>,
+}
+
 impl SourceDump {
     /// Run the dialect's parser over this dump.
     pub fn parse(&self) -> Result<EavBatch, ParseError> {
-        match self.dialect {
-            Dialect::LocusLink => dialects::locuslink::parse(&self.text),
-            Dialect::Go => dialects::go::parse(&self.text),
-            Dialect::Unigene => dialects::unigene::parse(&self.text),
-            Dialect::Enzyme => dialects::enzyme::parse(&self.text),
-            Dialect::Hugo => dialects::hugo::parse(&self.text),
-            Dialect::Omim => dialects::omim::parse(&self.text),
-            Dialect::NetAffx => dialects::netaffx::parse(&self.text),
-            Dialect::SwissProt => dialects::swissprot::parse(&self.text),
-            Dialect::InterPro => dialects::interpro::parse(&self.text),
-            Dialect::GeneMap => dialects::genemap::parse(&self.text),
-            Dialect::Satellite => dialects::satellite::parse(&self.text),
+        parse_text(self.dialect, &self.text)
+    }
+
+    /// Parse with graceful degradation: when the parser rejects a line, the
+    /// line is removed (quarantined) and the parse retried, up to `budget`
+    /// removals. Errors the parser cannot attribute to a line — and any
+    /// error once the budget is spent — still fail the dump, so structural
+    /// corruption is not silently eaten record by record.
+    pub fn parse_lenient(&self, budget: usize) -> Result<LenientParse, ParseError> {
+        // Fast path: a clean dump never re-allocates the text.
+        match parse_text(self.dialect, &self.text) {
+            Ok(batch) => {
+                return Ok(LenientParse {
+                    batch,
+                    quarantined: Vec::new(),
+                })
+            }
+            Err(err) if err.line.is_none() || budget == 0 => return Err(err),
+            Err(_) => {}
         }
+        // Surviving lines, each tagged with its original 1-based number so
+        // quarantine reports point into the raw dump, not the shrunk text.
+        let mut lines: Vec<(usize, &str)> = self
+            .text
+            .lines()
+            .enumerate()
+            .map(|(i, l)| (i + 1, l))
+            .collect();
+        let mut quarantined: Vec<QuarantinedLine> = Vec::new();
+        loop {
+            let mut text = String::with_capacity(self.text.len());
+            for (_, l) in &lines {
+                text.push_str(l);
+                text.push('\n');
+            }
+            match parse_text(self.dialect, &text) {
+                Ok(batch) => return Ok(LenientParse { batch, quarantined }),
+                Err(err) => {
+                    let idx = match err.line {
+                        Some(l) if l >= 1 && l <= lines.len() => l - 1,
+                        _ => return Err(err),
+                    };
+                    if quarantined.len() >= budget {
+                        return Err(err);
+                    }
+                    let (orig, content) = lines.remove(idx);
+                    quarantined.push(QuarantinedLine {
+                        line: orig,
+                        snippet: content.chars().take(80).collect(),
+                        reason: err.reason,
+                    });
+                }
+            }
+        }
+    }
+}
+
+fn parse_text(dialect: Dialect, text: &str) -> Result<EavBatch, ParseError> {
+    match dialect {
+        Dialect::LocusLink => dialects::locuslink::parse(text),
+        Dialect::Go => dialects::go::parse(text),
+        Dialect::Unigene => dialects::unigene::parse(text),
+        Dialect::Enzyme => dialects::enzyme::parse(text),
+        Dialect::Hugo => dialects::hugo::parse(text),
+        Dialect::Omim => dialects::omim::parse(text),
+        Dialect::NetAffx => dialects::netaffx::parse(text),
+        Dialect::SwissProt => dialects::swissprot::parse(text),
+        Dialect::InterPro => dialects::interpro::parse(text),
+        Dialect::GeneMap => dialects::genemap::parse(text),
+        Dialect::Satellite => dialects::satellite::parse(text),
     }
 }
 
@@ -230,6 +295,56 @@ mod tests {
         assert_eq!(a.universe, b.universe);
         for (da, db) in a.dumps.iter().zip(&b.dumps) {
             assert_eq!(da.text, db.text);
+        }
+    }
+
+    #[test]
+    fn lenient_parse_quarantines_bad_lines_within_budget() {
+        let eco = Ecosystem::generate(EcosystemParams::demo(7));
+        let clean = eco.dumps[0].parse().unwrap();
+        // Corrupt two field lines of the LocusLink dump (empty value and a
+        // colon-less field), leaving the rest intact.
+        let mut lines: Vec<String> = eco.dumps[0].text.lines().map(str::to_owned).collect();
+        let bad_a = lines
+            .iter()
+            .position(|l| l.starts_with("SYMBOL:"))
+            .unwrap();
+        lines[bad_a] = "SYMBOL:".to_owned(); // empty field value
+        let bad_b = lines.iter().rposition(|l| l.starts_with("CHR:")).unwrap();
+        lines[bad_b] = "CHR broken without colon".to_owned();
+        let dump = SourceDump {
+            name: eco.dumps[0].name.clone(),
+            dialect: eco.dumps[0].dialect,
+            text: lines.join("\n") + "\n",
+        };
+
+        // Strict parse fails; zero budget behaves like strict.
+        assert!(dump.parse().is_err());
+        assert!(dump.parse_lenient(0).is_err());
+        // Budget of one is exhausted by the first bad line.
+        assert!(dump.parse_lenient(1).is_err());
+
+        let lenient = dump.parse_lenient(5).unwrap();
+        assert_eq!(lenient.quarantined.len(), 2);
+        let mut qlines: Vec<usize> = lenient.quarantined.iter().map(|q| q.line).collect();
+        qlines.sort_unstable();
+        assert_eq!(qlines, vec![bad_a + 1, bad_b + 1]);
+        for q in &lenient.quarantined {
+            assert!(!q.snippet.is_empty());
+            assert!(!q.reason.is_empty());
+        }
+        // Only the two corrupted records are lost relative to a clean parse.
+        assert_eq!(lenient.batch.records.len(), clean.records.len() - 2);
+    }
+
+    #[test]
+    fn lenient_parse_of_clean_dump_quarantines_nothing() {
+        let eco = Ecosystem::generate(EcosystemParams::demo(3));
+        for dump in &eco.dumps {
+            let strict = dump.parse().unwrap();
+            let lenient = dump.parse_lenient(8).unwrap();
+            assert!(lenient.quarantined.is_empty());
+            assert_eq!(lenient.batch.records.len(), strict.records.len());
         }
     }
 

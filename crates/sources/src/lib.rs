@@ -26,7 +26,7 @@ pub mod dialects;
 pub mod ecosystem;
 pub mod universe;
 
-pub use ecosystem::{Ecosystem, EcosystemParams};
+pub use ecosystem::{Ecosystem, EcosystemParams, LenientParse};
 pub use universe::{Universe, UniverseParams};
 
 /// Error raised by source parsers.
@@ -68,3 +68,20 @@ impl std::fmt::Display for ParseError {
 }
 
 impl std::error::Error for ParseError {}
+
+/// One input line removed from a dump by lenient parsing.
+///
+/// Produced by [`ecosystem::SourceDump::parse_lenient`]: instead of failing
+/// the whole dump on a malformed record, the offending line is quarantined
+/// (up to a caller-chosen budget) and parsing continues without it. The
+/// original 1-based line number and a snippet are kept so the operator can
+/// locate the record in the raw dump.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct QuarantinedLine {
+    /// 1-based line number in the *original* dump text.
+    pub line: usize,
+    /// First characters of the offending line (for the report).
+    pub snippet: String,
+    /// Parser's description of the problem.
+    pub reason: String,
+}

@@ -1,0 +1,545 @@
+//! Standalone, dependency-free replica of the crash-safety machinery
+//! (`relstore::vfs::FaultVfs` + the WAL/snapshot recovery protocol), for
+//! environments where the full workspace cannot be built (no crates.io
+//! access). It
+//!
+//! 1. sweeps a power cut over *every* I/O operation of a checkpointing
+//!    insert workload and checks, per crash point, that the store reopens,
+//!    that the surviving rows are a committed whole-batch prefix, and that
+//!    resuming the workload converges on the fault-free state,
+//! 2. corrupts the primary snapshot four ways (torn body, flipped CRC,
+//!    bad magic, bad version) and checks degradation to the previous
+//!    snapshot generation,
+//! 3. measures recovery latency (reopen after crash) across the sweep and
+//!    writes `BENCH_crash.json`.
+//!
+//! Build & run:  rustc -O scripts/crash_harness.rs -o /tmp/crash_harness && /tmp/crash_harness
+//!
+//! The logic below must stay in sync with `crates/relstore/src/wal.rs`
+//! (framing `[len u32][crc32 u32][payload]`, commit/epoch markers,
+//! committed-prefix scan), `crates/relstore/src/snapshot.rs` (magic,
+//! version, CRC, epoch) and `crates/relstore/src/vfs.rs` (op accounting,
+//! torn tails, reboot); it is a measurement stand-in, not the
+//! implementation of record. Prefer `cargo test -p relstore --test
+//! crash_sweep` whenever the workspace builds.
+
+use std::cell::RefCell;
+use std::collections::BTreeMap;
+use std::convert::TryInto;
+use std::rc::Rc;
+use std::time::{Duration, Instant};
+
+// -------------------------------------------------------------- crc32 --
+
+fn crc32(data: &[u8]) -> u32 {
+    // IEEE 802.3 polynomial, bitwise — speed is irrelevant here.
+    let mut crc: u32 = 0xffff_ffff;
+    for &b in data {
+        crc ^= b as u32;
+        for _ in 0..8 {
+            let mask = (crc & 1).wrapping_neg();
+            crc = (crc >> 1) ^ (0xedb8_8320 & mask);
+        }
+    }
+    !crc
+}
+
+// --------------------------------------------------- fault-inject disk --
+
+/// In-memory "disk" with the same fault semantics as `FaultVfs`: every
+/// operation is charged; a planned power cut freezes the durable image
+/// (synced bytes plus a seeded prefix of any unsynced tail) and fails all
+/// subsequent I/O until `reboot`.
+#[derive(Default)]
+struct DiskState {
+    current: BTreeMap<String, Vec<u8>>,
+    synced: BTreeMap<String, Vec<u8>>,
+    ops: u64,
+    crash_at: Option<u64>,
+    torn_seed: u64,
+    crashed: bool,
+}
+
+#[derive(Clone)]
+struct Disk(Rc<RefCell<DiskState>>);
+
+#[derive(Debug)]
+struct Crashed;
+
+impl Disk {
+    fn new() -> Disk {
+        Disk(Rc::new(RefCell::new(DiskState::default())))
+    }
+
+    fn plan(&self, crash_at: Option<u64>, torn_seed: u64) {
+        let mut s = self.0.borrow_mut();
+        s.crash_at = crash_at;
+        s.torn_seed = torn_seed;
+    }
+
+    fn op_count(&self) -> u64 {
+        self.0.borrow().ops
+    }
+
+    fn charge(s: &mut DiskState) -> Result<(), Crashed> {
+        if s.crashed {
+            return Err(Crashed);
+        }
+        s.ops += 1;
+        if s.crash_at == Some(s.ops) {
+            // Power cut: the durable image keeps synced data plus a
+            // seeded prefix of each file's unsynced tail (torn write).
+            s.crashed = true;
+            let mut torn = s.torn_seed | 1;
+            let keys: Vec<String> = s.current.keys().cloned().collect();
+            for k in keys {
+                let cur = s.current[&k].clone();
+                let base = s.synced.get(&k).map_or(0, Vec::len);
+                if cur.len() > base {
+                    torn ^= torn << 13;
+                    torn ^= torn >> 7;
+                    torn ^= torn << 17;
+                    let keep = base + (torn as usize) % (cur.len() - base + 1);
+                    s.synced.insert(k, cur[..keep].to_vec());
+                }
+            }
+            return Err(Crashed);
+        }
+        Ok(())
+    }
+
+    fn append(&self, path: &str, data: &[u8]) -> Result<(), Crashed> {
+        let mut s = self.0.borrow_mut();
+        Self::charge(&mut s)?;
+        s.current.entry(path.to_string()).or_default().extend_from_slice(data);
+        Ok(())
+    }
+
+    fn write_all(&self, path: &str, data: &[u8]) -> Result<(), Crashed> {
+        let mut s = self.0.borrow_mut();
+        Self::charge(&mut s)?;
+        s.current.insert(path.to_string(), data.to_vec());
+        Ok(())
+    }
+
+    fn truncate(&self, path: &str, len: usize) -> Result<(), Crashed> {
+        let mut s = self.0.borrow_mut();
+        Self::charge(&mut s)?;
+        if let Some(f) = s.current.get_mut(path) {
+            f.truncate(len);
+        }
+        Ok(())
+    }
+
+    fn sync(&self, path: &str) -> Result<(), Crashed> {
+        let mut s = self.0.borrow_mut();
+        Self::charge(&mut s)?;
+        if let Some(data) = s.current.get(path).cloned() {
+            s.synced.insert(path.to_string(), data);
+        }
+        Ok(())
+    }
+
+    /// Rename + dir-fsync, as one durable step (the real store renames
+    /// then syncs the directory; collapsing them only removes crash
+    /// points *between* the two, which the real sweep covers).
+    fn rename(&self, from: &str, to: &str) -> Result<(), Crashed> {
+        let mut s = self.0.borrow_mut();
+        Self::charge(&mut s)?;
+        if let Some(data) = s.current.remove(from) {
+            s.current.insert(to.to_string(), data);
+        }
+        if let Some(data) = s.synced.remove(from) {
+            s.synced.insert(to.to_string(), data);
+        }
+        Ok(())
+    }
+
+    fn read(&self, path: &str) -> Option<Vec<u8>> {
+        self.0.borrow().current.get(path).cloned()
+    }
+
+    /// Power comes back: only the durable image survives.
+    fn reboot(&self) {
+        let mut s = self.0.borrow_mut();
+        s.current = s.synced.clone();
+        s.crashed = false;
+        s.crash_at = None;
+    }
+
+    fn corrupt(&self, path: &str, f: impl Fn(&mut Vec<u8>)) {
+        let mut s = self.0.borrow_mut();
+        if let Some(data) = s.current.get_mut(path) {
+            f(data);
+        }
+        let cur = s.current.get(path).cloned();
+        if let (Some(c), Some(_)) = (cur, s.synced.get(path)) {
+            s.synced.insert(path.to_string(), c);
+        }
+    }
+}
+
+// ------------------------------------------------------ wal + snapshot --
+
+const WAL: &str = "/db/wal.log";
+const SNAP: &str = "/db/snapshot.bin";
+const SNAP_PREV: &str = "/db/snapshot.prev";
+const SNAP_TMP: &str = "/db/snapshot.tmp";
+const SNAP_MAGIC: &[u8; 4] = b"RSSN";
+const SNAP_VERSION: u32 = 2;
+const OP_INSERT: u8 = 1;
+const OP_COMMIT: u8 = 4;
+const OP_EPOCH: u8 = 5;
+
+fn put_u32(buf: &mut Vec<u8>, v: u32) {
+    buf.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_u64(buf: &mut Vec<u8>, v: u64) {
+    buf.extend_from_slice(&v.to_le_bytes());
+}
+
+fn get_u32(data: &[u8], at: usize) -> Option<u32> {
+    Some(u32::from_le_bytes(data.get(at..at + 4)?.try_into().ok()?))
+}
+
+fn get_u64(data: &[u8], at: usize) -> Option<u64> {
+    Some(u64::from_le_bytes(data.get(at..at + 8)?.try_into().ok()?))
+}
+
+fn frame(payload: &[u8]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(payload.len() + 8);
+    put_u32(&mut out, payload.len() as u32);
+    put_u32(&mut out, crc32(payload));
+    out.extend_from_slice(payload);
+    out
+}
+
+/// Mini store: one table of i64 ids, WAL-then-snapshot durability with
+/// the real epoch protocol.
+struct Store {
+    disk: Disk,
+    rows: Vec<i64>,
+    epoch: u64,
+    pending: Vec<u8>, // encoded frames of the open transaction
+}
+
+#[derive(Default)]
+struct Recovery {
+    snapshot_rows: usize,
+    wal_txns: u64,
+    wal_discarded_ops: u64,
+    torn_tail: bool,
+    stale_wal: bool,
+    used_fallback: bool,
+}
+
+impl Store {
+    fn open(disk: &Disk) -> Result<(Store, Recovery), Crashed> {
+        let mut rec = Recovery::default();
+        // Snapshot: primary, else previous generation, else empty.
+        let (mut rows, mut epoch) = (Vec::new(), 0u64);
+        let mut loaded = false;
+        for (path, fallback) in [(SNAP, false), (SNAP_PREV, true)] {
+            if let Some(data) = disk.read(path) {
+                if let Some((r, e)) = decode_snapshot(&data) {
+                    rows = r;
+                    epoch = e;
+                    rec.used_fallback = fallback;
+                    loaded = true;
+                    break;
+                }
+            }
+        }
+        let _ = loaded;
+        rec.snapshot_rows = rows.len();
+
+        // WAL: committed-prefix scan, with epoch staleness check.
+        let wal = disk.read(WAL).unwrap_or_default();
+        let mut committed: Vec<i64> = Vec::new();
+        let mut pending: Vec<i64> = Vec::new();
+        let mut wal_epoch: Option<u64> = None;
+        let mut offset = 0usize;
+        let mut committed_bytes = 0usize;
+        loop {
+            let Some(len) = get_u32(&wal, offset) else {
+                rec.torn_tail = offset < wal.len();
+                break;
+            };
+            let Some(crc) = get_u32(&wal, offset + 4) else {
+                rec.torn_tail = true;
+                break;
+            };
+            let Some(payload) = wal.get(offset + 8..offset + 8 + len as usize) else {
+                rec.torn_tail = true;
+                break;
+            };
+            if crc32(payload) != crc {
+                rec.torn_tail = true;
+                break;
+            }
+            offset += 8 + len as usize;
+            match payload.first() {
+                Some(&OP_INSERT) => {
+                    pending.push(get_u64(payload, 1).unwrap_or(0) as i64);
+                }
+                Some(&OP_COMMIT) => {
+                    committed.append(&mut pending);
+                    rec.wal_txns += 1;
+                    committed_bytes = offset;
+                }
+                Some(&OP_EPOCH) => {
+                    wal_epoch = get_u64(payload, 1);
+                    committed_bytes = offset;
+                }
+                _ => {
+                    rec.torn_tail = true;
+                    break;
+                }
+            }
+        }
+        rec.wal_discarded_ops = pending.len() as u64;
+
+        if wal_epoch.is_some() && wal_epoch != Some(epoch) {
+            // Stale WAL from before an interrupted checkpoint rename:
+            // the snapshot already contains its effects. Discard.
+            rec.stale_wal = true;
+            committed.clear();
+        }
+        if rec.stale_wal || rec.torn_tail || rec.wal_discarded_ops > 0 {
+            // Truncate-to-valid-prefix on open, as WalWriter::open does.
+            let keep = if rec.stale_wal { 0 } else { committed_bytes };
+            disk.truncate(WAL, keep)?;
+            disk.sync(WAL)?;
+        }
+        rows.extend(committed);
+        if disk.read(WAL).is_none() || rec.stale_wal {
+            // Fresh or discarded WAL: stamp the current epoch.
+            let mut payload = vec![OP_EPOCH];
+            put_u64(&mut payload, epoch);
+            disk.write_all(WAL, &frame(&payload))?;
+            disk.sync(WAL)?;
+        }
+        Ok((Store { disk: disk.clone(), rows, epoch, pending: Vec::new() }, rec))
+    }
+
+    fn insert(&mut self, id: i64) {
+        let mut payload = vec![OP_INSERT];
+        put_u64(&mut payload, id as u64);
+        self.pending.extend_from_slice(&frame(&payload));
+        self.rows.push(id);
+    }
+
+    fn commit(&mut self) -> Result<(), Crashed> {
+        self.pending.extend_from_slice(&frame(&[OP_COMMIT]));
+        let buf = std::mem::take(&mut self.pending);
+        self.disk.append(WAL, &buf)?;
+        self.disk.sync(WAL)
+    }
+
+    fn checkpoint(&mut self) -> Result<(), Crashed> {
+        let next = self.epoch + 1;
+        let snap = encode_snapshot(&self.rows, next);
+        self.disk.write_all(SNAP_TMP, &snap)?;
+        self.disk.sync(SNAP_TMP)?;
+        if self.disk.read(SNAP).is_some() {
+            self.disk.rename(SNAP, SNAP_PREV)?;
+        }
+        self.disk.rename(SNAP_TMP, SNAP)?;
+        // WAL reset: truncate and stamp the new epoch.
+        let mut payload = vec![OP_EPOCH];
+        put_u64(&mut payload, next);
+        self.disk.write_all(WAL, &frame(&payload))?;
+        self.disk.sync(WAL)?;
+        self.epoch = next;
+        Ok(())
+    }
+}
+
+fn encode_snapshot(rows: &[i64], epoch: u64) -> Vec<u8> {
+    let mut body = Vec::new();
+    put_u64(&mut body, epoch);
+    put_u64(&mut body, rows.len() as u64);
+    for &r in rows {
+        put_u64(&mut body, r as u64);
+    }
+    let mut out = Vec::with_capacity(body.len() + 12);
+    out.extend_from_slice(SNAP_MAGIC);
+    put_u32(&mut out, SNAP_VERSION);
+    put_u32(&mut out, crc32(&body));
+    out.extend_from_slice(&body);
+    out
+}
+
+fn decode_snapshot(data: &[u8]) -> Option<(Vec<i64>, u64)> {
+    if data.get(..4)? != SNAP_MAGIC || get_u32(data, 4)? != SNAP_VERSION {
+        return None;
+    }
+    let body = data.get(12..)?;
+    if crc32(body) != get_u32(data, 8)? {
+        return None;
+    }
+    let epoch = get_u64(body, 0)?;
+    let n = get_u64(body, 8)? as usize;
+    let mut rows = Vec::with_capacity(n);
+    for i in 0..n {
+        rows.push(get_u64(body, 16 + 8 * i)? as i64);
+    }
+    Some((rows, epoch))
+}
+
+// ----------------------------------------------------------- workload --
+
+const BATCHES: usize = 40;
+const BATCH_ROWS: usize = 5;
+const CHECKPOINT_EVERY: usize = 4;
+
+/// Run (or resume) the insert workload; returns Err if a fault fired.
+fn run_workload(disk: &Disk) -> Result<(), Crashed> {
+    let (mut store, _) = Store::open(disk)?;
+    let have = store.rows.len();
+    assert_eq!(have % BATCH_ROWS, 0, "recovered {have} rows: not a batch boundary");
+    for batch in have / BATCH_ROWS..BATCHES {
+        for i in 0..BATCH_ROWS {
+            store.insert((batch * BATCH_ROWS + i) as i64);
+        }
+        store.commit()?;
+        if (batch + 1) % CHECKPOINT_EVERY == 0 {
+            store.checkpoint()?;
+        }
+    }
+    store.checkpoint()
+}
+
+fn recovered_rows(disk: &Disk) -> Vec<i64> {
+    let (store, _) = Store::open(disk).expect("reopen after reboot");
+    let mut rows = store.rows.clone();
+    rows.sort_unstable();
+    rows
+}
+
+// -------------------------------------------------------------- sweep --
+
+struct SweepStats {
+    crash_points: u64,
+    torn_tail_recoveries: u64,
+    stale_wal_discards: u64,
+    fallback_snapshot_loads: u64,
+    reopen_total: Duration,
+    reopen_max: Duration,
+}
+
+fn crash_sweep() -> SweepStats {
+    // Fault-free reference: learn the op count and expected rows.
+    let reference = Disk::new();
+    run_workload(&reference).expect("fault-free run");
+    let total_ops = reference.op_count();
+    let expected: Vec<i64> = (0..(BATCHES * BATCH_ROWS) as i64).collect();
+
+    let mut stats = SweepStats {
+        crash_points: 0,
+        torn_tail_recoveries: 0,
+        stale_wal_discards: 0,
+        fallback_snapshot_loads: 0,
+        reopen_total: Duration::ZERO,
+        reopen_max: Duration::ZERO,
+    };
+    for crash_at in 1..=total_ops {
+        let disk = Disk::new();
+        disk.plan(Some(crash_at), crash_at.wrapping_mul(0x9e37_79b9_7f4a_7c15));
+        assert!(run_workload(&disk).is_err(), "op {}: power cut did not fire", crash_at);
+        disk.reboot();
+
+        let t0 = Instant::now();
+        let (store, rec) = Store::open(&disk).expect("reopen must not fail");
+        let dt = t0.elapsed();
+        stats.reopen_total += dt;
+        stats.reopen_max = stats.reopen_max.max(dt);
+        stats.crash_points += 1;
+        stats.torn_tail_recoveries += rec.torn_tail as u64;
+        stats.stale_wal_discards += rec.stale_wal as u64;
+        stats.fallback_snapshot_loads += rec.used_fallback as u64;
+
+        // Committed whole-batch prefix.
+        let mut rows = store.rows.clone();
+        rows.sort_unstable();
+        assert_eq!(rows, (0..rows.len() as i64).collect::<Vec<_>>(), "op {crash_at}");
+        assert_eq!(rows.len() % BATCH_ROWS, 0, "op {crash_at}: partial batch survived");
+        drop(store);
+
+        // Resume and converge.
+        run_workload(&disk).unwrap_or_else(|_| panic!("op {}: resume failed", crash_at));
+        assert_eq!(recovered_rows(&disk), expected, "op {crash_at}: diverged");
+    }
+    stats
+}
+
+fn corruption_matrix() -> u64 {
+    let corruptors: [(&str, fn(&mut Vec<u8>)); 4] = [
+        ("truncated-body", |d| {
+            let n = d.len() / 2;
+            d.truncate(n);
+        }),
+        ("flipped-crc", |d| d[8] ^= 0xff),
+        ("bad-magic", |d| d[0] = b'X'),
+        ("bad-version", |d| d[4] = 99),
+    ];
+    let mut survived = 0;
+    for (name, f) in corruptors {
+        let disk = Disk::new();
+        run_workload(&disk).expect("seed run");
+        disk.corrupt(SNAP, f);
+        let (store, rec) = Store::open(&disk).expect("open with corrupt primary");
+        assert!(rec.used_fallback, "{}: did not fall back to snapshot.prev", name);
+        assert!(!store.rows.is_empty(), "{}: fallback lost all rows", name);
+        // The fallback generation plus (stale-discarded) WAL is an older
+        // but consistent prefix.
+        let mut rows = store.rows.clone();
+        rows.sort_unstable();
+        assert_eq!(rows, (0..rows.len() as i64).collect::<Vec<_>>(), "{name}");
+        survived += 1;
+        println!("  corrupt {name:<16} -> fallback snapshot, {} rows", rows.len());
+    }
+    survived
+}
+
+// --------------------------------------------------------------- main --
+
+fn main() {
+    println!("crash harness: {BATCHES} batches x {BATCH_ROWS} rows, checkpoint every {CHECKPOINT_EVERY}");
+
+    let t0 = Instant::now();
+    let stats = crash_sweep();
+    let sweep_secs = t0.elapsed().as_secs_f64();
+    assert!(stats.crash_points >= 100, "only {} crash points", stats.crash_points);
+    println!(
+        "sweep: {} crash points in {:.2}s ({} torn tails, {} stale WALs, {} fallback loads)",
+        stats.crash_points,
+        sweep_secs,
+        stats.torn_tail_recoveries,
+        stats.stale_wal_discards,
+        stats.fallback_snapshot_loads
+    );
+    println!(
+        "reopen: mean {:.1}us, max {:.1}us",
+        stats.reopen_total.as_secs_f64() * 1e6 / stats.crash_points as f64,
+        stats.reopen_max.as_secs_f64() * 1e6
+    );
+
+    println!("corruption matrix:");
+    let corruptions = corruption_matrix();
+
+    let json = format!(
+        "{{\n  \"crash_points\": {},\n  \"sweep_secs\": {:.3},\n  \"torn_tail_recoveries\": {},\n  \"stale_wal_discards\": {},\n  \"fallback_snapshot_loads\": {},\n  \"reopen_mean_us\": {:.2},\n  \"reopen_max_us\": {:.2},\n  \"snapshot_corruptions_survived\": {}\n}}\n",
+        stats.crash_points,
+        sweep_secs,
+        stats.torn_tail_recoveries,
+        stats.stale_wal_discards,
+        stats.fallback_snapshot_loads,
+        stats.reopen_total.as_secs_f64() * 1e6 / stats.crash_points as f64,
+        stats.reopen_max.as_secs_f64() * 1e6,
+        corruptions
+    );
+    std::fs::write("BENCH_crash.json", &json).expect("write BENCH_crash.json");
+    println!("\nwrote BENCH_crash.json");
+}

@@ -7,4 +7,10 @@ cargo build --release
 cargo test -q
 # bulk-import equivalence proptests (bit-identical fast path), explicitly:
 cargo test -q -p import --test bulk_prop
+# crash-safety sweeps (fault points are seeded deterministically from the
+# crash index, so these runs are reproducible), explicitly:
+cargo test -q -p relstore --test crash_sweep
+cargo test -q -p relstore --test crash_prop
+cargo test -q -p relstore --test recovery
+cargo test -q -p import --test crash_import
 cargo clippy --all-targets -- -D warnings
