@@ -102,7 +102,7 @@ fn main() {
 
     // ---------------------------------------------------------------- F4
     heading("F4", "The GAM data model (paper Figure 4): table schemas as installed");
-    for schema in gam::schema::all_schemas() {
+    for schema in gam::schema::all_schemas().expect("static schema is valid") {
         let cols: Vec<String> = schema
             .columns()
             .iter()

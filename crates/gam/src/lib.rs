@@ -15,6 +15,11 @@
 //! the high-level operators, and [`GamStore`] — a typed
 //! facade over a [`relstore::Database`] holding the four tables.
 
+// Non-test code on the import/query path must propagate errors, never
+// panic: one malformed dump line must not take down a whole import.
+// genlint's no-panic rule enforces the same invariant where clippy is
+// not run.
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
 pub mod error;
 pub mod ids;
 pub mod index;

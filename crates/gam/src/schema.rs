@@ -1,5 +1,6 @@
 //! Relational schemas of the four GAM tables (paper Figure 4).
 
+use crate::error::GamResult;
 use relstore::schema::{Column, Schema};
 use relstore::value::ValueType;
 
@@ -12,8 +13,8 @@ pub mod tables {
 }
 
 /// `SOURCE(source_id, name, content, structure, release, imported_seq)`.
-pub fn source_schema() -> Schema {
-    Schema::builder(tables::SOURCE)
+pub fn source_schema() -> GamResult<Schema> {
+    let schema = Schema::builder(tables::SOURCE)
         .column(Column::new("source_id", ValueType::Int))
         .column(Column::new("name", ValueType::Text))
         .column(Column::new("content", ValueType::Int))
@@ -22,13 +23,13 @@ pub fn source_schema() -> Schema {
         .column(Column::new("imported_seq", ValueType::Int))
         .primary_key(&["source_id"])
         .unique_index("by_name", &["name"])
-        .build()
-        .expect("static schema is valid")
+        .build()?;
+    Ok(schema)
 }
 
 /// `OBJECT(object_id, source_id, accession, text, number)`.
-pub fn object_schema() -> Schema {
-    Schema::builder(tables::OBJECT)
+pub fn object_schema() -> GamResult<Schema> {
+    let schema = Schema::builder(tables::OBJECT)
         .column(Column::new("object_id", ValueType::Int))
         .column(Column::new("source_id", ValueType::Int))
         .column(Column::new("accession", ValueType::Text))
@@ -36,13 +37,13 @@ pub fn object_schema() -> Schema {
         .column(Column::nullable("number", ValueType::Float))
         .primary_key(&["object_id"])
         .unique_index("by_accession", &["source_id", "accession"])
-        .build()
-        .expect("static schema is valid")
+        .build()?;
+    Ok(schema)
 }
 
 /// `SOURCE_REL(source_rel_id, source1_id, source2_id, type, derivation)`.
-pub fn source_rel_schema() -> Schema {
-    Schema::builder(tables::SOURCE_REL)
+pub fn source_rel_schema() -> GamResult<Schema> {
+    let schema = Schema::builder(tables::SOURCE_REL)
         .column(Column::new("source_rel_id", ValueType::Int))
         .column(Column::new("source1_id", ValueType::Int))
         .column(Column::new("source2_id", ValueType::Int))
@@ -51,14 +52,14 @@ pub fn source_rel_schema() -> Schema {
         .primary_key(&["source_rel_id"])
         .index("by_pair", &["source1_id", "source2_id"])
         .index("by_source2", &["source2_id"])
-        .build()
-        .expect("static schema is valid")
+        .build()?;
+    Ok(schema)
 }
 
 /// `OBJECT_REL(object_rel_id, source_rel_id, object1_id, object2_id,
 /// evidence)`.
-pub fn object_rel_schema() -> Schema {
-    Schema::builder(tables::OBJECT_REL)
+pub fn object_rel_schema() -> GamResult<Schema> {
+    let schema = Schema::builder(tables::OBJECT_REL)
         .column(Column::new("object_rel_id", ValueType::Int))
         .column(Column::new("source_rel_id", ValueType::Int))
         .column(Column::new("object1_id", ValueType::Int))
@@ -69,18 +70,18 @@ pub fn object_rel_schema() -> Schema {
         .index("by_source_rel", &["source_rel_id"])
         .index("by_object1", &["object1_id"])
         .index("by_object2", &["object2_id"])
-        .build()
-        .expect("static schema is valid")
+        .build()?;
+    Ok(schema)
 }
 
 /// All four schemas, in creation order.
-pub fn all_schemas() -> Vec<Schema> {
-    vec![
-        source_schema(),
-        object_schema(),
-        source_rel_schema(),
-        object_rel_schema(),
-    ]
+pub fn all_schemas() -> GamResult<Vec<Schema>> {
+    Ok(vec![
+        source_schema()?,
+        object_schema()?,
+        source_rel_schema()?,
+        object_rel_schema()?,
+    ])
 }
 
 #[cfg(test)]
@@ -89,33 +90,33 @@ mod tests {
 
     #[test]
     fn schemas_build_and_have_expected_shape() {
-        let s = source_schema();
+        let s = source_schema().unwrap();
         assert_eq!(s.arity(), 6);
         assert!(s.index("by_name").unwrap().unique);
 
-        let o = object_schema();
+        let o = object_schema().unwrap();
         assert_eq!(o.arity(), 5);
         // the dedup index pins (source, accession)
         let by_acc = o.index("by_accession").unwrap();
         assert!(by_acc.unique);
         assert_eq!(by_acc.columns.len(), 2);
 
-        let sr = source_rel_schema();
+        let sr = source_rel_schema().unwrap();
         assert_eq!(sr.column_index("type").unwrap(), 3);
 
-        let or = object_rel_schema();
+        let or = object_rel_schema().unwrap();
         assert!(or.index("by_pair").unwrap().unique);
         // the per-mapping access path used by load/count/delete
         let by_rel = or.index("by_source_rel").unwrap();
         assert!(!by_rel.unique);
         assert_eq!(by_rel.columns, vec![1]);
-        assert_eq!(all_schemas().len(), 4);
+        assert_eq!(all_schemas().unwrap().len(), 4);
     }
 
     #[test]
     fn schemas_install_into_a_database() {
         let mut db = relstore::Database::in_memory();
-        for schema in all_schemas() {
+        for schema in all_schemas().unwrap() {
             db.create_table(schema).unwrap();
         }
         assert_eq!(

@@ -29,6 +29,9 @@ pub struct GamStore {
     next_source_rel: u32,
     next_object_rel: u64,
     import_seq: u64,
+    /// Bumped by every mutating entry point; mapping caches key on it
+    /// (enforced by genlint's cache-coherence rule).
+    mutations: u64,
 }
 
 impl std::fmt::Debug for GamStore {
@@ -44,7 +47,7 @@ impl GamStore {
     /// A fresh, volatile store.
     pub fn in_memory() -> GamResult<Self> {
         let mut db = Database::in_memory();
-        for schema in all_schemas() {
+        for schema in all_schemas()? {
             db.create_table(schema)?;
         }
         Ok(Self::wrap(db))
@@ -59,7 +62,7 @@ impl GamStore {
     /// pass a [`FaultVfs`](relstore::vfs::FaultVfs) to exercise recovery.
     pub fn open_with_vfs(vfs: std::sync::Arc<dyn relstore::vfs::Vfs>, dir: &Path) -> GamResult<Self> {
         let mut db = Database::open_with_vfs(vfs, dir)?;
-        for schema in all_schemas() {
+        for schema in all_schemas()? {
             db.ensure_table(schema)?;
         }
         Ok(Self::wrap(db))
@@ -165,7 +168,22 @@ impl GamStore {
             next_source_rel,
             next_object_rel,
             import_seq,
+            mutations: 0,
         }
+    }
+
+    /// How many mutating calls this store has served. Any cache derived
+    /// from GAM content must key on this (together with its own inputs)
+    /// and treat a changed count as an invalidation.
+    pub fn mutation_count(&self) -> u64 {
+        self.mutations
+    }
+
+    /// Record one mutating call. Every `pub fn (&mut self, ..)` entry
+    /// point that can change GAM content calls this first; genlint's
+    /// cache-coherence rule fails the build if a new mutator forgets.
+    fn bump_mutations(&mut self) {
+        self.mutations += 1;
     }
 
     /// Write a snapshot and truncate the WAL (no-op for in-memory stores).
@@ -176,6 +194,13 @@ impl GamStore {
     /// Access the underlying database (read paths and statistics).
     pub fn database(&self) -> &Database {
         &self.db
+    }
+
+    /// The VFS this store's durable state goes through. Auxiliary files
+    /// written next to the store (e.g. import staging) must use it so
+    /// crash sweeps can fault-inject them too.
+    pub fn vfs(&self) -> std::sync::Arc<dyn relstore::vfs::Vfs> {
+        self.db.vfs()
     }
 
     /// Start a WAL group-commit window: transactions committed until
@@ -243,6 +268,7 @@ impl GamStore {
         structure: SourceStructure,
         release: Option<&str>,
     ) -> GamResult<Source> {
+        self.bump_mutations();
         if name.is_empty() {
             return Err(GamError::Invalid("source name is empty".into()));
         }
@@ -312,10 +338,15 @@ impl GamStore {
         if let Some(e) = decode_err {
             return Err(e);
         }
-        Ok(names
+        names
             .iter()
-            .map(|n| hits[sorted.binary_search(n).expect("probe key present")].clone())
-            .collect())
+            .map(|n| {
+                let slot = sorted
+                    .binary_search(n)
+                    .map_err(|_| GamError::Invalid(format!("probe key `{n}` lost from batch")))?;
+                Ok(hits[slot].clone())
+            })
+            .collect()
     }
 
     /// Fetch a source by id.
@@ -338,6 +369,7 @@ impl GamStore {
         content: SourceContent,
         structure: SourceStructure,
     ) -> GamResult<()> {
+        self.bump_mutations();
         let (row_id, mut values) = {
             let table = self.db.table(tables::SOURCE)?;
             let hits = table.select_with_ids(&Predicate::eq("source_id", Value::Int(id.as_i64())))?;
@@ -353,6 +385,7 @@ impl GamStore {
 
     /// Update a source's release tag (re-import bookkeeping).
     pub fn set_source_release(&mut self, id: SourceId, release: &str) -> GamResult<()> {
+        self.bump_mutations();
         let (row_id, mut values) = {
             let table = self.db.table(tables::SOURCE)?;
             let hits = table.select_with_ids(&Predicate::eq("source_id", Value::Int(id.as_i64())))?;
@@ -390,6 +423,7 @@ impl GamStore {
         text: Option<&str>,
         number: Option<f64>,
     ) -> GamResult<ObjectId> {
+        self.bump_mutations();
         let id = ObjectId(self.next_object);
         let obj = GamObject {
             id,
@@ -416,6 +450,7 @@ impl GamStore {
         text: Option<&str>,
         number: Option<f64>,
     ) -> GamResult<(ObjectId, bool)> {
+        self.bump_mutations();
         if let Some(existing) = self.find_object(source, accession)? {
             return Ok((existing.id, false));
         }
@@ -430,6 +465,7 @@ impl GamStore {
         source: SourceId,
         objects: &[(String, Option<String>, Option<f64>)],
     ) -> GamResult<(Vec<ObjectId>, usize)> {
+        self.bump_mutations();
         let refs: Vec<(&str, Option<&str>, Option<f64>)> = objects
             .iter()
             .map(|(a, t, n)| (a.as_str(), t.as_deref(), *n))
@@ -451,6 +487,7 @@ impl GamStore {
         source: SourceId,
         objects: &[(&str, Option<&str>, Option<f64>)],
     ) -> GamResult<(Vec<ObjectId>, usize)> {
+        self.bump_mutations();
         for (accession, _, _) in objects {
             if accession.is_empty() {
                 return Err(GamError::Invalid("object accession is empty".into()));
@@ -540,10 +577,15 @@ impl GamStore {
                 }
             })?;
         }
-        Ok(accessions
+        accessions
             .iter()
-            .map(|acc| hits[sorted.binary_search(acc).expect("probe key present")])
-            .collect())
+            .map(|acc| {
+                let slot = sorted
+                    .binary_search(acc)
+                    .map_err(|_| GamError::Invalid(format!("probe key `{acc}` lost from batch")))?;
+                Ok(hits[slot])
+            })
+            .collect()
     }
 
     /// Find an object by (source, accession).
@@ -645,6 +687,7 @@ impl GamStore {
         rel_type: RelType,
         derivation: Option<&str>,
     ) -> GamResult<SourceRelId> {
+        self.bump_mutations();
         let id = SourceRelId(self.next_source_rel);
         let rel = SourceRel {
             id,
@@ -732,6 +775,7 @@ impl GamStore {
     /// Delete a mapping and all its associations (used when re-deriving a
     /// materialized mapping).
     pub fn delete_source_rel(&mut self, id: SourceRelId) -> GamResult<usize> {
+        self.bump_mutations();
         // ensure it exists first
         self.get_source_rel(id)?;
         // both sides come straight from indexes: the association row ids
@@ -770,6 +814,7 @@ impl GamStore {
         object2: ObjectId,
         evidence: Option<f64>,
     ) -> GamResult<bool> {
+        self.bump_mutations();
         let mut added = 0;
         self.add_associations_bulk(
             source_rel,
@@ -797,6 +842,7 @@ impl GamStore {
         associations: impl IntoIterator<Item = Association>,
         added: &mut usize,
     ) -> GamResult<()> {
+        self.bump_mutations();
         let rel_i64 = source_rel.as_i64();
         let assocs: Vec<Association> = associations.into_iter().collect();
         if assocs.is_empty() {
@@ -843,7 +889,9 @@ impl GamStore {
         let mut seen = vec![false; pairs.len()];
         for assoc in &assocs {
             let pair = (assoc.from.as_i64(), assoc.to.as_i64());
-            let slot = pairs.binary_search(&pair).expect("probe pair present");
+            let slot = pairs
+                .binary_search(&pair)
+                .map_err(|_| GamError::Invalid(format!("probe pair {pair:?} lost from batch")))?;
             if exists[slot] || seen[slot] {
                 continue;
             }

@@ -1,0 +1,156 @@
+//! Human and JSON reporters over a [`ScanResult`].
+//!
+//! JSON is emitted by a hand-rolled escaper (genlint is std-only by
+//! design — see DESIGN.md §11); the schema is stable so CI and the
+//! benchmark harness can parse it:
+//!
+//! ```json
+//! {
+//!   "files_scanned": 63,
+//!   "suppressed": 2,
+//!   "rules": {"vfs-bypass": 0, ...},
+//!   "findings": [{"rule": "...", "path": "...", "line": 7, "message": "..."}]
+//! }
+//! ```
+
+use crate::rules::{rule_names, Finding};
+use crate::ScanResult;
+use std::fmt::Write as _;
+
+/// Escape a string for inclusion in a JSON document.
+pub fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Per-rule finding counts, in registry order (rules with zero findings
+/// included, so reports always show the full surface).
+pub fn per_rule_counts(findings: &[Finding]) -> Vec<(&'static str, usize)> {
+    rule_names()
+        .into_iter()
+        .map(|name| (name, findings.iter().filter(|f| f.rule == name).count()))
+        .collect()
+}
+
+/// Render the human report.
+pub fn human(result: &ScanResult) -> String {
+    let mut out = String::new();
+    for f in &result.findings {
+        let _ = writeln!(out, "{}:{}: [{}] {}", f.path, f.line, f.rule, f.message);
+    }
+    if !result.findings.is_empty() {
+        out.push('\n');
+    }
+    let counts = per_rule_counts(&result.findings);
+    let summary = counts
+        .iter()
+        .map(|(name, n)| format!("{name}: {n}"))
+        .collect::<Vec<_>>()
+        .join(", ");
+    let _ = writeln!(
+        out,
+        "genlint: {} finding(s) in {} file(s) ({summary}); {} baselined",
+        result.findings.len(),
+        result.files_scanned,
+        result.suppressed
+    );
+    out
+}
+
+/// Render the JSON report.
+pub fn json(result: &ScanResult) -> String {
+    let mut out = String::new();
+    out.push_str("{\n");
+    let _ = writeln!(out, "  \"files_scanned\": {},", result.files_scanned);
+    let _ = writeln!(out, "  \"suppressed\": {},", result.suppressed);
+    let rules = per_rule_counts(&result.findings)
+        .iter()
+        .map(|(name, n)| format!("\"{}\": {n}", json_escape(name)))
+        .collect::<Vec<_>>()
+        .join(", ");
+    let _ = writeln!(out, "  \"rules\": {{{rules}}},");
+    out.push_str("  \"findings\": [");
+    for (i, f) in result.findings.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(
+            out,
+            "\n    {{\"rule\": \"{}\", \"path\": \"{}\", \"line\": {}, \"message\": \"{}\"}}",
+            json_escape(f.rule),
+            json_escape(&f.path),
+            f.line,
+            json_escape(&f.message)
+        );
+    }
+    if !result.findings.is_empty() {
+        out.push_str("\n  ");
+    }
+    out.push_str("]\n}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> ScanResult {
+        ScanResult {
+            findings: vec![Finding {
+                rule: "vfs-bypass",
+                path: "crates/import/src/pipeline.rs".into(),
+                line: 73,
+                message: "direct \"std::fs\" call\nsecond line".into(),
+            }],
+            suppressed: 2,
+            files_scanned: 10,
+        }
+    }
+
+    #[test]
+    fn escapes_json_specials() {
+        assert_eq!(json_escape("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
+        assert_eq!(json_escape("\u{1}"), "\\u0001");
+    }
+
+    #[test]
+    fn human_report_has_location_and_summary() {
+        let text = human(&sample());
+        assert!(text.contains("crates/import/src/pipeline.rs:73: [vfs-bypass]"));
+        assert!(text.contains("1 finding(s) in 10 file(s)"));
+        assert!(text.contains("2 baselined"));
+    }
+
+    #[test]
+    fn json_report_is_escaped_and_lists_all_rules() {
+        let text = json(&sample());
+        assert!(text.contains("\\\"std::fs\\\""));
+        assert!(text.contains("\\nsecond line"));
+        assert!(text.contains("\"vfs-bypass\": 1"));
+        assert!(text.contains("\"wal-bracket\": 0"));
+        assert!(text.contains("\"files_scanned\": 10"));
+    }
+
+    #[test]
+    fn empty_result_is_valid() {
+        let text = json(&ScanResult {
+            findings: vec![],
+            suppressed: 0,
+            files_scanned: 0,
+        });
+        assert!(text.contains("\"findings\": []"));
+    }
+}

@@ -1,0 +1,189 @@
+//! R3 `cache-coherence`: every public mutator bumps the mutation counter.
+//!
+//! The versioned `Arc<MappingIndex>` cache (PRs 1–2) is only correct
+//! because every mutating entry point advances a version the cache keys
+//! on. That convention is declared in `genlint.toml` as *mutator sets*:
+//! for a given file and `impl` block, every `pub fn` taking `&mut self`
+//! must call the declared bump function, or be listed (with a comment in
+//! the config explaining why) in `exempt`. The rule is fail-closed: a
+//! newly added mutator that forgets the bump is a lint error, and an
+//! exempt entry that no longer matches any function is also an error so
+//! the config cannot rot.
+
+use super::{Finding, Rule};
+use crate::config::Config;
+use crate::source::SourceFile;
+
+pub struct CacheCoherence;
+
+impl Rule for CacheCoherence {
+    fn name(&self) -> &'static str {
+        "cache-coherence"
+    }
+
+    fn description(&self) -> &'static str {
+        "every pub &mut self entry point of a declared mutator set must bump the mutation counter"
+    }
+
+    fn check(&self, file: &SourceFile, cfg: &Config, out: &mut Vec<Finding>) {
+        for set in cfg.mutators.iter().filter(|m| m.file == file.rel_path) {
+            let mut bump_defined = false;
+            let mut seen: Vec<&str> = Vec::new();
+            for f in &file.functions {
+                if f.impl_type.as_deref() != Some(set.type_name.as_str()) {
+                    continue;
+                }
+                if f.name == set.bump {
+                    bump_defined = true;
+                }
+                if !f.is_pub || file.is_test(f.off) {
+                    continue;
+                }
+                if !takes_mut_self(file, f.off) {
+                    continue;
+                }
+                seen.push(&f.name);
+                if set.exempt.iter().any(|e| e == &f.name) {
+                    continue;
+                }
+                let Some((body_start, body_end)) = f.body else {
+                    continue;
+                };
+                if !calls(file, body_start, body_end, &set.bump) {
+                    out.push(Finding {
+                        rule: self.name(),
+                        path: file.rel_path.clone(),
+                        line: file.line_of(f.off),
+                        message: format!(
+                            "pub fn {}(&mut self, ..) on {} does not call {}(); the versioned \
+                             mapping cache would serve stale data after this mutation \
+                             (bump, or exempt it with a justification in genlint.toml)",
+                            f.name, set.type_name, set.bump
+                        ),
+                    });
+                }
+            }
+            if !bump_defined {
+                out.push(Finding {
+                    rule: self.name(),
+                    path: file.rel_path.clone(),
+                    line: 1,
+                    message: format!(
+                        "mutator set for {} declares bump fn {}() but the file defines no such \
+                         method — genlint.toml is out of date",
+                        set.type_name, set.bump
+                    ),
+                });
+            }
+            for e in &set.exempt {
+                if !seen.iter().any(|s| s == e) {
+                    out.push(Finding {
+                        rule: self.name(),
+                        path: file.rel_path.clone(),
+                        line: 1,
+                        message: format!(
+                            "exempt entry `{e}` matches no pub &mut self fn on {} — remove it \
+                             from genlint.toml",
+                            set.type_name
+                        ),
+                    });
+                }
+            }
+        }
+    }
+}
+
+/// Whether the fn at byte offset `off` takes `&mut self` (or `mut self`)
+/// as its receiver.
+fn takes_mut_self(file: &SourceFile, off: usize) -> bool {
+    let start = file.token_at(off);
+    // scan the signature tokens up to the parameter list's closing paren
+    let mut depth = 0i32;
+    let mut i = start;
+    while i < file.tokens.len() {
+        match file.tokens[i].text.as_str() {
+            "(" => depth += 1,
+            ")" => {
+                depth -= 1;
+                if depth == 0 {
+                    return false;
+                }
+            }
+            "self" if depth == 1 => {
+                return i >= 1 && file.tokens[i - 1].text == "mut";
+            }
+            "{" | ";" if depth == 0 => return false,
+            _ => {}
+        }
+        i += 1;
+    }
+    false
+}
+
+/// Whether `name(` is called anywhere in the byte range.
+fn calls(file: &SourceFile, start: usize, end: usize, name: &str) -> bool {
+    let (lo, hi) = file.tokens_in(start, end);
+    (lo..hi).any(|i| {
+        file.tokens[i].text == name
+            && file.tokens[i].is_ident
+            && file.tokens.get(i + 1).map(|t| t.text == "(").unwrap_or(false)
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::MutatorSet;
+
+    fn cfg(exempt: &[&str]) -> Config {
+        Config {
+            mutators: vec![MutatorSet {
+                file: "crates/gam/src/store.rs".into(),
+                type_name: "GamStore".into(),
+                bump: "bump_mutations".into(),
+                exempt: exempt.iter().map(|s| s.to_string()).collect(),
+            }],
+            ..Config::default()
+        }
+    }
+
+    fn findings(src: &str, exempt: &[&str]) -> Vec<Finding> {
+        let file = SourceFile::parse("crates/gam/src/store.rs", src);
+        let mut out = Vec::new();
+        CacheCoherence.check(&file, &cfg(exempt), &mut out);
+        out
+    }
+
+    const GOOD: &str = "impl GamStore {\n\
+        fn bump_mutations(&mut self) { self.mutations += 1; }\n\
+        pub fn create(&mut self, n: &str) { self.bump_mutations(); }\n\
+        pub fn read_only(&self) -> u32 { 1 }\n\
+        pub fn checkpoint(&mut self) { self.db.checkpoint(); }\n\
+    }\n";
+
+    #[test]
+    fn clean_when_mutators_bump_or_are_exempt() {
+        assert!(findings(GOOD, &["checkpoint"]).is_empty());
+    }
+
+    #[test]
+    fn flags_mutator_without_bump() {
+        let out = findings(GOOD, &[]);
+        assert_eq!(out.len(), 1);
+        assert!(out[0].message.contains("checkpoint"));
+    }
+
+    #[test]
+    fn flags_missing_bump_fn_and_stale_exempt() {
+        let src = "impl GamStore { pub fn create(&mut self) { } }";
+        let out = findings(src, &["gone"]);
+        assert_eq!(out.len(), 3, "missing bump call, missing bump fn, stale exempt: {out:?}");
+    }
+
+    #[test]
+    fn ignores_other_impls_and_private_fns() {
+        let src = "impl GamStore { fn bump_mutations(&mut self) {} fn internal(&mut self) {} }\n\
+                   impl Other { pub fn mutate(&mut self) {} }";
+        assert!(findings(src, &[]).is_empty());
+    }
+}

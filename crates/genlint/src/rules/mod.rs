@@ -1,0 +1,54 @@
+//! The rule registry.
+//!
+//! Each rule is a pure function over one prepared [`SourceFile`] plus the
+//! [`Config`]; rules never do I/O. A rule reports [`Finding`]s with the
+//! workspace-relative path, a 1-based line, and a message that says what
+//! invariant broke and how to restore it. Baseline filtering happens in
+//! the driver ([`crate::run`]), not here — rules always report the truth.
+
+pub mod cache_coherence;
+pub mod lock_discipline;
+pub mod no_panic;
+pub mod vfs_bypass;
+pub mod wal_bracket;
+
+use crate::config::Config;
+use crate::source::SourceFile;
+
+/// One rule violation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Finding {
+    /// Rule identifier (`vfs-bypass`, `no-panic`, ...).
+    pub rule: &'static str,
+    /// Workspace-relative path (forward slashes).
+    pub path: String,
+    /// 1-based line number.
+    pub line: usize,
+    pub message: String,
+}
+
+/// A workspace invariant check.
+pub trait Rule {
+    /// Stable rule identifier used in reports and `[[allow]]` entries.
+    fn name(&self) -> &'static str;
+    /// One-line description for `--list-rules` and reports.
+    fn description(&self) -> &'static str;
+    /// Check one file, appending findings.
+    fn check(&self, file: &SourceFile, cfg: &Config, out: &mut Vec<Finding>);
+}
+
+/// All rules, in report order.
+pub fn registry() -> Vec<Box<dyn Rule>> {
+    vec![
+        Box::new(vfs_bypass::VfsBypass),
+        Box::new(no_panic::NoPanic),
+        Box::new(cache_coherence::CacheCoherence),
+        Box::new(lock_discipline::LockDiscipline),
+        Box::new(wal_bracket::WalBracket),
+    ]
+}
+
+/// Rule names in registry order (for reports and the harness).
+pub fn rule_names() -> Vec<&'static str> {
+    registry().iter().map(|r| r.name()).collect()
+}

@@ -1,0 +1,158 @@
+//! R2 `no-panic`: core crates must not panic on malformed input.
+//!
+//! GenMapper ingests third-party dump files; a `panic!` reachable from a
+//! parse or storage path turns one bad line into a crashed import. The
+//! configured crates (`[no-panic] crates` in `genlint.toml`) must keep
+//! their non-test code free of `.unwrap()` / `.expect(...)` /
+//! `panic!` / `unreachable!` / `todo!` / `unimplemented!`, and of raw
+//! integer-literal indexing on parser-style split buffers
+//! (`fields[3]` — the classic out-of-bounds on a short line). The
+//! `unwrap_or*` family is fine: it cannot panic.
+//!
+//! This doubles clippy's `unwrap_used`/`expect_used` gates (which the
+//! crate roots also enable) so the invariant holds even where clippy is
+//! not run, and extends them with the macro and indexing checks clippy
+//! does not cover.
+
+use super::{Finding, Rule};
+use crate::config::Config;
+use crate::source::SourceFile;
+
+const PANIC_MACROS: [&str; 4] = ["panic", "unreachable", "todo", "unimplemented"];
+
+pub struct NoPanic;
+
+/// Crate name of a `crates/<name>/...` path, if any.
+fn crate_of(rel_path: &str) -> Option<&str> {
+    rel_path.strip_prefix("crates/")?.split('/').next()
+}
+
+impl Rule for NoPanic {
+    fn name(&self) -> &'static str {
+        "no-panic"
+    }
+
+    fn description(&self) -> &'static str {
+        "non-test code of core crates must not unwrap/expect/panic! or raw-index split fields"
+    }
+
+    fn check(&self, file: &SourceFile, cfg: &Config, out: &mut Vec<Finding>) {
+        let Some(krate) = crate_of(&file.rel_path) else {
+            return;
+        };
+        if !cfg.no_panic_crates.iter().any(|c| c == krate) {
+            return;
+        }
+        if file.is_test_file() {
+            return;
+        }
+        for i in 0..file.tokens.len() {
+            let t = &file.tokens[i];
+            if file.is_test(t.off) {
+                continue;
+            }
+            // `.unwrap()` / `.expect(`
+            if t.text == "."
+                && i + 2 < file.tokens.len()
+                && file.tokens[i + 2].text == "("
+                && (file.tokens[i + 1].text == "unwrap" || file.tokens[i + 1].text == "expect")
+            {
+                let what = &file.tokens[i + 1].text;
+                out.push(Finding {
+                    rule: self.name(),
+                    path: file.rel_path.clone(),
+                    line: file.line_of(t.off),
+                    message: format!(
+                        ".{what}() can panic; propagate a GamError/StoreError instead \
+                         (or restructure so the invariant is checked by construction)"
+                    ),
+                });
+                continue;
+            }
+            // panic-family macros
+            if t.is_ident
+                && PANIC_MACROS.contains(&t.text.as_str())
+                && i + 1 < file.tokens.len()
+                && file.tokens[i + 1].text == "!"
+            {
+                out.push(Finding {
+                    rule: self.name(),
+                    path: file.rel_path.clone(),
+                    line: file.line_of(t.off),
+                    message: format!(
+                        "{}! aborts the whole import on reachable input; return an error",
+                        t.text
+                    ),
+                });
+                continue;
+            }
+            // `fields[3]`-style raw indexing on parser split buffers
+            if t.is_ident
+                && cfg.index_idents.iter().any(|n| n == &t.text)
+                && i + 2 < file.tokens.len()
+                && file.tokens[i + 1].text == "["
+                && file.tokens[i + 2].is_int_literal()
+            {
+                out.push(Finding {
+                    rule: self.name(),
+                    path: file.rel_path.clone(),
+                    line: file.line_of(t.off),
+                    message: format!(
+                        "raw `{}[{}]` indexing panics on short input; use .get({}) with a \
+                         located parse error",
+                        t.text, file.tokens[i + 2].text, file.tokens[i + 2].text
+                    ),
+                });
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg() -> Config {
+        Config {
+            no_panic_crates: vec!["gam".into()],
+            index_idents: vec!["fields".into()],
+            ..Config::default()
+        }
+    }
+
+    fn findings(path: &str, src: &str) -> Vec<Finding> {
+        let file = SourceFile::parse(path, src);
+        let mut out = Vec::new();
+        NoPanic.check(&file, &cfg(), &mut out);
+        out
+    }
+
+    #[test]
+    fn flags_unwrap_expect_and_macros() {
+        let src = "fn f() { a.unwrap(); b.expect(\"x\"); panic!(\"y\"); unreachable!(); }";
+        let out = findings("crates/gam/src/a.rs", src);
+        assert_eq!(out.len(), 4);
+    }
+
+    #[test]
+    fn flags_raw_field_indexing() {
+        let out = findings("crates/gam/src/a.rs", "fn f() { let x = fields[3]; }");
+        assert_eq!(out.len(), 1);
+        assert!(out[0].message.contains(".get(3)"));
+    }
+
+    #[test]
+    fn ignores_unwrap_or_family_tests_and_other_crates() {
+        assert!(findings("crates/gam/src/a.rs", "fn f() { a.unwrap_or(0); b.unwrap_or_else(d); }")
+            .is_empty());
+        assert!(findings(
+            "crates/gam/src/a.rs",
+            "#[cfg(test)]\nmod tests { fn f() { a.unwrap(); } }"
+        )
+        .is_empty());
+        assert!(findings("crates/profiling/src/a.rs", "fn f() { a.unwrap(); }").is_empty());
+        // variable-index access is fine — only literal indexes are the
+        // short-line hazard
+        assert!(findings("crates/gam/src/a.rs", "fn f() { let x = fields[i]; }").is_empty());
+    }
+}

@@ -1,0 +1,227 @@
+//! R5 `wal-bracket`: group-commit windows close on every path, and
+//! relstore write paths sync before returning.
+//!
+//! `begin_group_commit()` flips the store into deferred-sync mode; if an
+//! early return (`?` or `return`) escapes the window before
+//! `end_group_commit()`, every later commit silently runs without
+//! durability. The safe shape — used by `Importer::import` — calls the
+//! fallible body, captures its `Result`, ends the window, and only then
+//! propagates errors. The rule enforces that shape syntactically: inside
+//! a function that calls `begin_group_commit(`, no `?` or `return` may
+//! appear between the first `begin` and the last `end`, and the `end`
+//! must exist at all.
+//!
+//! Second check, relstore-only: a non-test function under
+//! `crates/relstore/src` that calls `.write_all(` must also call
+//! `.sync(` (or be listed in `[wal-bracket] sync_exempt` with a reason —
+//! e.g. `flush`, whose sync is deferred to the commit path by design).
+//! The vfs shim itself is excluded: its `write_all` *is* the primitive.
+
+use super::{Finding, Rule};
+use crate::config::Config;
+use crate::source::SourceFile;
+
+const VFS_SHIM: &str = "crates/relstore/src/vfs.rs";
+
+pub struct WalBracket;
+
+impl Rule for WalBracket {
+    fn name(&self) -> &'static str {
+        "wal-bracket"
+    }
+
+    fn description(&self) -> &'static str {
+        "begin/end_group_commit pair with no early exit between; relstore writes sync"
+    }
+
+    fn check(&self, file: &SourceFile, cfg: &Config, out: &mut Vec<Finding>) {
+        if file.is_test_file() {
+            return;
+        }
+        for f in &file.functions {
+            let Some((body_start, body_end)) = f.body else {
+                continue;
+            };
+            if file.is_test(f.off) {
+                continue;
+            }
+            // the definitions of the bracket itself are not call sites
+            if f.name != "begin_group_commit" && f.name != "end_group_commit" {
+                self.check_bracket(file, f.name.as_str(), body_start, body_end, out);
+            }
+            if file.rel_path.starts_with("crates/relstore/src/") && file.rel_path != VFS_SHIM {
+                self.check_sync(file, cfg, f.name.as_str(), body_start, body_end, out);
+            }
+        }
+    }
+}
+
+impl WalBracket {
+    fn check_bracket(
+        &self,
+        file: &SourceFile,
+        fn_name: &str,
+        body_start: usize,
+        body_end: usize,
+        out: &mut Vec<Finding>,
+    ) {
+        let (lo, hi) = file.tokens_in(body_start, body_end);
+        let first_begin = (lo..hi).find(|&i| {
+            file.tokens[i].text == "begin_group_commit"
+                && file.tokens.get(i + 1).map(|t| t.text == "(").unwrap_or(false)
+        });
+        let Some(begin) = first_begin else {
+            return;
+        };
+        let last_end = (lo..hi).rev().find(|&i| {
+            file.tokens[i].text == "end_group_commit"
+                && file.tokens.get(i + 1).map(|t| t.text == "(").unwrap_or(false)
+        });
+        let Some(end) = last_end else {
+            out.push(Finding {
+                rule: self.name(),
+                path: file.rel_path.clone(),
+                line: file.line_of(file.tokens[begin].off),
+                message: format!(
+                    "fn {fn_name} calls begin_group_commit() but never end_group_commit(); \
+                     the store is left in deferred-sync mode and later commits are not durable"
+                ),
+            });
+            return;
+        };
+        for i in begin + 2..end {
+            let t = &file.tokens[i];
+            if t.text == "?" || (t.is_ident && t.text == "return") {
+                out.push(Finding {
+                    rule: self.name(),
+                    path: file.rel_path.clone(),
+                    line: file.line_of(t.off),
+                    message: format!(
+                        "`{}` inside the group-commit window of fn {fn_name} can skip \
+                         end_group_commit(); capture the Result, close the window, then \
+                         propagate (see Importer::import)",
+                        t.text
+                    ),
+                });
+            }
+        }
+    }
+
+    fn check_sync(
+        &self,
+        file: &SourceFile,
+        cfg: &Config,
+        fn_name: &str,
+        body_start: usize,
+        body_end: usize,
+        out: &mut Vec<Finding>,
+    ) {
+        if cfg.sync_exempt.iter().any(|e| e == fn_name) {
+            return;
+        }
+        let (lo, hi) = file.tokens_in(body_start, body_end);
+        let method_call = |name: &str| {
+            (lo..hi).any(|i| {
+                file.tokens[i].text == "."
+                    && file.tokens.get(i + 1).map(|t| t.text == name).unwrap_or(false)
+                    && file.tokens.get(i + 2).map(|t| t.text == "(").unwrap_or(false)
+            })
+        };
+        if method_call("write_all") && !method_call("sync") && !method_call("sync_dir") {
+            let line = (lo..hi)
+                .find(|&i| {
+                    file.tokens[i].text == "write_all"
+                        && file.tokens.get(i + 1).map(|t| t.text == "(").unwrap_or(false)
+                })
+                .map(|i| file.line_of(file.tokens[i].off))
+                .unwrap_or(1);
+            out.push(Finding {
+                rule: self.name(),
+                path: file.rel_path.clone(),
+                line,
+                message: format!(
+                    "fn {fn_name} writes without syncing; a power cut here loses the data the \
+                     caller believes is durable (sync, or add to [wal-bracket] sync_exempt with \
+                     a reason)"
+                ),
+            });
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn findings(path: &str, src: &str, sync_exempt: &[&str]) -> Vec<Finding> {
+        let file = SourceFile::parse(path, src);
+        let cfg = Config {
+            sync_exempt: sync_exempt.iter().map(|s| s.to_string()).collect(),
+            ..Config::default()
+        };
+        let mut out = Vec::new();
+        WalBracket.check(&file, &cfg, &mut out);
+        out
+    }
+
+    const SAFE: &str = "fn import(&mut self) -> R<()> {\n\
+        self.store.begin_group_commit();\n\
+        let body = self.import_body();\n\
+        let synced = self.store.end_group_commit();\n\
+        body?;\n\
+        synced?;\n\
+        Ok(())\n\
+    }\n";
+
+    #[test]
+    fn deferred_propagation_shape_is_clean() {
+        assert!(findings("crates/import/src/importer.rs", SAFE, &[]).is_empty());
+    }
+
+    #[test]
+    fn flags_question_mark_inside_window() {
+        let src = "fn import(&mut self) -> R<()> {\n\
+            self.store.begin_group_commit();\n\
+            self.import_body()?;\n\
+            self.store.end_group_commit()?;\n\
+            Ok(())\n\
+        }\n";
+        let out = findings("crates/import/src/importer.rs", src, &[]);
+        assert_eq!(out.len(), 1);
+        assert!(out[0].message.contains("skip end_group_commit"));
+    }
+
+    #[test]
+    fn flags_begin_without_end() {
+        let src = "fn oops(&mut self) { self.store.begin_group_commit(); self.work(); }";
+        let out = findings("crates/import/src/importer.rs", src, &[]);
+        assert_eq!(out.len(), 1);
+        assert!(out[0].message.contains("never end_group_commit"));
+    }
+
+    #[test]
+    fn relstore_write_without_sync_flagged_unless_exempt() {
+        let src = "fn reset(&mut self) -> R<()> { let f = self.vfs.create(p); \
+                   f.write_all(b); f.sync(); Ok(()) }\n\
+                   fn flush(&mut self) -> R<()> { self.file.write_all(buf); Ok(()) }\n";
+        let out = findings("crates/relstore/src/wal.rs", src, &[]);
+        assert_eq!(out.len(), 1);
+        assert!(out[0].message.contains("flush writes without syncing"));
+        assert!(findings("crates/relstore/src/wal.rs", src, &["flush"]).is_empty());
+        // outside relstore, and in the shim, write_all is not checked
+        assert!(findings("crates/import/src/x.rs", "fn f() { w.write_all(b); }", &[]).is_empty());
+        assert!(findings(
+            "crates/relstore/src/vfs.rs",
+            "fn write_all(&mut self) { self.0.write_all(b); }",
+            &[]
+        )
+        .is_empty());
+    }
+
+    #[test]
+    fn bracket_definitions_are_not_call_sites() {
+        let src = "pub fn begin_group_commit(&mut self) { self.deferred = true; }\n\
+                   pub fn end_group_commit(&mut self) -> R<()> { self.deferred = false; self.sync() }\n";
+        assert!(findings("crates/gam/src/store.rs", src, &[]).is_empty());
+    }
+}

@@ -1,0 +1,733 @@
+//! Source preparation: a comment/string-masking lexer, `#[cfg(test)]`
+//! scope tracking, and a light function/impl extractor.
+//!
+//! genlint never needs a real Rust parser: every rule it enforces is a
+//! statement about which *tokens* appear in which *scopes*. The pipeline
+//! here turns a `.rs` file into exactly that shape:
+//!
+//! 1. [`mask`] replaces comment and string/char-literal *contents* with
+//!    spaces (newlines preserved), so token scans cannot be fooled by
+//!    `// don't .unwrap() here` or `"std::fs"` inside a message.
+//! 2. The masked text is tokenized into identifiers (numbers included)
+//!    and single punctuation characters, each with a byte offset.
+//! 3. A brace-depth pass marks test scope: `#[cfg(test)]` / `#[test]`
+//!    attributed items, `mod tests { ... }` blocks, and whole files under
+//!    `tests/`, `benches/`, or `examples/` directories.
+//! 4. A second pass records `impl` blocks and `fn` items (name,
+//!    visibility, signature, body extent) for the rules that reason about
+//!    functions rather than raw tokens.
+
+/// One lexed token of the masked source.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Token {
+    /// Byte offset into the masked text (newline-aligned with the raw
+    /// source, so offsets map to line numbers).
+    pub off: usize,
+    /// Identifier, keyword, or numeric literal text; single-char string
+    /// for punctuation.
+    pub text: String,
+    /// True for identifier-like tokens (including numbers), false for
+    /// punctuation.
+    pub is_ident: bool,
+}
+
+impl Token {
+    /// Whether this token is an integer literal (starts with a digit).
+    pub fn is_int_literal(&self) -> bool {
+        self.is_ident && self.text.starts_with(|c: char| c.is_ascii_digit())
+    }
+}
+
+/// An `impl` block found in a file.
+#[derive(Debug, Clone)]
+pub struct ImplInfo {
+    /// Last path segment of the implemented type (`GamStore` for
+    /// `impl GamStore` and for `impl Trait for GamStore`).
+    pub type_name: String,
+    /// Byte range of the block body (inside the braces).
+    pub body: (usize, usize),
+}
+
+/// A `fn` item found in a file.
+#[derive(Debug, Clone)]
+pub struct FnInfo {
+    pub name: String,
+    /// Whether the item carries a `pub` (or `pub(...)`) visibility.
+    pub is_pub: bool,
+    /// Signature text between `fn` and the body brace.
+    pub sig: String,
+    /// Byte range of the body (inside the braces). `None` for bodyless
+    /// declarations (trait methods).
+    pub body: Option<(usize, usize)>,
+    /// Type name of the innermost enclosing `impl` block, if any.
+    pub impl_type: Option<String>,
+    /// Byte offset of the `fn` keyword.
+    pub off: usize,
+}
+
+/// A fully prepared source file.
+pub struct SourceFile {
+    /// Workspace-relative path with forward slashes.
+    pub rel_path: String,
+    /// Masked text (comments and literal contents replaced by spaces).
+    pub clean: String,
+    pub tokens: Vec<Token>,
+    pub impls: Vec<ImplInfo>,
+    pub functions: Vec<FnInfo>,
+    /// Sorted, disjoint byte ranges of test-only code.
+    test_ranges: Vec<(usize, usize)>,
+    /// Whole file is test scope (integration tests, benches, examples).
+    whole_file_test: bool,
+    /// Byte offsets of line starts, for offset -> line mapping.
+    line_starts: Vec<usize>,
+}
+
+impl SourceFile {
+    /// Prepare a file from its raw text.
+    pub fn parse(rel_path: &str, raw: &str) -> SourceFile {
+        let clean = mask(raw);
+        let tokens = tokenize(&clean);
+        let whole_file_test = path_is_test(rel_path);
+        let test_ranges = find_test_ranges(&tokens, clean.len());
+        let (impls, functions) = find_items(&clean, &tokens);
+        let mut line_starts = vec![0usize];
+        for (i, b) in clean.bytes().enumerate() {
+            if b == b'\n' {
+                line_starts.push(i + 1);
+            }
+        }
+        SourceFile {
+            rel_path: rel_path.to_owned(),
+            clean,
+            tokens,
+            impls,
+            functions,
+            test_ranges,
+            whole_file_test,
+            line_starts,
+        }
+    }
+
+    /// Whether the byte offset lies in test-only code.
+    pub fn is_test(&self, off: usize) -> bool {
+        if self.whole_file_test {
+            return true;
+        }
+        self.test_ranges
+            .iter()
+            .any(|&(s, e)| off >= s && off < e)
+    }
+
+    /// Whether the entire file is test scope.
+    pub fn is_test_file(&self) -> bool {
+        self.whole_file_test
+    }
+
+    /// 1-based line number of a byte offset.
+    pub fn line_of(&self, off: usize) -> usize {
+        match self.line_starts.binary_search(&off) {
+            Ok(i) => i + 1,
+            Err(i) => i,
+        }
+    }
+
+    /// Index of the first token at or after byte offset `off`.
+    pub fn token_at(&self, off: usize) -> usize {
+        self.tokens.partition_point(|t| t.off < off)
+    }
+
+    /// Token indexes covering the byte range `[start, end)`.
+    pub fn tokens_in(&self, start: usize, end: usize) -> (usize, usize) {
+        (self.token_at(start), self.token_at(end))
+    }
+
+    /// Whether the token sequence starting at index `i` matches `pat`
+    /// texts exactly.
+    pub fn seq_matches(&self, i: usize, pat: &[&str]) -> bool {
+        if i + pat.len() > self.tokens.len() {
+            return false;
+        }
+        pat.iter()
+            .enumerate()
+            .all(|(k, p)| self.tokens[i + k].text == *p)
+    }
+}
+
+/// Whether a path is test-only by location.
+fn path_is_test(rel_path: &str) -> bool {
+    rel_path
+        .split('/')
+        .any(|seg| seg == "tests" || seg == "benches" || seg == "examples")
+}
+
+// ---------------------------------------------------------------------------
+// Masking lexer
+// ---------------------------------------------------------------------------
+
+/// Replace comment and string/char-literal contents with spaces,
+/// preserving newlines (and therefore line numbers). Handles line and
+/// (nesting) block comments, plain/byte/raw strings, char and byte-char
+/// literals, and distinguishes lifetimes from char literals.
+pub fn mask(raw: &str) -> String {
+    let b: Vec<char> = raw.chars().collect();
+    let n = b.len();
+    let mut out = String::with_capacity(raw.len());
+    let push_masked = |out: &mut String, c: char| {
+        out.push(if c == '\n' { '\n' } else { ' ' });
+    };
+    let mut i = 0usize;
+    let mut prev_ident = false; // previous emitted char was ident-like
+    while i < n {
+        let c = b[i];
+        // line comment
+        if c == '/' && i + 1 < n && b[i + 1] == '/' {
+            while i < n && b[i] != '\n' {
+                out.push(' ');
+                i += 1;
+            }
+            prev_ident = false;
+            continue;
+        }
+        // block comment (Rust block comments nest)
+        if c == '/' && i + 1 < n && b[i + 1] == '*' {
+            let mut depth = 1usize;
+            out.push(' ');
+            out.push(' ');
+            i += 2;
+            while i < n && depth > 0 {
+                if b[i] == '/' && i + 1 < n && b[i + 1] == '*' {
+                    depth += 1;
+                    out.push(' ');
+                    out.push(' ');
+                    i += 2;
+                } else if b[i] == '*' && i + 1 < n && b[i + 1] == '/' {
+                    depth -= 1;
+                    out.push(' ');
+                    out.push(' ');
+                    i += 2;
+                } else {
+                    push_masked(&mut out, b[i]);
+                    i += 1;
+                }
+            }
+            prev_ident = false;
+            continue;
+        }
+        // raw (and raw byte) strings: r"..", r#".."#, br#".."#
+        if (c == 'r' || c == 'b') && !prev_ident {
+            let mut j = i;
+            if b[j] == 'b' && j + 1 < n && b[j + 1] == 'r' {
+                j += 1;
+            }
+            if b[j] == 'r' {
+                let mut k = j + 1;
+                let mut hashes = 0usize;
+                while k < n && b[k] == '#' {
+                    hashes += 1;
+                    k += 1;
+                }
+                if k < n && b[k] == '"' {
+                    // mask the whole literal including delimiters
+                    for &ch in &b[i..=k] {
+                        push_masked(&mut out, ch);
+                    }
+                    i = k + 1;
+                    'raw: while i < n {
+                        if b[i] == '"' {
+                            let mut h = 0usize;
+                            while h < hashes && i + 1 + h < n && b[i + 1 + h] == '#' {
+                                h += 1;
+                            }
+                            if h == hashes {
+                                for &ch in &b[i..=i + hashes] {
+                                    push_masked(&mut out, ch);
+                                }
+                                i += hashes + 1;
+                                break 'raw;
+                            }
+                        }
+                        push_masked(&mut out, b[i]);
+                        i += 1;
+                    }
+                    prev_ident = false;
+                    continue;
+                }
+            }
+        }
+        // byte string b"..", byte char b'.'
+        if c == 'b' && !prev_ident && i + 1 < n && (b[i + 1] == '"' || b[i + 1] == '\'') {
+            out.push(' ');
+            i += 1;
+            // fall through to the string/char branches below on the quote
+            prev_ident = false;
+            continue;
+        }
+        // string literal
+        if c == '"' {
+            out.push(' ');
+            i += 1;
+            while i < n {
+                if b[i] == '\\' && i + 1 < n {
+                    push_masked(&mut out, b[i]);
+                    push_masked(&mut out, b[i + 1]);
+                    i += 2;
+                    continue;
+                }
+                if b[i] == '"' {
+                    out.push(' ');
+                    i += 1;
+                    break;
+                }
+                push_masked(&mut out, b[i]);
+                i += 1;
+            }
+            prev_ident = false;
+            continue;
+        }
+        // char literal vs lifetime
+        if c == '\'' {
+            let is_char = if i + 1 < n && b[i + 1] == '\\' {
+                true
+            } else {
+                i + 2 < n && b[i + 2] == '\''
+            };
+            if is_char {
+                out.push(' ');
+                i += 1;
+                while i < n {
+                    if b[i] == '\\' && i + 1 < n {
+                        push_masked(&mut out, b[i]);
+                        push_masked(&mut out, b[i + 1]);
+                        i += 2;
+                        continue;
+                    }
+                    if b[i] == '\'' {
+                        out.push(' ');
+                        i += 1;
+                        break;
+                    }
+                    push_masked(&mut out, b[i]);
+                    i += 1;
+                }
+                prev_ident = false;
+                continue;
+            }
+            // lifetime: keep the tick, the following ident is harmless
+            out.push('\'');
+            i += 1;
+            prev_ident = false;
+            continue;
+        }
+        out.push(c);
+        prev_ident = c.is_alphanumeric() || c == '_';
+        i += 1;
+    }
+    out
+}
+
+/// Tokenize masked text into identifiers/numbers and punctuation.
+pub fn tokenize(clean: &str) -> Vec<Token> {
+    let mut tokens = Vec::new();
+    let bytes: Vec<(usize, char)> = clean.char_indices().collect();
+    let n = bytes.len();
+    let mut i = 0usize;
+    while i < n {
+        let (off, c) = bytes[i];
+        if c.is_whitespace() {
+            i += 1;
+            continue;
+        }
+        if c.is_alphanumeric() || c == '_' {
+            let start = i;
+            while i < n && (bytes[i].1.is_alphanumeric() || bytes[i].1 == '_') {
+                i += 1;
+            }
+            let text: String = bytes[start..i].iter().map(|&(_, ch)| ch).collect();
+            tokens.push(Token {
+                off,
+                text,
+                is_ident: true,
+            });
+            continue;
+        }
+        tokens.push(Token {
+            off,
+            text: c.to_string(),
+            is_ident: false,
+        });
+        i += 1;
+    }
+    tokens
+}
+
+// ---------------------------------------------------------------------------
+// Test-scope tracking
+// ---------------------------------------------------------------------------
+
+/// Normalized content of an outer attribute starting at token `i`
+/// (which must be `#`). Returns `(content_without_whitespace,
+/// next_token_index)`, or `None` if `i` is not an outer attribute.
+fn attr_content(tokens: &[Token], i: usize) -> Option<(String, usize)> {
+    if tokens.get(i)?.text != "#" {
+        return None;
+    }
+    let mut j = i + 1;
+    if tokens.get(j)?.text == "!" {
+        // inner attribute (`#![...]`): applies to the enclosing scope, not
+        // the next item — never a test marker in practice; skip it.
+        j += 1;
+    }
+    if tokens.get(j)?.text != "[" {
+        return None;
+    }
+    let mut depth = 0usize;
+    let mut content = String::new();
+    let mut k = j;
+    while k < tokens.len() {
+        match tokens[k].text.as_str() {
+            "[" => depth += 1,
+            "]" => {
+                depth -= 1;
+                if depth == 0 {
+                    return Some((content, k + 1));
+                }
+            }
+            t => {
+                if depth >= 1 {
+                    content.push_str(t);
+                }
+            }
+        }
+        k += 1;
+    }
+    None
+}
+
+/// Compute the sorted byte ranges of test-only code.
+fn find_test_ranges(tokens: &[Token], len: usize) -> Vec<(usize, usize)> {
+    let mut ranges: Vec<(usize, usize)> = Vec::new();
+    // stack of is_test flags per open brace
+    let mut stack: Vec<bool> = Vec::new();
+    let mut pending_test = false;
+    let mut test_start: Option<usize> = None;
+    let mut i = 0usize;
+    while i < tokens.len() {
+        let t = &tokens[i];
+        if t.text == "#" {
+            if let Some((content, next)) = attr_content(tokens, i) {
+                let inner = tokens
+                    .get(i + 1)
+                    .map(|t| t.text == "!")
+                    .unwrap_or(false);
+                if !inner
+                    && (content == "test"
+                        || content == "cfg(test)"
+                        || content.starts_with("cfg(test,"))
+                {
+                    pending_test = true;
+                }
+                i = next;
+                continue;
+            }
+        }
+        match t.text.as_str() {
+            "mod" => {
+                // `mod tests { .. }` without an attribute also counts
+                if let Some(name) = tokens.get(i + 1) {
+                    if name.text == "tests" {
+                        pending_test = true;
+                    }
+                }
+            }
+            "{" => {
+                let parent_test = stack.last().copied().unwrap_or(false);
+                let is_test = parent_test || pending_test;
+                if is_test && test_start.is_none() {
+                    test_start = Some(t.off);
+                }
+                stack.push(is_test);
+                pending_test = false;
+            }
+            "}" => {
+                let was_test = stack.pop().unwrap_or(false);
+                let now_test = stack.last().copied().unwrap_or(false);
+                if was_test && !now_test {
+                    if let Some(s) = test_start.take() {
+                        ranges.push((s, t.off + 1));
+                    }
+                }
+            }
+            ";" => {
+                // `#[cfg(test)] use foo;` — attribute consumed by a
+                // bodyless item
+                pending_test = false;
+            }
+            _ => {}
+        }
+        i += 1;
+    }
+    if let Some(s) = test_start {
+        ranges.push((s, len));
+    }
+    ranges
+}
+
+// ---------------------------------------------------------------------------
+// Item extraction
+// ---------------------------------------------------------------------------
+
+/// Index of the matching `}` for the `{` at token index `open`.
+fn matching_brace(tokens: &[Token], open: usize) -> Option<usize> {
+    let mut depth = 0usize;
+    for (k, t) in tokens.iter().enumerate().skip(open) {
+        match t.text.as_str() {
+            "{" => depth += 1,
+            "}" => {
+                depth -= 1;
+                if depth == 0 {
+                    return Some(k);
+                }
+            }
+            _ => {}
+        }
+    }
+    None
+}
+
+/// Type name of an impl header starting at token `i` (`impl`). Returns
+/// `(type_name, body_open_index)` when the header ends in a block.
+fn impl_header(tokens: &[Token], i: usize) -> Option<(String, usize)> {
+    let mut after_for = false;
+    let mut name: Option<String> = None;
+    let mut angle = 0i32;
+    let mut k = i + 1;
+    while k < tokens.len() {
+        let t = &tokens[k];
+        match t.text.as_str() {
+            "{" if angle <= 0 => {
+                return name.map(|n| (n, k));
+            }
+            ";" => return None,
+            "<" => angle += 1,
+            // ignore `->` (impl headers have none, but be safe)
+            ">" if k > 0 && tokens[k - 1].text != "-" => angle -= 1,
+            ">" => {}
+            "for" => {
+                after_for = true;
+                name = None;
+            }
+            _ if t.is_ident && angle <= 0 => {
+                // remember the last path segment seen; `for` resets it so
+                // the implemented type wins over the trait
+                let _ = after_for;
+                name = Some(t.text.clone());
+            }
+            _ => {}
+        }
+        k += 1;
+    }
+    None
+}
+
+/// Whether the tokens preceding `fn` at index `i` include a `pub`
+/// visibility (allowing `pub(crate)` / `pub(in path)` and the
+/// `const`/`unsafe`/`async`/`extern` qualifiers in between).
+fn is_pub_fn(tokens: &[Token], i: usize) -> bool {
+    let mut k = i;
+    while k > 0 {
+        k -= 1;
+        match tokens[k].text.as_str() {
+            "const" | "unsafe" | "async" | "extern" => continue,
+            ")" => {
+                // skip a parenthesized visibility argument
+                let mut depth = 1usize;
+                while k > 0 && depth > 0 {
+                    k -= 1;
+                    match tokens[k].text.as_str() {
+                        ")" => depth += 1,
+                        "(" => depth -= 1,
+                        _ => {}
+                    }
+                }
+                continue;
+            }
+            "pub" => return true,
+            _ => return false,
+        }
+    }
+    false
+}
+
+/// Find `impl` blocks and `fn` items.
+fn find_items(clean: &str, tokens: &[Token]) -> (Vec<ImplInfo>, Vec<FnInfo>) {
+    let mut impls = Vec::new();
+    let mut functions = Vec::new();
+    let mut i = 0usize;
+    while i < tokens.len() {
+        let t = &tokens[i];
+        if t.text == "impl" && t.is_ident {
+            if let Some((type_name, open)) = impl_header(tokens, i) {
+                if let Some(close) = matching_brace(tokens, open) {
+                    impls.push(ImplInfo {
+                        type_name,
+                        body: (tokens[open].off + 1, tokens[close].off),
+                    });
+                }
+            }
+            i += 1;
+            continue;
+        }
+        if t.text == "fn" && t.is_ident {
+            let name = match tokens.get(i + 1) {
+                Some(n) if n.is_ident => n.text.clone(),
+                _ => {
+                    i += 1;
+                    continue;
+                }
+            };
+            // find the body `{` (or `;` for bodyless declarations) at
+            // paren/bracket depth 0
+            let mut paren = 0i32;
+            let mut bracket = 0i32;
+            let mut k = i + 2;
+            let mut body = None;
+            let mut sig_end = clean.len();
+            while k < tokens.len() {
+                match tokens[k].text.as_str() {
+                    "(" => paren += 1,
+                    ")" => paren -= 1,
+                    "[" => bracket += 1,
+                    "]" => bracket -= 1,
+                    "{" if paren == 0 && bracket == 0 => {
+                        sig_end = tokens[k].off;
+                        if let Some(close) = matching_brace(tokens, k) {
+                            body = Some((tokens[k].off + 1, tokens[close].off));
+                        }
+                        break;
+                    }
+                    ";" if paren == 0 && bracket == 0 => {
+                        sig_end = tokens[k].off;
+                        break;
+                    }
+                    _ => {}
+                }
+                k += 1;
+            }
+            let sig = clean[t.off..sig_end.max(t.off)].to_owned();
+            let impl_type = impls
+                .iter()
+                .rev()
+                .find(|im| t.off >= im.body.0 && t.off < im.body.1)
+                .map(|im| im.type_name.clone());
+            functions.push(FnInfo {
+                name,
+                is_pub: is_pub_fn(tokens, i),
+                sig,
+                body,
+                impl_type,
+                off: t.off,
+            });
+        }
+        i += 1;
+    }
+    (impls, functions)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mask_strips_comments_and_strings() {
+        let src = "let a = \"std::fs\"; // std::fs here\nlet b = 1; /* .unwrap() */\n";
+        let m = mask(src);
+        assert!(!m.contains("std::fs"));
+        assert!(!m.contains("unwrap"));
+        assert!(m.contains("let a ="));
+        assert_eq!(m.matches('\n').count(), src.matches('\n').count());
+    }
+
+    #[test]
+    fn mask_handles_raw_strings_and_chars() {
+        let src = "let r = r#\"panic!(\"x\")\"#; let c = 'p'; let lt: &'static str = x;";
+        let m = mask(src);
+        assert!(!m.contains("panic"));
+        assert!(m.contains("'static"));
+        let src2 = "let e = '\\''; let q = b'x'; let bs = b\"fs::write\";";
+        let m2 = mask(src2);
+        assert!(!m2.contains("fs::write"));
+    }
+
+    #[test]
+    fn mask_handles_nested_block_comments() {
+        let src = "/* outer /* inner .unwrap() */ still comment */ let x = 1;";
+        let m = mask(src);
+        assert!(!m.contains("unwrap"));
+        assert!(m.contains("let x = 1;"));
+    }
+
+    #[test]
+    fn test_scope_covers_cfg_test_mod() {
+        let src = "fn prod() { body(); }\n#[cfg(test)]\nmod tests {\n    #[test]\n    fn t() { x.unwrap(); }\n}\nfn after() {}\n";
+        let f = SourceFile::parse("crates/x/src/lib.rs", src);
+        let unwrap_off = f.clean.find("unwrap").expect("token present");
+        assert!(f.is_test(unwrap_off));
+        let body_off = f.clean.find("body").expect("token present");
+        assert!(!f.is_test(body_off));
+        let after_off = f.clean.find("after").expect("token present");
+        assert!(!f.is_test(after_off));
+    }
+
+    #[test]
+    fn test_scope_covers_test_fn_attribute_only() {
+        let src = "#[test]\nfn t() { x.unwrap(); }\nfn prod() { y(); }\n";
+        let f = SourceFile::parse("crates/x/src/lib.rs", src);
+        assert!(f.is_test(f.clean.find("unwrap").expect("present")));
+        assert!(!f.is_test(f.clean.find("y()").expect("present")));
+    }
+
+    #[test]
+    fn inner_cfg_attr_is_not_test_scope() {
+        let src = "#![cfg_attr(not(test), deny(clippy::unwrap_used))]\nfn prod() { a(); }\n";
+        let f = SourceFile::parse("crates/x/src/lib.rs", src);
+        assert!(!f.is_test(f.clean.find("a()").expect("present")));
+    }
+
+    #[test]
+    fn files_under_tests_dir_are_test_scope() {
+        let f = SourceFile::parse("crates/x/tests/foo.rs", "fn t() { x.unwrap(); }");
+        assert!(f.is_test_file());
+        assert!(f.is_test(0));
+    }
+
+    #[test]
+    fn functions_and_impls_are_extracted() {
+        let src = "impl GamStore {\n    pub fn create_source(&mut self, n: &str) -> u32 { self.bump(); 1 }\n    fn helper(&self) {}\n}\npub fn free() {}\nimpl Vfs for FaultVfs { fn read(&self) {} }\n";
+        let f = SourceFile::parse("crates/x/src/lib.rs", src);
+        assert_eq!(f.impls.len(), 2);
+        assert_eq!(f.impls[0].type_name, "GamStore");
+        assert_eq!(f.impls[1].type_name, "FaultVfs");
+        let create = f
+            .functions
+            .iter()
+            .find(|fi| fi.name == "create_source")
+            .expect("found");
+        assert!(create.is_pub);
+        assert!(create.sig.contains("&mut self"));
+        assert_eq!(create.impl_type.as_deref(), Some("GamStore"));
+        let helper = f.functions.iter().find(|fi| fi.name == "helper").expect("found");
+        assert!(!helper.is_pub);
+        let free = f.functions.iter().find(|fi| fi.name == "free").expect("found");
+        assert!(free.is_pub);
+        assert!(free.impl_type.is_none());
+        let read = f.functions.iter().find(|fi| fi.name == "read").expect("found");
+        assert_eq!(read.impl_type.as_deref(), Some("FaultVfs"));
+    }
+
+    #[test]
+    fn line_numbers_map_through_masking() {
+        let src = "line1();\n// comment\nline3();\n";
+        let f = SourceFile::parse("crates/x/src/lib.rs", src);
+        assert_eq!(f.line_of(f.clean.find("line3").expect("present")), 3);
+    }
+}

@@ -1,0 +1,22 @@
+//! Seeded R3 violation: a public mutator that forgets the bump, so the
+//! versioned mapping cache would serve stale data after it runs.
+//! Scanned as `crates/gam/src/fixture_store.rs` with a mutator set
+//! declaring `FixtureStore` / `bump_mutations` / exempt `checkpoint`.
+
+pub struct FixtureStore {
+    rows: Vec<u64>,
+    mutations: u64,
+}
+
+impl FixtureStore {
+    fn bump_mutations(&mut self) {
+        self.mutations += 1;
+    }
+
+    pub fn insert(&mut self, row: u64) {
+        self.rows.push(row);
+    }
+
+    /// Exempt by configuration: durability-only, no logical mutation.
+    pub fn checkpoint(&mut self) {}
+}

@@ -1,0 +1,20 @@
+//! Clean R3 counterpart: every public mutator bumps first.
+
+pub struct FixtureStore {
+    rows: Vec<u64>,
+    mutations: u64,
+}
+
+impl FixtureStore {
+    fn bump_mutations(&mut self) {
+        self.mutations += 1;
+    }
+
+    pub fn insert(&mut self, row: u64) {
+        self.bump_mutations();
+        self.rows.push(row);
+    }
+
+    /// Exempt by configuration: durability-only, no logical mutation.
+    pub fn checkpoint(&mut self) {}
+}

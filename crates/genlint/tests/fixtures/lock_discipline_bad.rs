@@ -1,0 +1,14 @@
+//! Seeded R4 violation: two declared locks nested against the
+//! configured order (`inner` before `cache`) — the half of a
+//! lock-inversion deadlock.
+
+pub struct Fixture;
+
+impl Fixture {
+    pub fn rebuild(&self) {
+        let cache_guard = self.cache.lock();
+        let inner_guard = self.inner.lock();
+        drop(inner_guard);
+        drop(cache_guard);
+    }
+}

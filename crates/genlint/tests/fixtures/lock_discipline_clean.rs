@@ -1,0 +1,13 @@
+//! Clean R4 counterpart: the same two locks taken in the declared
+//! order and released innermost-first.
+
+pub struct Fixture;
+
+impl Fixture {
+    pub fn rebuild(&self) {
+        let inner_guard = self.inner.lock();
+        let cache_guard = self.cache.lock();
+        drop(cache_guard);
+        drop(inner_guard);
+    }
+}

@@ -1,0 +1,9 @@
+//! Seeded R2 violations: a dump-line parser that panics on short or
+//! malformed input. Scanned as `crates/gam/src/fixture.rs`.
+
+pub fn parse_pair(line: &str) -> (u64, u64) {
+    let fields: Vec<&str> = line.split('\t').collect();
+    let a = fields[0].parse().unwrap();
+    let b = fields[1].parse().expect("second field");
+    (a, b)
+}

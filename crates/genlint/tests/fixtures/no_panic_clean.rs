@@ -1,0 +1,12 @@
+//! Clean R2 counterpart: every malformed-input path returns a located
+//! error instead of panicking.
+
+pub fn parse_pair(line: &str) -> Result<(u64, u64), String> {
+    let mut fields = line.split('\t');
+    let a = fields.next().ok_or("missing first field")?;
+    let b = fields.next().ok_or("missing second field")?;
+    Ok((
+        a.parse().map_err(|_| "first field is not a number")?,
+        b.parse().map_err(|_| "second field is not a number")?,
+    ))
+}

@@ -1,0 +1,9 @@
+//! Seeded R1 violation: staging writes go straight to `std::fs`,
+//! escaping the crash-sweep fault-injection layer. Scanned as
+//! `crates/import/src/staging.rs`.
+
+pub fn write_staging(dir: &std::path::Path, batch: &str) -> std::io::Result<()> {
+    std::fs::create_dir_all(dir)?;
+    std::fs::write(dir.join("batch.eav"), batch)?;
+    Ok(())
+}

@@ -1,0 +1,12 @@
+//! Clean R1 counterpart: the same staging write routed through the
+//! `Vfs` trait object, so crash sweeps can fault-inject every byte.
+
+use relstore::vfs::Vfs;
+
+pub fn write_staging(vfs: &dyn Vfs, dir: &std::path::Path, batch: &str) -> Result<(), String> {
+    vfs.create_dir_all(dir).map_err(|e| e.to_string())?;
+    let mut file = vfs.create(&dir.join("batch.eav")).map_err(|e| e.to_string())?;
+    file.write_all(batch.as_bytes()).map_err(|e| e.to_string())?;
+    file.sync().map_err(|e| e.to_string())?;
+    vfs.sync_dir(dir).map_err(|e| e.to_string())
+}

@@ -1,0 +1,14 @@
+//! Seeded R5 violation: a `?` inside the group-commit window. If
+//! `import_body` fails, `end_group_commit` is skipped and every later
+//! commit silently runs without durability.
+
+pub struct Importer;
+
+impl Importer {
+    pub fn import(&mut self) -> Result<(), String> {
+        self.store.begin_group_commit();
+        self.import_body()?;
+        self.store.end_group_commit();
+        Ok(())
+    }
+}

@@ -1,0 +1,16 @@
+//! Clean R5 counterpart: the deferred-propagation shape. The fallible
+//! body's `Result` is captured, the window is closed unconditionally,
+//! and only then do errors propagate.
+
+pub struct Importer;
+
+impl Importer {
+    pub fn import(&mut self) -> Result<(), String> {
+        self.store.begin_group_commit();
+        let body = self.import_body();
+        let synced = self.store.end_group_commit();
+        body?;
+        synced?;
+        Ok(())
+    }
+}

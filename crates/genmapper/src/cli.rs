@@ -87,7 +87,9 @@ pub fn parse_command(line: &str) -> Result<Option<Command>, CliParseError> {
         return Ok(None);
     }
     let mut words = line.split_whitespace();
-    let verb = words.next().expect("non-empty line");
+    let Some(verb) = words.next() else {
+        return Ok(None);
+    };
     let rest: Vec<&str> = words.collect();
     let cmd = match verb {
         "help" => Command::Help,
@@ -479,7 +481,7 @@ impl CliSession {
                     let text = match format {
                         ExportFormat::Tsv => view.to_tsv(),
                         ExportFormat::Csv => view.to_csv(),
-                        ExportFormat::Json => view.to_json(),
+                        ExportFormat::Json => view.to_json()?,
                         ExportFormat::Markdown => view.to_markdown(),
                     };
                     let _ = write!(out, "{text}");

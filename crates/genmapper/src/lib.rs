@@ -35,6 +35,11 @@
 //! assert!(view.rows.iter().any(|r| r.cell_text(1) == Some("APRT")));
 //! ```
 
+// Non-test code on the import/query path must propagate errors, never
+// panic: one malformed dump line must not take down a whole import.
+// genlint's no-panic rule enforces the same invariant where clippy is
+// not run.
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
 pub mod cli;
 pub mod query;
 pub mod resolved;

@@ -129,7 +129,7 @@ impl ResolvedView {
     }
 
     /// Export as JSON (array of objects keyed by header).
-    pub fn to_json(&self) -> String {
+    pub fn to_json(&self) -> gam::GamResult<String> {
         let objects: Vec<serde_json::Value> = self
             .rows
             .iter()
@@ -148,7 +148,8 @@ impl ResolvedView {
                 serde_json::Value::Object(obj)
             })
             .collect();
-        serde_json::to_string_pretty(&objects).expect("view serializes")
+        serde_json::to_string_pretty(&objects)
+            .map_err(|e| gam::GamError::Invalid(format!("view serialization failed: {e}")))
     }
 }
 
@@ -240,7 +241,7 @@ mod tests {
 
     #[test]
     fn json_export() {
-        let json = view().to_json();
+        let json = view().to_json().unwrap();
         let parsed: serde_json::Value = serde_json::from_str(&json).unwrap();
         assert_eq!(parsed[0]["GO"]["accession"], "GO:0009116");
         assert!(parsed[1]["GO"].is_null());

@@ -104,13 +104,16 @@ impl MappingKey {
         }
     }
 
-    fn composed(path: &[SourceId]) -> Self {
-        MappingKey {
-            from: path[0],
-            to: *path.last().expect("non-empty path"),
+    fn composed(path: &[SourceId]) -> GamResult<Self> {
+        let (Some(&from), Some(&to)) = (path.first(), path.last()) else {
+            return Err(GamError::Invalid("compose path is empty".into()));
+        };
+        Ok(MappingKey {
+            from,
+            to,
             path: Some(path.to_vec()),
             min_evidence_bits: None,
-        }
+        })
     }
 
     fn with_min_evidence(mut self, threshold: f64) -> Self {
@@ -127,8 +130,12 @@ impl MappingKey {
 /// parallel view executor.
 #[derive(Default)]
 struct CacheInner {
-    /// Store mutation counter the entries were built against.
-    version: u64,
+    /// `(GenMapper invalidation counter, GamStore mutation counter)` the
+    /// entries were built against. The second component is defense in
+    /// depth: even a mutation that reaches the store without going
+    /// through a GenMapper entry point moves it (the store bumps it
+    /// itself — enforced by genlint's cache-coherence rule).
+    version: (u64, u64),
     /// Cached mappings in CSR form — the unit the system caches and joins.
     /// Consumers probe the shared index (restrictions, view folds, merge
     /// joins) and only materialize a `Mapping` at the public facade.
@@ -230,6 +237,12 @@ impl GenMapper {
         self.version += 1;
     }
 
+    /// The version tag cache entries must carry to be served: the local
+    /// invalidation counter plus the store's own mutation counter.
+    fn cache_version(&self) -> (u64, u64) {
+        (self.version, self.store.mutation_count())
+    }
+
     /// Look `key` up in the mapping cache, building and inserting it on a
     /// miss. Entries from before the current store version are discarded.
     /// Correctness note: the builder reads the store at `self.version`, and
@@ -242,7 +255,7 @@ impl GenMapper {
     ) -> GamResult<Arc<MappingIndex>> {
         {
             let inner = self.cache.read();
-            if inner.version == self.version {
+            if inner.version == self.cache_version() {
                 if let Some(hit) = inner.mappings.get(&key) {
                     return Ok(hit.clone());
                 }
@@ -250,10 +263,10 @@ impl GenMapper {
         }
         let built = Arc::new(build()?);
         let mut inner = self.cache.write();
-        if inner.version != self.version {
+        if inner.version != self.cache_version() {
             inner.mappings.clear();
             inner.source_objects.clear();
-            inner.version = self.version;
+            inner.version = self.cache_version();
         }
         inner.mappings.insert(key, built.clone());
         Ok(built)
@@ -264,7 +277,7 @@ impl GenMapper {
     fn cached_source_objects(&self, source: SourceId) -> GamResult<Arc<BTreeSet<ObjectId>>> {
         {
             let inner = self.cache.read();
-            if inner.version == self.version {
+            if inner.version == self.cache_version() {
                 if let Some(hit) = inner.source_objects.get(&source) {
                     return Ok(hit.clone());
                 }
@@ -273,10 +286,10 @@ impl GenMapper {
         let built: Arc<BTreeSet<ObjectId>> =
             Arc::new(self.store.object_ids_of(source)?.into_iter().collect());
         let mut inner = self.cache.write();
-        if inner.version != self.version {
+        if inner.version != self.cache_version() {
             inner.mappings.clear();
             inner.source_objects.clear();
-            inner.version = self.version;
+            inner.version = self.cache_version();
         }
         inner.source_objects.insert(source, built.clone());
         Ok(built)
@@ -285,7 +298,7 @@ impl GenMapper {
     /// Number of live entries in the mapping cache (diagnostics, tests).
     pub fn mapping_cache_len(&self) -> usize {
         let inner = self.cache.read();
-        if inner.version == self.version {
+        if inner.version == self.cache_version() {
             inner.mappings.len() + inner.source_objects.len()
         } else {
             0
@@ -358,7 +371,9 @@ impl GenMapper {
         if self.graph.is_none() {
             self.graph = Some(SourceGraph::from_store(&self.store)?);
         }
-        Ok(self.graph.as_ref().expect("just built"))
+        self.graph
+            .as_ref()
+            .ok_or_else(|| GamError::Invalid("source graph cache empty after build".into()))
     }
 
     /// Automatically determined shortest mapping path between two sources,
@@ -447,7 +462,7 @@ impl GenMapper {
                 "compose path needs at least two sources".into(),
             ));
         }
-        self.cached_mapping(MappingKey::composed(&ids), || {
+        self.cached_mapping(MappingKey::composed(&ids)?, || {
             operators::compose_path_idx(&self.store, &ids, &self.exec)
         })
     }
@@ -466,7 +481,7 @@ impl GenMapper {
             ));
         }
         self.cached_mapping(
-            MappingKey::composed(&ids).with_min_evidence(min_evidence),
+            MappingKey::composed(&ids)?.with_min_evidence(min_evidence),
             || operators::compose_path_idx_with_threshold(&self.store, &ids, min_evidence, &self.exec),
         )
     }
@@ -556,7 +571,10 @@ impl GenMapper {
         } else {
             exec
         };
-        let graph = self.graph.as_ref().expect("cache filled");
+        let graph = self
+            .graph
+            .as_ref()
+            .ok_or_else(|| GamError::Invalid("source graph cache empty after build".into()))?;
         let resolver = CachingPathResolver {
             gm: self,
             graph,

@@ -25,6 +25,11 @@
 //! (crossbeam-scoped threads) and imports them serially, as GenMapper's
 //! loader did against its central MySQL database.
 
+// Non-test code on the import/query path must propagate errors, never
+// panic: one malformed dump line must not take down a whole import.
+// genlint's no-panic rule enforces the same invariant where clippy is
+// not run.
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
 pub mod importer;
 pub mod pipeline;
 pub mod report;

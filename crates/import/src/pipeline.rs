@@ -70,13 +70,23 @@ pub fn run_pipeline_timed(
         .map_err(|e| GamError::Invalid(format!("parse failed: {e}")))?;
     timings.parse += parse_start.elapsed();
     if let Some(dir) = &options.staging_dir {
-        std::fs::create_dir_all(dir)
+        // staging files ride the store's VFS so crash sweeps can
+        // fault-inject them like any other durable state
+        let vfs = store.vfs();
+        vfs.create_dir_all(dir)
             .map_err(|e| GamError::Invalid(format!("staging dir: {e}")))?;
         for lp in &parsed {
             let path = dir.join(format!("{}.eav", lp.batch.meta.name));
-            std::fs::write(&path, eav::staging::write_staging(&lp.batch))
+            let mut file = vfs
+                .create(&path)
+                .map_err(|e| GamError::Invalid(format!("staging create: {e}")))?;
+            file.write_all(eav::staging::write_staging(&lp.batch).as_bytes())
                 .map_err(|e| GamError::Invalid(format!("staging write: {e}")))?;
+            file.sync()
+                .map_err(|e| GamError::Invalid(format!("staging sync: {e}")))?;
         }
+        vfs.sync_dir(dir)
+            .map_err(|e| GamError::Invalid(format!("staging dir sync: {e}")))?;
     }
     let mut reports = Vec::with_capacity(parsed.len());
     for (i, lp) in parsed.into_iter().enumerate() {
@@ -131,16 +141,25 @@ pub fn parse_dumps_lenient(
                     return;
                 }
                 let result = dumps[i].parse_lenient(budget);
-                let mut guard = slots_ptr.lock().unwrap();
+                // a poisoned slot mutex only means another worker
+                // panicked while holding it; the slots themselves are
+                // plain writes, safe to keep filling
+                let mut guard = slots_ptr.lock().unwrap_or_else(|p| p.into_inner());
                 guard[i] = Some(result);
             });
         }
     })
-    .expect("parser worker panicked");
+    // a worker panic is a bug in this crate, not a parse failure —
+    // re-raise it on the calling thread instead of masking it
+    .unwrap_or_else(|panic| std::panic::resume_unwind(panic));
 
     let mut out = Vec::with_capacity(n);
-    for slot in slots {
-        out.push(slot.expect("every slot filled")?);
+    for (i, slot) in slots.into_iter().enumerate() {
+        out.push(slot.ok_or_else(|| sources::ParseError {
+            dialect: "pipeline",
+            line: None,
+            reason: format!("parser worker abandoned dump #{i}"),
+        })??);
     }
     Ok(out)
 }

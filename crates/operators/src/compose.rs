@@ -180,7 +180,9 @@ pub fn compose_path_with_threshold_par(
         }
     }
     acc.from = path[0];
-    acc.to = *path.last().expect("non-empty path");
+    // the len >= 2 guard above makes last() infallible; the fallback
+    // keeps the already-correct endpoint rather than panicking
+    acc.to = path.last().copied().unwrap_or(acc.to);
     if path.len() > 2 {
         acc.rel_type = RelType::Composed;
     }
@@ -216,7 +218,9 @@ pub fn compose_path_par(
         }
     }
     acc.from = path[0];
-    acc.to = *path.last().expect("non-empty path");
+    // the len >= 2 guard above makes last() infallible; the fallback
+    // keeps the already-correct endpoint rather than panicking
+    acc.to = path.last().copied().unwrap_or(acc.to);
     if path.len() > 2 {
         acc.rel_type = RelType::Composed;
     }
@@ -427,7 +431,9 @@ pub fn compose_path_idx(
         }
     }
     acc.from = path[0];
-    acc.to = *path.last().expect("non-empty path");
+    // the len >= 2 guard above makes last() infallible; the fallback
+    // keeps the already-correct endpoint rather than panicking
+    acc.to = path.last().copied().unwrap_or(acc.to);
     if path.len() > 2 {
         acc.rel_type = RelType::Composed;
     }
@@ -458,7 +464,9 @@ pub fn compose_path_idx_with_threshold(
         }
     }
     acc.from = path[0];
-    acc.to = *path.last().expect("non-empty path");
+    // the len >= 2 guard above makes last() infallible; the fallback
+    // keeps the already-correct endpoint rather than panicking
+    acc.to = path.last().copied().unwrap_or(acc.to);
     if path.len() > 2 {
         acc.rel_type = RelType::Composed;
     }

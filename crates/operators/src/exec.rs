@@ -94,7 +94,7 @@ where
             .collect();
         handles
             .into_iter()
-            .map(|h| h.join().expect("partitioned worker panicked"))
+            .map(|h| h.join().unwrap_or_else(|panic| std::panic::resume_unwind(panic)))
             .collect()
     })
 }

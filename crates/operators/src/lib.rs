@@ -31,6 +31,11 @@
 //! Every `_idx` operator is pinned bit-identical to its `Vec`-based
 //! counterpart by `tests/csr_prop.rs`.
 
+// Non-test code on the import/query path must propagate errors, never
+// panic: one malformed dump line must not take down a whole import.
+// genlint's no-panic rule enforces the same invariant where clippy is
+// not run.
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
 pub mod compose;
 pub mod exec;
 pub mod materialize;

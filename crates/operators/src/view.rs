@@ -432,7 +432,7 @@ pub fn generate_view_par(
                 .collect();
             handles
                 .into_iter()
-                .map(|h| h.join().expect("target resolution worker panicked"))
+                .map(|h| h.join().unwrap_or_else(|panic| std::panic::resume_unwind(panic)))
                 .collect()
         })
     } else {
@@ -450,7 +450,11 @@ pub fn generate_view_par(
         // V = V inner join / left outer join mi on S.
         let mut next = Vec::with_capacity(rows.len());
         for row in rows {
-            let key = row[0].expect("source column is never NULL");
+            // the source column is Some by construction; a row without
+            // it carries no join key and can match nothing
+            let Some(&Some(key)) = row.first() else {
+                continue;
+            };
             match pairs.get(&key) {
                 Some(values) if !values.is_empty() => {
                     for &v in values {
@@ -520,7 +524,7 @@ pub fn generate_view_idx(
                 .collect();
             handles
                 .into_iter()
-                .map(|h| h.join().expect("target resolution worker panicked"))
+                .map(|h| h.join().unwrap_or_else(|panic| std::panic::resume_unwind(panic)))
                 .collect()
         })
     } else {
@@ -537,7 +541,11 @@ pub fn generate_view_idx(
         let column = column?;
         let mut next = Vec::with_capacity(rows.len());
         for row in rows {
-            let key = row[0].expect("source column is never NULL");
+            // the source column is Some by construction; a row without
+            // it carries no join key and can match nothing
+            let Some(&Some(key)) = row.first() else {
+                continue;
+            };
             match column.get(key) {
                 Some(values) if !values.is_empty() => {
                     for &v in values {

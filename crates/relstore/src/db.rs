@@ -206,6 +206,16 @@ impl Database {
         self.recovery.as_ref()
     }
 
+    /// The VFS this database's durable state goes through, so callers
+    /// staging auxiliary files next to the store share its fault model.
+    /// In-memory databases have no VFS of their own and get [`RealVfs`].
+    pub fn vfs(&self) -> Arc<dyn Vfs> {
+        match &self.durability {
+            Some(d) => d.vfs.clone(),
+            None => Arc::new(RealVfs),
+        }
+    }
+
     fn apply_replayed(&mut self, op: LogRecord) -> StoreResult<()> {
         match op {
             LogRecord::Insert {

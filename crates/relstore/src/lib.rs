@@ -50,8 +50,9 @@
 
 // Non-test code must handle errors, not unwrap them: a storage engine that
 // panics on I/O trouble cannot honor its recovery contract. Tests are
-// exempt (the attribute is compiled out under cfg(test)).
-#![cfg_attr(not(test), deny(clippy::unwrap_used))]
+// exempt (the attribute is compiled out under cfg(test)). genlint's
+// no-panic rule enforces the same invariant where clippy is not run.
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
 
 pub mod codec;
 pub mod db;

@@ -316,6 +316,22 @@ impl Table {
         Ok(())
     }
 
+    /// The live row an index entry points at. An entry referencing a dead
+    /// or out-of-range slot means indexes and slots have diverged —
+    /// surfaced as corruption instead of a panic.
+    fn live_row(&self, id: RowId) -> StoreResult<&Row> {
+        self.slots
+            .get(id.0 as usize)
+            .and_then(|s| s.as_ref())
+            .ok_or_else(|| {
+                StoreError::Corrupt(format!(
+                    "index references dead row {} in table {}",
+                    id.0,
+                    self.schema.name()
+                ))
+            })
+    }
+
     /// Iterate live rows in row-id order.
     pub fn scan(&self) -> impl Iterator<Item = (RowId, &Row)> + '_ {
         self.slots
@@ -328,10 +344,7 @@ impl Table {
     pub fn lookup(&self, index: &str, key: &[Value]) -> StoreResult<Vec<&Row>> {
         let pos = self.index_position(index)?;
         let ids = self.indexes[pos].lookup(&key.to_vec());
-        Ok(ids
-            .into_iter()
-            .map(|id| self.slots[id.0 as usize].as_ref().expect("index points at live row"))
-            .collect())
+        ids.into_iter().map(|id| self.live_row(id)).collect()
     }
 
     /// Prefix lookup on a composite index (pins the first `prefix.len()`
@@ -339,10 +352,7 @@ impl Table {
     pub fn lookup_prefix(&self, index: &str, prefix: &[Value]) -> StoreResult<Vec<&Row>> {
         let pos = self.index_position(index)?;
         let ids = self.indexes[pos].prefix_lookup(prefix);
-        Ok(ids
-            .into_iter()
-            .map(|id| self.slots[id.0 as usize].as_ref().expect("index points at live row"))
-            .collect())
+        ids.into_iter().map(|id| self.live_row(id)).collect()
     }
 
     /// Unique-index point lookup returning at most one row.
@@ -364,12 +374,13 @@ impl Table {
         mut f: impl FnMut(&Row),
     ) -> StoreResult<()> {
         let pos = self.index_position(index)?;
-        self.indexes[pos].for_each(&key.to_vec(), |id| {
-            f(self.slots[id.0 as usize]
-                .as_ref()
-                .expect("index points at live row"));
+        let mut first_err = None;
+        self.indexes[pos].for_each(&key.to_vec(), |id| match self.live_row(id) {
+            Ok(row) if first_err.is_none() => f(row),
+            Ok(_) => {}
+            Err(e) => first_err = Some(e),
         });
-        Ok(())
+        first_err.map_or(Ok(()), Err)
     }
 
     /// Stream `(index key, row)` entries of a named index whose key lies in
@@ -385,15 +396,15 @@ impl Table {
         mut f: impl FnMut(&[Value], &Row),
     ) -> StoreResult<()> {
         let pos = self.index_position(index)?;
+        let mut first_err = None;
         self.indexes[pos].range_entries_for_each(&lo.to_vec(), &hi.to_vec(), |key, id| {
-            f(
-                key,
-                self.slots[id.0 as usize]
-                    .as_ref()
-                    .expect("index points at live row"),
-            );
+            match self.live_row(id) {
+                Ok(row) if first_err.is_none() => f(key, row),
+                Ok(_) => {}
+                Err(e) => first_err = Some(e),
+            }
         });
-        Ok(())
+        first_err.map_or(Ok(()), Err)
     }
 
     /// Row ids under an exact key of a named index, in key/row order.
@@ -450,10 +461,16 @@ impl Table {
             floats: vec![Vec::with_capacity(block_rows); float_ords.len()],
         };
         let mut total = 0usize;
+        let mut first_err = None;
         self.indexes[pos].prefix_for_each(prefix, |id| {
-            let row = self.slots[id.0 as usize]
-                .as_ref()
-                .expect("index points at live row");
+            let row = match self.live_row(id) {
+                Ok(row) if first_err.is_none() => row,
+                Ok(_) => return,
+                Err(e) => {
+                    first_err = Some(e);
+                    return;
+                }
+            };
             for (buf, &ord) in block.ints.iter_mut().zip(&int_ords) {
                 buf.push(row.get(ord).as_int().unwrap_or(0));
             }
@@ -469,6 +486,9 @@ impl Table {
                 block.floats.iter_mut().for_each(Vec::clear);
             }
         });
+        if let Some(e) = first_err {
+            return Err(e);
+        }
         if block.len > 0 {
             sink(&block);
         }
@@ -518,7 +538,12 @@ impl Table {
                     let pos = old_defs
                         .iter()
                         .position(|n| *n == def.name)
-                        .expect("reused index exists in old schema");
+                        .ok_or_else(|| {
+                            StoreError::Corrupt(format!(
+                                "index {} missing from old schema during reindex",
+                                def.name
+                            ))
+                        })?;
                     new_indexes
                         .push(std::mem::replace(&mut self.indexes[pos], IndexStore::new(false)));
                 }
@@ -557,7 +582,10 @@ impl Table {
                     crate::predicate::CmpOp::Ge => lo = tighten_lo(lo, Bound::Included(key)),
                     crate::predicate::CmpOp::Lt => hi = tighten_hi(hi, Bound::Excluded(key)),
                     crate::predicate::CmpOp::Le => hi = tighten_hi(hi, Bound::Included(key)),
-                    _ => unreachable!("range_constraints only yields range ops"),
+                    // a non-range op here cannot tighten the bound; the
+                    // residual predicate still filters, so skipping it is
+                    // conservative (a wider scan), never wrong
+                    _ => {}
                 }
             }
             if applies {
@@ -596,9 +624,7 @@ impl Table {
             let ids = self.indexes[pos].lookup(&key);
             let mut out = Vec::with_capacity(ids.len());
             for id in ids {
-                let row = self.slots[id.0 as usize]
-                    .as_ref()
-                    .expect("index points at live row");
+                let row = self.live_row(id)?;
                 if bound.matches(row.values()) {
                     out.push((id, row.clone()));
                 }
@@ -608,9 +634,7 @@ impl Table {
         if let Some(ids) = self.pick_range(predicate) {
             let mut out = Vec::with_capacity(ids.len());
             for id in ids {
-                let row = self.slots[id.0 as usize]
-                    .as_ref()
-                    .expect("index points at live row");
+                let row = self.live_row(id)?;
                 if bound.matches(row.values()) {
                     out.push((id, row.clone()));
                 }
@@ -636,9 +660,7 @@ impl Table {
             let ids = self.indexes[pos].lookup(&key);
             let mut n = 0;
             for id in ids {
-                let row = self.slots[id.0 as usize]
-                    .as_ref()
-                    .expect("index points at live row");
+                let row = self.live_row(id)?;
                 if bound.matches(row.values()) {
                     n += 1;
                 }

@@ -85,5 +85,5 @@ fn main() {
     println!("\n--- the same view in three export formats ---");
     println!("TSV:\n{}", view.to_tsv());
     println!("CSV:\n{}", view.to_csv());
-    println!("JSON:\n{}", view.to_json());
+    println!("JSON:\n{}", view.to_json().expect("view serializes"));
 }

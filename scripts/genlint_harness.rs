@@ -1,0 +1,195 @@
+//! Standalone, dependency-free runner for the genlint architectural
+//! invariant checker (DESIGN.md §11), for environments where the full
+//! workspace cannot be built (no crates.io access). genlint itself is
+//! std-only, so this harness compiles the *real* rule sources directly
+//! — `crates/genlint/src/{config,report,rules,source}` are included via
+//! `#[path]`, not copied — and only the thin scan driver below is a
+//! replica of `crates/genlint/src/lib.rs` (kept in sync by hand; the
+//! `ScanResult` shape and baseline semantics must match).
+//!
+//! It scans the workspace against `genlint.toml`, times the scan, and
+//! writes `BENCH_lint.json` (per-rule counts, files scanned, scan
+//! latency). Exit code 1 on any unbaselined finding, mirroring
+//! `cargo run -p genlint -- --deny`.
+//!
+//! Build & run (from the repo root):
+//!   rustc -O scripts/genlint_harness.rs -o /tmp/genlint_harness && /tmp/genlint_harness
+#![allow(dead_code)]
+
+#[path = "../crates/genlint/src/config.rs"]
+mod config;
+#[path = "../crates/genlint/src/report.rs"]
+mod report;
+#[path = "../crates/genlint/src/rules/mod.rs"]
+mod rules;
+#[path = "../crates/genlint/src/source.rs"]
+mod source;
+
+use config::Config;
+use rules::Finding;
+use source::SourceFile;
+use std::path::{Path, PathBuf};
+use std::time::Instant;
+
+/// Outcome of scanning a workspace (replica of `genlint::ScanResult`;
+/// `report.rs` refers to it as `crate::ScanResult`).
+#[derive(Debug)]
+pub struct ScanResult {
+    pub findings: Vec<Finding>,
+    pub suppressed: usize,
+    pub files_scanned: usize,
+}
+
+const SKIP_DIRS: [&str; 4] = ["target", ".git", "scripts", "fixtures"];
+
+fn collect_rs_files(root: &Path) -> std::io::Result<Vec<PathBuf>> {
+    let mut out = Vec::new();
+    let mut stack = vec![root.to_path_buf()];
+    while let Some(dir) = stack.pop() {
+        for entry in std::fs::read_dir(&dir)? {
+            let entry = entry?;
+            let path = entry.path();
+            let name = entry.file_name();
+            let name = name.to_string_lossy();
+            if entry.file_type()?.is_dir() {
+                if name.starts_with('.') || SKIP_DIRS.contains(&name.as_ref()) {
+                    continue;
+                }
+                stack.push(path);
+            } else if name.ends_with(".rs") {
+                out.push(path);
+            }
+        }
+    }
+    out.sort();
+    Ok(out)
+}
+
+fn rel_path(root: &Path, path: &Path) -> String {
+    let rel = path.strip_prefix(root).unwrap_or(path);
+    let mut out = String::new();
+    for comp in rel.components() {
+        if !out.is_empty() {
+            out.push('/');
+        }
+        out.push_str(&comp.as_os_str().to_string_lossy());
+    }
+    out
+}
+
+fn scan(root: &Path, cfg: &Config) -> std::io::Result<ScanResult> {
+    let files = collect_rs_files(root)?;
+    let mut findings = Vec::new();
+    let mut files_scanned = 0usize;
+    for path in &files {
+        let raw = std::fs::read_to_string(path)?;
+        let rel = rel_path(root, path);
+        let file = SourceFile::parse(&rel, &raw);
+        files_scanned += 1;
+        for rule in rules::registry() {
+            rule.check(&file, cfg, &mut findings);
+        }
+    }
+    findings.sort_by(|a, b| (&a.path, a.line, a.rule).cmp(&(&b.path, b.line, b.rule)));
+    let mut suppressed = 0usize;
+    let mut used = vec![false; cfg.allow.len()];
+    let mut kept = Vec::new();
+    for f in findings {
+        let hit = cfg.allow.iter().position(|a| {
+            a.rule == f.rule
+                && (f.path == a.path
+                    || f.path
+                        .strip_prefix(&a.path)
+                        .map(|rest| rest.starts_with('/'))
+                        .unwrap_or(false))
+        });
+        match hit {
+            Some(i) => {
+                used[i] = true;
+                suppressed += 1;
+            }
+            None => kept.push(f),
+        }
+    }
+    for (i, a) in cfg.allow.iter().enumerate() {
+        if !used[i] {
+            kept.push(Finding {
+                rule: "stale-allow",
+                path: a.path.clone(),
+                line: 0,
+                message: format!(
+                    "[[allow]] entry (rule `{}`) suppresses nothing — remove it",
+                    a.rule
+                ),
+            });
+        }
+    }
+    Ok(ScanResult {
+        findings: kept,
+        suppressed,
+        files_scanned,
+    })
+}
+
+fn main() {
+    let root = std::env::args()
+        .nth(1)
+        .map(PathBuf::from)
+        .unwrap_or_else(|| PathBuf::from("."));
+    let toml = match std::fs::read_to_string(root.join("genlint.toml")) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("genlint_harness: {}/genlint.toml: {e}", root.display());
+            std::process::exit(2);
+        }
+    };
+    let cfg = match config::parse(&toml) {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("genlint_harness: {e}");
+            std::process::exit(2);
+        }
+    };
+
+    // one warm-up (page cache), then timed runs
+    let result = scan(&root, &cfg).expect("scan");
+    const RUNS: usize = 5;
+    let mut times_ms = Vec::with_capacity(RUNS);
+    for _ in 0..RUNS {
+        let t0 = Instant::now();
+        let r = scan(&root, &cfg).expect("scan");
+        times_ms.push(t0.elapsed().as_secs_f64() * 1e3);
+        assert_eq!(r.findings.len(), result.findings.len(), "scan not deterministic");
+    }
+    let min = times_ms.iter().cloned().fold(f64::INFINITY, f64::min);
+    let mean = times_ms.iter().sum::<f64>() / RUNS as f64;
+
+    print!("{}", report::human(&result));
+    println!("scan latency over {RUNS} runs: min {min:.1} ms, mean {mean:.1} ms");
+
+    let mut rules_json = String::new();
+    for (i, (name, count)) in report::per_rule_counts(&result.findings).iter().enumerate() {
+        if i > 0 {
+            rules_json.push_str(", ");
+        }
+        rules_json.push_str(&format!("\"{}\": {}", report::json_escape(name), count));
+    }
+    let json = format!(
+        "{{\n  \"harness\": \"genlint\",\n  \"files_scanned\": {},\n  \"findings\": {},\n  \
+         \"suppressed\": {},\n  \"rules\": {{{}}},\n  \"runs\": {},\n  \
+         \"scan_ms_min\": {:.3},\n  \"scan_ms_mean\": {:.3}\n}}\n",
+        result.files_scanned,
+        result.findings.len(),
+        result.suppressed,
+        rules_json,
+        RUNS,
+        min,
+        mean
+    );
+    std::fs::write(root.join("BENCH_lint.json"), json).expect("write BENCH_lint.json");
+    eprintln!("wrote {}", root.join("BENCH_lint.json").display());
+
+    if !result.findings.is_empty() {
+        std::process::exit(1);
+    }
+}

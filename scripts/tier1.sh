@@ -14,3 +14,6 @@ cargo test -q -p relstore --test crash_prop
 cargo test -q -p relstore --test recovery
 cargo test -q -p import --test crash_import
 cargo clippy --all-targets -- -D warnings
+# architectural invariant gate (DESIGN.md §11): any unbaselined finding
+# fails the build
+cargo run -q -p genlint -- --deny
