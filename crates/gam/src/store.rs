@@ -68,6 +68,26 @@ impl GamStore {
         Ok(Self::wrap(db))
     }
 
+    /// Open (or create) a durable store whose tables live in slotted heap
+    /// pages behind a buffer pool — annotation sets larger than RAM stay
+    /// queryable with resident memory bounded by `config.pool_pages`.
+    pub fn open_paged(dir: &Path, config: relstore::PoolConfig) -> GamResult<Self> {
+        Self::open_paged_with_vfs(std::sync::Arc::new(relstore::vfs::RealVfs), dir, config)
+    }
+
+    /// [`open_paged`](Self::open_paged) against an explicit I/O backend.
+    pub fn open_paged_with_vfs(
+        vfs: std::sync::Arc<dyn relstore::vfs::Vfs>,
+        dir: &Path,
+        config: relstore::PoolConfig,
+    ) -> GamResult<Self> {
+        let mut db = Database::open_paged_with_vfs(vfs, dir, config)?;
+        for schema in all_schemas()? {
+            db.ensure_table(schema)?;
+        }
+        Ok(Self::wrap(db))
+    }
+
     /// What recovery found when this store was opened (`None` for
     /// in-memory stores).
     pub fn recovery_report(&self) -> Option<&relstore::RecoveryReport> {
@@ -301,7 +321,7 @@ impl GamStore {
             .db
             .table(tables::SOURCE)?
             .lookup_unique("by_name", &[Value::text(name)])?;
-        hit.map(Self::source_from_row).transpose()
+        hit.as_ref().map(Self::source_from_row).transpose()
     }
 
     /// Look up many sources by name in one pass: the probe names are
@@ -355,7 +375,7 @@ impl GamStore {
             .db
             .table(tables::SOURCE)?
             .lookup_unique("pk", &[Value::Int(id.as_i64())])?;
-        hit.map(Self::source_from_row)
+        hit.as_ref().map(Self::source_from_row)
             .transpose()?
             .ok_or(GamError::UnknownSource(id))
     }
@@ -405,7 +425,7 @@ impl GamStore {
         let table = self.db.table(tables::SOURCE)?;
         let mut out = Vec::with_capacity(table.len());
         for (_, row) in table.scan() {
-            out.push(Self::source_from_row(row)?);
+            out.push(Self::source_from_row(&row)?);
         }
         out.sort_by_key(|s| s.id);
         Ok(out)
@@ -594,7 +614,7 @@ impl GamStore {
             "by_accession",
             &[Value::Int(source.as_i64()), Value::text(accession)],
         )?;
-        Ok(hit.map(Self::object_from_row))
+        Ok(hit.as_ref().map(Self::object_from_row))
     }
 
     /// Fetch an object by id.
@@ -603,7 +623,7 @@ impl GamStore {
             .db
             .table(tables::OBJECT)?
             .lookup_unique("pk", &[Value::Int(id.as_i64())])?;
-        hit.map(Self::object_from_row)
+        hit.as_ref().map(Self::object_from_row)
             .ok_or(GamError::UnknownObject(id))
     }
 
@@ -613,7 +633,7 @@ impl GamStore {
             .db
             .table(tables::OBJECT)?
             .lookup_prefix("by_accession", &[Value::Int(source.as_i64())])?;
-        Ok(rows.into_iter().map(Self::object_from_row).collect())
+        Ok(rows.iter().map(Self::object_from_row).collect())
     }
 
     /// Ids of all objects of a source.
@@ -668,7 +688,7 @@ impl GamStore {
             .table(tables::OBJECT)?
             .lookup_prefix("by_accession", &[Value::Int(source.as_i64())])?;
         Ok(rows
-            .into_iter()
+            .iter()
             .map(Self::object_from_row)
             .filter(|o| o.accession.starts_with(prefix))
             .take(limit)
@@ -721,7 +741,7 @@ impl GamStore {
             .db
             .table(tables::SOURCE_REL)?
             .lookup_unique("pk", &[Value::Int(id.as_i64())])?;
-        hit.map(Self::source_rel_from_row)
+        hit.as_ref().map(Self::source_rel_from_row)
             .transpose()?
             .ok_or(GamError::UnknownSourceRel(id))
     }
@@ -736,7 +756,7 @@ impl GamStore {
             "by_pair",
             &[Value::Int(source1.as_i64()), Value::Int(source2.as_i64())],
         )?;
-        rows.into_iter().map(Self::source_rel_from_row).collect()
+        rows.iter().map(Self::source_rel_from_row).collect()
     }
 
     /// Find one mapping of the given type between two sources, trying both
@@ -766,7 +786,7 @@ impl GamStore {
         let table = self.db.table(tables::SOURCE_REL)?;
         let mut out = Vec::with_capacity(table.len());
         for (_, row) in table.scan() {
-            out.push(Self::source_rel_from_row(row)?);
+            out.push(Self::source_rel_from_row(&row)?);
         }
         out.sort_by_key(|r| r.id);
         Ok(out)

@@ -1,59 +1,117 @@
 //! The GenMapper interactive shell — stdin/stdout REPL over the command
 //! language in `genmapper::cli` (the paper's interactive access, §5.1).
 //!
-//! Run with: `cargo run -p genmapper --bin genmapper-cli [-- --jobs N]`
+//! Run with: `cargo run -p genmapper --bin genmapper-cli [-- OPTIONS]`
 //! Then e.g.: `demo 7`, `sources`, `query LocusLink:353 or Hugo GO`, `quit`.
 //!
-//! `--jobs N` caps the worker threads used by the parallel Compose /
-//! GenerateView executor (default: all available cores; `--jobs 1` forces
-//! sequential execution). The cap can also be changed at runtime with the
-//! `jobs` command.
+//! Options:
+//! * `--jobs N` caps the worker threads used by the parallel Compose /
+//!   GenerateView executor (default: all available cores; `--jobs 1`
+//!   forces sequential execution). Also changeable at runtime (`jobs`).
+//! * `--db DIR` opens (or creates) a durable store rooted at `DIR`
+//!   instead of the default volatile in-memory store.
+//! * `--paged[=POOL_PAGES]` makes `--db` use paged table storage: rows
+//!   live in slotted heap pages behind a buffer pool, so stores larger
+//!   than RAM stay queryable. `POOL_PAGES` caps resident pages
+//!   (default 64); `stats` then reports pool residency and hit rate.
 
 use genmapper::cli::{CliOutcome, CliSession};
+use genmapper::system::GenMapper;
 use std::io::{BufRead, Write};
+use std::path::PathBuf;
 
-fn parse_args() -> Result<Option<usize>, String> {
-    let mut jobs = None;
+const USAGE: &str = "usage: genmapper-cli [--jobs N] [--db DIR [--paged[=POOL_PAGES]]]";
+
+struct CliArgs {
+    jobs: Option<usize>,
+    db: Option<PathBuf>,
+    /// `Some(None)` = `--paged` with the default pool size.
+    paged: Option<Option<usize>>,
+}
+
+fn parse_args() -> Result<CliArgs, String> {
+    let mut parsed = CliArgs {
+        jobs: None,
+        db: None,
+        paged: None,
+    };
+    let parse_jobs = |value: &str| {
+        value
+            .parse()
+            .map_err(|_| format!("invalid --jobs value {value:?}"))
+    };
+    let parse_pool = |value: &str| {
+        match value.parse() {
+            Ok(0) | Err(_) => Err(format!("invalid --paged pool size {value:?}")),
+            Ok(n) => Ok(n),
+        }
+    };
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         if arg == "--jobs" {
             let value = args
                 .next()
                 .ok_or_else(|| "--jobs requires a count".to_owned())?;
-            jobs = Some(
-                value
-                    .parse()
-                    .map_err(|_| format!("invalid --jobs value {value:?}"))?,
-            );
+            parsed.jobs = Some(parse_jobs(&value)?);
         } else if let Some(value) = arg.strip_prefix("--jobs=") {
-            jobs = Some(
-                value
-                    .parse()
-                    .map_err(|_| format!("invalid --jobs value {value:?}"))?,
-            );
+            parsed.jobs = Some(parse_jobs(value)?);
+        } else if arg == "--db" {
+            let value = args
+                .next()
+                .ok_or_else(|| "--db requires a directory".to_owned())?;
+            parsed.db = Some(PathBuf::from(value));
+        } else if let Some(value) = arg.strip_prefix("--db=") {
+            parsed.db = Some(PathBuf::from(value));
+        } else if arg == "--paged" {
+            parsed.paged = Some(None);
+        } else if let Some(value) = arg.strip_prefix("--paged=") {
+            parsed.paged = Some(Some(parse_pool(value)?));
         } else {
-            return Err(format!("unknown argument {arg:?}; usage: genmapper-cli [--jobs N]"));
+            return Err(format!("unknown argument {arg:?}; {USAGE}"));
         }
     }
-    Ok(jobs)
+    if parsed.paged.is_some() && parsed.db.is_none() {
+        return Err(format!("--paged requires --db; {USAGE}"));
+    }
+    Ok(parsed)
+}
+
+fn open_session(args: &CliArgs) -> Result<CliSession, String> {
+    let Some(dir) = &args.db else {
+        return CliSession::new().map_err(|e| format!("failed to start: {e}"));
+    };
+    let gm = match args.paged {
+        None => GenMapper::open(dir),
+        Some(pool_pages) => {
+            let mut config = relstore::PoolConfig::default();
+            if let Some(pages) = pool_pages {
+                config.pool_pages = pages;
+            }
+            GenMapper::open_paged(dir, config)
+        }
+    };
+    match gm {
+        Ok(gm) => Ok(CliSession::with_system(gm)),
+        Err(e) => Err(format!("failed to open {}: {e}", dir.display())),
+    }
 }
 
 fn main() {
-    let jobs = match parse_args() {
-        Ok(j) => j,
+    let args = match parse_args() {
+        Ok(a) => a,
         Err(e) => {
             eprintln!("{e}");
             std::process::exit(2);
         }
     };
-    let mut session = match CliSession::new() {
+    let mut session = match open_session(&args) {
         Ok(s) => s,
         Err(e) => {
-            eprintln!("failed to start: {e}");
+            eprintln!("{e}");
             std::process::exit(1);
         }
     };
-    if let Some(jobs) = jobs {
+    if let Some(jobs) = args.jobs {
         session.system().set_jobs(jobs);
     }
     let stdin = std::io::stdin();

@@ -361,6 +361,11 @@ impl CliSession {
                         "  {rel_type:<12} {mappings:>5} mappings, {associations:>8} associations"
                     );
                 }
+                // Paged stores additionally report buffer-pool health so an
+                // operator can see residency/hit-rate at a glance.
+                if let Some(pool) = self.gm.store().database().stats()?.pool {
+                    let _ = writeln!(out, "  {pool}");
+                }
             }
             Command::Search { source, keyword } => {
                 let id = self.gm.source_id(&source)?;
@@ -674,6 +679,26 @@ mod tests {
 
         let (_, rc) = session.execute_line("quit");
         assert_eq!(rc, CliOutcome::Quit);
+    }
+
+    #[test]
+    fn stats_reports_pool_metrics_for_paged_stores() {
+        let dir = std::env::temp_dir().join(format!("genmapper-cli-paged-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let gm = GenMapper::open_paged(&dir, relstore::PoolConfig::default()).unwrap();
+        let mut session = CliSession::with_system(gm);
+        let (out, _) = session.execute_line("demo 7");
+        assert!(out.contains("sources"), "demo imported: {out}");
+        let (out, _) = session.execute_line("stats");
+        assert!(out.contains("pool:"), "pool line shown: {out}");
+        assert!(out.contains("pages resident"), "output: {out}");
+        drop(session);
+        let _ = std::fs::remove_dir_all(&dir);
+
+        // the in-memory session has no pool and must not print the line
+        let mut session = CliSession::new().unwrap();
+        let (out, _) = session.execute_line("stats");
+        assert!(!out.contains("pool:"), "output: {out}");
     }
 
     #[test]

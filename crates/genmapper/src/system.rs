@@ -189,6 +189,22 @@ impl GenMapper {
         })
     }
 
+    /// A durable instance rooted at `dir` with paged table storage: rows
+    /// live in slotted heap pages behind a buffer pool of
+    /// `config.pool_pages`, so annotation sets larger than RAM stay
+    /// queryable with bounded resident memory.
+    pub fn open_paged(dir: &Path, config: relstore::PoolConfig) -> GamResult<Self> {
+        Ok(GenMapper {
+            store: GamStore::open_paged(dir, config)?,
+            saved: SavedPaths::new(),
+            graph: None,
+            exec: ExecConfig::default(),
+            error_budget: 0,
+            version: 0,
+            cache: RwLock::new(CacheInner::default()),
+        })
+    }
+
     /// Snapshot + WAL truncation for durable instances.
     pub fn checkpoint(&mut self) -> GamResult<()> {
         self.store.checkpoint()

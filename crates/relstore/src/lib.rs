@@ -59,6 +59,8 @@ pub mod db;
 pub mod error;
 pub mod index;
 pub mod join;
+pub mod page;
+pub mod pager;
 pub mod predicate;
 pub mod row;
 pub mod schema;
@@ -72,9 +74,12 @@ pub mod wal;
 
 pub use db::{Database, RecoveryReport, SnapshotSource};
 pub use error::{StoreError, StoreResult};
+pub use page::PageId;
+pub use pager::{Pager, PoolConfig};
 pub use predicate::Predicate;
 pub use row::{Row, RowId};
 pub use schema::{Column, Schema};
 pub use shared::SharedDatabase;
+pub use stats::PoolStats;
 pub use table::{ColumnarBlock, Table};
 pub use value::{Value, ValueType};

@@ -1,0 +1,881 @@
+//! The buffer pool: pinning, evicting, write-back, and the page directory.
+//!
+//! A [`Pager`] owns one *heap file* of appended page images (see
+//! [`crate::page`]) and a bounded pool of decoded page frames. Tables
+//! request pages with [`Pager::pin`]; a pinned page cannot be evicted
+//! until its [`PinnedPage`] guard drops. When the pool exceeds its
+//! configured capacity a clock sweep picks an unpinned, unreferenced
+//! victim; dirty victims are written back as a *copy-on-write append* to
+//! the heap file (never in place), so the durable bytes of the last
+//! checkpoint are immutable and a power cut can only tear the unsynced
+//! tail — exactly the fault model [`crate::vfs::FaultVfs`] simulates.
+//!
+//! Durability is cooperative with the database's checkpoint bracket:
+//! evicted-page appends are *not* synced; [`Pager::flush_and_sync`] makes
+//! every dirty page durable, and the caller then writes the *page
+//! directory* (`encode_page_directory`) naming, per table, which heap
+//! offset holds each page. Recovery trusts only the directory: torn or
+//! superseded images beyond it are never referenced.
+//!
+//! The pool capacity is a soft cap: pins always succeed. If every frame
+//! is pinned the pool temporarily overcommits rather than deadlocking.
+
+use crate::codec::{crc32, get_row, get_varint, put_row, put_varint};
+use crate::error::{StoreError, StoreResult};
+use crate::page::{decode_page, encode_page, PageId};
+use crate::row::Row;
+use crate::schema::Schema;
+use crate::snapshot::{get_schema, put_schema};
+use crate::stats::PoolStats;
+use crate::vfs::{Vfs, VfsFile};
+use bytes::{BufMut, Bytes, BytesMut};
+use parking_lot::Mutex;
+use std::collections::HashMap;
+use std::path::{Path, PathBuf};
+use std::sync::Arc;
+
+/// Buffer-pool sizing.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PoolConfig {
+    /// Target page size in bytes: a table seals its open tail page once
+    /// the encoded rows reach this size. A single row larger than a page
+    /// still fits (images are length-framed), so this is a target, not a
+    /// hard bound.
+    pub page_bytes: usize,
+    /// Pool capacity in pages (soft cap; pinned pages can overcommit it).
+    pub pool_pages: usize,
+}
+
+impl Default for PoolConfig {
+    fn default() -> Self {
+        PoolConfig {
+            page_bytes: 32 * 1024,
+            pool_pages: 64,
+        }
+    }
+}
+
+/// Where a page image lives in the heap file.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DiskLoc {
+    pub offset: u64,
+    pub len: u32,
+}
+
+/// One resident page.
+struct Frame {
+    /// Slot contents. Shared with outstanding pins via `Arc`; mutation
+    /// goes through `Arc::make_mut` (pins hold the pre-mutation image,
+    /// which is fine: a pin is a read lease taken before the write).
+    rows: Arc<Vec<Option<Row>>>,
+    base: u64,
+    dirty: bool,
+    pins: u32,
+    /// Clock reference bit (second-chance).
+    referenced: bool,
+}
+
+#[derive(Default)]
+struct Counters {
+    hits: u64,
+    misses: u64,
+    evictions: u64,
+    writeback_pages: u64,
+    writeback_bytes: u64,
+    checkpoint_pages: u64,
+    checkpoint_bytes: u64,
+}
+
+struct PoolInner {
+    frames: HashMap<PageId, Frame>,
+    /// Resident page ids, swept by the clock hand.
+    clock: Vec<PageId>,
+    hand: usize,
+    /// Page → current heap location (the *live* directory; durable only
+    /// once written into a checkpointed page directory).
+    directory: HashMap<PageId, DiskLoc>,
+    heap_path: PathBuf,
+    heap: Option<Box<dyn VfsFile>>,
+    /// Physical append offset. Refreshed from the file when the handle is
+    /// (re)opened, so short writes from injected faults cannot desync it.
+    heap_len: u64,
+    heap_len_known: bool,
+    counters: Counters,
+}
+
+/// A pinning/evicting buffer pool over one heap file.
+pub struct Pager {
+    vfs: Arc<dyn Vfs>,
+    config: PoolConfig,
+    pool: Mutex<PoolInner>,
+}
+
+impl std::fmt::Debug for Pager {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let inner = self.pool.lock();
+        f.debug_struct("Pager")
+            .field("heap_path", &inner.heap_path)
+            .field("resident", &inner.frames.len())
+            .field("config", &self.config)
+            .finish()
+    }
+}
+
+/// A pinned page: keeps its frame resident until dropped.
+pub struct PinnedPage {
+    pager: Arc<Pager>,
+    pid: PageId,
+    rows: Arc<Vec<Option<Row>>>,
+}
+
+impl PinnedPage {
+    /// The page's slot contents (`None` = tombstone).
+    pub fn rows(&self) -> &[Option<Row>] {
+        &self.rows
+    }
+}
+
+impl Drop for PinnedPage {
+    fn drop(&mut self) {
+        let mut inner = self.pager.pool.lock();
+        unpin_inner(&mut inner, self.pid);
+    }
+}
+
+fn unpin_inner(inner: &mut PoolInner, pid: PageId) {
+    if let Some(frame) = inner.frames.get_mut(&pid) {
+        frame.pins = frame.pins.saturating_sub(1);
+    }
+}
+
+impl Pager {
+    /// A pool over `heap_path` (created lazily on first write-back).
+    pub fn new(vfs: Arc<dyn Vfs>, heap_path: PathBuf, config: PoolConfig) -> Self {
+        Pager {
+            vfs,
+            config: PoolConfig {
+                page_bytes: config.page_bytes.max(64),
+                pool_pages: config.pool_pages.max(1),
+            },
+            pool: Mutex::new(PoolInner {
+                frames: HashMap::new(),
+                clock: Vec::new(),
+                hand: 0,
+                directory: HashMap::new(),
+                heap_path,
+                heap: None,
+                heap_len: 0,
+                heap_len_known: false,
+                counters: Counters::default(),
+            }),
+        }
+    }
+
+    /// Pool sizing this pager was built with.
+    pub fn config(&self) -> &PoolConfig {
+        &self.config
+    }
+
+    /// Recovery: declare that `pid` lives at `loc` in the heap file.
+    pub(crate) fn register(&self, pid: PageId, loc: DiskLoc) {
+        let mut inner = self.pool.lock();
+        inner.directory.insert(pid, loc);
+    }
+
+    /// Current heap location of a page, if it has ever been written.
+    pub(crate) fn directory_loc(&self, pid: PageId) -> Option<DiskLoc> {
+        self.pool.lock().directory.get(&pid).copied()
+    }
+
+    /// Install a freshly sealed page as a dirty frame (it has no disk
+    /// image yet). Evicts as needed to respect the pool cap; an eviction
+    /// error still leaves the new frame installed and consistent.
+    pub(crate) fn install(&self, pid: PageId, base: u64, rows: Vec<Option<Row>>) -> StoreResult<()> {
+        let mut inner = self.pool.lock();
+        if inner.frames.contains_key(&pid) {
+            return Err(StoreError::Corrupt(format!(
+                "page {pid:?} sealed twice"
+            )));
+        }
+        inner.frames.insert(
+            pid,
+            Frame {
+                rows: Arc::new(rows),
+                base,
+                dirty: true,
+                pins: 1, // protect from the shrink below
+                referenced: true,
+            },
+        );
+        inner.clock.push(pid);
+        let shrunk = self.shrink_to_cap(&mut inner);
+        unpin_inner(&mut inner, pid);
+        shrunk
+    }
+
+    /// Pin a page, faulting it in from the heap file if necessary.
+    pub fn pin(self: &Arc<Self>, pid: PageId) -> StoreResult<PinnedPage> {
+        let mut inner = self.pool.lock();
+        let rows = self.acquire(&mut inner, pid)?;
+        if let Err(e) = self.shrink_to_cap(&mut inner) {
+            unpin_inner(&mut inner, pid);
+            return Err(e);
+        }
+        Ok(PinnedPage {
+            pager: self.clone(),
+            pid,
+            rows,
+        })
+    }
+
+    /// Run `f` over a mutable view of the page's slots, marking the page
+    /// dirty. The closure runs under the pool lock and must not reenter
+    /// the pager. Any eviction I/O happens *before* `f` runs, so an error
+    /// means the mutation was not applied.
+    pub(crate) fn mutate<T>(
+        &self,
+        pid: PageId,
+        f: impl FnOnce(&mut Vec<Option<Row>>) -> T,
+    ) -> StoreResult<T> {
+        let mut inner = self.pool.lock();
+        self.acquire(&mut inner, pid)?;
+        if let Err(e) = self.shrink_to_cap(&mut inner) {
+            unpin_inner(&mut inner, pid);
+            return Err(e);
+        }
+        let out = match inner.frames.get_mut(&pid) {
+            Some(frame) => {
+                frame.dirty = true;
+                Ok(f(Arc::make_mut(&mut frame.rows)))
+            }
+            None => Err(StoreError::Corrupt(format!(
+                "page {pid:?} vanished during mutate"
+            ))),
+        };
+        unpin_inner(&mut inner, pid);
+        out
+    }
+
+    /// Fetch (or fault in) a frame's rows, taking a pin that shields it
+    /// from eviction until the caller releases it. Returns the shared row
+    /// vector. Does NOT enforce the pool cap — callers shrink afterwards
+    /// so the new frame cannot be the eviction victim.
+    fn acquire(&self, inner: &mut PoolInner, pid: PageId) -> StoreResult<Arc<Vec<Option<Row>>>> {
+        if let Some(frame) = inner.frames.get_mut(&pid) {
+            frame.referenced = true;
+            frame.pins += 1;
+            inner.counters.hits += 1;
+            return Ok(frame.rows.clone());
+        }
+        inner.counters.misses += 1;
+        let loc = *inner.directory.get(&pid).ok_or_else(|| {
+            StoreError::Corrupt(format!("page {pid:?} missing from heap directory"))
+        })?;
+        let image = self
+            .vfs
+            .read_at(&inner.heap_path, loc.offset, loc.len as usize)?
+            .ok_or_else(|| {
+                StoreError::Corrupt(format!(
+                    "heap file {} missing",
+                    inner.heap_path.display()
+                ))
+            })?;
+        if image.len() != loc.len as usize {
+            return Err(StoreError::Corrupt(format!(
+                "page {pid:?} truncated: {} of {} bytes",
+                image.len(),
+                loc.len
+            )));
+        }
+        let page = decode_page(&image)?;
+        if page.table_id != pid.table_id || page.page_no != pid.page_no {
+            return Err(StoreError::Corrupt(format!(
+                "page identity mismatch: wanted {pid:?}, found table {} page {}",
+                page.table_id, page.page_no
+            )));
+        }
+        let rows = Arc::new(page.rows);
+        inner.frames.insert(
+            pid,
+            Frame {
+                rows: rows.clone(),
+                base: page.base,
+                dirty: false,
+                pins: 1,
+                referenced: true,
+            },
+        );
+        inner.clock.push(pid);
+        Ok(rows)
+    }
+
+    /// Evict until the pool is within capacity (skipping pinned frames;
+    /// gives up into overcommit if everything is pinned).
+    fn shrink_to_cap(&self, inner: &mut PoolInner) -> StoreResult<()> {
+        while inner.frames.len() > self.config.pool_pages {
+            if !self.evict_one(inner)? {
+                break;
+            }
+        }
+        Ok(())
+    }
+
+    /// One clock sweep: clear reference bits, then evict the first
+    /// unpinned, unreferenced frame. `Ok(false)` if every frame is pinned.
+    fn evict_one(&self, inner: &mut PoolInner) -> StoreResult<bool> {
+        let mut steps = 0;
+        let max_steps = inner.clock.len() * 2;
+        while steps < max_steps && !inner.clock.is_empty() {
+            if inner.hand >= inner.clock.len() {
+                inner.hand = 0;
+            }
+            let pid = inner.clock[inner.hand];
+            let Some(frame) = inner.frames.get_mut(&pid) else {
+                // stale clock entry (should not happen; self-heal)
+                inner.clock.swap_remove(inner.hand);
+                continue;
+            };
+            if frame.pins > 0 {
+                inner.hand += 1;
+                steps += 1;
+                continue;
+            }
+            if frame.referenced {
+                frame.referenced = false;
+                inner.hand += 1;
+                steps += 1;
+                continue;
+            }
+            if frame.dirty {
+                let bytes = self.write_back(inner, pid)?;
+                inner.counters.writeback_pages += 1;
+                inner.counters.writeback_bytes += bytes;
+            }
+            inner.frames.remove(&pid);
+            inner.clock.swap_remove(inner.hand);
+            inner.counters.evictions += 1;
+            return Ok(true);
+        }
+        Ok(false)
+    }
+
+    /// Append a frame's current image to the heap file (copy-on-write)
+    /// and point the live directory at it. Not synced — durability comes
+    /// from the checkpoint bracket.
+    fn write_back(&self, inner: &mut PoolInner, pid: PageId) -> StoreResult<u64> {
+        let (rows, base) = match inner.frames.get(&pid) {
+            Some(f) => (f.rows.clone(), f.base),
+            None => {
+                return Err(StoreError::Corrupt(format!(
+                    "write-back of non-resident page {pid:?}"
+                )))
+            }
+        };
+        let image = encode_page(pid.table_id, pid.page_no, base, &rows);
+        self.append_image(inner, pid, &image)?;
+        if let Some(f) = inner.frames.get_mut(&pid) {
+            f.dirty = false;
+        }
+        Ok(image.len() as u64)
+    }
+
+    /// Append one page image, recording its location. On failure the heap
+    /// handle is dropped so the next append re-derives the true file
+    /// extent (a short write must not desync recorded offsets).
+    fn append_image(&self, inner: &mut PoolInner, pid: PageId, image: &[u8]) -> StoreResult<()> {
+        if inner.heap.is_none() {
+            let handle = self.vfs.open_append(&inner.heap_path)?;
+            if !inner.heap_len_known {
+                inner.heap_len = self.vfs.file_len(&inner.heap_path)?.unwrap_or(0);
+                inner.heap_len_known = true;
+            }
+            inner.heap = Some(handle);
+        }
+        let offset = inner.heap_len;
+        let result = match inner.heap.as_mut() {
+            Some(h) => h.write_all(image),
+            None => Err(StoreError::Corrupt("heap handle missing".into())),
+        };
+        if let Err(e) = result {
+            inner.heap = None;
+            inner.heap_len_known = false;
+            return Err(e);
+        }
+        inner.heap_len = offset + image.len() as u64;
+        inner.directory.insert(
+            pid,
+            DiskLoc {
+                offset,
+                len: image.len() as u32,
+            },
+        );
+        Ok(())
+    }
+
+    /// Checkpoint support: write back every dirty frame (sorted for
+    /// deterministic I/O order) and fsync the heap file. Returns
+    /// `(pages, bytes)` flushed.
+    pub(crate) fn flush_and_sync(&self) -> StoreResult<(u64, u64)> {
+        let mut inner = self.pool.lock();
+        let mut dirty: Vec<PageId> = inner
+            .frames
+            .iter()
+            .filter(|(_, f)| f.dirty)
+            .map(|(pid, _)| *pid)
+            .collect();
+        dirty.sort_unstable();
+        let mut pages = 0u64;
+        let mut bytes = 0u64;
+        for pid in dirty {
+            bytes += self.write_back(&mut inner, pid)?;
+            pages += 1;
+        }
+        if let Some(h) = inner.heap.as_mut() {
+            if let Err(e) = h.sync() {
+                inner.heap = None;
+                inner.heap_len_known = false;
+                return Err(e);
+            }
+        }
+        inner.counters.checkpoint_pages += pages;
+        inner.counters.checkpoint_bytes += bytes;
+        Ok((pages, bytes))
+    }
+
+    /// Compaction: rewrite exactly `pids` (every live page, in the
+    /// caller's order) into a fresh heap file at `new_path`, fsync it,
+    /// and atomically swap the pool's directory and heap handle to it.
+    /// The old heap file is left for the caller to unlink once the new
+    /// page directory is durable.
+    pub(crate) fn compact_into(&self, new_path: &Path, pids: &[PageId]) -> StoreResult<()> {
+        let mut inner = self.pool.lock();
+        let mut file = self.vfs.create(new_path)?;
+        let mut new_dir: HashMap<PageId, DiskLoc> = HashMap::with_capacity(pids.len());
+        let mut offset = 0u64;
+        for &pid in pids {
+            let image = match inner.frames.get(&pid) {
+                Some(f) => encode_page(pid.table_id, pid.page_no, f.base, &f.rows),
+                None => {
+                    let loc = *inner.directory.get(&pid).ok_or_else(|| {
+                        StoreError::Corrupt(format!("compaction: page {pid:?} unknown"))
+                    })?;
+                    let image = self
+                        .vfs
+                        .read_at(&inner.heap_path, loc.offset, loc.len as usize)?
+                        .ok_or_else(|| StoreError::Corrupt("heap file missing".into()))?;
+                    // validate before re-writing: compaction must not
+                    // launder a corrupt image into a fresh heap
+                    decode_page(&image)?;
+                    image
+                }
+            };
+            file.write_all(&image)?;
+            new_dir.insert(
+                pid,
+                DiskLoc {
+                    offset,
+                    len: image.len() as u32,
+                },
+            );
+            offset += image.len() as u64;
+        }
+        file.sync()?;
+        inner.directory = new_dir;
+        inner.heap_path = new_path.to_owned();
+        inner.heap = Some(file);
+        inner.heap_len = offset;
+        inner.heap_len_known = true;
+        for f in inner.frames.values_mut() {
+            f.dirty = false;
+        }
+        Ok(())
+    }
+
+    /// Snapshot of the pool metrics.
+    pub fn stats(&self) -> PoolStats {
+        let inner = self.pool.lock();
+        PoolStats {
+            page_bytes: self.config.page_bytes,
+            pool_pages: self.config.pool_pages,
+            resident: inner.frames.len(),
+            pinned: inner.frames.values().filter(|f| f.pins > 0).count(),
+            dirty: inner.frames.values().filter(|f| f.dirty).count(),
+            evictions: inner.counters.evictions,
+            hits: inner.counters.hits,
+            misses: inner.counters.misses,
+            writeback_pages: inner.counters.writeback_pages,
+            writeback_bytes: inner.counters.writeback_bytes,
+            checkpoint_pages: inner.counters.checkpoint_pages,
+            checkpoint_bytes: inner.counters.checkpoint_bytes,
+            heap_bytes: inner.heap_len,
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Page directory: the paged analogue of the snapshot file
+// ---------------------------------------------------------------------------
+
+const DIR_MAGIC: &[u8; 4] = b"RSPD";
+const DIR_VERSION: u32 = 1;
+
+/// Directory entry for one sealed page of a table (`page_no` is the
+/// position in the table's page list).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PageDirEntry {
+    pub base: u64,
+    pub slots: u32,
+    pub loc: DiskLoc,
+}
+
+/// Per-table recovery metadata carried by the page directory.
+#[derive(Debug, Clone)]
+pub struct PagedTableMeta {
+    pub schema: Schema,
+    pub table_id: u32,
+    pub live: u64,
+    pub pages: Vec<PageDirEntry>,
+    /// Row id of the first open-tail slot.
+    pub tail_base: u64,
+    /// The open tail page's rows, stored inline (bounded by the page
+    /// size, so the directory stays small).
+    pub tail: Vec<Option<Row>>,
+}
+
+/// Everything recovery needs besides the WAL: which heap generation is
+/// live and where every page of every table lives inside it.
+#[derive(Debug, Clone)]
+pub struct PagedCatalog {
+    pub epoch: u64,
+    pub heap_gen: u64,
+    pub next_table_id: u32,
+    pub tables: Vec<PagedTableMeta>,
+}
+
+/// Encode a page directory: `[magic][version][crc32][body]`.
+pub fn encode_page_directory(catalog: &PagedCatalog) -> Vec<u8> {
+    let mut body = BytesMut::new();
+    put_varint(&mut body, catalog.epoch);
+    put_varint(&mut body, catalog.heap_gen);
+    put_varint(&mut body, catalog.next_table_id as u64);
+    put_varint(&mut body, catalog.tables.len() as u64);
+    for t in &catalog.tables {
+        put_schema(&mut body, &t.schema);
+        put_varint(&mut body, t.table_id as u64);
+        put_varint(&mut body, t.live);
+        put_varint(&mut body, t.pages.len() as u64);
+        for p in &t.pages {
+            put_varint(&mut body, p.base);
+            put_varint(&mut body, p.slots as u64);
+            put_varint(&mut body, p.loc.offset);
+            put_varint(&mut body, p.loc.len as u64);
+        }
+        put_varint(&mut body, t.tail_base);
+        put_varint(&mut body, t.tail.len() as u64);
+        for slot in &t.tail {
+            match slot {
+                None => body.put_u8(0),
+                Some(row) => {
+                    body.put_u8(1);
+                    put_row(&mut body, row.values());
+                }
+            }
+        }
+    }
+    let mut out = Vec::with_capacity(body.len() + 12);
+    out.extend_from_slice(DIR_MAGIC);
+    out.extend_from_slice(&DIR_VERSION.to_le_bytes());
+    out.extend_from_slice(&crc32(&body).to_le_bytes());
+    out.extend_from_slice(&body);
+    out
+}
+
+/// Decode and CRC-verify a page directory.
+pub fn decode_page_directory(data: &[u8]) -> StoreResult<PagedCatalog> {
+    if data.len() < 12 {
+        return Err(StoreError::Corrupt("page directory too short".into()));
+    }
+    if &data[0..4] != DIR_MAGIC {
+        return Err(StoreError::Corrupt("bad page directory magic".into()));
+    }
+    let version = u32::from_le_bytes([data[4], data[5], data[6], data[7]]);
+    if version == 0 || version > DIR_VERSION {
+        return Err(StoreError::Corrupt(format!(
+            "unsupported page directory version {version}"
+        )));
+    }
+    let crc = u32::from_le_bytes([data[8], data[9], data[10], data[11]]);
+    let body = &data[12..];
+    if crc32(body) != crc {
+        return Err(StoreError::Corrupt("page directory checksum mismatch".into()));
+    }
+    let mut buf = Bytes::copy_from_slice(body);
+    let epoch = get_varint(&mut buf)?;
+    let heap_gen = get_varint(&mut buf)?;
+    let next_table_id = get_varint(&mut buf)? as u32;
+    let ntables = get_varint(&mut buf)? as usize;
+    if ntables > 1 << 16 {
+        return Err(StoreError::Corrupt(format!("implausible table count {ntables}")));
+    }
+    let mut tables = Vec::with_capacity(ntables);
+    for _ in 0..ntables {
+        let schema = get_schema(&mut buf)?;
+        let table_id = get_varint(&mut buf)? as u32;
+        let live = get_varint(&mut buf)?;
+        let npages = get_varint(&mut buf)? as usize;
+        if npages > 1 << 32 {
+            return Err(StoreError::Corrupt(format!("implausible page count {npages}")));
+        }
+        let mut pages = Vec::with_capacity(npages);
+        for _ in 0..npages {
+            let base = get_varint(&mut buf)?;
+            let slots = get_varint(&mut buf)? as u32;
+            let offset = get_varint(&mut buf)?;
+            let len = get_varint(&mut buf)? as u32;
+            pages.push(PageDirEntry {
+                base,
+                slots,
+                loc: DiskLoc { offset, len },
+            });
+        }
+        let tail_base = get_varint(&mut buf)?;
+        let ntail = get_varint(&mut buf)? as usize;
+        if ntail > crate::page::MAX_PAGE_SLOTS {
+            return Err(StoreError::Corrupt(format!("implausible tail length {ntail}")));
+        }
+        let mut tail = Vec::with_capacity(ntail);
+        for _ in 0..ntail {
+            use bytes::Buf;
+            if !buf.has_remaining() {
+                return Err(StoreError::Corrupt("page directory truncated".into()));
+            }
+            match buf.get_u8() {
+                0 => tail.push(None),
+                1 => tail.push(Some(Row::new(get_row(&mut buf)?))),
+                other => {
+                    return Err(StoreError::Corrupt(format!(
+                        "bad tail slot marker {other}"
+                    )))
+                }
+            }
+        }
+        tables.push(PagedTableMeta {
+            schema,
+            table_id,
+            live,
+            pages,
+            tail_base,
+            tail,
+        });
+    }
+    Ok(PagedCatalog {
+        epoch,
+        heap_gen,
+        next_table_id,
+        tables,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::Column;
+    use crate::value::{Value, ValueType};
+    use crate::vfs::FaultVfs;
+    use std::path::PathBuf;
+
+    fn heap() -> PathBuf {
+        PathBuf::from("/db/heap.1.bin")
+    }
+
+    fn row(i: i64) -> Row {
+        Row::new(vec![Value::Int(i), Value::text(format!("payload-{i}"))])
+    }
+
+    fn pid(no: u32) -> PageId {
+        PageId {
+            table_id: 1,
+            page_no: no,
+        }
+    }
+
+    fn pager(pool_pages: usize) -> (Arc<Pager>, FaultVfs) {
+        let vfs = FaultVfs::new();
+        let pager = Arc::new(Pager::new(
+            Arc::new(vfs.clone()),
+            heap(),
+            PoolConfig {
+                page_bytes: 256,
+                pool_pages,
+            },
+        ));
+        (pager, vfs)
+    }
+
+    #[test]
+    fn install_pin_evict_and_refault() {
+        let (pager, _vfs) = pager(2);
+        for no in 0..4u32 {
+            let rows = (0..3).map(|i| Some(row((no * 3 + i) as i64))).collect();
+            pager.install(pid(no), no as u64 * 3, rows).unwrap();
+        }
+        let stats = pager.stats();
+        assert_eq!(stats.resident, 2, "pool capped at 2 pages");
+        assert!(stats.evictions >= 2);
+        assert!(stats.writeback_pages >= 2, "dirty victims written back");
+        // evicted pages fault back in with identical contents
+        for no in 0..4u32 {
+            let page = pager.pin(pid(no)).unwrap();
+            let rows = page.rows();
+            assert_eq!(rows.len(), 3);
+            assert_eq!(rows[1].as_ref().unwrap(), &row((no * 3 + 1) as i64));
+        }
+    }
+
+    #[test]
+    fn pins_block_eviction_and_overcommit_is_allowed() {
+        let (pager, _vfs) = pager(1);
+        pager.install(pid(0), 0, vec![Some(row(0))]).unwrap();
+        let guard = pager.pin(pid(0)).unwrap();
+        assert_eq!(pager.stats().pinned, 1);
+        // pool of 1 with page 0 pinned: installing page 1 overcommits
+        pager.install(pid(1), 1, vec![Some(row(1))]).unwrap();
+        assert!(pager.stats().resident >= 1);
+        let rows = guard.rows();
+        assert_eq!(rows[0].as_ref().unwrap(), &row(0));
+        drop(guard);
+        assert_eq!(pager.stats().pinned, 0);
+        // now page 0 is evictable; forcing more installs shrinks the pool
+        pager.install(pid(2), 2, vec![Some(row(2))]).unwrap();
+        assert!(pager.stats().resident <= 2);
+    }
+
+    #[test]
+    fn mutate_marks_dirty_and_checkpoint_flush_clears() {
+        let (pager, vfs) = pager(4);
+        pager
+            .install(pid(0), 0, vec![Some(row(0)), Some(row(1))])
+            .unwrap();
+        let (p1, _) = pager.flush_and_sync().unwrap();
+        assert_eq!(p1, 1);
+        assert_eq!(pager.stats().dirty, 0);
+        // mutation re-dirties; flush appends a new image (copy-on-write)
+        let before = pager.stats().heap_bytes;
+        pager
+            .mutate(pid(0), |rows| {
+                rows[1] = None;
+            })
+            .unwrap();
+        assert_eq!(pager.stats().dirty, 1);
+        let (p2, b2) = pager.flush_and_sync().unwrap();
+        assert_eq!(p2, 1);
+        assert!(b2 > 0);
+        let after = pager.stats().heap_bytes;
+        assert!(after > before, "copy-on-write appends, never overwrites");
+        // a clean pool flushes nothing
+        assert_eq!(pager.flush_and_sync().unwrap(), (0, 0));
+        // the durable bytes on the fault vfs really grew append-only
+        assert_eq!(vfs.peek(&heap()).unwrap().len() as u64, after);
+    }
+
+    #[test]
+    fn torn_heap_tail_is_detected_by_page_crc() {
+        let (pager, vfs) = pager(4);
+        let rows: Vec<Option<Row>> = (0..4).map(|i| Some(row(i))).collect();
+        pager.install(pid(0), 0, rows).unwrap();
+        pager.flush_and_sync().unwrap();
+        let loc = pager.directory_loc(pid(0)).unwrap();
+        // a torn image (cut short) must fail CRC, not decode garbage
+        let full = vfs.read_at(&heap(), loc.offset, loc.len as usize).unwrap().unwrap();
+        for cut in [1usize, 8, full.len() - 1] {
+            assert!(decode_page(&full[..cut]).is_err());
+        }
+    }
+
+    #[test]
+    fn compaction_rewrites_live_pages_into_new_generation() {
+        let (pager, vfs) = pager(2);
+        for no in 0..4u32 {
+            let rows = (0..4).map(|i| Some(row((no * 4 + i) as i64))).collect();
+            pager.install(pid(no), no as u64 * 4, rows).unwrap();
+        }
+        pager.flush_and_sync().unwrap();
+        // churn: every page rewritten once → heap holds superseded images
+        for no in 0..4u32 {
+            pager
+                .mutate(pid(no), |rows| {
+                    rows[0] = None;
+                })
+                .unwrap();
+        }
+        pager.flush_and_sync().unwrap();
+        let old_bytes = pager.stats().heap_bytes;
+        let new_path = PathBuf::from("/db/heap.2.bin");
+        let pids: Vec<PageId> = (0..4).map(pid).collect();
+        pager.compact_into(&new_path, &pids).unwrap();
+        let new_bytes = pager.stats().heap_bytes;
+        assert!(new_bytes < old_bytes, "compaction reclaims superseded images");
+        assert!(vfs.exists(&new_path));
+        // contents survive, served from the new heap
+        for no in 0..4u32 {
+            let page = pager.pin(pid(no)).unwrap();
+            assert!(page.rows()[0].is_none());
+            assert_eq!(page.rows()[1].as_ref().unwrap(), &row((no * 4 + 1) as i64));
+        }
+    }
+
+    #[test]
+    fn page_directory_roundtrip_and_corruption() {
+        let schema = Schema::builder("t")
+            .column(Column::new("id", ValueType::Int))
+            .column(Column::new("name", ValueType::Text))
+            .primary_key(&["id"])
+            .build()
+            .unwrap();
+        let catalog = PagedCatalog {
+            epoch: 9,
+            heap_gen: 3,
+            next_table_id: 2,
+            tables: vec![PagedTableMeta {
+                schema,
+                table_id: 1,
+                live: 5,
+                pages: vec![
+                    PageDirEntry {
+                        base: 0,
+                        slots: 4,
+                        loc: DiskLoc { offset: 0, len: 100 },
+                    },
+                    PageDirEntry {
+                        base: 4,
+                        slots: 2,
+                        loc: DiskLoc { offset: 100, len: 60 },
+                    },
+                ],
+                tail_base: 6,
+                tail: vec![Some(row(6)), None, Some(row(8))],
+            }],
+        };
+        let data = encode_page_directory(&catalog);
+        let back = decode_page_directory(&data).unwrap();
+        assert_eq!(back.epoch, 9);
+        assert_eq!(back.heap_gen, 3);
+        assert_eq!(back.next_table_id, 2);
+        assert_eq!(back.tables.len(), 1);
+        let t = &back.tables[0];
+        assert_eq!(t.table_id, 1);
+        assert_eq!(t.live, 5);
+        assert_eq!(t.pages, catalog.tables[0].pages);
+        assert_eq!(t.tail_base, 6);
+        assert_eq!(t.tail, catalog.tables[0].tail);
+
+        let mut bad = data.clone();
+        bad[0] = b'X';
+        assert!(decode_page_directory(&bad).is_err());
+        let mut bad = data.clone();
+        let n = bad.len();
+        bad[n - 1] ^= 0x01;
+        assert!(decode_page_directory(&bad).is_err());
+        assert!(decode_page_directory(&data[..6]).is_err());
+    }
+}

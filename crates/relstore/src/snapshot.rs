@@ -128,8 +128,13 @@ pub(crate) fn get_schema(buf: &mut Bytes) -> StoreResult<Schema> {
     builder.build()
 }
 
-/// Encode tables into a snapshot byte buffer stamped with `epoch`.
-pub fn encode_snapshot<'a>(tables: impl Iterator<Item = &'a Table>, epoch: u64) -> Vec<u8> {
+/// Encode tables into a snapshot byte buffer stamped with `epoch`. Rows
+/// stream through [`Table::for_each_row`], so paged tables are encoded
+/// without materializing them (and their page-fault I/O errors propagate).
+pub fn encode_snapshot<'a>(
+    tables: impl Iterator<Item = &'a Table>,
+    epoch: u64,
+) -> StoreResult<Vec<u8>> {
     let mut body = BytesMut::new();
     put_varint(&mut body, epoch);
     let tables: Vec<&Table> = tables.collect();
@@ -138,17 +143,18 @@ pub fn encode_snapshot<'a>(tables: impl Iterator<Item = &'a Table>, epoch: u64) 
         put_schema(&mut body, t.schema());
         put_varint(&mut body, t.next_row_id().0);
         put_varint(&mut body, t.len() as u64);
-        for (row_id, row) in t.scan() {
+        t.for_each_row(|row_id, row| {
             put_varint(&mut body, row_id.0);
             put_row(&mut body, row.values());
-        }
+            Ok(())
+        })?;
     }
     let mut out = Vec::with_capacity(body.len() + 12);
     out.extend_from_slice(MAGIC);
     out.extend_from_slice(&VERSION.to_le_bytes());
     out.extend_from_slice(&crc32(&body).to_le_bytes());
     out.extend_from_slice(&body);
-    out
+    Ok(out)
 }
 
 /// Decode a snapshot byte buffer into fully-indexed tables plus the epoch
@@ -237,7 +243,7 @@ pub fn write_snapshot_file<'a>(
     tables: impl Iterator<Item = &'a Table>,
     epoch: u64,
 ) -> StoreResult<()> {
-    let data = encode_snapshot(tables, epoch);
+    let data = encode_snapshot(tables, epoch)?;
     let tmp = path.with_extension("tmp");
     {
         let mut f = vfs.create(&tmp)?;
@@ -294,7 +300,7 @@ mod tests {
     #[test]
     fn roundtrip_preserves_rows_ids_and_indexes() {
         let t = sample_table();
-        let data = encode_snapshot(std::iter::once(&t), 3);
+        let data = encode_snapshot(std::iter::once(&t), 3).unwrap();
         let (tables, epoch) = decode_snapshot(&data).unwrap();
         assert_eq!(epoch, 3);
         assert_eq!(tables.len(), 1);
@@ -321,7 +327,7 @@ mod tests {
     #[test]
     fn high_water_mark_respected_after_restore() {
         let t = sample_table();
-        let data = encode_snapshot(std::iter::once(&t), 0);
+        let data = encode_snapshot(std::iter::once(&t), 0).unwrap();
         let mut back = decode_snapshot(&data).unwrap().0.pop().unwrap();
         // next insert must not collide with the deleted tail id 19
         let id = back
@@ -333,7 +339,7 @@ mod tests {
     #[test]
     fn corruption_detected() {
         let t = sample_table();
-        let mut data = encode_snapshot(std::iter::once(&t), 1);
+        let mut data = encode_snapshot(std::iter::once(&t), 1).unwrap();
         // bad magic
         let mut bad = data.clone();
         bad[0] = b'X';
@@ -373,7 +379,7 @@ mod tests {
     fn version1_snapshot_decodes_as_epoch_zero() {
         // Hand-build a version-1 image: same body, no leading epoch varint.
         let t = sample_table();
-        let v2 = encode_snapshot(std::iter::once(&t), 0);
+        let v2 = encode_snapshot(std::iter::once(&t), 0).unwrap();
         let body = &v2[13..]; // epoch 0 encodes as one varint byte
         let mut v1 = Vec::new();
         v1.extend_from_slice(MAGIC);
@@ -396,7 +402,7 @@ mod tests {
             .unwrap();
         let mut t2 = Table::new(schema2);
         t2.insert(vec![Value::Int(1)]).unwrap();
-        let data = encode_snapshot([&t1, &t2].into_iter(), 0);
+        let data = encode_snapshot([&t1, &t2].into_iter(), 0).unwrap();
         let (tables, _) = decode_snapshot(&data).unwrap();
         assert_eq!(tables.len(), 2);
         assert_eq!(tables[0].name(), "object");

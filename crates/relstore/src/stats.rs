@@ -13,12 +13,77 @@ pub struct TableStats {
     pub indexes: Vec<(String, usize)>,
 }
 
+/// Buffer-pool metrics for paged databases (see [`crate::pager`]).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PoolStats {
+    /// Configured page size in bytes.
+    pub page_bytes: usize,
+    /// Configured pool capacity in pages.
+    pub pool_pages: usize,
+    /// Pages currently resident in the pool.
+    pub resident: usize,
+    /// Resident pages with a nonzero pin count.
+    pub pinned: usize,
+    /// Resident pages whose in-pool contents differ from disk.
+    pub dirty: usize,
+    /// Pages evicted since open.
+    pub evictions: u64,
+    /// Page requests served from the pool.
+    pub hits: u64,
+    /// Page requests that had to read the heap file.
+    pub misses: u64,
+    /// Pages written back by eviction (copy-on-write appends).
+    pub writeback_pages: u64,
+    /// Bytes written back by eviction.
+    pub writeback_bytes: u64,
+    /// Dirty pages flushed by checkpoints.
+    pub checkpoint_pages: u64,
+    /// Bytes flushed by checkpoints.
+    pub checkpoint_bytes: u64,
+    /// Current heap file extent in bytes (live pages + superseded images).
+    pub heap_bytes: u64,
+}
+
+impl PoolStats {
+    /// Fraction of page requests served without heap I/O (1.0 when no
+    /// requests have happened yet).
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            1.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+}
+
+impl fmt::Display for PoolStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "pool: {}/{} pages resident ({} pinned, {} dirty), {:.1}% hit rate, \
+             {} evictions, {} writeback pages, {} checkpoint pages, heap {} bytes",
+            self.resident,
+            self.pool_pages,
+            self.pinned,
+            self.dirty,
+            self.hit_rate() * 100.0,
+            self.evictions,
+            self.writeback_pages,
+            self.checkpoint_pages,
+            self.heap_bytes,
+        )
+    }
+}
+
 /// Whole-database statistics.
 #[derive(Debug, Clone, Default)]
 pub struct DbStats {
     pub tables: Vec<TableStats>,
     /// Bytes appended to the WAL since open/last checkpoint.
     pub wal_bytes: u64,
+    /// Buffer-pool metrics; `None` for resident (non-paged) databases.
+    pub pool: Option<PoolStats>,
 }
 
 impl DbStats {
@@ -42,6 +107,9 @@ impl fmt::Display for DbStats {
         writeln!(f, "database: {} tables, {} rows", self.tables.len(), self.total_rows())?;
         for t in &self.tables {
             writeln!(f, "  {:<16} {:>10} rows, {} indexes", t.name, t.rows, t.indexes.len())?;
+        }
+        if let Some(pool) = &self.pool {
+            writeln!(f, "  {pool}")?;
         }
         Ok(())
     }
@@ -67,6 +135,7 @@ mod tests {
                 },
             ],
             wal_bytes: 0,
+            pool: None,
         };
         assert_eq!(stats.rows("object"), 100);
         assert_eq!(stats.rows("missing"), 0);
@@ -74,5 +143,34 @@ mod tests {
         let text = stats.to_string();
         assert!(text.contains("2 tables"));
         assert!(text.contains("object"));
+        assert!(!text.contains("pool:"));
+    }
+
+    #[test]
+    fn pool_stats_hit_rate_and_display() {
+        let mut pool = PoolStats {
+            page_bytes: 4096,
+            pool_pages: 8,
+            resident: 6,
+            pinned: 1,
+            dirty: 2,
+            evictions: 10,
+            hits: 75,
+            misses: 25,
+            ..PoolStats::default()
+        };
+        assert!((pool.hit_rate() - 0.75).abs() < 1e-9);
+        let text = pool.to_string();
+        assert!(text.contains("6/8 pages resident"));
+        assert!(text.contains("75.0% hit rate"));
+        pool.hits = 0;
+        pool.misses = 0;
+        assert_eq!(pool.hit_rate(), 1.0);
+        let stats = DbStats {
+            tables: vec![],
+            wal_bytes: 0,
+            pool: Some(pool),
+        };
+        assert!(stats.to_string().contains("pool:"));
     }
 }

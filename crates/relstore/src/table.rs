@@ -1,17 +1,25 @@
 //! Heap tables with slotted storage and index maintenance.
 //!
-//! A [`Table`] owns its rows in a slot vector addressed by [`RowId`]. Row
-//! ids are monotonically assigned and never reused; deleting a row tombstones
-//! its slot. Every declared index (including the primary key, named `"pk"`)
-//! is maintained on insert/update/delete.
+//! A [`Table`] owns its rows either *resident* (a slot vector addressed by
+//! [`RowId`]) or *paged*: sealed slotted pages behind the buffer pool
+//! ([`crate::pager`]) plus an open in-memory tail page. Row ids are
+//! monotonically assigned and never reused; deleting a row tombstones its
+//! slot. Every declared index (including the primary key, named `"pk"`) is
+//! maintained on insert/update/delete and kept resident in both modes —
+//! only row bodies page out, so indexed point lookups pin exactly the
+//! pages they touch.
 //!
 //! Reads go through [`Table::select`], which performs simple access-path
 //! selection: if the predicate's top-level conjunction pins every column of
 //! some index with equality, the index serves the lookup and the residual
 //! predicate filters the candidates; otherwise a full scan runs.
 
+use std::sync::Arc;
+
 use crate::error::{StoreError, StoreResult};
 use crate::index::{format_key, IndexKey, IndexStore};
+use crate::page::{encoded_row_len, PageId, MAX_PAGE_SLOTS};
+use crate::pager::{PageDirEntry, PagedTableMeta, Pager, PinnedPage};
 use crate::predicate::Predicate;
 use crate::row::{Row, RowId};
 use crate::schema::Schema;
@@ -42,18 +50,378 @@ impl ColumnarBlock {
     }
 }
 
-/// A table: schema, row slots, and indexes.
-#[derive(Debug, Clone)]
+/// A sealed page of a paged table: `slots` consecutive row ids starting at
+/// `base`, owned by the buffer pool under
+/// `PageId { table_id, page_no: <position in the page list> }`.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct SealedPage {
+    pub(crate) base: u64,
+    pub(crate) slots: u32,
+}
+
+/// Paged row storage: a contiguous list of sealed pages covering row ids
+/// `[0, tail_base)` plus the open tail page covering `[tail_base, ..)`.
+#[derive(Debug)]
+struct PagedRows {
+    pager: Arc<Pager>,
+    table_id: u32,
+    pages: Vec<SealedPage>,
+    tail: Vec<Option<Row>>,
+    tail_base: u64,
+    /// Encoded bytes of the live tail rows — the page-fill trigger.
+    tail_bytes: usize,
+}
+
+/// Where a row id lives in a paged store.
+enum Loc {
+    /// Open tail page, at this offset.
+    Tail(usize),
+    /// Sealed page `pages[i]`, slot `j`.
+    Page(usize, usize),
+    /// At or beyond the high-water mark.
+    Beyond,
+}
+
+impl PagedRows {
+    fn page_id(&self, idx: usize) -> PageId {
+        PageId {
+            table_id: self.table_id,
+            page_no: idx as u32,
+        }
+    }
+
+    fn high_water(&self) -> u64 {
+        self.tail_base + self.tail.len() as u64
+    }
+
+    fn locate(&self, id: u64) -> Loc {
+        if id >= self.tail_base {
+            let off = (id - self.tail_base) as usize;
+            if off < self.tail.len() {
+                Loc::Tail(off)
+            } else {
+                Loc::Beyond
+            }
+        } else {
+            // Sealed pages tile [0, tail_base) contiguously; find the page
+            // whose base is the greatest one <= id.
+            let idx = match self.pages.binary_search_by(|p| p.base.cmp(&id)) {
+                Ok(i) => i,
+                Err(0) => return Loc::Beyond,
+                Err(i) => i - 1,
+            };
+            let slot = (id - self.pages[idx].base) as usize;
+            if slot < self.pages[idx].slots as usize {
+                Loc::Page(idx, slot)
+            } else {
+                Loc::Beyond
+            }
+        }
+    }
+
+    /// Seal the open tail into the buffer pool when it is full (by bytes
+    /// against the configured page size, or by the slot cap). The tail is
+    /// recorded in `pages` *before* the pool install, so an eviction error
+    /// inside `install` (which still leaves the new frame resident and
+    /// dirty) keeps table and pool consistent.
+    fn maybe_seal(&mut self) -> StoreResult<()> {
+        while !self.tail.is_empty()
+            && (self.tail.len() >= MAX_PAGE_SLOTS
+                || self.tail_bytes >= self.pager.config().page_bytes)
+        {
+            self.seal_tail()?;
+        }
+        Ok(())
+    }
+
+    fn seal_tail(&mut self) -> StoreResult<()> {
+        if self.tail.is_empty() {
+            return Ok(());
+        }
+        let rows = std::mem::take(&mut self.tail);
+        let base = self.tail_base;
+        let page_no = self.pages.len() as u32;
+        self.pages.push(SealedPage {
+            base,
+            slots: rows.len() as u32,
+        });
+        self.tail_base = base + rows.len() as u64;
+        self.tail_bytes = 0;
+        self.pager.install(
+            PageId {
+                table_id: self.table_id,
+                page_no,
+            },
+            base,
+            rows,
+        )
+    }
+}
+
+/// Row storage behind a [`Table`]: fully resident, or paged through the
+/// buffer pool.
+#[derive(Debug)]
+enum RowStore {
+    Resident(Vec<Option<Row>>),
+    Paged(PagedRows),
+}
+
+impl RowStore {
+    /// One past the highest assigned row id.
+    fn high_water(&self) -> u64 {
+        match self {
+            RowStore::Resident(slots) => slots.len() as u64,
+            RowStore::Paged(p) => p.high_water(),
+        }
+    }
+
+    /// Append a slot without running the seal check (infallible, so callers
+    /// can order it after index maintenance and stay consistent).
+    fn push_raw(&mut self, row: Option<Row>) {
+        match self {
+            RowStore::Resident(slots) => slots.push(row),
+            RowStore::Paged(p) => {
+                if let Some(r) = &row {
+                    p.tail_bytes += encoded_row_len(r.values());
+                }
+                p.tail.push(row);
+            }
+        }
+    }
+
+    /// Run the deferred seal check after one or more `push_raw` calls. An
+    /// error leaves every pushed row stored (in the tail or in a resident
+    /// pool frame) — only the page-out I/O failed.
+    fn settle(&mut self) -> StoreResult<()> {
+        match self {
+            RowStore::Resident(_) => Ok(()),
+            RowStore::Paged(p) => p.maybe_seal(),
+        }
+    }
+
+    /// Extend with tombstones until the high-water mark reaches `target`
+    /// (gap fill for replayed sparse row ids).
+    fn fill_gap_to(&mut self, target: u64) -> StoreResult<()> {
+        match self {
+            RowStore::Resident(slots) => {
+                slots.resize(target as usize, None);
+                Ok(())
+            }
+            RowStore::Paged(p) => {
+                while p.high_water() < target {
+                    p.tail.push(None);
+                    // Tombstones are zero encoded bytes; only the slot cap
+                    // can trigger a seal here, and it must, or a huge gap
+                    // would grow one page without bound.
+                    if p.tail.len() >= MAX_PAGE_SLOTS {
+                        p.maybe_seal()?;
+                    }
+                }
+                Ok(())
+            }
+        }
+    }
+
+    /// Clone out the row at `id`; `Ok(None)` for tombstones and ids beyond
+    /// the high-water mark.
+    fn get_owned(&self, id: u64) -> StoreResult<Option<Row>> {
+        self.with_row(id, Row::clone)
+    }
+
+    /// Apply `f` to the row at `id` without cloning it; `Ok(None)` for
+    /// tombstones and out-of-range ids. Paged stores pin the page for the
+    /// duration of the call.
+    fn with_row<T>(&self, id: u64, f: impl FnOnce(&Row) -> T) -> StoreResult<Option<T>> {
+        match self {
+            RowStore::Resident(slots) => Ok(slots.get(id as usize).and_then(|s| s.as_ref()).map(f)),
+            RowStore::Paged(p) => match p.locate(id) {
+                Loc::Beyond => Ok(None),
+                Loc::Tail(off) => Ok(p.tail[off].as_ref().map(f)),
+                Loc::Page(idx, slot) => {
+                    let pin = p.pager.pin(p.page_id(idx))?;
+                    Ok(pin.rows().get(slot).and_then(|s| s.as_ref()).map(f))
+                }
+            },
+        }
+    }
+
+    /// Swap the slot at `id` (which must be below the high-water mark) for
+    /// `row`, returning the previous contents. For paged stores the page
+    /// mutation is copy-on-write through the pool and marks the page dirty;
+    /// an I/O error means the mutation was *not* applied.
+    fn replace(&mut self, id: u64, row: Option<Row>) -> StoreResult<Option<Row>> {
+        match self {
+            RowStore::Resident(slots) => match slots.get_mut(id as usize) {
+                Some(slot) => Ok(std::mem::replace(slot, row)),
+                None => Err(StoreError::Corrupt(format!(
+                    "slot write at {id} beyond high-water mark {}",
+                    slots.len()
+                ))),
+            },
+            RowStore::Paged(p) => match p.locate(id) {
+                Loc::Beyond => Err(StoreError::Corrupt(format!(
+                    "slot write at {id} beyond high-water mark {}",
+                    p.high_water()
+                ))),
+                Loc::Tail(off) => {
+                    if let Some(r) = &row {
+                        p.tail_bytes += encoded_row_len(r.values());
+                    }
+                    let old = std::mem::replace(&mut p.tail[off], row);
+                    if let Some(r) = &old {
+                        p.tail_bytes = p.tail_bytes.saturating_sub(encoded_row_len(r.values()));
+                    }
+                    Ok(old)
+                }
+                Loc::Page(idx, slot) => {
+                    let pid = p.page_id(idx);
+                    p.pager.mutate(pid, move |rows| match rows.get_mut(slot) {
+                        Some(s) => Ok(std::mem::replace(s, row)),
+                        None => Err(StoreError::Corrupt(format!(
+                            "page {pid:?} shorter than its directory entry"
+                        ))),
+                    })?
+                }
+            },
+        }
+    }
+
+    /// Visit every live row in row-id order, propagating sink errors and
+    /// page-fault I/O errors. Paged stores pin each sealed page exactly
+    /// once for the duration of its slice.
+    fn for_each(&self, f: &mut dyn FnMut(RowId, &Row) -> StoreResult<()>) -> StoreResult<()> {
+        match self {
+            RowStore::Resident(slots) => {
+                for (i, slot) in slots.iter().enumerate() {
+                    if let Some(row) = slot {
+                        f(RowId(i as u64), row)?;
+                    }
+                }
+                Ok(())
+            }
+            RowStore::Paged(p) => {
+                for (idx, sp) in p.pages.iter().enumerate() {
+                    let pin = p.pager.pin(p.page_id(idx))?;
+                    for (i, slot) in pin.rows().iter().enumerate() {
+                        if let Some(row) = slot {
+                            f(RowId(sp.base + i as u64), row)?;
+                        }
+                    }
+                }
+                for (i, slot) in p.tail.iter().enumerate() {
+                    if let Some(row) = slot {
+                        f(RowId(p.tail_base + i as u64), row)?;
+                    }
+                }
+                Ok(())
+            }
+        }
+    }
+}
+
+/// A read cursor over a [`RowStore`] that caches the last pinned page, so
+/// index-driven loops that touch several rows of the same page fault it in
+/// once instead of per row.
+struct RowCursor<'a> {
+    store: &'a RowStore,
+    cached: Option<(u32, PinnedPage)>,
+}
+
+impl<'a> RowCursor<'a> {
+    fn new(store: &'a RowStore) -> Self {
+        RowCursor {
+            store,
+            cached: None,
+        }
+    }
+
+    /// Apply `f` to the live row at `id`; `Ok(None)` for tombstones and
+    /// out-of-range ids.
+    fn with<T>(&mut self, id: RowId, f: impl FnOnce(&Row) -> T) -> StoreResult<Option<T>> {
+        let p = match self.store {
+            RowStore::Resident(slots) => {
+                return Ok(slots.get(id.0 as usize).and_then(|s| s.as_ref()).map(f));
+            }
+            RowStore::Paged(p) => p,
+        };
+        match p.locate(id.0) {
+            Loc::Beyond => Ok(None),
+            Loc::Tail(off) => Ok(p.tail[off].as_ref().map(f)),
+            Loc::Page(idx, slot) => {
+                let page_no = idx as u32;
+                if !matches!(&self.cached, Some((no, _)) if *no == page_no) {
+                    let pin = p.pager.pin(p.page_id(idx))?;
+                    self.cached = Some((page_no, pin));
+                }
+                let rows = match &self.cached {
+                    Some((_, pin)) => pin.rows(),
+                    // unreachable: the cache was just filled above
+                    None => {
+                        return Err(StoreError::Corrupt(
+                            "row cursor lost its pinned page".into(),
+                        ))
+                    }
+                };
+                Ok(rows.get(slot).and_then(|s| s.as_ref()).map(f))
+            }
+        }
+    }
+}
+
+/// An index entry pointed at a dead or out-of-range slot: indexes and row
+/// storage have diverged — surfaced as corruption instead of a panic.
+fn dead_index_ref(table: &str, id: RowId) -> StoreError {
+    StoreError::Corrupt(format!(
+        "index references dead row {} in table {table}",
+        id.0
+    ))
+}
+
+/// Owning iterator over a table's live rows in row-id order (see
+/// [`Table::scan`]).
+///
+/// Paged stores fault pages in through the buffer pool as the iterator
+/// advances; a page-fault I/O error ends the iteration early (an
+/// `Iterator` cannot yield a `Result` without changing every call site).
+/// Paths that must distinguish "end of data" from "I/O error" use
+/// [`Table::for_each_row`] instead.
+pub struct Scan<'a> {
+    cursor: RowCursor<'a>,
+    next_id: u64,
+    high: u64,
+    failed: bool,
+}
+
+impl Iterator for Scan<'_> {
+    type Item = (RowId, Row);
+
+    fn next(&mut self) -> Option<(RowId, Row)> {
+        while !self.failed && self.next_id < self.high {
+            let id = RowId(self.next_id);
+            self.next_id += 1;
+            match self.cursor.with(id, Row::clone) {
+                Ok(Some(row)) => return Some((id, row)),
+                Ok(None) => continue,
+                Err(_) => self.failed = true,
+            }
+        }
+        None
+    }
+}
+
+/// A table: schema, row storage, and indexes.
+#[derive(Debug)]
 pub struct Table {
     schema: Schema,
-    /// Slot vector; `slots[row_id]` is `None` for deleted rows.
-    slots: Vec<Option<Row>>,
+    /// Row slots; resident vector or pool-backed pages. A slot is `None`
+    /// for deleted rows.
+    store: RowStore,
     live: usize,
     indexes: Vec<IndexStore>,
 }
 
 impl Table {
-    /// Create an empty table for `schema`.
+    /// Create an empty resident table for `schema`.
     pub fn new(schema: Schema) -> Self {
         let indexes = schema
             .indexes()
@@ -62,10 +430,146 @@ impl Table {
             .collect();
         Table {
             schema,
-            slots: Vec::new(),
+            store: RowStore::Resident(Vec::new()),
             live: 0,
             indexes,
         }
+    }
+
+    /// Create an empty paged table whose row bodies live behind `pager`
+    /// under `table_id`.
+    pub(crate) fn new_paged(schema: Schema, pager: Arc<Pager>, table_id: u32) -> Self {
+        let indexes = schema
+            .indexes()
+            .iter()
+            .map(|d| IndexStore::new(d.unique))
+            .collect();
+        Table {
+            schema,
+            store: RowStore::Paged(PagedRows {
+                pager,
+                table_id,
+                pages: Vec::new(),
+                tail: Vec::new(),
+                tail_base: 0,
+                tail_bytes: 0,
+            }),
+            live: 0,
+            indexes,
+        }
+    }
+
+    /// Rebuild a paged table from recovered page-directory metadata. The
+    /// sealed pages must tile `[0, tail_base)` contiguously (anything else
+    /// is a corrupt directory); indexes and the live count are rebuilt by
+    /// streaming every page through the pool once.
+    pub(crate) fn new_paged_recovered(
+        schema: Schema,
+        pager: Arc<Pager>,
+        table_id: u32,
+        pages: Vec<SealedPage>,
+        tail_base: u64,
+        tail: Vec<Option<Row>>,
+    ) -> StoreResult<Table> {
+        let mut expect = 0u64;
+        for (i, p) in pages.iter().enumerate() {
+            if p.base != expect {
+                return Err(StoreError::Corrupt(format!(
+                    "page directory of table {}: page {i} starts at {} but previous pages end at {expect}",
+                    schema.name(),
+                    p.base
+                )));
+            }
+            expect += p.slots as u64;
+        }
+        if expect != tail_base {
+            return Err(StoreError::Corrupt(format!(
+                "page directory of table {}: sealed pages end at {expect} but tail starts at {tail_base}",
+                schema.name()
+            )));
+        }
+        let tail_bytes = tail
+            .iter()
+            .flatten()
+            .map(|r| encoded_row_len(r.values()))
+            .sum();
+        let store = RowStore::Paged(PagedRows {
+            pager,
+            table_id,
+            pages,
+            tail,
+            tail_base,
+            tail_bytes,
+        });
+        let mut indexes: Vec<IndexStore> = schema
+            .indexes()
+            .iter()
+            .map(|d| IndexStore::new(d.unique))
+            .collect();
+        let mut live = 0usize;
+        store.for_each(&mut |id, row| {
+            live += 1;
+            for (def, ix) in schema.indexes().iter().zip(indexes.iter_mut()) {
+                ix.insert(row.project(&def.columns), id).map_err(|e| match e {
+                    StoreError::UniqueViolation { key, index, .. } => {
+                        StoreError::UniqueViolation {
+                            table: schema.name().to_owned(),
+                            index,
+                            key,
+                        }
+                    }
+                    e => e,
+                })?;
+            }
+            Ok(())
+        })?;
+        Ok(Table {
+            schema,
+            store,
+            live,
+            indexes,
+        })
+    }
+
+    /// Page ids of all sealed pages (empty for resident tables).
+    pub(crate) fn page_ids(&self) -> Vec<PageId> {
+        match &self.store {
+            RowStore::Resident(_) => Vec::new(),
+            RowStore::Paged(p) => (0..p.pages.len()).map(|i| p.page_id(i)).collect(),
+        }
+    }
+
+    /// Checkpoint metadata for a paged table: every sealed page's heap
+    /// location (valid only after the pool has flushed — a page without a
+    /// location is corruption) plus the inline tail. `None` for resident
+    /// tables.
+    pub(crate) fn to_paged_meta(&self) -> StoreResult<Option<PagedTableMeta>> {
+        let p = match &self.store {
+            RowStore::Resident(_) => return Ok(None),
+            RowStore::Paged(p) => p,
+        };
+        let mut pages = Vec::with_capacity(p.pages.len());
+        for (i, sp) in p.pages.iter().enumerate() {
+            let loc = p.pager.directory_loc(p.page_id(i)).ok_or_else(|| {
+                StoreError::Corrupt(format!(
+                    "page {i} of table {} has no heap location at checkpoint",
+                    self.schema.name()
+                ))
+            })?;
+            pages.push(PageDirEntry {
+                base: sp.base,
+                slots: sp.slots,
+                loc,
+            });
+        }
+        Ok(Some(PagedTableMeta {
+            schema: self.schema.clone(),
+            table_id: p.table_id,
+            live: self.live as u64,
+            pages,
+            tail_base: p.tail_base,
+            tail: p.tail.clone(),
+        }))
     }
 
     /// The table's schema.
@@ -90,7 +594,7 @@ impl Table {
 
     /// The row id the next insert will receive.
     pub fn next_row_id(&self) -> RowId {
-        RowId(self.slots.len() as u64)
+        RowId(self.store.high_water())
     }
 
     /// Insert a row, returning its new row id.
@@ -110,13 +614,17 @@ impl Table {
                 }
             }
         }
-        let row_id = RowId(self.slots.len() as u64);
+        let row_id = RowId(self.store.high_water());
         for (def, ix) in self.schema.indexes().iter().zip(self.indexes.iter_mut()) {
             let key = row.project(&def.columns);
             ix.insert(key, row_id)?;
         }
-        self.slots.push(Some(row));
+        self.store.push_raw(Some(row));
         self.live += 1;
+        // The row is fully inserted and indexed at this point; a seal
+        // (page-out) error leaves the table consistent and is retried on
+        // the next insert.
+        self.store.settle()?;
         Ok(row_id)
     }
 
@@ -167,7 +675,7 @@ impl Table {
                 }
             }
         }
-        let first = self.slots.len() as u64;
+        let first = self.store.high_water();
         let row_ids: Vec<RowId> = (0..new_rows.len() as u64).map(|i| RowId(first + i)).collect();
         // Bulk index build: one key-sorted run per index, inserted in
         // ascending key order.
@@ -182,8 +690,11 @@ impl Table {
                 ix.insert(key, id)?;
             }
         }
-        self.slots.extend(new_rows.into_iter().map(Some));
+        for row in new_rows {
+            self.store.push_raw(Some(row));
+        }
         self.live += row_ids.len();
+        self.store.settle()?;
         Ok(row_ids)
     }
 
@@ -192,14 +703,13 @@ impl Table {
     /// is filled with tombstones so later replayed ids stay aligned.
     pub(crate) fn insert_at(&mut self, row_id: RowId, values: Vec<Value>) -> StoreResult<()> {
         self.schema.check_row(&values)?;
-        let idx = row_id.0 as usize;
-        if idx < self.slots.len() {
+        if row_id.0 < self.store.high_water() {
             return Err(StoreError::Corrupt(format!(
                 "replayed insert at {row_id} below high-water mark {}",
-                self.slots.len()
+                self.store.high_water()
             )));
         }
-        self.slots.resize(idx, None);
+        self.store.fill_gap_to(row_id.0)?;
         let row = Row::new(values);
         for (def, ix) in self.schema.indexes().iter().zip(self.indexes.iter_mut()) {
             let key = row.project(&def.columns);
@@ -212,9 +722,9 @@ impl Table {
                 e => e,
             })?;
         }
-        self.slots.push(Some(row));
+        self.store.push_raw(Some(row));
         self.live += 1;
-        Ok(())
+        self.store.settle()
     }
 
     /// Restore a previously-deleted row into its original (tombstoned)
@@ -222,14 +732,12 @@ impl Table {
     /// to undo deletes.
     pub(crate) fn restore(&mut self, row_id: RowId, values: Vec<Value>) -> StoreResult<()> {
         self.schema.check_row(&values)?;
-        let idx = row_id.0 as usize;
-        match self.slots.get(idx) {
-            Some(None) => {}
-            _ => {
-                return Err(StoreError::Corrupt(format!(
-                    "restore target {row_id} is not a tombstone"
-                )))
-            }
+        let in_range = row_id.0 < self.store.high_water();
+        let occupied = in_range && self.store.with_row(row_id.0, |_| ())?.is_some();
+        if !in_range || occupied {
+            return Err(StoreError::Corrupt(format!(
+                "restore target {row_id} is not a tombstone"
+            )));
         }
         let row = Row::new(values);
         for (def, ix) in self.schema.indexes().iter().zip(&self.indexes) {
@@ -244,20 +752,21 @@ impl Table {
                 }
             }
         }
+        // Fallible page I/O first: if the slot write fails nothing has
+        // changed; the index inserts after it cannot conflict (pre-checked).
+        self.store.replace(row_id.0, Some(row.clone()))?;
         for (def, ix) in self.schema.indexes().iter().zip(self.indexes.iter_mut()) {
             let key = row.project(&def.columns);
             ix.insert(key, row_id)?;
         }
-        self.slots[idx] = Some(row);
         self.live += 1;
         Ok(())
     }
 
     /// Fetch a live row by id.
-    pub fn get(&self, row_id: RowId) -> StoreResult<&Row> {
-        self.slots
-            .get(row_id.0 as usize)
-            .and_then(|s| s.as_ref())
+    pub fn get(&self, row_id: RowId) -> StoreResult<Row> {
+        self.store
+            .get_owned(row_id.0)?
             .ok_or_else(|| StoreError::NoSuchRow {
                 table: self.name().to_owned(),
                 row_id: row_id.0,
@@ -266,14 +775,12 @@ impl Table {
 
     /// Delete a row by id, returning the removed row.
     pub fn delete(&mut self, row_id: RowId) -> StoreResult<Row> {
-        let slot = self
-            .slots
-            .get_mut(row_id.0 as usize)
-            .ok_or_else(|| StoreError::NoSuchRow {
-                table: self.schema.name().to_owned(),
-                row_id: row_id.0,
-            })?;
-        let row = slot.take().ok_or_else(|| StoreError::NoSuchRow {
+        let old = if row_id.0 < self.store.high_water() {
+            self.store.replace(row_id.0, None)?
+        } else {
+            None
+        };
+        let row = old.ok_or_else(|| StoreError::NoSuchRow {
             table: self.schema.name().to_owned(),
             row_id: row_id.0,
         })?;
@@ -288,7 +795,7 @@ impl Table {
     /// Replace the row at `row_id` with new values (index-maintained).
     pub fn update(&mut self, row_id: RowId, values: Vec<Value>) -> StoreResult<()> {
         self.schema.check_row(&values)?;
-        let old = self.get(row_id)?.clone();
+        let old = self.get(row_id)?;
         let new = Row::new(values);
         // unique pre-check, ignoring this row's own entries
         for (def, ix) in self.schema.indexes().iter().zip(&self.indexes) {
@@ -304,6 +811,9 @@ impl Table {
                 }
             }
         }
+        // Fallible page I/O first (an error means the slot was not
+        // written), then the pre-checked index delta.
+        self.store.replace(row_id.0, Some(new.clone()))?;
         for (def, ix) in self.schema.indexes().iter().zip(self.indexes.iter_mut()) {
             let old_key = old.project(&def.columns);
             let new_key = new.project(&def.columns);
@@ -312,51 +822,66 @@ impl Table {
                 ix.insert(new_key, row_id)?;
             }
         }
-        self.slots[row_id.0 as usize] = Some(new);
         Ok(())
     }
 
-    /// The live row an index entry points at. An entry referencing a dead
-    /// or out-of-range slot means indexes and slots have diverged —
-    /// surfaced as corruption instead of a panic.
-    fn live_row(&self, id: RowId) -> StoreResult<&Row> {
-        self.slots
-            .get(id.0 as usize)
-            .and_then(|s| s.as_ref())
-            .ok_or_else(|| {
-                StoreError::Corrupt(format!(
-                    "index references dead row {} in table {}",
-                    id.0,
-                    self.schema.name()
-                ))
-            })
+    /// Iterate live rows in row-id order, yielding owned rows.
+    ///
+    /// On a paged table this faults pages in through the buffer pool; an
+    /// I/O error ends the iteration early. Internal paths that must
+    /// propagate errors use [`for_each_row`](Self::for_each_row).
+    pub fn scan(&self) -> Scan<'_> {
+        Scan {
+            cursor: RowCursor::new(&self.store),
+            next_id: 0,
+            high: self.store.high_water(),
+            failed: false,
+        }
     }
 
-    /// Iterate live rows in row-id order.
-    pub fn scan(&self) -> impl Iterator<Item = (RowId, &Row)> + '_ {
-        self.slots
-            .iter()
-            .enumerate()
-            .filter_map(|(i, s)| s.as_ref().map(|r| (RowId(i as u64), r)))
+    /// Visit every live row in row-id order without cloning, propagating
+    /// sink errors and page-fault I/O errors. This is the streaming
+    /// substrate for snapshots, reindexing, and aggregate scans.
+    pub fn for_each_row(
+        &self,
+        mut f: impl FnMut(RowId, &Row) -> StoreResult<()>,
+    ) -> StoreResult<()> {
+        self.store.for_each(&mut f)
     }
 
     /// Exact-key lookup on a named index.
-    pub fn lookup(&self, index: &str, key: &[Value]) -> StoreResult<Vec<&Row>> {
+    pub fn lookup(&self, index: &str, key: &[Value]) -> StoreResult<Vec<Row>> {
         let pos = self.index_position(index)?;
         let ids = self.indexes[pos].lookup(&key.to_vec());
-        ids.into_iter().map(|id| self.live_row(id)).collect()
+        let mut cursor = RowCursor::new(&self.store);
+        let mut out = Vec::with_capacity(ids.len());
+        for id in ids {
+            let row = cursor
+                .with(id, Row::clone)?
+                .ok_or_else(|| dead_index_ref(self.schema.name(), id))?;
+            out.push(row);
+        }
+        Ok(out)
     }
 
     /// Prefix lookup on a composite index (pins the first `prefix.len()`
     /// key columns).
-    pub fn lookup_prefix(&self, index: &str, prefix: &[Value]) -> StoreResult<Vec<&Row>> {
+    pub fn lookup_prefix(&self, index: &str, prefix: &[Value]) -> StoreResult<Vec<Row>> {
         let pos = self.index_position(index)?;
         let ids = self.indexes[pos].prefix_lookup(prefix);
-        ids.into_iter().map(|id| self.live_row(id)).collect()
+        let mut cursor = RowCursor::new(&self.store);
+        let mut out = Vec::with_capacity(ids.len());
+        for id in ids {
+            let row = cursor
+                .with(id, Row::clone)?
+                .ok_or_else(|| dead_index_ref(self.schema.name(), id))?;
+            out.push(row);
+        }
+        Ok(out)
     }
 
     /// Unique-index point lookup returning at most one row.
-    pub fn lookup_unique(&self, index: &str, key: &[Value]) -> StoreResult<Option<&Row>> {
+    pub fn lookup_unique(&self, index: &str, key: &[Value]) -> StoreResult<Option<Row>> {
         let mut rows = self.lookup(index, key)?;
         Ok(if rows.is_empty() {
             None
@@ -366,7 +891,7 @@ impl Table {
     }
 
     /// Exact-key lookup streamed row by row, without materializing a
-    /// `Vec<&Row>` of candidates first.
+    /// `Vec<Row>` of candidates first.
     pub fn for_each_lookup(
         &self,
         index: &str,
@@ -374,11 +899,17 @@ impl Table {
         mut f: impl FnMut(&Row),
     ) -> StoreResult<()> {
         let pos = self.index_position(index)?;
+        let mut cursor = RowCursor::new(&self.store);
         let mut first_err = None;
-        self.indexes[pos].for_each(&key.to_vec(), |id| match self.live_row(id) {
-            Ok(row) if first_err.is_none() => f(row),
-            Ok(_) => {}
-            Err(e) => first_err = Some(e),
+        self.indexes[pos].for_each(&key.to_vec(), |id| {
+            if first_err.is_some() {
+                return;
+            }
+            match cursor.with(id, &mut f) {
+                Ok(Some(())) => {}
+                Ok(None) => first_err = Some(dead_index_ref(self.schema.name(), id)),
+                Err(e) => first_err = Some(e),
+            }
         });
         first_err.map_or(Ok(()), Err)
     }
@@ -396,11 +927,15 @@ impl Table {
         mut f: impl FnMut(&[Value], &Row),
     ) -> StoreResult<()> {
         let pos = self.index_position(index)?;
+        let mut cursor = RowCursor::new(&self.store);
         let mut first_err = None;
         self.indexes[pos].range_entries_for_each(&lo.to_vec(), &hi.to_vec(), |key, id| {
-            match self.live_row(id) {
-                Ok(row) if first_err.is_none() => f(key, row),
-                Ok(_) => {}
+            if first_err.is_some() {
+                return;
+            }
+            match cursor.with(id, |row| f(key, row)) {
+                Ok(Some(())) => {}
+                Ok(None) => first_err = Some(dead_index_ref(self.schema.name(), id)),
                 Err(e) => first_err = Some(e),
             }
         });
@@ -429,9 +964,11 @@ impl Table {
     /// key order and decoded straight into per-column buffers that are
     /// handed to `sink` one block at a time. Compared to
     /// [`lookup_prefix`](Self::lookup_prefix) this never materializes the
-    /// candidate row-id/`&Row` vectors and touches only the requested
+    /// candidate row-id/row vectors and touches only the requested
     /// columns, which is what bulk loaders (e.g. mapping-index construction
-    /// over `OBJECT_REL`) want. Returns the total number of rows visited.
+    /// over `OBJECT_REL`) want. On a paged table each page is pinned only
+    /// while its rows are being decoded. Returns the total number of rows
+    /// visited.
     ///
     /// `int_cols` decode with [`Value::as_int`] semantics (non-int values
     /// become 0); `float_cols` decode with [`Value::as_float`] semantics
@@ -460,30 +997,34 @@ impl Table {
             ints: vec![Vec::with_capacity(block_rows); int_ords.len()],
             floats: vec![Vec::with_capacity(block_rows); float_ords.len()],
         };
+        let mut cursor = RowCursor::new(&self.store);
         let mut total = 0usize;
         let mut first_err = None;
         self.indexes[pos].prefix_for_each(prefix, |id| {
-            let row = match self.live_row(id) {
-                Ok(row) if first_err.is_none() => row,
-                Ok(_) => return,
-                Err(e) => {
-                    first_err = Some(e);
-                    return;
+            if first_err.is_some() {
+                return;
+            }
+            let visited = cursor.with(id, |row| {
+                for (buf, &ord) in block.ints.iter_mut().zip(&int_ords) {
+                    buf.push(row.get(ord).as_int().unwrap_or(0));
                 }
-            };
-            for (buf, &ord) in block.ints.iter_mut().zip(&int_ords) {
-                buf.push(row.get(ord).as_int().unwrap_or(0));
-            }
-            for (buf, &ord) in block.floats.iter_mut().zip(&float_ords) {
-                buf.push(row.get(ord).as_float());
-            }
-            block.len += 1;
-            total += 1;
-            if block.len == block_rows {
-                sink(&block);
-                block.len = 0;
-                block.ints.iter_mut().for_each(Vec::clear);
-                block.floats.iter_mut().for_each(Vec::clear);
+                for (buf, &ord) in block.floats.iter_mut().zip(&float_ords) {
+                    buf.push(row.get(ord).as_float());
+                }
+            });
+            match visited {
+                Ok(Some(())) => {
+                    block.len += 1;
+                    total += 1;
+                    if block.len == block_rows {
+                        sink(&block);
+                        block.len = 0;
+                        block.ints.iter_mut().for_each(Vec::clear);
+                        block.floats.iter_mut().for_each(Vec::clear);
+                    }
+                }
+                Ok(None) => first_err = Some(dead_index_ref(self.schema.name(), id)),
+                Err(e) => first_err = Some(e),
             }
         });
         if let Some(e) = first_err {
@@ -515,7 +1056,7 @@ impl Table {
                 continue;
             }
             let mut ix = IndexStore::new(def.unique);
-            for (id, row) in self.scan() {
+            self.for_each_row(|id, row| {
                 ix.insert(row.project(&def.columns), id)
                     .map_err(|e| match e {
                         StoreError::UniqueViolation { key, .. } => StoreError::UniqueViolation {
@@ -524,8 +1065,8 @@ impl Table {
                             key,
                         },
                         e => e,
-                    })?;
-            }
+                    })
+            })?;
             built.push(Some(ix));
         }
         let old_defs: Vec<String> =
@@ -622,21 +1163,25 @@ impl Table {
         // constraints of the top-level conjunction.
         if let Some((pos, key)) = self.pick_index(predicate) {
             let ids = self.indexes[pos].lookup(&key);
+            let mut cursor = RowCursor::new(&self.store);
             let mut out = Vec::with_capacity(ids.len());
             for id in ids {
-                let row = self.live_row(id)?;
-                if bound.matches(row.values()) {
-                    out.push((id, row.clone()));
+                match cursor.with(id, |r| bound.matches(r.values()).then(|| r.clone()))? {
+                    None => return Err(dead_index_ref(self.schema.name(), id)),
+                    Some(Some(row)) => out.push((id, row)),
+                    Some(None) => {}
                 }
             }
             return Ok(out);
         }
         if let Some(ids) = self.pick_range(predicate) {
+            let mut cursor = RowCursor::new(&self.store);
             let mut out = Vec::with_capacity(ids.len());
             for id in ids {
-                let row = self.live_row(id)?;
-                if bound.matches(row.values()) {
-                    out.push((id, row.clone()));
+                match cursor.with(id, |r| bound.matches(r.values()).then(|| r.clone()))? {
+                    None => return Err(dead_index_ref(self.schema.name(), id)),
+                    Some(Some(row)) => out.push((id, row)),
+                    Some(None) => {}
                 }
             }
             // index range order is key order; normalize to row-id order to
@@ -645,11 +1190,12 @@ impl Table {
             return Ok(out);
         }
         let mut out = Vec::new();
-        for (id, row) in self.scan() {
+        self.for_each_row(|id, row| {
             if bound.matches(row.values()) {
                 out.push((id, row.clone()));
             }
-        }
+            Ok(())
+        })?;
         Ok(out)
     }
 
@@ -658,16 +1204,25 @@ impl Table {
         let bound = predicate.bind(&self.schema)?;
         if let Some((pos, key)) = self.pick_index(predicate) {
             let ids = self.indexes[pos].lookup(&key);
+            let mut cursor = RowCursor::new(&self.store);
             let mut n = 0;
             for id in ids {
-                let row = self.live_row(id)?;
-                if bound.matches(row.values()) {
-                    n += 1;
+                match cursor.with(id, |r| bound.matches(r.values()))? {
+                    None => return Err(dead_index_ref(self.schema.name(), id)),
+                    Some(true) => n += 1,
+                    Some(false) => {}
                 }
             }
             return Ok(n);
         }
-        Ok(self.scan().filter(|(_, r)| bound.matches(r.values())).count())
+        let mut n = 0;
+        self.for_each_row(|_, row| {
+            if bound.matches(row.values()) {
+                n += 1;
+            }
+            Ok(())
+        })?;
+        Ok(n)
     }
 
     /// Pick the first index whose every column is pinned by an equality
@@ -714,9 +1269,10 @@ impl Table {
         let ordinal = self.schema.column_index(column)?;
         let mut counts: std::collections::BTreeMap<Value, usize> =
             std::collections::BTreeMap::new();
-        for (_, row) in self.scan() {
+        self.for_each_row(|_, row| {
             *counts.entry(row.get(ordinal).clone()).or_default() += 1;
-        }
+            Ok(())
+        })?;
         Ok(counts.into_iter().collect())
     }
 
@@ -784,23 +1340,43 @@ fn tighten_hi(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::pager::PoolConfig;
     use crate::predicate::CmpOp;
     use crate::schema::Column;
     use crate::value::ValueType;
+    use crate::vfs::FaultVfs;
+    use std::path::PathBuf;
+
+    fn object_schema() -> Schema {
+        Schema::builder("object")
+            .column(Column::new("object_id", ValueType::Int))
+            .column(Column::new("source_id", ValueType::Int))
+            .column(Column::new("accession", ValueType::Text))
+            .column(Column::nullable("text", ValueType::Text))
+            .primary_key(&["object_id"])
+            .unique_index("by_acc", &["source_id", "accession"])
+            .index("by_source", &["source_id"])
+            .build()
+            .unwrap()
+    }
 
     fn object_table() -> Table {
-        Table::new(
-            Schema::builder("object")
-                .column(Column::new("object_id", ValueType::Int))
-                .column(Column::new("source_id", ValueType::Int))
-                .column(Column::new("accession", ValueType::Text))
-                .column(Column::nullable("text", ValueType::Text))
-                .primary_key(&["object_id"])
-                .unique_index("by_acc", &["source_id", "accession"])
-                .index("by_source", &["source_id"])
-                .build()
-                .unwrap(),
-        )
+        Table::new(object_schema())
+    }
+
+    /// A paged object table over a fresh in-memory fault VFS. Tiny pages
+    /// (`page_bytes`) force frequent seals; a small pool forces eviction.
+    fn paged_object_table(pool_pages: usize, page_bytes: usize) -> Table {
+        let vfs = FaultVfs::new();
+        let pager = Arc::new(Pager::new(
+            Arc::new(vfs),
+            PathBuf::from("/db/heap.1.bin"),
+            PoolConfig {
+                page_bytes,
+                pool_pages,
+            },
+        ));
+        Table::new_paged(object_schema(), pager, 1)
     }
 
     fn obj(id: i64, src: i64, acc: &str) -> Vec<Value> {
@@ -971,7 +1547,7 @@ mod tests {
         let via_scan: Vec<Row> = t
             .scan()
             .filter(|(_, r)| bound.matches(r.values()))
-            .map(|(_, r)| r.clone())
+            .map(|(_, r)| r)
             .collect();
         assert_eq!(via_index, via_scan);
     }
@@ -1021,7 +1597,6 @@ mod tests {
         let via_scan: Vec<(RowId, Row)> = t
             .scan()
             .filter(|(_, r)| bound.matches(r.values()))
-            .map(|(id, r)| (id, r.clone()))
             .collect();
         assert_eq!(via_index, via_scan);
         assert_eq!(via_index.len(), 50);
@@ -1130,12 +1705,7 @@ mod tests {
             t.insert(obj(i, i % 3, &format!("A{i}"))).unwrap();
         }
         let key = [Value::Int(2)];
-        let reference: Vec<Row> = t
-            .lookup("by_source", &key)
-            .unwrap()
-            .into_iter()
-            .cloned()
-            .collect();
+        let reference: Vec<Row> = t.lookup("by_source", &key).unwrap();
         let mut streamed = Vec::new();
         t.for_each_lookup("by_source", &key, |r| streamed.push(r.clone()))
             .unwrap();
@@ -1217,5 +1787,164 @@ mod tests {
             t.lookup("nope", &[Value::Int(1)]),
             Err(StoreError::NoSuchIndex { .. })
         ));
+    }
+
+    // ---- paged storage ----
+
+    /// Drive the same operation sequence against a resident table and a
+    /// paged one, then demand identical answers from every read path.
+    fn assert_tables_equal(a: &Table, b: &Table) {
+        assert_eq!(a.len(), b.len());
+        assert_eq!(a.next_row_id(), b.next_row_id());
+        let sa: Vec<_> = a.scan().collect();
+        let sb: Vec<_> = b.scan().collect();
+        assert_eq!(sa, sb);
+        let mut via_stream = Vec::new();
+        b.for_each_row(|id, row| {
+            via_stream.push((id, row.clone()));
+            Ok(())
+        })
+        .unwrap();
+        assert_eq!(sa, via_stream);
+        for src in 0..5i64 {
+            assert_eq!(
+                a.lookup("by_source", &[Value::Int(src)]).unwrap(),
+                b.lookup("by_source", &[Value::Int(src)]).unwrap()
+            );
+        }
+        assert_eq!(
+            a.select(&Predicate::cmp("object_id", CmpOp::Ge, Value::Int(0))).unwrap(),
+            b.select(&Predicate::cmp("object_id", CmpOp::Ge, Value::Int(0))).unwrap()
+        );
+    }
+
+    #[test]
+    fn paged_matches_resident_under_mixed_workload() {
+        for pool_pages in [1usize, 2, 8] {
+            let mut resident = object_table();
+            let mut paged = paged_object_table(pool_pages, 128);
+            for i in 0..120i64 {
+                let row = obj(i, i % 5, &format!("ACC{i}"));
+                resident.insert(row.clone()).unwrap();
+                paged.insert(row).unwrap();
+            }
+            for i in (0..120u64).step_by(7) {
+                resident.delete(RowId(i)).unwrap();
+                paged.delete(RowId(i)).unwrap();
+            }
+            for i in (1..120u64).step_by(11) {
+                if i % 7 == 0 {
+                    continue; // already deleted
+                }
+                let row = obj(i as i64, (i as i64 % 5) + 10, &format!("UPD{i}"));
+                resident.update(RowId(i), row.clone()).unwrap();
+                paged.update(RowId(i), row).unwrap();
+            }
+            assert_tables_equal(&resident, &paged);
+            assert!(
+                !paged.page_ids().is_empty(),
+                "tiny pages must have sealed (pool={pool_pages})"
+            );
+        }
+    }
+
+    #[test]
+    fn paged_get_faults_pages_through_tiny_pool() {
+        let mut t = paged_object_table(1, 128);
+        for i in 0..80i64 {
+            t.insert(obj(i, i % 3, &format!("ACC{i}"))).unwrap();
+        }
+        // point lookups across the whole id space with a one-page pool:
+        // every sealed-page hit may evict the previous page
+        for i in 0..80u64 {
+            assert_eq!(t.get(RowId(i)).unwrap().get(0), &Value::Int(i as i64));
+        }
+        assert!(t.page_ids().len() >= 2, "expected several sealed pages");
+    }
+
+    #[test]
+    fn paged_insert_at_and_restore_semantics() {
+        let mut t = paged_object_table(2, 128);
+        t.insert_at(RowId(3), obj(1, 10, "A")).unwrap();
+        assert_eq!(t.len(), 1);
+        assert_eq!(t.next_row_id(), RowId(4));
+        assert!(t.insert_at(RowId(2), obj(2, 10, "B")).is_err());
+        assert_eq!(t.insert(obj(2, 10, "B")).unwrap(), RowId(4));
+        // delete + restore round-trips through the paged slot
+        let row = t.delete(RowId(3)).unwrap();
+        assert_eq!(t.len(), 1);
+        t.restore(RowId(3), row.values().to_vec()).unwrap();
+        assert_eq!(t.len(), 2);
+        assert_eq!(t.get(RowId(3)).unwrap().get(0), &Value::Int(1));
+    }
+
+    #[test]
+    fn paged_recovery_rebuilds_indexes_from_pages() {
+        let vfs = FaultVfs::new();
+        let heap = PathBuf::from("/db/heap.1.bin");
+        let config = PoolConfig {
+            page_bytes: 128,
+            pool_pages: 2,
+        };
+        let pager = Arc::new(Pager::new(Arc::new(vfs.clone()), heap.clone(), config));
+        let mut t = Table::new_paged(object_schema(), pager.clone(), 1);
+        for i in 0..60i64 {
+            t.insert(obj(i, i % 4, &format!("ACC{i}"))).unwrap();
+        }
+        t.delete(RowId(5)).unwrap();
+        // checkpoint: flush dirty pages so every sealed page has a location
+        pager.flush_and_sync().unwrap();
+        let meta = t.to_paged_meta().unwrap().expect("paged table");
+        assert_eq!(meta.live, 59);
+        // rebuild on a fresh pager over the same heap file, as recovery does
+        let pager2 = Arc::new(Pager::new(Arc::new(vfs), heap, config));
+        for (i, entry) in meta.pages.iter().enumerate() {
+            pager2.register(
+                PageId {
+                    table_id: meta.table_id,
+                    page_no: i as u32,
+                },
+                entry.loc,
+            );
+        }
+        let pages: Vec<SealedPage> = meta
+            .pages
+            .iter()
+            .map(|e| SealedPage {
+                base: e.base,
+                slots: e.slots,
+            })
+            .collect();
+        let t2 = Table::new_paged_recovered(
+            meta.schema,
+            pager2,
+            meta.table_id,
+            pages,
+            meta.tail_base,
+            meta.tail,
+        )
+        .unwrap();
+        assert_eq!(t2.len(), 59);
+        let a: Vec<_> = t.scan().collect();
+        let b: Vec<_> = t2.scan().collect();
+        assert_eq!(a, b);
+        assert_eq!(
+            t2.lookup("by_source", &[Value::Int(2)]).unwrap(),
+            t.lookup("by_source", &[Value::Int(2)]).unwrap()
+        );
+        // contiguity violations are rejected
+        let err = Table::new_paged_recovered(
+            object_schema(),
+            Arc::new(Pager::new(
+                Arc::new(FaultVfs::new()),
+                PathBuf::from("/db/h.bin"),
+                config,
+            )),
+            1,
+            vec![SealedPage { base: 5, slots: 3 }],
+            8,
+            Vec::new(),
+        );
+        assert!(matches!(err, Err(StoreError::Corrupt(_))));
     }
 }

@@ -44,6 +44,17 @@ pub trait Vfs: Send + Sync {
     fn create(&self, path: &Path) -> StoreResult<Box<dyn VfsFile>>;
     /// Read a whole file; `None` if it does not exist.
     fn read(&self, path: &Path) -> StoreResult<Option<Vec<u8>>>;
+    /// Read up to `len` bytes starting at `offset`; `None` if the file does
+    /// not exist. Fewer bytes than requested means the range ran past the
+    /// end of the file — callers validate lengths (pages are CRC-framed).
+    /// Like [`read`](Self::read), reads are not fault-charged.
+    fn read_at(&self, path: &Path, offset: u64, len: usize) -> StoreResult<Option<Vec<u8>>>;
+    /// Remove a file. The entry's disappearance is durable only after
+    /// [`sync_dir`](Self::sync_dir). Removing a missing file is an error.
+    fn remove(&self, path: &Path) -> StoreResult<()>;
+    /// Current length of a file in bytes; `None` if it does not exist.
+    /// Not fault-charged (a metadata read).
+    fn file_len(&self, path: &Path) -> StoreResult<Option<u64>>;
     /// Atomically rename `from` to `to` (replacing `to`). The new directory
     /// entry is durable only after [`sync_dir`](Self::sync_dir).
     fn rename(&self, from: &Path, to: &Path) -> StoreResult<()>;
@@ -92,6 +103,40 @@ impl Vfs for RealVfs {
     fn read(&self, path: &Path) -> StoreResult<Option<Vec<u8>>> {
         match fs::read(path) {
             Ok(data) => Ok(Some(data)),
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => Ok(None),
+            Err(e) => Err(e.into()),
+        }
+    }
+
+    fn read_at(&self, path: &Path, offset: u64, len: usize) -> StoreResult<Option<Vec<u8>>> {
+        use std::io::{Read, Seek, SeekFrom};
+        let mut file = match fs::File::open(path) {
+            Ok(f) => f,
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(None),
+            Err(e) => return Err(e.into()),
+        };
+        file.seek(SeekFrom::Start(offset))?;
+        let mut buf = vec![0u8; len];
+        let mut filled = 0;
+        while filled < len {
+            let n = file.read(&mut buf[filled..])?;
+            if n == 0 {
+                break;
+            }
+            filled += n;
+        }
+        buf.truncate(filled);
+        Ok(Some(buf))
+    }
+
+    fn remove(&self, path: &Path) -> StoreResult<()> {
+        fs::remove_file(path)?;
+        Ok(())
+    }
+
+    fn file_len(&self, path: &Path) -> StoreResult<Option<u64>> {
+        match fs::metadata(path) {
+            Ok(m) => Ok(Some(m.len())),
             Err(e) if e.kind() == std::io::ErrorKind::NotFound => Ok(None),
             Err(e) => Err(e.into()),
         }
@@ -404,6 +449,39 @@ impl Vfs for FaultVfs {
         Ok(s.live.get(path).map(|&idx| s.inodes[idx].current.clone()))
     }
 
+    fn read_at(&self, path: &Path, offset: u64, len: usize) -> StoreResult<Option<Vec<u8>>> {
+        let s = self.state.lock();
+        if s.crashed {
+            return Err(power_cut_err());
+        }
+        Ok(s.live.get(path).map(|&idx| {
+            let data = &s.inodes[idx].current;
+            let start = (offset as usize).min(data.len());
+            let end = start.saturating_add(len).min(data.len());
+            data[start..end].to_vec()
+        }))
+    }
+
+    fn file_len(&self, path: &Path) -> StoreResult<Option<u64>> {
+        let s = self.state.lock();
+        if s.crashed {
+            return Err(power_cut_err());
+        }
+        Ok(s.live.get(path).map(|&idx| s.inodes[idx].current.len() as u64))
+    }
+
+    fn remove(&self, path: &Path) -> StoreResult<()> {
+        let mut s = self.state.lock();
+        s.charge("remove")?;
+        if s.live.remove(path).is_none() {
+            return Err(StoreError::Io(std::io::Error::new(
+                std::io::ErrorKind::NotFound,
+                format!("remove target missing: {}", path.display()),
+            )));
+        }
+        Ok(())
+    }
+
     fn rename(&self, from: &Path, to: &Path) -> StoreResult<()> {
         let mut s = self.state.lock();
         s.charge("rename")?;
@@ -637,6 +715,54 @@ mod tests {
         assert!(data.starts_with(b"ok"));
         assert!(data.len() <= 12);
         f.write_all(b"z").unwrap();
+    }
+
+    #[test]
+    fn read_at_slices_and_clamps() {
+        let vfs = FaultVfs::new();
+        let mut f = vfs.open_append(&p("heap")).unwrap();
+        f.write_all(b"0123456789").unwrap();
+        assert_eq!(vfs.read_at(&p("heap"), 2, 4).unwrap().unwrap(), b"2345");
+        // past-EOF ranges clamp rather than error
+        assert_eq!(vfs.read_at(&p("heap"), 8, 10).unwrap().unwrap(), b"89");
+        assert_eq!(vfs.read_at(&p("heap"), 99, 4).unwrap().unwrap(), b"");
+        assert!(vfs.read_at(&p("nope"), 0, 1).unwrap().is_none());
+        // reads are free: only the create + write were charged
+        assert_eq!(vfs.op_count(), 2);
+
+        let dir = std::env::temp_dir().join("relstore-vfs-tests");
+        std::fs::create_dir_all(&dir).unwrap();
+        let real = RealVfs;
+        let path = dir.join("read_at.bin");
+        let mut f = real.create(&path).unwrap();
+        f.write_all(b"0123456789").unwrap();
+        drop(f);
+        assert_eq!(real.read_at(&path, 2, 4).unwrap().unwrap(), b"2345");
+        assert_eq!(real.read_at(&path, 8, 10).unwrap().unwrap(), b"89");
+        assert!(real.read_at(&dir.join("never"), 0, 1).unwrap().is_none());
+    }
+
+    #[test]
+    fn remove_is_durable_only_after_dir_sync() {
+        let vfs = FaultVfs::new();
+        let dir = Path::new("/db");
+        let mut f = vfs.create(&p("old")).unwrap();
+        f.write_all(b"v1").unwrap();
+        f.sync().unwrap();
+        vfs.sync_dir(dir).unwrap();
+        // unsynced removal reverts on crash
+        vfs.remove(&p("old")).unwrap();
+        assert!(!vfs.exists(&p("old")));
+        vfs.crash_now();
+        vfs.reboot();
+        assert_eq!(vfs.read(&p("old")).unwrap().unwrap(), b"v1");
+        // synced removal sticks
+        vfs.remove(&p("old")).unwrap();
+        vfs.sync_dir(dir).unwrap();
+        vfs.crash_now();
+        vfs.reboot();
+        assert!(!vfs.exists(&p("old")));
+        assert!(vfs.remove(&p("old")).is_err());
     }
 
     #[test]

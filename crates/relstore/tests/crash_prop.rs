@@ -7,7 +7,7 @@ use proptest::prelude::*;
 use relstore::schema::{Column, Schema};
 use relstore::value::{Value, ValueType};
 use relstore::vfs::{FaultPlan, FaultVfs, Vfs};
-use relstore::Database;
+use relstore::{Database, PoolConfig};
 use std::path::Path;
 use std::sync::Arc;
 
@@ -24,6 +24,69 @@ fn open(vfs: &FaultVfs) -> relstore::error::StoreResult<Database> {
     let mut db = Database::open_with_vfs(arc, Path::new("/db"))?;
     db.ensure_table(schema())?;
     Ok(db)
+}
+
+/// Paged open with 128-byte pages so even tiny workloads span page
+/// boundaries; `pool_pages` down to 1 forces an eviction writeback on
+/// nearly every touch.
+fn open_paged(vfs: &FaultVfs, pool_pages: usize) -> relstore::error::StoreResult<Database> {
+    let arc: Arc<dyn Vfs> = Arc::new(vfs.clone());
+    let config = PoolConfig {
+        page_bytes: 128,
+        pool_pages,
+    };
+    let mut db = Database::open_paged_with_vfs(arc, Path::new("/db"), config)?;
+    db.ensure_table(schema())?;
+    Ok(db)
+}
+
+/// One crash-and-converge check: run the workload with a power cut at
+/// `crash_at`, reboot, and verify the committed-prefix and convergence
+/// invariants. `open` decides resident vs paged (and the pool size).
+fn check_crash_and_converge(
+    open: &dyn Fn(&FaultVfs) -> relstore::error::StoreResult<Database>,
+    batches: &[usize],
+    ckpt_every: usize,
+    group_commit: bool,
+    crash_at: u64,
+    torn_seed: u64,
+) {
+    let vfs = FaultVfs::new();
+    vfs.set_plan(FaultPlan {
+        crash_at: Some(crash_at),
+        fail_at: None,
+        torn_seed,
+    });
+    let outcome = open(&vfs).and_then(|mut db| run(&mut db, batches, ckpt_every, group_commit));
+    assert!(outcome.is_err(), "crash_at {crash_at} did not fire");
+    vfs.reboot();
+
+    let db = open(&vfs)
+        .unwrap_or_else(|e| panic!("crash_at {crash_at}: reopen failed: {e}"));
+    let got = sorted_ids(&db);
+    assert_eq!(
+        got,
+        (0..got.len() as i64).collect::<Vec<_>>(),
+        "crash_at {crash_at}: not a contiguous prefix"
+    );
+    let boundaries = prefix_sums(batches);
+    if !group_commit {
+        assert!(
+            boundaries.contains(&got.len()),
+            "crash_at {crash_at}: {} rows is not a batch boundary of {batches:?}",
+            got.len()
+        );
+    } else {
+        assert!(got.len() <= *boundaries.last().unwrap());
+    }
+    drop(db);
+
+    let expected: Vec<i64> = (0..*boundaries.last().unwrap() as i64).collect();
+    let mut db = open(&vfs).unwrap();
+    run(&mut db, batches, ckpt_every, group_commit).unwrap();
+    drop(db);
+    let db = open(&vfs).unwrap();
+    assert_eq!(sorted_ids(&db), expected, "crash_at {crash_at}: did not converge");
 }
 
 /// Run the workload described by `batches` (sizes of consecutive committed
@@ -138,6 +201,43 @@ fn fixed_grid_crash_points_recover_and_converge() {
     }
 }
 
+/// The fixed grid against paged storage: every crash point now lands
+/// among heap appends, eviction writebacks, and page-directory swaps, and
+/// the single-page pool configurations force writeback on nearly every
+/// page touch.
+#[test]
+fn fixed_grid_crash_points_recover_and_converge_paged() {
+    let configs: &[(&[usize], usize, bool, usize)] = &[
+        (&[3, 1, 5, 2], 2, false, 1),
+        (&[1, 1, 1, 1, 1, 1], 3, true, 2),
+        (&[7, 2], 1, true, 8),
+        (&[4], 4, false, 1),
+    ];
+    for &(batches, ckpt_every, group_commit, pool_pages) in configs {
+        let reference = FaultVfs::new();
+        {
+            let mut db = open_paged(&reference, pool_pages).unwrap();
+            run(&mut db, batches, ckpt_every, group_commit).unwrap();
+        }
+        let total_ops = reference.op_count();
+        let opener =
+            |vfs: &FaultVfs| -> relstore::error::StoreResult<Database> { open_paged(vfs, pool_pages) };
+        // Paged I/O multiplies the op count; sample evenly instead of
+        // sweeping every point so the grid stays fast.
+        let step = (total_ops / 48).max(1) as usize;
+        for crash_at in (1..=total_ops).step_by(step) {
+            check_crash_and_converge(
+                &opener,
+                batches,
+                ckpt_every,
+                group_commit,
+                crash_at,
+                crash_at ^ 0xdead_beef,
+            );
+        }
+    }
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(48))]
 
@@ -194,5 +294,38 @@ proptest! {
         drop(db);
         let db = open(&vfs).unwrap();
         prop_assert_eq!(sorted_ids(&db), expected);
+    }
+
+    /// The same property over paged storage with a random pool size,
+    /// including a single-page pool (maximal eviction pressure — every
+    /// page touch can force an unsynced writeback that the power cut then
+    /// tears).
+    #[test]
+    fn random_crash_points_recover_and_converge_paged(
+        batches in proptest::collection::vec(1usize..8, 1..10),
+        ckpt_every in 1usize..5,
+        group_commit in any::<bool>(),
+        crash_frac in 0.0f64..1.0,
+        torn_seed in any::<u64>(),
+        pool_pages in proptest::sample::select(vec![1usize, 2, 8]),
+    ) {
+        let reference = FaultVfs::new();
+        {
+            let mut db = open_paged(&reference, pool_pages).unwrap();
+            run(&mut db, &batches, ckpt_every, group_commit).unwrap();
+        }
+        let total_ops = reference.op_count();
+        let crash_at = 1 + (crash_frac * (total_ops - 1) as f64) as u64;
+        let opener = |vfs: &FaultVfs| -> relstore::error::StoreResult<Database> {
+            open_paged(vfs, pool_pages)
+        };
+        check_crash_and_converge(
+            &opener,
+            &batches,
+            ckpt_every,
+            group_commit,
+            crash_at,
+            torn_seed,
+        );
     }
 }

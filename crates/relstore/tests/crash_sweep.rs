@@ -18,7 +18,7 @@
 use relstore::schema::{Column, Schema};
 use relstore::value::{Value, ValueType};
 use relstore::vfs::{FaultPlan, FaultVfs, Vfs};
-use relstore::Database;
+use relstore::{Database, PoolConfig};
 use std::path::Path;
 use std::sync::Arc;
 
@@ -41,6 +41,20 @@ fn dyn_vfs(vfs: &FaultVfs) -> Arc<dyn Vfs> {
 
 fn open(vfs: &FaultVfs) -> relstore::error::StoreResult<Database> {
     let mut db = Database::open_with_vfs(dyn_vfs(vfs), Path::new("/db"))?;
+    db.ensure_table(schema())?;
+    Ok(db)
+}
+
+/// Paged open with pages small enough that the workload spans many pages
+/// and a pool tiny enough that evictions (and their unsynced writebacks)
+/// happen mid-workload — so power cuts land inside page-granular I/O and
+/// the torn-write generator garbles partial page images.
+fn open_paged(vfs: &FaultVfs) -> relstore::error::StoreResult<Database> {
+    let config = PoolConfig {
+        page_bytes: 256,
+        pool_pages: 2,
+    };
+    let mut db = Database::open_paged_with_vfs(dyn_vfs(vfs), Path::new("/db"), config)?;
     db.ensure_table(schema())?;
     Ok(db)
 }
@@ -148,6 +162,73 @@ fn every_crash_point_recovers_and_converges() {
     assert!(
         crash_points >= 100,
         "only {crash_points} crash points exercised"
+    );
+}
+
+/// The crash-point sweep against paged storage: heap appends, eviction
+/// writebacks, page-directory swaps, and compaction-free checkpoints all
+/// become distinct crash points, and a cut mid-page must never surface a
+/// torn page (the per-page CRC plus the sync-heap-before-directory
+/// ordering make partially-written images unreachable).
+#[test]
+fn every_crash_point_recovers_and_converges_paged_tiny_pool() {
+    let reference = FaultVfs::new();
+    {
+        let mut db = open_paged(&reference).unwrap();
+        run_to_completion(&mut db).unwrap();
+    }
+    let total_ops = reference.op_count();
+    let expected: Vec<i64> = (0..BATCHES * BATCH_ROWS).collect();
+    {
+        let db = open_paged(&reference).unwrap();
+        assert_eq!(sorted_ids(&db), expected, "paged reference state");
+    }
+
+    // Page writebacks multiply the op count well past the resident run's;
+    // sample crash points evenly to keep the quadratic sweep bounded while
+    // still hitting every phase of the workload.
+    let step = (total_ops / 160).max(1) as usize;
+    let mut crash_points = 0u64;
+    for crash_at in (1..=total_ops).step_by(step) {
+        let vfs = FaultVfs::new();
+        vfs.set_plan(FaultPlan {
+            crash_at: Some(crash_at),
+            fail_at: None,
+            torn_seed: crash_at.wrapping_mul(0x9e37_79b9_7f4a_7c15),
+        });
+        let outcome = open_paged(&vfs).and_then(|mut db| run_to_completion(&mut db));
+        assert!(
+            outcome.is_err() && vfs.crashed(),
+            "op {crash_at}: power cut did not fire (of {total_ops})"
+        );
+        crash_points += 1;
+        vfs.reboot();
+
+        let db =
+            open_paged(&vfs).unwrap_or_else(|e| panic!("op {crash_at}: paged reopen failed: {e}"));
+        let ids = sorted_ids(&db);
+        assert_eq!(
+            ids.len() as i64 % BATCH_ROWS,
+            0,
+            "op {crash_at}: torn batch survived: {} rows",
+            ids.len()
+        );
+        assert_eq!(
+            ids,
+            (0..ids.len() as i64).collect::<Vec<_>>(),
+            "op {crash_at}: recovered rows are not a contiguous prefix"
+        );
+        drop(db);
+
+        let mut db = open_paged(&vfs).unwrap();
+        run_to_completion(&mut db).unwrap();
+        drop(db);
+        let db = open_paged(&vfs).unwrap();
+        assert_eq!(sorted_ids(&db), expected, "op {crash_at}: did not converge");
+    }
+    assert!(
+        crash_points >= 100,
+        "only {crash_points} paged crash points exercised"
     );
 }
 

@@ -202,7 +202,7 @@ proptest! {
                 }
             }
         }
-        let data = relstore::snapshot::encode_snapshot(std::iter::once(&table), 0);
+        let data = relstore::snapshot::encode_snapshot(std::iter::once(&table), 0).unwrap();
         let back = relstore::snapshot::decode_snapshot(&data).unwrap().0.pop().unwrap();
         prop_assert_eq!(back.len(), table.len());
         prop_assert_eq!(back.next_row_id(), table.next_row_id());

@@ -1,0 +1,500 @@
+//! Standalone, dependency-free replica of the paged-storage machinery
+//! (`relstore::page` slotted pages + `relstore::pager` buffer pool), for
+//! environments where the full workspace cannot be built (no crates.io
+//! access). It
+//!
+//! 1. measures checkpoint write volume against the fraction of dirty
+//!    pages — the dirty-page checkpoint must scale with *change* size,
+//!    not table size (DESIGN.md §12),
+//! 2. measures indexed point-lookup latency and pool hit rate at
+//!    dataset/pool ratios 1x / 10x / 100x, asserting resident memory
+//!    stays bounded by the pool while every lookup returns the right row,
+//! 3. writes `BENCH_page.json`.
+//!
+//! Build & run:  rustc -O scripts/page_harness.rs -o /tmp/page_harness && /tmp/page_harness
+//!
+//! The logic below must stay in sync with `crates/relstore/src/page.rs`
+//! (slotted layout, `RSPG` magic, per-page CRC) and
+//! `crates/relstore/src/pager.rs` (pin counts, clock eviction,
+//! copy-on-write writeback, flush-before-directory checkpoint); it is a
+//! measurement stand-in, not the implementation of record. Prefer
+//! `cargo test -p relstore` whenever the workspace builds.
+
+use std::collections::HashMap;
+use std::convert::TryInto;
+use std::time::Instant;
+
+// -------------------------------------------------------------- crc32 --
+
+fn crc32(data: &[u8]) -> u32 {
+    let mut crc: u32 = 0xffff_ffff;
+    for &b in data {
+        crc ^= b as u32;
+        for _ in 0..8 {
+            let mask = (crc & 1).wrapping_neg();
+            crc = (crc >> 1) ^ (0xedb8_8320 & mask);
+        }
+    }
+    !crc
+}
+
+// ------------------------------------------------------- slotted pages --
+
+const PAGE_MAGIC: &[u8; 4] = b"RSPG";
+/// Target page size; with the fixed row payload below each page holds
+/// `ROWS_PER_PAGE` rows.
+const PAGE_BYTES: usize = 4096;
+const ROW_BYTES: usize = 56;
+const ROWS_PER_PAGE: usize = (PAGE_BYTES - 16) / (ROW_BYTES + 4);
+
+/// One sealed page: a contiguous row-id range starting at `base`.
+#[derive(Clone)]
+struct Page {
+    base: u64,
+    rows: Vec<Vec<u8>>,
+}
+
+fn encode_page(page: &Page) -> Vec<u8> {
+    let mut body = Vec::new();
+    body.extend_from_slice(&page.base.to_le_bytes());
+    body.extend_from_slice(&(page.rows.len() as u32).to_le_bytes());
+    for row in &page.rows {
+        body.extend_from_slice(&(row.len() as u32).to_le_bytes());
+        body.extend_from_slice(row);
+    }
+    let mut out = Vec::with_capacity(body.len() + 8);
+    out.extend_from_slice(PAGE_MAGIC);
+    out.extend_from_slice(&crc32(&body).to_le_bytes());
+    out.extend_from_slice(&body);
+    out
+}
+
+fn decode_page(data: &[u8]) -> Option<Page> {
+    if data.get(..4)? != PAGE_MAGIC {
+        return None;
+    }
+    let crc = u32::from_le_bytes(data.get(4..8)?.try_into().ok()?);
+    let body = data.get(8..)?;
+    if crc32(body) != crc {
+        return None;
+    }
+    let base = u64::from_le_bytes(body.get(..8)?.try_into().ok()?);
+    let slots = u32::from_le_bytes(body.get(8..12)?.try_into().ok()?) as usize;
+    let mut rows = Vec::with_capacity(slots);
+    let mut at = 12usize;
+    for _ in 0..slots {
+        let len = u32::from_le_bytes(body.get(at..at + 4)?.try_into().ok()?) as usize;
+        rows.push(body.get(at + 4..at + 4 + len)?.to_vec());
+        at += 4 + len;
+    }
+    Some(Page { base, rows })
+}
+
+fn make_row(id: u64) -> Vec<u8> {
+    let mut row = vec![0u8; ROW_BYTES];
+    row[..8].copy_from_slice(&id.to_le_bytes());
+    // deterministic payload so lookups can verify content integrity
+    for (i, b) in row[8..].iter_mut().enumerate() {
+        *b = (id as usize).wrapping_mul(31).wrapping_add(i) as u8;
+    }
+    row
+}
+
+// -------------------------------------------------------- heap + pager --
+
+/// Append-only heap file (in memory; `synced_len` models fdatasync).
+#[derive(Default)]
+struct Heap {
+    data: Vec<u8>,
+    synced_len: usize,
+}
+
+struct Frame {
+    page: Page,
+    dirty: bool,
+    pinned: bool,
+    referenced: bool,
+}
+
+/// Buffer pool over the heap: page table, pins, clock eviction,
+/// copy-on-write writeback — the shape of `relstore::pager::Pager`.
+struct Pager {
+    heap: Heap,
+    /// page_no -> (offset, len) of the newest durable image, if any.
+    locs: Vec<Option<(u64, u32)>>,
+    frames: HashMap<usize, Frame>,
+    clock: Vec<usize>,
+    hand: usize,
+    pool_pages: usize,
+    // stats
+    hits: u64,
+    misses: u64,
+    evictions: u64,
+    writeback_bytes: u64,
+    max_resident: usize,
+}
+
+impl Pager {
+    fn new(pool_pages: usize) -> Pager {
+        Pager {
+            heap: Heap::default(),
+            locs: Vec::new(),
+            frames: HashMap::new(),
+            clock: Vec::new(),
+            hand: 0,
+            pool_pages,
+            hits: 0,
+            misses: 0,
+            evictions: 0,
+            writeback_bytes: 0,
+            max_resident: 0,
+        }
+    }
+
+    fn append_image(heap: &mut Heap, page: &Page) -> (u64, u32) {
+        let image = encode_page(page);
+        let offset = heap.data.len() as u64;
+        heap.data.extend_from_slice(&image);
+        // deliberately NOT synced: durability comes from checkpoint
+        (offset, image.len() as u32)
+    }
+
+    /// Make room for one more frame by clock-evicting an unpinned page.
+    /// Like the real pager, pinned pages can overcommit the pool: if a
+    /// full sweep finds nothing evictable, the install proceeds anyway.
+    fn evict_for_space(&mut self) {
+        let mut spins = 0usize;
+        while self.frames.len() >= self.pool_pages && !self.clock.is_empty() {
+            if spins > 2 * self.clock.len() {
+                return; // everything pinned: overcommit
+            }
+            spins += 1;
+            let idx = self.hand % self.clock.len();
+            let page_no = self.clock[idx];
+            let evict = {
+                let f = self.frames.get_mut(&page_no).expect("clock entry resident");
+                if f.pinned || f.referenced {
+                    f.referenced = false;
+                    false
+                } else {
+                    true
+                }
+            };
+            if evict {
+                let frame = self.frames.remove(&page_no).expect("evicting resident");
+                if frame.dirty {
+                    let loc = Self::append_image(&mut self.heap, &frame.page);
+                    self.writeback_bytes += loc.1 as u64;
+                    self.locs[page_no] = Some(loc);
+                }
+                self.clock.swap_remove(idx);
+                self.evictions += 1;
+                spins = 0;
+            } else {
+                self.hand = self.hand.wrapping_add(1);
+            }
+        }
+    }
+
+    /// Install a freshly sealed page (dirty, no durable image yet).
+    fn install(&mut self, page_no: usize, page: Page) {
+        self.evict_for_space();
+        if self.locs.len() <= page_no {
+            self.locs.resize(page_no + 1, None);
+        }
+        self.frames.insert(
+            page_no,
+            Frame {
+                page,
+                dirty: true,
+                pinned: false,
+                referenced: true,
+            },
+        );
+        self.clock.push(page_no);
+        self.max_resident = self.max_resident.max(self.frames.len());
+    }
+
+    /// Pin a page into the pool, faulting it in from the heap if absent.
+    fn pin(&mut self, page_no: usize) -> &Page {
+        if !self.frames.contains_key(&page_no) {
+            self.misses += 1;
+            self.evict_for_space();
+            let (offset, len) = self.locs[page_no].expect("page has a durable image");
+            let image = &self.heap.data[offset as usize..(offset + len as u64) as usize];
+            let page = decode_page(image).expect("CRC-valid page image");
+            self.frames.insert(
+                page_no,
+                Frame {
+                    page,
+                    dirty: false,
+                    pinned: true,
+                    referenced: true,
+                },
+            );
+            self.clock.push(page_no);
+            self.max_resident = self.max_resident.max(self.frames.len());
+        } else {
+            self.hits += 1;
+            let f = self.frames.get_mut(&page_no).expect("just checked");
+            f.pinned = true;
+            f.referenced = true;
+        }
+        &self.frames[&page_no].page
+    }
+
+    fn unpin(&mut self, page_no: usize) {
+        self.frames.get_mut(&page_no).expect("unpin resident").pinned = false;
+    }
+
+    /// Mutate one row of a page in place, marking the frame dirty.
+    fn mutate(&mut self, page_no: usize, slot: usize, row: Vec<u8>) {
+        self.pin(page_no);
+        let f = self.frames.get_mut(&page_no).expect("pinned resident");
+        f.page.rows[slot] = row;
+        f.dirty = true;
+        f.pinned = false;
+    }
+
+    /// Dirty-page checkpoint: flush every dirty frame, fsync the heap,
+    /// then "publish" a directory of page locations. Returns the bytes
+    /// this checkpoint wrote (dirty images + directory).
+    fn checkpoint(&mut self) -> u64 {
+        let mut bytes = 0u64;
+        let mut dirty: Vec<usize> = self
+            .frames
+            .iter()
+            .filter(|(_, f)| f.dirty)
+            .map(|(&n, _)| n)
+            .collect();
+        dirty.sort_unstable();
+        for page_no in dirty {
+            let f = self.frames.get_mut(&page_no).expect("dirty frame resident");
+            let loc = Self::append_image(&mut self.heap, &f.page);
+            bytes += loc.1 as u64;
+            self.locs[page_no] = Some(loc);
+            f.dirty = false;
+        }
+        // heap is synced BEFORE the directory referencing it is published
+        self.heap.synced_len = self.heap.data.len();
+        let directory_bytes = 8 + 12 * self.locs.len() as u64;
+        bytes + directory_bytes
+    }
+}
+
+// ------------------------------------------------------------- dataset --
+
+/// A paged table of `pages * ROWS_PER_PAGE` fixed-size rows.
+struct Dataset {
+    pager: Pager,
+    pages: usize,
+}
+
+impl Dataset {
+    fn build(pages: usize, pool_pages: usize) -> Dataset {
+        let mut pager = Pager::new(pool_pages);
+        for page_no in 0..pages {
+            let base = (page_no * ROWS_PER_PAGE) as u64;
+            let rows = (0..ROWS_PER_PAGE).map(|i| make_row(base + i as u64)).collect();
+            pager.install(page_no, Page { base, rows });
+        }
+        pager.checkpoint();
+        Dataset { pager, pages }
+    }
+
+    fn rows(&self) -> u64 {
+        (self.pages * ROWS_PER_PAGE) as u64
+    }
+
+    /// Indexed point lookup: row id -> page via arithmetic (the replica's
+    /// stand-in for the B-tree probe), pin, copy the row out, unpin.
+    fn get(&mut self, row_id: u64) -> Vec<u8> {
+        let page_no = row_id as usize / ROWS_PER_PAGE;
+        let slot = row_id as usize % ROWS_PER_PAGE;
+        let page = self.pager.pin(page_no);
+        assert_eq!(page.base, (page_no * ROWS_PER_PAGE) as u64, "page base");
+        let row = page.rows[slot].clone();
+        self.pager.unpin(page_no);
+        row
+    }
+
+    fn update(&mut self, row_id: u64, stamp: u8) {
+        let page_no = row_id as usize / ROWS_PER_PAGE;
+        let slot = row_id as usize % ROWS_PER_PAGE;
+        let mut row = make_row(row_id);
+        row[ROW_BYTES - 1] = stamp;
+        self.pager.mutate(page_no, slot, row);
+    }
+}
+
+fn xorshift(state: &mut u64) -> u64 {
+    *state ^= *state << 13;
+    *state ^= *state >> 7;
+    *state ^= *state << 17;
+    *state
+}
+
+// --------------------------------------------------------- experiments --
+
+struct CheckpointSample {
+    dirty_fraction: f64,
+    dirty_pages: usize,
+    checkpoint_bytes: u64,
+    full_rewrite_bytes: u64,
+}
+
+/// Checkpoint volume vs dirty fraction: dirty `f` of the pages, then
+/// checkpoint, on a pool that holds the whole dataset (so writeback noise
+/// from eviction does not pollute the measurement).
+fn checkpoint_experiment() -> Vec<CheckpointSample> {
+    const PAGES: usize = 256;
+    let full_rewrite_bytes = (PAGES * (encode_page(&Page {
+        base: 0,
+        rows: (0..ROWS_PER_PAGE).map(|i| make_row(i as u64)).collect(),
+    })
+    .len())) as u64;
+    let mut out = Vec::new();
+    for &fraction in &[0.0f64, 0.01, 0.05, 0.25, 0.5, 1.0] {
+        let mut ds = Dataset::build(PAGES, PAGES + 1);
+        let dirty_pages = (PAGES as f64 * fraction).round() as usize;
+        let mut rng = 0x1234_5678_9abc_def0u64 | 1;
+        for page in 0..dirty_pages {
+            // one random row per target page
+            let slot = xorshift(&mut rng) as usize % ROWS_PER_PAGE;
+            ds.update((page * ROWS_PER_PAGE + slot) as u64, 0xCC);
+        }
+        let checkpoint_bytes = ds.pager.checkpoint();
+        out.push(CheckpointSample {
+            dirty_fraction: fraction,
+            dirty_pages,
+            checkpoint_bytes,
+            full_rewrite_bytes,
+        });
+    }
+    // The invariant the tentpole exists for: write volume tracks dirty
+    // pages, not dataset size. A 1%-dirty checkpoint must cost well under
+    // a tenth of a full rewrite.
+    let one_pct = &out[1];
+    assert!(
+        one_pct.checkpoint_bytes * 10 < one_pct.full_rewrite_bytes,
+        "1%-dirty checkpoint wrote {} of {} full-rewrite bytes",
+        one_pct.checkpoint_bytes,
+        one_pct.full_rewrite_bytes
+    );
+    out
+}
+
+struct LookupSample {
+    ratio: usize,
+    dataset_pages: usize,
+    pool_pages: usize,
+    lookups: u64,
+    hit_rate: f64,
+    mean_lookup_us: f64,
+    max_resident_pages: usize,
+}
+
+/// Point-lookup latency and residency at dataset/pool ratios 1x/10x/100x.
+fn lookup_experiment() -> Vec<LookupSample> {
+    const POOL: usize = 32;
+    const LOOKUPS: u64 = 50_000;
+    let mut out = Vec::new();
+    for &ratio in &[1usize, 10, 100] {
+        let pages = POOL * ratio;
+        let mut ds = Dataset::build(pages, POOL);
+        // drop build-time stats; measure steady-state lookups only
+        ds.pager.hits = 0;
+        ds.pager.misses = 0;
+        ds.pager.max_resident = ds.pager.frames.len();
+        let rows = ds.rows();
+        let mut rng = 0x9e37_79b9_7f4a_7c15u64 | 1;
+        let t0 = Instant::now();
+        for _ in 0..LOOKUPS {
+            let id = xorshift(&mut rng) % rows;
+            let row = ds.get(id);
+            assert_eq!(row, make_row(id), "lookup returned a wrong or torn row");
+        }
+        let elapsed = t0.elapsed();
+        let p = &ds.pager;
+        assert!(
+            p.max_resident <= POOL,
+            "ratio {ratio}: {} resident pages exceeds the {POOL}-page pool",
+            p.max_resident
+        );
+        out.push(LookupSample {
+            ratio,
+            dataset_pages: pages,
+            pool_pages: POOL,
+            lookups: LOOKUPS,
+            hit_rate: p.hits as f64 / (p.hits + p.misses) as f64,
+            mean_lookup_us: elapsed.as_secs_f64() * 1e6 / LOOKUPS as f64,
+            max_resident_pages: p.max_resident,
+        });
+    }
+    out
+}
+
+// --------------------------------------------------------------- main --
+
+fn main() {
+    println!(
+        "page harness: {PAGE_BYTES}-byte pages, {ROWS_PER_PAGE} rows/page ({ROW_BYTES}-byte rows)"
+    );
+
+    println!("checkpoint bytes vs dirty fraction (256-page dataset):");
+    let checkpoints = checkpoint_experiment();
+    for s in &checkpoints {
+        println!(
+            "  dirty {:>5.1}% ({:>3} pages) -> {:>8} bytes ({:.1}% of full rewrite)",
+            s.dirty_fraction * 100.0,
+            s.dirty_pages,
+            s.checkpoint_bytes,
+            s.checkpoint_bytes as f64 * 100.0 / s.full_rewrite_bytes as f64
+        );
+    }
+
+    println!("indexed point lookups (32-page pool):");
+    let lookups = lookup_experiment();
+    for s in &lookups {
+        println!(
+            "  {:>3}x pool ({:>4} pages) -> {:.2}us/lookup, {:.1}% hit rate, {} pages max resident",
+            s.ratio,
+            s.dataset_pages,
+            s.mean_lookup_us,
+            s.hit_rate * 100.0,
+            s.max_resident_pages
+        );
+    }
+
+    let mut json = String::from("{\n");
+    json.push_str(&format!("  \"page_bytes\": {PAGE_BYTES},\n"));
+    json.push_str(&format!("  \"rows_per_page\": {ROWS_PER_PAGE},\n"));
+    json.push_str("  \"checkpoint_vs_dirty\": [\n");
+    for (i, s) in checkpoints.iter().enumerate() {
+        json.push_str(&format!(
+            "    {{\"dirty_fraction\": {:.2}, \"dirty_pages\": {}, \"checkpoint_bytes\": {}, \"full_rewrite_bytes\": {}}}{}\n",
+            s.dirty_fraction,
+            s.dirty_pages,
+            s.checkpoint_bytes,
+            s.full_rewrite_bytes,
+            if i + 1 < checkpoints.len() { "," } else { "" }
+        ));
+    }
+    json.push_str("  ],\n  \"lookup_at_ratio\": [\n");
+    for (i, s) in lookups.iter().enumerate() {
+        json.push_str(&format!(
+            "    {{\"ratio\": {}, \"dataset_pages\": {}, \"pool_pages\": {}, \"lookups\": {}, \"hit_rate\": {:.4}, \"mean_lookup_us\": {:.3}, \"max_resident_pages\": {}}}{}\n",
+            s.ratio,
+            s.dataset_pages,
+            s.pool_pages,
+            s.lookups,
+            s.hit_rate,
+            s.mean_lookup_us,
+            s.max_resident_pages,
+            if i + 1 < lookups.len() { "," } else { "" }
+        ));
+    }
+    json.push_str("  ]\n}\n");
+    std::fs::write("BENCH_page.json", &json).expect("write BENCH_page.json");
+    println!("\nwrote BENCH_page.json");
+}

@@ -13,6 +13,12 @@ cargo test -q -p relstore --test crash_sweep
 cargo test -q -p relstore --test crash_prop
 cargo test -q -p relstore --test recovery
 cargo test -q -p import --test crash_import
+# paged-storage equivalence (paged ≡ resident across random workloads,
+# pool sizes down to one page, reopen, and compaction), explicitly:
+cargo test -q -p relstore --test paged_prop
+# paged-storage measurement replica: checkpoint bytes vs dirty fraction,
+# lookup latency/residency at dataset/pool ratios 1x/10x/100x
+rustc -O scripts/page_harness.rs -o /tmp/page_harness && /tmp/page_harness
 cargo clippy --all-targets -- -D warnings
 # architectural invariant gate (DESIGN.md §11): any unbaselined finding
 # fails the build
