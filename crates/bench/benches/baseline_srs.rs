@@ -37,7 +37,7 @@ fn bench_join_vs_navigation(c: &mut Criterion) {
     let mut group = c.benchmark_group("baseline_srs/join_query");
     group.sample_size(10);
     for &n in &[100usize, 400, 1600] {
-        let mut f = fixture(params(n));
+        let f = fixture(params(n));
         let mut srs = SrsStore::new();
         for dump in &f.eco.dumps {
             srs.load(&dump.parse().unwrap());
@@ -74,7 +74,7 @@ fn bench_join_vs_navigation(c: &mut Criterion) {
 fn bench_what_srs_is_good_at(c: &mut Criterion) {
     // single-entry lookup and one-hop navigation: SRS's home turf, where
     // both systems should be fast (crossover context for A2)
-    let mut f = fixture(params(1600));
+    let f = fixture(params(1600));
     let mut srs = SrsStore::new();
     for dump in &f.eco.dumps {
         srs.load(&dump.parse().unwrap());

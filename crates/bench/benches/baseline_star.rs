@@ -15,7 +15,7 @@ use criterion::{criterion_group, criterion_main, Criterion};
 use genmapper::{QuerySpec, TargetQuery};
 
 fn bench_anticipated_queries(c: &mut Criterion) {
-    let mut f = demo_fixture(41);
+    let f = demo_fixture(41);
     let ll_batch = f.eco.dumps[0].parse().unwrap();
     let mut star = StarWarehouse::new().unwrap();
     star.integrate(&ll_batch).unwrap();

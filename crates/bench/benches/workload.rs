@@ -14,7 +14,7 @@ use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 
 fn bench_query_mix(c: &mut Criterion) {
-    let mut f = medium_fixture(81);
+    let f = medium_fixture(81);
     // pre-build the operation schedule so RNG cost is outside the loop
     let accessions: Vec<String> = f
         .eco

@@ -26,6 +26,7 @@ pub mod index;
 pub mod mapping;
 pub mod model;
 pub mod schema;
+pub mod snapshot;
 pub mod store;
 
 pub use error::{GamError, GamResult};
@@ -33,4 +34,5 @@ pub use ids::{ObjectId, ObjectRelId, SourceId, SourceRelId};
 pub use index::{MappingIndex, MappingIndexBuilder};
 pub use mapping::{Association, Mapping};
 pub use model::{GamObject, RelType, Source, SourceContent, SourceRel, SourceStructure};
-pub use store::GamStore;
+pub use snapshot::{GamRead, GamSnapshot};
+pub use store::{GamCardinalities, GamStore};

@@ -1,0 +1,659 @@
+//! Read-only access to GAM content: the [`GamRead`] trait and the
+//! immutable [`GamSnapshot`].
+//!
+//! The operators and the pathfinder only ever *read* the four GAM tables.
+//! [`GamRead`] captures exactly that surface, with two implementors:
+//!
+//! * [`GamStore`] — the live store; reads go through the relational
+//!   database (and, for paged stores, the buffer pool).
+//! * [`GamSnapshot`] — a fully materialized, immutable copy of the GAM
+//!   content, captured from a store at a quiescent point. Reads never
+//!   touch the database again, so any number of threads can query a
+//!   snapshot while a writer mutates the live store.
+//!
+//! Every `GamSnapshot` accessor returns exactly what the corresponding
+//! `GamStore` accessor returned at capture time — including ordering and
+//! error values — pinned by the equivalence tests below. This is the
+//! foundation of the system's MVCC read path: the writer captures a
+//! snapshot after each batch of mutations and publishes it with one atomic
+//! `Arc` swap; readers execute entirely against the published snapshot.
+
+use crate::error::{GamError, GamResult};
+use crate::ids::{ObjectId, SourceId, SourceRelId};
+use crate::index::MappingIndex;
+use crate::mapping::{Association, Mapping};
+use crate::model::{GamObject, RelType, Source, SourceRel};
+use crate::store::{GamCardinalities, GamStore};
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// The read-only surface of a GAM store. `Sync` is a supertrait so one
+/// reader can serve the concurrent per-target resolution of
+/// `generate_view_par` and be shared across service handler threads.
+pub trait GamRead: Sync {
+    /// All `SOURCE` rows, ordered by id.
+    fn sources(&self) -> GamResult<Vec<Source>>;
+
+    /// Find a source by its unique name.
+    fn find_source(&self, name: &str) -> GamResult<Option<Source>>;
+
+    /// Fetch a source by id.
+    fn get_source(&self, id: SourceId) -> GamResult<Source>;
+
+    /// All objects of a source, in accession order.
+    fn objects_of(&self, source: SourceId) -> GamResult<Vec<GamObject>>;
+
+    /// Ids of all objects of a source, in accession order.
+    fn object_ids_of(&self, source: SourceId) -> GamResult<Vec<ObjectId>>;
+
+    /// Number of objects of a source.
+    fn object_count(&self, source: SourceId) -> GamResult<usize>;
+
+    /// Find an object by (source, accession).
+    fn find_object(&self, source: SourceId, accession: &str) -> GamResult<Option<GamObject>>;
+
+    /// Fetch an object by id.
+    fn get_object(&self, id: ObjectId) -> GamResult<GamObject>;
+
+    /// Resolve many accessions of one source to object ids, in input
+    /// order; unknown accessions come back as `None`.
+    fn resolve_accessions(
+        &self,
+        source: SourceId,
+        accessions: &[&str],
+    ) -> GamResult<Vec<Option<ObjectId>>>;
+
+    /// All `SOURCE_REL` rows, ordered by id.
+    fn source_rels(&self) -> GamResult<Vec<SourceRel>>;
+
+    /// Fetch a source-level relationship by id.
+    fn get_source_rel(&self, id: SourceRelId) -> GamResult<SourceRel>;
+
+    /// All relationships stored with exactly this (source1, source2)
+    /// orientation.
+    fn source_rels_between(
+        &self,
+        source1: SourceId,
+        source2: SourceId,
+    ) -> GamResult<Vec<SourceRel>>;
+
+    /// First relationship between two sources in either orientation; the
+    /// flag is `true` when stored as (source1, source2).
+    fn find_source_rel(
+        &self,
+        source1: SourceId,
+        source2: SourceId,
+        rel_type: Option<RelType>,
+    ) -> GamResult<Option<(SourceRel, bool)>> {
+        for rel in self.source_rels_between(source1, source2)? {
+            if rel_type.is_none_or(|t| rel.rel_type == t) {
+                return Ok(Some((rel, true)));
+            }
+        }
+        for rel in self.source_rels_between(source2, source1)? {
+            if rel_type.is_none_or(|t| rel.rel_type == t) {
+                return Ok(Some((rel, false)));
+            }
+        }
+        Ok(None)
+    }
+
+    /// Load a stored mapping's associations in canonical order.
+    fn load_mapping(&self, id: SourceRelId) -> GamResult<Mapping>;
+
+    /// Load a stored mapping directly in CSR form.
+    fn load_mapping_index(&self, id: SourceRelId) -> GamResult<MappingIndex>;
+
+    /// [`load_mapping_index`](Self::load_mapping_index) behind an `Arc`.
+    /// Snapshots override this to hand out their pre-built shared index
+    /// without copying.
+    fn load_mapping_index_shared(&self, id: SourceRelId) -> GamResult<Arc<MappingIndex>> {
+        Ok(Arc::new(self.load_mapping_index(id)?))
+    }
+
+    /// Number of associations of a mapping.
+    fn association_count(&self, id: SourceRelId) -> GamResult<usize>;
+
+    /// All associations touching an object, in either role, each oriented
+    /// so `from` is the queried object.
+    fn associations_of_object(
+        &self,
+        object: ObjectId,
+    ) -> GamResult<Vec<(SourceRelId, Association)>>;
+
+    /// Object counts grouped by source.
+    fn object_counts_per_source(&self) -> GamResult<Vec<(SourceId, usize)>>;
+
+    /// Mapping and association counts broken down by relationship type.
+    fn mapping_type_counts(&self) -> GamResult<Vec<(RelType, usize, usize)>>;
+
+    /// The four headline table cardinalities.
+    fn cardinalities(&self) -> GamResult<GamCardinalities>;
+}
+
+impl GamRead for GamStore {
+    fn sources(&self) -> GamResult<Vec<Source>> {
+        GamStore::sources(self)
+    }
+
+    fn find_source(&self, name: &str) -> GamResult<Option<Source>> {
+        GamStore::find_source(self, name)
+    }
+
+    fn get_source(&self, id: SourceId) -> GamResult<Source> {
+        GamStore::get_source(self, id)
+    }
+
+    fn objects_of(&self, source: SourceId) -> GamResult<Vec<GamObject>> {
+        GamStore::objects_of(self, source)
+    }
+
+    fn object_ids_of(&self, source: SourceId) -> GamResult<Vec<ObjectId>> {
+        GamStore::object_ids_of(self, source)
+    }
+
+    fn object_count(&self, source: SourceId) -> GamResult<usize> {
+        GamStore::object_count(self, source)
+    }
+
+    fn find_object(&self, source: SourceId, accession: &str) -> GamResult<Option<GamObject>> {
+        GamStore::find_object(self, source, accession)
+    }
+
+    fn get_object(&self, id: ObjectId) -> GamResult<GamObject> {
+        GamStore::get_object(self, id)
+    }
+
+    fn resolve_accessions(
+        &self,
+        source: SourceId,
+        accessions: &[&str],
+    ) -> GamResult<Vec<Option<ObjectId>>> {
+        GamStore::resolve_accessions(self, source, accessions)
+    }
+
+    fn source_rels(&self) -> GamResult<Vec<SourceRel>> {
+        GamStore::source_rels(self)
+    }
+
+    fn get_source_rel(&self, id: SourceRelId) -> GamResult<SourceRel> {
+        GamStore::get_source_rel(self, id)
+    }
+
+    fn source_rels_between(
+        &self,
+        source1: SourceId,
+        source2: SourceId,
+    ) -> GamResult<Vec<SourceRel>> {
+        GamStore::source_rels_between(self, source1, source2)
+    }
+
+    fn find_source_rel(
+        &self,
+        source1: SourceId,
+        source2: SourceId,
+        rel_type: Option<RelType>,
+    ) -> GamResult<Option<(SourceRel, bool)>> {
+        GamStore::find_source_rel(self, source1, source2, rel_type)
+    }
+
+    fn load_mapping(&self, id: SourceRelId) -> GamResult<Mapping> {
+        GamStore::load_mapping(self, id)
+    }
+
+    fn load_mapping_index(&self, id: SourceRelId) -> GamResult<MappingIndex> {
+        GamStore::load_mapping_index(self, id)
+    }
+
+    fn association_count(&self, id: SourceRelId) -> GamResult<usize> {
+        GamStore::association_count(self, id)
+    }
+
+    fn associations_of_object(
+        &self,
+        object: ObjectId,
+    ) -> GamResult<Vec<(SourceRelId, Association)>> {
+        GamStore::associations_of_object(self, object)
+    }
+
+    fn object_counts_per_source(&self) -> GamResult<Vec<(SourceId, usize)>> {
+        GamStore::object_counts_per_source(self)
+    }
+
+    fn mapping_type_counts(&self) -> GamResult<Vec<(RelType, usize, usize)>> {
+        GamStore::mapping_type_counts(self)
+    }
+
+    fn cardinalities(&self) -> GamResult<GamCardinalities> {
+        GamStore::cardinalities(self)
+    }
+}
+
+/// A fully materialized, immutable copy of a store's GAM content.
+///
+/// Capture walks the store's own public read API, so every accessor
+/// reproduces the store's answers — ordering included — as of the capture
+/// point. Mapping indexes are built once and shared behind `Arc`s;
+/// profiling aggregates are precomputed.
+#[derive(Debug, Clone)]
+pub struct GamSnapshot {
+    sources: Vec<Source>,
+    source_by_name: HashMap<String, usize>,
+    source_pos: HashMap<SourceId, usize>,
+    /// Per source, objects in the store's accession order.
+    objects: HashMap<SourceId, Vec<GamObject>>,
+    /// object id → (source, position in that source's object vector).
+    object_pos: HashMap<ObjectId, (SourceId, usize)>,
+    /// (source, accession) → position, for exact-accession lookups.
+    accession_pos: HashMap<SourceId, HashMap<String, usize>>,
+    rels: Vec<SourceRel>,
+    rel_pos: HashMap<SourceRelId, usize>,
+    rels_by_pair: HashMap<(SourceId, SourceId), Vec<SourceRel>>,
+    indexes: HashMap<SourceRelId, Arc<MappingIndex>>,
+    assoc_counts: HashMap<SourceRelId, usize>,
+    assocs_by_object: HashMap<ObjectId, Vec<(SourceRelId, Association)>>,
+    counts_per_source: Vec<(SourceId, usize)>,
+    type_counts: Vec<(RelType, usize, usize)>,
+    cards: GamCardinalities,
+}
+
+impl GamSnapshot {
+    /// Capture the store's current GAM content. The borrow guarantees no
+    /// mutation happens mid-capture.
+    pub fn capture(store: &GamStore) -> GamResult<GamSnapshot> {
+        let sources = store.sources()?;
+        let mut source_by_name = HashMap::with_capacity(sources.len());
+        let mut source_pos = HashMap::with_capacity(sources.len());
+        for (i, s) in sources.iter().enumerate() {
+            source_by_name.insert(s.name.clone(), i);
+            source_pos.insert(s.id, i);
+        }
+
+        let mut objects = HashMap::with_capacity(sources.len());
+        let mut object_pos = HashMap::new();
+        let mut accession_pos: HashMap<SourceId, HashMap<String, usize>> =
+            HashMap::with_capacity(sources.len());
+        for s in &sources {
+            let objs = store.objects_of(s.id)?;
+            let mut by_acc = HashMap::with_capacity(objs.len());
+            for (i, o) in objs.iter().enumerate() {
+                object_pos.insert(o.id, (s.id, i));
+                by_acc.insert(o.accession.clone(), i);
+            }
+            accession_pos.insert(s.id, by_acc);
+            objects.insert(s.id, objs);
+        }
+
+        let rels = store.source_rels()?;
+        let mut rel_pos = HashMap::with_capacity(rels.len());
+        for (i, r) in rels.iter().enumerate() {
+            rel_pos.insert(r.id, i);
+        }
+        // rebuild the by_pair buckets through the store's own lookup so
+        // within-pair ordering is exactly what the store returns
+        let mut rels_by_pair: HashMap<(SourceId, SourceId), Vec<SourceRel>> = HashMap::new();
+        for r in &rels {
+            let key = (r.source1, r.source2);
+            if let std::collections::hash_map::Entry::Vacant(slot) = rels_by_pair.entry(key) {
+                slot.insert(store.source_rels_between(key.0, key.1)?);
+            }
+        }
+
+        let mut indexes = HashMap::with_capacity(rels.len());
+        let mut assoc_counts = HashMap::with_capacity(rels.len());
+        for r in &rels {
+            indexes.insert(r.id, Arc::new(store.load_mapping_index(r.id)?));
+            assoc_counts.insert(r.id, store.association_count(r.id)?);
+        }
+
+        let mut assocs_by_object = HashMap::new();
+        for objs in objects.values() {
+            for o in objs {
+                let assocs = store.associations_of_object(o.id)?;
+                if !assocs.is_empty() {
+                    assocs_by_object.insert(o.id, assocs);
+                }
+            }
+        }
+
+        Ok(GamSnapshot {
+            counts_per_source: store.object_counts_per_source()?,
+            type_counts: store.mapping_type_counts()?,
+            cards: store.cardinalities()?,
+            sources,
+            source_by_name,
+            source_pos,
+            objects,
+            object_pos,
+            accession_pos,
+            rels,
+            rel_pos,
+            rels_by_pair,
+            indexes,
+            assoc_counts,
+            assocs_by_object,
+        })
+    }
+
+    /// Total number of associations across all mappings (size indicator).
+    pub fn association_total(&self) -> usize {
+        self.cards.associations
+    }
+}
+
+impl GamRead for GamSnapshot {
+    fn sources(&self) -> GamResult<Vec<Source>> {
+        Ok(self.sources.clone())
+    }
+
+    fn find_source(&self, name: &str) -> GamResult<Option<Source>> {
+        Ok(self.source_by_name.get(name).map(|&i| self.sources[i].clone()))
+    }
+
+    fn get_source(&self, id: SourceId) -> GamResult<Source> {
+        self.source_pos
+            .get(&id)
+            .map(|&i| self.sources[i].clone())
+            .ok_or(GamError::UnknownSource(id))
+    }
+
+    fn objects_of(&self, source: SourceId) -> GamResult<Vec<GamObject>> {
+        Ok(self.objects.get(&source).cloned().unwrap_or_default())
+    }
+
+    fn object_ids_of(&self, source: SourceId) -> GamResult<Vec<ObjectId>> {
+        Ok(self
+            .objects
+            .get(&source)
+            .map(|v| v.iter().map(|o| o.id).collect())
+            .unwrap_or_default())
+    }
+
+    fn object_count(&self, source: SourceId) -> GamResult<usize> {
+        Ok(self.objects.get(&source).map(Vec::len).unwrap_or(0))
+    }
+
+    fn find_object(&self, source: SourceId, accession: &str) -> GamResult<Option<GamObject>> {
+        Ok(self.accession_pos.get(&source).and_then(|by_acc| {
+            by_acc
+                .get(accession)
+                .map(|&i| self.objects[&source][i].clone())
+        }))
+    }
+
+    fn get_object(&self, id: ObjectId) -> GamResult<GamObject> {
+        self.object_pos
+            .get(&id)
+            .map(|&(src, i)| self.objects[&src][i].clone())
+            .ok_or(GamError::UnknownObject(id))
+    }
+
+    fn resolve_accessions(
+        &self,
+        source: SourceId,
+        accessions: &[&str],
+    ) -> GamResult<Vec<Option<ObjectId>>> {
+        let by_acc = self.accession_pos.get(&source);
+        Ok(accessions
+            .iter()
+            .map(|acc| {
+                by_acc
+                    .and_then(|m| m.get(*acc))
+                    .map(|&i| self.objects[&source][i].id)
+            })
+            .collect())
+    }
+
+    fn source_rels(&self) -> GamResult<Vec<SourceRel>> {
+        Ok(self.rels.clone())
+    }
+
+    fn get_source_rel(&self, id: SourceRelId) -> GamResult<SourceRel> {
+        self.rel_pos
+            .get(&id)
+            .map(|&i| self.rels[i].clone())
+            .ok_or(GamError::UnknownSourceRel(id))
+    }
+
+    fn source_rels_between(
+        &self,
+        source1: SourceId,
+        source2: SourceId,
+    ) -> GamResult<Vec<SourceRel>> {
+        Ok(self
+            .rels_by_pair
+            .get(&(source1, source2))
+            .cloned()
+            .unwrap_or_default())
+    }
+
+    fn load_mapping(&self, id: SourceRelId) -> GamResult<Mapping> {
+        // the store's load_mapping returns canonical order, which is
+        // exactly what the CSR round-trip produces (pinned by the gam
+        // index tests and the equivalence tests below)
+        self.indexes
+            .get(&id)
+            .map(|idx| idx.to_mapping())
+            .ok_or(GamError::UnknownSourceRel(id))
+    }
+
+    fn load_mapping_index(&self, id: SourceRelId) -> GamResult<MappingIndex> {
+        self.indexes
+            .get(&id)
+            .map(|idx| (**idx).clone())
+            .ok_or(GamError::UnknownSourceRel(id))
+    }
+
+    fn load_mapping_index_shared(&self, id: SourceRelId) -> GamResult<Arc<MappingIndex>> {
+        self.indexes
+            .get(&id)
+            .map(Arc::clone)
+            .ok_or(GamError::UnknownSourceRel(id))
+    }
+
+    fn association_count(&self, id: SourceRelId) -> GamResult<usize> {
+        self.assoc_counts
+            .get(&id)
+            .copied()
+            .ok_or(GamError::UnknownSourceRel(id))
+    }
+
+    fn associations_of_object(
+        &self,
+        object: ObjectId,
+    ) -> GamResult<Vec<(SourceRelId, Association)>> {
+        Ok(self.assocs_by_object.get(&object).cloned().unwrap_or_default())
+    }
+
+    fn object_counts_per_source(&self) -> GamResult<Vec<(SourceId, usize)>> {
+        Ok(self.counts_per_source.clone())
+    }
+
+    fn mapping_type_counts(&self) -> GamResult<Vec<(RelType, usize, usize)>> {
+        Ok(self.type_counts.clone())
+    }
+
+    fn cardinalities(&self) -> GamResult<GamCardinalities> {
+        Ok(self.cards)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::{SourceContent, SourceStructure};
+
+    /// A store exercising every shape the snapshot must reproduce: several
+    /// sources, mixed evidence, both rel orientations, a structural rel, a
+    /// source with no objects, objects with no associations.
+    fn fixture() -> GamStore {
+        let mut s = GamStore::in_memory().unwrap();
+        let a = s
+            .create_source("Alpha", SourceContent::Gene, SourceStructure::Flat, Some("r1"))
+            .unwrap()
+            .id;
+        let b = s
+            .create_source("Beta", SourceContent::Protein, SourceStructure::Flat, None)
+            .unwrap()
+            .id;
+        let go = s
+            .create_source("GO", SourceContent::Other, SourceStructure::Network, None)
+            .unwrap()
+            .id;
+        s.create_source("Empty", SourceContent::Other, SourceStructure::Flat, None)
+            .unwrap();
+        let ao: Vec<ObjectId> = (0..5)
+            .map(|i| s.create_object(a, &format!("a{i}"), Some(&format!("gene {i}")), None).unwrap())
+            .collect();
+        let bo: Vec<ObjectId> = (0..4)
+            .map(|i| s.create_object(b, &format!("b{i}"), None, Some(i as f64)).unwrap())
+            .collect();
+        let go_o: Vec<ObjectId> = (0..3)
+            .map(|i| s.create_object(go, &format!("GO:000{i}"), None, None).unwrap())
+            .collect();
+        let ab = s.create_source_rel(a, b, RelType::Fact, None).unwrap();
+        let ba = s.create_source_rel(b, a, RelType::Similarity, None).unwrap();
+        let ag = s.create_source_rel(a, go, RelType::Fact, None).unwrap();
+        let isa = s.create_source_rel(go, go, RelType::IsA, None).unwrap();
+        s.add_association(ab, ao[0], bo[0], None).unwrap();
+        s.add_association(ab, ao[1], bo[1], None).unwrap();
+        s.add_association(ba, bo[2], ao[2], Some(0.75)).unwrap();
+        s.add_association(ba, bo[0], ao[0], Some(0.5)).unwrap();
+        s.add_association(ag, ao[0], go_o[0], None).unwrap();
+        s.add_association(ag, ao[3], go_o[2], None).unwrap();
+        s.add_association(isa, go_o[1], go_o[0], None).unwrap();
+        s.add_association(isa, go_o[2], go_o[1], None).unwrap();
+        s
+    }
+
+    #[test]
+    fn snapshot_reproduces_every_store_answer() {
+        let store = fixture();
+        let snap = GamSnapshot::capture(&store).unwrap();
+        let s: &dyn GamRead = &store;
+        let n: &dyn GamRead = &snap;
+
+        assert_eq!(n.sources().unwrap(), s.sources().unwrap());
+        assert_eq!(n.cardinalities().unwrap(), s.cardinalities().unwrap());
+        assert_eq!(
+            n.object_counts_per_source().unwrap(),
+            s.object_counts_per_source().unwrap()
+        );
+        assert_eq!(n.mapping_type_counts().unwrap(), s.mapping_type_counts().unwrap());
+        assert_eq!(n.source_rels().unwrap(), s.source_rels().unwrap());
+
+        for name in ["Alpha", "Beta", "GO", "Empty", "Nope"] {
+            assert_eq!(n.find_source(name).unwrap(), s.find_source(name).unwrap(), "{name}");
+        }
+        for src in s.sources().unwrap() {
+            assert_eq!(n.get_source(src.id).unwrap(), s.get_source(src.id).unwrap());
+            assert_eq!(n.objects_of(src.id).unwrap(), s.objects_of(src.id).unwrap());
+            assert_eq!(n.object_ids_of(src.id).unwrap(), s.object_ids_of(src.id).unwrap());
+            assert_eq!(n.object_count(src.id).unwrap(), s.object_count(src.id).unwrap());
+            for acc in ["a0", "a4", "b2", "GO:0001", "missing"] {
+                assert_eq!(
+                    n.find_object(src.id, acc).unwrap(),
+                    s.find_object(src.id, acc).unwrap(),
+                    "{} / {acc}",
+                    src.name
+                );
+            }
+            let keys = ["a1", "b0", "a1", "GO:0002", "zzz"];
+            assert_eq!(
+                n.resolve_accessions(src.id, &keys).unwrap(),
+                s.resolve_accessions(src.id, &keys).unwrap()
+            );
+            for other in s.sources().unwrap() {
+                assert_eq!(
+                    n.source_rels_between(src.id, other.id).unwrap(),
+                    s.source_rels_between(src.id, other.id).unwrap()
+                );
+                for t in [None, Some(RelType::Fact), Some(RelType::IsA)] {
+                    assert_eq!(
+                        n.find_source_rel(src.id, other.id, t).unwrap(),
+                        s.find_source_rel(src.id, other.id, t).unwrap()
+                    );
+                }
+            }
+            for obj in s.objects_of(src.id).unwrap() {
+                assert_eq!(n.get_object(obj.id).unwrap(), s.get_object(obj.id).unwrap());
+                assert_eq!(
+                    n.associations_of_object(obj.id).unwrap(),
+                    s.associations_of_object(obj.id).unwrap()
+                );
+            }
+        }
+        for rel in s.source_rels().unwrap() {
+            assert_eq!(n.get_source_rel(rel.id).unwrap(), s.get_source_rel(rel.id).unwrap());
+            assert_eq!(
+                n.association_count(rel.id).unwrap(),
+                s.association_count(rel.id).unwrap()
+            );
+            let sm = s.load_mapping(rel.id).unwrap();
+            let nm = n.load_mapping(rel.id).unwrap();
+            assert_eq!((nm.from, nm.to, nm.rel_type), (sm.from, sm.to, sm.rel_type));
+            let bits = |m: &Mapping| -> Vec<(ObjectId, ObjectId, Option<u64>)> {
+                m.pairs
+                    .iter()
+                    .map(|a| (a.from, a.to, a.evidence.map(f64::to_bits)))
+                    .collect()
+            };
+            assert_eq!(bits(&nm), bits(&sm), "rel {}", rel.id);
+            assert_eq!(
+                n.load_mapping_index(rel.id).unwrap(),
+                s.load_mapping_index(rel.id).unwrap()
+            );
+            assert_eq!(
+                *n.load_mapping_index_shared(rel.id).unwrap(),
+                *s.load_mapping_index_shared(rel.id).unwrap()
+            );
+        }
+    }
+
+    #[test]
+    fn snapshot_error_values_match_store() {
+        let store = fixture();
+        let snap = GamSnapshot::capture(&store).unwrap();
+        let bad_src = SourceId(999);
+        let bad_obj = ObjectId(999);
+        let bad_rel = SourceRelId(999);
+        assert!(matches!(snap.get_source(bad_src), Err(GamError::UnknownSource(_))));
+        assert!(matches!(snap.get_object(bad_obj), Err(GamError::UnknownObject(_))));
+        assert!(matches!(
+            snap.get_source_rel(bad_rel),
+            Err(GamError::UnknownSourceRel(_))
+        ));
+        assert!(matches!(
+            snap.load_mapping(bad_rel),
+            Err(GamError::UnknownSourceRel(_))
+        ));
+        assert!(matches!(
+            snap.load_mapping_index(bad_rel),
+            Err(GamError::UnknownSourceRel(_))
+        ));
+        assert!(matches!(
+            snap.association_count(bad_rel),
+            Err(GamError::UnknownSourceRel(_))
+        ));
+        // lookups over unknown sources degrade to empty, like the store's
+        // index prefix scans
+        assert!(snap.objects_of(bad_src).unwrap().is_empty());
+        assert!(snap.associations_of_object(bad_obj).unwrap().is_empty());
+    }
+
+    #[test]
+    fn snapshot_is_isolated_from_later_writes() {
+        let mut store = fixture();
+        let snap = GamSnapshot::capture(&store).unwrap();
+        let before = snap.cardinalities().unwrap();
+        let a = store.find_source("Alpha").unwrap().unwrap().id;
+        store.create_object(a, "late", None, None).unwrap();
+        store
+            .create_source("Late", SourceContent::Other, SourceStructure::Flat, None)
+            .unwrap();
+        assert_eq!(snap.cardinalities().unwrap(), before);
+        assert!(snap.find_source("Late").unwrap().is_none());
+        assert!(snap.find_object(a, "late").unwrap().is_none());
+        assert_ne!(store.cardinalities().unwrap(), before);
+    }
+}

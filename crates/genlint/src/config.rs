@@ -30,6 +30,16 @@ pub struct MutatorSet {
     pub exempt: Vec<String>,
 }
 
+/// One declared read-entry set for the lock-discipline rule's snapshot
+/// coherence check: the named methods in `file` are MVCC read-path entry
+/// points and must take `&self`, never `&mut self` — a `&mut` read entry
+/// would force readers through the writer's exclusive path.
+#[derive(Debug, Clone, Default)]
+pub struct ReadEntrySet {
+    pub file: String,
+    pub methods: Vec<String>,
+}
+
 /// Parsed configuration.
 #[derive(Debug, Clone, Default)]
 pub struct Config {
@@ -41,6 +51,14 @@ pub struct Config {
     pub lock_names: Vec<String>,
     /// Declared global acquisition order for R4 (outermost first).
     pub lock_order: Vec<String>,
+    /// Function names that must never be called with a declared-lock
+    /// guard live (R4 snapshot coherence): handler execution and the
+    /// shared query executor run against a cloned `Arc` snapshot, not
+    /// under a lock.
+    pub guard_free_calls: Vec<String>,
+    /// Declared read-path entry sets for R4 (methods that must take
+    /// `&self`).
+    pub read_entries: Vec<ReadEntrySet>,
     /// Declared mutator sets for R3.
     pub mutators: Vec<MutatorSet>,
     /// Function names in relstore exempt from R5's sync-before-return
@@ -122,6 +140,7 @@ pub fn parse(text: &str) -> Result<Config, ConfigError> {
         LockDiscipline,
         WalBracket,
         Mutator,
+        ReadEntry,
         Allow,
     }
     let mut cfg = Config::default();
@@ -141,6 +160,10 @@ pub fn parse(text: &str) -> Result<Config, ConfigError> {
                 "cache-coherence.mutators" => {
                     cfg.mutators.push(MutatorSet::default());
                     section = Section::Mutator;
+                }
+                "lock-discipline.read-entries" => {
+                    cfg.read_entries.push(ReadEntrySet::default());
+                    section = Section::ReadEntry;
                 }
                 other => return Err(err(lineno, format!("unknown array section `{other}`"))),
             }
@@ -171,6 +194,9 @@ pub fn parse(text: &str) -> Result<Config, ConfigError> {
             Section::LockDiscipline => match key {
                 "locks" => cfg.lock_names = parse_string_array(lineno, value)?,
                 "order" => cfg.lock_order = parse_string_array(lineno, value)?,
+                "guard_free_calls" => {
+                    cfg.guard_free_calls = parse_string_array(lineno, value)?
+                }
                 _ => {
                     return Err(err(
                         lineno,
@@ -195,6 +221,24 @@ pub fn parse(text: &str) -> Result<Config, ConfigError> {
                         return Err(err(
                             lineno,
                             format!("unknown key `{key}` in [[cache-coherence.mutators]]"),
+                        ))
+                    }
+                }
+            }
+            Section::ReadEntry => {
+                let Some(r) = cfg.read_entries.last_mut() else {
+                    return Err(err(
+                        lineno,
+                        "read-entry key before [[lock-discipline.read-entries]]",
+                    ));
+                };
+                match key {
+                    "file" => r.file = parse_string(lineno, value)?,
+                    "methods" => r.methods = parse_string_array(lineno, value)?,
+                    _ => {
+                        return Err(err(
+                            lineno,
+                            format!("unknown key `{key}` in [[lock-discipline.read-entries]]"),
                         ))
                     }
                 }
@@ -232,6 +276,14 @@ pub fn parse(text: &str) -> Result<Config, ConfigError> {
             ));
         }
     }
+    for r in &cfg.read_entries {
+        if r.file.is_empty() || r.methods.is_empty() {
+            return Err(err(
+                0,
+                "[[lock-discipline.read-entries]] entry must set file and methods".to_owned(),
+            ));
+        }
+    }
     Ok(cfg)
 }
 
@@ -250,6 +302,11 @@ index_idents = ["fields"]
 [lock-discipline]
 locks = ["cache", "state"]
 order = ["state", "cache"]
+guard_free_calls = ["run_query"]
+
+[[lock-discipline.read-entries]]
+file = "crates/gam/src/store.rs"
+methods = ["query", "find_path"]
 
 [wal-bracket]
 sync_exempt = ["flush"]
@@ -268,10 +325,19 @@ reason = "bench reports are non-durable"
         let cfg = parse(text).expect("parses");
         assert_eq!(cfg.no_panic_crates, vec!["gam", "import"]);
         assert_eq!(cfg.lock_order, vec!["state", "cache"]);
+        assert_eq!(cfg.guard_free_calls, vec!["run_query"]);
+        assert_eq!(cfg.read_entries.len(), 1);
+        assert_eq!(cfg.read_entries[0].methods, vec!["query", "find_path"]);
         assert_eq!(cfg.mutators.len(), 1);
         assert_eq!(cfg.mutators[0].type_name, "GamStore");
         assert_eq!(cfg.allow.len(), 1);
         assert_eq!(cfg.allow[0].rule, "vfs-bypass");
+    }
+
+    #[test]
+    fn rejects_incomplete_read_entries() {
+        let text = "[[lock-discipline.read-entries]]\nfile = \"x.rs\"\n";
+        assert!(parse(text).is_err(), "missing methods must fail");
     }
 
     #[test]

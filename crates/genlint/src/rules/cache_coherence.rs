@@ -39,7 +39,7 @@ impl Rule for CacheCoherence {
                 if !f.is_pub || file.is_test(f.off) {
                     continue;
                 }
-                if !takes_mut_self(file, f.off) {
+                if !file.fn_takes_mut_self(f.off) {
                     continue;
                 }
                 seen.push(&f.name);
@@ -91,33 +91,6 @@ impl Rule for CacheCoherence {
             }
         }
     }
-}
-
-/// Whether the fn at byte offset `off` takes `&mut self` (or `mut self`)
-/// as its receiver.
-fn takes_mut_self(file: &SourceFile, off: usize) -> bool {
-    let start = file.token_at(off);
-    // scan the signature tokens up to the parameter list's closing paren
-    let mut depth = 0i32;
-    let mut i = start;
-    while i < file.tokens.len() {
-        match file.tokens[i].text.as_str() {
-            "(" => depth += 1,
-            ")" => {
-                depth -= 1;
-                if depth == 0 {
-                    return false;
-                }
-            }
-            "self" if depth == 1 => {
-                return i >= 1 && file.tokens[i - 1].text == "mut";
-            }
-            "{" | ";" if depth == 0 => return false,
-            _ => {}
-        }
-        i += 1;
-    }
-    false
 }
 
 /// Whether `name(` is called anywhere in the byte range.

@@ -15,6 +15,18 @@
 //! * a `let`-bound guard of a declared lock still live at a `spawn(`
 //!   call (release it, or `drop(guard)` first).
 //!
+//! The MVCC snapshot layer (PR 7) adds two *snapshot coherence* checks,
+//! both configured in the same `[lock-discipline]` section:
+//!
+//! * `guard_free_calls` names functions (the shared query executor, the
+//!   service request handler) that must never run with a declared-lock
+//!   guard live — readers answer from a cloned `Arc<Snapshot>`, so a
+//!   guard spanning them would serialize readers behind the writer,
+//! * `[[lock-discipline.read-entries]]` declares per-file method lists
+//!   that are read-path entry points and must take `&self`; a method
+//!   that regresses to `&mut self` (or disappears while still listed)
+//!   is an error.
+//!
 //! Acquisitions are `name.lock()` / `name.read()` / `name.write()` with
 //! empty argument lists, so `io::Write::write(buf)` and friends never
 //! match. Guard lifetime is approximated by lexical scope: a `let`-bound
@@ -48,7 +60,11 @@ impl Rule for LockDiscipline {
     }
 
     fn check(&self, file: &SourceFile, cfg: &Config, out: &mut Vec<Finding>) {
-        if cfg.lock_names.is_empty() || file.is_test_file() {
+        if file.is_test_file() {
+            return;
+        }
+        check_read_entries(self.name(), file, cfg, out);
+        if cfg.lock_names.is_empty() {
             return;
         }
         for f in &file.functions {
@@ -82,6 +98,27 @@ impl Rule for LockDiscipline {
                             });
                             break;
                         }
+                    }
+                }
+                // guard held across a declared guard-free call
+                for i in a.tok + 1..a.extent_end {
+                    let t = &file.tokens[i];
+                    if t.is_ident
+                        && cfg.guard_free_calls.iter().any(|n| n == &t.text)
+                        && file.tokens.get(i + 1).map(|x| x.text == "(").unwrap_or(false)
+                    {
+                        out.push(Finding {
+                            rule: self.name(),
+                            path: file.rel_path.clone(),
+                            line: file.line_of(t.off),
+                            message: format!(
+                                "guard of lock `{}` is still live at this call to {}() in \
+                                 fn {}; snapshot read paths run guard-free — clone the \
+                                 published Arc and drop the guard first",
+                                a.name, t.text, f.name
+                            ),
+                        });
+                        break;
                     }
                 }
                 // nested acquisitions
@@ -129,6 +166,52 @@ impl Rule for LockDiscipline {
                         }),
                     }
                 }
+            }
+        }
+    }
+}
+
+/// Enforce declared read-path entry sets: every listed method in the
+/// file must exist and take `&self`. Fail closed both ways — a listed
+/// method that regressed to `&mut self` breaks the MVCC read path, and
+/// a listed method that no longer exists means the config rotted.
+fn check_read_entries(
+    rule: &'static str,
+    file: &SourceFile,
+    cfg: &Config,
+    out: &mut Vec<Finding>,
+) {
+    for set in cfg.read_entries.iter().filter(|s| s.file == file.rel_path) {
+        for method in &set.methods {
+            let mut found = false;
+            for f in file.functions.iter().filter(|f| &f.name == method) {
+                if file.is_test(f.off) {
+                    continue;
+                }
+                found = true;
+                if file.fn_takes_mut_self(f.off) {
+                    out.push(Finding {
+                        rule,
+                        path: file.rel_path.clone(),
+                        line: file.line_of(f.off),
+                        message: format!(
+                            "read-path entry point {method}() takes &mut self; snapshot \
+                             readers must share it with &self (declared in genlint.toml \
+                             [[lock-discipline.read-entries]])"
+                        ),
+                    });
+                }
+            }
+            if !found {
+                out.push(Finding {
+                    rule,
+                    path: file.rel_path.clone(),
+                    line: 1,
+                    message: format!(
+                        "read-entry `{method}` matches no fn in this file — genlint.toml \
+                         [[lock-discipline.read-entries]] is out of date"
+                    ),
+                });
             }
         }
     }
@@ -247,6 +330,7 @@ mod tests {
         Config {
             lock_names: vec!["cache".into(), "state".into(), "table".into()],
             lock_order: vec!["state".into(), "cache".into(), "table".into()],
+            guard_free_calls: vec!["run_query".into(), "handle_request".into()],
             ..Config::default()
         }
     }
@@ -301,6 +385,56 @@ mod tests {
         // temporary guards die at their statement
         assert!(findings("fn f() { self.cache.read().len(); self.cache.write().clear(); }")
             .is_empty());
+    }
+
+    #[test]
+    fn flags_guard_live_at_guard_free_call() {
+        let out = findings(
+            "fn f() { let g = self.cache.read(); let v = run_query(g, spec); v }",
+        );
+        assert_eq!(out.len(), 1, "{out:?}");
+        assert!(out[0].message.contains("run_query"));
+        assert!(out[0].message.contains("guard-free"));
+        // released before the call: clean
+        assert!(findings(
+            "fn f() { let s = { self.cache.read().clone() }; run_query(s, spec) }"
+        )
+        .is_empty());
+        // a temporary guard in an earlier statement is dead at the call
+        assert!(findings(
+            "fn f() { self.cache.write().clear(); handle_request(shared, line); }"
+        )
+        .is_empty());
+    }
+
+    #[test]
+    fn read_entries_must_take_shared_self() {
+        use crate::config::ReadEntrySet;
+        let cfg2 = Config {
+            read_entries: vec![ReadEntrySet {
+                file: "crates/x/src/a.rs".into(),
+                methods: vec!["query".into(), "find_path".into(), "gone".into()],
+            }],
+            ..Config::default()
+        };
+        let src = "impl S {\n\
+                   pub fn query(&self) {}\n\
+                   pub fn find_path(&mut self) {}\n\
+                   }\n";
+        let file = SourceFile::parse("crates/x/src/a.rs", src);
+        let mut out = Vec::new();
+        LockDiscipline.check(&file, &cfg2, &mut out);
+        assert_eq!(out.len(), 2, "{out:?}");
+        assert!(out.iter().any(|f| f.message.contains("find_path()")
+            && f.message.contains("&mut self")));
+        assert!(out
+            .iter()
+            .any(|f| f.message.contains("`gone`") && f.message.contains("out of date")));
+        // the same config against a different file is silent
+        let other = SourceFile::parse("crates/x/src/b.rs", src);
+        let mut out = Vec::new();
+        LockDiscipline.check(&other, &cfg2, &mut out);
+        assert!(out.is_empty());
     }
 
     #[test]

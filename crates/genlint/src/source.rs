@@ -141,6 +141,33 @@ impl SourceFile {
         (self.token_at(start), self.token_at(end))
     }
 
+    /// Whether the fn whose `fn` keyword sits at byte offset `off` takes
+    /// `&mut self` (or `mut self`) as its receiver.
+    pub fn fn_takes_mut_self(&self, off: usize) -> bool {
+        let start = self.token_at(off);
+        // scan the signature tokens up to the parameter list's closing paren
+        let mut depth = 0i32;
+        let mut i = start;
+        while i < self.tokens.len() {
+            match self.tokens[i].text.as_str() {
+                "(" => depth += 1,
+                ")" => {
+                    depth -= 1;
+                    if depth == 0 {
+                        return false;
+                    }
+                }
+                "self" if depth == 1 => {
+                    return i >= 1 && self.tokens[i - 1].text == "mut";
+                }
+                "{" | ";" if depth == 0 => return false,
+                _ => {}
+            }
+            i += 1;
+        }
+        false
+    }
+
     /// Whether the token sequence starting at index `i` matches `pat`
     /// texts exactly.
     pub fn seq_matches(&self, i: usize, pat: &[&str]) -> bool {

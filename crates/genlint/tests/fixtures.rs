@@ -23,6 +23,11 @@ index_idents = ["fields"]
 [lock-discipline]
 locks = ["inner", "cache"]
 order = ["inner", "cache"]
+guard_free_calls = ["run_query"]
+
+[[lock-discipline.read-entries]]
+file = "crates/genmapper/src/fixture.rs"
+methods = ["query"]
 
 [wal-bracket]
 sync_exempt = ["flush"]
@@ -85,8 +90,23 @@ fn cache_coherence_fixture() {
 #[test]
 fn lock_discipline_fixture() {
     let bad = check("lock_discipline_bad.rs", "crates/genmapper/src/fixture.rs");
-    assert_eq!(rules_of(&bad), ["lock-discipline"], "{bad:?}");
-    assert!(bad[0].message.contains("declared order"), "{bad:?}");
+    assert_eq!(
+        rules_of(&bad),
+        ["lock-discipline", "lock-discipline", "lock-discipline"],
+        "{bad:?}"
+    );
+    assert!(
+        bad.iter().any(|f| f.message.contains("&mut self")),
+        "read-entry regression: {bad:?}"
+    );
+    assert!(
+        bad.iter().any(|f| f.message.contains("guard-free")),
+        "guard-free violation: {bad:?}"
+    );
+    assert!(
+        bad.iter().any(|f| f.message.contains("declared order")),
+        "order violation: {bad:?}"
+    );
     let clean = check("lock_discipline_clean.rs", "crates/genmapper/src/fixture.rs");
     assert!(clean.is_empty(), "{clean:?}");
 }

@@ -1,6 +1,8 @@
-//! Seeded R4 violation: two declared locks nested against the
+//! Seeded R4 violations: two declared locks nested against the
 //! configured order (`inner` before `cache`) — the half of a
-//! lock-inversion deadlock.
+//! lock-inversion deadlock — plus the two snapshot-coherence failures:
+//! a guard live at a declared guard-free call, and a read-path entry
+//! point that takes `&mut self`.
 
 pub struct Fixture;
 
@@ -10,5 +12,14 @@ impl Fixture {
         let inner_guard = self.inner.lock();
         drop(inner_guard);
         drop(cache_guard);
+    }
+
+    pub fn answer(&self) -> u32 {
+        let guard = self.cache.lock();
+        run_query(&guard)
+    }
+
+    pub fn query(&mut self) -> u32 {
+        1
     }
 }

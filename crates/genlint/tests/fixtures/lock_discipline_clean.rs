@@ -1,5 +1,6 @@
 //! Clean R4 counterpart: the same two locks taken in the declared
-//! order and released innermost-first.
+//! order and released innermost-first, the snapshot cloned out of the
+//! guard before the executor runs, and a `&self` read-path entry point.
 
 pub struct Fixture;
 
@@ -9,5 +10,14 @@ impl Fixture {
         let cache_guard = self.cache.lock();
         drop(cache_guard);
         drop(inner_guard);
+    }
+
+    pub fn answer(&self) -> u32 {
+        let snap = { self.cache.lock().clone() };
+        run_query(&snap)
+    }
+
+    pub fn query(&self) -> u32 {
+        1
     }
 }

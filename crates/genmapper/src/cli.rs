@@ -203,7 +203,9 @@ pub fn parse_command(line: &str) -> Result<Option<Command>, CliParseError> {
 }
 
 /// `query <source>[:a1,a2] <and|or> <spec>...`, spec = `[!]Target[=a1,a2]`.
-fn parse_query(rest: &[&str]) -> Result<QuerySpec, CliParseError> {
+/// Public because the service layer speaks the same query words over the
+/// wire as the REPL does on a line.
+pub fn parse_query(rest: &[&str]) -> Result<QuerySpec, CliParseError> {
     let mut it = rest.iter();
     let head = it.next().ok_or_else(|| err("query needs a source"))?;
     let (source, accessions) = match head.split_once(':') {

@@ -43,10 +43,14 @@
 pub mod cli;
 pub mod query;
 pub mod resolved;
+pub mod shared;
+pub mod snapshot;
 pub mod system;
 
 pub use query::{QuerySpec, TargetQuery};
 pub use resolved::{ObjectInfo, ResolvedRow, ResolvedView};
+pub use shared::{ImportStatus, SharedGenMapper};
+pub use snapshot::Snapshot;
 pub use system::{GenMapper, PathResolver};
 
 pub use gam::{GamError, GamResult};

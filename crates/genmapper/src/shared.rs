@@ -1,0 +1,154 @@
+//! Single-writer / many-reader sharing of one GenMapper system.
+//!
+//! [`SharedGenMapper`] is the concurrency shell around [`GenMapper`]: the
+//! writer (imports, materializations, saved paths) runs under an exclusive
+//! `Mutex`, readers run against the currently *published*
+//! [`Arc<Snapshot>`](crate::Snapshot). Publication is one atomic `Arc`
+//! swap under a `RwLock` that is held only for the swap itself — never
+//! across query execution or snapshot capture — so readers never block on
+//! the writer and always observe a fully-published, internally consistent
+//! state (MVCC with exactly one writer version in flight).
+
+use crate::{GenMapper, Snapshot};
+use gam::{GamError, GamResult};
+use parking_lot::{Mutex, RwLock};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// What the writer is currently doing, as reported to service clients.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ImportStatus {
+    /// True while a writer operation is executing.
+    pub writing: bool,
+    /// Number of writer operations completed since startup.
+    pub completed: u64,
+    /// The version stamp of the currently published snapshot.
+    pub published_version: (u64, u64),
+}
+
+/// A GenMapper shared between one writer and any number of readers.
+pub struct SharedGenMapper {
+    /// The live system; every mutation goes through this lock.
+    writer: Mutex<GenMapper>,
+    /// The snapshot readers see. Swapped atomically after each writer
+    /// operation; the lock is held only for the `Arc` clone or swap.
+    published: RwLock<Arc<Snapshot>>,
+    writing: AtomicBool,
+    completed: AtomicU64,
+}
+
+impl SharedGenMapper {
+    /// Wrap a system, capturing and publishing its initial snapshot.
+    pub fn new(gm: GenMapper) -> GamResult<Self> {
+        let initial = Arc::new(gm.capture_snapshot()?);
+        Ok(SharedGenMapper {
+            writer: Mutex::new(gm),
+            published: RwLock::new(initial),
+            writing: AtomicBool::new(false),
+            completed: AtomicU64::new(0),
+        })
+    }
+
+    /// The currently published snapshot. Never blocks on the writer: the
+    /// read guard lives only for the duration of the `Arc` clone.
+    pub fn snapshot(&self) -> Arc<Snapshot> {
+        self.published.read().clone()
+    }
+
+    /// Run one writer operation, then capture and publish the resulting
+    /// snapshot. Readers keep answering from the previous snapshot for the
+    /// whole duration and switch to the new state atomically. The new
+    /// snapshot is published even when `f` fails partway: a failed import
+    /// may have durably changed the store, and readers must never be left
+    /// on a state the writer has moved past.
+    pub fn with_writer<R>(
+        &self,
+        f: impl FnOnce(&mut GenMapper) -> GamResult<R>,
+    ) -> GamResult<R> {
+        let mut gm = self.writer.lock();
+        self.writing.store(true, Ordering::SeqCst);
+        let result = f(&mut gm);
+        let capture = gm.capture_snapshot();
+        self.writing.store(false, Ordering::SeqCst);
+        self.completed.fetch_add(1, Ordering::SeqCst);
+        match capture {
+            Ok(snap) => {
+                *self.published.write() = Arc::new(snap);
+                result
+            }
+            Err(e) => {
+                // keep the previous snapshot; surface whichever error
+                // happened first
+                result?;
+                Err(GamError::Invalid(format!(
+                    "writer succeeded but snapshot capture failed: {e}"
+                )))
+            }
+        }
+    }
+
+    /// Writer/publication status for service clients.
+    pub fn import_status(&self) -> ImportStatus {
+        ImportStatus {
+            writing: self.writing.load(Ordering::SeqCst),
+            completed: self.completed.load(Ordering::SeqCst),
+            published_version: self.snapshot().version(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::QuerySpec;
+    use sources::ecosystem::{Ecosystem, EcosystemParams};
+
+    fn shared() -> SharedGenMapper {
+        let eco = Ecosystem::generate(EcosystemParams::demo(7));
+        let mut gm = GenMapper::in_memory().unwrap();
+        gm.import_dumps(&eco.dumps).unwrap();
+        SharedGenMapper::new(gm).unwrap()
+    }
+
+    #[test]
+    fn publication_is_atomic_per_writer_op() {
+        let sh = shared();
+        let v0 = sh.snapshot().version();
+        let before = sh.snapshot().cardinalities().unwrap();
+        // a reader holding the old snapshot across a write is unaffected
+        let held = sh.snapshot();
+        sh.with_writer(|gm| gm.materialize_subsumed("GO").map(|_| ()))
+            .unwrap();
+        assert_eq!(held.cardinalities().unwrap(), before);
+        let now = sh.snapshot();
+        assert_ne!(now.version(), v0);
+        assert_ne!(now.cardinalities().unwrap(), before);
+        let status = sh.import_status();
+        assert!(!status.writing);
+        assert_eq!(status.completed, 1);
+        assert_eq!(status.published_version, now.version());
+    }
+
+    #[test]
+    fn failed_writer_op_republishes_current_state() {
+        let sh = shared();
+        let err = sh.with_writer(|gm| gm.materialize_subsumed("NoSuchSource").map(|_| ()));
+        assert!(err.is_err());
+        // publication still advanced (same data, fresh capture) and
+        // readers still get working queries
+        let snap = sh.snapshot();
+        let view = snap
+            .query(&QuerySpec::source("LocusLink").accessions(["353"]).target("Hugo"))
+            .unwrap();
+        assert!(!view.is_empty());
+        assert_eq!(sh.import_status().completed, 1);
+    }
+
+    #[test]
+    fn readers_share_one_published_snapshot() {
+        let sh = shared();
+        let a = sh.snapshot();
+        let b = sh.snapshot();
+        assert!(Arc::ptr_eq(&a, &b));
+    }
+}

@@ -1,0 +1,265 @@
+//! An immutable, published view of one GenMapper state.
+//!
+//! [`Snapshot`] is the MVCC read unit: everything a reader needs to answer
+//! queries — the captured GAM data ([`gam::GamSnapshot`]), the source
+//! graph, the saved paths, and a mapping cache — frozen at one writer
+//! version. Readers execute query / GenerateView / pathfinding against it
+//! with `&self` only, while the writer builds the *next* snapshot; the
+//! service layer swaps the published `Arc<Snapshot>` atomically (see
+//! [`crate::SharedGenMapper`]).
+//!
+//! A snapshot's query path is [`crate::system::run_query`] — the same
+//! executor the live [`crate::GenMapper`] uses — so snapshot answers are
+//! bit-identical to the single-threaded path at the capture version.
+
+use crate::query::QuerySpec;
+use crate::resolved::{ObjectInfo, ResolvedView};
+use crate::system::{
+    self, path_ids_of, resolve_accessions, run_query, source_id_of, IndexCache, MappingKey,
+};
+use gam::store::GamCardinalities;
+use gam::{GamError, GamRead, GamResult, GamSnapshot, MappingIndex, ObjectId, SourceId};
+use operators::ExecConfig;
+use parking_lot::RwLock;
+use pathfinder::{SavedPaths, SourceGraph};
+use std::collections::{BTreeSet, HashMap};
+use std::sync::Arc;
+
+/// The cache of a snapshot: same shape as the live system's, but without
+/// version tags — a snapshot never changes, so entries never invalidate.
+#[derive(Default)]
+pub(crate) struct SnapshotCache {
+    pub(crate) mappings: HashMap<MappingKey, Arc<MappingIndex>>,
+    pub(crate) source_objects: HashMap<SourceId, Arc<BTreeSet<ObjectId>>>,
+}
+
+/// One immutable GenMapper state, safe to share across any number of
+/// reader threads. Produced by [`crate::GenMapper::capture_snapshot`].
+pub struct Snapshot {
+    reader: GamSnapshot,
+    graph: Arc<SourceGraph>,
+    saved: SavedPaths,
+    exec: ExecConfig,
+    version: (u64, u64),
+    cache: RwLock<SnapshotCache>,
+}
+
+impl Snapshot {
+    /// Assemble a snapshot from captured parts, optionally pre-warming the
+    /// mapping cache with entries built at the same version.
+    pub(crate) fn assemble(
+        reader: GamSnapshot,
+        graph: Arc<SourceGraph>,
+        saved: SavedPaths,
+        exec: ExecConfig,
+        version: (u64, u64),
+        warm: Option<SnapshotCache>,
+    ) -> Snapshot {
+        Snapshot {
+            reader,
+            graph,
+            saved,
+            exec,
+            version,
+            cache: RwLock::new(warm.unwrap_or_default()),
+        }
+    }
+
+    /// The writer version this snapshot was captured at:
+    /// `(GenMapper invalidation counter, GamStore mutation counter)`.
+    pub fn version(&self) -> (u64, u64) {
+        self.version
+    }
+
+    /// The captured GAM read surface (for ad-hoc reads beyond the
+    /// high-level entry points).
+    pub fn reader(&self) -> &GamSnapshot {
+        &self.reader
+    }
+
+    /// Resolve a source name to its id.
+    pub fn source_id(&self, name: &str) -> GamResult<SourceId> {
+        source_id_of(&self.reader, name)
+    }
+
+    /// All sources at capture time.
+    pub fn sources(&self) -> GamResult<Vec<gam::Source>> {
+        self.reader.sources()
+    }
+
+    /// The §5 deployment cardinalities at capture time.
+    pub fn cardinalities(&self) -> GamResult<GamCardinalities> {
+        self.reader.cardinalities()
+    }
+
+    /// Shortest mapping path between two sources, as names.
+    pub fn find_path(&self, from: &str, to: &str) -> GamResult<Vec<String>> {
+        let from_id = self.source_id(from)?;
+        let to_id = self.source_id(to)?;
+        let path = self
+            .graph
+            .shortest_path(from_id, to_id)
+            .ok_or(GamError::NoMapping {
+                from: from_id,
+                to: to_id,
+            })?;
+        self.path_names(&path)
+    }
+
+    /// Up to `k` alternative mapping paths, as names.
+    pub fn find_paths(&self, from: &str, to: &str, k: usize) -> GamResult<Vec<Vec<String>>> {
+        let from_id = self.source_id(from)?;
+        let to_id = self.source_id(to)?;
+        let paths = self.graph.k_shortest_paths(from_id, to_id, k);
+        paths.iter().map(|p| self.path_names(p)).collect()
+    }
+
+    /// A path saved on the writer before this snapshot was captured.
+    pub fn saved_path(&self, name: &str) -> Option<Vec<SourceId>> {
+        self.saved.get(name).map(<[SourceId]>::to_vec)
+    }
+
+    /// Execute a [`QuerySpec`] against the captured state. Runs the same
+    /// executor as [`crate::GenMapper::query`].
+    pub fn query(&self, spec: &QuerySpec) -> GamResult<ResolvedView> {
+        run_query(&self.reader, self, &self.graph, self.exec, spec)
+    }
+
+    /// Full information about one object (Figure 6c) at capture time.
+    pub fn object_info(&self, source: &str, accession: &str) -> GamResult<ObjectInfo> {
+        system::object_info_of(&self.reader, source, accession)
+    }
+
+    /// Resolve a source-name path to ids (validation for `via` clauses).
+    pub fn path_ids(&self, path: &[&str]) -> GamResult<Vec<SourceId>> {
+        path_ids_of(&self.reader, path)
+    }
+
+    /// Resolve accessions of a named source to object ids.
+    pub fn resolve(&self, source: &str, accessions: &[String]) -> GamResult<BTreeSet<ObjectId>> {
+        let id = self.source_id(source)?;
+        resolve_accessions(&self.reader, id, accessions)
+    }
+
+    fn path_names(&self, path: &[SourceId]) -> GamResult<Vec<String>> {
+        path.iter()
+            .map(|&id| Ok(self.reader.get_source(id)?.name))
+            .collect()
+    }
+}
+
+impl IndexCache for Snapshot {
+    fn cached_mapping(
+        &self,
+        key: MappingKey,
+        build: &mut dyn FnMut() -> GamResult<MappingIndex>,
+    ) -> GamResult<Arc<MappingIndex>> {
+        {
+            let cache = self.cache.read();
+            if let Some(hit) = cache.mappings.get(&key) {
+                return Ok(hit.clone());
+            }
+        }
+        let built = Arc::new(build()?);
+        let mut cache = self.cache.write();
+        // another reader may have raced us to the build; first insert wins
+        // so every consumer shares one index
+        Ok(cache.mappings.entry(key).or_insert(built).clone())
+    }
+
+    fn cached_source_objects(
+        &self,
+        reader: &dyn GamRead,
+        source: SourceId,
+    ) -> GamResult<Arc<BTreeSet<ObjectId>>> {
+        {
+            let cache = self.cache.read();
+            if let Some(hit) = cache.source_objects.get(&source) {
+                return Ok(hit.clone());
+            }
+        }
+        let built: Arc<BTreeSet<ObjectId>> =
+            Arc::new(reader.object_ids_of(source)?.into_iter().collect());
+        let mut cache = self.cache.write();
+        Ok(cache.source_objects.entry(source).or_insert(built).clone())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::{GenMapper, QuerySpec};
+    use sources::ecosystem::{Ecosystem, EcosystemParams};
+
+    fn system() -> GenMapper {
+        let eco = Ecosystem::generate(EcosystemParams::demo(7));
+        let mut gm = GenMapper::in_memory().unwrap();
+        gm.import_dumps(&eco.dumps).unwrap();
+        gm
+    }
+
+    fn figure3_spec() -> QuerySpec {
+        QuerySpec::source("LocusLink")
+            .accessions(["353"])
+            .target("Hugo")
+            .target("GO")
+            .target("Location")
+            .target("OMIM")
+    }
+
+    #[test]
+    fn snapshot_query_matches_live_system() {
+        let gm = system();
+        let live = gm.query(&figure3_spec()).unwrap();
+        let snap = gm.capture_snapshot().unwrap();
+        let frozen = snap.query(&figure3_spec()).unwrap();
+        assert_eq!(live, frozen);
+        assert_eq!(snap.version(), gm.version_stamp());
+        assert_eq!(
+            snap.cardinalities().unwrap(),
+            gm.cardinalities().unwrap()
+        );
+    }
+
+    #[test]
+    fn snapshot_is_isolated_from_later_writes() {
+        let mut gm = system();
+        let snap = gm.capture_snapshot().unwrap();
+        let before = snap.cardinalities().unwrap();
+        gm.materialize_subsumed("GO").unwrap();
+        // the live system changed; the snapshot did not
+        assert_ne!(gm.cardinalities().unwrap(), before);
+        assert_eq!(snap.cardinalities().unwrap(), before);
+        assert_ne!(gm.version_stamp(), snap.version());
+    }
+
+    #[test]
+    fn snapshot_pathfinding_and_object_info_match() {
+        let gm = system();
+        let snap = gm.capture_snapshot().unwrap();
+        assert_eq!(
+            snap.find_path("NetAffx", "GO").unwrap(),
+            gm.find_path("NetAffx", "GO").unwrap()
+        );
+        assert_eq!(
+            snap.find_paths("NetAffx", "GO", 3).unwrap(),
+            gm.find_paths("NetAffx", "GO", 3).unwrap()
+        );
+        assert_eq!(
+            snap.object_info("LocusLink", "353").unwrap(),
+            gm.object_info("LocusLink", "353").unwrap()
+        );
+    }
+
+    #[test]
+    fn snapshot_carries_saved_paths() {
+        let mut gm = system();
+        gm.save_path("affx-go", &["NetAffx", "Unigene", "LocusLink", "GO"])
+            .unwrap();
+        let snap = gm.capture_snapshot().unwrap();
+        assert_eq!(
+            snap.saved_path("affx-go"),
+            gm.saved_path("affx-go"),
+        );
+        assert!(snap.saved_path("nope").is_none());
+    }
+}

@@ -3,7 +3,9 @@
 use crate::query::QuerySpec;
 use crate::resolved::{ObjectInfo, ResolvedCell, ResolvedRow, ResolvedView};
 use gam::store::GamCardinalities;
-use gam::{GamError, GamResult, GamStore, Mapping, MappingIndex, ObjectId, SourceId, SourceRelId};
+use gam::{
+    GamError, GamRead, GamResult, GamStore, Mapping, MappingIndex, ObjectId, SourceId, SourceRelId,
+};
 use import::{Importer, PipelineOptions};
 use operators::{
     generate_view_idx, ExecConfig, IndexResolver, MappingResolver, TargetSpec, ViewQuery,
@@ -30,7 +32,7 @@ impl<'g> PathResolver<'g> {
 }
 
 impl MappingResolver for PathResolver<'_> {
-    fn resolve(&self, store: &GamStore, from: SourceId, to: SourceId) -> GamResult<Mapping> {
+    fn resolve(&self, store: &dyn GamRead, from: SourceId, to: SourceId) -> GamResult<Mapping> {
         match operators::map(store, from, to) {
             Ok(m) => Ok(m),
             Err(GamError::NoMapping { .. }) => {
@@ -45,15 +47,35 @@ impl MappingResolver for PathResolver<'_> {
     }
 }
 
-/// [`PathResolver`] backed by the system's versioned mapping cache: a
-/// resolved `(from, to)` mapping is indexed once per store version and
-/// then served as a shared CSR [`MappingIndex`] behind an `Arc` — the view
-/// executor probes the cached index directly, cloning nothing. Safe to
-/// call from the parallel per-target workers of `generate_view_idx` (the
-/// cache is behind a `RwLock`, and the store version cannot move while
-/// `&GenMapper` borrows are live).
+/// The mapping/object-set cache surface the shared query executor resolves
+/// through. Two implementors: [`GenMapper`] (versioned entries, discarded
+/// on any store mutation) and [`crate::Snapshot`] (plain entries — a
+/// snapshot is immutable, so its cache never invalidates). `Sync` because
+/// the parallel per-target workers of `generate_view_idx` share it.
+pub(crate) trait IndexCache: Sync {
+    /// Look `key` up, building and inserting on a miss.
+    fn cached_mapping(
+        &self,
+        key: MappingKey,
+        build: &mut dyn FnMut() -> GamResult<MappingIndex>,
+    ) -> GamResult<Arc<MappingIndex>>;
+
+    /// The cached set of all object ids of `source`, built from `reader`
+    /// on a miss.
+    fn cached_source_objects(
+        &self,
+        reader: &dyn GamRead,
+        source: SourceId,
+    ) -> GamResult<Arc<BTreeSet<ObjectId>>>;
+}
+
+/// [`PathResolver`] backed by an [`IndexCache`]: a resolved `(from, to)`
+/// mapping is indexed once and then served as a shared CSR
+/// [`MappingIndex`] behind an `Arc` — the view executor probes the cached
+/// index directly, cloning nothing. Safe to call from the parallel
+/// per-target workers of `generate_view_idx`.
 struct CachingPathResolver<'a> {
-    gm: &'a GenMapper,
+    cache: &'a dyn IndexCache,
     graph: &'a SourceGraph,
     /// Config for compose joins performed *inside* a resolution — kept
     /// sequential when the caller already parallelizes across targets.
@@ -63,23 +85,24 @@ struct CachingPathResolver<'a> {
 impl IndexResolver for CachingPathResolver<'_> {
     fn resolve_index(
         &self,
-        store: &GamStore,
+        store: &dyn GamRead,
         from: SourceId,
         to: SourceId,
     ) -> GamResult<Arc<MappingIndex>> {
-        self.gm.cached_mapping(MappingKey::direct(from, to), || {
-            match operators::map_index(store, from, to) {
-                Ok(m) => Ok(m),
-                Err(GamError::NoMapping { .. }) => {
-                    let path = self
-                        .graph
-                        .shortest_path(from, to)
-                        .ok_or(GamError::NoMapping { from, to })?;
-                    operators::compose_path_idx(store, &path, &self.compose_exec)
+        self.cache
+            .cached_mapping(MappingKey::direct(from, to), &mut || {
+                match operators::map_index(store, from, to) {
+                    Ok(m) => Ok(m),
+                    Err(GamError::NoMapping { .. }) => {
+                        let path = self
+                            .graph
+                            .shortest_path(from, to)
+                            .ok_or(GamError::NoMapping { from, to })?;
+                        operators::compose_path_idx(store, &path, &self.compose_exec)
+                    }
+                    Err(e) => Err(e),
                 }
-                Err(e) => Err(e),
-            }
-        })
+            })
     }
 }
 
@@ -87,7 +110,7 @@ impl IndexResolver for CachingPathResolver<'_> {
 /// path (if any), and the evidence floor (as its bit pattern — `f64` is
 /// neither `Eq` nor `Hash`).
 #[derive(Debug, Clone, PartialEq, Eq, Hash)]
-struct MappingKey {
+pub(crate) struct MappingKey {
     from: SourceId,
     to: SourceId,
     path: Option<Vec<SourceId>>,
@@ -143,14 +166,25 @@ struct CacheInner {
     /// Per-source object-id sets for whole-source views, so repeated
     /// queries over one source don't rescan the object table.
     source_objects: HashMap<SourceId, Arc<BTreeSet<ObjectId>>>,
+    /// The source graph, shared with readers; same invalidation protocol
+    /// as the mapping entries.
+    graph: Option<Arc<SourceGraph>>,
+}
+
+impl CacheInner {
+    /// Discard every entry and stamp the cache with `version`.
+    fn reset_to(&mut self, version: (u64, u64)) {
+        self.mappings.clear();
+        self.source_objects.clear();
+        self.graph = None;
+        self.version = version;
+    }
 }
 
 /// The assembled GenMapper system.
 pub struct GenMapper {
     store: GamStore,
     saved: SavedPaths,
-    /// Cached source graph; invalidated by imports and materializations.
-    graph: Option<SourceGraph>,
     /// Parallel execution tunables for Compose / GenerateView.
     exec: ExecConfig,
     /// Per-dump quarantine budget for lenient parsing during imports
@@ -168,7 +202,6 @@ impl GenMapper {
         Ok(GenMapper {
             store: GamStore::in_memory()?,
             saved: SavedPaths::new(),
-            graph: None,
             exec: ExecConfig::default(),
             error_budget: 0,
             version: 0,
@@ -181,7 +214,6 @@ impl GenMapper {
         Ok(GenMapper {
             store: GamStore::open(dir)?,
             saved: SavedPaths::new(),
-            graph: None,
             exec: ExecConfig::default(),
             error_budget: 0,
             version: 0,
@@ -197,7 +229,6 @@ impl GenMapper {
         Ok(GenMapper {
             store: GamStore::open_paged(dir, config)?,
             saved: SavedPaths::new(),
-            graph: None,
             exec: ExecConfig::default(),
             error_budget: 0,
             version: 0,
@@ -249,14 +280,19 @@ impl GenMapper {
     /// Invalidate every derived cache: the source graph and all versioned
     /// mapping/object entries. Called by every mutating entry point.
     fn invalidate_caches(&mut self) {
-        self.graph = None;
         self.version += 1;
     }
 
     /// The version tag cache entries must carry to be served: the local
-    /// invalidation counter plus the store's own mutation counter.
-    fn cache_version(&self) -> (u64, u64) {
+    /// invalidation counter plus the store's own mutation counter. Public
+    /// so concurrency tests and the service layer can correlate published
+    /// snapshots with the writer state they were captured from.
+    pub fn version_stamp(&self) -> (u64, u64) {
         (self.version, self.store.mutation_count())
+    }
+
+    fn cache_version(&self) -> (u64, u64) {
+        self.version_stamp()
     }
 
     /// Look `key` up in the mapping cache, building and inserting it on a
@@ -280,9 +316,7 @@ impl GenMapper {
         let built = Arc::new(build()?);
         let mut inner = self.cache.write();
         if inner.version != self.cache_version() {
-            inner.mappings.clear();
-            inner.source_objects.clear();
-            inner.version = self.cache_version();
+            inner.reset_to(self.cache_version());
         }
         inner.mappings.insert(key, built.clone());
         Ok(built)
@@ -303,9 +337,7 @@ impl GenMapper {
             Arc::new(self.store.object_ids_of(source)?.into_iter().collect());
         let mut inner = self.cache.write();
         if inner.version != self.cache_version() {
-            inner.mappings.clear();
-            inner.source_objects.clear();
-            inner.version = self.cache_version();
+            inner.reset_to(self.cache_version());
         }
         inner.source_objects.insert(source, built.clone());
         Ok(built)
@@ -382,19 +414,29 @@ impl GenMapper {
     // Paths
     // ------------------------------------------------------------------
 
-    /// The (cached) source graph.
-    pub fn graph(&mut self) -> GamResult<&SourceGraph> {
-        if self.graph.is_none() {
-            self.graph = Some(SourceGraph::from_store(&self.store)?);
+    /// The (cached, shared) source graph. Read path: serves a shared
+    /// handle from the versioned cache, rebuilding only after a mutation.
+    pub fn graph(&self) -> GamResult<Arc<SourceGraph>> {
+        {
+            let inner = self.cache.read();
+            if inner.version == self.cache_version() {
+                if let Some(g) = &inner.graph {
+                    return Ok(g.clone());
+                }
+            }
         }
-        self.graph
-            .as_ref()
-            .ok_or_else(|| GamError::Invalid("source graph cache empty after build".into()))
+        let built = Arc::new(SourceGraph::from_store(&self.store)?);
+        let mut inner = self.cache.write();
+        if inner.version != self.cache_version() {
+            inner.reset_to(self.cache_version());
+        }
+        inner.graph = Some(built.clone());
+        Ok(built)
     }
 
     /// Automatically determined shortest mapping path between two sources,
     /// as source names.
-    pub fn find_path(&mut self, from: &str, to: &str) -> GamResult<Vec<String>> {
+    pub fn find_path(&self, from: &str, to: &str) -> GamResult<Vec<String>> {
         let from_id = self.source_id(from)?;
         let to_id = self.source_id(to)?;
         let graph = self.graph()?;
@@ -408,7 +450,7 @@ impl GenMapper {
     }
 
     /// Up to `k` alternative mapping paths.
-    pub fn find_paths(&mut self, from: &str, to: &str, k: usize) -> GamResult<Vec<Vec<String>>> {
+    pub fn find_paths(&self, from: &str, to: &str, k: usize) -> GamResult<Vec<Vec<String>>> {
         let from_id = self.source_id(from)?;
         let to_id = self.source_id(to)?;
         let graph = self.graph()?;
@@ -419,7 +461,7 @@ impl GenMapper {
     /// Save a manually built path under a name (validated).
     pub fn save_path(&mut self, name: &str, path: &[&str]) -> GamResult<()> {
         let ids = self.path_ids(path)?;
-        let graph = SourceGraph::from_store(&self.store)?;
+        let graph = self.graph()?;
         self.saved.save(name, ids, &graph)
     }
 
@@ -520,129 +562,208 @@ impl GenMapper {
     // Queries (the Figure 6 workflow)
     // ------------------------------------------------------------------
 
-    /// Resolve accessions to object ids; unknown accessions are an error
-    /// listing what is missing.
-    fn resolve_accessions(
-        &self,
-        source: SourceId,
-        accessions: &[String],
-    ) -> GamResult<BTreeSet<ObjectId>> {
-        let mut out = BTreeSet::new();
-        let mut missing = Vec::new();
-        for acc in accessions {
-            match self.store.find_object(source, acc)? {
-                Some(obj) => {
-                    out.insert(obj.id);
-                }
-                None => missing.push(acc.as_str()),
-            }
-        }
-        if !missing.is_empty() {
-            return Err(GamError::Invalid(format!(
-                "unknown accessions in source {source}: {}",
-                missing.join(", ")
-            )));
-        }
-        Ok(out)
-    }
-
     /// Execute a [`QuerySpec`]: GenerateView with automatic path
     /// discovery, then resolve ids back to accessions/names. Target
     /// columns are resolved in parallel under the system's [`ExecConfig`],
     /// and every resolved mapping (and the whole-source object set) is
-    /// served from the versioned cache on repeat queries.
-    pub fn query(&mut self, spec: &QuerySpec) -> GamResult<ResolvedView> {
-        let source = self.source_id(&spec.source)?;
-        let mut vq = ViewQuery::new(source).combine(spec.combine);
-        if spec.accessions.is_empty() {
-            // whole-source query: reuse the cached object-id set instead of
-            // rescanning the object table inside generate_view
-            vq = vq.objects((*self.cached_source_objects(source)?).clone());
-        } else {
-            vq = vq.objects(self.resolve_accessions(source, &spec.accessions)?);
-        }
-        let mut header = vec![spec.source.clone()];
-        for t in &spec.targets {
-            let target = self.source_id(&t.source)?;
-            let mut ts = TargetSpec::all(target);
-            if !t.accessions.is_empty() {
-                ts.objects = Some(self.resolve_accessions(target, &t.accessions)?);
-            }
-            ts.negated = t.negated;
-            ts.min_evidence = t.min_evidence;
-            if let Some(via) = &t.via {
-                let refs: Vec<&str> = via.iter().map(String::as_str).collect();
-                ts.path = Some(self.path_ids(&refs)?);
-            }
-            header.push(t.source.clone());
-            vq = vq.target(ts);
-        }
-        // build the graph cache before borrowing it for the resolver
-        self.graph()?;
-        let exec = self.exec;
-        // when several targets resolve concurrently, keep their inner
-        // compose joins sequential so the thread count stays ≤ exec.jobs
-        let compose_exec = if exec.jobs > 1 && vq.targets.len() > 1 {
-            ExecConfig::sequential()
-        } else {
-            exec
-        };
-        let graph = self
-            .graph
-            .as_ref()
-            .ok_or_else(|| GamError::Invalid("source graph cache empty after build".into()))?;
-        let resolver = CachingPathResolver {
-            gm: self,
-            graph,
-            compose_exec,
-        };
-        let view = generate_view_idx(&self.store, &vq, &resolver, &exec)?;
-
-        let mut rows = Vec::with_capacity(view.rows.len());
-        for row in &view.rows {
-            let mut cells = Vec::with_capacity(row.len());
-            for cell in row {
-                cells.push(match cell {
-                    Some(id) => {
-                        let obj = self.store.get_object(*id)?;
-                        Some(ResolvedCell {
-                            accession: obj.accession,
-                            text: obj.text,
-                        })
-                    }
-                    None => None,
-                });
-            }
-            rows.push(ResolvedRow { cells });
-        }
-        Ok(ResolvedView { header, rows })
+    /// served from the versioned cache on repeat queries. `&self`: the
+    /// entire read path runs without exclusive access, so any number of
+    /// readers can query while sharing one system.
+    pub fn query(&self, spec: &QuerySpec) -> GamResult<ResolvedView> {
+        let graph = self.graph()?;
+        run_query(&self.store, self, &graph, self.exec, spec)
     }
 
     /// Full information about one object (Figure 6c).
     pub fn object_info(&self, source: &str, accession: &str) -> GamResult<ObjectInfo> {
-        let source_id = self.source_id(source)?;
-        let obj = self
-            .store
-            .find_object(source_id, accession)?
-            .ok_or_else(|| {
-                GamError::Invalid(format!("unknown accession {accession} in {source}"))
-            })?;
-        let mut associations = Vec::new();
-        for (_, assoc) in self.store.associations_of_object(obj.id)? {
-            let partner = self.store.get_object(assoc.to)?;
-            let partner_source = self.store.get_source(partner.source)?;
-            associations.push((partner_source.name, partner.accession, assoc.evidence));
-        }
-        associations.sort_by(|a, b| (&a.0, &a.1).cmp(&(&b.0, &b.1)));
-        Ok(ObjectInfo {
-            id: obj.id,
-            source: source.to_owned(),
-            accession: obj.accession,
-            text: obj.text,
-            number: obj.number,
-            associations,
-        })
+        object_info_of(&self.store, source, accession)
     }
+
+    /// An immutable, self-contained snapshot of the whole read surface:
+    /// store data, source graph, saved paths, and (pre-warmed) mapping
+    /// cache. The snapshot answers queries bit-identically to this system
+    /// at the moment of capture and never changes afterwards — the unit
+    /// the service layer publishes to readers with one `Arc` swap.
+    pub fn capture_snapshot(&self) -> GamResult<crate::Snapshot> {
+        let reader = gam::GamSnapshot::capture(&self.store)?;
+        let graph = self.graph()?;
+        // Pre-warm the snapshot cache from the live cache: every entry at
+        // the current version was built from exactly the state the
+        // snapshot captured, and indexes are immutable behind Arcs.
+        let warm = {
+            let inner = self.cache.read();
+            if inner.version == self.cache_version() {
+                Some(crate::snapshot::SnapshotCache {
+                    mappings: inner.mappings.clone(),
+                    source_objects: inner.source_objects.clone(),
+                })
+            } else {
+                None
+            }
+        };
+        Ok(crate::Snapshot::assemble(
+            reader,
+            graph,
+            self.saved.clone(),
+            self.exec,
+            self.version_stamp(),
+            warm,
+        ))
+    }
+}
+
+impl IndexCache for GenMapper {
+    fn cached_mapping(
+        &self,
+        key: MappingKey,
+        build: &mut dyn FnMut() -> GamResult<MappingIndex>,
+    ) -> GamResult<Arc<MappingIndex>> {
+        GenMapper::cached_mapping(self, key, build)
+    }
+
+    fn cached_source_objects(
+        &self,
+        _reader: &dyn GamRead,
+        source: SourceId,
+    ) -> GamResult<Arc<BTreeSet<ObjectId>>> {
+        GenMapper::cached_source_objects(self, source)
+    }
+}
+
+/// Resolve accessions to object ids against any reader; unknown
+/// accessions are an error listing what is missing.
+pub(crate) fn resolve_accessions(
+    reader: &dyn GamRead,
+    source: SourceId,
+    accessions: &[String],
+) -> GamResult<BTreeSet<ObjectId>> {
+    let mut out = BTreeSet::new();
+    let mut missing = Vec::new();
+    for acc in accessions {
+        match reader.find_object(source, acc)? {
+            Some(obj) => {
+                out.insert(obj.id);
+            }
+            None => missing.push(acc.as_str()),
+        }
+    }
+    if !missing.is_empty() {
+        return Err(GamError::Invalid(format!(
+            "unknown accessions in source {source}: {}",
+            missing.join(", ")
+        )));
+    }
+    Ok(out)
+}
+
+/// Resolve a source name to its id against any reader.
+pub(crate) fn source_id_of(reader: &dyn GamRead, name: &str) -> GamResult<SourceId> {
+    reader
+        .find_source(name)?
+        .map(|s| s.id)
+        .ok_or_else(|| GamError::UnknownSourceName(name.to_owned()))
+}
+
+/// Source-name path to ids against any reader.
+pub(crate) fn path_ids_of(reader: &dyn GamRead, path: &[&str]) -> GamResult<Vec<SourceId>> {
+    path.iter().map(|n| source_id_of(reader, n)).collect()
+}
+
+/// The one shared query executor: both the live system ([`GenMapper::query`])
+/// and the published [`crate::Snapshot`] run *this exact code* over their
+/// respective reader + cache, which is what makes concurrent snapshot reads
+/// structurally bit-identical to the single-threaded path.
+pub(crate) fn run_query(
+    reader: &dyn GamRead,
+    cache: &dyn IndexCache,
+    graph: &SourceGraph,
+    exec: ExecConfig,
+    spec: &QuerySpec,
+) -> GamResult<ResolvedView> {
+    let source = source_id_of(reader, &spec.source)?;
+    let mut vq = ViewQuery::new(source).combine(spec.combine);
+    if spec.accessions.is_empty() {
+        // whole-source query: reuse the cached object-id set instead of
+        // rescanning the object table inside generate_view
+        vq = vq.objects((*cache.cached_source_objects(reader, source)?).clone());
+    } else {
+        vq = vq.objects(resolve_accessions(reader, source, &spec.accessions)?);
+    }
+    let mut header = vec![spec.source.clone()];
+    for t in &spec.targets {
+        let target = source_id_of(reader, &t.source)?;
+        let mut ts = TargetSpec::all(target);
+        if !t.accessions.is_empty() {
+            ts.objects = Some(resolve_accessions(reader, target, &t.accessions)?);
+        }
+        ts.negated = t.negated;
+        ts.min_evidence = t.min_evidence;
+        if let Some(via) = &t.via {
+            let refs: Vec<&str> = via.iter().map(String::as_str).collect();
+            ts.path = Some(path_ids_of(reader, &refs)?);
+        }
+        header.push(t.source.clone());
+        vq = vq.target(ts);
+    }
+    // when several targets resolve concurrently, keep their inner
+    // compose joins sequential so the thread count stays ≤ exec.jobs
+    let compose_exec = if exec.jobs > 1 && vq.targets.len() > 1 {
+        ExecConfig::sequential()
+    } else {
+        exec
+    };
+    let resolver = CachingPathResolver {
+        cache,
+        graph,
+        compose_exec,
+    };
+    let view = generate_view_idx(reader, &vq, &resolver, &exec)?;
+
+    let mut rows = Vec::with_capacity(view.rows.len());
+    for row in &view.rows {
+        let mut cells = Vec::with_capacity(row.len());
+        for cell in row {
+            cells.push(match cell {
+                Some(id) => {
+                    let obj = reader.get_object(*id)?;
+                    Some(ResolvedCell {
+                        accession: obj.accession,
+                        text: obj.text,
+                    })
+                }
+                None => None,
+            });
+        }
+        rows.push(ResolvedRow { cells });
+    }
+    Ok(ResolvedView { header, rows })
+}
+
+/// Full information about one object against any reader (Figure 6c).
+pub(crate) fn object_info_of(
+    reader: &dyn GamRead,
+    source: &str,
+    accession: &str,
+) -> GamResult<ObjectInfo> {
+    let source_id = source_id_of(reader, source)?;
+    let obj = reader.find_object(source_id, accession)?.ok_or_else(|| {
+        GamError::Invalid(format!("unknown accession {accession} in {source}"))
+    })?;
+    let mut associations = Vec::new();
+    for (_, assoc) in reader.associations_of_object(obj.id)? {
+        let partner = reader.get_object(assoc.to)?;
+        let partner_source = reader.get_source(partner.source)?;
+        associations.push((partner_source.name, partner.accession, assoc.evidence));
+    }
+    associations.sort_by(|a, b| (&a.0, &a.1).cmp(&(&b.0, &b.1)));
+    Ok(ObjectInfo {
+        id: obj.id,
+        source: source.to_owned(),
+        accession: obj.accession,
+        text: obj.text,
+        number: obj.number,
+        associations,
+    })
 }
 
 #[cfg(test)]
@@ -661,7 +782,7 @@ mod tests {
 
     #[test]
     fn figure3_view_for_locus_353() {
-        let mut gm = system();
+        let gm = system();
         let spec = QuerySpec::source("LocusLink")
             .accessions(["353"])
             .target("Hugo")
@@ -690,7 +811,7 @@ mod tests {
 
     #[test]
     fn automatic_path_discovery_composes() {
-        let mut gm = system();
+        let gm = system();
         // NetAffx has no direct GO mapping; the resolver must route via
         // Unigene/LocusLink
         let path = gm.find_path("NetAffx", "GO").unwrap();
@@ -708,7 +829,7 @@ mod tests {
 
     #[test]
     fn negated_query_partitions() {
-        let mut gm = system();
+        let gm = system();
         let with = gm
             .query(&QuerySpec::source("LocusLink").target("OMIM").and())
             .unwrap();
@@ -926,7 +1047,7 @@ mod tests {
 
     #[test]
     fn unknown_names_are_reported() {
-        let mut gm = system();
+        let gm = system();
         assert!(matches!(
             gm.query(&QuerySpec::source("Nope")),
             Err(GamError::UnknownSourceName(_))
@@ -948,7 +1069,7 @@ mod tests {
             gm.cardinalities().unwrap()
         };
         {
-            let mut gm = GenMapper::open(&dir).unwrap();
+            let gm = GenMapper::open(&dir).unwrap();
             assert_eq!(gm.cardinalities().unwrap(), cards);
             let view = gm
                 .query(&QuerySpec::source("LocusLink").accessions(["353"]).target("Hugo"))

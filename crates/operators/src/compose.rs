@@ -17,7 +17,9 @@ use crate::exec::{partitioned, ExecConfig};
 use crate::simple::{map, map_index};
 use gam::mapping::Association;
 use gam::model::RelType;
-use gam::{GamError, GamResult, GamStore, Mapping, MappingIndex, ObjectId, SourceId};
+use gam::{GamError, GamRead, GamResult, Mapping, MappingIndex, ObjectId, SourceId};
+#[cfg(test)]
+use gam::GamStore;
 use std::collections::HashMap;
 
 /// Key-count ratio above which the merge join gallops over the longer key
@@ -146,7 +148,7 @@ pub fn compose_with_threshold_par(
 /// Compose along a path with an evidence floor applied at every step, so
 /// implausible chains are pruned early instead of multiplying through.
 pub fn compose_path_with_threshold(
-    store: &GamStore,
+    store: &dyn GamRead,
     path: &[SourceId],
     min_evidence: f64,
 ) -> GamResult<Mapping> {
@@ -156,7 +158,7 @@ pub fn compose_path_with_threshold(
 /// [`compose_path_with_threshold`] with the partitioned parallel probe at
 /// every join step.
 pub fn compose_path_with_threshold_par(
-    store: &GamStore,
+    store: &dyn GamRead,
     path: &[SourceId],
     min_evidence: f64,
     cfg: &ExecConfig,
@@ -192,13 +194,13 @@ pub fn compose_path_with_threshold_par(
 /// Compose along a mapping path of sources, loading each step with `Map`.
 /// The path must name at least two sources; a two-source path degenerates
 /// to `Map` itself.
-pub fn compose_path(store: &GamStore, path: &[SourceId]) -> GamResult<Mapping> {
+pub fn compose_path(store: &dyn GamRead, path: &[SourceId]) -> GamResult<Mapping> {
     compose_path_par(store, path, &ExecConfig::sequential())
 }
 
 /// [`compose_path`] with the partitioned parallel probe at every join step.
 pub fn compose_path_par(
-    store: &GamStore,
+    store: &dyn GamRead,
     path: &[SourceId],
     cfg: &ExecConfig,
 ) -> GamResult<Mapping> {
@@ -413,7 +415,7 @@ pub fn compose_idx_with_threshold(
 /// [`map_index`] (the batched `OBJECT_REL` scan when a single stored
 /// mapping backs the step) and joined with [`compose_idx`].
 pub fn compose_path_idx(
-    store: &GamStore,
+    store: &dyn GamRead,
     path: &[SourceId],
     cfg: &ExecConfig,
 ) -> GamResult<MappingIndex> {
@@ -442,7 +444,7 @@ pub fn compose_path_idx(
 
 /// [`compose_path_with_threshold`] over CSR indexes.
 pub fn compose_path_idx_with_threshold(
-    store: &GamStore,
+    store: &dyn GamRead,
     path: &[SourceId],
     min_evidence: f64,
     cfg: &ExecConfig,

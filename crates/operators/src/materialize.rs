@@ -42,7 +42,7 @@ pub fn materialize_subsumed(
     store: &mut GamStore,
     source: gam::SourceId,
 ) -> GamResult<(SourceRelId, usize)> {
-    let sub = crate::subsume::subsume(store, source)?;
+    let sub = crate::subsume::subsume(&*store, source)?;
     materialize(store, &sub, "subsumed(IS_A)")
 }
 
@@ -52,7 +52,7 @@ pub fn materialize_composed(
     store: &mut GamStore,
     path: &[gam::SourceId],
 ) -> GamResult<(SourceRelId, usize)> {
-    let composed = crate::compose::compose_path(store, path)?;
+    let composed = crate::compose::compose_path(&*store, path)?;
     let mut composed = composed;
     composed.rel_type = RelType::Composed;
     let names: GamResult<Vec<String>> = path

@@ -1,6 +1,8 @@
 //! The `Map` operation and the mapping-resolution abstraction.
 
-use gam::{GamError, GamResult, GamStore, Mapping, MappingIndex, SourceId};
+use gam::{GamError, GamRead, GamResult, Mapping, MappingIndex, SourceId};
+#[cfg(test)]
+use gam::GamStore;
 
 /// The paper's `Map(S, T)`: "searches the database for an existing mapping
 /// between S and T and returns the corresponding object associations."
@@ -9,7 +11,7 @@ use gam::{GamError, GamResult, GamStore, Mapping, MappingIndex, SourceId};
 /// previously materialized Composed ones) are merged and oriented
 /// `from → to`; duplicate pairs keep their best evidence. Returns
 /// [`GamError::NoMapping`] when no mapping exists in either direction.
-pub fn map(store: &GamStore, from: SourceId, to: SourceId) -> GamResult<Mapping> {
+pub fn map(store: &dyn GamRead, from: SourceId, to: SourceId) -> GamResult<Mapping> {
     let mut merged: Option<Mapping> = None;
     for rel in store.source_rels_between(from, to)? {
         if rel.rel_type.is_structural() {
@@ -54,7 +56,7 @@ pub fn map(store: &GamStore, from: SourceId, to: SourceId) -> GamResult<Mapping>
 /// with no per-row allocation, no sort and no dedup; otherwise it
 /// canonicalizes the merged [`map`] result. Either way the index holds
 /// exactly `map(store, from, to)` in canonical form.
-pub fn map_index(store: &GamStore, from: SourceId, to: SourceId) -> GamResult<MappingIndex> {
+pub fn map_index(store: &dyn GamRead, from: SourceId, to: SourceId) -> GamResult<MappingIndex> {
     let forward: Vec<_> = store
         .source_rels_between(from, to)?
         .into_iter()
@@ -74,7 +76,7 @@ pub fn map_index(store: &GamStore, from: SourceId, to: SourceId) -> GamResult<Ma
 /// [`map_or_compose`] in CSR form: try [`map_index`] first, fall back to
 /// the merge-join [`crate::compose::compose_path_idx`] along the path.
 pub fn map_or_compose_idx(
-    store: &GamStore,
+    store: &dyn GamRead,
     from: SourceId,
     to: SourceId,
     path: &[SourceId],
@@ -95,7 +97,7 @@ pub fn map_or_compose_idx(
 /// resolution of [`crate::view::generate_view_par`].
 pub trait MappingResolver: Sync {
     /// Produce a mapping oriented `from → to`.
-    fn resolve(&self, store: &GamStore, from: SourceId, to: SourceId) -> GamResult<Mapping>;
+    fn resolve(&self, store: &dyn GamRead, from: SourceId, to: SourceId) -> GamResult<Mapping>;
 }
 
 /// Resolver that only retrieves directly stored mappings.
@@ -103,7 +105,7 @@ pub trait MappingResolver: Sync {
 pub struct DirectResolver;
 
 impl MappingResolver for DirectResolver {
-    fn resolve(&self, store: &GamStore, from: SourceId, to: SourceId) -> GamResult<Mapping> {
+    fn resolve(&self, store: &dyn GamRead, from: SourceId, to: SourceId) -> GamResult<Mapping> {
         map(store, from, to)
     }
 }
@@ -111,7 +113,7 @@ impl MappingResolver for DirectResolver {
 /// Try `Map` first; if no direct mapping exists, compose along the given
 /// path (which must start at `from` and end at `to`).
 pub fn map_or_compose(
-    store: &GamStore,
+    store: &dyn GamRead,
     from: SourceId,
     to: SourceId,
     path: &[SourceId],
@@ -122,7 +124,7 @@ pub fn map_or_compose(
 /// [`map_or_compose`] with the partitioned parallel probe for the Compose
 /// fallback.
 pub fn map_or_compose_par(
-    store: &GamStore,
+    store: &dyn GamRead,
     from: SourceId,
     to: SourceId,
     path: &[SourceId],

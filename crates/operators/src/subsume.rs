@@ -13,13 +13,15 @@
 
 use gam::mapping::Association;
 use gam::model::RelType;
-use gam::{GamError, GamResult, GamStore, Mapping, ObjectId, SourceId};
+use gam::{GamError, GamRead, GamResult, Mapping, ObjectId, SourceId};
+#[cfg(test)]
+use gam::GamStore;
 use std::collections::{BTreeMap, BTreeSet};
 
 /// Derive the Subsumed mapping of a Network source from its stored IS_A
 /// mapping. Fails with [`GamError::Invalid`] if the IS_A structure is
 /// cyclic (a corrupt taxonomy) or missing.
-pub fn subsume(store: &GamStore, source: SourceId) -> GamResult<Mapping> {
+pub fn subsume(store: &dyn GamRead, source: SourceId) -> GamResult<Mapping> {
     let (rel, _) = store
         .find_source_rel(source, source, Some(RelType::IsA))?
         .ok_or_else(|| GamError::Invalid(format!("source {source} has no IS_A structure")))?;

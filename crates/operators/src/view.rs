@@ -21,7 +21,9 @@
 
 use crate::exec::ExecConfig;
 use crate::simple::MappingResolver;
-use gam::{GamResult, GamStore, MappingIndex, ObjectId, SourceId};
+use gam::{GamRead, GamResult, MappingIndex, ObjectId, SourceId};
+#[cfg(test)]
+use gam::GamStore;
 use std::collections::{BTreeSet, HashMap};
 use std::sync::Arc;
 
@@ -191,7 +193,7 @@ impl AnnotationView {
 /// AND/OR join fold. The result maps each surviving source object to its
 /// annotation values (empty = object present with NULL, e.g. negation).
 fn resolve_target(
-    store: &GamStore,
+    store: &dyn GamRead,
     query: &ViewQuery,
     spec: &TargetSpec,
     s: &BTreeSet<ObjectId>,
@@ -251,7 +253,7 @@ pub trait IndexResolver: Sync {
     /// Produce the canonical index of the mapping oriented `from → to`.
     fn resolve_index(
         &self,
-        store: &GamStore,
+        store: &dyn GamRead,
         from: SourceId,
         to: SourceId,
     ) -> GamResult<Arc<MappingIndex>>;
@@ -266,7 +268,7 @@ pub struct BuildIndexResolver<'a>(pub &'a dyn MappingResolver);
 impl IndexResolver for BuildIndexResolver<'_> {
     fn resolve_index(
         &self,
-        store: &GamStore,
+        store: &dyn GamRead,
         from: SourceId,
         to: SourceId,
     ) -> GamResult<Arc<MappingIndex>> {
@@ -298,7 +300,7 @@ impl TargetColumn {
 /// evidence floor is tested per position during the probe instead of
 /// materializing a filtered copy of the mapping.
 fn resolve_target_idx(
-    store: &GamStore,
+    store: &dyn GamRead,
     query: &ViewQuery,
     spec: &TargetSpec,
     s: &BTreeSet<ObjectId>,
@@ -387,7 +389,7 @@ fn resolve_target_idx(
 /// `resolver` (falling back to each target's explicit path when given).
 /// Runs sequentially; see [`generate_view_par`].
 pub fn generate_view(
-    store: &GamStore,
+    store: &dyn GamRead,
     query: &ViewQuery,
     resolver: &dyn MappingResolver,
 ) -> GamResult<AnnotationView> {
@@ -403,7 +405,7 @@ pub fn generate_view(
 /// whole view — are bit-identical to the sequential result. Errors
 /// surface in target order, matching the sequential path.
 pub fn generate_view_par(
-    store: &GamStore,
+    store: &dyn GamRead,
     query: &ViewQuery,
     resolver: &dyn MappingResolver,
     cfg: &ExecConfig,
@@ -498,7 +500,7 @@ pub fn generate_view_par(
 /// [`generate_view`]/[`generate_view_par`] with an equivalent resolver,
 /// and errors surface in target order exactly like the sequential path.
 pub fn generate_view_idx(
-    store: &GamStore,
+    store: &dyn GamRead,
     query: &ViewQuery,
     resolver: &dyn IndexResolver,
     cfg: &ExecConfig,

@@ -1,7 +1,9 @@
 //! The source graph and path-finding algorithms.
 
 use gam::model::RelType;
-use gam::{GamResult, GamStore, SourceId};
+use gam::{GamRead, GamResult, SourceId};
+#[cfg(test)]
+use gam::GamStore;
 use std::cmp::Ordering;
 use std::collections::{BinaryHeap, BTreeMap, BTreeSet, HashMap, VecDeque};
 
@@ -48,7 +50,7 @@ impl SourceGraph {
     /// Build the graph from the store's `SOURCE_REL` table. Structural
     /// relationships (IS_A, Contains) and self-loops are not traversal
     /// edges; annotation and derived mappings are, in both directions.
-    pub fn from_store(store: &GamStore) -> GamResult<SourceGraph> {
+    pub fn from_store(store: &dyn GamRead) -> GamResult<SourceGraph> {
         let mut graph = SourceGraph::default();
         for source in store.sources()? {
             graph.adjacency.entry(source.id).or_default();

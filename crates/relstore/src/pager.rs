@@ -32,6 +32,7 @@ use bytes::{BufMut, Bytes, BytesMut};
 use parking_lot::Mutex;
 use std::collections::HashMap;
 use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 /// Buffer-pool sizing.
@@ -75,15 +76,19 @@ struct Frame {
     referenced: bool,
 }
 
+/// Monotonic pool metrics, readable without the pool lock so concurrent
+/// snapshot readers can poll `stats()` while a writer holds the pool.
+/// Relaxed ordering is enough: each counter is an independent tally, not
+/// a synchronization point.
 #[derive(Default)]
 struct Counters {
-    hits: u64,
-    misses: u64,
-    evictions: u64,
-    writeback_pages: u64,
-    writeback_bytes: u64,
-    checkpoint_pages: u64,
-    checkpoint_bytes: u64,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    evictions: AtomicU64,
+    writeback_pages: AtomicU64,
+    writeback_bytes: AtomicU64,
+    checkpoint_pages: AtomicU64,
+    checkpoint_bytes: AtomicU64,
 }
 
 struct PoolInner {
@@ -100,7 +105,6 @@ struct PoolInner {
     /// (re)opened, so short writes from injected faults cannot desync it.
     heap_len: u64,
     heap_len_known: bool,
-    counters: Counters,
 }
 
 /// A pinning/evicting buffer pool over one heap file.
@@ -108,6 +112,9 @@ pub struct Pager {
     vfs: Arc<dyn Vfs>,
     config: PoolConfig,
     pool: Mutex<PoolInner>,
+    /// Outside the pool lock: bumped with the lock held, but readable by
+    /// any thread at any time (see [`Pager::stats`]).
+    counters: Counters,
 }
 
 impl std::fmt::Debug for Pager {
@@ -166,8 +173,8 @@ impl Pager {
                 heap: None,
                 heap_len: 0,
                 heap_len_known: false,
-                counters: Counters::default(),
             }),
+            counters: Counters::default(),
         }
     }
 
@@ -264,10 +271,10 @@ impl Pager {
         if let Some(frame) = inner.frames.get_mut(&pid) {
             frame.referenced = true;
             frame.pins += 1;
-            inner.counters.hits += 1;
+            self.counters.hits.fetch_add(1, Ordering::Relaxed);
             return Ok(frame.rows.clone());
         }
-        inner.counters.misses += 1;
+        self.counters.misses.fetch_add(1, Ordering::Relaxed);
         let loc = *inner.directory.get(&pid).ok_or_else(|| {
             StoreError::Corrupt(format!("page {pid:?} missing from heap directory"))
         })?;
@@ -348,12 +355,12 @@ impl Pager {
             }
             if frame.dirty {
                 let bytes = self.write_back(inner, pid)?;
-                inner.counters.writeback_pages += 1;
-                inner.counters.writeback_bytes += bytes;
+                self.counters.writeback_pages.fetch_add(1, Ordering::Relaxed);
+                self.counters.writeback_bytes.fetch_add(bytes, Ordering::Relaxed);
             }
             inner.frames.remove(&pid);
             inner.clock.swap_remove(inner.hand);
-            inner.counters.evictions += 1;
+            self.counters.evictions.fetch_add(1, Ordering::Relaxed);
             return Ok(true);
         }
         Ok(false)
@@ -437,8 +444,8 @@ impl Pager {
                 return Err(e);
             }
         }
-        inner.counters.checkpoint_pages += pages;
-        inner.counters.checkpoint_bytes += bytes;
+        self.counters.checkpoint_pages.fetch_add(pages, Ordering::Relaxed);
+        self.counters.checkpoint_bytes.fetch_add(bytes, Ordering::Relaxed);
         Ok((pages, bytes))
     }
 
@@ -491,23 +498,34 @@ impl Pager {
         Ok(())
     }
 
-    /// Snapshot of the pool metrics.
+    /// Snapshot of the pool metrics. The monotonic counters are read from
+    /// atomics without the pool lock, so concurrent readers can poll this
+    /// while a writer is mid-eviction; only the residency census briefly
+    /// takes the lock.
     pub fn stats(&self) -> PoolStats {
-        let inner = self.pool.lock();
+        let (resident, pinned, dirty, heap_bytes) = {
+            let inner = self.pool.lock();
+            (
+                inner.frames.len(),
+                inner.frames.values().filter(|f| f.pins > 0).count(),
+                inner.frames.values().filter(|f| f.dirty).count(),
+                inner.heap_len,
+            )
+        };
         PoolStats {
             page_bytes: self.config.page_bytes,
             pool_pages: self.config.pool_pages,
-            resident: inner.frames.len(),
-            pinned: inner.frames.values().filter(|f| f.pins > 0).count(),
-            dirty: inner.frames.values().filter(|f| f.dirty).count(),
-            evictions: inner.counters.evictions,
-            hits: inner.counters.hits,
-            misses: inner.counters.misses,
-            writeback_pages: inner.counters.writeback_pages,
-            writeback_bytes: inner.counters.writeback_bytes,
-            checkpoint_pages: inner.counters.checkpoint_pages,
-            checkpoint_bytes: inner.counters.checkpoint_bytes,
-            heap_bytes: inner.heap_len,
+            resident,
+            pinned,
+            dirty,
+            evictions: self.counters.evictions.load(Ordering::Relaxed),
+            hits: self.counters.hits.load(Ordering::Relaxed),
+            misses: self.counters.misses.load(Ordering::Relaxed),
+            writeback_pages: self.counters.writeback_pages.load(Ordering::Relaxed),
+            writeback_bytes: self.counters.writeback_bytes.load(Ordering::Relaxed),
+            checkpoint_pages: self.counters.checkpoint_pages.load(Ordering::Relaxed),
+            checkpoint_bytes: self.counters.checkpoint_bytes.load(Ordering::Relaxed),
+            heap_bytes,
         }
     }
 }

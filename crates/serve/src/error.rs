@@ -1,0 +1,111 @@
+//! Typed request/response errors for the service protocol.
+
+use gam::GamError;
+
+/// The wire-visible error class; determines the `err <kind>` header token.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ServeErrorKind {
+    /// The request was malformed: unknown endpoint, bad arity, unparsable
+    /// query words.
+    BadRequest,
+    /// The request was well-formed but names something that does not
+    /// exist: an unknown source, object, or mapping path.
+    NotFound,
+    /// The engine failed while executing a valid request.
+    Internal,
+}
+
+impl ServeErrorKind {
+    /// The protocol token for this kind.
+    pub fn token(self) -> &'static str {
+        match self {
+            ServeErrorKind::BadRequest => "bad-request",
+            ServeErrorKind::NotFound => "not-found",
+            ServeErrorKind::Internal => "internal",
+        }
+    }
+}
+
+/// One failed request: a kind plus a human-readable message.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ServeError {
+    pub kind: ServeErrorKind,
+    pub message: String,
+}
+
+impl ServeError {
+    pub fn bad_request(message: impl Into<String>) -> Self {
+        ServeError {
+            kind: ServeErrorKind::BadRequest,
+            message: message.into(),
+        }
+    }
+
+    pub fn not_found(message: impl Into<String>) -> Self {
+        ServeError {
+            kind: ServeErrorKind::NotFound,
+            message: message.into(),
+        }
+    }
+
+    pub fn internal(message: impl Into<String>) -> Self {
+        ServeError {
+            kind: ServeErrorKind::Internal,
+            message: message.into(),
+        }
+    }
+}
+
+impl std::fmt::Display for ServeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}: {}", self.kind.token(), self.message)
+    }
+}
+
+impl std::error::Error for ServeError {}
+
+impl From<GamError> for ServeError {
+    fn from(e: GamError) -> Self {
+        let kind = match &e {
+            GamError::UnknownSourceName(_)
+            | GamError::UnknownSource(_)
+            | GamError::UnknownObject(_)
+            | GamError::UnknownSourceRel(_)
+            | GamError::NoMapping { .. } => ServeErrorKind::NotFound,
+            GamError::Invalid(_) => ServeErrorKind::BadRequest,
+            _ => ServeErrorKind::Internal,
+        };
+        ServeError {
+            kind,
+            message: e.to_string(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gam::SourceId;
+
+    #[test]
+    fn gam_errors_map_to_protocol_kinds() {
+        let e: ServeError = GamError::UnknownSourceName("Nope".into()).into();
+        assert_eq!(e.kind, ServeErrorKind::NotFound);
+        assert!(e.message.contains("Nope"));
+        let e: ServeError = GamError::Invalid("bad spec".into()).into();
+        assert_eq!(e.kind, ServeErrorKind::BadRequest);
+        let e: ServeError = GamError::NoMapping {
+            from: SourceId(1),
+            to: SourceId(2),
+        }
+        .into();
+        assert_eq!(e.kind, ServeErrorKind::NotFound);
+    }
+
+    #[test]
+    fn tokens_are_stable() {
+        assert_eq!(ServeErrorKind::BadRequest.token(), "bad-request");
+        assert_eq!(ServeErrorKind::NotFound.token(), "not-found");
+        assert_eq!(ServeErrorKind::Internal.token(), "internal");
+    }
+}

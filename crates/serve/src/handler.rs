@@ -1,0 +1,262 @@
+//! Per-endpoint request handlers.
+//!
+//! [`handle_request`] is the whole service brain: it parses one request
+//! line, grabs either the published snapshot (reads) or the writer lock
+//! (writes), and renders a text body. It holds no lock while executing a
+//! read — the snapshot `Arc` is cloned first, then the guard is gone —
+//! which is the invariant genlint's snapshot-coherence check pins.
+
+use crate::error::ServeError;
+use genmapper::cli::parse_query;
+use genmapper::{SharedGenMapper, Snapshot};
+use sources::ecosystem::{Ecosystem, EcosystemParams};
+use std::fmt::Write as _;
+use std::sync::Arc;
+
+/// Whether a handled request went down the read or the write path
+/// (service statistics).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RequestClass {
+    Read,
+    Write,
+}
+
+/// Handle one request line against the shared system. Returns the
+/// response body and the request class.
+pub fn handle_request(
+    shared: &SharedGenMapper,
+    line: &str,
+) -> Result<(String, RequestClass), ServeError> {
+    let words: Vec<&str> = line.split_whitespace().collect();
+    let Some((&verb, rest)) = words.split_first() else {
+        return Err(ServeError::bad_request("empty request"));
+    };
+    match verb {
+        // ---------------- read path: published snapshot only ----------
+        "ping" => Ok(("pong\n".to_owned(), RequestClass::Read)),
+        "stats" => {
+            let snap = shared.snapshot();
+            Ok((render_stats(&snap)?, RequestClass::Read))
+        }
+        "sources" => {
+            let snap = shared.snapshot();
+            let mut out = String::new();
+            for s in snap.sources()? {
+                let _ = writeln!(out, "{}\t{}\t{}", s.name, s.content, s.structure);
+            }
+            Ok((out, RequestClass::Read))
+        }
+        "query" => {
+            let spec = parse_query(rest).map_err(|e| ServeError::bad_request(e.to_string()))?;
+            let snap = shared.snapshot();
+            let view = snap.query(&spec)?;
+            Ok((view.to_tsv(), RequestClass::Read))
+        }
+        "view" => {
+            // generate-view with an explicit export format
+            let Some((&format, query_words)) = rest.split_first() else {
+                return Err(ServeError::bad_request(
+                    "usage: view <tsv|csv|json|md> <query words>",
+                ));
+            };
+            let spec =
+                parse_query(query_words).map_err(|e| ServeError::bad_request(e.to_string()))?;
+            let snap = shared.snapshot();
+            let view = snap.query(&spec)?;
+            let body = match format {
+                "tsv" => view.to_tsv(),
+                "csv" => view.to_csv(),
+                "json" => view.to_json()?,
+                "md" | "markdown" => view.to_markdown(),
+                other => {
+                    return Err(ServeError::bad_request(format!(
+                        "unknown view format {other:?}"
+                    )))
+                }
+            };
+            Ok((body, RequestClass::Read))
+        }
+        "path" => match rest {
+            [from, to] => {
+                let snap = shared.snapshot();
+                let path = snap.find_path(from, to)?;
+                Ok((format!("{}\n", path.join(" -> ")), RequestClass::Read))
+            }
+            _ => Err(ServeError::bad_request("usage: path <from> <to>")),
+        },
+        "paths" => match rest {
+            [from, to, k] => {
+                let k: usize = k
+                    .parse()
+                    .map_err(|_| ServeError::bad_request("paths takes a numeric k"))?;
+                let snap = shared.snapshot();
+                let mut out = String::new();
+                for path in snap.find_paths(from, to, k)? {
+                    let _ = writeln!(out, "{}", path.join(" -> "));
+                }
+                Ok((out, RequestClass::Read))
+            }
+            _ => Err(ServeError::bad_request("usage: paths <from> <to> <k>")),
+        },
+        "info" => match rest {
+            [source, accession] => {
+                let snap = shared.snapshot();
+                let info = snap.object_info(source, accession)?;
+                let mut out = String::new();
+                let _ = writeln!(
+                    out,
+                    "{} ({}) name={:?} number={:?}",
+                    info.accession, info.source, info.text, info.number
+                );
+                for (partner_source, partner, evidence) in &info.associations {
+                    match evidence {
+                        Some(e) => {
+                            let _ = writeln!(out, "  -> {partner_source}: {partner} (~{e:.2})");
+                        }
+                        None => {
+                            let _ = writeln!(out, "  -> {partner_source}: {partner}");
+                        }
+                    }
+                }
+                Ok((out, RequestClass::Read))
+            }
+            _ => Err(ServeError::bad_request("usage: info <source> <accession>")),
+        },
+        "import-status" => {
+            let status = shared.import_status();
+            Ok((
+                format!(
+                    "writing={} completed={} version={}.{}\n",
+                    status.writing,
+                    status.completed,
+                    status.published_version.0,
+                    status.published_version.1
+                ),
+                RequestClass::Read,
+            ))
+        }
+        // ---------------- write path: single writer, then publish ------
+        "import" => match rest {
+            ["demo", seed] => {
+                let seed: u64 = seed
+                    .parse()
+                    .map_err(|_| ServeError::bad_request("import demo takes a numeric seed"))?;
+                let n = shared.with_writer(|gm| {
+                    let eco = Ecosystem::generate(EcosystemParams::demo(seed));
+                    Ok(gm.import_dumps(&eco.dumps)?.len())
+                })?;
+                let snap = shared.snapshot();
+                Ok((
+                    format!("imported {} dumps; {}\n", n, snap.cardinalities()?),
+                    RequestClass::Write,
+                ))
+            }
+            _ => Err(ServeError::bad_request("usage: import demo <seed>")),
+        },
+        "materialize" => match rest {
+            ["composed", path @ ..] if path.len() >= 2 => {
+                let (rel, n) = shared.with_writer(|gm| gm.materialize_composed(path))?;
+                Ok((
+                    format!("materialized {rel} with {n} associations\n"),
+                    RequestClass::Write,
+                ))
+            }
+            ["subsumed", source] => {
+                let (rel, n) = shared.with_writer(|gm| gm.materialize_subsumed(source))?;
+                Ok((
+                    format!("materialized {rel} with {n} associations\n"),
+                    RequestClass::Write,
+                ))
+            }
+            _ => Err(ServeError::bad_request(
+                "usage: materialize composed <s1> <s2> [...] | materialize subsumed <source>",
+            )),
+        },
+        other => Err(ServeError::bad_request(format!(
+            "unknown endpoint {other:?}"
+        ))),
+    }
+}
+
+/// The `stats` body: cardinalities, snapshot version, association total.
+fn render_stats(snap: &Arc<Snapshot>) -> Result<String, ServeError> {
+    let cards = snap.cardinalities()?;
+    let (v0, v1) = snap.version();
+    Ok(format!("{cards}\nsnapshot version {v0}.{v1}\n"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::error::ServeErrorKind;
+    use genmapper::GenMapper;
+
+    fn shared() -> SharedGenMapper {
+        let eco = Ecosystem::generate(EcosystemParams::demo(7));
+        let mut gm = GenMapper::in_memory().unwrap();
+        gm.import_dumps(&eco.dumps).unwrap();
+        SharedGenMapper::new(gm).unwrap()
+    }
+
+    #[test]
+    fn read_endpoints_answer_from_the_snapshot() {
+        let sh = shared();
+        let (body, class) = handle_request(&sh, "ping").unwrap();
+        assert_eq!(body, "pong\n");
+        assert_eq!(class, RequestClass::Read);
+
+        let (body, _) = handle_request(&sh, "stats").unwrap();
+        assert!(body.contains("19 sources"), "stats: {body}");
+        assert!(body.contains("snapshot version"));
+
+        let (body, _) = handle_request(&sh, "sources").unwrap();
+        assert!(body.contains("LocusLink"));
+
+        let (body, _) = handle_request(&sh, "query LocusLink:353 or Hugo GO").unwrap();
+        assert!(body.contains("APRT"), "query: {body}");
+
+        let (body, _) = handle_request(&sh, "view json LocusLink:353 or Hugo").unwrap();
+        assert!(body.contains("\"APRT\""), "view json: {body}");
+
+        let (body, _) = handle_request(&sh, "path NetAffx GO").unwrap();
+        assert!(body.starts_with("NetAffx ->"));
+
+        let (body, _) = handle_request(&sh, "paths NetAffx GO 2").unwrap();
+        assert!(body.lines().count() >= 1);
+
+        let (body, _) = handle_request(&sh, "info LocusLink 353").unwrap();
+        assert!(body.contains("adenine phosphoribosyltransferase"));
+
+        let (body, _) = handle_request(&sh, "import-status").unwrap();
+        assert!(body.starts_with("writing=false completed=0"));
+    }
+
+    #[test]
+    fn write_endpoints_go_through_the_writer_and_publish() {
+        let sh = shared();
+        let v0 = sh.snapshot().version();
+        let (body, class) = handle_request(&sh, "materialize subsumed GO").unwrap();
+        assert!(body.starts_with("materialized"));
+        assert_eq!(class, RequestClass::Write);
+        assert_ne!(sh.snapshot().version(), v0, "write published a new snapshot");
+        let (body, _) = handle_request(&sh, "import-status").unwrap();
+        assert!(body.contains("completed=1"));
+    }
+
+    #[test]
+    fn errors_carry_protocol_kinds() {
+        let sh = shared();
+        let e = handle_request(&sh, "frobnicate").unwrap_err();
+        assert_eq!(e.kind, ServeErrorKind::BadRequest);
+        let e = handle_request(&sh, "path Nowhere GO").unwrap_err();
+        assert_eq!(e.kind, ServeErrorKind::NotFound);
+        let e = handle_request(&sh, "query LocusLink").unwrap_err();
+        assert_eq!(e.kind, ServeErrorKind::BadRequest);
+        let e = handle_request(&sh, "").unwrap_err();
+        assert_eq!(e.kind, ServeErrorKind::BadRequest);
+        // an isolated snapshot keeps answering while a write fails
+        let e = handle_request(&sh, "materialize subsumed Nowhere").unwrap_err();
+        assert_eq!(e.kind, ServeErrorKind::NotFound);
+        assert!(handle_request(&sh, "ping").is_ok());
+    }
+}

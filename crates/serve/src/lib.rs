@@ -1,0 +1,35 @@
+//! A concurrent annotation service over one [`SharedGenMapper`].
+//!
+//! The paper deploys GenMapper behind a web interface queried by many
+//! users while imports run in the back office (§5). This crate reproduces
+//! that shape as a small threaded TCP service: every read request
+//! (query / generate-view / pathfinding / stats) executes against the
+//! currently published [`genmapper::Snapshot`] — an `Arc` handle obtained
+//! in one lock-free-in-spirit clone — while write requests (imports,
+//! materializations) run under the single writer lock and publish a fresh
+//! snapshot when done. Readers never block on the writer.
+//!
+//! # Protocol
+//!
+//! One request per line, UTF-8: `<endpoint> [args...]\n`. The response is
+//! a header line followed by a length-delimited body:
+//!
+//! ```text
+//! ok <len>\n<len bytes of body>
+//! err <kind> <len>\n<len bytes of message>
+//! ```
+//!
+//! `kind` is one of `bad-request`, `not-found`, `internal`. Connections
+//! are persistent: clients may send any number of requests; `quit` (or
+//! EOF) ends the connection. Query words use the same grammar as the CLI
+//! REPL's `query` command.
+
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
+
+pub mod error;
+pub mod handler;
+pub mod server;
+
+pub use error::{ServeError, ServeErrorKind};
+pub use handler::handle_request;
+pub use server::{call, Server, ServerConfig, ServerStats};

@@ -1,0 +1,271 @@
+//! The threaded request loop: N acceptor/worker threads over one
+//! listening socket, graceful shutdown, and a tiny client helper.
+
+use crate::error::ServeError;
+use crate::handler::{handle_request, RequestClass};
+use genmapper::SharedGenMapper;
+use std::io::{self, BufRead, BufReader, Write};
+use std::net::{TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+/// Server configuration.
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Bind address, e.g. `127.0.0.1:7070`. Port `0` picks a free port
+    /// (tests, harnesses).
+    pub addr: String,
+    /// Worker threads accepting and serving connections.
+    pub threads: usize,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            addr: "127.0.0.1:7070".to_owned(),
+            threads: 4,
+        }
+    }
+}
+
+/// Monotonic service counters, updated by workers with relaxed atomics —
+/// readers of the stats never block request handling.
+#[derive(Debug, Default)]
+pub struct ServerStats {
+    pub connections: AtomicU64,
+    pub requests: AtomicU64,
+    pub reads: AtomicU64,
+    pub writes: AtomicU64,
+    pub errors: AtomicU64,
+}
+
+impl ServerStats {
+    /// A plain-data copy of the counters.
+    pub fn snapshot(&self) -> (u64, u64, u64, u64, u64) {
+        (
+            self.connections.load(Ordering::Relaxed),
+            self.requests.load(Ordering::Relaxed),
+            self.reads.load(Ordering::Relaxed),
+            self.writes.load(Ordering::Relaxed),
+            self.errors.load(Ordering::Relaxed),
+        )
+    }
+}
+
+/// A running annotation service.
+pub struct Server {
+    shared: Arc<SharedGenMapper>,
+    local_addr: std::net::SocketAddr,
+    stop: Arc<AtomicBool>,
+    stats: Arc<ServerStats>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl Server {
+    /// Bind and start serving `shared` with `config.threads` workers.
+    pub fn start(shared: Arc<SharedGenMapper>, config: &ServerConfig) -> io::Result<Server> {
+        let listener = TcpListener::bind(&config.addr)?;
+        let local_addr = listener.local_addr()?;
+        let stop = Arc::new(AtomicBool::new(false));
+        let stats = Arc::new(ServerStats::default());
+        let threads = config.threads.max(1);
+        let mut workers = Vec::with_capacity(threads);
+        for i in 0..threads {
+            let listener = listener.try_clone()?;
+            let shared = shared.clone();
+            let stop = stop.clone();
+            let stats = stats.clone();
+            workers.push(
+                std::thread::Builder::new()
+                    .name(format!("serve-worker-{i}"))
+                    .spawn(move || worker_loop(&listener, &shared, &stop, &stats))?,
+            );
+        }
+        Ok(Server {
+            shared,
+            local_addr,
+            stop,
+            stats,
+            workers,
+        })
+    }
+
+    /// The bound address (resolves port `0` binds).
+    pub fn local_addr(&self) -> std::net::SocketAddr {
+        self.local_addr
+    }
+
+    /// The shared system behind the server.
+    pub fn shared(&self) -> &Arc<SharedGenMapper> {
+        &self.shared
+    }
+
+    /// Service counters.
+    pub fn stats(&self) -> &ServerStats {
+        &self.stats
+    }
+
+    /// Graceful shutdown: stop accepting, unblock every worker, join all.
+    /// In-flight requests complete; idle persistent connections are closed
+    /// after their current read.
+    pub fn shutdown(mut self) -> io::Result<()> {
+        self.stop.store(true, Ordering::SeqCst);
+        // each worker sits in accept(); one self-connection apiece wakes
+        // them to observe the stop flag
+        for _ in 0..self.workers.len() {
+            let _ = TcpStream::connect(self.local_addr);
+        }
+        for worker in self.workers.drain(..) {
+            worker
+                .join()
+                .map_err(|_| io::Error::other("serve worker panicked"))?;
+        }
+        Ok(())
+    }
+}
+
+/// Accept loop of one worker: serve a connection to completion, then
+/// accept the next. The stop flag is checked after every accept so a
+/// shutdown self-connection terminates the loop.
+fn worker_loop(
+    listener: &TcpListener,
+    shared: &SharedGenMapper,
+    stop: &AtomicBool,
+    stats: &ServerStats,
+) {
+    loop {
+        let stream = match listener.accept() {
+            Ok((stream, _)) => stream,
+            Err(_) => {
+                if stop.load(Ordering::SeqCst) {
+                    return;
+                }
+                continue;
+            }
+        };
+        if stop.load(Ordering::SeqCst) {
+            return;
+        }
+        stats.connections.fetch_add(1, Ordering::Relaxed);
+        // a broken connection only ends that connection
+        let _ = serve_connection(stream, shared, stop, stats);
+    }
+}
+
+/// Serve one persistent connection: request lines in, framed responses out.
+fn serve_connection(
+    stream: TcpStream,
+    shared: &SharedGenMapper,
+    stop: &AtomicBool,
+    stats: &ServerStats,
+) -> io::Result<()> {
+    // Small request/response frames ping-pong on this socket; without
+    // nodelay the Nagle + delayed-ACK interaction costs ~40ms per turn.
+    let _ = stream.set_nodelay(true);
+    let mut writer = stream.try_clone()?;
+    let reader = BufReader::new(stream);
+    for line in reader.lines() {
+        let line = line?;
+        let trimmed = line.trim();
+        if trimmed.is_empty() {
+            continue;
+        }
+        if trimmed == "quit" {
+            break;
+        }
+        stats.requests.fetch_add(1, Ordering::Relaxed);
+        match handle_request(shared, trimmed) {
+            Ok((body, class)) => {
+                match class {
+                    RequestClass::Read => stats.reads.fetch_add(1, Ordering::Relaxed),
+                    RequestClass::Write => stats.writes.fetch_add(1, Ordering::Relaxed),
+                };
+                write!(writer, "ok {}\n{}", body.len(), body)?;
+            }
+            Err(e) => {
+                stats.errors.fetch_add(1, Ordering::Relaxed);
+                write_error(&mut writer, &e)?;
+            }
+        }
+        writer.flush()?;
+        if stop.load(Ordering::SeqCst) {
+            break;
+        }
+    }
+    Ok(())
+}
+
+/// Frame one error response.
+fn write_error(writer: &mut impl Write, e: &ServeError) -> io::Result<()> {
+    write!(
+        writer,
+        "err {} {}\n{}",
+        e.kind.token(),
+        e.message.len(),
+        e.message
+    )
+}
+
+/// Send one request to a running server and return `(ok, body)` — the
+/// client side of the protocol, used by `genmapper-cli call` and the load
+/// harness.
+pub fn call(addr: &str, request: &str) -> io::Result<(bool, String)> {
+    let mut stream = TcpStream::connect(addr)?;
+    let _ = stream.set_nodelay(true);
+    writeln!(stream, "{}", request.trim())?;
+    stream.flush()?;
+    let mut reader = BufReader::new(stream);
+    read_response(&mut reader)
+}
+
+/// Read one framed response from `reader`. Exposed so clients holding a
+/// persistent connection can reuse it.
+pub fn read_response(reader: &mut impl BufRead) -> io::Result<(bool, String)> {
+    let mut header = String::new();
+    if reader.read_line(&mut header)? == 0 {
+        return Err(io::Error::new(
+            io::ErrorKind::UnexpectedEof,
+            "connection closed before response header",
+        ));
+    }
+    let header = header.trim_end();
+    let (ok, len) = parse_response_header(header)
+        .ok_or_else(|| io::Error::new(io::ErrorKind::InvalidData, format!("bad header {header:?}")))?;
+    let mut body = vec![0u8; len];
+    reader.read_exact(&mut body)?;
+    let body = String::from_utf8(body)
+        .map_err(|_| io::Error::new(io::ErrorKind::InvalidData, "non-UTF-8 response body"))?;
+    Ok((ok, body))
+}
+
+/// `ok <len>` / `err <kind> <len>` → `(ok, len)`.
+fn parse_response_header(header: &str) -> Option<(bool, usize)> {
+    let mut words = header.split_whitespace();
+    match words.next()? {
+        "ok" => {
+            let len = words.next()?.parse().ok()?;
+            Some((true, len))
+        }
+        "err" => {
+            let _kind = words.next()?;
+            let len = words.next()?.parse().ok()?;
+            Some((false, len))
+        }
+        _ => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn response_header_parses() {
+        assert_eq!(parse_response_header("ok 12"), Some((true, 12)));
+        assert_eq!(parse_response_header("err not-found 3"), Some((false, 3)));
+        assert_eq!(parse_response_header("nope"), None);
+        assert_eq!(parse_response_header("ok lots"), None);
+        assert_eq!(parse_response_header(""), None);
+    }
+}

@@ -1,0 +1,132 @@
+//! Drive the compiled `genmapper-cli` binary through a scripted stdin
+//! session — the closest offline equivalent of a user at the paper's
+//! interactive interface.
+
+use std::io::Write;
+use std::process::{Command, Stdio};
+
+fn run_script(script: &str) -> String {
+    let mut child = Command::new(env!("CARGO_BIN_EXE_genmapper-cli"))
+        .stdin(Stdio::piped())
+        .stdout(Stdio::piped())
+        .stderr(Stdio::piped())
+        .spawn()
+        .expect("binary starts");
+    child
+        .stdin
+        .as_mut()
+        .expect("stdin piped")
+        .write_all(script.as_bytes())
+        .expect("script written");
+    let output = child.wait_with_output().expect("binary exits");
+    assert!(output.status.success(), "cli exited with {:?}", output.status);
+    String::from_utf8(output.stdout).expect("utf-8 output")
+}
+
+#[test]
+fn scripted_session_through_the_binary() {
+    let out = run_script(
+        "demo 7\n\
+         stats\n\
+         search LocusLink adenine\n\
+         path NetAffx GO\n\
+         query LocusLink:353 or Hugo GO\n\
+         export csv\n\
+         quit\n",
+    );
+    assert!(out.contains("sources"), "stats shown");
+    assert!(out.contains("Fact"), "type breakdown shown");
+    assert!(out.contains("353"), "keyword search hit");
+    assert!(out.contains("NetAffx ->"), "path printed");
+    assert!(out.contains("APRT"), "query answered");
+    assert!(out.contains("LocusLink,Hugo,GO"), "csv export");
+}
+
+#[test]
+fn binary_survives_errors_and_eof() {
+    // unknown commands and runtime errors must not kill the process; EOF
+    // (no quit) must end it cleanly
+    let out = run_script("nonsense\ninfo Nowhere 1\nsources\n");
+    assert!(out.contains("parse error"));
+    assert!(out.contains("error:"));
+}
+
+#[test]
+fn serve_mode_answers_calls_and_stops_on_quit() {
+    use std::io::{BufRead, BufReader};
+
+    let mut child = Command::new(env!("CARGO_BIN_EXE_genmapper-cli"))
+        .args(["serve", "--addr", "127.0.0.1:0", "--threads", "2", "--demo", "7"])
+        .stdin(Stdio::piped())
+        .stdout(Stdio::piped())
+        .stderr(Stdio::piped())
+        .spawn()
+        .expect("binary starts");
+    // the first stdout line announces the bound address
+    let mut stdout = BufReader::new(child.stdout.take().expect("stdout piped"));
+    let mut line = String::new();
+    stdout.read_line(&mut line).expect("announce line");
+    let addr = line
+        .strip_prefix("serving on ")
+        .and_then(|rest| rest.split_whitespace().next())
+        .unwrap_or_else(|| panic!("unexpected announce line {line:?}"))
+        .to_owned();
+
+    let (ok, body) = serve::call(&addr, "ping").expect("ping");
+    assert!(ok);
+    assert_eq!(body, "pong\n");
+    let (ok, body) = serve::call(&addr, "query LocusLink:353 or Hugo").expect("query");
+    assert!(ok, "query failed: {body}");
+    assert!(body.contains("APRT"));
+
+    child
+        .stdin
+        .as_mut()
+        .expect("stdin piped")
+        .write_all(b"quit\n")
+        .expect("quit written");
+    let status = child.wait().expect("binary exits");
+    assert!(status.success(), "serve exited with {status:?}");
+    let mut rest = String::new();
+    std::io::Read::read_to_string(&mut stdout, &mut rest).expect("summary read");
+    assert!(rest.contains("served "), "summary printed: {rest}");
+}
+
+#[test]
+fn call_mode_round_trips_against_a_server() {
+    let server = {
+        use genmapper::GenMapper;
+        use sources::ecosystem::{Ecosystem, EcosystemParams};
+        let eco = Ecosystem::generate(EcosystemParams::demo(7));
+        let mut gm = GenMapper::in_memory().unwrap();
+        gm.import_dumps(&eco.dumps).unwrap();
+        let shared = std::sync::Arc::new(genmapper::SharedGenMapper::new(gm).unwrap());
+        serve::Server::start(
+            shared,
+            &serve::ServerConfig {
+                addr: "127.0.0.1:0".to_owned(),
+                threads: 2,
+            },
+        )
+        .unwrap()
+    };
+    let addr = server.local_addr().to_string();
+
+    let out = Command::new(env!("CARGO_BIN_EXE_genmapper-cli"))
+        .args(["call", "--addr", &addr, "stats"])
+        .output()
+        .expect("call runs");
+    assert!(out.status.success());
+    let body = String::from_utf8(out.stdout).expect("utf-8");
+    assert!(body.contains("19 sources"), "stats over call: {body}");
+
+    // protocol errors surface as exit code 1 with the message on stderr
+    let out = Command::new(env!("CARGO_BIN_EXE_genmapper-cli"))
+        .args(["call", "--addr", &addr, "path", "Nowhere", "GO"])
+        .output()
+        .expect("call runs");
+    assert!(!out.status.success());
+    let err = String::from_utf8(out.stderr).expect("utf-8");
+    assert!(err.contains("unknown source"), "stderr: {err}");
+    server.shutdown().unwrap();
+}

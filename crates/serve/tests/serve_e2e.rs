@@ -1,0 +1,134 @@
+//! End-to-end service tests: a real TCP server, real client connections,
+//! concurrent readers during a bulk import, and graceful shutdown.
+
+use genmapper::{GenMapper, SharedGenMapper};
+use serve::{call, Server, ServerConfig};
+use sources::ecosystem::{Ecosystem, EcosystemParams};
+use std::io::{BufReader, Write};
+use std::net::TcpStream;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+
+fn start_server(imported: bool, threads: usize) -> Server {
+    let mut gm = GenMapper::in_memory().unwrap();
+    if imported {
+        let eco = Ecosystem::generate(EcosystemParams::demo(7));
+        gm.import_dumps(&eco.dumps).unwrap();
+    }
+    let shared = Arc::new(SharedGenMapper::new(gm).unwrap());
+    Server::start(
+        shared,
+        &ServerConfig {
+            addr: "127.0.0.1:0".to_owned(),
+            threads,
+        },
+    )
+    .unwrap()
+}
+
+#[test]
+fn endpoints_over_the_wire() {
+    let server = start_server(true, 2);
+    let addr = server.local_addr().to_string();
+
+    let (ok, body) = call(&addr, "ping").unwrap();
+    assert!(ok);
+    assert_eq!(body, "pong\n");
+
+    let (ok, body) = call(&addr, "stats").unwrap();
+    assert!(ok);
+    assert!(body.contains("19 sources"), "stats: {body}");
+
+    let (ok, body) = call(&addr, "query LocusLink:353 or Hugo GO").unwrap();
+    assert!(ok);
+    assert!(body.contains("APRT"));
+
+    let (ok, body) = call(&addr, "path NetAffx GO").unwrap();
+    assert!(ok);
+    assert!(body.starts_with("NetAffx ->"));
+
+    let (ok, body) = call(&addr, "no-such-endpoint").unwrap();
+    assert!(!ok);
+    assert!(body.contains("unknown endpoint"));
+
+    let (_, _, reads, _, errors) = server.stats().snapshot();
+    assert!(reads >= 4, "reads counted: {reads}");
+    assert_eq!(errors, 1);
+
+    server.shutdown().unwrap();
+}
+
+#[test]
+fn persistent_connections_carry_many_requests() {
+    let server = start_server(true, 2);
+    let mut stream = TcpStream::connect(server.local_addr()).unwrap();
+    let mut reader = BufReader::new(stream.try_clone().unwrap());
+    for _ in 0..10 {
+        writeln!(stream, "stats").unwrap();
+        let (ok, body) = serve::server::read_response(&mut reader).unwrap();
+        assert!(ok);
+        assert!(body.contains("snapshot version"));
+    }
+    writeln!(stream, "quit").unwrap();
+    let (connections, requests, ..) = server.stats().snapshot();
+    assert_eq!(connections, 1);
+    assert_eq!(requests, 10);
+    server.shutdown().unwrap();
+}
+
+#[test]
+fn readers_progress_during_bulk_import() {
+    // start empty: the import below is the first real write
+    let server = start_server(false, 4);
+    let addr = server.local_addr().to_string();
+
+    let stop = Arc::new(AtomicBool::new(false));
+    let reads_done = Arc::new(AtomicU64::new(0));
+    let mut readers = Vec::new();
+    for _ in 0..3 {
+        let addr = addr.clone();
+        let stop = stop.clone();
+        let reads_done = reads_done.clone();
+        readers.push(std::thread::spawn(move || {
+            while !stop.load(Ordering::SeqCst) {
+                let (ok, _) = call(&addr, "import-status").unwrap();
+                assert!(ok);
+                reads_done.fetch_add(1, Ordering::SeqCst);
+            }
+        }));
+    }
+
+    // the write: a full demo-ecosystem import through the service
+    let (ok, body) = call(&addr, "import demo 7").unwrap();
+    assert!(ok, "import failed: {body}");
+    assert!(body.contains("19 sources"), "import summary: {body}");
+
+    stop.store(true, Ordering::SeqCst);
+    for r in readers {
+        r.join().unwrap();
+    }
+    assert!(
+        reads_done.load(Ordering::SeqCst) > 0,
+        "readers progressed during the import"
+    );
+
+    // post-import reads see the new snapshot
+    let (ok, body) = call(&addr, "query LocusLink:353 or Hugo").unwrap();
+    assert!(ok, "query after import: {body}");
+    assert!(body.contains("APRT"));
+    server.shutdown().unwrap();
+}
+
+#[test]
+fn graceful_shutdown_joins_all_workers() {
+    let server = start_server(false, 3);
+    let addr = server.local_addr().to_string();
+    let (ok, _) = call(&addr, "ping").unwrap();
+    assert!(ok);
+    server.shutdown().unwrap();
+    // the port no longer accepts requests (connect may succeed briefly on
+    // some stacks, but a request gets no response)
+    if let Ok((_, body)) = call(&addr, "ping") {
+        panic!("server still answering after shutdown: {body}");
+    }
+}

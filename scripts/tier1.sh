@@ -16,9 +16,17 @@ cargo test -q -p import --test crash_import
 # paged-storage equivalence (paged ≡ resident across random workloads,
 # pool sizes down to one page, reopen, and compaction), explicitly:
 cargo test -q -p relstore --test paged_prop
+# MVCC snapshot reads: concurrent readers bit-identical to the
+# single-threaded path, readers never blocking on the writer, and the
+# service layer end-to-end over real TCP, explicitly:
+cargo test -q -p genmapper --test snapshot_stress
+cargo test -q -p serve
 # paged-storage measurement replica: checkpoint bytes vs dirty fraction,
 # lookup latency/residency at dataset/pool ratios 1x/10x/100x
 rustc -O scripts/page_harness.rs -o /tmp/page_harness && /tmp/page_harness
+# concurrent-service measurement replica: mixed read/write load p50/p99,
+# reader progress during a bulk import -> BENCH_serve.json
+rustc -O scripts/serve_harness.rs -o /tmp/serve_harness && /tmp/serve_harness
 cargo clippy --all-targets -- -D warnings
 # architectural invariant gate (DESIGN.md §11): any unbaselined finding
 # fails the build

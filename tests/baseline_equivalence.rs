@@ -32,7 +32,7 @@ fn build(seed: u64) -> Systems {
 
 #[test]
 fn single_source_lookup_agrees_everywhere() {
-    let mut s = build(70);
+    let s = build(70);
     // gene 353's GO annotations
     let gm_terms: BTreeSet<String> = s
         .gm
@@ -61,7 +61,7 @@ fn single_source_lookup_agrees_everywhere() {
 
 #[test]
 fn location_query_gam_vs_star() {
-    let mut s = build(71);
+    let s = build(71);
     let location = s.eco.universe.locus_353().location.clone();
     let gm_loci: BTreeSet<String> = s
         .gm
@@ -82,7 +82,7 @@ fn location_query_gam_vs_star() {
 
 #[test]
 fn join_query_gam_vs_srs_navigation() {
-    let mut s = build(72);
+    let s = build(72);
     // which UniGene clusters are annotated (via LocusLink) with the
     // pinned GO term? GenMapper composes; SRS must navigate per entry.
     let term = "GO:0009116";
@@ -139,7 +139,7 @@ fn star_schema_rejects_unanticipated_sources_gam_accepts_them() {
 
 #[test]
 fn star_loses_unmodeled_annotations_gam_keeps_them() {
-    let mut s = build(75);
+    let s = build(75);
     // the Enzyme annotation of locus 353 is not in the star schema
     assert!(s.star.gene("353").unwrap().is_some());
     // (no bridge for Enzyme: loci_with_go is the only bridge query, and

@@ -47,7 +47,7 @@ fn every_core_source_is_registered_with_metadata() {
 
 #[test]
 fn view_matches_universe_ground_truth() {
-    let (mut gm, eco) = system(101);
+    let (gm, eco) = system(101);
     let u: &Universe = &eco.universe;
     // check 10 loci: the GO column of the view equals the universe's
     // annotation set for that locus
@@ -68,7 +68,7 @@ fn view_matches_universe_ground_truth() {
 
 #[test]
 fn hugo_symbols_resolve_for_all_loci() {
-    let (mut gm, eco) = system(102);
+    let (gm, eco) = system(102);
     let spec = QuerySpec::source("LocusLink").target("Hugo").or();
     let view = gm.query(&spec).unwrap();
     // exactly one Hugo symbol per locus, never NULL
@@ -109,7 +109,7 @@ fn multi_hop_composition_equals_ground_truth() {
 
 #[test]
 fn negation_complements_exactly() {
-    let (mut gm, eco) = system(104);
+    let (gm, eco) = system(104);
     let with_omim = gm
         .query(&QuerySpec::source("LocusLink").target("OMIM").and())
         .unwrap();
@@ -175,7 +175,7 @@ fn reimport_is_idempotent_and_new_release_is_incremental() {
 
 #[test]
 fn satellite_sources_join_the_graph() {
-    let (mut gm, eco) = system(106);
+    let (gm, eco) = system(106);
     // every satellite reaches GO through its hub
     for dump in &eco.dumps[10..] {
         let path = gm.find_path(&dump.name, "GO").unwrap();

@@ -39,7 +39,7 @@ fn thresholded_view_is_monotone_in_the_threshold() {
 
 #[test]
 fn threshold_affects_negation_consistently() {
-    let (mut gm, _) = system(202);
+    let (gm, _) = system(202);
     // probes WITH a confident Unigene link + probes WITHOUT one partition
     // the chip at every threshold
     let netaffx = gm.source_id("NetAffx").unwrap();
