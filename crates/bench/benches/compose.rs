@@ -33,6 +33,7 @@ fn bench_parallel_compose(c: &mut Criterion) {
         let cfg = ExecConfig {
             jobs,
             parallel_threshold: 0,
+            plan: true,
         };
         group.bench_with_input(BenchmarkId::new("jobs", jobs), &cfg, |b, cfg| {
             b.iter(|| operators::compose_par(&left, &right, cfg).expect("composes"))

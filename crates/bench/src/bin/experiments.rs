@@ -274,6 +274,7 @@ fn main() {
         let cfg = ExecConfig {
             jobs,
             parallel_threshold: 0,
+            plan: true,
         };
         let _ = operators::compose_par(&left, &right, &cfg).expect("composes");
         (0..5)
@@ -304,6 +305,7 @@ fn main() {
         f.gm.set_exec_config(ExecConfig {
             jobs,
             parallel_threshold: 0,
+            plan: true,
         });
         let _ = f.gm.store_mut();
         let _ = f.gm.query(&spec).expect("view");

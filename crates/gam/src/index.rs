@@ -31,6 +31,79 @@ use crate::model::RelType;
 use std::collections::BTreeSet;
 use std::ops::Range;
 
+/// Cardinality and skew statistics collected while sealing an index in
+/// [`MappingIndexBuilder::finish`]. They are a pure function of the
+/// association multiset (so two equal indexes always carry equal stats)
+/// and cost nothing beyond the offset arrays the builder derives anyway.
+/// The query planner in `operators::plan` reads them to estimate
+/// intermediate Compose cardinalities and to pick a join strategy.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct IndexStats {
+    /// Number of associations (`len()`).
+    pub len: usize,
+    /// Distinct domain objects (`domain_keys().len()`).
+    pub domain_keys: usize,
+    /// Distinct range objects (`range_keys().len()`).
+    pub range_keys: usize,
+    /// Widest forward bucket (max associations per domain object).
+    pub max_fwd_fanout: usize,
+    /// Widest inverse bucket (max associations per range object).
+    pub max_inv_fanout: usize,
+    /// Associations carrying an explicit score (non-fact). Zero means the
+    /// index is pure facts, whose Compose products are exact — the planner
+    /// only reorders chains when this holds for every step.
+    pub scored: usize,
+    /// Largest effective evidence over all associations (facts count as
+    /// 1.0; 0.0 when empty). Floor pushdown beneath a Compose step is only
+    /// sound when every *other* step multiplies by at most 1.0.
+    pub max_effective: f64,
+    /// Smallest effective evidence (1.0 when empty). Together with
+    /// `max_effective`, certifies every score lies in `[0, 1]` — the
+    /// monotonicity precondition of the planner's floor pushdown.
+    pub min_effective: f64,
+}
+
+impl IndexStats {
+    /// Mean forward fanout (associations per distinct domain object).
+    pub fn avg_fwd_fanout(&self) -> f64 {
+        if self.domain_keys == 0 {
+            0.0
+        } else {
+            self.len as f64 / self.domain_keys as f64
+        }
+    }
+
+    /// Mean inverse fanout (associations per distinct range object).
+    pub fn avg_inv_fanout(&self) -> f64 {
+        if self.range_keys == 0 {
+            0.0
+        } else {
+            self.len as f64 / self.range_keys as f64
+        }
+    }
+
+    /// Cheap skew ratio: widest forward bucket over the mean. 1.0 for
+    /// perfectly uniform fanout, large when a hub object dominates.
+    pub fn fwd_skew(&self) -> f64 {
+        let avg = self.avg_fwd_fanout();
+        if avg == 0.0 {
+            1.0
+        } else {
+            self.max_fwd_fanout as f64 / avg
+        }
+    }
+
+    /// Skew ratio of the inverse side.
+    pub fn inv_skew(&self) -> f64 {
+        let avg = self.avg_inv_fanout();
+        if avg == 0.0 {
+            1.0
+        } else {
+            self.max_inv_fanout as f64 / avg
+        }
+    }
+}
+
 /// A canonical mapping in compressed-sparse-row form. Construction always
 /// goes through [`MappingIndex::build`] or [`MappingIndexBuilder`], so an
 /// instance is canonical by invariant: keys strictly ascending, buckets
@@ -54,6 +127,9 @@ pub struct MappingIndex {
     inv_offsets: Vec<u32>,
     inv_from: Vec<ObjectId>,
     inv_pos: Vec<u32>,
+    /// Build-time statistics (see [`IndexStats`]), cached with the index so
+    /// the planner never rescans the arrays.
+    stats: IndexStats,
 }
 
 impl MappingIndex {
@@ -84,6 +160,11 @@ impl MappingIndex {
     /// Number of associations.
     pub fn len(&self) -> usize {
         self.fwd_to.len()
+    }
+
+    /// Build-time cardinality/skew statistics (see [`IndexStats`]).
+    pub fn stats(&self) -> &IndexStats {
+        &self.stats
     }
 
     /// True if the index holds no associations.
@@ -371,6 +452,24 @@ impl MappingIndexBuilder {
             inv_pos.push(pos);
         }
         inv_offsets.push(n as u32);
+        let max_fanout = |offsets: &[u32]| {
+            offsets
+                .windows(2)
+                .map(|w| (w[1] - w[0]) as usize)
+                .max()
+                .unwrap_or(0)
+        };
+        let facts: usize = self.fact_mask.iter().map(|w| w.count_ones() as usize).sum();
+        let stats = IndexStats {
+            len: n,
+            domain_keys: self.fwd_keys.len(),
+            range_keys: inv_keys.len(),
+            max_fwd_fanout: max_fanout(&self.fwd_offsets),
+            max_inv_fanout: max_fanout(&inv_offsets),
+            scored: n - facts,
+            max_effective: self.evidence.iter().fold(0.0, |a: f64, &e| a.max(e)),
+            min_effective: self.evidence.iter().fold(1.0, |a: f64, &e| a.min(e)),
+        };
         MappingIndex {
             from: self.from,
             to: self.to,
@@ -384,6 +483,7 @@ impl MappingIndexBuilder {
             inv_offsets,
             inv_from,
             inv_pos,
+            stats,
         }
     }
 }
@@ -529,6 +629,33 @@ mod tests {
         assert!(idx.range_keys().is_empty());
         assert!(idx.to_mapping().is_empty());
         assert_eq!(idx.restrict_domain(&[ObjectId(1)].into()).len(), 0);
+    }
+
+    #[test]
+    fn stats_summarize_the_association_multiset() {
+        let idx = MappingIndex::build(sample());
+        let s = *idx.stats();
+        assert_eq!(s.len, 5);
+        assert_eq!(s.domain_keys, 3);
+        assert_eq!(s.range_keys, 4);
+        // object 1 and object 4 both map twice; object 10 is hit twice
+        assert_eq!(s.max_fwd_fanout, 2);
+        assert_eq!(s.max_inv_fanout, 2);
+        assert_eq!(s.scored, 3);
+        assert_eq!(s.max_effective, 1.0);
+        assert_eq!(s.min_effective, 0.25);
+        assert!((s.avg_fwd_fanout() - 5.0 / 3.0).abs() < 1e-12);
+        assert!((s.fwd_skew() - 2.0 / (5.0 / 3.0)).abs() < 1e-12);
+        // stats are recomputed by every constructor, so filtered indexes
+        // describe themselves, not their parent
+        let filtered = idx.filter_evidence(0.6);
+        assert_eq!(filtered.stats().len, 3);
+        assert_eq!(filtered.stats().scored, 1);
+        let empty = MappingIndex::empty(SourceId(1), SourceId(2), RelType::Fact);
+        assert_eq!(empty.stats().len, 0);
+        assert_eq!(empty.stats().max_effective, 0.0);
+        assert_eq!(empty.stats().min_effective, 1.0);
+        assert_eq!(empty.stats().fwd_skew(), 1.0);
     }
 
     #[test]

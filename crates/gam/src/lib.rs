@@ -31,7 +31,7 @@ pub mod store;
 
 pub use error::{GamError, GamResult};
 pub use ids::{ObjectId, ObjectRelId, SourceId, SourceRelId};
-pub use index::{MappingIndex, MappingIndexBuilder};
+pub use index::{IndexStats, MappingIndex, MappingIndexBuilder};
 pub use mapping::{Association, Mapping};
 pub use model::{GamObject, RelType, Source, SourceContent, SourceRel, SourceStructure};
 pub use snapshot::{GamRead, GamSnapshot};

@@ -9,6 +9,7 @@
 pub mod cache_coherence;
 pub mod lock_discipline;
 pub mod no_panic;
+pub mod plan_coherence;
 pub mod vfs_bypass;
 pub mod wal_bracket;
 
@@ -45,6 +46,7 @@ pub fn registry() -> Vec<Box<dyn Rule>> {
         Box::new(cache_coherence::CacheCoherence),
         Box::new(lock_discipline::LockDiscipline),
         Box::new(wal_bracket::WalBracket),
+        Box::new(plan_coherence::PlanCoherence),
     ]
 }
 

@@ -1,0 +1,198 @@
+//! R6 `plan-coherence`: public execution entry points route through the
+//! cost-based planner seam.
+//!
+//! The planner (PR 8) is only a perf win — and its `explain` output only
+//! the truth — if every execution entry point actually consults it. The
+//! failure mode this rule pins is silent divergence: someone adds a new
+//! `compose_path_idx_streaming` or rewires `generate_view_idx` around
+//! `crate::plan`, the old naive fold runs instead, and nothing breaks —
+//! queries just quietly stop being planned (and `explain` starts lying
+//! about what executes).
+//!
+//! Entry points are *declared* in `genlint.toml`
+//! (`[[plan-coherence.entry-points]]`, per file) together with the seam
+//! identifiers (`[plan-coherence] seam_calls` — e.g. `plan_chain`,
+//! `resolve_path_idx`, `ViewContext`). The rule fails closed in both
+//! directions:
+//!
+//! * a listed entry point whose body never mentions a seam identifier
+//!   bypasses the planner,
+//! * a listed entry point that no longer exists means the config rotted,
+//! * a new `pub fn` whose name starts with a declared prefix but is not
+//!   listed is an undeclared execution entry point — list it (and route
+//!   it through the planner) before it ships.
+//!
+//! Seam presence is token-level: any identifier in the function body
+//! equal to a configured seam call counts, so `plan::plan_chain(...)`,
+//! a re-export, and a fully qualified path all match. That is deliberately
+//! coarse — the rule pins "the planner is reachable from here", not the
+//! call graph.
+
+use super::{Finding, Rule};
+use crate::config::Config;
+use crate::source::{FnInfo, SourceFile};
+
+pub struct PlanCoherence;
+
+impl Rule for PlanCoherence {
+    fn name(&self) -> &'static str {
+        "plan-coherence"
+    }
+
+    fn description(&self) -> &'static str {
+        "declared execution entry points route through the planner seam; new entry points must be declared"
+    }
+
+    fn check(&self, file: &SourceFile, cfg: &Config, out: &mut Vec<Finding>) {
+        if file.is_test_file() {
+            return;
+        }
+        for set in cfg.plan_entries.iter().filter(|s| s.file == file.rel_path) {
+            for name in &set.functions {
+                let mut found = false;
+                for f in file.functions.iter().filter(|f| &f.name == name) {
+                    if file.is_test(f.off) {
+                        continue;
+                    }
+                    found = true;
+                    if !body_touches_seam(file, f, &cfg.plan_seam_calls) {
+                        out.push(Finding {
+                            rule: self.name(),
+                            path: file.rel_path.clone(),
+                            line: file.line_of(f.off),
+                            message: format!(
+                                "entry point {name}() never touches the planner seam \
+                                 ({}); execution must route through crate::plan so \
+                                 cost-based rewrites and explain stay coherent",
+                                cfg.plan_seam_calls.join(", ")
+                            ),
+                        });
+                    }
+                }
+                if !found {
+                    out.push(Finding {
+                        rule: self.name(),
+                        path: file.rel_path.clone(),
+                        line: 1,
+                        message: format!(
+                            "entry point `{name}` matches no fn in this file — \
+                             genlint.toml [[plan-coherence.entry-points]] is out of date"
+                        ),
+                    });
+                }
+            }
+            for f in &file.functions {
+                if !f.is_pub
+                    || file.is_test(f.off)
+                    || set.functions.iter().any(|n| n == &f.name)
+                {
+                    continue;
+                }
+                if set.prefixes.iter().any(|p| f.name.starts_with(p.as_str())) {
+                    out.push(Finding {
+                        rule: self.name(),
+                        path: file.rel_path.clone(),
+                        line: file.line_of(f.off),
+                        message: format!(
+                            "pub fn {}() looks like a new execution entry point \
+                             (matches a declared prefix) but is not listed in \
+                             [[plan-coherence.entry-points]] — declare it and route \
+                             it through the planner seam",
+                            f.name
+                        ),
+                    });
+                }
+            }
+        }
+    }
+}
+
+/// Whether any identifier token in the fn body equals a seam call.
+fn body_touches_seam(file: &SourceFile, f: &FnInfo, seams: &[String]) -> bool {
+    let Some((start, end)) = f.body else {
+        return false;
+    };
+    let (lo, hi) = file.tokens_in(start, end);
+    file.tokens[lo..hi]
+        .iter()
+        .any(|t| t.is_ident && seams.iter().any(|n| n == &t.text))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::PlanEntrySet;
+
+    fn cfg() -> Config {
+        Config {
+            plan_seam_calls: vec!["plan_chain".into(), "ViewContext".into()],
+            plan_entries: vec![PlanEntrySet {
+                file: "crates/operators/src/a.rs".into(),
+                prefixes: vec!["compose_path_idx".into()],
+                functions: vec!["compose_path_idx".into()],
+            }],
+            ..Config::default()
+        }
+    }
+
+    fn findings(src: &str) -> Vec<Finding> {
+        let file = SourceFile::parse("crates/operators/src/a.rs", src);
+        let mut out = Vec::new();
+        PlanCoherence.check(&file, &cfg(), &mut out);
+        out
+    }
+
+    #[test]
+    fn clean_when_entry_routes_through_the_seam() {
+        assert!(findings(
+            "pub fn compose_path_idx(s: &S) -> R { plan::plan_chain(s, path, None, cfg, None) }"
+        )
+        .is_empty());
+        // fully qualified seam paths match too
+        assert!(findings(
+            "pub fn compose_path_idx(s: &S) -> R { crate::plan::ViewContext::new(q); go(s) }"
+        )
+        .is_empty());
+    }
+
+    #[test]
+    fn flags_entry_that_bypasses_the_planner() {
+        let out = findings("pub fn compose_path_idx(s: &S) -> R { fold_all(s) }");
+        assert_eq!(out.len(), 1, "{out:?}");
+        assert!(out[0].message.contains("never touches the planner seam"));
+    }
+
+    #[test]
+    fn flags_listed_entry_that_disappeared() {
+        let out = findings("pub fn other(s: &S) -> R { plan_chain(s) }");
+        assert_eq!(out.len(), 1, "{out:?}");
+        assert!(out[0].message.contains("out of date"));
+        assert_eq!(out[0].line, 1);
+    }
+
+    #[test]
+    fn flags_undeclared_entry_matching_a_prefix() {
+        let src = "pub fn compose_path_idx(s: &S) -> R { plan_chain(s) }\n\
+                   pub fn compose_path_idx_streaming(s: &S) -> R { plan_chain(s) }\n";
+        let out = findings(src);
+        assert_eq!(out.len(), 1, "{out:?}");
+        assert!(out[0].message.contains("compose_path_idx_streaming"));
+        assert!(out[0].message.contains("not listed"));
+    }
+
+    #[test]
+    fn private_helpers_and_other_files_are_ignored() {
+        // a private fn matching the prefix is not an entry point
+        let src = "pub fn compose_path_idx(s: &S) -> R { plan_chain(s) }\n\
+                   fn compose_path_idx_inner(s: &S) -> R { fold(s) }\n";
+        assert!(findings(src).is_empty());
+        // the same config against a different file is silent
+        let file = SourceFile::parse(
+            "crates/operators/src/b.rs",
+            "pub fn compose_path_idx_streaming(s: &S) -> R { fold(s) }",
+        );
+        let mut out = Vec::new();
+        PlanCoherence.check(&file, &cfg(), &mut out);
+        assert!(out.is_empty(), "{out:?}");
+    }
+}

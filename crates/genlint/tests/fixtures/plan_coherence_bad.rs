@@ -1,0 +1,24 @@
+//! plan-coherence violations, checked as crates/operators/src/fixture_exec.rs:
+//! a listed entry point that bypasses the planner, an undeclared pub fn
+//! matching a declared entry-point prefix, and a listed entry point that
+//! no longer exists (`gone_entry` in the fixture config).
+
+/// Listed entry point, but the body never touches the planner seam — the
+/// naive fold runs and nothing notices.
+pub fn compose_path_idx(store: &Store, path: &[u32]) -> Result<Index, Error> {
+    fold_chain_naive(store, path)
+}
+
+/// New pub fn matching the declared `compose_path_idx` prefix without
+/// being listed: an undeclared execution entry point.
+pub fn compose_path_idx_streaming(store: &Store, path: &[u32]) -> Result<Index, Error> {
+    fold_chain_naive(store, path)
+}
+
+fn fold_chain_naive(store: &Store, path: &[u32]) -> Result<Index, Error> {
+    let mut acc = store.map(path[0], path[1])?;
+    for w in path[1..].windows(2) {
+        acc = acc.join(&store.map(w[0], w[1])?);
+    }
+    Ok(acc)
+}

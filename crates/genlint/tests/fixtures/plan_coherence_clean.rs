@@ -1,0 +1,23 @@
+//! plan-coherence clean counterpart: every declared entry point exists
+//! and routes through the planner seam; private helpers and unrelated
+//! pub fns are free to do anything.
+
+/// Listed entry point routing through the planner seam.
+pub fn compose_path_idx(store: &Store, path: &[u32]) -> Result<Index, Error> {
+    plan_chain(store, path, None)
+}
+
+/// The second listed entry point (the fixture config names it too).
+pub fn gone_entry(store: &Store, path: &[u32]) -> Result<Index, Error> {
+    plan_chain(store, path, Some(0.5))
+}
+
+/// A pub fn outside the declared prefix is not an entry point.
+pub fn stats_of(store: &Store) -> usize {
+    store.len()
+}
+
+/// A private helper matching the prefix is not an entry point either.
+fn compose_path_idx_step(acc: Index, step: Index) -> Index {
+    acc.join(&step)
+}

@@ -18,6 +18,8 @@
 //! materialize subsumed <source>
 //! query <source>[:a1,a2] <and|or> <spec> [<spec> ...]
 //!        spec = [!]Target[=a1,a2][@0.5]  (! negates; @t sets min evidence)
+//! explain query <...>             the cost-based plan for a query, with
+//!                                 estimated vs actual cardinalities
 //! export <tsv|csv|json|md>        export the last query's view
 //! jobs [<n>]                      show/set the parallel worker cap
 //! budget [<n>]                    show/set the per-dump import error budget
@@ -49,6 +51,7 @@ pub enum Command {
     MaterializeComposed { path: Vec<String> },
     MaterializeSubsumed { source: String },
     Query(QuerySpec),
+    Explain(QuerySpec),
     Export { format: ExportFormat },
     Jobs { jobs: Option<usize> },
     Budget { budget: Option<usize> },
@@ -168,6 +171,10 @@ pub fn parse_command(line: &str) -> Result<Option<Command>, CliParseError> {
             }
         },
         "query" => Command::Query(parse_query(&rest)?),
+        "explain" => match rest.as_slice() {
+            ["query", q @ ..] if !q.is_empty() => Command::Explain(parse_query(q)?),
+            _ => return Err(err("usage: explain query <source>[:accs] <and|or> <spec> ...")),
+        },
         "jobs" => match rest.as_slice() {
             [] => Command::Jobs { jobs: None },
             [n] => Command::Jobs {
@@ -319,7 +326,7 @@ impl CliSession {
             Command::Help => {
                 let _ = writeln!(
                     out,
-                    "commands: demo sources stats search prefix info path paths map compose materialize query export jobs budget quit"
+                    "commands: demo sources stats search prefix info path paths map compose materialize query explain export jobs budget quit"
                 );
             }
             Command::Quit => return Ok(CliOutcome::Quit),
@@ -458,6 +465,9 @@ impl CliSession {
                 let _ = writeln!(out, "({} rows)", view.len());
                 self.last_view = Some(view);
             }
+            Command::Explain(spec) => {
+                let _ = write!(out, "{}", self.gm.explain(&spec)?);
+            }
             Command::Jobs { jobs } => {
                 if let Some(n) = jobs {
                     self.gm.set_jobs(n);
@@ -564,6 +574,39 @@ mod tests {
         );
         assert!(parse_command("budget lots").is_err());
         assert!(parse_command("budget 1 2").is_err());
+        // explain wraps the regular query grammar
+        let cmd = parse_command("explain query LocusLink:353 or GO").unwrap().unwrap();
+        let Command::Explain(spec) = cmd else {
+            panic!("not an explain")
+        };
+        assert_eq!(spec.source, "LocusLink");
+        assert_eq!(spec.targets.len(), 1);
+        assert!(parse_command("explain").is_err());
+        assert!(parse_command("explain query").is_err());
+        assert!(parse_command("explain path A B").is_err());
+    }
+
+    #[test]
+    fn explain_renders_a_plan_tree() {
+        let mut session = CliSession::new().unwrap();
+        let (_, _) = session.execute_line("demo 7");
+        let (out, _) = session.execute_line("explain query LocusLink:353 or Hugo GO");
+        assert!(out.contains("generate-view OR"), "plan root: {out}");
+        assert!(out.contains("target"), "target nodes: {out}");
+        assert!(out.contains("actual="), "actual cardinalities: {out}");
+        // the plan must agree with the query itself on the row count
+        let (rows, _) = session.execute_line("query LocusLink:353 or Hugo GO");
+        let n: usize = rows
+            .lines()
+            .find_map(|l| l.strip_prefix('(')?.strip_suffix(" rows)")?.parse().ok())
+            .unwrap();
+        let plan_rows: usize = out
+            .lines()
+            .next()
+            .and_then(|l| l.rsplit("actual=").next())
+            .and_then(|v| v.trim().parse().ok())
+            .unwrap();
+        assert_eq!(plan_rows, n, "plan rows vs query rows: {out}\n{rows}");
     }
 
     #[test]

@@ -125,6 +125,13 @@ impl Snapshot {
         run_query(&self.reader, self, &self.graph, self.exec, spec)
     }
 
+    /// Explain a [`QuerySpec`] against the captured state: the same
+    /// planner and executor as [`Self::query`], instrumented one-shot —
+    /// live and snapshot reads plan identically by construction.
+    pub fn explain(&self, spec: &QuerySpec) -> GamResult<String> {
+        system::run_explain(&self.reader, self, &self.graph, self.exec, spec)
+    }
+
     /// Full information about one object (Figure 6c) at capture time.
     pub fn object_info(&self, source: &str, accession: &str) -> GamResult<ObjectInfo> {
         system::object_info_of(&self.reader, source, accession)

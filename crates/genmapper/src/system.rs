@@ -574,6 +574,14 @@ impl GenMapper {
         run_query(&self.store, self, &graph, self.exec, spec)
     }
 
+    /// Explain a [`QuerySpec`]: the cost-based plan the executor would
+    /// choose, rendered with estimated vs actual cardinalities from a
+    /// one-shot instrumented (uncached) run. `&self`, like [`Self::query`].
+    pub fn explain(&self, spec: &QuerySpec) -> GamResult<String> {
+        let graph = self.graph()?;
+        run_explain(&self.store, self, &graph, self.exec, spec)
+    }
+
     /// Full information about one object (Figure 6c).
     pub fn object_info(&self, source: &str, accession: &str) -> GamResult<ObjectInfo> {
         object_info_of(&self.store, source, accession)
@@ -680,35 +688,11 @@ pub(crate) fn run_query(
     exec: ExecConfig,
     spec: &QuerySpec,
 ) -> GamResult<ResolvedView> {
-    let source = source_id_of(reader, &spec.source)?;
-    let mut vq = ViewQuery::new(source).combine(spec.combine);
-    if spec.accessions.is_empty() {
-        // whole-source query: reuse the cached object-id set instead of
-        // rescanning the object table inside generate_view
-        vq = vq.objects((*cache.cached_source_objects(reader, source)?).clone());
-    } else {
-        vq = vq.objects(resolve_accessions(reader, source, &spec.accessions)?);
-    }
-    let mut header = vec![spec.source.clone()];
-    for t in &spec.targets {
-        let target = source_id_of(reader, &t.source)?;
-        let mut ts = TargetSpec::all(target);
-        if !t.accessions.is_empty() {
-            ts.objects = Some(resolve_accessions(reader, target, &t.accessions)?);
-        }
-        ts.negated = t.negated;
-        ts.min_evidence = t.min_evidence;
-        if let Some(via) = &t.via {
-            let refs: Vec<&str> = via.iter().map(String::as_str).collect();
-            ts.path = Some(path_ids_of(reader, &refs)?);
-        }
-        header.push(t.source.clone());
-        vq = vq.target(ts);
-    }
+    let (vq, header) = build_view_query(reader, cache, spec)?;
     // when several targets resolve concurrently, keep their inner
     // compose joins sequential so the thread count stays ≤ exec.jobs
     let compose_exec = if exec.jobs > 1 && vq.targets.len() > 1 {
-        ExecConfig::sequential()
+        ExecConfig::sequential().with_plan(exec.plan)
     } else {
         exec
     };
@@ -737,6 +721,73 @@ pub(crate) fn run_query(
         rows.push(ResolvedRow { cells });
     }
     Ok(ResolvedView { header, rows })
+}
+
+/// Translate a [`QuerySpec`] (source/target names, accessions, via paths)
+/// into the typed [`ViewQuery`] plus the display header — shared by the
+/// query executor and the explain path so both describe the same plan.
+fn build_view_query(
+    reader: &dyn GamRead,
+    cache: &dyn IndexCache,
+    spec: &QuerySpec,
+) -> GamResult<(ViewQuery, Vec<String>)> {
+    let source = source_id_of(reader, &spec.source)?;
+    let mut vq = ViewQuery::new(source).combine(spec.combine);
+    if spec.accessions.is_empty() {
+        // whole-source query: reuse the cached object-id set instead of
+        // rescanning the object table inside generate_view
+        vq = vq.objects((*cache.cached_source_objects(reader, source)?).clone());
+    } else {
+        vq = vq.objects(resolve_accessions(reader, source, &spec.accessions)?);
+    }
+    let mut header = vec![spec.source.clone()];
+    for t in &spec.targets {
+        let target = source_id_of(reader, &t.source)?;
+        let mut ts = TargetSpec::all(target);
+        if !t.accessions.is_empty() {
+            ts.objects = Some(resolve_accessions(reader, target, &t.accessions)?);
+        }
+        ts.negated = t.negated;
+        ts.min_evidence = t.min_evidence;
+        if let Some(via) = &t.via {
+            let refs: Vec<&str> = via.iter().map(String::as_str).collect();
+            ts.path = Some(path_ids_of(reader, &refs)?);
+        }
+        header.push(t.source.clone());
+        vq = vq.target(ts);
+    }
+    Ok((vq, header))
+}
+
+/// One-shot instrumented explain of a [`QuerySpec`]: build the same
+/// [`ViewQuery`] as [`run_query`], pre-resolve each target's mapping path
+/// from the source graph (so the plan tree shows the full Compose chain
+/// the executor would run), then plan and execute it uncached through
+/// [`operators::plan::explain_view`], returning the rendered plan tree
+/// with estimated vs actual cardinalities.
+pub(crate) fn run_explain(
+    reader: &dyn GamRead,
+    cache: &dyn IndexCache,
+    graph: &SourceGraph,
+    exec: ExecConfig,
+    spec: &QuerySpec,
+) -> GamResult<String> {
+    let (mut vq, _header) = build_view_query(reader, cache, spec)?;
+    for ts in &mut vq.targets {
+        if ts.path.is_none() {
+            // Mirror CachingPathResolver: direct map first (explain_view
+            // probes that before composing), shortest graph path otherwise.
+            if let Some(p) = graph.shortest_path(vq.source, ts.target) {
+                if p.len() >= 2 {
+                    ts.path = Some(p);
+                }
+            }
+        }
+    }
+    let path_resolver = PathResolver::new(graph);
+    let resolver = operators::BuildIndexResolver(&path_resolver);
+    let tree = operators::plan::explain_view(reader, &vq, &resolver, &exec)?;
+    Ok(tree.render())
 }
 
 /// Full information about one object against any reader (Figure 6c).
@@ -978,6 +1029,7 @@ mod tests {
         par_gm.set_exec_config(ExecConfig {
             jobs: 4,
             parallel_threshold: 0,
+            plan: true,
         });
         let specs = [
             QuerySpec::source("LocusLink")

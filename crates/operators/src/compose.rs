@@ -14,6 +14,7 @@
 //! compose into fact associations.
 
 use crate::exec::{partitioned, ExecConfig};
+use crate::plan::cost::{self, JoinStrategy};
 use crate::simple::{map, map_index};
 use gam::mapping::Association;
 use gam::model::RelType;
@@ -21,10 +22,7 @@ use gam::{GamError, GamRead, GamResult, Mapping, MappingIndex, ObjectId, SourceI
 #[cfg(test)]
 use gam::GamStore;
 use std::collections::HashMap;
-
-/// Key-count ratio above which the merge join gallops over the longer key
-/// array instead of stepping linearly (cost heuristic on domain sizes).
-const GALLOP_RATIO: usize = 16;
+use std::sync::Arc;
 
 /// Probe one contiguous chunk of the left mapping against the shared
 /// build-side index. `min_evidence` is applied **during** the probe, so
@@ -281,16 +279,17 @@ fn emit_match(
 /// Sorted merge join over the left index's range keys and the right
 /// index's domain keys — both already sorted and distinct, so the join
 /// needs no hash table at all. When one key array dwarfs the other
-/// ([`GALLOP_RATIO`]), the cursor on the long side gallops.
+/// ([`cost::GALLOP_RATIO`]), the caller flags the long side's cursor to
+/// gallop; the flags only affect speed, never the emitted multiset.
 fn merge_join_idx(
     left: &MappingIndex,
     right: &MappingIndex,
     min_evidence: Option<f64>,
+    gallop_left: bool,
+    gallop_right: bool,
 ) -> Vec<Association> {
     let lk = left.range_keys();
     let rk = right.domain_keys();
-    let gallop_left = lk.len() > rk.len().saturating_mul(GALLOP_RATIO);
-    let gallop_right = rk.len() > lk.len().saturating_mul(GALLOP_RATIO);
     let mut out = Vec::new();
     let (mut i, mut j) = (0usize, 0usize);
     while i < lk.len() && j < rk.len() {
@@ -357,12 +356,13 @@ fn hash_join_idx(
     })
 }
 
-/// The CSR join core: pick merge join (sequential) or the partitioned hash
-/// probe (above the parallel threshold) by [`ExecConfig::effective_jobs`],
-/// then run the canonical dedup. Both strategies emit the same association
-/// multiset, and the dedup is a pure function of that multiset, so the
-/// resulting index is bit-identical either way — and bit-identical to
-/// composing the equivalent `Vec`-based mappings with [`compose`].
+/// The CSR join core: pick a [`JoinStrategy`] — the stats-driven cost
+/// model when `cfg.plan`, the legacy fixed `effective_jobs` heuristic
+/// otherwise — then run the canonical dedup. All strategies emit the same
+/// association multiset, and the dedup is a pure function of that
+/// multiset, so the resulting index is bit-identical whichever is chosen —
+/// and bit-identical to composing the equivalent `Vec`-based mappings with
+/// [`compose`].
 fn compose_idx_inner(
     left: &MappingIndex,
     right: &MappingIndex,
@@ -375,11 +375,23 @@ fn compose_idx_inner(
             left.to, right.from
         )));
     }
-    let jobs = cfg.effective_jobs(left.len());
-    let parts = if jobs > 1 {
-        hash_join_idx(left, right, min_evidence, jobs)
+    let strategy = if cfg.plan {
+        cost::choose_strategy(left.stats(), right.stats(), cfg)
     } else {
-        vec![merge_join_idx(left, right, min_evidence)]
+        let jobs = cfg.effective_jobs(left.len());
+        if jobs > 1 {
+            JoinStrategy::Hash { jobs }
+        } else {
+            let (gl, gr) = cost::gallop_flags(left.range_keys().len(), right.domain_keys().len());
+            JoinStrategy::Gallop { left: gl, right: gr }
+        }
+    };
+    let parts = match strategy {
+        JoinStrategy::Hash { jobs } => hash_join_idx(left, right, min_evidence, jobs),
+        JoinStrategy::Merge => vec![merge_join_idx(left, right, min_evidence, false, false)],
+        JoinStrategy::Gallop { left: gl, right: gr } => {
+            vec![merge_join_idx(left, right, min_evidence, gl, gr)]
+        }
     };
     let merged = Mapping::from_parts(left.from, right.to, RelType::Composed, parts);
     // from_parts leaves the mapping canonical, so build skips the sort
@@ -411,9 +423,46 @@ pub fn compose_idx_with_threshold(
     compose_idx_inner(left, right, Some(min_evidence), cfg)
 }
 
+/// The naive caller-order fold shared by the `plan: false` path and the
+/// planner's step-load-failure fallback. Steps load lazily and the fold
+/// breaks as soon as the accumulator empties, so a chain that empties
+/// before a missing step never observes the missing mapping — the planner
+/// falls back here precisely to reproduce that error-or-empty behaviour.
+pub(crate) fn fold_chain_idx(
+    store: &dyn GamRead,
+    path: &[SourceId],
+    floor: Option<f64>,
+    cfg: &ExecConfig,
+) -> GamResult<MappingIndex> {
+    let mut acc = map_index(store, path[0], path[1])?;
+    if let Some(f) = floor {
+        acc = acc.filter_evidence(f);
+    }
+    for window in path[1..].windows(2) {
+        let step = map_index(store, window[0], window[1])?;
+        acc = match floor {
+            Some(f) => compose_idx_with_threshold(&acc, &step, f, cfg)?,
+            None => compose_idx(&acc, &step, cfg)?,
+        };
+        if acc.is_empty() {
+            break;
+        }
+    }
+    acc.from = path[0];
+    // the callers' len >= 2 guard makes last() infallible; the fallback
+    // keeps the already-correct endpoint rather than panicking
+    acc.to = path.last().copied().unwrap_or(acc.to);
+    if path.len() > 2 {
+        acc.rel_type = RelType::Composed;
+    }
+    Ok(acc)
+}
+
 /// [`compose_path`] over CSR indexes: each step is loaded with
 /// [`map_index`] (the batched `OBJECT_REL` scan when a single stored
-/// mapping backs the step) and joined with [`compose_idx`].
+/// mapping backs the step) and joined with [`compose_idx`]. When
+/// `cfg.plan`, the chain routes through [`crate::plan::plan_chain`] —
+/// bit-identical output, stats-chosen join strategies and rewrites.
 pub fn compose_path_idx(
     store: &dyn GamRead,
     path: &[SourceId],
@@ -424,25 +473,15 @@ pub fn compose_path_idx(
             "compose path needs at least two sources".into(),
         ));
     }
-    let mut acc = map_index(store, path[0], path[1])?;
-    for window in path[1..].windows(2) {
-        let step = map_index(store, window[0], window[1])?;
-        acc = compose_idx(&acc, &step, cfg)?;
-        if acc.is_empty() {
-            break;
-        }
+    if cfg.plan {
+        let idx = crate::plan::plan_chain(store, path, None, cfg, None)?;
+        return Ok(Arc::try_unwrap(idx).unwrap_or_else(|a| (*a).clone()));
     }
-    acc.from = path[0];
-    // the len >= 2 guard above makes last() infallible; the fallback
-    // keeps the already-correct endpoint rather than panicking
-    acc.to = path.last().copied().unwrap_or(acc.to);
-    if path.len() > 2 {
-        acc.rel_type = RelType::Composed;
-    }
-    Ok(acc)
+    fold_chain_idx(store, path, None, cfg)
 }
 
-/// [`compose_path_with_threshold`] over CSR indexes.
+/// [`compose_path_with_threshold`] over CSR indexes; plans like
+/// [`compose_path_idx`], with the floor eligible for pushdown.
 pub fn compose_path_idx_with_threshold(
     store: &dyn GamRead,
     path: &[SourceId],
@@ -457,22 +496,11 @@ pub fn compose_path_idx_with_threshold(
             "compose path needs at least two sources".into(),
         ));
     }
-    let mut acc = map_index(store, path[0], path[1])?.filter_evidence(min_evidence);
-    for window in path[1..].windows(2) {
-        let step = map_index(store, window[0], window[1])?;
-        acc = compose_idx_with_threshold(&acc, &step, min_evidence, cfg)?;
-        if acc.is_empty() {
-            break;
-        }
+    if cfg.plan {
+        let idx = crate::plan::plan_chain(store, path, Some(min_evidence), cfg, None)?;
+        return Ok(Arc::try_unwrap(idx).unwrap_or_else(|a| (*a).clone()));
     }
-    acc.from = path[0];
-    // the len >= 2 guard above makes last() infallible; the fallback
-    // keeps the already-correct endpoint rather than panicking
-    acc.to = path.last().copied().unwrap_or(acc.to);
-    if path.len() > 2 {
-        acc.rel_type = RelType::Composed;
-    }
-    Ok(acc)
+    fold_chain_idx(store, path, Some(min_evidence), cfg)
 }
 
 #[cfg(test)]
@@ -624,6 +652,7 @@ mod tests {
             let cfg = ExecConfig {
                 jobs,
                 parallel_threshold: 0,
+                plan: true,
             };
             let par = compose_par(&left, &right, &cfg).unwrap();
             assert_eq!(par, seq, "jobs={jobs}");
@@ -762,18 +791,31 @@ mod tests {
             let reference_canon = compose(&li.to_mapping(), &ri.to_mapping()).unwrap();
             assert_eq!(bits(&reference_canon), bits(&reference), "shape {k}: input dedup changes nothing");
             for jobs in [1, 2, 3, 8] {
-                let cfg = ExecConfig {
-                    jobs,
-                    parallel_threshold: 0,
-                };
-                let idx = compose_idx(&li, &ri, &cfg).unwrap();
-                assert_eq!(bits(&idx.to_mapping()), bits(&reference), "shape {k} jobs={jobs}");
-                assert_eq!(idx.from, reference.from);
-                assert_eq!(idx.to, reference.to);
-                assert_eq!(idx.rel_type, RelType::Composed);
-                let t = compose_with_threshold(left, right, 0.25).unwrap();
-                let ti = compose_idx_with_threshold(&li, &ri, 0.25, &cfg).unwrap();
-                assert_eq!(bits(&ti.to_mapping()), bits(&t), "threshold shape {k} jobs={jobs}");
+                // both the cost-model strategy choice and the legacy
+                // effective_jobs heuristic must hit the same bits
+                for plan in [true, false] {
+                    let cfg = ExecConfig {
+                        jobs,
+                        parallel_threshold: 0,
+                        plan,
+                    };
+                    let idx = compose_idx(&li, &ri, &cfg).unwrap();
+                    assert_eq!(
+                        bits(&idx.to_mapping()),
+                        bits(&reference),
+                        "shape {k} jobs={jobs} plan={plan}"
+                    );
+                    assert_eq!(idx.from, reference.from);
+                    assert_eq!(idx.to, reference.to);
+                    assert_eq!(idx.rel_type, RelType::Composed);
+                    let t = compose_with_threshold(left, right, 0.25).unwrap();
+                    let ti = compose_idx_with_threshold(&li, &ri, 0.25, &cfg).unwrap();
+                    assert_eq!(
+                        bits(&ti.to_mapping()),
+                        bits(&t),
+                        "threshold shape {k} jobs={jobs} plan={plan}"
+                    );
+                }
             }
         }
     }

@@ -28,11 +28,20 @@ pub struct ExecConfig {
     /// Probe-side size (in associations) below which a join runs
     /// sequentially even when `jobs > 1`.
     pub parallel_threshold: usize,
+    /// Route `compose_path_idx*` / `generate_view_idx` through the
+    /// cost-based planner (`crate::plan`): stats-driven join strategy,
+    /// floor/restrict pushdown, fact-chain reordering, and shared path
+    /// prefixes across a view's targets. Output is bit-identical either
+    /// way (pinned by `tests/plan_prop.rs`); `false` preserves literal
+    /// caller-order execution and is what the planner itself uses as the
+    /// equivalence baseline.
+    pub plan: bool,
 }
 
 /// Default probe-side size under which parallelism is not worth the spawn
-/// cost (a worker must amortize ~tens of microseconds of thread startup).
-pub const DEFAULT_PARALLEL_THRESHOLD: usize = 8_192;
+/// cost. Lives in the planner's constants table (`plan::cost`) next to the
+/// other cutovers; re-exported here for the config that carries it.
+pub const DEFAULT_PARALLEL_THRESHOLD: usize = crate::plan::cost::PARALLEL_THRESHOLD;
 
 impl Default for ExecConfig {
     fn default() -> Self {
@@ -41,16 +50,19 @@ impl Default for ExecConfig {
                 .map(std::num::NonZeroUsize::get)
                 .unwrap_or(1),
             parallel_threshold: DEFAULT_PARALLEL_THRESHOLD,
+            plan: true,
         }
     }
 }
 
 impl ExecConfig {
-    /// Fully sequential execution (the seed behaviour).
+    /// Fully sequential execution. The planner stays on: strategy choice
+    /// and rewrites are orthogonal to the worker count.
     pub fn sequential() -> Self {
         ExecConfig {
             jobs: 1,
             parallel_threshold: DEFAULT_PARALLEL_THRESHOLD,
+            plan: true,
         }
     }
 
@@ -59,7 +71,14 @@ impl ExecConfig {
         ExecConfig {
             jobs,
             parallel_threshold: DEFAULT_PARALLEL_THRESHOLD,
+            plan: true,
         }
+    }
+
+    /// This config with the planner toggled.
+    pub fn with_plan(mut self, plan: bool) -> Self {
+        self.plan = plan;
+        self
     }
 
     /// Worker count actually used for a probe side of `work` items.
@@ -108,6 +127,7 @@ mod tests {
         let cfg = ExecConfig {
             jobs: 8,
             parallel_threshold: 100,
+            plan: true,
         };
         assert_eq!(cfg.effective_jobs(99), 1);
         assert_eq!(cfg.effective_jobs(100), 8);
@@ -117,10 +137,11 @@ mod tests {
         let tiny = ExecConfig {
             jobs: 8,
             parallel_threshold: 0,
+            plan: true,
         };
         assert_eq!(tiny.effective_jobs(3), 3);
         // jobs = 0 behaves like 1
-        assert_eq!(ExecConfig { jobs: 0, parallel_threshold: 0 }.effective_jobs(10), 1);
+        assert_eq!(ExecConfig { jobs: 0, parallel_threshold: 0, plan: true }.effective_jobs(10), 1);
     }
 
     #[test]

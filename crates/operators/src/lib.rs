@@ -30,6 +30,14 @@
 //! `GenerateView` probes become binary searches over the offset arrays.
 //! Every `_idx` operator is pinned bit-identical to its `Vec`-based
 //! counterpart by `tests/csr_prop.rs`.
+//!
+//! The `_idx` entry points route through the cost-based planner
+//! ([`plan`]) by default (`ExecConfig::plan`): per-index build-time
+//! statistics drive join-strategy selection, evidence-floor pushdown,
+//! fact-chain reordering, and shared path prefixes across a view's
+//! targets — with output pinned bit-identical to naive caller-order
+//! execution by `tests/plan_prop.rs`, and [`plan::ExplainNode`] surfacing
+//! the chosen plan for the CLI/serve `explain` verbs.
 
 // Non-test code on the import/query path must propagate errors, never
 // panic: one malformed dump line must not take down a whole import.
@@ -39,6 +47,7 @@
 pub mod compose;
 pub mod exec;
 pub mod materialize;
+pub mod plan;
 pub mod setops;
 pub mod simple;
 pub mod subsume;
@@ -51,6 +60,7 @@ pub use compose::{
     compose_with_threshold_par,
 };
 pub use exec::ExecConfig;
+pub use plan::{explain_view, plan_chain, plan_chain_explain, ExplainNode, ViewContext};
 pub use setops::{difference, intersect, union};
 pub use simple::{
     map, map_index, map_or_compose, map_or_compose_idx, map_or_compose_par, DirectResolver,

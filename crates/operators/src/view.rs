@@ -281,10 +281,10 @@ impl IndexResolver for BuildIndexResolver<'_> {
 /// `i`'s annotation values. A key with an empty bucket is an object
 /// present with NULL (negation semantics) — distinct from an absent key,
 /// which the AND fold drops.
-struct TargetColumn {
-    keys: Vec<ObjectId>,
-    offsets: Vec<u32>,
-    values: Vec<ObjectId>,
+pub(crate) struct TargetColumn {
+    pub(crate) keys: Vec<ObjectId>,
+    pub(crate) offsets: Vec<u32>,
+    pub(crate) values: Vec<ObjectId>,
 }
 
 impl TargetColumn {
@@ -298,7 +298,9 @@ impl TargetColumn {
 /// but restriction and negation run as offset-array probes on the
 /// immutable index — no per-call `HashMap` is built over `Mi`, and the
 /// evidence floor is tested per position during the probe instead of
-/// materializing a filtered copy of the mapping.
+/// materializing a filtered copy of the mapping. When `cfg.plan`, explicit
+/// paths resolve through the planner seam ([`crate::plan::resolve_path_idx`]),
+/// sharing composed prefixes across the view's targets via `ctx`.
 fn resolve_target_idx(
     store: &dyn GamRead,
     query: &ViewQuery,
@@ -306,18 +308,37 @@ fn resolve_target_idx(
     s: &BTreeSet<ObjectId>,
     resolver: &dyn IndexResolver,
     cfg: &ExecConfig,
+    ctx: Option<&crate::plan::ViewContext>,
 ) -> GamResult<TargetColumn> {
     // Determine Mi: S↔Ti, using Map or Compose.
     let mi: Arc<MappingIndex> = match &spec.path {
-        Some(path) => Arc::new(crate::simple::map_or_compose_idx(
-            store,
-            query.source,
-            spec.target,
-            path,
-            cfg,
-        )?),
+        Some(path) => {
+            if cfg.plan {
+                crate::plan::resolve_path_idx(store, query.source, spec.target, path, cfg, ctx)?
+            } else {
+                Arc::new(crate::simple::map_or_compose_idx(
+                    store,
+                    query.source,
+                    spec.target,
+                    path,
+                    cfg,
+                )?)
+            }
+        }
         None => resolver.resolve_index(store, query.source, spec.target)?,
     };
+    project_target_column(&mi, spec, s)
+}
+
+/// The restriction/negation/floor half of [`resolve_target_idx`]: project
+/// an already-resolved `Mi` into its mini-CSR column over the source
+/// objects `s`. Split out so the planner's instrumented explain run can
+/// reuse it verbatim.
+pub(crate) fn project_target_column(
+    mi: &MappingIndex,
+    spec: &TargetSpec,
+    s: &BTreeSet<ObjectId>,
+) -> GamResult<TargetColumn> {
     if let Some(threshold) = spec.min_evidence {
         if !(0.0..=1.0).contains(&threshold) || threshold.is_nan() {
             return Err(gam::GamError::BadEvidence(threshold));
@@ -511,9 +532,15 @@ pub fn generate_view_idx(
         None => store.object_ids_of(query.source)?.into_iter().collect(),
     };
 
+    // Planner context: shared path prefixes across this view's targets.
+    // A memo hit and a miss produce bit-identical indexes, so sharing is
+    // safe even across the concurrently-resolved targets below.
+    let ctx = cfg.plan.then(|| crate::plan::ViewContext::new(query));
+    let ctx = ctx.as_ref();
+
     let target_jobs = if cfg.jobs > 1 { cfg.jobs.min(query.targets.len()) } else { 1 };
     let resolved: Vec<GamResult<TargetColumn>> = if target_jobs > 1 {
-        let inner = ExecConfig::sequential();
+        let inner = ExecConfig::sequential().with_plan(cfg.plan);
         std::thread::scope(|scope| {
             let handles: Vec<_> = query
                 .targets
@@ -521,7 +548,9 @@ pub fn generate_view_idx(
                 .map(|spec| {
                     let s = &s;
                     let inner = &inner;
-                    scope.spawn(move || resolve_target_idx(store, query, spec, s, resolver, inner))
+                    scope.spawn(move || {
+                        resolve_target_idx(store, query, spec, s, resolver, inner, ctx)
+                    })
                 })
                 .collect();
             handles
@@ -533,11 +562,21 @@ pub fn generate_view_idx(
         query
             .targets
             .iter()
-            .map(|spec| resolve_target_idx(store, query, spec, &s, resolver, cfg))
+            .map(|spec| resolve_target_idx(store, query, spec, &s, resolver, cfg, ctx))
             .collect()
     };
 
-    // Fold sequentially, in target order (AND/OR join semantics).
+    fold_columns(&s, resolved, query)
+}
+
+/// The sequential AND/OR join fold over resolved target columns, in target
+/// order. Shared by [`generate_view_idx`] and the planner's instrumented
+/// explain run.
+pub(crate) fn fold_columns(
+    s: &BTreeSet<ObjectId>,
+    resolved: Vec<GamResult<TargetColumn>>,
+    query: &ViewQuery,
+) -> GamResult<AnnotationView> {
     let mut rows: Vec<Vec<Option<ObjectId>>> = s.iter().map(|&o| vec![Some(o)]).collect();
     for column in resolved {
         let column = column?;
@@ -867,6 +906,7 @@ mod tests {
                 let cfg = ExecConfig {
                     jobs,
                     parallel_threshold: 0,
+                    plan: true,
                 };
                 let par = generate_view_par(&f.store, q, &DirectResolver, &cfg).unwrap();
                 assert_eq!(par, seq, "query {i} jobs={jobs}");
@@ -890,6 +930,7 @@ mod tests {
         let cfg = ExecConfig {
             jobs: 4,
             parallel_threshold: 0,
+            plan: true,
         };
         let seq_err = generate_view(&f.store, &q, &DirectResolver).unwrap_err();
         let par_err = generate_view_par(&f.store, &q, &DirectResolver, &cfg).unwrap_err();
@@ -974,6 +1015,7 @@ mod tests {
                 let cfg = ExecConfig {
                     jobs,
                     parallel_threshold: 0,
+                    plan: true,
                 };
                 let par = generate_view_idx(&f.store, q, &resolver, &cfg).unwrap();
                 assert_eq!(par, reference, "query {i} jobs={jobs}");
@@ -998,6 +1040,7 @@ mod tests {
             let cfg = ExecConfig {
                 jobs,
                 parallel_threshold: 0,
+                plan: true,
             };
             let err = generate_view_idx(&f.store, &q, &resolver, &cfg).unwrap_err();
             assert_eq!(err.to_string(), reference.to_string(), "jobs={jobs}");

@@ -85,7 +85,7 @@ proptest! {
         // the same canonical mappings
         let (lc, rc) = (li.to_mapping(), ri.to_mapping());
         for jobs in [1usize, 2, 3, 8] {
-            let cfg = ExecConfig { jobs, parallel_threshold: 0 };
+            let cfg = ExecConfig { jobs, parallel_threshold: 0, plan: true };
             match floor {
                 None => {
                     let reference = compose(&lc, &rc).unwrap();
@@ -239,7 +239,7 @@ proptest! {
         let reference = generate_view(&store, &q, &DirectResolver).unwrap();
         let resolver = BuildIndexResolver(&DirectResolver);
         for jobs in [1usize, 2, 4] {
-            let cfg = ExecConfig { jobs, parallel_threshold: 0 };
+            let cfg = ExecConfig { jobs, parallel_threshold: 0, plan: true };
             let idx_view = generate_view_idx(&store, &q, &resolver, &cfg).unwrap();
             prop_assert_eq!(&idx_view, &reference, "jobs={}", jobs);
         }

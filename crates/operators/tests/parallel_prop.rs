@@ -51,7 +51,7 @@ proptest! {
         let l = mapping(1, 2, &left);
         let r = mapping(2, 3, &right);
         let seq = compose(&l, &r).unwrap();
-        let cfg = ExecConfig { jobs, parallel_threshold: 0 };
+        let cfg = ExecConfig { jobs, parallel_threshold: 0, plan: true };
         let par = compose_par(&l, &r, &cfg).unwrap();
         // bit-identical: same pairs in the same order, evidence compared
         // by bit pattern rather than float tolerance
@@ -80,7 +80,7 @@ proptest! {
         let floor = f64::from(floor_millis) / 1000.0;
         let mut reference = compose(&l, &r).unwrap();
         reference.pairs.retain(|a| a.effective_evidence() >= floor);
-        let cfg = ExecConfig { jobs, parallel_threshold: 0 };
+        let cfg = ExecConfig { jobs, parallel_threshold: 0, plan: true };
         let seq = compose_with_threshold(&l, &r, floor).unwrap();
         let par = compose_with_threshold_par(&l, &r, floor, &cfg).unwrap();
         prop_assert_eq!(&seq, &reference);
@@ -156,7 +156,7 @@ proptest! {
             .combine(if and_mode { Combine::And } else { Combine::Or });
 
         let seq = generate_view(&store, &query, &DirectResolver).unwrap();
-        let cfg = ExecConfig { jobs, parallel_threshold: 0 };
+        let cfg = ExecConfig { jobs, parallel_threshold: 0, plan: true };
         let par = generate_view_par(&store, &query, &DirectResolver, &cfg).unwrap();
         prop_assert_eq!(par, seq);
     }

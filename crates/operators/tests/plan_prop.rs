@@ -1,0 +1,281 @@
+//! Property tests pinning the cost-based planner bit-identical to naive
+//! execution: for every random chain shape, evidence mix, floor, negation
+//! and worker count, `plan: true` must produce exactly the bytes that
+//! `plan: false` produces. The planner is licensed to be *faster*, never
+//! *different* — fact-chain reordering, floor pushdown, join-strategy
+//! choice and shared-prefix memoization are all behind equivalence gates,
+//! and this suite is what keeps those gates honest.
+//!
+//! "Bit-identical" is literal: evidence values are compared via
+//! `f64::to_bits`, so a planner rewrite that reassociates a scored
+//! product (floating-point multiplication is not associative) or turns a
+//! fact (`None`) into `Some(1.0)` fails here.
+
+use gam::model::{RelType, SourceContent, SourceStructure};
+use gam::{GamStore, Mapping, ObjectId, SourceId};
+use operators::{
+    compose_path_idx, compose_path_idx_with_threshold, generate_view_idx, BuildIndexResolver,
+    Combine, DirectResolver, ExecConfig, TargetSpec, ViewQuery,
+};
+use proptest::prelude::*;
+use std::collections::BTreeSet;
+
+fn bits(m: &Mapping) -> Vec<(ObjectId, ObjectId, Option<u64>)> {
+    m.pairs
+        .iter()
+        .map(|a| (a.from, a.to, a.evidence.map(f64::to_bits)))
+        .collect()
+}
+
+fn arb_evidence() -> impl Strategy<Value = Option<f64>> {
+    prop_oneof![
+        2 => Just(None),
+        1 => Just(Some(1.0)),
+        4 => (0u32..=1000).prop_map(|m| Some(f64::from(m) / 1000.0)),
+    ]
+}
+
+/// Edges of one chain hop over 6x6 objects. Empty hops are deliberately
+/// reachable: the naive fold early-breaks on an empty accumulator and the
+/// planner must reproduce the exact empty result it leaves behind.
+fn arb_hop() -> impl Strategy<Value = Vec<(usize, usize, Option<f64>)>> {
+    prop::collection::vec((0usize..6, 0usize..6, arb_evidence()), 0..22)
+}
+
+/// Per-hop edge lists: `hops[h]` holds `(from_obj, to_obj, evidence)`
+/// triples for the mapping between sources `h` and `h + 1`.
+type Hops = Vec<Vec<(usize, usize, Option<f64>)>>;
+
+/// A random chain: length 3..=6 sources, per-hop edge lists, and a
+/// facts-only flag. Stripping all evidence to `None` arms the planner's
+/// fact-chain reordering (it only fires when every step is unscored), so
+/// both the reordered and the in-order execution paths get exercised.
+fn arb_chain() -> impl Strategy<Value = (Hops, bool)> {
+    (3usize..=6)
+        .prop_flat_map(|n| prop::collection::vec(arb_hop(), n - 1))
+        .prop_flat_map(|hops| (Just(hops), any::<bool>()))
+}
+
+/// Materialize a chain store S0 -> S1 -> ... with 6 objects per source.
+fn chain_store(
+    hops: &[Vec<(usize, usize, Option<f64>)>],
+    facts_only: bool,
+) -> (GamStore, Vec<SourceId>) {
+    let mut store = GamStore::in_memory().unwrap();
+    let n = hops.len() + 1;
+    let mut ids = Vec::with_capacity(n);
+    let mut objs = Vec::with_capacity(n);
+    for i in 0..n {
+        let s = store
+            .create_source(
+                &format!("S{i}"),
+                SourceContent::Other,
+                SourceStructure::Flat,
+                None,
+            )
+            .unwrap()
+            .id;
+        ids.push(s);
+        objs.push(
+            (0..6)
+                .map(|j| {
+                    store
+                        .create_object(s, &format!("s{i}o{j}"), None, None)
+                        .unwrap()
+                })
+                .collect::<Vec<_>>(),
+        );
+    }
+    for (h, edges) in hops.iter().enumerate() {
+        let rel = store
+            .create_source_rel(ids[h], ids[h + 1], RelType::Similarity, None)
+            .unwrap();
+        let mut seen = BTreeSet::new();
+        for &(i, j, e) in edges {
+            if seen.insert((i, j)) {
+                let e = if facts_only { None } else { e };
+                store
+                    .add_association(rel, objs[h][i], objs[h + 1][j], e)
+                    .unwrap();
+            }
+        }
+    }
+    (store, ids)
+}
+
+fn xorshift(state: &mut u64) -> u64 {
+    let mut x = *state;
+    x ^= x << 13;
+    x ^= x >> 7;
+    x ^= x << 17;
+    *state = x;
+    x
+}
+
+/// A deterministic, self-contained sweep over the same space the
+/// properties explore — random chains, evidence mixes, floors, negation,
+/// every worker count — so the equivalence gets executed even where the
+/// proptest runner is unavailable, and a regression pins to a fixed seed.
+#[test]
+fn deterministic_sweep_planned_equals_naive() {
+    let mut st = 0x9E37_79B9_7F4A_7C15u64;
+    for round in 0..30u32 {
+        let n = 3 + (xorshift(&mut st) % 4) as usize;
+        let facts_only = xorshift(&mut st).is_multiple_of(2);
+        let hops: Vec<Vec<(usize, usize, Option<f64>)>> = (0..n - 1)
+            .map(|_| {
+                let k = (xorshift(&mut st) % 22) as usize;
+                (0..k)
+                    .map(|_| {
+                        let i = (xorshift(&mut st) % 6) as usize;
+                        let j = (xorshift(&mut st) % 6) as usize;
+                        let e = match xorshift(&mut st) % 7 {
+                            0 | 1 => None,
+                            2 => Some(1.0),
+                            _ => Some((xorshift(&mut st) % 1001) as f64 / 1000.0),
+                        };
+                        (i, j, e)
+                    })
+                    .collect()
+            })
+            .collect();
+        let (store, ids) = chain_store(&hops, facts_only);
+        let floor = if xorshift(&mut st).is_multiple_of(2) {
+            None
+        } else {
+            Some((xorshift(&mut st) % 1001) as f64 / 1000.0)
+        };
+
+        let mut deep = TargetSpec::all(ids[n - 1]).via(ids.clone());
+        if xorshift(&mut st).is_multiple_of(2) {
+            deep = deep.negated();
+        }
+        if let Some(f) = floor {
+            deep = deep.min_evidence(f);
+        }
+        let mut mid = TargetSpec::all(ids[n - 2]).via(ids[..n - 1].to_vec());
+        if xorshift(&mut st).is_multiple_of(2) {
+            mid = mid.negated();
+        }
+        let q = ViewQuery::new(ids[0])
+            .target(deep)
+            .target(mid)
+            .target(TargetSpec::all(ids[1]))
+            .combine(if xorshift(&mut st).is_multiple_of(2) {
+                Combine::And
+            } else {
+                Combine::Or
+            });
+        let resolver = BuildIndexResolver(&DirectResolver);
+
+        for jobs in [1usize, 2, 4, 8] {
+            let planned = ExecConfig { jobs, parallel_threshold: 0, plan: true };
+            let naive = ExecConfig { jobs, parallel_threshold: 0, plan: false };
+            let (p, nv) = match floor {
+                None => (
+                    compose_path_idx(&store, &ids, &planned).unwrap(),
+                    compose_path_idx(&store, &ids, &naive).unwrap(),
+                ),
+                Some(f) => (
+                    compose_path_idx_with_threshold(&store, &ids, f, &planned).unwrap(),
+                    compose_path_idx_with_threshold(&store, &ids, f, &naive).unwrap(),
+                ),
+            };
+            assert_eq!(
+                bits(&p.to_mapping()),
+                bits(&nv.to_mapping()),
+                "round={round} jobs={jobs} floor={floor:?} facts_only={facts_only}"
+            );
+            assert_eq!((p.from, p.to, p.rel_type), (nv.from, nv.to, nv.rel_type));
+
+            let pv = generate_view_idx(&store, &q, &resolver, &planned).unwrap();
+            let nv = generate_view_idx(&store, &q, &resolver, &naive).unwrap();
+            assert_eq!(pv, nv, "view round={round} jobs={jobs}");
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(40))]
+
+    /// Planned chain composition equals the naive left fold bit for bit —
+    /// across chain lengths 3..=6, evidence mixes (scored, fact-only),
+    /// floors, and all worker counts. This pins every chain rewrite the
+    /// planner owns: join-strategy choice, floor pushdown (gated on all
+    /// steps having in-range evidence), and fact-chain reordering.
+    #[test]
+    fn planned_chain_is_bit_identical_to_naive(
+        (hops, facts_only) in arb_chain(),
+        floor in prop_oneof![Just(None), (0u32..=1000).prop_map(|m| Some(f64::from(m) / 1000.0))],
+    ) {
+        let (store, ids) = chain_store(&hops, facts_only);
+        for jobs in [1usize, 2, 4, 8] {
+            let planned = ExecConfig { jobs, parallel_threshold: 0, plan: true };
+            let naive = ExecConfig { jobs, parallel_threshold: 0, plan: false };
+            let (p, n) = match floor {
+                None => (
+                    compose_path_idx(&store, &ids, &planned).unwrap(),
+                    compose_path_idx(&store, &ids, &naive).unwrap(),
+                ),
+                Some(f) => (
+                    compose_path_idx_with_threshold(&store, &ids, f, &planned).unwrap(),
+                    compose_path_idx_with_threshold(&store, &ids, f, &naive).unwrap(),
+                ),
+            };
+            prop_assert_eq!(
+                bits(&p.to_mapping()),
+                bits(&n.to_mapping()),
+                "jobs={} floor={:?} facts_only={}",
+                jobs,
+                floor,
+                facts_only
+            );
+            prop_assert_eq!((p.from, p.to, p.rel_type), (n.from, n.to, n.rel_type));
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Planned GenerateView equals naive GenerateView row for row — with
+    /// via-paths sharing a prefix (arming the planner's shared-prefix
+    /// memo), negation, per-target floors, AND/OR, and all worker counts.
+    #[test]
+    fn planned_view_is_bit_identical_to_naive(
+        (hops, facts_only) in arb_chain(),
+        negate_deep in any::<bool>(),
+        negate_mid in any::<bool>(),
+        and_combine in any::<bool>(),
+        floor in prop_oneof![Just(None), (0u32..=1000).prop_map(|m| Some(f64::from(m) / 1000.0))],
+    ) {
+        let (store, ids) = chain_store(&hops, facts_only);
+        let n = ids.len();
+        // deep target walks the whole chain; mid target shares its prefix
+        let mut deep = TargetSpec::all(ids[n - 1]).via(ids.clone());
+        if negate_deep {
+            deep = deep.negated();
+        }
+        if let Some(f) = floor {
+            deep = deep.min_evidence(f);
+        }
+        let mut mid = TargetSpec::all(ids[n - 2]).via(ids[..n - 1].to_vec());
+        if negate_mid {
+            mid = mid.negated();
+        }
+        let q = ViewQuery::new(ids[0])
+            .target(deep)
+            .target(mid)
+            .target(TargetSpec::all(ids[1]))
+            .combine(if and_combine { Combine::And } else { Combine::Or });
+
+        let resolver = BuildIndexResolver(&DirectResolver);
+        for jobs in [1usize, 2, 4, 8] {
+            let planned = ExecConfig { jobs, parallel_threshold: 0, plan: true };
+            let naive = ExecConfig { jobs, parallel_threshold: 0, plan: false };
+            let pv = generate_view_idx(&store, &q, &resolver, &planned).unwrap();
+            let nv = generate_view_idx(&store, &q, &resolver, &naive).unwrap();
+            prop_assert_eq!(&pv, &nv, "jobs={}", jobs);
+        }
+    }
+}

@@ -52,6 +52,13 @@ pub fn handle_request(
             let view = snap.query(&spec)?;
             Ok((view.to_tsv(), RequestClass::Read))
         }
+        "explain" => {
+            // the cost-based plan for a query, answered from the published
+            // snapshot — the same planner the read path executes
+            let spec = parse_query(rest).map_err(|e| ServeError::bad_request(e.to_string()))?;
+            let snap = shared.snapshot();
+            Ok((snap.explain(&spec)?, RequestClass::Read))
+        }
         "view" => {
             // generate-view with an explicit export format
             let Some((&format, query_words)) = rest.split_first() else {

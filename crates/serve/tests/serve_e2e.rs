@@ -43,6 +43,16 @@ fn endpoints_over_the_wire() {
     assert!(ok);
     assert!(body.contains("APRT"));
 
+    // explain returns the cost-based plan tree for the same query, with
+    // actual cardinalities from a one-shot instrumented snapshot run
+    let (ok, plan) = call(&addr, "explain LocusLink:353 or Hugo GO").unwrap();
+    assert!(ok, "explain: {plan}");
+    assert!(plan.starts_with("generate-view OR"), "plan root: {plan}");
+    assert!(plan.contains("target"), "target nodes: {plan}");
+    assert!(plan.contains("actual="), "actuals: {plan}");
+    let (ok, bad) = call(&addr, "explain").unwrap();
+    assert!(!ok, "explain without a query must fail: {bad}");
+
     let (ok, body) = call(&addr, "path NetAffx GO").unwrap();
     assert!(ok);
     assert!(body.starts_with("NetAffx ->"));
@@ -52,8 +62,9 @@ fn endpoints_over_the_wire() {
     assert!(body.contains("unknown endpoint"));
 
     let (_, _, reads, _, errors) = server.stats().snapshot();
-    assert!(reads >= 4, "reads counted: {reads}");
-    assert_eq!(errors, 1);
+    assert!(reads >= 5, "reads counted: {reads}");
+    // two failed requests above: unknown endpoint + explain without query
+    assert_eq!(errors, 2);
 
     server.shutdown().unwrap();
 }
