@@ -83,6 +83,15 @@ pub struct Config {
     /// Function names in relstore exempt from R5's sync-before-return
     /// check (sync deliberately deferred to the commit path).
     pub sync_exempt: Vec<String>,
+    /// Directory prefix whose non-test code must route sockets through
+    /// the declared wrapper (R7). Empty = rule unconfigured.
+    pub socket_scope: String,
+    /// The one file allowed to touch sockets directly (it *is* the seam).
+    pub socket_wrapper: String,
+    /// Type the wrapper must define; its absence means the config rotted.
+    pub socket_wrapper_type: String,
+    /// Identifiers banned outside the wrapper (raw buffered readers).
+    pub socket_banned: Vec<String>,
     /// The justified baseline (suppressed findings).
     pub allow: Vec<AllowEntry>,
 }
@@ -159,6 +168,7 @@ pub fn parse(text: &str) -> Result<Config, ConfigError> {
         LockDiscipline,
         WalBracket,
         PlanCoherence,
+        SocketDiscipline,
         Mutator,
         ReadEntry,
         PlanEntry,
@@ -200,6 +210,7 @@ pub fn parse(text: &str) -> Result<Config, ConfigError> {
                 "lock-discipline" => Section::LockDiscipline,
                 "wal-bracket" => Section::WalBracket,
                 "plan-coherence" => Section::PlanCoherence,
+                "socket-discipline" => Section::SocketDiscipline,
                 other => return Err(err(lineno, format!("unknown section `{other}`"))),
             };
             continue;
@@ -240,6 +251,18 @@ pub fn parse(text: &str) -> Result<Config, ConfigError> {
                     return Err(err(
                         lineno,
                         format!("unknown key `{key}` in [plan-coherence]"),
+                    ))
+                }
+            },
+            Section::SocketDiscipline => match key {
+                "scope" => cfg.socket_scope = parse_string(lineno, value)?,
+                "wrapper" => cfg.socket_wrapper = parse_string(lineno, value)?,
+                "wrapper_type" => cfg.socket_wrapper_type = parse_string(lineno, value)?,
+                "banned" => cfg.socket_banned = parse_string_array(lineno, value)?,
+                _ => {
+                    return Err(err(
+                        lineno,
+                        format!("unknown key `{key}` in [socket-discipline]"),
                     ))
                 }
             },
@@ -346,6 +369,22 @@ pub fn parse(text: &str) -> Result<Config, ConfigError> {
             ));
         }
     }
+    // socket discipline is all-or-nothing: a partially filled section
+    // (e.g. a scope with no banned tokens) would pass vacuously
+    let socket_keys = [
+        !cfg.socket_scope.is_empty(),
+        !cfg.socket_wrapper.is_empty(),
+        !cfg.socket_wrapper_type.is_empty(),
+        !cfg.socket_banned.is_empty(),
+    ];
+    if socket_keys.iter().any(|&set| set) && !socket_keys.iter().all(|&set| set) {
+        return Err(err(
+            0,
+            "[socket-discipline] must set scope, wrapper, wrapper_type, and banned \
+             together (a partial config would silently check nothing)"
+                .to_owned(),
+        ));
+    }
     if !cfg.plan_entries.is_empty() && cfg.plan_seam_calls.is_empty() {
         return Err(err(
             0,
@@ -389,6 +428,12 @@ file = "crates/operators/src/compose.rs"
 prefixes = ["compose_path_idx"]
 functions = ["compose_path_idx"]
 
+[socket-discipline]
+scope = "crates/serve/src"
+wrapper = "crates/serve/src/conn.rs"
+wrapper_type = "ConnGuard"
+banned = ["BufReader", "lines"]
+
 [[cache-coherence.mutators]]
 file = "crates/gam/src/store.rs"
 impl = "GamStore"
@@ -414,6 +459,20 @@ reason = "bench reports are non-durable"
         assert_eq!(cfg.plan_entries[0].functions, vec!["compose_path_idx"]);
         assert_eq!(cfg.allow.len(), 1);
         assert_eq!(cfg.allow[0].rule, "vfs-bypass");
+        assert_eq!(cfg.socket_scope, "crates/serve/src");
+        assert_eq!(cfg.socket_wrapper_type, "ConnGuard");
+        assert_eq!(cfg.socket_banned, vec!["BufReader", "lines"]);
+    }
+
+    #[test]
+    fn rejects_partial_socket_discipline() {
+        // a scope with no banned tokens would check nothing, silently
+        let text = "[socket-discipline]\nscope = \"crates/serve/src\"\n";
+        assert!(parse(text).is_err(), "partial section must fail");
+        let text = "[socket-discipline]\nscope = \"crates/serve/src\"\n\
+                    wrapper = \"crates/serve/src/conn.rs\"\n\
+                    wrapper_type = \"ConnGuard\"\nbanned = [\"BufReader\"]\n";
+        assert!(parse(text).is_ok(), "complete section parses");
     }
 
     #[test]

@@ -10,6 +10,7 @@ pub mod cache_coherence;
 pub mod lock_discipline;
 pub mod no_panic;
 pub mod plan_coherence;
+pub mod socket_discipline;
 pub mod vfs_bypass;
 pub mod wal_bracket;
 
@@ -47,6 +48,7 @@ pub fn registry() -> Vec<Box<dyn Rule>> {
         Box::new(lock_discipline::LockDiscipline),
         Box::new(wal_bracket::WalBracket),
         Box::new(plan_coherence::PlanCoherence),
+        Box::new(socket_discipline::SocketDiscipline),
     ]
 }
 

@@ -1,0 +1,158 @@
+//! R7 `socket-discipline`: service sockets must flow through the
+//! `ConnGuard` seam.
+//!
+//! The hardening PR routes every accepted connection through one wrapper
+//! (`crates/serve/src/conn.rs::ConnGuard`) that sets deadlines, enables
+//! `TCP_NODELAY`, and caps request-line length. A raw `BufReader` /
+//! `.lines()` loop added anywhere else in the service crate reopens the
+//! slow-loris and unbounded-allocation holes the wrapper closed — the
+//! deadline sweep in `tests/chaos.rs` would claim coverage while that
+//! code path silently escapes it. The rule bans the configured reader
+//! identifiers in non-test code under the service scope, except inside
+//! the declared wrapper file itself; and it fails closed in the other
+//! direction: if the wrapper file no longer defines the declared type,
+//! the config has rotted and is reported instead of silently matching
+//! nothing.
+
+use super::{Finding, Rule};
+use crate::config::Config;
+use crate::source::SourceFile;
+
+pub struct SocketDiscipline;
+
+impl Rule for SocketDiscipline {
+    fn name(&self) -> &'static str {
+        "socket-discipline"
+    }
+
+    fn description(&self) -> &'static str {
+        "service sockets must go through the ConnGuard deadline/size-cap seam, \
+         not raw buffered readers"
+    }
+
+    fn check(&self, file: &SourceFile, cfg: &Config, out: &mut Vec<Finding>) {
+        if cfg.socket_scope.is_empty() {
+            return; // rule not configured for this workspace
+        }
+        if file.rel_path == cfg.socket_wrapper {
+            // the wrapper is the one place raw reads are the point, but
+            // it must still define the declared seam type
+            let defines = file
+                .tokens
+                .iter()
+                .any(|t| t.is_ident && t.text == cfg.socket_wrapper_type);
+            if !defines {
+                out.push(Finding {
+                    rule: self.name(),
+                    path: file.rel_path.clone(),
+                    line: 1,
+                    message: format!(
+                        "declared socket wrapper `{}` no longer defines `{}`; \
+                         the [socket-discipline] config is out of date",
+                        cfg.socket_wrapper, cfg.socket_wrapper_type
+                    ),
+                });
+            }
+            return;
+        }
+        if file.is_test_file() || !file.rel_path.starts_with(&cfg.socket_scope) {
+            return;
+        }
+        let mut lines_seen = Vec::new();
+        for t in &file.tokens {
+            if !t.is_ident || file.is_test(t.off) {
+                continue;
+            }
+            if !cfg.socket_banned.contains(&t.text) {
+                continue;
+            }
+            let line = file.line_of(t.off);
+            if lines_seen.contains(&line) {
+                continue;
+            }
+            lines_seen.push(line);
+            out.push(Finding {
+                rule: self.name(),
+                path: file.rel_path.clone(),
+                line,
+                message: format!(
+                    "`{}` reads a service socket outside the `{}` seam; route the \
+                     connection through {} so deadlines and size caps apply",
+                    t.text, cfg.socket_wrapper_type, cfg.socket_wrapper
+                ),
+            });
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::Config;
+    use crate::source::SourceFile;
+
+    fn cfg() -> Config {
+        Config {
+            socket_scope: "crates/serve/src".to_owned(),
+            socket_wrapper: "crates/serve/src/conn.rs".to_owned(),
+            socket_wrapper_type: "ConnGuard".to_owned(),
+            socket_banned: vec!["BufReader".to_owned(), "lines".to_owned()],
+            ..Config::default()
+        }
+    }
+
+    fn findings(path: &str, src: &str) -> Vec<Finding> {
+        let file = SourceFile::parse(path, src);
+        let mut out = Vec::new();
+        SocketDiscipline.check(&file, &cfg(), &mut out);
+        out
+    }
+
+    #[test]
+    fn flags_raw_reader_in_scope() {
+        let out = findings(
+            "crates/serve/src/server.rs",
+            "fn f(s: TcpStream) { for l in BufReader::new(s).lines() {} }",
+        );
+        assert_eq!(out.len(), 1, "one finding per line: {out:?}");
+        assert!(out[0].message.contains("ConnGuard"), "{out:?}");
+    }
+
+    #[test]
+    fn wrapper_file_tests_and_out_of_scope_files_pass() {
+        let raw = "fn f(s: TcpStream) { let r = BufReader::new(s); }";
+        // the wrapper itself may use raw readers (it defines the seam)
+        assert!(findings(
+            "crates/serve/src/conn.rs",
+            "pub struct ConnGuard { s: TcpStream }\nfn g(s: TcpStream) { BufReader::new(s); }",
+        )
+        .is_empty());
+        assert!(findings("crates/genmapper/src/cli.rs", raw).is_empty(), "out of scope");
+        assert!(findings("crates/serve/tests/e2e.rs", raw).is_empty(), "test file");
+        assert!(findings(
+            "crates/serve/src/server.rs",
+            "#[cfg(test)]\nmod tests { fn f(s: TcpStream) { BufReader::new(s); } }",
+        )
+        .is_empty());
+        // masked strings cannot fake a banned token
+        assert!(findings("crates/serve/src/server.rs", "fn f() { log(\"BufReader\"); }").is_empty());
+    }
+
+    #[test]
+    fn rotted_wrapper_config_is_reported() {
+        let out = findings("crates/serve/src/conn.rs", "pub struct Renamed;");
+        assert_eq!(out.len(), 1);
+        assert!(out[0].message.contains("out of date"), "{out:?}");
+    }
+
+    #[test]
+    fn unconfigured_rule_is_silent() {
+        let file = SourceFile::parse(
+            "crates/serve/src/server.rs",
+            "fn f(s: TcpStream) { BufReader::new(s).lines(); }",
+        );
+        let mut out = Vec::new();
+        SocketDiscipline.check(&file, &Config::default(), &mut out);
+        assert!(out.is_empty());
+    }
+}

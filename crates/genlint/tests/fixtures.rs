@@ -45,6 +45,12 @@ seam_calls = ["plan_chain", "ViewContext"]
 file = "crates/operators/src/fixture_exec.rs"
 prefixes = ["compose_path_idx"]
 functions = ["compose_path_idx", "gone_entry"]
+
+[socket-discipline]
+scope = "crates/serve/src"
+wrapper = "crates/serve/src/fixture_conn.rs"
+wrapper_type = "ConnGuard"
+banned = ["BufReader", "lines"]
 "#,
     )
     .expect("fixture config parses")
@@ -154,6 +160,28 @@ fn plan_coherence_fixture() {
     );
     let clean = check("plan_coherence_clean.rs", "crates/operators/src/fixture_exec.rs");
     assert!(clean.is_empty(), "{clean:?}");
+}
+
+#[test]
+fn socket_discipline_fixture() {
+    // in scope: the use, the construction, and the .lines() loop each flag
+    let bad = check("socket_discipline_bad.rs", "crates/serve/src/fixture_server.rs");
+    assert_eq!(
+        rules_of(&bad),
+        ["socket-discipline", "socket-discipline", "socket-discipline"],
+        "{bad:?}"
+    );
+    assert!(bad.iter().all(|f| f.message.contains("ConnGuard")), "{bad:?}");
+    // at the wrapper path the same file shows the config has rotted:
+    // nothing in it defines the declared seam type
+    let rotted = check("socket_discipline_bad.rs", "crates/serve/src/fixture_conn.rs");
+    assert_eq!(rules_of(&rotted), ["socket-discipline"], "{rotted:?}");
+    assert!(rotted[0].message.contains("out of date"), "{rotted:?}");
+
+    let clean = check("socket_discipline_clean.rs", "crates/serve/src/fixture_server.rs");
+    assert!(clean.is_empty(), "{clean:?}");
+    let wrapper = check("socket_discipline_clean.rs", "crates/serve/src/fixture_conn.rs");
+    assert!(wrapper.is_empty(), "{wrapper:?}");
 }
 
 /// The workspace itself must scan clean against the shipped

@@ -1,0 +1,26 @@
+//! Seeded socket-discipline violations: a raw buffered reader loop over
+//! a service socket, outside the declared ConnGuard seam. When checked
+//! at the wrapper path instead, the missing `ConnGuard` definition
+//! demonstrates the rotted-config finding.
+
+use std::io::{BufRead, BufReader};
+use std::net::TcpStream;
+
+pub fn serve_raw(stream: TcpStream) {
+    // no deadline, no size cap: one slow client pins this worker forever
+    let reader = BufReader::new(stream);
+    for line in reader.lines() {
+        let _ = line;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn raw_reads_are_fine_in_tests() {
+        // test code may drive sockets directly
+        let _ = |s: TcpStream| BufReader::new(s).lines().count();
+    }
+}

@@ -49,7 +49,7 @@ pub mod system;
 
 pub use query::{QuerySpec, TargetQuery};
 pub use resolved::{ObjectInfo, ResolvedRow, ResolvedView};
-pub use shared::{ImportStatus, SharedGenMapper};
+pub use shared::{ImportStatus, SharedGenMapper, WritePermit};
 pub use snapshot::Snapshot;
 pub use system::{GenMapper, PathResolver};
 

@@ -12,7 +12,7 @@
 use crate::{GenMapper, Snapshot};
 use gam::{GamError, GamResult};
 use parking_lot::{Mutex, RwLock};
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
 
 /// What the writer is currently doing, as reported to service clients.
@@ -35,6 +35,36 @@ pub struct SharedGenMapper {
     published: RwLock<Arc<Snapshot>>,
     writing: AtomicBool,
     completed: AtomicU64,
+    /// Writes admitted (via [`try_admit_write`](Self::try_admit_write))
+    /// and not yet finished — the semaphore count behind service-level
+    /// admission control.
+    in_flight: AtomicUsize,
+}
+
+/// An admitted slot in the write budget, returned by
+/// [`SharedGenMapper::try_admit_write`]. The slot is held from admission
+/// until drop, so it covers both the time a write waits on the writer
+/// mutex and the time it executes — callers that shed on `None` bound the
+/// writer queue, not just writer concurrency. Run the writer operation
+/// through [`run`](Self::run).
+#[must_use = "dropping the permit releases the write slot without running anything"]
+pub struct WritePermit<'a> {
+    shared: &'a SharedGenMapper,
+}
+
+impl WritePermit<'_> {
+    /// Run one writer operation under this permit (see
+    /// [`SharedGenMapper::with_writer`] for publication semantics). The
+    /// slot frees when the permit drops, whether `f` succeeds or fails.
+    pub fn run<R>(self, f: impl FnOnce(&mut GenMapper) -> GamResult<R>) -> GamResult<R> {
+        self.shared.with_writer(f)
+    }
+}
+
+impl Drop for WritePermit<'_> {
+    fn drop(&mut self) {
+        self.shared.in_flight.fetch_sub(1, Ordering::SeqCst);
+    }
 }
 
 impl SharedGenMapper {
@@ -46,7 +76,37 @@ impl SharedGenMapper {
             published: RwLock::new(initial),
             writing: AtomicBool::new(false),
             completed: AtomicU64::new(0),
+            in_flight: AtomicUsize::new(0),
         })
+    }
+
+    /// Writes currently admitted and not yet finished (waiting on the
+    /// writer mutex or executing).
+    pub fn in_flight_writes(&self) -> usize {
+        self.in_flight.load(Ordering::SeqCst)
+    }
+
+    /// Try to admit one write under a budget of `max_in_flight` slots.
+    /// Returns `None` — shed, the caller should report a retryable
+    /// busy error — when the budget is already full. Reads are never
+    /// admission-controlled: they answer from the published snapshot and
+    /// cannot queue behind the writer.
+    pub fn try_admit_write(&self, max_in_flight: usize) -> Option<WritePermit<'_>> {
+        let mut current = self.in_flight.load(Ordering::SeqCst);
+        loop {
+            if current >= max_in_flight {
+                return None;
+            }
+            match self.in_flight.compare_exchange(
+                current,
+                current + 1,
+                Ordering::SeqCst,
+                Ordering::SeqCst,
+            ) {
+                Ok(_) => return Some(WritePermit { shared: self }),
+                Err(actual) => current = actual,
+            }
+        }
     }
 
     /// The currently published snapshot. Never blocks on the writer: the
@@ -150,5 +210,44 @@ mod tests {
         let a = sh.snapshot();
         let b = sh.snapshot();
         assert!(Arc::ptr_eq(&a, &b));
+    }
+
+    #[test]
+    fn write_admission_sheds_beyond_the_budget() {
+        let sh = shared();
+        assert_eq!(sh.in_flight_writes(), 0);
+        let first = sh.try_admit_write(2).expect("first slot");
+        let second = sh.try_admit_write(2).expect("second slot");
+        assert_eq!(sh.in_flight_writes(), 2);
+        assert!(sh.try_admit_write(2).is_none(), "budget full: shed");
+        drop(second);
+        assert_eq!(sh.in_flight_writes(), 1);
+        // a freed slot is admittable again
+        let refill = sh.try_admit_write(2).expect("slot freed by drop");
+        drop(refill);
+        // the permit's run() goes through the normal publish path
+        let v0 = sh.snapshot().version();
+        first
+            .run(|gm| gm.materialize_subsumed("GO").map(|_| ()))
+            .unwrap();
+        assert_ne!(sh.snapshot().version(), v0);
+        assert_eq!(sh.in_flight_writes(), 0, "slot freed after run");
+    }
+
+    #[test]
+    fn failed_write_still_frees_its_slot() {
+        let sh = shared();
+        let permit = sh.try_admit_write(1).expect("slot");
+        assert!(permit
+            .run(|gm| gm.materialize_subsumed("NoSuchSource").map(|_| ()))
+            .is_err());
+        assert_eq!(sh.in_flight_writes(), 0);
+        assert!(sh.try_admit_write(1).is_some());
+    }
+
+    #[test]
+    fn zero_budget_sheds_everything() {
+        let sh = shared();
+        assert!(sh.try_admit_write(0).is_none());
     }
 }

@@ -196,6 +196,8 @@ fn run_serve(args: &CliArgs) -> Result<(), String> {
     let config = ServerConfig {
         addr: args.addr.clone().unwrap_or_else(|| "127.0.0.1:7070".to_owned()),
         threads: args.threads.unwrap_or(4),
+        // deadlines, size caps, write budget, drain bound
+        ..ServerConfig::default()
     };
     let server =
         Server::start(shared, &config).map_err(|e| format!("failed to bind {}: {e}", config.addr))?;
@@ -216,11 +218,13 @@ fn run_serve(args: &CliArgs) -> Result<(), String> {
         }
     }
     let (connections, requests, reads, writes, errors) = server.stats().snapshot();
+    let (shed_writes, timeouts, oversized) = server.stats().hardening_snapshot();
     server
         .shutdown()
         .map_err(|e| format!("shutdown failed: {e}"))?;
     println!(
-        "served {requests} requests ({reads} reads, {writes} writes, {errors} errors) over {connections} connections"
+        "served {requests} requests ({reads} reads, {writes} writes, {errors} errors) over {connections} connections; \
+         shed {shed_writes} writes, evicted {timeouts} timeouts, rejected {oversized} oversized"
     );
     Ok(())
 }
@@ -231,17 +235,27 @@ fn run_call(args: &CliArgs) -> Result<bool, String> {
     }
     let addr = args.addr.clone().unwrap_or_else(|| "127.0.0.1:7070".to_owned());
     let request = args.words.join(" ");
-    let (ok, body) =
-        serve::call(&addr, &request).map_err(|e| format!("call to {addr} failed: {e}"))?;
-    if ok {
-        print!("{body}");
-        if !body.ends_with('\n') {
+    // read-class requests retry transient failures (connect errors,
+    // `err busy`) with capped jittered backoff; writes go out once
+    let report = serve::call_retry(
+        &addr,
+        &request,
+        &serve::ClientConfig::default(),
+        &serve::RetryPolicy::default(),
+    )
+    .map_err(|e| format!("call to {addr} failed: {e}"))?;
+    if report.attempts > 1 {
+        eprintln!("({} attempts)", report.attempts);
+    }
+    if report.ok {
+        print!("{}", report.body);
+        if !report.body.ends_with('\n') {
             println!();
         }
     } else {
-        eprintln!("error: {body}");
+        eprintln!("error: {}", report.body);
     }
-    Ok(ok)
+    Ok(report.ok)
 }
 
 fn main() {

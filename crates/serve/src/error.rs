@@ -11,6 +11,19 @@ pub enum ServeErrorKind {
     /// The request was well-formed but names something that does not
     /// exist: an unknown source, object, or mapping path.
     NotFound,
+    /// The request (or its line framing) exceeded a configured size cap.
+    /// The server closes the connection after sending this.
+    TooLarge,
+    /// The write budget is exhausted: the request was shed by admission
+    /// control rather than queued. Retryable — the budget frees as soon
+    /// as an in-flight write completes.
+    Busy,
+    /// A connection deadline expired (slow-loris eviction). The server
+    /// closes the connection after a best-effort notification.
+    Timeout,
+    /// The service is up but not accepting new work (draining before
+    /// shutdown). Reported by the `ready` endpoint.
+    Unavailable,
     /// The engine failed while executing a valid request.
     Internal,
 }
@@ -21,8 +34,19 @@ impl ServeErrorKind {
         match self {
             ServeErrorKind::BadRequest => "bad-request",
             ServeErrorKind::NotFound => "not-found",
+            ServeErrorKind::TooLarge => "too-large",
+            ServeErrorKind::Busy => "busy",
+            ServeErrorKind::Timeout => "timeout",
+            ServeErrorKind::Unavailable => "unavailable",
             ServeErrorKind::Internal => "internal",
         }
+    }
+
+    /// Whether a client may safely retry a request that failed with this
+    /// kind (after backoff). Only transient, state-independent failures
+    /// qualify.
+    pub fn is_retryable(self) -> bool {
+        matches!(self, ServeErrorKind::Busy | ServeErrorKind::Unavailable)
     }
 }
 
@@ -44,6 +68,34 @@ impl ServeError {
     pub fn not_found(message: impl Into<String>) -> Self {
         ServeError {
             kind: ServeErrorKind::NotFound,
+            message: message.into(),
+        }
+    }
+
+    pub fn too_large(message: impl Into<String>) -> Self {
+        ServeError {
+            kind: ServeErrorKind::TooLarge,
+            message: message.into(),
+        }
+    }
+
+    pub fn busy(message: impl Into<String>) -> Self {
+        ServeError {
+            kind: ServeErrorKind::Busy,
+            message: message.into(),
+        }
+    }
+
+    pub fn timeout(message: impl Into<String>) -> Self {
+        ServeError {
+            kind: ServeErrorKind::Timeout,
+            message: message.into(),
+        }
+    }
+
+    pub fn unavailable(message: impl Into<String>) -> Self {
+        ServeError {
+            kind: ServeErrorKind::Unavailable,
             message: message.into(),
         }
     }
@@ -106,6 +158,20 @@ mod tests {
     fn tokens_are_stable() {
         assert_eq!(ServeErrorKind::BadRequest.token(), "bad-request");
         assert_eq!(ServeErrorKind::NotFound.token(), "not-found");
+        assert_eq!(ServeErrorKind::TooLarge.token(), "too-large");
+        assert_eq!(ServeErrorKind::Busy.token(), "busy");
+        assert_eq!(ServeErrorKind::Timeout.token(), "timeout");
+        assert_eq!(ServeErrorKind::Unavailable.token(), "unavailable");
         assert_eq!(ServeErrorKind::Internal.token(), "internal");
+    }
+
+    #[test]
+    fn only_transient_kinds_are_retryable() {
+        assert!(ServeErrorKind::Busy.is_retryable());
+        assert!(ServeErrorKind::Unavailable.is_retryable());
+        assert!(!ServeErrorKind::BadRequest.is_retryable());
+        assert!(!ServeErrorKind::NotFound.is_retryable());
+        assert!(!ServeErrorKind::TooLarge.is_retryable());
+        assert!(!ServeErrorKind::Internal.is_retryable());
     }
 }

@@ -7,6 +7,7 @@
 //! which is the invariant genlint's snapshot-coherence check pins.
 
 use crate::error::ServeError;
+use crate::server::ServerStats;
 use genmapper::cli::parse_query;
 use genmapper::{SharedGenMapper, Snapshot};
 use sources::ecosystem::{Ecosystem, EcosystemParams};
@@ -21,11 +22,62 @@ pub enum RequestClass {
     Write,
 }
 
+/// Per-request service context: the write-admission budget, the service
+/// counters folded into the `stats` body, and the draining flag `ready`
+/// reports on.
+#[derive(Debug, Clone, Copy)]
+pub struct RequestContext<'a> {
+    /// Writes admitted (queued or executing) beyond this budget are shed
+    /// with retryable `err busy`.
+    pub max_in_flight_writes: usize,
+    /// Service counters, when handling inside a running server; `None`
+    /// in bare/unit use omits the `service:` line from `stats`.
+    pub stats: Option<&'a ServerStats>,
+    /// True once graceful drain began — `ready` flips to unavailable
+    /// while reads keep answering.
+    pub draining: bool,
+}
+
+impl Default for RequestContext<'static> {
+    /// Bare context for direct/unit use: unlimited write budget, no
+    /// service counters, not draining.
+    fn default() -> Self {
+        RequestContext {
+            max_in_flight_writes: usize::MAX,
+            stats: None,
+            draining: false,
+        }
+    }
+}
+
+/// Whether a request line names a read-class endpoint. Read-class
+/// requests answer from the published snapshot, are never
+/// admission-controlled, and are safe for clients to retry; anything
+/// else (including unknown verbs) is treated as non-retryable.
+pub fn is_read_request(line: &str) -> bool {
+    matches!(
+        line.split_whitespace().next().unwrap_or(""),
+        "ping"
+            | "stats"
+            | "sources"
+            | "query"
+            | "explain"
+            | "view"
+            | "path"
+            | "paths"
+            | "info"
+            | "import-status"
+            | "health"
+            | "ready"
+    )
+}
+
 /// Handle one request line against the shared system. Returns the
 /// response body and the request class.
 pub fn handle_request(
     shared: &SharedGenMapper,
     line: &str,
+    ctx: &RequestContext<'_>,
 ) -> Result<(String, RequestClass), ServeError> {
     let words: Vec<&str> = line.split_whitespace().collect();
     let Some((&verb, rest)) = words.split_first() else {
@@ -34,9 +86,29 @@ pub fn handle_request(
     match verb {
         // ---------------- read path: published snapshot only ----------
         "ping" => Ok(("pong\n".to_owned(), RequestClass::Read)),
+        // liveness: answers as long as the request loop runs, even while
+        // draining — orchestrators should not kill a draining process
+        "health" => Ok(("ok\n".to_owned(), RequestClass::Read)),
+        // readiness: unavailable once drain began, so load balancers stop
+        // routing new work while in-flight requests finish
+        "ready" => {
+            if ctx.draining {
+                return Err(ServeError::unavailable(
+                    "draining: finishing in-flight requests, not accepting new work",
+                ));
+            }
+            let (v0, v1) = shared.snapshot().version();
+            Ok((
+                format!(
+                    "ready version={v0}.{v1} in_flight_writes={}\n",
+                    shared.in_flight_writes()
+                ),
+                RequestClass::Read,
+            ))
+        }
         "stats" => {
             let snap = shared.snapshot();
-            Ok((render_stats(&snap)?, RequestClass::Read))
+            Ok((render_stats(&snap, ctx)?, RequestClass::Read))
         }
         "sources" => {
             let snap = shared.snapshot();
@@ -142,13 +214,14 @@ pub fn handle_request(
                 RequestClass::Read,
             ))
         }
-        // ---------------- write path: single writer, then publish ------
+        // ---------------- write path: admission, single writer, publish
         "import" => match rest {
             ["demo", seed] => {
                 let seed: u64 = seed
                     .parse()
                     .map_err(|_| ServeError::bad_request("import demo takes a numeric seed"))?;
-                let n = shared.with_writer(|gm| {
+                let permit = admit_write(shared, ctx)?;
+                let n = permit.run(|gm| {
                     let eco = Ecosystem::generate(EcosystemParams::demo(seed));
                     Ok(gm.import_dumps(&eco.dumps)?.len())
                 })?;
@@ -162,14 +235,16 @@ pub fn handle_request(
         },
         "materialize" => match rest {
             ["composed", path @ ..] if path.len() >= 2 => {
-                let (rel, n) = shared.with_writer(|gm| gm.materialize_composed(path))?;
+                let permit = admit_write(shared, ctx)?;
+                let (rel, n) = permit.run(|gm| gm.materialize_composed(path))?;
                 Ok((
                     format!("materialized {rel} with {n} associations\n"),
                     RequestClass::Write,
                 ))
             }
             ["subsumed", source] => {
-                let (rel, n) = shared.with_writer(|gm| gm.materialize_subsumed(source))?;
+                let permit = admit_write(shared, ctx)?;
+                let (rel, n) = permit.run(|gm| gm.materialize_subsumed(source))?;
                 Ok((
                     format!("materialized {rel} with {n} associations\n"),
                     RequestClass::Write,
@@ -185,11 +260,40 @@ pub fn handle_request(
     }
 }
 
-/// The `stats` body: cardinalities, snapshot version, association total.
-fn render_stats(snap: &Arc<Snapshot>) -> Result<String, ServeError> {
+/// Admit one write under the context's budget, or shed with a retryable
+/// `err busy`. Holding the permit bounds the writer *queue* — the slot is
+/// occupied while the write waits on the writer mutex, not just while it
+/// executes.
+fn admit_write<'a>(
+    shared: &'a SharedGenMapper,
+    ctx: &RequestContext<'_>,
+) -> Result<genmapper::WritePermit<'a>, ServeError> {
+    shared.try_admit_write(ctx.max_in_flight_writes).ok_or_else(|| {
+        ServeError::busy(format!(
+            "write budget exhausted ({} in flight, budget {}); retry after backoff",
+            shared.in_flight_writes(),
+            ctx.max_in_flight_writes
+        ))
+    })
+}
+
+/// The `stats` body: cardinalities, snapshot version, association total,
+/// and — inside a running server — the service counters.
+fn render_stats(snap: &Arc<Snapshot>, ctx: &RequestContext<'_>) -> Result<String, ServeError> {
     let cards = snap.cardinalities()?;
     let (v0, v1) = snap.version();
-    Ok(format!("{cards}\nsnapshot version {v0}.{v1}\n"))
+    let mut out = format!("{cards}\nsnapshot version {v0}.{v1}\n");
+    if let Some(stats) = ctx.stats {
+        let (connections, requests, reads, writes, errors) = stats.snapshot();
+        let (shed_writes, timeouts, oversized) = stats.hardening_snapshot();
+        let _ = writeln!(
+            out,
+            "service: connections={connections} requests={requests} reads={reads} \
+             writes={writes} errors={errors} shed_writes={shed_writes} \
+             timeouts={timeouts} oversized={oversized}"
+        );
+    }
+    Ok(out)
 }
 
 #[cfg(test)]
@@ -205,65 +309,147 @@ mod tests {
         SharedGenMapper::new(gm).unwrap()
     }
 
+    fn bare() -> RequestContext<'static> {
+        RequestContext::default()
+    }
+
     #[test]
     fn read_endpoints_answer_from_the_snapshot() {
         let sh = shared();
-        let (body, class) = handle_request(&sh, "ping").unwrap();
+        let ctx = bare();
+        let (body, class) = handle_request(&sh, "ping", &ctx).unwrap();
         assert_eq!(body, "pong\n");
         assert_eq!(class, RequestClass::Read);
 
-        let (body, _) = handle_request(&sh, "stats").unwrap();
+        let (body, _) = handle_request(&sh, "stats", &ctx).unwrap();
         assert!(body.contains("19 sources"), "stats: {body}");
         assert!(body.contains("snapshot version"));
+        assert!(
+            !body.contains("service:"),
+            "no service counters in bare context: {body}"
+        );
 
-        let (body, _) = handle_request(&sh, "sources").unwrap();
+        let (body, _) = handle_request(&sh, "sources", &ctx).unwrap();
         assert!(body.contains("LocusLink"));
 
-        let (body, _) = handle_request(&sh, "query LocusLink:353 or Hugo GO").unwrap();
+        let (body, _) = handle_request(&sh, "query LocusLink:353 or Hugo GO", &ctx).unwrap();
         assert!(body.contains("APRT"), "query: {body}");
 
-        let (body, _) = handle_request(&sh, "view json LocusLink:353 or Hugo").unwrap();
+        let (body, _) = handle_request(&sh, "view json LocusLink:353 or Hugo", &ctx).unwrap();
         assert!(body.contains("\"APRT\""), "view json: {body}");
 
-        let (body, _) = handle_request(&sh, "path NetAffx GO").unwrap();
+        let (body, _) = handle_request(&sh, "path NetAffx GO", &ctx).unwrap();
         assert!(body.starts_with("NetAffx ->"));
 
-        let (body, _) = handle_request(&sh, "paths NetAffx GO 2").unwrap();
+        let (body, _) = handle_request(&sh, "paths NetAffx GO 2", &ctx).unwrap();
         assert!(body.lines().count() >= 1);
 
-        let (body, _) = handle_request(&sh, "info LocusLink 353").unwrap();
+        let (body, _) = handle_request(&sh, "info LocusLink 353", &ctx).unwrap();
         assert!(body.contains("adenine phosphoribosyltransferase"));
 
-        let (body, _) = handle_request(&sh, "import-status").unwrap();
+        let (body, _) = handle_request(&sh, "import-status", &ctx).unwrap();
         assert!(body.starts_with("writing=false completed=0"));
+    }
+
+    #[test]
+    fn health_and_ready_report_liveness_and_drain() {
+        let sh = shared();
+        let (body, class) = handle_request(&sh, "health", &bare()).unwrap();
+        assert_eq!(body, "ok\n");
+        assert_eq!(class, RequestClass::Read);
+
+        let (body, _) = handle_request(&sh, "ready", &bare()).unwrap();
+        assert!(body.starts_with("ready version="), "{body}");
+        assert!(body.contains("in_flight_writes=0"), "{body}");
+
+        let draining = RequestContext {
+            draining: true,
+            ..bare()
+        };
+        let e = handle_request(&sh, "ready", &draining).unwrap_err();
+        assert_eq!(e.kind, ServeErrorKind::Unavailable);
+        // liveness and reads still answer while draining
+        assert!(handle_request(&sh, "health", &draining).is_ok());
+        assert!(handle_request(&sh, "ping", &draining).is_ok());
+    }
+
+    #[test]
+    fn stats_fold_in_service_counters_when_present() {
+        let sh = shared();
+        let stats = ServerStats::default();
+        stats
+            .shed_writes
+            .store(3, std::sync::atomic::Ordering::Relaxed);
+        let ctx = RequestContext {
+            stats: Some(&stats),
+            ..bare()
+        };
+        let (body, _) = handle_request(&sh, "stats", &ctx).unwrap();
+        assert!(body.contains("service: connections=0"), "{body}");
+        assert!(body.contains("shed_writes=3"), "{body}");
     }
 
     #[test]
     fn write_endpoints_go_through_the_writer_and_publish() {
         let sh = shared();
+        let ctx = bare();
         let v0 = sh.snapshot().version();
-        let (body, class) = handle_request(&sh, "materialize subsumed GO").unwrap();
+        let (body, class) = handle_request(&sh, "materialize subsumed GO", &ctx).unwrap();
         assert!(body.starts_with("materialized"));
         assert_eq!(class, RequestClass::Write);
         assert_ne!(sh.snapshot().version(), v0, "write published a new snapshot");
-        let (body, _) = handle_request(&sh, "import-status").unwrap();
+        let (body, _) = handle_request(&sh, "import-status", &ctx).unwrap();
         assert!(body.contains("completed=1"));
+    }
+
+    #[test]
+    fn writes_beyond_the_budget_are_shed_as_busy() {
+        let sh = shared();
+        // saturate the budget from outside, as a stuck write would
+        let slot = sh.try_admit_write(1).unwrap();
+        let ctx = RequestContext {
+            max_in_flight_writes: 1,
+            ..bare()
+        };
+        let e = handle_request(&sh, "materialize subsumed GO", &ctx).unwrap_err();
+        assert_eq!(e.kind, ServeErrorKind::Busy);
+        assert!(e.kind.is_retryable());
+        // reads are never admission-controlled
+        assert!(handle_request(&sh, "query LocusLink:353 or Hugo", &ctx).is_ok());
+        drop(slot);
+        // the freed slot admits the same write
+        assert!(handle_request(&sh, "materialize subsumed GO", &ctx).is_ok());
     }
 
     #[test]
     fn errors_carry_protocol_kinds() {
         let sh = shared();
-        let e = handle_request(&sh, "frobnicate").unwrap_err();
+        let ctx = bare();
+        let e = handle_request(&sh, "frobnicate", &ctx).unwrap_err();
         assert_eq!(e.kind, ServeErrorKind::BadRequest);
-        let e = handle_request(&sh, "path Nowhere GO").unwrap_err();
+        let e = handle_request(&sh, "path Nowhere GO", &ctx).unwrap_err();
         assert_eq!(e.kind, ServeErrorKind::NotFound);
-        let e = handle_request(&sh, "query LocusLink").unwrap_err();
+        let e = handle_request(&sh, "query LocusLink", &ctx).unwrap_err();
         assert_eq!(e.kind, ServeErrorKind::BadRequest);
-        let e = handle_request(&sh, "").unwrap_err();
+        let e = handle_request(&sh, "", &ctx).unwrap_err();
         assert_eq!(e.kind, ServeErrorKind::BadRequest);
         // an isolated snapshot keeps answering while a write fails
-        let e = handle_request(&sh, "materialize subsumed Nowhere").unwrap_err();
+        let e = handle_request(&sh, "materialize subsumed Nowhere", &ctx).unwrap_err();
         assert_eq!(e.kind, ServeErrorKind::NotFound);
-        assert!(handle_request(&sh, "ping").is_ok());
+        assert!(handle_request(&sh, "ping", &ctx).is_ok());
+    }
+
+    #[test]
+    fn read_class_covers_exactly_the_snapshot_endpoints() {
+        for read in [
+            "ping", "stats", "sources", "query LocusLink:353", "explain x",
+            "view md x", "path A B", "paths A B 2", "info A 1", "import-status",
+            "health", "ready",
+        ] {
+            assert!(is_read_request(read), "{read} is read-class");
+        }
+        for other in ["import demo 7", "materialize subsumed GO", "quit", "frobnicate", ""] {
+            assert!(!is_read_request(other), "{other} is not read-class");
+        }
     }
 }

@@ -19,17 +19,43 @@
 //! err <kind> <len>\n<len bytes of message>
 //! ```
 //!
-//! `kind` is one of `bad-request`, `not-found`, `internal`. Connections
-//! are persistent: clients may send any number of requests; `quit` (or
-//! EOF) ends the connection. Query words use the same grammar as the CLI
-//! REPL's `query` command.
+//! `kind` is one of `bad-request`, `not-found`, `too-large`, `busy`,
+//! `timeout`, `unavailable`, `internal` — `busy` and `unavailable` are
+//! retryable after backoff. Connections are persistent: clients may send
+//! any number of requests; `quit` (or EOF) ends the connection. Query
+//! words use the same grammar as the CLI REPL's `query` command.
+//!
+//! # Hardening
+//!
+//! The service treats every client as potentially slow or hostile
+//! (DESIGN.md §15):
+//!
+//! * every accepted socket goes through the [`conn::ConnGuard`] seam —
+//!   read/write deadlines plus a cap on the request line, so a slow-loris
+//!   or unterminated request cannot pin a worker or grow memory;
+//! * writes pass admission control ([`genmapper::SharedGenMapper::try_admit_write`]):
+//!   beyond the configured in-flight budget they are shed with `err busy`
+//!   instead of queueing invisibly behind the writer mutex — reads always
+//!   proceed off the published snapshot;
+//! * `health` / `ready` report liveness vs. drain state, and shed /
+//!   timeout / oversize counters fold into `stats`;
+//! * [`faultnet::FaultNet`] injects deterministic network faults
+//!   (delays, disconnects, torn frames, stalls) for the chaos sweeps in
+//!   `tests/chaos.rs` and `scripts/chaos_harness.rs`.
 
 #![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
 
+pub mod conn;
 pub mod error;
+pub mod faultnet;
 pub mod handler;
 pub mod server;
 
+pub use conn::{
+    call, call_retry, call_with, read_response, read_response_with, CallReport, ClientConfig,
+    Response, RetryPolicy,
+};
 pub use error::{ServeError, ServeErrorKind};
-pub use handler::handle_request;
-pub use server::{call, Server, ServerConfig, ServerStats};
+pub use faultnet::{FaultNet, NetFaultPlan};
+pub use handler::{handle_request, is_read_request, RequestContext};
+pub use server::{Server, ServerConfig, ServerStats};

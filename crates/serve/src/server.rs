@@ -1,16 +1,28 @@
 //! The threaded request loop: N acceptor/worker threads over one
-//! listening socket, graceful shutdown, and a tiny client helper.
+//! listening socket, deadline-guarded connections, admission-controlled
+//! writes, and drain-bounded graceful shutdown.
+//!
+//! Every accepted socket is wrapped in a [`ConnGuard`](crate::conn::ConnGuard)
+//! before a byte is read — the deadline / size-cap seam genlint's
+//! `socket-discipline` rule pins. The client helpers (`call`,
+//! `read_response`) live in [`crate::conn`] and are re-exported here for
+//! compatibility.
 
-use crate::error::ServeError;
-use crate::handler::{handle_request, RequestClass};
+use crate::conn::{ConnGuard, RequestRead};
+use crate::error::{ServeError, ServeErrorKind};
+use crate::handler::{handle_request, RequestClass, RequestContext};
 use genmapper::SharedGenMapper;
-use std::io::{self, BufRead, BufReader, Write};
+use std::io;
 use std::net::{TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
 
-/// Server configuration.
+pub use crate::conn::{call, read_response};
+
+/// Server configuration: bind/threading plus the hardening knobs
+/// (deadlines, size caps, write budget, drain bound).
 #[derive(Debug, Clone)]
 pub struct ServerConfig {
     /// Bind address, e.g. `127.0.0.1:7070`. Port `0` picks a free port
@@ -18,6 +30,26 @@ pub struct ServerConfig {
     pub addr: String,
     /// Worker threads accepting and serving connections.
     pub threads: usize,
+    /// Per-connection read deadline: a connection idle (or dribbling an
+    /// unfinished request) longer than this is evicted. Zero disables.
+    pub read_timeout: Duration,
+    /// Per-connection write deadline for one response frame. Zero
+    /// disables.
+    pub write_timeout: Duration,
+    /// Cap on one request line; an over-budget line gets `err too-large`
+    /// and the connection is closed.
+    pub max_request_bytes: usize,
+    /// Advisory cap for clients reading responses from this server
+    /// (mirrored into harness/client configs; the server itself never
+    /// frames a body it did not produce).
+    pub max_response_bytes: usize,
+    /// Write-admission budget: writes admitted (queued or executing)
+    /// beyond this are shed with retryable `err busy`. Reads are never
+    /// admission-controlled.
+    pub max_in_flight_writes: usize,
+    /// How long [`Server::shutdown`] waits for workers to finish their
+    /// in-flight connections before detaching them.
+    pub drain_timeout: Duration,
 }
 
 impl Default for ServerConfig {
@@ -25,6 +57,12 @@ impl Default for ServerConfig {
         ServerConfig {
             addr: "127.0.0.1:7070".to_owned(),
             threads: 4,
+            read_timeout: Duration::from_secs(30),
+            write_timeout: Duration::from_secs(10),
+            max_request_bytes: 64 * 1024,
+            max_response_bytes: 16 << 20,
+            max_in_flight_writes: 2,
+            drain_timeout: Duration::from_secs(5),
         }
     }
 }
@@ -38,10 +76,16 @@ pub struct ServerStats {
     pub reads: AtomicU64,
     pub writes: AtomicU64,
     pub errors: AtomicU64,
+    /// Writes shed by admission control (`err busy`).
+    pub shed_writes: AtomicU64,
+    /// Connections evicted at the read deadline.
+    pub timeouts: AtomicU64,
+    /// Connections closed for an over-budget request line.
+    pub oversized: AtomicU64,
 }
 
 impl ServerStats {
-    /// A plain-data copy of the counters.
+    /// A plain-data copy of the request counters.
     pub fn snapshot(&self) -> (u64, u64, u64, u64, u64) {
         (
             self.connections.load(Ordering::Relaxed),
@@ -49,6 +93,16 @@ impl ServerStats {
             self.reads.load(Ordering::Relaxed),
             self.writes.load(Ordering::Relaxed),
             self.errors.load(Ordering::Relaxed),
+        )
+    }
+
+    /// A plain-data copy of the hardening counters:
+    /// `(shed_writes, timeouts, oversized)`.
+    pub fn hardening_snapshot(&self) -> (u64, u64, u64) {
+        (
+            self.shed_writes.load(Ordering::Relaxed),
+            self.timeouts.load(Ordering::Relaxed),
+            self.oversized.load(Ordering::Relaxed),
         )
     }
 }
@@ -59,6 +113,7 @@ pub struct Server {
     local_addr: std::net::SocketAddr,
     stop: Arc<AtomicBool>,
     stats: Arc<ServerStats>,
+    drain_timeout: Duration,
     workers: Vec<JoinHandle<()>>,
 }
 
@@ -76,10 +131,11 @@ impl Server {
             let shared = shared.clone();
             let stop = stop.clone();
             let stats = stats.clone();
+            let config = config.clone();
             workers.push(
                 std::thread::Builder::new()
                     .name(format!("serve-worker-{i}"))
-                    .spawn(move || worker_loop(&listener, &shared, &stop, &stats))?,
+                    .spawn(move || worker_loop(&listener, &shared, &stop, &stats, &config))?,
             );
         }
         Ok(Server {
@@ -87,6 +143,7 @@ impl Server {
             local_addr,
             stop,
             stats,
+            drain_timeout: config.drain_timeout,
             workers,
         })
     }
@@ -106,9 +163,11 @@ impl Server {
         &self.stats
     }
 
-    /// Graceful shutdown: stop accepting, unblock every worker, join all.
-    /// In-flight requests complete; idle persistent connections are closed
-    /// after their current read.
+    /// Graceful shutdown: stop accepting, unblock every worker, then wait
+    /// up to `drain_timeout` for in-flight connections to finish. Workers
+    /// that drain in time are joined; if the deadline passes, the
+    /// stragglers are detached (their connections die at the read
+    /// deadline) and `TimedOut` is returned.
     pub fn shutdown(mut self) -> io::Result<()> {
         self.stop.store(true, Ordering::SeqCst);
         // each worker sits in accept(); one self-connection apiece wakes
@@ -116,12 +175,30 @@ impl Server {
         for _ in 0..self.workers.len() {
             let _ = TcpStream::connect(self.local_addr);
         }
-        for worker in self.workers.drain(..) {
-            worker
-                .join()
-                .map_err(|_| io::Error::other("serve worker panicked"))?;
+        let deadline = Instant::now() + self.drain_timeout;
+        loop {
+            if self.workers.iter().all(|w| w.is_finished()) {
+                for worker in self.workers.drain(..) {
+                    worker
+                        .join()
+                        .map_err(|_| io::Error::other("serve worker panicked"))?;
+                }
+                return Ok(());
+            }
+            if Instant::now() >= deadline {
+                let stuck = self.workers.len();
+                self.workers.clear();
+                return Err(io::Error::new(
+                    io::ErrorKind::TimedOut,
+                    format!(
+                        "drain incomplete after {:?}: detached {stuck} worker(s) \
+                         still serving connections",
+                        self.drain_timeout
+                    ),
+                ));
+            }
+            std::thread::sleep(Duration::from_millis(2));
         }
-        Ok(())
     }
 }
 
@@ -133,6 +210,7 @@ fn worker_loop(
     shared: &SharedGenMapper,
     stop: &AtomicBool,
     stats: &ServerStats,
+    config: &ServerConfig,
 ) {
     loop {
         let stream = match listener.accept() {
@@ -149,123 +227,76 @@ fn worker_loop(
         }
         stats.connections.fetch_add(1, Ordering::Relaxed);
         // a broken connection only ends that connection
-        let _ = serve_connection(stream, shared, stop, stats);
+        let _ = serve_connection(stream, shared, stop, stats, config);
     }
 }
 
-/// Serve one persistent connection: request lines in, framed responses out.
+/// Serve one persistent connection: request lines in, framed responses
+/// out, every byte through the [`ConnGuard`] seam. Deadline expiry and
+/// over-budget requests close the connection after a best-effort error
+/// frame.
 fn serve_connection(
     stream: TcpStream,
     shared: &SharedGenMapper,
     stop: &AtomicBool,
     stats: &ServerStats,
+    config: &ServerConfig,
 ) -> io::Result<()> {
-    // Small request/response frames ping-pong on this socket; without
-    // nodelay the Nagle + delayed-ACK interaction costs ~40ms per turn.
-    let _ = stream.set_nodelay(true);
-    let mut writer = stream.try_clone()?;
-    let reader = BufReader::new(stream);
-    for line in reader.lines() {
-        let line = line?;
-        let trimmed = line.trim();
-        if trimmed.is_empty() {
-            continue;
-        }
-        if trimmed == "quit" {
-            break;
-        }
-        stats.requests.fetch_add(1, Ordering::Relaxed);
-        match handle_request(shared, trimmed) {
-            Ok((body, class)) => {
-                match class {
-                    RequestClass::Read => stats.reads.fetch_add(1, Ordering::Relaxed),
-                    RequestClass::Write => stats.writes.fetch_add(1, Ordering::Relaxed),
+    let mut conn = ConnGuard::new(stream, config)?;
+    loop {
+        match conn.read_request()? {
+            RequestRead::Eof => break,
+            RequestRead::TimedOut => {
+                stats.timeouts.fetch_add(1, Ordering::Relaxed);
+                let _ = conn.write_err(&ServeError::timeout(format!(
+                    "no complete request within {:?}; closing connection",
+                    config.read_timeout
+                )));
+                break;
+            }
+            RequestRead::TooLarge => {
+                stats.oversized.fetch_add(1, Ordering::Relaxed);
+                let _ = conn.write_err(&ServeError::too_large(format!(
+                    "request line exceeds {} bytes; closing connection",
+                    config.max_request_bytes
+                )));
+                break;
+            }
+            RequestRead::Line(line) => {
+                let trimmed = line.trim();
+                if trimmed.is_empty() {
+                    continue;
+                }
+                if trimmed == "quit" {
+                    break;
+                }
+                stats.requests.fetch_add(1, Ordering::Relaxed);
+                let ctx = RequestContext {
+                    max_in_flight_writes: config.max_in_flight_writes,
+                    stats: Some(stats),
+                    draining: stop.load(Ordering::SeqCst),
                 };
-                write!(writer, "ok {}\n{}", body.len(), body)?;
+                match handle_request(shared, trimmed, &ctx) {
+                    Ok((body, class)) => {
+                        match class {
+                            RequestClass::Read => stats.reads.fetch_add(1, Ordering::Relaxed),
+                            RequestClass::Write => stats.writes.fetch_add(1, Ordering::Relaxed),
+                        };
+                        conn.write_ok(&body)?;
+                    }
+                    Err(e) => {
+                        stats.errors.fetch_add(1, Ordering::Relaxed);
+                        if e.kind == ServeErrorKind::Busy {
+                            stats.shed_writes.fetch_add(1, Ordering::Relaxed);
+                        }
+                        conn.write_err(&e)?;
+                    }
+                }
+                if stop.load(Ordering::SeqCst) {
+                    break;
+                }
             }
-            Err(e) => {
-                stats.errors.fetch_add(1, Ordering::Relaxed);
-                write_error(&mut writer, &e)?;
-            }
-        }
-        writer.flush()?;
-        if stop.load(Ordering::SeqCst) {
-            break;
         }
     }
     Ok(())
-}
-
-/// Frame one error response.
-fn write_error(writer: &mut impl Write, e: &ServeError) -> io::Result<()> {
-    write!(
-        writer,
-        "err {} {}\n{}",
-        e.kind.token(),
-        e.message.len(),
-        e.message
-    )
-}
-
-/// Send one request to a running server and return `(ok, body)` — the
-/// client side of the protocol, used by `genmapper-cli call` and the load
-/// harness.
-pub fn call(addr: &str, request: &str) -> io::Result<(bool, String)> {
-    let mut stream = TcpStream::connect(addr)?;
-    let _ = stream.set_nodelay(true);
-    writeln!(stream, "{}", request.trim())?;
-    stream.flush()?;
-    let mut reader = BufReader::new(stream);
-    read_response(&mut reader)
-}
-
-/// Read one framed response from `reader`. Exposed so clients holding a
-/// persistent connection can reuse it.
-pub fn read_response(reader: &mut impl BufRead) -> io::Result<(bool, String)> {
-    let mut header = String::new();
-    if reader.read_line(&mut header)? == 0 {
-        return Err(io::Error::new(
-            io::ErrorKind::UnexpectedEof,
-            "connection closed before response header",
-        ));
-    }
-    let header = header.trim_end();
-    let (ok, len) = parse_response_header(header)
-        .ok_or_else(|| io::Error::new(io::ErrorKind::InvalidData, format!("bad header {header:?}")))?;
-    let mut body = vec![0u8; len];
-    reader.read_exact(&mut body)?;
-    let body = String::from_utf8(body)
-        .map_err(|_| io::Error::new(io::ErrorKind::InvalidData, "non-UTF-8 response body"))?;
-    Ok((ok, body))
-}
-
-/// `ok <len>` / `err <kind> <len>` → `(ok, len)`.
-fn parse_response_header(header: &str) -> Option<(bool, usize)> {
-    let mut words = header.split_whitespace();
-    match words.next()? {
-        "ok" => {
-            let len = words.next()?.parse().ok()?;
-            Some((true, len))
-        }
-        "err" => {
-            let _kind = words.next()?;
-            let len = words.next()?.parse().ok()?;
-            Some((false, len))
-        }
-        _ => None,
-    }
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-
-    #[test]
-    fn response_header_parses() {
-        assert_eq!(parse_response_header("ok 12"), Some((true, 12)));
-        assert_eq!(parse_response_header("err not-found 3"), Some((false, 3)));
-        assert_eq!(parse_response_header("nope"), None);
-        assert_eq!(parse_response_header("ok lots"), None);
-        assert_eq!(parse_response_header(""), None);
-    }
 }

@@ -106,6 +106,7 @@ fn call_mode_round_trips_against_a_server() {
             &serve::ServerConfig {
                 addr: "127.0.0.1:0".to_owned(),
                 threads: 2,
+                ..serve::ServerConfig::default()
             },
         )
         .unwrap()

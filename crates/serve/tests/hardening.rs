@@ -1,0 +1,212 @@
+//! Hardening end-to-end tests: slow-loris eviction at the read deadline,
+//! oversized-request rejection, write shedding under a saturated writer,
+//! and drain-bounded graceful shutdown — all over real TCP.
+
+use genmapper::{GenMapper, SharedGenMapper};
+use serve::{call, call_retry, ClientConfig, RetryPolicy, Server, ServerConfig};
+use sources::ecosystem::{Ecosystem, EcosystemParams};
+use std::io::{BufReader, Read, Write};
+use std::net::TcpStream;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+fn demo_shared() -> Arc<SharedGenMapper> {
+    let eco = Ecosystem::generate(EcosystemParams::demo(7));
+    let mut gm = GenMapper::in_memory().unwrap();
+    gm.import_dumps(&eco.dumps).unwrap();
+    Arc::new(SharedGenMapper::new(gm).unwrap())
+}
+
+fn start(config: ServerConfig) -> Server {
+    Server::start(demo_shared(), &config).unwrap()
+}
+
+fn base_config() -> ServerConfig {
+    ServerConfig {
+        addr: "127.0.0.1:0".to_owned(),
+        threads: 2,
+        ..ServerConfig::default()
+    }
+}
+
+#[test]
+fn slow_loris_is_evicted_at_the_read_deadline() {
+    let server = start(ServerConfig {
+        read_timeout: Duration::from_millis(100),
+        ..base_config()
+    });
+    let addr = server.local_addr();
+
+    // dribble half a request and then go silent
+    let mut conn = TcpStream::connect(addr).unwrap();
+    conn.write_all(b"query Locus").unwrap();
+    conn.set_read_timeout(Some(Duration::from_secs(3))).unwrap();
+    let started = Instant::now();
+    let mut tail = String::new();
+    // the server answers err timeout (best effort) and closes — either
+    // way the connection must end promptly, not hold the worker forever
+    let _ = conn.read_to_string(&mut tail);
+    assert!(
+        started.elapsed() < Duration::from_secs(2),
+        "eviction took {:?}",
+        started.elapsed()
+    );
+    if !tail.is_empty() {
+        assert!(tail.starts_with("err timeout"), "frame: {tail:?}");
+    }
+    let (_, timeouts, _) = (
+        server.stats().hardening_snapshot().0,
+        server.stats().hardening_snapshot().1,
+        (),
+    );
+    assert_eq!(timeouts, 1, "timeout counted");
+
+    // the worker is free again: a fresh connection answers immediately
+    let (ok, body) = call(&addr.to_string(), "ping").unwrap();
+    assert!(ok);
+    assert_eq!(body, "pong\n");
+    server.shutdown().unwrap();
+}
+
+#[test]
+fn oversized_request_is_rejected_and_the_connection_closed() {
+    let server = start(ServerConfig {
+        max_request_bytes: 256,
+        ..base_config()
+    });
+    let addr = server.local_addr();
+
+    let mut conn = TcpStream::connect(addr).unwrap();
+    // 4 KiB without a newline: over budget long before a line completes
+    conn.write_all(&[b'q'; 4096]).unwrap();
+    conn.set_read_timeout(Some(Duration::from_secs(3))).unwrap();
+    let mut resp = String::new();
+    let _ = conn.read_to_string(&mut resp);
+    assert!(resp.starts_with("err too-large"), "frame: {resp:?}");
+    // read_to_string returning means the server closed the connection
+    let (_, _, oversized) = server.stats().hardening_snapshot();
+    assert_eq!(oversized, 1);
+
+    // a well-behaved request under the cap still works
+    let (ok, _) = call(&addr.to_string(), "stats").unwrap();
+    assert!(ok);
+    server.shutdown().unwrap();
+}
+
+#[test]
+fn writes_are_shed_while_the_budget_is_saturated_and_readers_progress() {
+    let server = start(ServerConfig {
+        max_in_flight_writes: 1,
+        ..base_config()
+    });
+    let addr = server.local_addr().to_string();
+
+    // saturate the single write slot, as a long-running import would
+    let slot = server.shared().try_admit_write(1).unwrap();
+
+    // service writes now shed deterministically with retryable busy
+    let resp = serve::call_with(&addr, "materialize subsumed GO", &ClientConfig::default()).unwrap();
+    assert!(!resp.ok);
+    assert_eq!(resp.kind.as_deref(), Some("busy"), "{resp:?}");
+    assert!(resp.body.contains("budget"), "{resp:?}");
+
+    // readers keep answering off the snapshot the whole time
+    for request in ["ping", "stats", "query LocusLink:353 or Hugo GO", "ready"] {
+        let (ok, body) = call(&addr, request).unwrap();
+        assert!(ok, "{request}: {body}");
+    }
+
+    let (shed, _, _) = server.stats().hardening_snapshot();
+    assert_eq!(shed, 1, "shed counted");
+    let (body, _) = {
+        let (ok, body) = call(&addr, "stats").unwrap();
+        assert!(ok);
+        (body, ())
+    };
+    assert!(body.contains("shed_writes=1"), "stats fold: {body}");
+
+    // freeing the slot lets the same write through
+    drop(slot);
+    let (ok, body) = call(&addr, "materialize subsumed GO").unwrap();
+    assert!(ok, "{body}");
+    server.shutdown().unwrap();
+}
+
+#[test]
+fn shed_writes_succeed_on_retry_once_the_budget_frees() {
+    let server = start(ServerConfig {
+        max_in_flight_writes: 1,
+        ..base_config()
+    });
+    let addr = server.local_addr().to_string();
+    let slot = server.shared().try_admit_write(1).unwrap();
+
+    // writes are never auto-retried — one attempt, shed
+    let report = call_retry(
+        &addr,
+        "materialize subsumed GO",
+        &ClientConfig::default(),
+        &RetryPolicy::default(),
+    )
+    .unwrap();
+    assert!(!report.ok);
+    assert_eq!(report.attempts, 1, "writes go out exactly once");
+
+    // a reader retried while the server restarts-or-sheds is fine; here
+    // just pin the attempts surface on the happy path
+    let report = call_retry(&addr, "ping", &ClientConfig::default(), &RetryPolicy::default()).unwrap();
+    assert!(report.ok);
+    assert_eq!(report.attempts, 1);
+
+    drop(slot);
+    server.shutdown().unwrap();
+}
+
+#[test]
+fn graceful_drain_completes_in_flight_requests() {
+    let server = start(ServerConfig {
+        drain_timeout: Duration::from_secs(10),
+        ..base_config()
+    });
+    let addr = server.local_addr().to_string();
+
+    // a write in flight when shutdown lands must complete and get its
+    // response before the connection closes
+    let writer = {
+        let addr = addr.clone();
+        std::thread::spawn(move || call(&addr, "import demo 7"))
+    };
+    // give the request time to be read off the socket
+    std::thread::sleep(Duration::from_millis(30));
+    server.shutdown().unwrap();
+    let (ok, body) = writer.join().unwrap().unwrap();
+    assert!(ok, "in-flight write finished across shutdown: {body}");
+    assert!(body.contains("19 sources"), "{body}");
+}
+
+#[test]
+fn drain_times_out_when_a_connection_wont_finish() {
+    let server = start(ServerConfig {
+        // the connection's read deadline is far beyond the drain bound
+        read_timeout: Duration::from_secs(30),
+        drain_timeout: Duration::from_millis(150),
+        ..base_config()
+    });
+    let addr = server.local_addr();
+
+    // an idle persistent connection pins its worker in read()
+    let mut idle = TcpStream::connect(addr).unwrap();
+    idle.write_all(b"ping\n").unwrap();
+    let mut reader = BufReader::new(idle.try_clone().unwrap());
+    let (ok, _) = serve::read_response(&mut reader).unwrap();
+    assert!(ok);
+
+    let started = Instant::now();
+    let err = server.shutdown().unwrap_err();
+    assert_eq!(err.kind(), std::io::ErrorKind::TimedOut, "{err}");
+    assert!(
+        started.elapsed() < Duration::from_secs(3),
+        "drain bound respected, took {:?}",
+        started.elapsed()
+    );
+}

@@ -21,6 +21,7 @@ fn start_server(imported: bool, threads: usize) -> Server {
         &ServerConfig {
             addr: "127.0.0.1:0".to_owned(),
             threads,
+            ..ServerConfig::default()
         },
     )
     .unwrap()

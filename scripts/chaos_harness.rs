@@ -1,0 +1,708 @@
+//! Standalone, dependency-free replica of the hardened annotation
+//! service under deterministic network chaos (`crates/serve`'s
+//! `ConnGuard` + admission control + `FaultNet`), for environments where
+//! the full workspace cannot be built (no crates.io access). It
+//!
+//! 1. runs a snapshot-swap TCP service with the hardening discipline:
+//!    per-connection read deadlines, a capped line reader, and a
+//!    write-admission budget that sheds excess writes with retryable
+//!    `err busy`,
+//! 2. sweeps a seeded fault plan over an in-process chaos proxy — mid-
+//!    stream disconnects, torn frames, stalls past the deadline, latency
+//!    spikes — at 104 deterministic op indices, asserting after every
+//!    point that a fresh direct connection gets a checksum-identical
+//!    read at a monotone snapshot version,
+//! 3. measures read p50/p99 under write-heavy overload with shedding on
+//!    vs off (same load, budget 1 vs unbounded), counting shed writes
+//!    and client busy-retries,
+//! 4. writes `BENCH_chaos.json`.
+//!
+//! Build & run:  rustc -O scripts/chaos_harness.rs -o /tmp/chaos_harness && /tmp/chaos_harness
+//!
+//! The logic below must stay in sync with `crates/serve/src/conn.rs`
+//! (deadline + cap seam), `crates/serve/src/handler.rs` (admission), and
+//! `crates/serve/src/faultnet.rs` (op-indexed fault plan); it is a
+//! measurement stand-in, not the implementation of record. Prefer
+//! `cargo test -p serve --test chaos` whenever the workspace builds.
+
+use std::collections::BTreeMap;
+use std::io::{ErrorKind, Read, Write};
+use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex, RwLock};
+use std::thread;
+use std::time::{Duration, Instant};
+
+// ------------------------------------------------------------- hashing --
+
+fn entry_hash(k: u32, v: u64) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in k.to_le_bytes().iter().chain(v.to_le_bytes().iter()) {
+        h ^= *b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// Version-independent content checksum: idempotent writes leave it
+/// bit-identical, so it is the sweep's fixed-point witness.
+fn content_checksum(entries: &BTreeMap<u32, u64>) -> u64 {
+    entries.iter().fold(0, |acc, (&k, &v)| acc ^ entry_hash(k, v))
+}
+
+struct XorShift(u64);
+
+impl XorShift {
+    fn next(&mut self) -> u64 {
+        let mut x = self.0;
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        self.0 = x;
+        x
+    }
+}
+
+// ------------------------------------------------ snapshot-swap store --
+
+struct Snapshot {
+    version: u64,
+    entries: BTreeMap<u32, u64>,
+    checksum: u64,
+}
+
+struct Shared {
+    writer: Mutex<BTreeMap<u32, u64>>,
+    published: RwLock<Arc<Snapshot>>,
+    version: AtomicU64,
+    /// Writes admitted (queued or executing); the admission budget bounds
+    /// this, exactly `SharedGenMapper::try_admit_write`.
+    in_flight: AtomicUsize,
+}
+
+impl Shared {
+    fn new() -> Shared {
+        Shared {
+            writer: Mutex::new(BTreeMap::new()),
+            published: RwLock::new(Arc::new(Snapshot {
+                version: 0,
+                entries: BTreeMap::new(),
+                checksum: 0,
+            })),
+            version: AtomicU64::new(0),
+            in_flight: AtomicUsize::new(0),
+        }
+    }
+
+    fn snapshot(&self) -> Arc<Snapshot> {
+        self.published.read().unwrap().clone()
+    }
+
+    /// Deterministic writer op: entries derived from the seed alone, so
+    /// repeating a (seed, count) write is idempotent on content.
+    fn write(&self, seed: u64, count: u32) -> u64 {
+        let mut live = self.writer.lock().unwrap();
+        let mut rng = XorShift(seed | 1);
+        for _ in 0..count {
+            let r = rng.next();
+            live.insert((r % 60_000) as u32, r);
+        }
+        let version = self.version.fetch_add(1, Ordering::SeqCst) + 1;
+        let snap = Snapshot {
+            version,
+            entries: live.clone(),
+            checksum: content_checksum(&live),
+        };
+        *self.published.write().unwrap() = Arc::new(snap);
+        version
+    }
+}
+
+// ----------------------------------------------------- hardened server --
+
+#[derive(Clone, Copy)]
+struct ServerCfg {
+    threads: usize,
+    read_timeout: Duration,
+    max_line: usize,
+    write_budget: usize,
+}
+
+#[derive(Default)]
+struct Stats {
+    shed_writes: AtomicU64,
+    timeouts: AtomicU64,
+    oversized: AtomicU64,
+    requests: AtomicU64,
+}
+
+fn respond(stream: &mut TcpStream, ok: bool, body: &str) {
+    let head = if ok { "ok" } else { "err" };
+    let _ = write!(stream, "{} {}\n{}", head, body.len(), body);
+}
+
+/// One request against the store: reads answer from the published
+/// snapshot (checksum re-verified); writes pass the admission gate or
+/// shed with retryable `busy ...`.
+fn handle(shared: &Shared, cfg: &ServerCfg, stats: &Stats, line: &str, out: &mut TcpStream) {
+    stats.requests.fetch_add(1, Ordering::SeqCst);
+    let mut words = line.split_whitespace();
+    match words.next() {
+        Some("query") => {
+            let key: u32 = words.next().and_then(|w| w.parse().ok()).unwrap_or(0);
+            let snap = shared.snapshot();
+            if content_checksum(&snap.entries) != snap.checksum {
+                respond(out, false, "torn snapshot observed");
+                return;
+            }
+            let body = match snap.entries.get(&key) {
+                Some(v) => format!("v={} hit=1 val={v}", snap.version),
+                None => format!("v={} hit=0", snap.version),
+            };
+            respond(out, true, &body);
+        }
+        Some("sum") => {
+            // the version-independent content checksum: the sweep's
+            // bit-identity witness across idempotent writes
+            let snap = shared.snapshot();
+            respond(out, true, &format!("sum={:016x}", snap.checksum));
+        }
+        Some("status") => {
+            let body = format!(
+                "v={} in_flight={}",
+                shared.snapshot().version,
+                shared.in_flight.load(Ordering::SeqCst)
+            );
+            respond(out, true, &body);
+        }
+        Some("write") => {
+            let count: u32 = words.next().and_then(|w| w.parse().ok()).unwrap_or(1);
+            let seed: u64 = words.next().and_then(|w| w.parse().ok()).unwrap_or(7);
+            // CAS admission, exactly SharedGenMapper::try_admit_write
+            let mut current = shared.in_flight.load(Ordering::SeqCst);
+            let admitted = loop {
+                if current >= cfg.write_budget {
+                    break false;
+                }
+                match shared.in_flight.compare_exchange(
+                    current,
+                    current + 1,
+                    Ordering::SeqCst,
+                    Ordering::SeqCst,
+                ) {
+                    Ok(_) => break true,
+                    Err(now) => current = now,
+                }
+            };
+            if !admitted {
+                stats.shed_writes.fetch_add(1, Ordering::SeqCst);
+                respond(out, false, "busy write budget exhausted; retry after backoff");
+                return;
+            }
+            let version = shared.write(seed, count);
+            shared.in_flight.fetch_sub(1, Ordering::SeqCst);
+            respond(out, true, &format!("v={version}"));
+        }
+        _ => respond(out, false, "unknown endpoint"),
+    }
+}
+
+/// The ConnGuard discipline in miniature: deadline on every read, a
+/// length-capped accumulating line reader, eviction (not hanging) on
+/// timeout or an over-budget line.
+fn serve_connection(shared: &Shared, cfg: &ServerCfg, stats: &Stats, stream: TcpStream) {
+    let _ = stream.set_nodelay(true);
+    let _ = stream.set_read_timeout(Some(cfg.read_timeout));
+    let mut reader = match stream.try_clone() {
+        Ok(s) => s,
+        Err(_) => return,
+    };
+    let mut writer = stream;
+    let mut pending: Vec<u8> = Vec::new();
+    let mut buf = [0u8; 4096];
+    loop {
+        // drain one complete line from the pending buffer first
+        if let Some(pos) = pending.iter().position(|&b| b == b'\n') {
+            let line: Vec<u8> = pending.drain(..=pos).collect();
+            let line = String::from_utf8_lossy(&line[..pos]).trim().to_string();
+            if line == "quit" {
+                return;
+            }
+            if !line.is_empty() {
+                handle(shared, cfg, stats, &line, &mut writer);
+            }
+            continue;
+        }
+        if pending.len() > cfg.max_line {
+            stats.oversized.fetch_add(1, Ordering::SeqCst);
+            respond(&mut writer, false, "too-large request line over budget");
+            return;
+        }
+        match reader.read(&mut buf) {
+            Ok(0) => return,
+            Ok(n) => pending.extend_from_slice(&buf[..n]),
+            Err(e) if matches!(e.kind(), ErrorKind::WouldBlock | ErrorKind::TimedOut) => {
+                stats.timeouts.fetch_add(1, Ordering::SeqCst);
+                respond(&mut writer, false, "timeout no complete request before deadline");
+                return;
+            }
+            Err(_) => return,
+        }
+    }
+}
+
+struct Server {
+    addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    workers: Vec<thread::JoinHandle<()>>,
+    stats: Arc<Stats>,
+}
+
+fn start_server(shared: Arc<Shared>, cfg: ServerCfg) -> Server {
+    let listener = TcpListener::bind("127.0.0.1:0").expect("bind");
+    let addr = listener.local_addr().expect("local addr");
+    let stop = Arc::new(AtomicBool::new(false));
+    let stats = Arc::new(Stats::default());
+    let mut workers = Vec::new();
+    for _ in 0..cfg.threads {
+        let listener = listener.try_clone().expect("clone listener");
+        let shared = shared.clone();
+        let stop = stop.clone();
+        let stats = stats.clone();
+        workers.push(thread::spawn(move || {
+            while !stop.load(Ordering::SeqCst) {
+                match listener.accept() {
+                    Ok((stream, _)) => serve_connection(&shared, &cfg, &stats, stream),
+                    Err(_) => break,
+                }
+            }
+        }));
+    }
+    Server { addr, stop, workers, stats }
+}
+
+fn shutdown(server: Server) -> Arc<Stats> {
+    server.stop.store(true, Ordering::SeqCst);
+    for _ in 0..server.workers.len() {
+        let _ = TcpStream::connect(server.addr);
+    }
+    for w in server.workers {
+        let _ = w.join();
+    }
+    server.stats
+}
+
+// ---------------------------------------------------- chaos proxy --
+
+/// `FaultNet` in miniature: one fault kind at one global op index
+/// (forwarded chunks, both directions), firing at most once per proxy.
+#[derive(Clone, Copy)]
+enum Fault {
+    Disconnect,
+    Torn,
+    Stall,
+    Delay,
+}
+
+struct Proxy {
+    addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    fired: Arc<AtomicU64>,
+    acceptor: thread::JoinHandle<()>,
+    pumps: Arc<Mutex<Vec<thread::JoinHandle<()>>>>,
+}
+
+fn sever(a: &TcpStream, b: &TcpStream) {
+    let _ = a.shutdown(Shutdown::Both);
+    let _ = b.shutdown(Shutdown::Both);
+}
+
+fn pump(
+    mut src: TcpStream,
+    mut dst: TcpStream,
+    fault: Fault,
+    at: u64,
+    seed: u64,
+    ops: Arc<AtomicU64>,
+    fired: Arc<AtomicU64>,
+    stop: Arc<AtomicBool>,
+) {
+    let _ = src.set_read_timeout(Some(Duration::from_millis(10)));
+    let mut buf = [0u8; 4096];
+    loop {
+        if stop.load(Ordering::SeqCst) {
+            return sever(&src, &dst);
+        }
+        let n = match src.read(&mut buf) {
+            Ok(0) => return sever(&src, &dst),
+            Ok(n) => n,
+            Err(e) if matches!(e.kind(), ErrorKind::WouldBlock | ErrorKind::TimedOut) => continue,
+            Err(_) => return sever(&src, &dst),
+        };
+        let op = ops.fetch_add(1, Ordering::SeqCst) + 1;
+        if op == at {
+            fired.fetch_add(1, Ordering::SeqCst);
+            match fault {
+                Fault::Disconnect => return sever(&src, &dst),
+                Fault::Torn => {
+                    let keep = (seed.wrapping_mul(op) % n as u64) as usize;
+                    let _ = dst.write_all(&buf[..keep]);
+                    return sever(&src, &dst);
+                }
+                Fault::Stall => {
+                    while !stop.load(Ordering::SeqCst) {
+                        thread::sleep(Duration::from_millis(10));
+                    }
+                    return sever(&src, &dst);
+                }
+                Fault::Delay => thread::sleep(Duration::from_millis(40)),
+            }
+        }
+        if dst.write_all(&buf[..n]).is_err() {
+            return sever(&src, &dst);
+        }
+    }
+}
+
+fn start_proxy(upstream: SocketAddr, fault: Fault, at: u64, seed: u64) -> Proxy {
+    let listener = TcpListener::bind("127.0.0.1:0").expect("proxy bind");
+    let addr = listener.local_addr().expect("proxy addr");
+    let stop = Arc::new(AtomicBool::new(false));
+    let fired = Arc::new(AtomicU64::new(0));
+    let ops = Arc::new(AtomicU64::new(0));
+    let pumps: Arc<Mutex<Vec<thread::JoinHandle<()>>>> = Arc::new(Mutex::new(Vec::new()));
+    let acceptor = {
+        let stop = stop.clone();
+        let fired = fired.clone();
+        let pumps = pumps.clone();
+        thread::spawn(move || loop {
+            let Ok((client, _)) = listener.accept() else { return };
+            if stop.load(Ordering::SeqCst) {
+                return;
+            }
+            let Ok(server) = TcpStream::connect(upstream) else { continue };
+            let _ = client.set_nodelay(true);
+            let _ = server.set_nodelay(true);
+            let (Ok(client2), Ok(server2)) = (client.try_clone(), server.try_clone()) else {
+                continue;
+            };
+            let mut guard = pumps.lock().unwrap();
+            for (src, dst) in [(client, server2), (server, client2)] {
+                let (ops, fired, stop) = (ops.clone(), fired.clone(), stop.clone());
+                guard.push(thread::spawn(move || {
+                    pump(src, dst, fault, at, seed, ops, fired, stop)
+                }));
+            }
+        })
+    };
+    Proxy { addr, stop, fired, acceptor, pumps }
+}
+
+fn stop_proxy(proxy: Proxy) -> u64 {
+    proxy.stop.store(true, Ordering::SeqCst);
+    let _ = TcpStream::connect(proxy.addr);
+    let _ = proxy.acceptor.join();
+    let handles: Vec<_> = proxy.pumps.lock().unwrap().drain(..).collect();
+    for h in handles {
+        let _ = h.join();
+    }
+    proxy.fired.load(Ordering::SeqCst)
+}
+
+// -------------------------------------------------------------- client --
+
+/// One-shot call with a client-side deadline; errors are expected under
+/// chaos and reported as None.
+fn call(addr: SocketAddr, request: &str, deadline: Duration) -> Option<(bool, String)> {
+    let mut stream = TcpStream::connect(addr).ok()?;
+    let _ = stream.set_nodelay(true);
+    let _ = stream.set_read_timeout(Some(deadline));
+    stream.write_all(format!("{request}\n").as_bytes()).ok()?;
+    let mut head = Vec::new();
+    let mut byte = [0u8; 1];
+    while head.len() < 64 {
+        stream.read_exact(&mut byte).ok()?;
+        if byte[0] == b'\n' {
+            break;
+        }
+        head.push(byte[0]);
+    }
+    let head = String::from_utf8_lossy(&head);
+    let mut parts = head.trim().splitn(2, ' ');
+    let ok = parts.next()? == "ok";
+    let len: usize = parts.next()?.parse().ok()?;
+    if len > 1 << 20 {
+        return None; // response cap, as read_response_with enforces
+    }
+    let mut body = vec![0u8; len];
+    stream.read_exact(&mut body).ok()?;
+    Some((ok, String::from_utf8_lossy(&body).into_owned()))
+}
+
+fn percentile(sorted_us: &[u64], p: usize) -> u64 {
+    if sorted_us.is_empty() {
+        return 0;
+    }
+    sorted_us[((sorted_us.len() - 1) * p) / 100]
+}
+
+// ---------------------------------------------------------- experiments --
+
+const SWEEP_INDICES: u64 = 26;
+const IDEMPOTENT_WRITE: &str = "write 500 777";
+const OVERLOAD_CLIENTS: usize = 4;
+const OVERLOAD_OPS: usize = 250;
+
+struct SweepResult {
+    points: u64,
+    injected: u64,
+    per_kind: [u64; 4],
+}
+
+/// Phase 1: the fault sweep. Every point must leave the server handing a
+/// fresh connection the bit-identical content checksum at a monotone
+/// version.
+fn fault_sweep(addr: SocketAddr, reference_sum: &str, last_version: &mut u64) -> SweepResult {
+    let kinds = [
+        (Fault::Disconnect, "disconnect"),
+        (Fault::Torn, "torn"),
+        (Fault::Stall, "stall"),
+        (Fault::Delay, "delay"),
+    ];
+    let mut result = SweepResult { points: 0, injected: 0, per_kind: [0; 4] };
+    for (k, &(fault, name)) in kinds.iter().enumerate() {
+        for idx in 1..=SWEEP_INDICES {
+            let proxy = start_proxy(addr, fault, idx, 0x9e37_79b9 ^ idx);
+            // drive a mix through the proxy until the fault fires; every
+            // request is at least two proxied chunks
+            for i in 0..80u64 {
+                if proxy.fired.load(Ordering::SeqCst) >= 1 {
+                    break;
+                }
+                let request = match i % 7 {
+                    5 => IDEMPOTENT_WRITE,
+                    0 | 3 => "sum",
+                    1 => "status",
+                    _ => "query 17",
+                };
+                let _ = call(proxy.addr, request, Duration::from_millis(150));
+            }
+            let fired = stop_proxy(proxy);
+            assert!(fired >= 1, "{}@{}: fault never fired", name, idx);
+            result.points += 1;
+            result.injected += fired;
+            result.per_kind[k] += fired;
+            // recovery probe on a fresh, direct connection
+            let (ok, sum) = call(addr, "sum", Duration::from_secs(2))
+                .unwrap_or_else(|| panic!("{}@{}: server not serving", name, idx));
+            assert!(
+                ok && sum == reference_sum,
+                "{}@{}: content changed: {}",
+                name,
+                idx,
+                sum
+            );
+            let (ok, status) = call(addr, "status", Duration::from_secs(2))
+                .unwrap_or_else(|| panic!("{}@{}: status failed", name, idx));
+            let version: u64 = status
+                .split_whitespace()
+                .find_map(|w| w.strip_prefix("v=").and_then(|n| n.parse().ok()))
+                .expect("version in status");
+            assert!(
+                ok && version >= *last_version,
+                "{}@{}: version regressed",
+                name,
+                idx
+            );
+            *last_version = version;
+        }
+    }
+    result
+}
+
+struct OverloadResult {
+    read_p50_us: u64,
+    read_p99_us: u64,
+    shed: u64,
+    busy_retries: u64,
+    writes_done: u64,
+}
+
+/// Phase 2: write-heavy load against a given admission budget. Busy
+/// writes are retried with capped backoff (the `call_retry` policy);
+/// reads must always succeed, and their latency is the headline number.
+fn overload(shared: &Arc<Shared>, budget: usize) -> OverloadResult {
+    let server = start_server(
+        shared.clone(),
+        ServerCfg {
+            threads: 4,
+            read_timeout: Duration::from_secs(5),
+            max_line: 64 * 1024,
+            write_budget: budget,
+        },
+    );
+    let addr = server.addr;
+    let retries = Arc::new(AtomicU64::new(0));
+    let writes_done = Arc::new(AtomicU64::new(0));
+    let handles: Vec<_> = (0..OVERLOAD_CLIENTS)
+        .map(|c| {
+            let retries = retries.clone();
+            let writes_done = writes_done.clone();
+            thread::spawn(move || {
+                let mut rng = XorShift(0xfeed_f00d + c as u64);
+                let mut read_us = Vec::new();
+                for _ in 0..OVERLOAD_OPS {
+                    if rng.next() % 2 == 0 {
+                        // heavy write; on busy, retry up to 3 times with
+                        // doubling backoff
+                        let mut backoff = Duration::from_millis(5);
+                        for attempt in 0..3 {
+                            let resp = call(
+                                addr,
+                                &format!("write 20000 {}", rng.next() | 1),
+                                Duration::from_secs(5),
+                            );
+                            match resp {
+                                Some((true, _)) => {
+                                    writes_done.fetch_add(1, Ordering::SeqCst);
+                                    break;
+                                }
+                                Some((false, body)) if body.starts_with("busy") && attempt < 2 => {
+                                    retries.fetch_add(1, Ordering::SeqCst);
+                                    thread::sleep(backoff);
+                                    backoff = (backoff * 2).min(Duration::from_millis(40));
+                                }
+                                _ => break,
+                            }
+                        }
+                    } else {
+                        let start = Instant::now();
+                        let (ok, _) = call(addr, "query 17", Duration::from_secs(5))
+                            .expect("read under overload");
+                        assert!(ok, "reads must always succeed");
+                        read_us.push(start.elapsed().as_micros() as u64);
+                    }
+                }
+                read_us
+            })
+        })
+        .collect();
+    let mut read_us = Vec::new();
+    for h in handles {
+        read_us.extend(h.join().expect("overload client"));
+    }
+    read_us.sort_unstable();
+    let stats = shutdown(server);
+    OverloadResult {
+        read_p50_us: percentile(&read_us, 50),
+        read_p99_us: percentile(&read_us, 99),
+        shed: stats.shed_writes.load(Ordering::SeqCst),
+        busy_retries: retries.load(Ordering::SeqCst),
+        writes_done: writes_done.load(Ordering::SeqCst),
+    }
+}
+
+fn main() {
+    let shared = Arc::new(Shared::new());
+    shared.write(42, 5_000);
+    // one idempotent write up front: repeating it mid-sweep leaves the
+    // content checksum bit-identical
+    shared.write(777, 500);
+
+    let server = start_server(
+        shared.clone(),
+        ServerCfg {
+            threads: 4,
+            read_timeout: Duration::from_millis(300),
+            max_line: 64 * 1024,
+            write_budget: 2,
+        },
+    );
+    let addr = server.addr;
+    let (ok, reference_sum) = call(addr, "sum", Duration::from_secs(2)).expect("reference");
+    assert!(ok);
+    let (_, status) = call(addr, "status", Duration::from_secs(2)).expect("status");
+    let mut last_version: u64 = status
+        .split_whitespace()
+        .find_map(|w| w.strip_prefix("v=").and_then(|n| n.parse().ok()))
+        .expect("version");
+    println!(
+        "chaos harness: sweeping 4 fault kinds x {SWEEP_INDICES} op indices \
+         against {addr} (reference {reference_sum})"
+    );
+
+    let sweep = fault_sweep(addr, &reference_sum, &mut last_version);
+    assert!(sweep.points >= 100, "sweep must cover at least 100 points");
+    let sweep_stats = shutdown(server);
+    println!(
+        "  sweep: {} points, {} faults injected (disconnect {}, torn {}, stall {}, delay {}); \
+         all recovered bit-identical; server evicted {} timeouts",
+        sweep.points,
+        sweep.injected,
+        sweep.per_kind[0],
+        sweep.per_kind[1],
+        sweep.per_kind[2],
+        sweep.per_kind[3],
+        sweep_stats.timeouts.load(Ordering::SeqCst),
+    );
+
+    let with_shedding = overload(&shared, 1);
+    let without_shedding = overload(&shared, usize::MAX);
+    assert!(with_shedding.shed > 0, "budget 1 under write-heavy load must shed");
+    assert_eq!(without_shedding.shed, 0, "unbounded budget never sheds");
+    assert!(with_shedding.writes_done > 0, "some writes must get through");
+    println!(
+        "  overload (shedding on,  budget 1):   read p50 {}us p99 {}us; {} shed, \
+         {} busy-retries, {} writes done",
+        with_shedding.read_p50_us,
+        with_shedding.read_p99_us,
+        with_shedding.shed,
+        with_shedding.busy_retries,
+        with_shedding.writes_done,
+    );
+    println!(
+        "  overload (shedding off, unbounded):  read p50 {}us p99 {}us; {} writes done",
+        without_shedding.read_p50_us,
+        without_shedding.read_p99_us,
+        without_shedding.writes_done,
+    );
+
+    let json = format!(
+        "{{\n  \"generator\": \"scripts/chaos_harness.rs (standalone hardened-service replica; \
+         the sweep of record is `cargo test -p serve --test chaos`)\",\n\
+         \x20 \"fault_sweep\": {{\n\
+         \x20   \"points\": {},\n\
+         \x20   \"injected\": {},\n\
+         \x20   \"per_kind\": {{\"disconnect\": {}, \"torn\": {}, \"stall\": {}, \"delay\": {}}},\n\
+         \x20   \"recovered_bit_identical\": {},\n\
+         \x20   \"server_timeout_evictions\": {}\n\
+         \x20 }},\n\
+         \x20 \"overload\": {{\n\
+         \x20   \"shedding_on\": {{\"budget\": 1, \"read_latency_us\": {{\"p50\": {}, \"p99\": {}}}, \
+         \"shed_writes\": {}, \"busy_retries\": {}, \"writes_done\": {}}},\n\
+         \x20   \"shedding_off\": {{\"budget\": \"unbounded\", \"read_latency_us\": {{\"p50\": {}, \
+         \"p99\": {}}}, \"shed_writes\": 0, \"writes_done\": {}}}\n\
+         \x20 }},\n\
+         \x20 \"note\": \"every sweep point ends with a fresh direct connection returning the \
+         bit-identical content checksum at a monotone version; overload compares read latency \
+         under a write-heavy mix with the admission budget at 1 vs unbounded\"\n}}\n",
+        sweep.points,
+        sweep.injected,
+        sweep.per_kind[0],
+        sweep.per_kind[1],
+        sweep.per_kind[2],
+        sweep.per_kind[3],
+        sweep.points,
+        sweep_stats.timeouts.load(Ordering::SeqCst),
+        with_shedding.read_p50_us,
+        with_shedding.read_p99_us,
+        with_shedding.shed,
+        with_shedding.busy_retries,
+        with_shedding.writes_done,
+        without_shedding.read_p50_us,
+        without_shedding.read_p99_us,
+        without_shedding.writes_done,
+    );
+    std::fs::write("BENCH_chaos.json", &json).expect("write BENCH_chaos.json");
+    println!("\nwrote BENCH_chaos.json");
+}

@@ -234,6 +234,37 @@ fn shutdown(server: Server) {
 
 // -------------------------------------------------------------- client --
 
+/// Connect attempts / retries across the whole run, surfaced in the
+/// report: the real client (`serve::call_retry`) retries transient
+/// connect failures with capped jittered backoff, and the harness
+/// mirrors that policy so its numbers describe the same discipline.
+static CONNECT_ATTEMPTS: AtomicU64 = AtomicU64::new(0);
+static CONNECT_RETRIES: AtomicU64 = AtomicU64::new(0);
+
+/// Mirror of `crates/serve/src/conn.rs::RetryPolicy`: up to 4 attempts,
+/// exponential backoff from 10ms capped at 200ms, deterministic jitter
+/// into [50%, 100%] of the step.
+fn connect_retry(addr: std::net::SocketAddr) -> TcpStream {
+    let mut backoff = Duration::from_millis(10);
+    let mut rng = XorShift(0x5eed | (addr.port() as u64) << 16);
+    for attempt in 1..=4u32 {
+        CONNECT_ATTEMPTS.fetch_add(1, Ordering::SeqCst);
+        match TcpStream::connect(addr) {
+            Ok(stream) => return stream,
+            Err(e) if attempt == 4 => {
+                panic!("connect failed after {} attempts: {}", attempt, e)
+            }
+            Err(_) => {
+                CONNECT_RETRIES.fetch_add(1, Ordering::SeqCst);
+                let permille = 500 + rng.next() % 501;
+                thread::sleep(backoff * permille as u32 / 1000);
+                backoff = (backoff * 2).min(Duration::from_millis(200));
+            }
+        }
+    }
+    unreachable!("loop returns or panics")
+}
+
 struct Client {
     stream: TcpStream,
     reader: BufReader<TcpStream>,
@@ -243,7 +274,7 @@ struct Client {
 
 impl Client {
     fn connect(addr: std::net::SocketAddr) -> Client {
-        let stream = TcpStream::connect(addr).expect("connect");
+        let stream = connect_retry(addr);
         let _ = stream.set_nodelay(true);
         let reader = BufReader::new(stream.try_clone().expect("clone"));
         Client {
@@ -464,6 +495,13 @@ fn main() {
     assert_eq!(snap.version, import.version_after);
     shutdown(server);
 
+    let connect_attempts = CONNECT_ATTEMPTS.load(Ordering::SeqCst);
+    let connect_retries = CONNECT_RETRIES.load(Ordering::SeqCst);
+    println!(
+        "  client: {} connect attempts, {} retried (capped jittered backoff)",
+        connect_attempts, connect_retries
+    );
+
     let json = format!(
         "{{\n  \"generator\": \"scripts/serve_harness.rs (standalone snapshot-service replica; \
          the service of record is `cargo run -p serve --bin genmapper-cli -- serve`)\",\n\
@@ -480,6 +518,11 @@ fn main() {
          \x20   \"entries\": {IMPORT_ENTRIES},\n\
          \x20   \"import_ms\": {:.1},\n\
          \x20   \"reads_completed_during_import\": {}\n\
+         \x20 }},\n\
+         \x20 \"client_retry\": {{\n\
+         \x20   \"connect_attempts\": {connect_attempts},\n\
+         \x20   \"connect_retries\": {connect_retries},\n\
+         \x20   \"policy\": \"4 attempts, 10ms base backoff doubling to 200ms, jitter 50-100%\"\n\
          \x20 }},\n\
          \x20 \"note\": \"every read re-verifies the published snapshot checksum and every \
          connection asserts monotone versions; on a single-core host this pins correctness \

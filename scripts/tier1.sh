@@ -33,6 +33,11 @@ rustc -O scripts/serve_harness.rs -o /tmp/serve_harness && /tmp/serve_harness
 # planner measurement replica: deep chains + wide views + strategy skew,
 # planned vs naive with chosen-strategy counts -> BENCH_plan.json
 rustc -O scripts/plan_harness.rs -o /tmp/plan_harness && /tmp/plan_harness
+# hardened-service chaos replica: 104-point deterministic network-fault
+# sweep (disconnect/torn/stall/delay) with bit-identical recovery probes,
+# plus read p50/p99 under overload with shedding on vs off
+# -> BENCH_chaos.json
+rustc -O scripts/chaos_harness.rs -o /tmp/chaos_harness && /tmp/chaos_harness
 cargo clippy --all-targets -- -D warnings
 # architectural invariant gate (DESIGN.md §11): any unbaselined finding
 # fails the build
