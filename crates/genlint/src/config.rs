@@ -54,6 +54,18 @@ pub struct PlanEntrySet {
     pub functions: Vec<String>,
 }
 
+/// One justified `Ordering::Relaxed` site set for the atomics-discipline
+/// rule: within `file`, the named atomics (receiver or field identifiers)
+/// may use `Relaxed` — telemetry counters whose values never steer a
+/// coherence decision. The reason is mandatory and entries that match no
+/// Relaxed site are reported as stale, so the allowlist can only shrink.
+#[derive(Debug, Clone, Default)]
+pub struct RelaxedOk {
+    pub file: String,
+    pub idents: Vec<String>,
+    pub reason: String,
+}
+
 /// Parsed configuration.
 #[derive(Debug, Clone, Default)]
 pub struct Config {
@@ -92,6 +104,15 @@ pub struct Config {
     pub socket_wrapper_type: String,
     /// Identifiers banned outside the wrapper (raw buffered readers).
     pub socket_banned: Vec<String>,
+    /// Crates whose non-test `Ordering::Relaxed` uses the atomics rule
+    /// flags (R8). Empty = rule unconfigured.
+    pub atomics_crates: Vec<String>,
+    /// Justified Relaxed sites for R8.
+    pub relaxed_ok: Vec<RelaxedOk>,
+    /// Crates whose non-test code the error-swallow rule scans (R9):
+    /// the durable-path crates where a discarded `Result` means silent
+    /// data loss.
+    pub error_swallow_crates: Vec<String>,
     /// The justified baseline (suppressed findings).
     pub allow: Vec<AllowEntry>,
 }
@@ -169,9 +190,12 @@ pub fn parse(text: &str) -> Result<Config, ConfigError> {
         WalBracket,
         PlanCoherence,
         SocketDiscipline,
+        AtomicsDiscipline,
+        ErrorSwallow,
         Mutator,
         ReadEntry,
         PlanEntry,
+        RelaxedOk,
         Allow,
     }
     let mut cfg = Config::default();
@@ -200,6 +224,10 @@ pub fn parse(text: &str) -> Result<Config, ConfigError> {
                     cfg.plan_entries.push(PlanEntrySet::default());
                     section = Section::PlanEntry;
                 }
+                "atomics-discipline.relaxed-ok" => {
+                    cfg.relaxed_ok.push(RelaxedOk::default());
+                    section = Section::RelaxedOk;
+                }
                 other => return Err(err(lineno, format!("unknown array section `{other}`"))),
             }
             continue;
@@ -211,6 +239,8 @@ pub fn parse(text: &str) -> Result<Config, ConfigError> {
                 "wal-bracket" => Section::WalBracket,
                 "plan-coherence" => Section::PlanCoherence,
                 "socket-discipline" => Section::SocketDiscipline,
+                "atomics-discipline" => Section::AtomicsDiscipline,
+                "error-swallow" => Section::ErrorSwallow,
                 other => return Err(err(lineno, format!("unknown section `{other}`"))),
             };
             continue;
@@ -266,6 +296,43 @@ pub fn parse(text: &str) -> Result<Config, ConfigError> {
                     ))
                 }
             },
+            Section::AtomicsDiscipline => match key {
+                "crates" => cfg.atomics_crates = parse_string_array(lineno, value)?,
+                _ => {
+                    return Err(err(
+                        lineno,
+                        format!("unknown key `{key}` in [atomics-discipline]"),
+                    ))
+                }
+            },
+            Section::ErrorSwallow => match key {
+                "crates" => cfg.error_swallow_crates = parse_string_array(lineno, value)?,
+                _ => {
+                    return Err(err(
+                        lineno,
+                        format!("unknown key `{key}` in [error-swallow]"),
+                    ))
+                }
+            },
+            Section::RelaxedOk => {
+                let Some(r) = cfg.relaxed_ok.last_mut() else {
+                    return Err(err(
+                        lineno,
+                        "relaxed-ok key before [[atomics-discipline.relaxed-ok]]",
+                    ));
+                };
+                match key {
+                    "file" => r.file = parse_string(lineno, value)?,
+                    "idents" => r.idents = parse_string_array(lineno, value)?,
+                    "reason" => r.reason = parse_string(lineno, value)?,
+                    _ => {
+                        return Err(err(
+                            lineno,
+                            format!("unknown key `{key}` in [[atomics-discipline.relaxed-ok]]"),
+                        ))
+                    }
+                }
+            }
             Section::Mutator => {
                 let Some(m) = cfg.mutators.last_mut() else {
                     return Err(err(lineno, "mutator key before [[cache-coherence.mutators]]"));
@@ -368,6 +435,26 @@ pub fn parse(text: &str) -> Result<Config, ConfigError> {
                 "[[plan-coherence.entry-points]] entry must set file and functions".to_owned(),
             ));
         }
+    }
+    // every Relaxed allowlist entry must be fully justified, and the
+    // allowlist is meaningless without the rule being scoped to crates
+    for r in &cfg.relaxed_ok {
+        if r.file.is_empty() || r.idents.is_empty() || r.reason.is_empty() {
+            return Err(err(
+                0,
+                "[[atomics-discipline.relaxed-ok]] entry must set file, idents, and a \
+                 non-empty reason"
+                    .to_owned(),
+            ));
+        }
+    }
+    if !cfg.relaxed_ok.is_empty() && cfg.atomics_crates.is_empty() {
+        return Err(err(
+            0,
+            "[atomics-discipline] crates must be set when relaxed-ok entries are declared \
+             (an unscoped rule would make every entry stale)"
+                .to_owned(),
+        ));
     }
     // socket discipline is all-or-nothing: a partially filled section
     // (e.g. a scope with no banned tokens) would pass vacuously
@@ -497,6 +584,32 @@ reason = "bench reports are non-durable"
         let text = "[plan-coherence]\nseam_calls = [\"plan_chain\"]\n\
                     [[plan-coherence.entry-points]]\nfile = \"x.rs\"\n";
         assert!(parse(text).is_err(), "missing functions must fail");
+    }
+
+    #[test]
+    fn parses_atomics_and_error_swallow_sections() {
+        let text = "[atomics-discipline]\ncrates = [\"relstore\", \"serve\"]\n\
+                    [[atomics-discipline.relaxed-ok]]\n\
+                    file = \"crates/relstore/src/pager.rs\"\n\
+                    idents = [\"hits\", \"misses\"]\n\
+                    reason = \"telemetry counters\"\n\
+                    [error-swallow]\ncrates = [\"relstore\", \"import\"]\n";
+        let cfg = parse(text).expect("parses");
+        assert_eq!(cfg.atomics_crates, vec!["relstore", "serve"]);
+        assert_eq!(cfg.relaxed_ok.len(), 1);
+        assert_eq!(cfg.relaxed_ok[0].idents, vec!["hits", "misses"]);
+        assert_eq!(cfg.error_swallow_crates, vec!["relstore", "import"]);
+    }
+
+    #[test]
+    fn rejects_unjustified_or_unscoped_relaxed_ok() {
+        let text = "[atomics-discipline]\ncrates = [\"relstore\"]\n\
+                    [[atomics-discipline.relaxed-ok]]\n\
+                    file = \"crates/relstore/src/pager.rs\"\nidents = [\"hits\"]\n";
+        assert!(parse(text).is_err(), "missing reason must fail");
+        let text = "[[atomics-discipline.relaxed-ok]]\n\
+                    file = \"x.rs\"\nidents = [\"hits\"]\nreason = \"r\"\n";
+        assert!(parse(text).is_err(), "allowlist without crate scope must fail");
     }
 
     #[test]

@@ -1,0 +1,474 @@
+//! The item parser: functions, impl blocks, `use` imports, and call
+//! sites, extracted from the significant-token stream.
+//!
+//! This is deliberately not an AST — each extraction is a bracketed scan
+//! over the classified token stream from [`crate::lexer`], which is
+//! exactly the precision the rules and the cross-file call graph need:
+//! function extents for scoping, receivers and callee names for lock
+//! and error propagation, imports for module-alias reasoning.
+
+use crate::source::Token;
+
+/// An `impl` block found in a file.
+#[derive(Debug, Clone)]
+pub struct ImplInfo {
+    /// Last path segment of the implemented type (`GamStore` for
+    /// `impl GamStore` and for `impl Trait for GamStore`).
+    pub type_name: String,
+    /// Byte range of the block body (inside the braces).
+    pub body: (usize, usize),
+}
+
+/// A `fn` item found in a file.
+#[derive(Debug, Clone)]
+pub struct FnInfo {
+    pub name: String,
+    /// Whether the item carries a `pub` (or `pub(...)`) visibility.
+    pub is_pub: bool,
+    /// Signature text between `fn` and the body brace.
+    pub sig: String,
+    /// Byte range of the body (inside the braces). `None` for bodyless
+    /// declarations (trait methods).
+    pub body: Option<(usize, usize)>,
+    /// Type name of the innermost enclosing `impl` block, if any.
+    pub impl_type: Option<String>,
+    /// Byte offset of the `fn` keyword.
+    pub off: usize,
+    /// Whether the declared return type mentions a `Result` (including
+    /// `*Result` aliases like `StoreResult`); used by the error-swallow
+    /// rule to know which workspace calls are fallible.
+    pub returns_result: bool,
+}
+
+/// One `use` import leaf (`use std::fs;` yields `["std", "fs"]`;
+/// grouped trees are flattened into one leaf per branch).
+#[derive(Debug, Clone)]
+pub struct UseImport {
+    pub path: Vec<String>,
+    /// Byte offset of the `use` keyword.
+    pub off: usize,
+}
+
+/// One call site: `callee(...)` or `recv.callee(...)`.
+#[derive(Debug, Clone)]
+pub struct CallSite {
+    pub callee: String,
+    /// Last identifier before the `.` for method calls (`self.vfs.write`
+    /// records `vfs`); `None` for free calls and chained receivers.
+    pub recv: Option<String>,
+    /// Last path segment before `::` for path calls (`Arc::new` records
+    /// `Arc`, `store::open` records `store`); `None` otherwise. The
+    /// cross-file graph uses it to resolve `Type::method` calls to the
+    /// matching impl block instead of every same-named function.
+    pub qual: Option<String>,
+    /// Token index of the callee identifier.
+    pub tok: usize,
+    /// Byte offset of the callee identifier.
+    pub off: usize,
+    pub is_method: bool,
+    /// Whether the argument list is empty (`recv.read()` — the shape
+    /// lock acquisitions take; such sites are not treated as calls by
+    /// the graph when the receiver is a declared lock).
+    pub args_empty: bool,
+}
+
+/// Keywords that precede `(` without being calls.
+const NON_CALL_KEYWORDS: [&str; 14] = [
+    "if", "while", "for", "match", "return", "loop", "fn", "use", "let", "in", "move", "ref",
+    "mut", "else",
+];
+
+/// Index of the matching `}` for the `{` at token index `open`.
+pub fn matching_brace(tokens: &[Token], open: usize) -> Option<usize> {
+    let mut depth = 0usize;
+    for (k, t) in tokens.iter().enumerate().skip(open) {
+        match t.text.as_str() {
+            "{" => depth += 1,
+            "}" => {
+                depth -= 1;
+                if depth == 0 {
+                    return Some(k);
+                }
+            }
+            _ => {}
+        }
+    }
+    None
+}
+
+/// Type name of an impl header starting at token `i` (`impl`). Returns
+/// `(type_name, body_open_index)` when the header ends in a block.
+fn impl_header(tokens: &[Token], i: usize) -> Option<(String, usize)> {
+    let mut name: Option<String> = None;
+    let mut angle = 0i32;
+    let mut k = i + 1;
+    while k < tokens.len() {
+        let t = &tokens[k];
+        match t.text.as_str() {
+            "{" if angle <= 0 => {
+                return name.map(|n| (n, k));
+            }
+            ";" => return None,
+            "<" => angle += 1,
+            ">" if k > 0 && tokens[k - 1].text != "-" => angle -= 1,
+            ">" => {}
+            "for" => {
+                // the implemented type wins over the trait
+                name = None;
+            }
+            _ if t.is_ident && angle <= 0 => {
+                name = Some(t.text.clone());
+            }
+            _ => {}
+        }
+        k += 1;
+    }
+    None
+}
+
+/// Whether the tokens preceding `fn` at index `i` include a `pub`
+/// visibility (allowing `pub(crate)` / `pub(in path)` and the
+/// `const`/`unsafe`/`async`/`extern` qualifiers in between).
+fn is_pub_fn(tokens: &[Token], i: usize) -> bool {
+    let mut k = i;
+    while k > 0 {
+        k -= 1;
+        match tokens[k].text.as_str() {
+            "const" | "unsafe" | "async" | "extern" => continue,
+            ")" => {
+                // skip a parenthesized visibility argument
+                let mut depth = 1usize;
+                while k > 0 && depth > 0 {
+                    k -= 1;
+                    match tokens[k].text.as_str() {
+                        ")" => depth += 1,
+                        "(" => depth -= 1,
+                        _ => {}
+                    }
+                }
+                continue;
+            }
+            "pub" => return true,
+            _ => return false,
+        }
+    }
+    false
+}
+
+/// Whether the signature's return type mentions a Result (token after
+/// `->` chains: any ident equal to or ending with `Result`).
+fn sig_returns_result(tokens: &[Token], sig_start: usize, sig_end_tok: usize) -> bool {
+    let mut seen_arrow = false;
+    let mut k = sig_start;
+    while k < sig_end_tok {
+        let t = &tokens[k];
+        if t.text == "-" && tokens.get(k + 1).map(|n| n.text == ">").unwrap_or(false) {
+            seen_arrow = true;
+            k += 2;
+            continue;
+        }
+        if seen_arrow && t.is_ident && t.text.ends_with("Result") {
+            return true;
+        }
+        k += 1;
+    }
+    false
+}
+
+/// Find `impl` blocks and `fn` items over the significant tokens.
+pub fn find_items(clean: &str, tokens: &[Token]) -> (Vec<ImplInfo>, Vec<FnInfo>) {
+    let mut impls = Vec::new();
+    let mut functions = Vec::new();
+    let mut i = 0usize;
+    while i < tokens.len() {
+        let t = &tokens[i];
+        if t.text == "impl" && t.is_ident {
+            if let Some((type_name, open)) = impl_header(tokens, i) {
+                if let Some(close) = matching_brace(tokens, open) {
+                    impls.push(ImplInfo {
+                        type_name,
+                        body: (tokens[open].off + 1, tokens[close].off),
+                    });
+                }
+            }
+            i += 1;
+            continue;
+        }
+        if t.text == "fn" && t.is_ident {
+            let name = match tokens.get(i + 1) {
+                Some(n) if n.is_ident => n.text.clone(),
+                _ => {
+                    i += 1;
+                    continue;
+                }
+            };
+            // find the body `{` (or `;` for bodyless declarations) at
+            // paren/bracket depth 0
+            let mut paren = 0i32;
+            let mut bracket = 0i32;
+            let mut k = i + 2;
+            let mut body = None;
+            let mut sig_end = clean.len();
+            let mut sig_end_tok = tokens.len();
+            while k < tokens.len() {
+                match tokens[k].text.as_str() {
+                    "(" => paren += 1,
+                    ")" => paren -= 1,
+                    "[" => bracket += 1,
+                    "]" => bracket -= 1,
+                    "{" if paren == 0 && bracket == 0 => {
+                        sig_end = tokens[k].off;
+                        sig_end_tok = k;
+                        if let Some(close) = matching_brace(tokens, k) {
+                            body = Some((tokens[k].off + 1, tokens[close].off));
+                        }
+                        break;
+                    }
+                    ";" if paren == 0 && bracket == 0 => {
+                        sig_end = tokens[k].off;
+                        sig_end_tok = k;
+                        break;
+                    }
+                    _ => {}
+                }
+                k += 1;
+            }
+            let sig = clean[t.off..sig_end.max(t.off)].to_owned();
+            let impl_type = impls
+                .iter()
+                .rev()
+                .find(|im| t.off >= im.body.0 && t.off < im.body.1)
+                .map(|im| im.type_name.clone());
+            functions.push(FnInfo {
+                name,
+                is_pub: is_pub_fn(tokens, i),
+                sig,
+                body,
+                impl_type,
+                off: t.off,
+                returns_result: sig_returns_result(tokens, i, sig_end_tok),
+            });
+        }
+        i += 1;
+    }
+    (impls, functions)
+}
+
+/// Extract `use` import leaves. Grouped trees (`use a::{b, c::d};`)
+/// flatten into one leaf per branch; `as` renames keep the alias as the
+/// final segment.
+pub fn find_uses(tokens: &[Token]) -> Vec<UseImport> {
+    let mut out = Vec::new();
+    let mut i = 0usize;
+    while i < tokens.len() {
+        if !(tokens[i].text == "use" && tokens[i].is_ident) {
+            i += 1;
+            continue;
+        }
+        let off = tokens[i].off;
+        // parse the tree up to `;`
+        let mut prefix: Vec<String> = Vec::new();
+        let mut stack: Vec<Vec<String>> = Vec::new();
+        // after `}` the restored prefix was already flattened into its
+        // leaves — a following `,`/`}`/`;` must not emit it as a bare
+        // import (`use a::{b, c}` is not also `use a`)
+        let mut consumed = false;
+        let mut j = i + 1;
+        while j < tokens.len() {
+            let t = &tokens[j];
+            match t.text.as_str() {
+                ";" => break,
+                "{" => {
+                    stack.push(prefix.clone());
+                }
+                "}" => {
+                    if !consumed
+                        && !prefix.is_empty()
+                        && prefix.len() > stack.last().map(|s| s.len()).unwrap_or(0)
+                    {
+                        out.push(UseImport {
+                            path: prefix.clone(),
+                            off,
+                        });
+                    }
+                    prefix = stack.pop().unwrap_or_default();
+                    consumed = true;
+                }
+                "," => {
+                    if !consumed
+                        && !prefix.is_empty()
+                        && prefix.len() > stack.last().map(|s| s.len()).unwrap_or(0)
+                    {
+                        out.push(UseImport {
+                            path: prefix.clone(),
+                            off,
+                        });
+                    }
+                    prefix = stack.last().cloned().unwrap_or_default();
+                    consumed = false;
+                }
+                "as" => {
+                    // the alias identifier replaces the final segment
+                    if let Some(alias) = tokens.get(j + 1) {
+                        if alias.is_ident {
+                            prefix.pop();
+                            prefix.push(alias.text.clone());
+                            j += 1;
+                        }
+                    }
+                }
+                "*" => {
+                    prefix.push("*".to_owned());
+                    consumed = false;
+                }
+                _ if t.is_ident => {
+                    prefix.push(t.text.clone());
+                    consumed = false;
+                }
+                _ => {}
+            }
+            j += 1;
+        }
+        if !consumed && !prefix.is_empty() && prefix.len() > stack.last().map(|s| s.len()).unwrap_or(0)
+        {
+            out.push(UseImport { path: prefix, off });
+        }
+        i = j + 1;
+    }
+    out
+}
+
+/// Extract call sites: `callee(...)` and `recv.callee(...)`. Macro
+/// invocations (`name!(...)`), definitions (`fn name(`), and
+/// control-flow keywords are excluded.
+pub fn find_calls(tokens: &[Token]) -> Vec<CallSite> {
+    let mut out = Vec::new();
+    for i in 0..tokens.len() {
+        let t = &tokens[i];
+        if !t.is_ident || t.is_int_literal() {
+            continue;
+        }
+        if NON_CALL_KEYWORDS.contains(&t.text.as_str()) {
+            continue;
+        }
+        if tokens.get(i + 1).map(|n| n.text != "(").unwrap_or(true) {
+            continue;
+        }
+        if i > 0 && tokens[i - 1].text == "fn" {
+            continue;
+        }
+        let is_method = i > 0 && tokens[i - 1].text == ".";
+        let recv = if is_method && i >= 2 {
+            let r = &tokens[i - 2];
+            if r.is_ident && !r.is_int_literal() {
+                Some(r.text.clone())
+            } else {
+                None
+            }
+        } else {
+            None
+        };
+        // `Qual::name(` — `::` lexes as two `:` puncts
+        let qual = if !is_method
+            && i >= 3
+            && tokens[i - 1].text == ":"
+            && tokens[i - 2].text == ":"
+            && tokens[i - 3].is_ident
+            && !tokens[i - 3].is_int_literal()
+        {
+            Some(tokens[i - 3].text.clone())
+        } else {
+            None
+        };
+        let args_empty = tokens.get(i + 2).map(|n| n.text == ")").unwrap_or(false);
+        out.push(CallSite {
+            callee: t.text.clone(),
+            recv,
+            qual,
+            tok: i,
+            off: t.off,
+            is_method,
+            args_empty,
+        });
+    }
+    out
+}
+
+/// Index into `functions` of the innermost function whose body contains
+/// byte offset `off`, if any.
+pub fn innermost_fn(functions: &[FnInfo], off: usize) -> Option<usize> {
+    let mut best: Option<(usize, usize)> = None; // (span, idx)
+    for (i, f) in functions.iter().enumerate() {
+        if let Some((s, e)) = f.body {
+            if off >= s && off < e {
+                let span = e - s;
+                if best.map(|(bs, _)| span < bs).unwrap_or(true) {
+                    best = Some((span, i));
+                }
+            }
+        }
+    }
+    best.map(|(_, i)| i)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::source::SourceFile;
+
+    fn parse(src: &str) -> SourceFile {
+        SourceFile::parse("crates/x/src/lib.rs", src)
+    }
+
+    #[test]
+    fn uses_flatten_groups_and_aliases() {
+        let f = parse("use std::fs;\nuse a::{b, c::d};\nuse x::y as z;\n");
+        let paths: Vec<String> = f.uses.iter().map(|u| u.path.join("::")).collect();
+        assert_eq!(paths, ["std::fs", "a::b", "a::c::d", "x::z"]);
+    }
+
+    #[test]
+    fn calls_record_receiver_and_shape() {
+        let f = parse("fn f() { go(1); self.vfs.write(p, d); x.read(); name!(arg); }");
+        let calls: Vec<(String, Option<String>, bool)> = f
+            .calls
+            .iter()
+            .map(|c| (c.callee.clone(), c.recv.clone(), c.args_empty))
+            .collect();
+        // `f` definition and `name!` macro are not calls
+        assert_eq!(
+            calls,
+            [
+                ("go".to_owned(), None, false),
+                ("write".to_owned(), Some("vfs".to_owned()), false),
+                ("read".to_owned(), Some("x".to_owned()), true),
+            ]
+        );
+    }
+
+    #[test]
+    fn returns_result_detects_aliases() {
+        let f = parse(
+            "fn a() -> StoreResult<()> { x() }\n\
+             fn b() -> Option<u32> { None }\n\
+             fn c() -> std::io::Result<()> { y() }\n\
+             fn d(r: Result<u8, E>) {}\n",
+        );
+        let by_name = |n: &str| f.functions.iter().find(|fi| fi.name == n).expect("fn");
+        assert!(by_name("a").returns_result);
+        assert!(!by_name("b").returns_result);
+        assert!(by_name("c").returns_result);
+        assert!(!by_name("d").returns_result, "param Result is not a return");
+    }
+
+    #[test]
+    fn innermost_fn_prefers_the_nested_body() {
+        let f = parse("fn outer() { fn inner() { leaf(); } other(); }");
+        let leaf = f.calls.iter().find(|c| c.callee == "leaf").expect("leaf");
+        let idx = innermost_fn(&f.functions, leaf.off).expect("in a fn");
+        assert_eq!(f.functions[idx].name, "inner");
+        let other = f.calls.iter().find(|c| c.callee == "other").expect("other");
+        let idx = innermost_fn(&f.functions, other.off).expect("in a fn");
+        assert_eq!(f.functions[idx].name, "outer");
+    }
+}

@@ -1,0 +1,458 @@
+//! The token-level lexer: a byte-exact partition of Rust source into
+//! classified, spanned tokens.
+//!
+//! This replaces the regex-era "mask comments and strings with spaces"
+//! preprocessing (PR 5) with a real lexer. Every byte of the input
+//! belongs to exactly one token — the concatenation of token spans
+//! reproduces the file byte-for-byte, with no gaps and no overlap (the
+//! partition invariant; pinned by `tests/lexer_prop.rs` against both
+//! arbitrary inputs and every `.rs` file in the workspace). Comments and
+//! string/char literals are *classified*, not blanked, which kills the
+//! whole false-positive class where a banned pattern inside a doc
+//! comment or a log message could fool a line-regex: rules only ever see
+//! [`TokKind::is_code`] tokens.
+//!
+//! The lexer is total: any byte sequence lexes (unterminated literals
+//! and comments extend to end of input), so malformed fixtures and
+//! non-Rust text degrade gracefully instead of panicking.
+
+/// Classification of one lexed token.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokKind {
+    /// Horizontal/vertical whitespace run.
+    Whitespace,
+    /// `// ...` to end of line (newline not included).
+    LineComment,
+    /// `/* ... */`, nesting; unterminated extends to end of input.
+    BlockComment,
+    /// `"..."`, `b"..."`, `r"..."`, `r#"..."#`, `br#"..."#` — the whole
+    /// literal including delimiters and prefix.
+    Str,
+    /// `'x'`, `'\n'`, `b'x'` — the whole literal.
+    Char,
+    /// `'ident` lifetime (tick included).
+    Lifetime,
+    /// Identifier or keyword.
+    Ident,
+    /// Integer literal (including `0x...`, `_` separators, suffixes).
+    Int,
+    /// Float literal (`1.5`, `1e9`, `2.5e-3`).
+    Float,
+    /// One punctuation byte (`::` is two `:` tokens).
+    Punct,
+}
+
+impl TokKind {
+    /// Whether rules should see this token: code tokens only — comments,
+    /// strings, chars, and whitespace are classified out of the stream.
+    pub fn is_code(self) -> bool {
+        matches!(
+            self,
+            TokKind::Ident | TokKind::Int | TokKind::Float | TokKind::Punct | TokKind::Lifetime
+        )
+    }
+}
+
+/// One lexed token: a classified byte span of the raw source.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Tok {
+    pub kind: TokKind,
+    /// Byte offset of the first byte.
+    pub start: usize,
+    /// Byte offset one past the last byte.
+    pub end: usize,
+}
+
+/// Lex `src` into a byte-exact partition.
+pub fn lex(src: &str) -> Vec<Tok> {
+    Lexer {
+        src: src.as_bytes(),
+        pos: 0,
+    }
+    .run()
+}
+
+struct Lexer<'a> {
+    src: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Lexer<'a> {
+    fn run(mut self) -> Vec<Tok> {
+        let mut out = Vec::new();
+        while self.pos < self.src.len() {
+            let start = self.pos;
+            let kind = self.next_kind();
+            debug_assert!(self.pos > start, "lexer must make progress");
+            out.push(Tok {
+                kind,
+                start,
+                end: self.pos,
+            });
+        }
+        out
+    }
+
+    fn peek(&self, ahead: usize) -> Option<u8> {
+        self.src.get(self.pos + ahead).copied()
+    }
+
+    /// Advance past one UTF-8 character (or one byte on invalid UTF-8).
+    fn bump_char(&mut self) {
+        let b = self.src[self.pos];
+        let width = match b {
+            0x00..=0x7f => 1,
+            0xc0..=0xdf => 2,
+            0xe0..=0xef => 3,
+            0xf0..=0xf7 => 4,
+            _ => 1,
+        };
+        self.pos = (self.pos + width).min(self.src.len());
+    }
+
+    fn next_kind(&mut self) -> TokKind {
+        let b = self.src[self.pos];
+        if b.is_ascii_whitespace() {
+            while self
+                .peek(0)
+                .map(|c| c.is_ascii_whitespace())
+                .unwrap_or(false)
+            {
+                self.pos += 1;
+            }
+            return TokKind::Whitespace;
+        }
+        if b == b'/' && self.peek(1) == Some(b'/') {
+            while self.peek(0).map(|c| c != b'\n').unwrap_or(false) {
+                self.bump_char();
+            }
+            return TokKind::LineComment;
+        }
+        if b == b'/' && self.peek(1) == Some(b'*') {
+            self.pos += 2;
+            let mut depth = 1usize;
+            while depth > 0 && self.pos < self.src.len() {
+                if self.peek(0) == Some(b'/') && self.peek(1) == Some(b'*') {
+                    depth += 1;
+                    self.pos += 2;
+                } else if self.peek(0) == Some(b'*') && self.peek(1) == Some(b'/') {
+                    depth -= 1;
+                    self.pos += 2;
+                } else {
+                    self.bump_char();
+                }
+            }
+            return TokKind::BlockComment;
+        }
+        // raw / byte string prefixes: r" r#" br" br#" b" — only at token
+        // start, so identifiers containing r/b can't false-trigger.
+        if b == b'r' || b == b'b' {
+            let mut j = self.pos;
+            if self.src[j] == b'b' && self.src.get(j + 1) == Some(&b'r') {
+                j += 1;
+            }
+            if self.src[j] == b'r' {
+                let mut k = j + 1;
+                let mut hashes = 0usize;
+                while self.src.get(k) == Some(&b'#') {
+                    hashes += 1;
+                    k += 1;
+                }
+                if self.src.get(k) == Some(&b'"') {
+                    self.pos = k + 1;
+                    self.consume_raw_tail(hashes);
+                    return TokKind::Str;
+                }
+            }
+            if b == b'b' {
+                match self.peek(1) {
+                    Some(b'"') => {
+                        self.pos += 2;
+                        self.consume_str_tail(b'"');
+                        return TokKind::Str;
+                    }
+                    Some(b'\'') => {
+                        self.pos += 2;
+                        self.consume_str_tail(b'\'');
+                        return TokKind::Char;
+                    }
+                    _ => {}
+                }
+            }
+        }
+        if b == b'"' {
+            self.pos += 1;
+            self.consume_str_tail(b'"');
+            return TokKind::Str;
+        }
+        if b == b'\'' {
+            // char literal vs lifetime: an escape or a close quote two
+            // chars on means a char; otherwise `'ident` is a lifetime.
+            let is_char = match self.peek(1) {
+                Some(b'\\') => true,
+                Some(_) => {
+                    // `'x'` (ascii) or `'λ'` (the close quote lands after
+                    // the char's UTF-8 width)
+                    let w = match self.peek(1) {
+                        Some(c @ 0xc0..=0xdf) => {
+                            let _ = c;
+                            2
+                        }
+                        Some(0xe0..=0xef) => 3,
+                        Some(0xf0..=0xf7) => 4,
+                        _ => 1,
+                    };
+                    self.peek(1 + w) == Some(b'\'')
+                }
+                None => false,
+            };
+            if is_char {
+                self.pos += 1;
+                self.consume_str_tail(b'\'');
+                return TokKind::Char;
+            }
+            self.pos += 1;
+            while self
+                .peek(0)
+                .map(|c| c.is_ascii_alphanumeric() || c == b'_' || c >= 0x80)
+                .unwrap_or(false)
+            {
+                self.bump_char();
+            }
+            return TokKind::Lifetime;
+        }
+        if b.is_ascii_digit() {
+            return self.consume_number();
+        }
+        if b.is_ascii_alphabetic() || b == b'_' || b >= 0x80 {
+            while self
+                .peek(0)
+                .map(|c| c.is_ascii_alphanumeric() || c == b'_' || c >= 0x80)
+                .unwrap_or(false)
+            {
+                self.bump_char();
+            }
+            return TokKind::Ident;
+        }
+        // single punctuation byte
+        self.pos += 1;
+        TokKind::Punct
+    }
+
+    /// Consume a quoted tail up to an unescaped `close` (or end of input).
+    fn consume_str_tail(&mut self, close: u8) {
+        while self.pos < self.src.len() {
+            match self.src[self.pos] {
+                b'\\' => {
+                    self.pos = (self.pos + 2).min(self.src.len());
+                }
+                c if c == close => {
+                    self.pos += 1;
+                    return;
+                }
+                _ => self.bump_char(),
+            }
+        }
+    }
+
+    /// Consume a raw-string tail up to `"` followed by `hashes` hashes.
+    fn consume_raw_tail(&mut self, hashes: usize) {
+        while self.pos < self.src.len() {
+            if self.src[self.pos] == b'"' {
+                let mut h = 0usize;
+                while h < hashes && self.src.get(self.pos + 1 + h) == Some(&b'#') {
+                    h += 1;
+                }
+                if h == hashes {
+                    self.pos += 1 + hashes;
+                    return;
+                }
+            }
+            self.bump_char();
+        }
+    }
+
+    fn consume_number(&mut self) -> TokKind {
+        // digits, hex/oct/bin bodies, `_` separators, and type suffixes
+        // all fall in the alnum/underscore run
+        while self
+            .peek(0)
+            .map(|c| c.is_ascii_alphanumeric() || c == b'_')
+            .unwrap_or(false)
+        {
+            self.pos += 1;
+        }
+        let mut kind = TokKind::Int;
+        // fractional part: `.` followed by a digit (`1..2` stays Int)
+        if self.peek(0) == Some(b'.')
+            && self
+                .peek(1)
+                .map(|c| c.is_ascii_digit())
+                .unwrap_or(false)
+        {
+            self.pos += 1;
+            while self
+                .peek(0)
+                .map(|c| c.is_ascii_alphanumeric() || c == b'_')
+                .unwrap_or(false)
+            {
+                self.pos += 1;
+            }
+            kind = TokKind::Float;
+        }
+        // signed exponent (`1e5` is already consumed by the alnum run;
+        // only `1e+5` / `2.5E-3` need the explicit sign step)
+        if self.src[self.pos - 1].eq_ignore_ascii_case(&b'e')
+            && matches!(self.peek(0), Some(b'+') | Some(b'-'))
+            && self
+                .peek(1)
+                .map(|c| c.is_ascii_digit())
+                .unwrap_or(false)
+        {
+            self.pos += 1;
+            while self
+                .peek(0)
+                .map(|c| c.is_ascii_alphanumeric() || c == b'_')
+                .unwrap_or(false)
+            {
+                self.pos += 1;
+            }
+            kind = TokKind::Float;
+        }
+        kind
+    }
+}
+
+/// Rebuild the masked text (comment and literal contents blanked,
+/// newlines and byte offsets preserved) from a lexed partition. Kept for
+/// compatibility with the pre-lexer `mask()` surface; unlike the old
+/// char-based masker this is byte-preserving, so offsets into the masked
+/// text equal offsets into the raw source even with multi-byte chars.
+pub fn masked(src: &str, toks: &[Tok]) -> String {
+    let bytes = src.as_bytes();
+    let mut out = Vec::with_capacity(bytes.len());
+    for t in toks {
+        if t.kind.is_code() || t.kind == TokKind::Whitespace {
+            out.extend_from_slice(&bytes[t.start..t.end]);
+        } else {
+            for &b in &bytes[t.start..t.end] {
+                out.push(if b == b'\n' { b'\n' } else { b' ' });
+            }
+        }
+    }
+    // blanking multi-byte chars to single spaces keeps the length equal
+    // because we blank per *byte*; the result is pure ASCII + newlines
+    String::from_utf8(out).unwrap_or_default()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn partition_ok(src: &str) {
+        let toks = lex(src);
+        let mut pos = 0usize;
+        for t in &toks {
+            assert_eq!(t.start, pos, "gap/overlap at {pos} in {src:?}");
+            assert!(t.end > t.start, "empty token in {src:?}");
+            pos = t.end;
+        }
+        assert_eq!(pos, src.len(), "tail not covered in {src:?}");
+    }
+
+    fn kinds(src: &str) -> Vec<TokKind> {
+        lex(src)
+            .iter()
+            .filter(|t| t.kind != TokKind::Whitespace)
+            .map(|t| t.kind)
+            .collect()
+    }
+
+    #[test]
+    fn partitions_basic_source() {
+        for src in [
+            "",
+            "fn main() {}\n",
+            "let s = \"std::fs\"; // std::fs\n/* .unwrap() */ let c = 'p';",
+            "let r = r#\"panic!(\"x\")\"#; let lt: &'static str = q;",
+            "let b = b\"fs\"; let bc = b'x'; let e = '\\'';",
+            "let f = 1.5e-3; let i = 0xff_u32; let r = 1..2;",
+            "let u = \"λλ\"; // λ comment\nlet v = 'λ';",
+            "/* unterminated",
+            "\"unterminated",
+            "r#\"unterminated",
+        ] {
+            partition_ok(src);
+        }
+    }
+
+    #[test]
+    fn classifies_comments_and_strings() {
+        assert_eq!(
+            kinds("a \"s\" // c"),
+            [TokKind::Ident, TokKind::Str, TokKind::LineComment]
+        );
+        assert_eq!(
+            kinds("/* x /* y */ z */ b"),
+            [TokKind::BlockComment, TokKind::Ident]
+        );
+        assert_eq!(kinds("r#\"x\"# 'c' 'life"), [
+            TokKind::Str,
+            TokKind::Char,
+            TokKind::Lifetime
+        ]);
+        assert_eq!(kinds("b\"x\" b'y' br#\"z\"#"), [
+            TokKind::Str,
+            TokKind::Char,
+            TokKind::Str
+        ]);
+    }
+
+    #[test]
+    fn numbers_and_ranges() {
+        assert_eq!(kinds("1.5"), [TokKind::Float]);
+        assert_eq!(kinds("2.5e-3"), [TokKind::Float]);
+        assert_eq!(kinds("1e9"), [TokKind::Int]); // alnum run; fine either way
+        assert_eq!(
+            kinds("1..2"),
+            [TokKind::Int, TokKind::Punct, TokKind::Punct, TokKind::Int]
+        );
+        assert_eq!(kinds("0xff_u64"), [TokKind::Int]);
+        // method call on an int stays int + punct + ident
+        assert_eq!(
+            kinds("1.max(2)")[..2],
+            [TokKind::Int, TokKind::Punct]
+        );
+    }
+
+    #[test]
+    fn idents_with_string_prefix_letters_do_not_eat_strings() {
+        // `abr` is an ident, the string is separate
+        let k = kinds("abr\"x\"");
+        assert_eq!(k, [TokKind::Ident, TokKind::Str]);
+        // but a lone r/b before a quote is a raw/byte string
+        assert_eq!(kinds("r\"x\""), [TokKind::Str]);
+    }
+
+    #[test]
+    fn masked_is_byte_preserving() {
+        let src = "let a = \"λλ std::fs\"; // λ .unwrap()\nlet b = 1;";
+        let toks = lex(src);
+        let m = masked(src, &toks);
+        assert_eq!(m.len(), src.len());
+        assert!(!m.contains("std::fs"));
+        assert!(!m.contains("unwrap"));
+        assert!(m.contains("let b = 1;"));
+        assert_eq!(
+            m.matches('\n').count(),
+            src.matches('\n').count()
+        );
+    }
+
+    #[test]
+    fn escaped_quotes_stay_inside_the_literal() {
+        partition_ok(r#"let s = "a\"b"; x()"#);
+        let k = kinds(r#""a\"b" x"#);
+        assert_eq!(k, [TokKind::Str, TokKind::Ident]);
+    }
+}

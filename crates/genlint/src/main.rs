@@ -1,15 +1,25 @@
 //! CLI driver for genlint.
 //!
 //! ```text
-//! genlint [--root DIR] [--config FILE] [--json] [--deny] [--list-rules]
+//! genlint [--root DIR] [--config FILE] [--format human|json|sarif]
+//!         [--deny] [--jobs N] [--no-cache] [--cache FILE]
+//!         [--lock-graph] [--list-rules]
 //! ```
 //!
 //! * `--root` — workspace root to scan (default: current directory).
 //! * `--config` — config path (default: `<root>/genlint.toml`; scanning
 //!   without one uses built-in defaults, which declare no mutator sets or
 //!   locks — fine for fixtures, wrong for CI).
-//! * `--json` — machine-readable report on stdout.
+//! * `--format` — `human` (default), `json`, or `sarif`; `--json` is a
+//!   compatibility alias for `--format json`.
 //! * `--deny` — exit 1 when any finding survives the baseline (CI mode).
+//! * `--jobs N` — worker threads for the per-file phase (default: auto).
+//! * `--no-cache` / `--cache FILE` — the incremental cache is on by
+//!   default at `<root>/target/genlint-cache.txt` (inside a skipped
+//!   directory, so it never scans itself); `--no-cache` forces a full
+//!   run, `--cache` moves the file.
+//! * `--lock-graph` — print the observed whole-program lock acquisition
+//!   graph and exit (debugging surface for the `lock-order-graph` rule).
 //! * `--list-rules` — print the rule registry and exit.
 //!
 //! Exit codes: 0 clean (or findings without `--deny`), 1 findings under
@@ -18,11 +28,22 @@
 use std::path::PathBuf;
 use std::process::ExitCode;
 
+#[derive(PartialEq)]
+enum Format {
+    Human,
+    Json,
+    Sarif,
+}
+
 struct Args {
     root: PathBuf,
     config: Option<PathBuf>,
-    json: bool,
+    format: Format,
     deny: bool,
+    jobs: usize,
+    no_cache: bool,
+    cache: Option<PathBuf>,
+    lock_graph: bool,
     list_rules: bool,
 }
 
@@ -30,8 +51,12 @@ fn parse_args() -> Result<Args, String> {
     let mut args = Args {
         root: PathBuf::from("."),
         config: None,
-        json: false,
+        format: Format::Human,
         deny: false,
+        jobs: 0,
+        no_cache: false,
+        cache: None,
+        lock_graph: false,
         list_rules: false,
     };
     let mut it = std::env::args().skip(1);
@@ -43,12 +68,38 @@ fn parse_args() -> Result<Args, String> {
             "--config" => {
                 args.config = Some(PathBuf::from(it.next().ok_or("--config needs a file")?));
             }
-            "--json" => args.json = true,
+            "--format" => {
+                args.format = match it.next().as_deref() {
+                    Some("human") => Format::Human,
+                    Some("json") => Format::Json,
+                    Some("sarif") => Format::Sarif,
+                    other => {
+                        return Err(format!(
+                            "--format needs human|json|sarif, got {}",
+                            other.unwrap_or("nothing")
+                        ))
+                    }
+                };
+            }
+            "--json" => args.format = Format::Json,
             "--deny" => args.deny = true,
+            "--jobs" => {
+                args.jobs = it
+                    .next()
+                    .ok_or("--jobs needs a thread count")?
+                    .parse()
+                    .map_err(|_| "--jobs needs a number")?;
+            }
+            "--no-cache" => args.no_cache = true,
+            "--cache" => {
+                args.cache = Some(PathBuf::from(it.next().ok_or("--cache needs a file")?));
+            }
+            "--lock-graph" => args.lock_graph = true,
             "--list-rules" => args.list_rules = true,
             "--help" | "-h" => {
-                return Err("usage: genlint [--root DIR] [--config FILE] [--json] [--deny] \
-                            [--list-rules]"
+                return Err("usage: genlint [--root DIR] [--config FILE] \
+                            [--format human|json|sarif] [--deny] [--jobs N] [--no-cache] \
+                            [--cache FILE] [--lock-graph] [--list-rules]"
                     .to_owned())
             }
             other => return Err(format!("unknown argument `{other}` (try --help)")),
@@ -61,8 +112,10 @@ fn run() -> Result<ExitCode, String> {
     let args = parse_args()?;
     if args.list_rules {
         for rule in genlint::rules::registry() {
-            println!("{:<16} {}", rule.name(), rule.description());
+            println!("{:<18} {}", rule.name(), rule.description());
         }
+        let (name, desc) = genlint::rules::LOCK_ORDER_GRAPH;
+        println!("{name:<18} {desc} (whole-program pass)");
         return Ok(ExitCode::SUCCESS);
     }
     let config_path = args
@@ -78,12 +131,31 @@ fn run() -> Result<ExitCode, String> {
     } else {
         genlint::config::Config::default()
     };
-    let result = genlint::scan(&args.root, &cfg)
-        .map_err(|e| format!("scan of {}: {e}", args.root.display()))?;
-    if args.json {
-        print!("{}", genlint::report::json(&result));
+    if args.lock_graph {
+        let text = genlint::lock_graph(&args.root, &cfg)
+            .map_err(|e| format!("lock graph of {}: {e}", args.root.display()))?;
+        print!("{text}");
+        return Ok(ExitCode::SUCCESS);
+    }
+    let cache_path = if args.no_cache {
+        None
     } else {
-        print!("{}", genlint::report::human(&result));
+        Some(
+            args.cache
+                .clone()
+                .unwrap_or_else(|| args.root.join("target/genlint-cache.txt")),
+        )
+    };
+    let opts = genlint::ScanOptions {
+        jobs: args.jobs,
+        cache_path,
+    };
+    let result = genlint::scan_with(&args.root, &cfg, &opts)
+        .map_err(|e| format!("scan of {}: {e}", args.root.display()))?;
+    match args.format {
+        Format::Human => print!("{}", genlint::report::human(&result)),
+        Format::Json => print!("{}", genlint::report::json(&result)),
+        Format::Sarif => print!("{}", genlint::report::sarif(&result)),
     }
     if args.deny && !result.findings.is_empty() {
         Ok(ExitCode::FAILURE)

@@ -1,17 +1,25 @@
-//! Human and JSON reporters over a [`ScanResult`].
+//! Human, JSON, and SARIF reporters over a [`ScanResult`].
 //!
-//! JSON is emitted by a hand-rolled escaper (genlint is std-only by
-//! design — see DESIGN.md §11); the schema is stable so CI and the
-//! benchmark harness can parse it:
+//! JSON and SARIF are emitted by a hand-rolled escaper (genlint is
+//! std-only by design — see DESIGN.md §11); the JSON schema is stable so
+//! CI and the benchmark harness can parse it:
 //!
 //! ```json
 //! {
 //!   "files_scanned": 63,
 //!   "suppressed": 2,
+//!   "cache_hits": 0,
 //!   "rules": {"vfs-bypass": 0, ...},
-//!   "findings": [{"rule": "...", "path": "...", "line": 7, "message": "..."}]
+//!   "findings": [{"rule": "...", "path": "...", "line": 7, "col": 13,
+//!                 "message": "..."}]
 //! }
 //! ```
+//!
+//! SARIF output is the minimal valid subset of SARIF 2.1.0 — one run,
+//! one driver, a rule table, and one result per finding with a physical
+//! location — enough for GitHub code scanning and SARIF viewers to
+//! render findings inline. `col == 0` means "whole file" (config-rot
+//! findings); those are emitted without a region.
 
 use crate::rules::{rule_names, Finding};
 use crate::ScanResult;
@@ -45,11 +53,20 @@ pub fn per_rule_counts(findings: &[Finding]) -> Vec<(&'static str, usize)> {
         .collect()
 }
 
-/// Render the human report.
+/// Render the human report. Locations are `path:line:col:`; col 0
+/// (whole-file findings) renders as `path:line:`.
 pub fn human(result: &ScanResult) -> String {
     let mut out = String::new();
     for f in &result.findings {
-        let _ = writeln!(out, "{}:{}: [{}] {}", f.path, f.line, f.rule, f.message);
+        if f.col > 0 {
+            let _ = writeln!(
+                out,
+                "{}:{}:{}: [{}] {}",
+                f.path, f.line, f.col, f.rule, f.message
+            );
+        } else {
+            let _ = writeln!(out, "{}:{}: [{}] {}", f.path, f.line, f.rule, f.message);
+        }
     }
     if !result.findings.is_empty() {
         out.push('\n');
@@ -62,10 +79,11 @@ pub fn human(result: &ScanResult) -> String {
         .join(", ");
     let _ = writeln!(
         out,
-        "genlint: {} finding(s) in {} file(s) ({summary}); {} baselined",
+        "genlint: {} finding(s) in {} file(s) ({summary}); {} baselined, {} cached",
         result.findings.len(),
         result.files_scanned,
-        result.suppressed
+        result.suppressed,
+        result.cache_hits
     );
     out
 }
@@ -76,6 +94,7 @@ pub fn json(result: &ScanResult) -> String {
     out.push_str("{\n");
     let _ = writeln!(out, "  \"files_scanned\": {},", result.files_scanned);
     let _ = writeln!(out, "  \"suppressed\": {},", result.suppressed);
+    let _ = writeln!(out, "  \"cache_hits\": {},", result.cache_hits);
     let rules = per_rule_counts(&result.findings)
         .iter()
         .map(|(name, n)| format!("\"{}\": {n}", json_escape(name)))
@@ -89,10 +108,12 @@ pub fn json(result: &ScanResult) -> String {
         }
         let _ = write!(
             out,
-            "\n    {{\"rule\": \"{}\", \"path\": \"{}\", \"line\": {}, \"message\": \"{}\"}}",
+            "\n    {{\"rule\": \"{}\", \"path\": \"{}\", \"line\": {}, \"col\": {}, \
+             \"message\": \"{}\"}}",
             json_escape(f.rule),
             json_escape(&f.path),
             f.line,
+            f.col,
             json_escape(&f.message)
         );
     }
@@ -103,20 +124,80 @@ pub fn json(result: &ScanResult) -> String {
     out
 }
 
+/// Render the SARIF 2.1.0 report.
+pub fn sarif(result: &ScanResult) -> String {
+    let mut out = String::new();
+    out.push_str("{\n");
+    out.push_str(
+        "  \"$schema\": \
+         \"https://raw.githubusercontent.com/oasis-tcs/sarif-spec/master/Schemata/sarif-schema-2.1.0.json\",\n",
+    );
+    out.push_str("  \"version\": \"2.1.0\",\n");
+    out.push_str("  \"runs\": [{\n");
+    out.push_str("    \"tool\": {\"driver\": {\"name\": \"genlint\", \"rules\": [");
+    let names = rule_names();
+    for (i, name) in names.iter().enumerate() {
+        if i > 0 {
+            out.push_str(", ");
+        }
+        let _ = write!(out, "{{\"id\": \"{}\"}}", json_escape(name));
+    }
+    out.push_str("]}},\n");
+    out.push_str("    \"results\": [");
+    for (i, f) in result.findings.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(
+            out,
+            "\n      {{\"ruleId\": \"{}\", \"level\": \"error\", \
+             \"message\": {{\"text\": \"{}\"}}, \"locations\": [{{\"physicalLocation\": \
+             {{\"artifactLocation\": {{\"uri\": \"{}\"}}",
+            json_escape(f.rule),
+            json_escape(&f.message),
+            json_escape(&f.path),
+        );
+        if f.col > 0 {
+            let _ = write!(
+                out,
+                ", \"region\": {{\"startLine\": {}, \"startColumn\": {}}}",
+                f.line, f.col
+            );
+        }
+        out.push_str("}}]}");
+    }
+    if !result.findings.is_empty() {
+        out.push_str("\n    ");
+    }
+    out.push_str("]\n  }]\n}\n");
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
 
     fn sample() -> ScanResult {
         ScanResult {
-            findings: vec![Finding {
-                rule: "vfs-bypass",
-                path: "crates/import/src/pipeline.rs".into(),
-                line: 73,
-                message: "direct \"std::fs\" call\nsecond line".into(),
-            }],
+            findings: vec![
+                Finding {
+                    rule: "vfs-bypass",
+                    path: "crates/import/src/pipeline.rs".into(),
+                    line: 73,
+                    col: 13,
+                    message: "direct \"std::fs\" call\nsecond line".into(),
+                },
+                Finding {
+                    rule: "cache-coherence",
+                    path: "crates/genmapper/src/model.rs".into(),
+                    line: 1,
+                    col: 0,
+                    message: "whole-file finding".into(),
+                },
+            ],
             suppressed: 2,
             files_scanned: 10,
+            cache_hits: 4,
         }
     }
 
@@ -129,9 +210,11 @@ mod tests {
     #[test]
     fn human_report_has_location_and_summary() {
         let text = human(&sample());
-        assert!(text.contains("crates/import/src/pipeline.rs:73: [vfs-bypass]"));
-        assert!(text.contains("1 finding(s) in 10 file(s)"));
-        assert!(text.contains("2 baselined"));
+        assert!(text.contains("crates/import/src/pipeline.rs:73:13: [vfs-bypass]"));
+        // col 0 drops the column segment
+        assert!(text.contains("crates/genmapper/src/model.rs:1: [cache-coherence]"));
+        assert!(text.contains("2 finding(s) in 10 file(s)"));
+        assert!(text.contains("2 baselined, 4 cached"));
     }
 
     #[test]
@@ -141,7 +224,26 @@ mod tests {
         assert!(text.contains("\\nsecond line"));
         assert!(text.contains("\"vfs-bypass\": 1"));
         assert!(text.contains("\"wal-bracket\": 0"));
+        assert!(text.contains("\"lock-order-graph\": 0"));
         assert!(text.contains("\"files_scanned\": 10"));
+        assert!(text.contains("\"cache_hits\": 4"));
+        assert!(text.contains("\"col\": 13"));
+    }
+
+    #[test]
+    fn sarif_report_has_schema_rules_and_regions() {
+        let text = sarif(&sample());
+        assert!(text.contains("\"version\": \"2.1.0\""));
+        assert!(text.contains("\"name\": \"genlint\""));
+        assert!(text.contains("{\"id\": \"lock-order-graph\"}"));
+        assert!(text.contains("\"startLine\": 73"));
+        assert!(text.contains("\"startColumn\": 13"));
+        // whole-file finding (col 0) carries no region
+        let whole = text
+            .split("genmapper/src/model.rs")
+            .nth(1)
+            .expect("second finding present");
+        assert!(!whole[..whole.find('}').expect("object end")].contains("region"));
     }
 
     #[test]
@@ -150,7 +252,15 @@ mod tests {
             findings: vec![],
             suppressed: 0,
             files_scanned: 0,
+            cache_hits: 0,
         });
         assert!(text.contains("\"findings\": []"));
+        let text = sarif(&ScanResult {
+            findings: vec![],
+            suppressed: 0,
+            files_scanned: 0,
+            cache_hits: 0,
+        });
+        assert!(text.contains("\"results\": []"));
     }
 }

@@ -1,0 +1,249 @@
+//! R8 `atomics-discipline`: `Ordering::Relaxed` is reserved for
+//! telemetry, never coherence.
+//!
+//! The concurrent layers (PRs 7–9) make real decisions on atomics: the
+//! admission CAS in `try_admit_write`, publish/version stamps, stop
+//! flags. Those must use `SeqCst`/`Acquire`/`Release` — a `Relaxed` load
+//! feeding a coherence decision can observe arbitrarily stale state and
+//! no test will catch it deterministically. Plain counters (cache
+//! hit/miss telemetry, the work-stealing cursor) are legitimately
+//! `Relaxed`, so the rule is allowlist-shaped: within the configured
+//! crates, every non-test `Relaxed` must be covered by a
+//! `[[atomics-discipline.relaxed-ok]]` entry naming the file and the
+//! atomic's identifier, with a written reason. Entries that cover no
+//! remaining `Relaxed` site are reported as stale so the allowlist can
+//! only shrink.
+//!
+//! One shape is exempt without an entry: a `Relaxed` *failure* ordering
+//! in a compare-exchange whose success ordering is stronger
+//! (`compare_exchange(a, b, SeqCst, Relaxed)`) — the failure load
+//! publishes nothing, and this is the idiomatic pairing.
+
+use super::{Finding, Rule};
+use crate::config::Config;
+use crate::source::SourceFile;
+
+const STRONG_ORDERINGS: [&str; 4] = ["SeqCst", "Acquire", "Release", "AcqRel"];
+
+pub struct AtomicsDiscipline;
+
+/// Crate name of a `crates/<name>/...` path, if any.
+fn crate_of(rel_path: &str) -> Option<&str> {
+    rel_path.strip_prefix("crates/")?.split('/').next()
+}
+
+impl Rule for AtomicsDiscipline {
+    fn name(&self) -> &'static str {
+        "atomics-discipline"
+    }
+
+    fn description(&self) -> &'static str {
+        "Ordering::Relaxed only on allowlisted telemetry atomics, never coherence decisions"
+    }
+
+    fn check(&self, file: &SourceFile, cfg: &Config, out: &mut Vec<Finding>) {
+        let Some(krate) = crate_of(&file.rel_path) else {
+            return;
+        };
+        if !cfg.atomics_crates.iter().any(|c| c == krate) {
+            return;
+        }
+        // which allowlist idents for this file actually covered a site
+        let entries: Vec<usize> = cfg
+            .relaxed_ok
+            .iter()
+            .enumerate()
+            .filter(|(_, r)| r.file == file.rel_path)
+            .map(|(i, _)| i)
+            .collect();
+        let mut covered: Vec<(usize, &str)> = Vec::new(); // (entry idx, ident)
+        if !file.is_test_file() {
+            for i in 0..file.tokens.len() {
+                let t = &file.tokens[i];
+                if !(t.is_ident && t.text == "Relaxed") || file.is_test(t.off) {
+                    continue;
+                }
+                if is_cas_failure_ordering(file, i) {
+                    continue;
+                }
+                let recv = receiver_of(file, i);
+                let allowed = entries.iter().copied().find(|&e| {
+                    recv.as_deref()
+                        .map(|r| cfg.relaxed_ok[e].idents.iter().any(|id| id == r))
+                        .unwrap_or(false)
+                });
+                if let Some(e) = allowed {
+                    let r = recv.as_deref().unwrap_or("");
+                    if let Some(id) = cfg.relaxed_ok[e].idents.iter().find(|id| *id == r) {
+                        covered.push((e, id.as_str()));
+                    }
+                    continue;
+                }
+                let what = recv
+                    .as_deref()
+                    .map(|r| format!("atomic `{r}`"))
+                    .unwrap_or_else(|| "this atomic".to_owned());
+                out.push(Finding::at(
+                    self.name(),
+                    file,
+                    t.off,
+                    format!(
+                        "Ordering::Relaxed on {what}: a relaxed access can feed a coherence \
+                         decision with stale state — use SeqCst/Acquire/Release, or add the \
+                         ident to [[atomics-discipline.relaxed-ok]] with a reason if it is \
+                         pure telemetry"
+                    ),
+                ));
+            }
+        }
+        // stale allowlist idents: declared but covering no Relaxed site
+        for &e in &entries {
+            for id in &cfg.relaxed_ok[e].idents {
+                if !covered.iter().any(|&(ce, cid)| ce == e && cid == id.as_str()) {
+                    out.push(Finding::whole_file(
+                        self.name(),
+                        file,
+                        format!(
+                            "[[atomics-discipline.relaxed-ok]] ident `{id}` covers no \
+                             Relaxed site in this file — the site was fixed or renamed; \
+                             remove the ident from genlint.toml"
+                        ),
+                    ));
+                }
+            }
+        }
+    }
+}
+
+/// Identifier the `Relaxed` at token `i` belongs to: walk out of the
+/// enclosing argument list and take the receiver of the method call
+/// (`self.hits.fetch_add(1, Ordering::Relaxed)` -> `hits`; a free
+/// `load(&FLAG, Relaxed)` has none).
+fn receiver_of(file: &SourceFile, i: usize) -> Option<String> {
+    // find the `(` opening the argument list containing token i
+    let mut depth = 0i32;
+    let mut j = i;
+    let open = loop {
+        if j == 0 {
+            return None;
+        }
+        j -= 1;
+        match file.tokens[j].text.as_str() {
+            ")" => depth += 1,
+            "(" if depth == 0 => break j,
+            "(" => depth -= 1,
+            ";" | "{" | "}" if depth == 0 => return None,
+            _ => {}
+        }
+    };
+    // `recv . method (` — the ident two before the method name
+    if open >= 3
+        && file.tokens[open - 1].is_ident
+        && file.tokens[open - 2].text == "."
+        && file.tokens[open - 3].is_ident
+        && !file.tokens[open - 3].is_int_literal()
+    {
+        return Some(file.tokens[open - 3].text.clone());
+    }
+    None
+}
+
+/// Whether the `Relaxed` at token `i` is a compare-exchange failure
+/// ordering: a stronger Ordering appears earlier in the same argument
+/// list.
+fn is_cas_failure_ordering(file: &SourceFile, i: usize) -> bool {
+    let mut depth = 0i32;
+    let mut j = i;
+    while j > 0 {
+        j -= 1;
+        let t = &file.tokens[j];
+        match t.text.as_str() {
+            ")" => depth += 1,
+            "(" if depth == 0 => return false,
+            "(" => depth -= 1,
+            ";" | "{" | "}" if depth == 0 => return false,
+            _ if depth == 0 && t.is_ident && STRONG_ORDERINGS.contains(&t.text.as_str()) => {
+                return true;
+            }
+            _ => {}
+        }
+    }
+    false
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::RelaxedOk;
+
+    fn cfg(ok: Vec<RelaxedOk>) -> Config {
+        Config {
+            atomics_crates: vec!["relstore".into()],
+            relaxed_ok: ok,
+            ..Config::default()
+        }
+    }
+
+    fn findings(src: &str, ok: Vec<RelaxedOk>) -> Vec<Finding> {
+        let file = SourceFile::parse("crates/relstore/src/pager.rs", src);
+        let mut out = Vec::new();
+        AtomicsDiscipline.check(&file, &cfg(ok), &mut out);
+        out
+    }
+
+    fn ok_entry(idents: &[&str]) -> RelaxedOk {
+        RelaxedOk {
+            file: "crates/relstore/src/pager.rs".into(),
+            idents: idents.iter().map(|s| s.to_string()).collect(),
+            reason: "telemetry".into(),
+        }
+    }
+
+    #[test]
+    fn flags_unlisted_relaxed() {
+        let out = findings(
+            "fn f(&self) { self.version.store(v, Ordering::Relaxed); }",
+            vec![],
+        );
+        assert_eq!(out.len(), 1, "{out:?}");
+        assert!(out[0].message.contains("`version`"));
+    }
+
+    #[test]
+    fn allowlisted_counter_is_clean_and_tracked() {
+        let src = "fn f(&self) { self.hits.fetch_add(1, Ordering::Relaxed); }";
+        assert!(findings(src, vec![ok_entry(&["hits"])]).is_empty());
+    }
+
+    #[test]
+    fn stale_allowlist_ident_is_reported() {
+        let out = findings("fn f(&self) { work(); }", vec![ok_entry(&["hits"])]);
+        assert_eq!(out.len(), 1, "{out:?}");
+        assert!(out[0].message.contains("covers no"));
+    }
+
+    #[test]
+    fn cas_failure_ordering_is_exempt() {
+        let src = "fn f(&self) { self.gate.compare_exchange(a, b, Ordering::SeqCst, \
+                   Ordering::Relaxed); }";
+        assert!(findings(src, vec![]).is_empty());
+        // but a fully relaxed CAS is flagged
+        let src = "fn f(&self) { self.gate.compare_exchange(a, b, Ordering::Relaxed, \
+                   Ordering::Relaxed); }";
+        assert_eq!(findings(src, vec![]).len(), 2);
+    }
+
+    #[test]
+    fn test_scope_strings_and_other_crates_are_silent() {
+        let src = "#[cfg(test)]\nmod tests { fn f(a: &A) { a.x.store(1, Ordering::Relaxed); } }";
+        assert!(findings(src, vec![]).is_empty());
+        assert!(findings("fn f() { log(\"Ordering::Relaxed\"); }", vec![]).is_empty());
+        let file = SourceFile::parse(
+            "crates/profiling/src/stats.rs",
+            "fn f(&self) { self.n.store(1, Ordering::Relaxed); }",
+        );
+        let mut out = Vec::new();
+        AtomicsDiscipline.check(&file, &cfg(vec![]), &mut out);
+        assert!(out.is_empty(), "unscoped crate");
+    }
+}

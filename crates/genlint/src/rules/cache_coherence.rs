@@ -50,43 +50,41 @@ impl Rule for CacheCoherence {
                     continue;
                 };
                 if !calls(file, body_start, body_end, &set.bump) {
-                    out.push(Finding {
-                        rule: self.name(),
-                        path: file.rel_path.clone(),
-                        line: file.line_of(f.off),
-                        message: format!(
+                    out.push(Finding::at(
+                        self.name(),
+                        file,
+                        f.off,
+                        format!(
                             "pub fn {}(&mut self, ..) on {} does not call {}(); the versioned \
                              mapping cache would serve stale data after this mutation \
                              (bump, or exempt it with a justification in genlint.toml)",
                             f.name, set.type_name, set.bump
                         ),
-                    });
+                    ));
                 }
             }
             if !bump_defined {
-                out.push(Finding {
-                    rule: self.name(),
-                    path: file.rel_path.clone(),
-                    line: 1,
-                    message: format!(
+                out.push(Finding::whole_file(
+                    self.name(),
+                    file,
+                    format!(
                         "mutator set for {} declares bump fn {}() but the file defines no such \
                          method — genlint.toml is out of date",
                         set.type_name, set.bump
                     ),
-                });
+                ));
             }
             for e in &set.exempt {
                 if !seen.iter().any(|s| s == e) {
-                    out.push(Finding {
-                        rule: self.name(),
-                        path: file.rel_path.clone(),
-                        line: 1,
-                        message: format!(
+                    out.push(Finding::whole_file(
+                        self.name(),
+                        file,
+                        format!(
                             "exempt entry `{e}` matches no pub &mut self fn on {} — remove it \
                              from genlint.toml",
                             set.type_name
                         ),
-                    });
+                    ));
                 }
             }
         }

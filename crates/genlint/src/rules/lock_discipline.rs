@@ -39,15 +39,19 @@ use crate::source::SourceFile;
 
 pub struct LockDiscipline;
 
-struct Acquisition {
+/// One declared-lock acquisition, with its guard's lexical extent.
+/// Shared with [`crate::graph`], which builds per-function summaries on
+/// the same extraction so the per-file and whole-program views cannot
+/// disagree about what counts as an acquisition.
+pub(crate) struct Acquisition {
     /// Token index of the receiver identifier.
-    tok: usize,
+    pub(crate) tok: usize,
     /// Lock name (receiver's last path segment).
-    name: String,
+    pub(crate) name: String,
     /// Token index one past the end of the guard's lifetime.
-    extent_end: usize,
+    pub(crate) extent_end: usize,
     /// Binding name when `let`-bound.
-    binding: Option<String>,
+    pub(crate) binding: Option<String>,
 }
 
 impl Rule for LockDiscipline {
@@ -85,17 +89,17 @@ impl Rule for LockDiscipline {
                             && file.tokens[i].is_ident
                             && file.tokens.get(i + 1).map(|t| t.text == "(").unwrap_or(false)
                         {
-                            out.push(Finding {
-                                rule: self.name(),
-                                path: file.rel_path.clone(),
-                                line: file.line_of(file.tokens[i].off),
-                                message: format!(
+                            out.push(Finding::at(
+                                self.name(),
+                                file,
+                                file.tokens[i].off,
+                                format!(
                                     "guard of lock `{}` (bound in fn {}) is still live at this \
                                      spawn(); workers contending for it deadlock — drop the \
                                      guard before fanning out",
                                     a.name, f.name
                                 ),
-                            });
+                            ));
                             break;
                         }
                     }
@@ -107,17 +111,17 @@ impl Rule for LockDiscipline {
                         && cfg.guard_free_calls.iter().any(|n| n == &t.text)
                         && file.tokens.get(i + 1).map(|x| x.text == "(").unwrap_or(false)
                     {
-                        out.push(Finding {
-                            rule: self.name(),
-                            path: file.rel_path.clone(),
-                            line: file.line_of(t.off),
-                            message: format!(
+                        out.push(Finding::at(
+                            self.name(),
+                            file,
+                            t.off,
+                            format!(
                                 "guard of lock `{}` is still live at this call to {}() in \
                                  fn {}; snapshot read paths run guard-free — clone the \
                                  published Arc and drop the guard first",
                                 a.name, t.text, f.name
                             ),
-                        });
+                        ));
                         break;
                     }
                 }
@@ -127,43 +131,43 @@ impl Rule for LockDiscipline {
                         break;
                     }
                     if b.name == a.name {
-                        out.push(Finding {
-                            rule: self.name(),
-                            path: file.rel_path.clone(),
-                            line: file.line_of(file.tokens[b.tok].off),
-                            message: format!(
+                        out.push(Finding::at(
+                            self.name(),
+                            file,
+                            file.tokens[b.tok].off,
+                            format!(
                                 "lock `{}` re-acquired in fn {} while its own guard is live \
                                  (self-deadlock / double-lock panic)",
                                 a.name, f.name
                             ),
-                        });
+                        ));
                         continue;
                     }
                     let pos_a = cfg.lock_order.iter().position(|n| n == &a.name);
                     let pos_b = cfg.lock_order.iter().position(|n| n == &b.name);
                     match (pos_a, pos_b) {
                         (Some(pa), Some(pb)) if pb > pa => {}
-                        (Some(_), Some(_)) => out.push(Finding {
-                            rule: self.name(),
-                            path: file.rel_path.clone(),
-                            line: file.line_of(file.tokens[b.tok].off),
-                            message: format!(
+                        (Some(_), Some(_)) => out.push(Finding::at(
+                            self.name(),
+                            file,
+                            file.tokens[b.tok].off,
+                            format!(
                                 "lock `{}` acquired while holding `{}` in fn {}, against the \
                                  declared order in genlint.toml [lock-discipline]",
                                 b.name, a.name, f.name
                             ),
-                        }),
-                        _ => out.push(Finding {
-                            rule: self.name(),
-                            path: file.rel_path.clone(),
-                            line: file.line_of(file.tokens[b.tok].off),
-                            message: format!(
+                        )),
+                        _ => out.push(Finding::at(
+                            self.name(),
+                            file,
+                            file.tokens[b.tok].off,
+                            format!(
                                 "nested locks `{}` then `{}` in fn {} but at least one is \
                                  missing from the declared order — add both to \
                                  [lock-discipline] order",
                                 a.name, b.name, f.name
                             ),
-                        }),
+                        )),
                     }
                 }
             }
@@ -190,35 +194,34 @@ fn check_read_entries(
                 }
                 found = true;
                 if file.fn_takes_mut_self(f.off) {
-                    out.push(Finding {
+                    out.push(Finding::at(
                         rule,
-                        path: file.rel_path.clone(),
-                        line: file.line_of(f.off),
-                        message: format!(
+                        file,
+                        f.off,
+                        format!(
                             "read-path entry point {method}() takes &mut self; snapshot \
                              readers must share it with &self (declared in genlint.toml \
                              [[lock-discipline.read-entries]])"
                         ),
-                    });
+                    ));
                 }
             }
             if !found {
-                out.push(Finding {
+                out.push(Finding::whole_file(
                     rule,
-                    path: file.rel_path.clone(),
-                    line: 1,
-                    message: format!(
+                    file,
+                    format!(
                         "read-entry `{method}` matches no fn in this file — genlint.toml \
                          [[lock-discipline.read-entries]] is out of date"
                     ),
-                });
+                ));
             }
         }
     }
 }
 
 /// Brace depth of each token in `[lo, hi)`, relative to the body.
-fn token_depths(file: &SourceFile, lo: usize, hi: usize) -> Vec<i32> {
+pub(crate) fn token_depths(file: &SourceFile, lo: usize, hi: usize) -> Vec<i32> {
     let mut depths = Vec::with_capacity(hi - lo);
     let mut d = 0i32;
     for i in lo..hi {
@@ -238,7 +241,7 @@ fn token_depths(file: &SourceFile, lo: usize, hi: usize) -> Vec<i32> {
 }
 
 /// Declared-lock acquisitions in `[lo, hi)`, in token order.
-fn find_acquisitions(
+pub(crate) fn find_acquisitions(
     file: &SourceFile,
     cfg: &Config,
     lo: usize,

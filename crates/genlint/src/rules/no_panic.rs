@@ -58,15 +58,15 @@ impl Rule for NoPanic {
                 && (file.tokens[i + 1].text == "unwrap" || file.tokens[i + 1].text == "expect")
             {
                 let what = &file.tokens[i + 1].text;
-                out.push(Finding {
-                    rule: self.name(),
-                    path: file.rel_path.clone(),
-                    line: file.line_of(t.off),
-                    message: format!(
+                out.push(Finding::at(
+                    self.name(),
+                    file,
+                    t.off,
+                    format!(
                         ".{what}() can panic; propagate a GamError/StoreError instead \
                          (or restructure so the invariant is checked by construction)"
                     ),
-                });
+                ));
                 continue;
             }
             // panic-family macros
@@ -75,15 +75,15 @@ impl Rule for NoPanic {
                 && i + 1 < file.tokens.len()
                 && file.tokens[i + 1].text == "!"
             {
-                out.push(Finding {
-                    rule: self.name(),
-                    path: file.rel_path.clone(),
-                    line: file.line_of(t.off),
-                    message: format!(
+                out.push(Finding::at(
+                    self.name(),
+                    file,
+                    t.off,
+                    format!(
                         "{}! aborts the whole import on reachable input; return an error",
                         t.text
                     ),
-                });
+                ));
                 continue;
             }
             // `fields[3]`-style raw indexing on parser split buffers
@@ -93,16 +93,16 @@ impl Rule for NoPanic {
                 && file.tokens[i + 1].text == "["
                 && file.tokens[i + 2].is_int_literal()
             {
-                out.push(Finding {
-                    rule: self.name(),
-                    path: file.rel_path.clone(),
-                    line: file.line_of(t.off),
-                    message: format!(
+                out.push(Finding::at(
+                    self.name(),
+                    file,
+                    t.off,
+                    format!(
                         "raw `{}[{}]` indexing panics on short input; use .get({}) with a \
                          located parse error",
                         t.text, file.tokens[i + 2].text, file.tokens[i + 2].text
                     ),
-                });
+                ));
             }
         }
     }

@@ -56,29 +56,28 @@ impl Rule for PlanCoherence {
                     }
                     found = true;
                     if !body_touches_seam(file, f, &cfg.plan_seam_calls) {
-                        out.push(Finding {
-                            rule: self.name(),
-                            path: file.rel_path.clone(),
-                            line: file.line_of(f.off),
-                            message: format!(
+                        out.push(Finding::at(
+                            self.name(),
+                            file,
+                            f.off,
+                            format!(
                                 "entry point {name}() never touches the planner seam \
                                  ({}); execution must route through crate::plan so \
                                  cost-based rewrites and explain stay coherent",
                                 cfg.plan_seam_calls.join(", ")
                             ),
-                        });
+                        ));
                     }
                 }
                 if !found {
-                    out.push(Finding {
-                        rule: self.name(),
-                        path: file.rel_path.clone(),
-                        line: 1,
-                        message: format!(
+                    out.push(Finding::whole_file(
+                        self.name(),
+                        file,
+                        format!(
                             "entry point `{name}` matches no fn in this file — \
                              genlint.toml [[plan-coherence.entry-points]] is out of date"
                         ),
-                    });
+                    ));
                 }
             }
             for f in &file.functions {
@@ -89,18 +88,18 @@ impl Rule for PlanCoherence {
                     continue;
                 }
                 if set.prefixes.iter().any(|p| f.name.starts_with(p.as_str())) {
-                    out.push(Finding {
-                        rule: self.name(),
-                        path: file.rel_path.clone(),
-                        line: file.line_of(f.off),
-                        message: format!(
+                    out.push(Finding::at(
+                        self.name(),
+                        file,
+                        f.off,
+                        format!(
                             "pub fn {}() looks like a new execution entry point \
                              (matches a declared prefix) but is not listed in \
                              [[plan-coherence.entry-points]] — declare it and route \
                              it through the planner seam",
                             f.name
                         ),
-                    });
+                    ));
                 }
             }
         }

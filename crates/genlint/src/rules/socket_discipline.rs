@@ -42,16 +42,15 @@ impl Rule for SocketDiscipline {
                 .iter()
                 .any(|t| t.is_ident && t.text == cfg.socket_wrapper_type);
             if !defines {
-                out.push(Finding {
-                    rule: self.name(),
-                    path: file.rel_path.clone(),
-                    line: 1,
-                    message: format!(
+                out.push(Finding::whole_file(
+                    self.name(),
+                    file,
+                    format!(
                         "declared socket wrapper `{}` no longer defines `{}`; \
                          the [socket-discipline] config is out of date",
                         cfg.socket_wrapper, cfg.socket_wrapper_type
                     ),
-                });
+                ));
             }
             return;
         }
@@ -71,16 +70,16 @@ impl Rule for SocketDiscipline {
                 continue;
             }
             lines_seen.push(line);
-            out.push(Finding {
-                rule: self.name(),
-                path: file.rel_path.clone(),
-                line,
-                message: format!(
+            out.push(Finding::at(
+                self.name(),
+                file,
+                t.off,
+                format!(
                     "`{}` reads a service socket outside the `{}` seam; route the \
                      connection through {} so deadlines and size caps apply",
                     t.text, cfg.socket_wrapper_type, cfg.socket_wrapper
                 ),
-            });
+            ));
         }
     }
 }

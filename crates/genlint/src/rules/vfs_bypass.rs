@@ -63,15 +63,15 @@ impl Rule for VfsBypass {
                 continue;
             }
             lines_seen.push(line);
-            out.push(Finding {
-                rule: self.name(),
-                path: file.rel_path.clone(),
-                line,
-                message: "direct std::fs I/O bypasses the Vfs fault-injection layer; \
-                          route it through relstore::vfs::Vfs (or add a justified \
-                          non-durable [[allow]] entry)"
+            out.push(Finding::at(
+                self.name(),
+                file,
+                t.off,
+                "direct std::fs I/O bypasses the Vfs fault-injection layer; \
+                 route it through relstore::vfs::Vfs (or add a justified \
+                 non-durable [[allow]] entry)"
                     .to_owned(),
-            });
+            ));
         }
     }
 }

@@ -78,31 +78,31 @@ impl WalBracket {
                 && file.tokens.get(i + 1).map(|t| t.text == "(").unwrap_or(false)
         });
         let Some(end) = last_end else {
-            out.push(Finding {
-                rule: self.name(),
-                path: file.rel_path.clone(),
-                line: file.line_of(file.tokens[begin].off),
-                message: format!(
+            out.push(Finding::at(
+                self.name(),
+                file,
+                file.tokens[begin].off,
+                format!(
                     "fn {fn_name} calls begin_group_commit() but never end_group_commit(); \
                      the store is left in deferred-sync mode and later commits are not durable"
                 ),
-            });
+            ));
             return;
         };
         for i in begin + 2..end {
             let t = &file.tokens[i];
             if t.text == "?" || (t.is_ident && t.text == "return") {
-                out.push(Finding {
-                    rule: self.name(),
-                    path: file.rel_path.clone(),
-                    line: file.line_of(t.off),
-                    message: format!(
+                out.push(Finding::at(
+                    self.name(),
+                    file,
+                    t.off,
+                    format!(
                         "`{}` inside the group-commit window of fn {fn_name} can skip \
                          end_group_commit(); capture the Result, close the window, then \
                          propagate (see Importer::import)",
                         t.text
                     ),
-                });
+                ));
             }
         }
     }
@@ -128,23 +128,23 @@ impl WalBracket {
             })
         };
         if method_call("write_all") && !method_call("sync") && !method_call("sync_dir") {
-            let line = (lo..hi)
+            let off = (lo..hi)
                 .find(|&i| {
                     file.tokens[i].text == "write_all"
                         && file.tokens.get(i + 1).map(|t| t.text == "(").unwrap_or(false)
                 })
-                .map(|i| file.line_of(file.tokens[i].off))
-                .unwrap_or(1);
-            out.push(Finding {
-                rule: self.name(),
-                path: file.rel_path.clone(),
-                line,
-                message: format!(
+                .map(|i| file.tokens[i].off)
+                .unwrap_or(body_start);
+            out.push(Finding::at(
+                self.name(),
+                file,
+                off,
+                format!(
                     "fn {fn_name} writes without syncing; a power cut here loses the data the \
                      caller believes is durable (sync, or add to [wal-bracket] sync_exempt with \
                      a reason)"
                 ),
-            });
+            ));
         }
     }
 }

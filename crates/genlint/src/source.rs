@@ -1,27 +1,33 @@
-//! Source preparation: a comment/string-masking lexer, `#[cfg(test)]`
-//! scope tracking, and a light function/impl extractor.
+//! Source preparation: the lexed token stream, `#[cfg(test)]` scope
+//! tracking, and the extracted items.
 //!
-//! genlint never needs a real Rust parser: every rule it enforces is a
+//! genlint never needs a full Rust parser: every rule it enforces is a
 //! statement about which *tokens* appear in which *scopes*. The pipeline
 //! here turns a `.rs` file into exactly that shape:
 //!
-//! 1. [`mask`] replaces comment and string/char-literal *contents* with
-//!    spaces (newlines preserved), so token scans cannot be fooled by
+//! 1. [`crate::lexer::lex`] partitions the raw bytes into classified
+//!    spanned tokens; comments and string/char literals are classified
+//!    out rather than blanked, so token scans cannot be fooled by
 //!    `// don't .unwrap() here` or `"std::fs"` inside a message.
-//! 2. The masked text is tokenized into identifiers (numbers included)
-//!    and single punctuation characters, each with a byte offset.
+//! 2. The code tokens ([`crate::lexer::TokKind::is_code`]) become the
+//!    significant-token stream rules scan, each with a byte offset that
+//!    maps to a precise line:col.
 //! 3. A brace-depth pass marks test scope: `#[cfg(test)]` / `#[test]`
 //!    attributed items, `mod tests { ... }` blocks, and whole files under
 //!    `tests/`, `benches/`, or `examples/` directories.
-//! 4. A second pass records `impl` blocks and `fn` items (name,
-//!    visibility, signature, body extent) for the rules that reason about
-//!    functions rather than raw tokens.
+//! 4. [`crate::items`] extracts `impl` blocks, `fn` items, `use`
+//!    imports, and call sites for the rules and the cross-file call
+//!    graph.
 
-/// One lexed token of the masked source.
+use crate::lexer::{self, Tok, TokKind};
+
+pub use crate::items::{CallSite, FnInfo, ImplInfo, UseImport};
+
+/// One significant (code) token.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Token {
-    /// Byte offset into the masked text (newline-aligned with the raw
-    /// source, so offsets map to line numbers).
+    /// Byte offset into the raw source (the lexer is byte-exact, so
+    /// offsets map to line and column numbers directly).
     pub off: usize,
     /// Identifier, keyword, or numeric literal text; single-char string
     /// for punctuation.
@@ -38,60 +44,44 @@ impl Token {
     }
 }
 
-/// An `impl` block found in a file.
-#[derive(Debug, Clone)]
-pub struct ImplInfo {
-    /// Last path segment of the implemented type (`GamStore` for
-    /// `impl GamStore` and for `impl Trait for GamStore`).
-    pub type_name: String,
-    /// Byte range of the block body (inside the braces).
-    pub body: (usize, usize),
-}
-
-/// A `fn` item found in a file.
-#[derive(Debug, Clone)]
-pub struct FnInfo {
-    pub name: String,
-    /// Whether the item carries a `pub` (or `pub(...)`) visibility.
-    pub is_pub: bool,
-    /// Signature text between `fn` and the body brace.
-    pub sig: String,
-    /// Byte range of the body (inside the braces). `None` for bodyless
-    /// declarations (trait methods).
-    pub body: Option<(usize, usize)>,
-    /// Type name of the innermost enclosing `impl` block, if any.
-    pub impl_type: Option<String>,
-    /// Byte offset of the `fn` keyword.
-    pub off: usize,
-}
-
 /// A fully prepared source file.
 pub struct SourceFile {
     /// Workspace-relative path with forward slashes.
     pub rel_path: String,
-    /// Masked text (comments and literal contents replaced by spaces).
+    /// Masked text (comment and literal contents blanked per byte), kept
+    /// for the rules that slice signature text out of the source.
     pub clean: String,
+    /// The full classified lex partition of the raw source.
+    pub lexed: Vec<Tok>,
+    /// Significant (code) tokens only — what rules scan.
     pub tokens: Vec<Token>,
     pub impls: Vec<ImplInfo>,
     pub functions: Vec<FnInfo>,
+    /// Flattened `use` import leaves.
+    pub uses: Vec<UseImport>,
+    /// Call sites (`callee(...)`, `recv.callee(...)`) in token order.
+    pub calls: Vec<CallSite>,
     /// Sorted, disjoint byte ranges of test-only code.
     test_ranges: Vec<(usize, usize)>,
     /// Whole file is test scope (integration tests, benches, examples).
     whole_file_test: bool,
-    /// Byte offsets of line starts, for offset -> line mapping.
+    /// Byte offsets of line starts, for offset -> line:col mapping.
     line_starts: Vec<usize>,
 }
 
 impl SourceFile {
     /// Prepare a file from its raw text.
     pub fn parse(rel_path: &str, raw: &str) -> SourceFile {
-        let clean = mask(raw);
-        let tokens = tokenize(&clean);
+        let lexed = lexer::lex(raw);
+        let clean = lexer::masked(raw, &lexed);
+        let tokens = significant(raw, &lexed);
         let whole_file_test = path_is_test(rel_path);
-        let test_ranges = find_test_ranges(&tokens, clean.len());
-        let (impls, functions) = find_items(&clean, &tokens);
+        let test_ranges = find_test_ranges(&tokens, raw.len());
+        let (impls, functions) = crate::items::find_items(&clean, &tokens);
+        let uses = crate::items::find_uses(&tokens);
+        let calls = crate::items::find_calls(&tokens);
         let mut line_starts = vec![0usize];
-        for (i, b) in clean.bytes().enumerate() {
+        for (i, b) in raw.bytes().enumerate() {
             if b == b'\n' {
                 line_starts.push(i + 1);
             }
@@ -99,9 +89,12 @@ impl SourceFile {
         SourceFile {
             rel_path: rel_path.to_owned(),
             clean,
+            lexed,
             tokens,
             impls,
             functions,
+            uses,
+            calls,
             test_ranges,
             whole_file_test,
             line_starts,
@@ -129,6 +122,12 @@ impl SourceFile {
             Ok(i) => i + 1,
             Err(i) => i,
         }
+    }
+
+    /// 1-based column (in bytes) of a byte offset.
+    pub fn col_of(&self, off: usize) -> usize {
+        let line = self.line_of(off);
+        off - self.line_starts[line - 1] + 1
     }
 
     /// Index of the first token at or after byte offset `off`.
@@ -180,211 +179,57 @@ impl SourceFile {
     }
 }
 
+/// Derive the significant-token stream from a lex partition. Lifetimes
+/// split into a `'` punct plus the identifier (matching the pre-lexer
+/// tokenizer, which rules pattern-match against); everything non-code is
+/// dropped.
+fn significant(raw: &str, lexed: &[Tok]) -> Vec<Token> {
+    let mut out = Vec::new();
+    for t in lexed {
+        match t.kind {
+            TokKind::Ident | TokKind::Int | TokKind::Float => out.push(Token {
+                off: t.start,
+                text: raw[t.start..t.end].to_owned(),
+                is_ident: true,
+            }),
+            TokKind::Punct => out.push(Token {
+                off: t.start,
+                text: raw[t.start..t.end].to_owned(),
+                is_ident: false,
+            }),
+            TokKind::Lifetime => {
+                out.push(Token {
+                    off: t.start,
+                    text: "'".to_owned(),
+                    is_ident: false,
+                });
+                if t.end > t.start + 1 {
+                    out.push(Token {
+                        off: t.start + 1,
+                        text: raw[t.start + 1..t.end].to_owned(),
+                        is_ident: true,
+                    });
+                }
+            }
+            _ => {}
+        }
+    }
+    out
+}
+
+/// Replace comment and string/char-literal contents with spaces,
+/// preserving newlines and byte offsets. Compatibility surface over the
+/// lexer for callers that want masked text without a [`SourceFile`].
+pub fn mask(raw: &str) -> String {
+    let toks = lexer::lex(raw);
+    lexer::masked(raw, &toks)
+}
+
 /// Whether a path is test-only by location.
 fn path_is_test(rel_path: &str) -> bool {
     rel_path
         .split('/')
         .any(|seg| seg == "tests" || seg == "benches" || seg == "examples")
-}
-
-// ---------------------------------------------------------------------------
-// Masking lexer
-// ---------------------------------------------------------------------------
-
-/// Replace comment and string/char-literal contents with spaces,
-/// preserving newlines (and therefore line numbers). Handles line and
-/// (nesting) block comments, plain/byte/raw strings, char and byte-char
-/// literals, and distinguishes lifetimes from char literals.
-pub fn mask(raw: &str) -> String {
-    let b: Vec<char> = raw.chars().collect();
-    let n = b.len();
-    let mut out = String::with_capacity(raw.len());
-    let push_masked = |out: &mut String, c: char| {
-        out.push(if c == '\n' { '\n' } else { ' ' });
-    };
-    let mut i = 0usize;
-    let mut prev_ident = false; // previous emitted char was ident-like
-    while i < n {
-        let c = b[i];
-        // line comment
-        if c == '/' && i + 1 < n && b[i + 1] == '/' {
-            while i < n && b[i] != '\n' {
-                out.push(' ');
-                i += 1;
-            }
-            prev_ident = false;
-            continue;
-        }
-        // block comment (Rust block comments nest)
-        if c == '/' && i + 1 < n && b[i + 1] == '*' {
-            let mut depth = 1usize;
-            out.push(' ');
-            out.push(' ');
-            i += 2;
-            while i < n && depth > 0 {
-                if b[i] == '/' && i + 1 < n && b[i + 1] == '*' {
-                    depth += 1;
-                    out.push(' ');
-                    out.push(' ');
-                    i += 2;
-                } else if b[i] == '*' && i + 1 < n && b[i + 1] == '/' {
-                    depth -= 1;
-                    out.push(' ');
-                    out.push(' ');
-                    i += 2;
-                } else {
-                    push_masked(&mut out, b[i]);
-                    i += 1;
-                }
-            }
-            prev_ident = false;
-            continue;
-        }
-        // raw (and raw byte) strings: r"..", r#".."#, br#".."#
-        if (c == 'r' || c == 'b') && !prev_ident {
-            let mut j = i;
-            if b[j] == 'b' && j + 1 < n && b[j + 1] == 'r' {
-                j += 1;
-            }
-            if b[j] == 'r' {
-                let mut k = j + 1;
-                let mut hashes = 0usize;
-                while k < n && b[k] == '#' {
-                    hashes += 1;
-                    k += 1;
-                }
-                if k < n && b[k] == '"' {
-                    // mask the whole literal including delimiters
-                    for &ch in &b[i..=k] {
-                        push_masked(&mut out, ch);
-                    }
-                    i = k + 1;
-                    'raw: while i < n {
-                        if b[i] == '"' {
-                            let mut h = 0usize;
-                            while h < hashes && i + 1 + h < n && b[i + 1 + h] == '#' {
-                                h += 1;
-                            }
-                            if h == hashes {
-                                for &ch in &b[i..=i + hashes] {
-                                    push_masked(&mut out, ch);
-                                }
-                                i += hashes + 1;
-                                break 'raw;
-                            }
-                        }
-                        push_masked(&mut out, b[i]);
-                        i += 1;
-                    }
-                    prev_ident = false;
-                    continue;
-                }
-            }
-        }
-        // byte string b"..", byte char b'.'
-        if c == 'b' && !prev_ident && i + 1 < n && (b[i + 1] == '"' || b[i + 1] == '\'') {
-            out.push(' ');
-            i += 1;
-            // fall through to the string/char branches below on the quote
-            prev_ident = false;
-            continue;
-        }
-        // string literal
-        if c == '"' {
-            out.push(' ');
-            i += 1;
-            while i < n {
-                if b[i] == '\\' && i + 1 < n {
-                    push_masked(&mut out, b[i]);
-                    push_masked(&mut out, b[i + 1]);
-                    i += 2;
-                    continue;
-                }
-                if b[i] == '"' {
-                    out.push(' ');
-                    i += 1;
-                    break;
-                }
-                push_masked(&mut out, b[i]);
-                i += 1;
-            }
-            prev_ident = false;
-            continue;
-        }
-        // char literal vs lifetime
-        if c == '\'' {
-            let is_char = if i + 1 < n && b[i + 1] == '\\' {
-                true
-            } else {
-                i + 2 < n && b[i + 2] == '\''
-            };
-            if is_char {
-                out.push(' ');
-                i += 1;
-                while i < n {
-                    if b[i] == '\\' && i + 1 < n {
-                        push_masked(&mut out, b[i]);
-                        push_masked(&mut out, b[i + 1]);
-                        i += 2;
-                        continue;
-                    }
-                    if b[i] == '\'' {
-                        out.push(' ');
-                        i += 1;
-                        break;
-                    }
-                    push_masked(&mut out, b[i]);
-                    i += 1;
-                }
-                prev_ident = false;
-                continue;
-            }
-            // lifetime: keep the tick, the following ident is harmless
-            out.push('\'');
-            i += 1;
-            prev_ident = false;
-            continue;
-        }
-        out.push(c);
-        prev_ident = c.is_alphanumeric() || c == '_';
-        i += 1;
-    }
-    out
-}
-
-/// Tokenize masked text into identifiers/numbers and punctuation.
-pub fn tokenize(clean: &str) -> Vec<Token> {
-    let mut tokens = Vec::new();
-    let bytes: Vec<(usize, char)> = clean.char_indices().collect();
-    let n = bytes.len();
-    let mut i = 0usize;
-    while i < n {
-        let (off, c) = bytes[i];
-        if c.is_whitespace() {
-            i += 1;
-            continue;
-        }
-        if c.is_alphanumeric() || c == '_' {
-            let start = i;
-            while i < n && (bytes[i].1.is_alphanumeric() || bytes[i].1 == '_') {
-                i += 1;
-            }
-            let text: String = bytes[start..i].iter().map(|&(_, ch)| ch).collect();
-            tokens.push(Token {
-                off,
-                text,
-                is_ident: true,
-            });
-            continue;
-        }
-        tokens.push(Token {
-            off,
-            text: c.to_string(),
-            is_ident: false,
-        });
-        i += 1;
-    }
-    tokens
 }
 
 // ---------------------------------------------------------------------------
@@ -499,167 +344,6 @@ fn find_test_ranges(tokens: &[Token], len: usize) -> Vec<(usize, usize)> {
     ranges
 }
 
-// ---------------------------------------------------------------------------
-// Item extraction
-// ---------------------------------------------------------------------------
-
-/// Index of the matching `}` for the `{` at token index `open`.
-fn matching_brace(tokens: &[Token], open: usize) -> Option<usize> {
-    let mut depth = 0usize;
-    for (k, t) in tokens.iter().enumerate().skip(open) {
-        match t.text.as_str() {
-            "{" => depth += 1,
-            "}" => {
-                depth -= 1;
-                if depth == 0 {
-                    return Some(k);
-                }
-            }
-            _ => {}
-        }
-    }
-    None
-}
-
-/// Type name of an impl header starting at token `i` (`impl`). Returns
-/// `(type_name, body_open_index)` when the header ends in a block.
-fn impl_header(tokens: &[Token], i: usize) -> Option<(String, usize)> {
-    let mut after_for = false;
-    let mut name: Option<String> = None;
-    let mut angle = 0i32;
-    let mut k = i + 1;
-    while k < tokens.len() {
-        let t = &tokens[k];
-        match t.text.as_str() {
-            "{" if angle <= 0 => {
-                return name.map(|n| (n, k));
-            }
-            ";" => return None,
-            "<" => angle += 1,
-            // ignore `->` (impl headers have none, but be safe)
-            ">" if k > 0 && tokens[k - 1].text != "-" => angle -= 1,
-            ">" => {}
-            "for" => {
-                after_for = true;
-                name = None;
-            }
-            _ if t.is_ident && angle <= 0 => {
-                // remember the last path segment seen; `for` resets it so
-                // the implemented type wins over the trait
-                let _ = after_for;
-                name = Some(t.text.clone());
-            }
-            _ => {}
-        }
-        k += 1;
-    }
-    None
-}
-
-/// Whether the tokens preceding `fn` at index `i` include a `pub`
-/// visibility (allowing `pub(crate)` / `pub(in path)` and the
-/// `const`/`unsafe`/`async`/`extern` qualifiers in between).
-fn is_pub_fn(tokens: &[Token], i: usize) -> bool {
-    let mut k = i;
-    while k > 0 {
-        k -= 1;
-        match tokens[k].text.as_str() {
-            "const" | "unsafe" | "async" | "extern" => continue,
-            ")" => {
-                // skip a parenthesized visibility argument
-                let mut depth = 1usize;
-                while k > 0 && depth > 0 {
-                    k -= 1;
-                    match tokens[k].text.as_str() {
-                        ")" => depth += 1,
-                        "(" => depth -= 1,
-                        _ => {}
-                    }
-                }
-                continue;
-            }
-            "pub" => return true,
-            _ => return false,
-        }
-    }
-    false
-}
-
-/// Find `impl` blocks and `fn` items.
-fn find_items(clean: &str, tokens: &[Token]) -> (Vec<ImplInfo>, Vec<FnInfo>) {
-    let mut impls = Vec::new();
-    let mut functions = Vec::new();
-    let mut i = 0usize;
-    while i < tokens.len() {
-        let t = &tokens[i];
-        if t.text == "impl" && t.is_ident {
-            if let Some((type_name, open)) = impl_header(tokens, i) {
-                if let Some(close) = matching_brace(tokens, open) {
-                    impls.push(ImplInfo {
-                        type_name,
-                        body: (tokens[open].off + 1, tokens[close].off),
-                    });
-                }
-            }
-            i += 1;
-            continue;
-        }
-        if t.text == "fn" && t.is_ident {
-            let name = match tokens.get(i + 1) {
-                Some(n) if n.is_ident => n.text.clone(),
-                _ => {
-                    i += 1;
-                    continue;
-                }
-            };
-            // find the body `{` (or `;` for bodyless declarations) at
-            // paren/bracket depth 0
-            let mut paren = 0i32;
-            let mut bracket = 0i32;
-            let mut k = i + 2;
-            let mut body = None;
-            let mut sig_end = clean.len();
-            while k < tokens.len() {
-                match tokens[k].text.as_str() {
-                    "(" => paren += 1,
-                    ")" => paren -= 1,
-                    "[" => bracket += 1,
-                    "]" => bracket -= 1,
-                    "{" if paren == 0 && bracket == 0 => {
-                        sig_end = tokens[k].off;
-                        if let Some(close) = matching_brace(tokens, k) {
-                            body = Some((tokens[k].off + 1, tokens[close].off));
-                        }
-                        break;
-                    }
-                    ";" if paren == 0 && bracket == 0 => {
-                        sig_end = tokens[k].off;
-                        break;
-                    }
-                    _ => {}
-                }
-                k += 1;
-            }
-            let sig = clean[t.off..sig_end.max(t.off)].to_owned();
-            let impl_type = impls
-                .iter()
-                .rev()
-                .find(|im| t.off >= im.body.0 && t.off < im.body.1)
-                .map(|im| im.type_name.clone());
-            functions.push(FnInfo {
-                name,
-                is_pub: is_pub_fn(tokens, i),
-                sig,
-                body,
-                impl_type,
-                off: t.off,
-            });
-        }
-        i += 1;
-    }
-    (impls, functions)
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -691,6 +375,24 @@ mod tests {
         let m = mask(src);
         assert!(!m.contains("unwrap"));
         assert!(m.contains("let x = 1;"));
+    }
+
+    #[test]
+    fn mask_is_byte_preserving_for_multibyte_sources() {
+        let src = "let a = \"λλ std::fs\"; // λλ\nfn target() {}\n";
+        let m = mask(src);
+        assert_eq!(m.len(), src.len());
+        let f = SourceFile::parse("crates/x/src/lib.rs", src);
+        let t = f
+            .functions
+            .iter()
+            .find(|fi| fi.name == "target")
+            .expect("found");
+        // the offset must land on the raw source's `fn`, not drift from
+        // multi-byte chars earlier in the file
+        assert_eq!(&src.as_bytes()[t.off..t.off + 2], b"fn");
+        assert_eq!(f.line_of(t.off), 2);
+        assert_eq!(f.col_of(t.off), 1);
     }
 
     #[test]
@@ -752,9 +454,19 @@ mod tests {
     }
 
     #[test]
+    fn lifetimes_split_into_tick_and_ident() {
+        let f = SourceFile::parse("crates/x/src/lib.rs", "fn f<'a>(x: &'a str) {}");
+        let i = f.tokens.iter().position(|t| t.text == "'").expect("tick");
+        assert!(!f.tokens[i].is_ident);
+        assert_eq!(f.tokens[i + 1].text, "a");
+        assert!(f.tokens[i + 1].is_ident);
+    }
+
+    #[test]
     fn line_numbers_map_through_masking() {
         let src = "line1();\n// comment\nline3();\n";
         let f = SourceFile::parse("crates/x/src/lib.rs", src);
         assert_eq!(f.line_of(f.clean.find("line3").expect("present")), 3);
+        assert_eq!(f.col_of(f.clean.find("line3").expect("present")), 1);
     }
 }

@@ -51,6 +51,17 @@ scope = "crates/serve/src"
 wrapper = "crates/serve/src/fixture_conn.rs"
 wrapper_type = "ConnGuard"
 banned = ["BufReader", "lines"]
+
+[atomics-discipline]
+crates = ["relstore", "import"]
+
+[[atomics-discipline.relaxed-ok]]
+file = "crates/relstore/src/fixture_atomics.rs"
+idents = ["hits"]
+reason = "telemetry counter, read only by a stats endpoint"
+
+[error-swallow]
+crates = ["relstore", "import"]
 "#,
     )
     .expect("fixture config parses")
@@ -182,6 +193,90 @@ fn socket_discipline_fixture() {
     assert!(clean.is_empty(), "{clean:?}");
     let wrapper = check("socket_discipline_clean.rs", "crates/serve/src/fixture_conn.rs");
     assert!(wrapper.is_empty(), "{wrapper:?}");
+}
+
+#[test]
+fn atomics_discipline_fixture() {
+    let bad = check("atomics_discipline_bad.rs", "crates/relstore/src/fixture_atomics.rs");
+    assert_eq!(rules_of(&bad), ["atomics-discipline"], "{bad:?}");
+    assert!(bad[0].message.contains("`version`"), "{bad:?}");
+    let clean = check(
+        "atomics_discipline_clean.rs",
+        "crates/relstore/src/fixture_atomics.rs",
+    );
+    assert!(clean.is_empty(), "{clean:?}");
+}
+
+#[test]
+fn error_swallow_fixture() {
+    let bad = check("error_swallow_bad.rs", "crates/import/src/fixture_stage.rs");
+    assert_eq!(rules_of(&bad), ["error-swallow", "error-swallow"], "{bad:?}");
+    assert!(bad[0].message.contains("let _ ="), "{bad:?}");
+    assert!(bad[1].message.contains(".ok()"), "{bad:?}");
+    let clean = check("error_swallow_clean.rs", "crates/import/src/fixture_stage.rs");
+    assert!(clean.is_empty(), "{clean:?}");
+}
+
+/// Cross-file deadlock detection: each fixture file is locally clean
+/// (the per-file lock rule sees nothing), but the whole-program graph
+/// finds the inverted pool/state acquisition and the resulting cycle.
+#[test]
+fn lock_order_graph_fixture() {
+    let cfg = config::parse(
+        "[lock-discipline]\nlocks = [\"pool\", \"state\"]\norder = [\"pool\", \"state\"]\n",
+    )
+    .expect("graph fixture config parses");
+    let load = |names: [&str; 2]| -> Vec<SourceFile> {
+        names
+            .iter()
+            .enumerate()
+            .map(|(i, name)| {
+                let path = Path::new(env!("CARGO_MANIFEST_DIR"))
+                    .join("tests/fixtures")
+                    .join(name);
+                let raw = std::fs::read_to_string(&path)
+                    .unwrap_or_else(|e| panic!("fixture {}: {e}", path.display()));
+                SourceFile::parse(&format!("crates/relstore/src/fixture_graph_{i}.rs"), &raw)
+            })
+            .collect()
+    };
+    let files = load(["lock_order_graph_bad_a.rs", "lock_order_graph_bad_b.rs"]);
+    // per-file view: each file on its own is clean
+    for f in &files {
+        let per_file = genlint::check_file(f, &cfg);
+        assert!(per_file.is_empty(), "{}: {per_file:?}", f.rel_path);
+    }
+    let bad = genlint::graph::check_workspace(&files, &cfg);
+    assert!(
+        bad.iter()
+            .any(|f| f.rule == "lock-order-graph" && f.message.contains("inverted")),
+        "cross-file inversion: {bad:?}"
+    );
+    assert!(
+        bad.iter()
+            .any(|f| f.rule == "lock-order-graph" && f.message.contains("cycle pool -> state -> pool")),
+        "acquisition cycle: {bad:?}"
+    );
+
+    let files = load(["lock_order_graph_clean_a.rs", "lock_order_graph_clean_b.rs"]);
+    let clean = genlint::graph::check_workspace(&files, &cfg);
+    assert!(clean.is_empty(), "{clean:?}");
+}
+
+/// S1 regression corpus: banned patterns that live only inside string
+/// literals, comments, and `#[cfg(test)]` scope must not fire under any
+/// scoped path.
+#[test]
+fn masked_patterns_do_not_fire() {
+    for rel in [
+        "crates/gam/src/fixture_masked.rs",      // no-panic scope
+        "crates/import/src/fixture_masked.rs",   // vfs/wal/error-swallow scope
+        "crates/relstore/src/fixture_masked.rs", // atomics scope
+        "crates/serve/src/fixture_masked.rs",    // socket scope
+    ] {
+        let findings = check("masking_fp_clean.rs", rel);
+        assert!(findings.is_empty(), "{rel}: {findings:?}");
+    }
 }
 
 /// The workspace itself must scan clean against the shipped

@@ -1,0 +1,23 @@
+//! Seeded atomics-discipline violation: a publish stamp stored with
+//! `Ordering::Relaxed`. The `hits` counter is allowlisted and must stay
+//! silent even in this file.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+pub struct FixtureCache {
+    version: AtomicU64,
+    hits: AtomicU64,
+}
+
+impl FixtureCache {
+    pub fn publish(&self, v: u64) {
+        // BAD: readers key coherence decisions on `version`; a relaxed
+        // store can be observed arbitrarily late
+        self.version.store(v, Ordering::Relaxed);
+    }
+
+    pub fn record_hit(&self) {
+        // allowlisted telemetry: fine
+        self.hits.fetch_add(1, Ordering::Relaxed);
+    }
+}

@@ -1,0 +1,27 @@
+//! Clean counterpart: coherence atomics use SeqCst, telemetry is
+//! allowlisted, and the CAS failure ordering pairs Relaxed with a
+//! stronger success ordering (exempt by design).
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+pub struct FixtureCache {
+    version: AtomicU64,
+    gate: AtomicU64,
+    hits: AtomicU64,
+}
+
+impl FixtureCache {
+    pub fn publish(&self, v: u64) {
+        self.version.store(v, Ordering::SeqCst);
+    }
+
+    pub fn try_claim(&self, cur: u64) -> bool {
+        self.gate
+            .compare_exchange(cur, cur + 1, Ordering::SeqCst, Ordering::Relaxed)
+            .is_ok()
+    }
+
+    pub fn record_hit(&self) {
+        self.hits.fetch_add(1, Ordering::Relaxed);
+    }
+}

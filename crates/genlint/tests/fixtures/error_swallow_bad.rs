@@ -1,0 +1,18 @@
+//! Seeded error-swallow violations on the durable path: a `let _ =`
+//! discard of a fallible call and a bare `.ok();` statement.
+
+pub struct FixtureStage {
+    out: std::sync::mpsc::Sender<Vec<u8>>,
+}
+
+impl FixtureStage {
+    pub fn push(&self, batch: Vec<u8>) {
+        // BAD: a send failure (closed pipeline) vanishes silently
+        let _ = self.out.send(batch);
+    }
+
+    pub fn push_dressed_up(&self, batch: Vec<u8>) {
+        // BAD: same discard wearing `.ok()`
+        self.out.send(batch).ok();
+    }
+}

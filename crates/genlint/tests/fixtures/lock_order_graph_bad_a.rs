@@ -1,0 +1,12 @@
+//! Half of a cross-file deadlock: `flush` holds `state` across a call
+//! into `write_back` (defined in the sibling fixture file), which
+//! acquires `pool`. Each file is locally consistent — only the
+//! whole-program graph sees state -> pool against the declared
+//! pool-before-state order.
+
+impl FixturePager {
+    pub fn flush(&self) {
+        let g = self.state.lock();
+        self.write_back(&g.dirty);
+    }
+}

@@ -1,0 +1,10 @@
+//! Clean counterpart: `flush` finishes the cross-file call before
+//! touching `state`, so no lock is held across the call.
+
+impl FixturePager {
+    pub fn flush(&self) {
+        self.write_back(&self.staged);
+        let g = self.state.lock();
+        g.mark_clean();
+    }
+}

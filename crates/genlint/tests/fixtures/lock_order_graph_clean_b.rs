@@ -1,0 +1,15 @@
+//! Clean counterpart: `grow` nests pool -> state in the declared order
+//! and `write_back` acquires `pool` with nothing held above it.
+
+impl FixturePager {
+    pub fn write_back(&self, d: &[u8]) {
+        let p = self.pool.lock();
+        p.push(d);
+    }
+
+    pub fn grow(&self) {
+        let p = self.pool.lock();
+        let s = self.state.lock();
+        grow_into(p, s);
+    }
+}

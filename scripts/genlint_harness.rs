@@ -1,16 +1,16 @@
 //! Standalone, dependency-free runner for the genlint architectural
-//! invariant checker (DESIGN.md §11), for environments where the full
-//! workspace cannot be built (no crates.io access). genlint itself is
-//! std-only, so this harness compiles the *real* rule sources directly
-//! — `crates/genlint/src/{config,report,rules,source}` are included via
-//! `#[path]`, not copied — and only the thin scan driver below is a
-//! replica of `crates/genlint/src/lib.rs` (kept in sync by hand; the
-//! `ScanResult` shape and baseline semantics must match).
+//! invariant checker (DESIGN.md §11 and §16), for environments where
+//! the full workspace cannot be built (no crates.io access). genlint
+//! itself is std-only, so this harness compiles the *real* sources
+//! directly — every module under `crates/genlint/src/` is included via
+//! `#[path]`, including the scan driver (`engine.rs`). Nothing here is
+//! a replica: the harness and `cargo run -p genlint` execute the same
+//! lexer, rules, graph pass, cache, and baseline logic.
 //!
-//! It scans the workspace against `genlint.toml`, times the scan, and
-//! writes `BENCH_lint.json` (per-rule counts, files scanned, scan
-//! latency). Exit code 1 on any unbaselined finding, mirroring
-//! `cargo run -p genlint -- --deny`.
+//! It scans the workspace against `genlint.toml` four ways — serial,
+//! parallel, cache-cold, cache-warm — and writes `BENCH_lint.json`
+//! (per-rule counts, files scanned, per-mode latency). Exit code 1 on
+//! any unbaselined finding, mirroring `cargo run -p genlint -- --deny`.
 //!
 //! Build & run (from the repo root):
 //!   rustc -O scripts/genlint_harness.rs -o /tmp/genlint_harness && /tmp/genlint_harness
@@ -18,6 +18,14 @@
 
 #[path = "../crates/genlint/src/config.rs"]
 mod config;
+#[path = "../crates/genlint/src/engine.rs"]
+mod engine;
+#[path = "../crates/genlint/src/graph.rs"]
+mod graph;
+#[path = "../crates/genlint/src/items.rs"]
+mod items;
+#[path = "../crates/genlint/src/lexer.rs"]
+mod lexer;
 #[path = "../crates/genlint/src/report.rs"]
 mod report;
 #[path = "../crates/genlint/src/rules/mod.rs"]
@@ -25,110 +33,33 @@ mod rules;
 #[path = "../crates/genlint/src/source.rs"]
 mod source;
 
-use config::Config;
-use rules::Finding;
-use source::SourceFile;
+// `report.rs` renders `crate::ScanResult` — same re-export as lib.rs.
+pub use engine::ScanResult;
+
+use engine::ScanOptions;
 use std::path::{Path, PathBuf};
 use std::time::Instant;
 
-/// Outcome of scanning a workspace (replica of `genlint::ScanResult`;
-/// `report.rs` refers to it as `crate::ScanResult`).
-#[derive(Debug)]
-pub struct ScanResult {
-    pub findings: Vec<Finding>,
-    pub suppressed: usize,
-    pub files_scanned: usize,
-}
+const RUNS: usize = 5;
 
-const SKIP_DIRS: [&str; 4] = ["target", ".git", "scripts", "fixtures"];
-
-fn collect_rs_files(root: &Path) -> std::io::Result<Vec<PathBuf>> {
-    let mut out = Vec::new();
-    let mut stack = vec![root.to_path_buf()];
-    while let Some(dir) = stack.pop() {
-        for entry in std::fs::read_dir(&dir)? {
-            let entry = entry?;
-            let path = entry.path();
-            let name = entry.file_name();
-            let name = name.to_string_lossy();
-            if entry.file_type()?.is_dir() {
-                if name.starts_with('.') || SKIP_DIRS.contains(&name.as_ref()) {
-                    continue;
-                }
-                stack.push(path);
-            } else if name.ends_with(".rs") {
-                out.push(path);
-            }
-        }
+/// Min/mean latency of `RUNS` scans under one option set; asserts every
+/// run reproduces the reference finding count (determinism check).
+fn time_scans(
+    root: &Path,
+    cfg: &config::Config,
+    opts: &ScanOptions,
+    reference: usize,
+) -> (f64, f64) {
+    let mut times_ms = Vec::with_capacity(RUNS);
+    for _ in 0..RUNS {
+        let t0 = Instant::now();
+        let r = engine::scan_with(root, cfg, opts).expect("scan");
+        times_ms.push(t0.elapsed().as_secs_f64() * 1e3);
+        assert_eq!(r.findings.len(), reference, "scan not deterministic");
     }
-    out.sort();
-    Ok(out)
-}
-
-fn rel_path(root: &Path, path: &Path) -> String {
-    let rel = path.strip_prefix(root).unwrap_or(path);
-    let mut out = String::new();
-    for comp in rel.components() {
-        if !out.is_empty() {
-            out.push('/');
-        }
-        out.push_str(&comp.as_os_str().to_string_lossy());
-    }
-    out
-}
-
-fn scan(root: &Path, cfg: &Config) -> std::io::Result<ScanResult> {
-    let files = collect_rs_files(root)?;
-    let mut findings = Vec::new();
-    let mut files_scanned = 0usize;
-    for path in &files {
-        let raw = std::fs::read_to_string(path)?;
-        let rel = rel_path(root, path);
-        let file = SourceFile::parse(&rel, &raw);
-        files_scanned += 1;
-        for rule in rules::registry() {
-            rule.check(&file, cfg, &mut findings);
-        }
-    }
-    findings.sort_by(|a, b| (&a.path, a.line, a.rule).cmp(&(&b.path, b.line, b.rule)));
-    let mut suppressed = 0usize;
-    let mut used = vec![false; cfg.allow.len()];
-    let mut kept = Vec::new();
-    for f in findings {
-        let hit = cfg.allow.iter().position(|a| {
-            a.rule == f.rule
-                && (f.path == a.path
-                    || f.path
-                        .strip_prefix(&a.path)
-                        .map(|rest| rest.starts_with('/'))
-                        .unwrap_or(false))
-        });
-        match hit {
-            Some(i) => {
-                used[i] = true;
-                suppressed += 1;
-            }
-            None => kept.push(f),
-        }
-    }
-    for (i, a) in cfg.allow.iter().enumerate() {
-        if !used[i] {
-            kept.push(Finding {
-                rule: "stale-allow",
-                path: a.path.clone(),
-                line: 0,
-                message: format!(
-                    "[[allow]] entry (rule `{}`) suppresses nothing — remove it",
-                    a.rule
-                ),
-            });
-        }
-    }
-    Ok(ScanResult {
-        findings: kept,
-        suppressed,
-        files_scanned,
-    })
+    let min = times_ms.iter().cloned().fold(f64::INFINITY, f64::min);
+    let mean = times_ms.iter().sum::<f64>() / RUNS as f64;
+    (min, mean)
 }
 
 fn main() {
@@ -150,22 +81,46 @@ fn main() {
             std::process::exit(2);
         }
     };
+    let jobs = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
 
-    // one warm-up (page cache), then timed runs
-    let result = scan(&root, &cfg).expect("scan");
-    const RUNS: usize = 5;
-    let mut times_ms = Vec::with_capacity(RUNS);
-    for _ in 0..RUNS {
-        let t0 = Instant::now();
-        let r = scan(&root, &cfg).expect("scan");
-        times_ms.push(t0.elapsed().as_secs_f64() * 1e3);
-        assert_eq!(r.findings.len(), result.findings.len(), "scan not deterministic");
-    }
-    let min = times_ms.iter().cloned().fold(f64::INFINITY, f64::min);
-    let mean = times_ms.iter().sum::<f64>() / RUNS as f64;
+    // one warm-up (page cache), and the reference result for the report
+    let result = engine::scan(&root, &cfg).expect("scan");
+    let n = result.findings.len();
+
+    let serial = ScanOptions { jobs: 1, cache_path: None };
+    let parallel = ScanOptions { jobs: 0, cache_path: None };
+    let (serial_min, serial_mean) = time_scans(&root, &cfg, &serial, n);
+    let (par_min, par_mean) = time_scans(&root, &cfg, &parallel, n);
+
+    // cache: one cold run (fresh file), then warm re-runs
+    let cache_file = std::env::temp_dir().join(format!("genlint-harness-cache-{}.txt", std::process::id()));
+    let _ = std::fs::remove_file(&cache_file);
+    let cached = ScanOptions { jobs: 0, cache_path: Some(cache_file.clone()) };
+    let t0 = Instant::now();
+    let cold = engine::scan_with(&root, &cfg, &cached).expect("cold scan");
+    let cold_ms = t0.elapsed().as_secs_f64() * 1e3;
+    assert_eq!(cold.cache_hits, 0, "cold run must not hit the cache");
+    let (warm_min, warm_mean) = time_scans(&root, &cfg, &cached, n);
+    let warm = engine::scan_with(&root, &cfg, &cached).expect("warm scan");
+    assert_eq!(warm.cache_hits, warm.files_scanned, "warm run must be all hits");
+    let _ = std::fs::remove_file(&cache_file);
 
     print!("{}", report::human(&result));
-    println!("scan latency over {RUNS} runs: min {min:.1} ms, mean {mean:.1} ms");
+    println!(
+        "serial (1 thread):   min {serial_min:.1} ms, mean {serial_mean:.1} ms over {RUNS} runs"
+    );
+    println!(
+        "parallel ({jobs} thread{}): min {par_min:.1} ms, mean {par_mean:.1} ms (speedup {:.2}x)",
+        if jobs == 1 { "" } else { "s" },
+        serial_min / par_min.max(f64::EPSILON)
+    );
+    println!(
+        "cache: cold {cold_ms:.1} ms, warm min {warm_min:.1} ms, mean {warm_mean:.1} ms \
+         ({}/{} hits when warm)",
+        warm.cache_hits, warm.files_scanned
+    );
 
     let mut rules_json = String::new();
     for (i, (name, count)) in report::per_rule_counts(&result.findings).iter().enumerate() {
@@ -176,15 +131,27 @@ fn main() {
     }
     let json = format!(
         "{{\n  \"harness\": \"genlint\",\n  \"files_scanned\": {},\n  \"findings\": {},\n  \
-         \"suppressed\": {},\n  \"rules\": {{{}}},\n  \"runs\": {},\n  \
-         \"scan_ms_min\": {:.3},\n  \"scan_ms_mean\": {:.3}\n}}\n",
+         \"suppressed\": {},\n  \"rules\": {{{}}},\n  \"runs\": {},\n  \"jobs\": {},\n  \
+         \"serial_ms_min\": {:.3},\n  \"serial_ms_mean\": {:.3},\n  \
+         \"parallel_ms_min\": {:.3},\n  \"parallel_ms_mean\": {:.3},\n  \
+         \"parallel_speedup\": {:.3},\n  \
+         \"cache_cold_ms\": {:.3},\n  \"cache_warm_ms_min\": {:.3},\n  \
+         \"cache_warm_ms_mean\": {:.3},\n  \"cache_hits_warm\": {}\n}}\n",
         result.files_scanned,
         result.findings.len(),
         result.suppressed,
         rules_json,
         RUNS,
-        min,
-        mean
+        jobs,
+        serial_min,
+        serial_mean,
+        par_min,
+        par_mean,
+        serial_min / par_min.max(f64::EPSILON),
+        cold_ms,
+        warm_min,
+        warm_mean,
+        warm.cache_hits,
     );
     std::fs::write(root.join("BENCH_lint.json"), json).expect("write BENCH_lint.json");
     eprintln!("wrote {}", root.join("BENCH_lint.json").display());

@@ -39,6 +39,11 @@ rustc -O scripts/plan_harness.rs -o /tmp/plan_harness && /tmp/plan_harness
 # -> BENCH_chaos.json
 rustc -O scripts/chaos_harness.rs -o /tmp/chaos_harness && /tmp/chaos_harness
 cargo clippy --all-targets -- -D warnings
-# architectural invariant gate (DESIGN.md §11): any unbaselined finding
-# fails the build
+# architectural invariant gate (DESIGN.md §11, §16): any unbaselined
+# finding fails the build; the same scan is exported as a SARIF artifact
+# for code-scanning UIs (target/genlint.sarif)
 cargo run -q -p genlint -- --deny
+cargo run -q -p genlint -- --format sarif > target/genlint.sarif
+# lint-engine measurement replica: serial vs parallel full-workspace
+# scans and cache cold/warm latency -> BENCH_lint.json
+rustc -O scripts/genlint_harness.rs -o /tmp/genlint_harness && /tmp/genlint_harness
